@@ -1,0 +1,31 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench bench-fast examples artifacts clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+bench-fast:
+	CCR_BENCH_FAST=1 dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/migratory_demo.exe
+	dune exec examples/invalidate_demo.exe
+	dune exec examples/starvation_demo.exe
+	dune exec examples/concurrent_demo.exe
+	dune exec examples/msc_demo.exe
+
+artifacts:
+	dune exec examples/codegen_demo.exe -- _artifacts
+
+clean:
+	dune clean
