@@ -1,0 +1,466 @@
+(* ccr: command-line front end to the refinement framework.
+
+   Subcommands:
+     list        catalogue of shipped protocols
+     show        render a protocol (rendezvous or refined; ascii/dot/
+                 promela/c)
+     pairs       request/reply analysis report (§3.3)
+     export      print a protocol in the textual .ccr syntax
+     explain     derivation report: what the refinement did and why
+     check       model-check a protocol level with its invariants
+     eq1         verify the §4 stuttering simulation
+     sim         simulate the refined protocol and report efficiency
+     msc         message-sequence chart of a simulated execution
+     progress    deadlock + AG-EF-progress analysis (§2.5)
+
+   PROTOCOL arguments are registry names or .ccr file paths. *)
+
+open Ccr_core
+open Ccr_protocols
+module Explore = Ccr_modelcheck.Explore
+module Async = Ccr_refine.Async
+
+(* A protocol argument is a registry name or a path to a [.ccr] file.
+   File-based protocols get no built-in invariants; everything else
+   (analysis, refinement, Eq. 1, simulation) applies unchanged. *)
+let entry_of_file path =
+  match Parse.system_of_file path with
+  | sys ->
+    (match Validate.check sys with
+    | Ok _ ->
+      Ok
+        Registry.
+          {
+            name = sys.Ir.sys_name;
+            doc = "loaded from " ^ path;
+            system = Some sys;
+            instantiate = (fun ~reqrep ~n -> Link.compile ~reqrep ~n sys);
+            rv_invariants = (fun _ -> []);
+            async_invariants = (fun _ -> []);
+          }
+    | Error es ->
+      Error
+        (`Msg
+          (Fmt.str "%s does not validate:@,%a" path
+             Fmt.(list ~sep:cut Validate.pp_error)
+             es)))
+  | exception exn -> Error (`Msg (Fmt.str "%a" Parse.pp_error exn))
+
+let protocol_conv =
+  let parse s =
+    if Filename.check_suffix s ".ccr" then entry_of_file s
+    else
+      match Registry.find s with
+      | Some e -> Ok e
+      | None ->
+        Error
+          (`Msg
+            (Fmt.str "unknown protocol %S (try: %s, or a .ccr file)" s
+               (String.concat ", " (Registry.names ()))))
+  in
+  Cmdliner.Arg.conv (parse, fun ppf e -> Fmt.string ppf e.Registry.name)
+
+open Cmdliner
+
+let protocol_arg =
+  Arg.(
+    required
+    & pos 0 (some protocol_conv) None
+    & info [] ~docv:"PROTOCOL" ~doc:"Protocol name (see $(b,ccr list)).")
+
+let n_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "n"; "remotes" ] ~docv:"N" ~doc:"Number of remote nodes.")
+
+let k_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "k"; "buffer" ] ~docv:"K"
+        ~doc:"Home buffer capacity (>= 2, Table 2).")
+
+let generic_arg =
+  Arg.(
+    value & flag
+    & info [ "generic" ]
+        ~doc:
+          "Disable the request/reply optimization (§3.3): every rendezvous \
+           costs a request plus an ack.")
+
+let max_states_arg =
+  Arg.(
+    value & opt int 1_000_000
+    & info [ "max-states" ] ~docv:"S" ~doc:"State cap for explorations.")
+
+let instantiate (e : Registry.t) ~generic ~n =
+  e.Registry.instantiate ~reqrep:(not generic) ~n
+
+(* ---- list ---------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (e : Registry.t) ->
+        Fmt.pr "%-16s %s%s@." e.name e.doc
+          (if e.system = None then " [refined level only]" else ""))
+      Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the shipped protocols.")
+    Term.(const run $ const ())
+
+(* ---- show ---------------------------------------------------------------- *)
+
+let show_cmd =
+  let level =
+    Arg.(
+      value
+      & opt (enum [ ("rendezvous", `Rv); ("refined", `Refined) ]) `Rv
+      & info [ "level" ] ~docv:"LEVEL"
+          ~doc:"Which protocol to render: $(b,rendezvous) or $(b,refined).")
+  in
+  let format =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("ascii", `Ascii); ("dot", `Dot); ("promela", `Promela);
+               ("c", `C);
+             ])
+          `Ascii
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Output format: $(b,ascii), $(b,dot), $(b,promela) (rendezvous \
+             only), or $(b,c) (refined dispatch tables).")
+  in
+  let run (e : Registry.t) n generic level format =
+    match (level, format, e.Registry.system) with
+    | `Rv, `Ascii, Some sys -> Fmt.pr "%a@." Ccr_viz.Ascii.pp_system sys
+    | `Rv, `Dot, Some sys ->
+      print_string (Ccr_viz.Dot.of_process sys.Ir.home);
+      print_string (Ccr_viz.Dot.of_process sys.Ir.remote)
+    | `Rv, `Promela, Some sys ->
+      print_string (Ccr_viz.Promela.of_system ~n sys)
+    | `Rv, `C, Some _ ->
+      Fmt.epr "C output applies to the refined level only.@.";
+      exit 1
+    | `Rv, _, None ->
+      Fmt.epr "%s has no rendezvous level.@." e.name;
+      exit 1
+    | `Refined, fmt, _ -> (
+      let prog = instantiate e ~generic ~n in
+      let home = Ccr_refine.Compile.home_automaton prog in
+      let remote = Ccr_refine.Compile.remote_automaton prog in
+      match fmt with
+      | `Ascii ->
+        Fmt.pr "%a@.%a@." Ccr_viz.Ascii.pp_automaton home
+          Ccr_viz.Ascii.pp_automaton remote
+      | `Dot ->
+        print_string (Ccr_viz.Dot.of_automaton home);
+        print_string (Ccr_viz.Dot.of_automaton remote)
+      | `C ->
+        print_string (Ccr_refine.Codegen.emit_c home);
+        print_string (Ccr_refine.Codegen.emit_c remote)
+      | `Promela ->
+        Fmt.epr "Promela export applies to the rendezvous level only.@.";
+        exit 1)
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Render a protocol or its refined automata.")
+    Term.(const run $ protocol_arg $ n_arg $ generic_arg $ level $ format)
+
+(* ---- pairs --------------------------------------------------------------- *)
+
+let pairs_cmd =
+  let run (e : Registry.t) =
+    match e.Registry.system with
+    | None ->
+      Fmt.epr "%s has no rendezvous level.@." e.name;
+      exit 1
+    | Some sys ->
+      let r = Reqrep.analyze sys in
+      if r.pairs = [] then Fmt.pr "no request/reply pairs@."
+      else List.iter (fun p -> Fmt.pr "pair: %a@." Reqrep.pp_pair p) r.pairs;
+      List.iter
+        (fun (m, why) -> Fmt.pr "not optimizable: %-8s %s@." m why)
+        r.rejected
+  in
+  Cmd.v
+    (Cmd.info "pairs"
+       ~doc:"Report the request/reply analysis (§3.3) for a protocol.")
+    Term.(const run $ protocol_arg)
+
+(* ---- export -------------------------------------------------------------- *)
+
+let export_cmd =
+  let run (e : Registry.t) =
+    match e.Registry.system with
+    | None ->
+      Fmt.epr "%s has no rendezvous level to export.@." e.name;
+      exit 1
+    | Some sys -> print_string (Parse.to_string sys)
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:
+         "Print a protocol in the textual .ccr syntax (editable, reloadable \
+          with any command that takes a protocol).")
+    Term.(const run $ protocol_arg)
+
+(* ---- explain ------------------------------------------------------------- *)
+
+let explain_cmd =
+  let run (e : Registry.t) n =
+    match e.Registry.system with
+    | None ->
+      Fmt.epr "%s has no rendezvous level to derive from.@." e.name;
+      exit 1
+    | Some sys -> print_string (Ccr_refine.Report.derive ~n sys)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Print the derivation report: what the refinement did to each \
+          guard and why.")
+    Term.(const run $ protocol_arg $ n_arg)
+
+(* ---- check --------------------------------------------------------------- *)
+
+let check_cmd =
+  let level =
+    Arg.(
+      value
+      & opt (enum [ ("rendezvous", `Rv); ("async", `Async) ]) `Async
+      & info [ "level" ] ~docv:"LEVEL"
+          ~doc:"Check the $(b,rendezvous) or the refined $(b,async) system.")
+  in
+  let mem =
+    Arg.(
+      value & opt (some int) None
+      & info [ "mem" ] ~docv:"MB" ~doc:"Memory cap in megabytes.")
+  in
+  let run (e : Registry.t) n k generic level max_states mem =
+    let prog = instantiate e ~generic ~n in
+    let mem_bytes = Option.map (fun mb -> mb * 1024 * 1024) mem in
+    let report ?msc name (r : (_, _) Explore.stats) pp_state =
+      Fmt.pr "%s: %d states, %d transitions, %.2fs, ~%.1f MB@." name r.states
+        r.transitions r.time_s
+        (float_of_int r.mem_bytes /. 1048576.);
+      (match r.outcome with
+      | Explore.Complete -> Fmt.pr "outcome: complete, invariants hold@."
+      | o -> Fmt.pr "outcome: %a@." (Explore.pp_outcome pp_state) o);
+      match r.trace with
+      | Some path when List.length path > 1 ->
+        Fmt.pr "counterexample (%d steps):@." (List.length path - 1);
+        (match msc with
+        | Some render ->
+          print_string (render (List.filter_map fst path));
+          Fmt.pr "@."
+        | None -> ());
+        List.iter (fun (_, st) -> Fmt.pr "%a@." pp_state st) path;
+        exit 2
+      | _ -> if r.outcome <> Explore.Complete then exit 2
+    in
+    match level with
+    | `Rv ->
+      let r =
+        Explore.run ~max_states ?max_mem_bytes:mem_bytes ~trace:true
+          ~invariants:(e.Registry.rv_invariants prog)
+          Explore.
+            {
+              init = Ccr_semantics.Rendezvous.initial prog;
+              succ = Ccr_semantics.Rendezvous.successors prog;
+              encode = Ccr_semantics.Rendezvous.encode;
+            }
+      in
+      report
+        (Fmt.str "%s (rendezvous, n=%d)" e.name n)
+        r
+        (Ccr_semantics.Rendezvous.pp_state prog)
+    | `Async ->
+      let cfg = Async.{ k } in
+      let r =
+        Explore.run ~max_states ?max_mem_bytes:mem_bytes ~trace:true
+          ~check_deadlock:true
+          ~invariants:(e.Registry.async_invariants prog)
+          Explore.
+            {
+              init = Async.initial prog cfg;
+              succ = Async.successors prog cfg;
+              encode = Async.encode;
+            }
+      in
+      report
+        ~msc:(Ccr_viz.Msc.render prog)
+        (Fmt.str "%s (async, n=%d, k=%d%s)" e.name n k
+           (if generic then ", generic" else ""))
+        r (Async.pp_state prog)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Model-check a protocol level: reachability, coherence invariants, \
+          deadlock.")
+    Term.(
+      const run $ protocol_arg $ n_arg $ k_arg $ generic_arg $ level
+      $ max_states_arg $ mem)
+
+(* ---- eq1 ----------------------------------------------------------------- *)
+
+let eq1_cmd =
+  let run (e : Registry.t) n k generic max_states =
+    if e.Registry.system = None then begin
+      Fmt.epr
+        "%s is hand-optimized: the refinement soundness argument does not \
+         apply.@."
+        e.name;
+      exit 1
+    end;
+    let prog = instantiate e ~generic ~n in
+    let v = Ccr_refine.Absmap.check_eq1 ~max_states prog Async.{ k } in
+    Fmt.pr "%a@." Ccr_refine.Absmap.pp_verdict v;
+    match v.failure with
+    | None -> ()
+    | Some f ->
+      Fmt.pr "violating transition: %a@.from (abs):@.%a@.to (abs):@.%a@."
+        Async.pp_label f.label
+        (Ccr_semantics.Rendezvous.pp_state prog)
+        f.from_abs
+        (Ccr_semantics.Rendezvous.pp_state prog)
+        f.to_abs;
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "eq1"
+       ~doc:
+         "Verify the paper's Equation 1: every asynchronous transition maps \
+          to a stutter or a rendezvous transition.")
+    Term.(
+      const run $ protocol_arg $ n_arg $ k_arg $ generic_arg $ max_states_arg)
+
+(* ---- sim ----------------------------------------------------------------- *)
+
+let sim_cmd =
+  let steps =
+    Arg.(
+      value & opt int 100_000
+      & info [ "steps" ] ~docv:"STEPS" ~doc:"Transitions to execute.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let sched =
+    Arg.(
+      value & opt string "uniform"
+      & info [ "sched" ] ~docv:"SCHED"
+          ~doc:
+            "Scheduler: $(b,uniform), $(b,home-first), or $(b,starve:I) \
+             (adversary that never schedules remote I).")
+  in
+  let run (e : Registry.t) n k generic steps seed sched =
+    let prog = instantiate e ~generic ~n in
+    let sched =
+      match String.split_on_char ':' sched with
+      | [ "uniform" ] -> Ccr_simulate.Sched.uniform
+      | [ "home-first" ] -> Ccr_simulate.Sched.home_first
+      | [ "starve"; i ] -> Ccr_simulate.Sched.starve (int_of_string i)
+      | _ ->
+        Fmt.epr "unknown scheduler %S@." sched;
+        exit 1
+    in
+    let m = Ccr_simulate.Sim.run ~seed ~steps prog Async.{ k } sched in
+    Fmt.pr "%a@." Ccr_simulate.Sim.pp m;
+    Fmt.pr "rule counts:@.";
+    List.iter
+      (fun (r, c) -> if c > 0 then Fmt.pr "  %-18s %d@." (Async.rule_name r) c)
+      m.Ccr_simulate.Sim.rule_counts
+  in
+  Cmd.v
+    (Cmd.info "sim"
+       ~doc:"Simulate the refined protocol and report efficiency metrics.")
+    Term.(
+      const run $ protocol_arg $ n_arg $ k_arg $ generic_arg $ steps $ seed
+      $ sched)
+
+(* ---- msc ----------------------------------------------------------------- *)
+
+let msc_cmd =
+  let steps =
+    Arg.(
+      value & opt int 40
+      & info [ "steps" ] ~docv:"STEPS" ~doc:"Transitions to render.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let run (e : Registry.t) n k generic steps seed =
+    let prog = instantiate e ~generic ~n in
+    print_string (Ccr_viz.Msc.render_run ~seed ~steps prog Async.{ k })
+  in
+  Cmd.v
+    (Cmd.info "msc"
+       ~doc:
+         "Render a message-sequence chart of a uniformly scheduled \
+          execution of the refined protocol.")
+    Term.(
+      const run $ protocol_arg $ n_arg $ k_arg $ generic_arg $ steps $ seed)
+
+(* ---- progress ------------------------------------------------------------ *)
+
+let progress_cmd =
+  let run (e : Registry.t) n k generic max_states =
+    let prog = instantiate e ~generic ~n in
+    let cfg = Async.{ k } in
+    let g =
+      Ccr_modelcheck.Graph.build ~max_states
+        Explore.
+          {
+            init = Async.initial prog cfg;
+            succ = Async.successors prog cfg;
+            encode = Async.encode;
+          }
+    in
+    let progress_label (l : Async.label) =
+      match l.rule with
+      | Async.H_C1 | Async.H_C1_silent | Async.R_C3_ack | Async.R_C3_silent
+      | Async.R_repl_recv | Async.H_T1_repl ->
+        true
+      | _ -> false
+    in
+    let dead = Ccr_modelcheck.Graph.deadlocks g in
+    let bad = Ccr_modelcheck.Graph.violates_ag_ef g ~progress:progress_label in
+    Fmt.pr
+      "%d states%s; %d deadlocks; %d states from which no rendezvous can \
+       complete@."
+      (Array.length g.states)
+      (if g.truncated then " (truncated: raise --max-states)" else "")
+      (List.length dead) (List.length bad);
+    (match bad with
+    | b :: _ ->
+      Fmt.pr "example losing state:@.%a@." (Async.pp_state prog) g.states.(b)
+    | [] -> ());
+    if dead <> [] || bad <> [] then exit 2
+  in
+  Cmd.v
+    (Cmd.info "progress"
+       ~doc:
+         "Check forward progress (§2.5): no deadlock, and from every \
+          reachable state some rendezvous can still complete.")
+    Term.(
+      const run $ protocol_arg $ n_arg $ k_arg $ generic_arg $ max_states_arg)
+
+let () =
+  let info =
+    Cmd.info "ccr" ~version:"1.0.0"
+      ~doc:
+        "Derive efficient asynchronous cache-coherence protocols from \
+         rendezvous specifications by refinement (Nalumasu & \
+         Gopalakrishnan, IPPS 1998)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd; show_cmd; pairs_cmd; export_cmd; explain_cmd; check_cmd; eq1_cmd;
+            sim_cmd; msc_cmd; progress_cmd;
+          ]))

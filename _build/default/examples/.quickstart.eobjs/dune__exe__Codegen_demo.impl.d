@@ -1,0 +1,1 @@
+examples/codegen_demo.ml: Array Ccr_core Ccr_protocols Ccr_refine Ccr_viz Filename Fmt Ir List Registry String Sys Unix

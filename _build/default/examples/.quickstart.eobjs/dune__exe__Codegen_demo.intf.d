@@ -1,0 +1,1 @@
+examples/codegen_demo.mli:

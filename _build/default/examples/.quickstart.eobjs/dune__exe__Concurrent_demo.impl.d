@@ -1,0 +1,1 @@
+examples/concurrent_demo.ml: Barrier Ccr_core Ccr_protocols Ccr_refine Ccr_runtime Fmt Invalidate Link Lock_server Migratory Migratory_hand

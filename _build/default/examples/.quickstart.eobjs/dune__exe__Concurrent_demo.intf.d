@@ -1,0 +1,1 @@
+examples/concurrent_demo.mli:

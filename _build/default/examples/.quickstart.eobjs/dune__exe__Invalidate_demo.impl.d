@@ -1,0 +1,1 @@
+examples/invalidate_demo.ml: Ccr_core Ccr_protocols Ccr_refine Fmt Invalidate Link List

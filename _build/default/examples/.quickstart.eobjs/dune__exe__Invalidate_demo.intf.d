@@ -1,0 +1,1 @@
+examples/invalidate_demo.mli:

@@ -1,0 +1,1 @@
+examples/migratory_demo.ml: Ccr_core Ccr_modelcheck Ccr_protocols Ccr_refine Ccr_semantics Ccr_simulate Ccr_viz Fmt Link List Migratory Migratory_hand Reqrep

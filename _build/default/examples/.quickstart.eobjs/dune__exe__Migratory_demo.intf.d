@@ -1,0 +1,1 @@
+examples/migratory_demo.mli:

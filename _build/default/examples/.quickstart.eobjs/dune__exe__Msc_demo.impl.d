@@ -1,0 +1,1 @@
+examples/msc_demo.ml: Ccr_core Ccr_protocols Ccr_refine Ccr_viz

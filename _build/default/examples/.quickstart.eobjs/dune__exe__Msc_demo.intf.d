@@ -1,0 +1,1 @@
+examples/msc_demo.mli:

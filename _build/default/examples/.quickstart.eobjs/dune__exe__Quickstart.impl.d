@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ccr_core Ccr_modelcheck Ccr_protocols Ccr_refine Ccr_semantics Ccr_viz Dsl Expr Fmt Link List Reqrep Validate Value

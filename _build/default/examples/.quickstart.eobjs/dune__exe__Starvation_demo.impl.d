@@ -1,0 +1,1 @@
+examples/starvation_demo.ml: Array Ccr_core Ccr_modelcheck Ccr_protocols Ccr_refine Ccr_simulate Fmt Link List Migratory String

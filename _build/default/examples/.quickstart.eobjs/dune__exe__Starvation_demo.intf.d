@@ -1,0 +1,1 @@
+examples/starvation_demo.mli:

@@ -1,0 +1,87 @@
+(* The invalidate protocol: sharer sets, invalidation loops and the races
+   the refinement untangles automatically.
+
+     dune exec examples/invalidate_demo.exe
+
+   Drives one concrete interleaving of the classic §2.1 scenario — a
+   writer requests the line while readers share it and one reader evicts
+   concurrently — showing each Table 1/2 rule as it fires. *)
+
+open Ccr_core
+open Ccr_protocols
+module Async = Ccr_refine.Async
+
+let prog = Link.compile ~n:3 Invalidate.system
+let cfg = Async.{ k = 2 }
+
+let step st pred descr =
+  let succs = Async.successors prog cfg st in
+  match List.find_opt (fun (l, _) -> pred l) succs with
+  | Some (l, st') ->
+    Fmt.pr "  %-16s %s@." (Fmt.str "%a" Async.pp_label l) descr;
+    st'
+  | None ->
+    Fmt.pr "  STUCK; enabled:@.";
+    List.iter (fun (l, _) -> Fmt.pr "    %a@." Async.pp_label l) succs;
+    exit 1
+
+let rule ?actor ?subject r (l : Async.label) =
+  l.rule = r
+  && (match actor with None -> true | Some a -> l.actor = a)
+  && match subject with None -> true | Some s -> l.subject = s
+
+let () =
+  Fmt.pr "scenario: r0 and r1 read-share the line; r2 writes; r1 evicts \
+          concurrently with the invalidation.@.@.";
+  let st = Async.initial prog cfg in
+  (* two readers acquire shared access *)
+  let st = step st (rule ~actor:0 ~subject:"read" Async.R_tau) "r0's CPU issues a read" in
+  let st = step st (rule ~actor:0 ~subject:"reqS" Async.R_C1) "r0 requests shared access" in
+  let st = step st (rule ~actor:0 Async.H_admit) "the home buffers the request" in
+  let st = step st (rule ~actor:0 Async.H_C1_silent) "consumed silently (reqS/grS pair)" in
+  let st = step st (rule ~actor:0 Async.H_reply_send) "grS granted, fire-and-forget" in
+  let st = step st (rule ~actor:0 Async.R_repl_recv) "r0 is a sharer" in
+  let st = step st (rule ~actor:1 ~subject:"read" Async.R_tau) "r1's CPU issues a read" in
+  let st = step st (rule ~actor:1 ~subject:"reqS" Async.R_C1) "r1 requests shared access" in
+  let st = step st (rule ~actor:1 Async.H_admit) "buffered" in
+  let st = step st (rule ~actor:1 Async.H_C1_silent) "consumed" in
+  let st = step st (rule ~actor:1 Async.H_reply_send) "grS granted" in
+  let st = step st (rule ~actor:1 Async.R_repl_recv) "r1 is a sharer" in
+  Fmt.pr "@.state now:@.%a@.@." (Async.pp_state prog) st;
+  (* the writer arrives *)
+  let st =
+    step st (rule ~actor:2 ~subject:"write" Async.R_tau)
+      "r2's CPU issues a write"
+  in
+  let st = step st (rule ~actor:2 ~subject:"reqM" Async.R_C1) "r2 requests exclusive access" in
+  let st = step st (rule ~actor:2 Async.H_admit) "buffered" in
+  let st = step st (rule ~actor:2 Async.H_C1_silent) "consumed: invalidation begins" in
+  (* the home picks a sharer to invalidate; meanwhile the other evicts *)
+  let st = step st (rule ~actor:0 ~subject:"inv" Async.H_C2)
+      "home invalidates r0 (chose it from the sharer set)" in
+  let st = step st (rule ~actor:1 ~subject:"evict" Async.R_tau) "r1 evicts on its own" in
+  let st = step st (rule ~actor:1 ~subject:"relS" Async.R_C1)
+      "r1's release crosses the invalidation" in
+  let st = step st (rule ~actor:0 ~subject:"inv" Async.R_deliver) "inv reaches r0" in
+  let st = step st (rule ~actor:0 ~subject:"inv" Async.R_C3_silent)
+      "r0 consumes it (inv/ID pair: no ack)" in
+  let st = step st (rule ~actor:0 ~subject:"ID" Async.R_reply_send)
+      "r0 replies invalidate-done" in
+  let st = step st (rule ~actor:0 ~subject:"ID" Async.H_T1_repl)
+      "the ID completes both rendezvous at the home" in
+  (* now the crossing relS from r1 *)
+  let st = step st (rule ~actor:1 ~subject:"relS" Async.H_admit)
+      "r1's release is buffered" in
+  let st = step st (rule Async.H_tau)
+      "r1 still recorded as a sharer: another invalidation round" in
+  let st = step st (rule ~actor:1 ~subject:"relS" Async.H_C1)
+      "...but its release is already here: consumed, acked" in
+  let st = step st (rule ~actor:1 Async.R_T1) "r1 sees the ack" in
+  let st = step st (rule ~actor:2 Async.H_reply_send) "sharer set empty: grM sent" in
+  let st = step st (rule ~actor:2 Async.R_repl_recv) "r2 owns the line" in
+  Fmt.pr "@.final state:@.%a@." (Async.pp_state prog) st;
+  (* sanity: coherence invariants on this state *)
+  List.iter
+    (fun (name, check) ->
+      Fmt.pr "invariant %-24s %s@." name (if check st then "holds" else "FAILS"))
+    (Invalidate.async_invariants prog)

@@ -1,0 +1,15 @@
+(* Message-sequence chart of a refined-protocol execution:
+
+     dune exec examples/msc_demo.exe
+
+   '+' marks the sender at emission time, 'o' a local step (consumption,
+   buffering, tau); the network is asynchronous, so an arrow's message is
+   consumed at a later 'o' on the receiving lane.  Watch for the §3
+   crossing: a remote's LR racing the home's inv, resolved by the
+   implicit-nack rule (H-T3). *)
+
+let () =
+  let prog = Ccr_core.Link.compile ~n:2 (Ccr_protocols.Migratory.system ()) in
+  print_string
+    (Ccr_viz.Msc.render_run ~seed:42 ~steps:40 prog
+       Ccr_refine.Async.{ k = 2 })

@@ -1,0 +1,1 @@
+lib/core/expr.ml: Fmt List Result Value

@@ -1,0 +1,1 @@
+lib/core/expr.mli: Fmt Value

@@ -1,0 +1,1 @@
+lib/core/ir.ml: Expr Fmt List Value

@@ -1,0 +1,1 @@
+lib/core/ir.mli: Expr Fmt Value

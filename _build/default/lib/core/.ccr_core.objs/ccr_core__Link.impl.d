@@ -1,0 +1,1 @@
+lib/core/link.ml: Array Expr Fmt Fun Hashtbl Ir List Prog Reqrep Validate Value

@@ -1,0 +1,1 @@
+lib/core/link.mli: Ir Prog

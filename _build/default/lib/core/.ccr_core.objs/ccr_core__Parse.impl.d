@@ -1,0 +1,1 @@
+lib/core/parse.ml: Buffer Expr Fmt Ir List Printexc String Value

@@ -1,0 +1,1 @@
+lib/core/prog.ml: Array Fmt List Reqrep Value

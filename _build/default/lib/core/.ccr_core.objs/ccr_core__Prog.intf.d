@@ -1,0 +1,1 @@
+lib/core/prog.mli: Fmt Reqrep Value

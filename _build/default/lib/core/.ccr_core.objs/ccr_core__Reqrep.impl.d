@@ -1,0 +1,1 @@
+lib/core/reqrep.ml: Expr Fmt Ir List Set String

@@ -1,0 +1,1 @@
+lib/core/reqrep.mli: Fmt Ir

@@ -1,0 +1,1 @@
+lib/core/validate.ml: Expr Fmt Hashtbl Ir List Option String Value

@@ -1,0 +1,1 @@
+lib/core/value.ml: Buffer Char Fmt List Stdlib String

@@ -1,0 +1,58 @@
+let v x = Expr.Var x
+let self = Expr.Self
+let rid i = Expr.Const (Value.Vrid i)
+let int i = Expr.Const (Value.Vint i)
+let unit = Expr.Const Value.Vunit
+let empty_set = Expr.Const Value.set_empty
+let full_set = Expr.Full_set
+let ( +~ ) s r = Expr.Set_add (s, r)
+let ( -~ ) s r = Expr.Set_remove (s, r)
+let ( ==~ ) a b = Expr.Eq (a, b)
+let ( &&~ ) a b = Expr.And (a, b)
+let not_ b = Expr.Not b
+let mem r s = Expr.Set_mem (r, s)
+let is_empty s = Expr.Set_is_empty s
+
+let guard ?(cond = Expr.True) ?(choose = []) ?(assigns = []) action ~goto =
+  Ir.
+    {
+      g_cond = cond;
+      g_choose = choose;
+      g_action = action;
+      g_assigns = assigns;
+      g_target = goto;
+    }
+
+let tau ?cond ?choose ?assigns label ~goto =
+  guard ?cond ?choose ?assigns (Ir.Tau label) ~goto
+
+let send_home ?cond ?choose ?assigns msg args ~goto =
+  guard ?cond ?choose ?assigns (Ir.Send (Ir.To_home, msg, args)) ~goto
+
+let recv_home ?cond ?choose ?assigns msg vars ~goto =
+  guard ?cond ?choose ?assigns (Ir.Recv (Ir.From_home, msg, vars)) ~goto
+
+let send_to ?cond ?choose ?assigns dst msg args ~goto =
+  guard ?cond ?choose ?assigns (Ir.Send (Ir.To_remote dst, msg, args)) ~goto
+
+let recv_any ?cond ?choose ?assigns binder msg vars ~goto =
+  guard ?cond ?choose ?assigns
+    (Ir.Recv (Ir.From_any_remote binder, msg, vars))
+    ~goto
+
+let recv_from ?cond ?choose ?assigns src msg vars ~goto =
+  guard ?cond ?choose ?assigns (Ir.Recv (Ir.From_remote src, msg, vars)) ~goto
+
+let state name guards = Ir.{ s_name = name; s_guards = guards }
+
+let process name ~vars ~init ?(init_env = []) states =
+  Ir.
+    {
+      p_name = name;
+      p_vars = vars;
+      p_init_state = init;
+      p_init_env = init_env;
+      p_states = states;
+    }
+
+let system name ~home ~remote = Ir.{ sys_name = name; home; remote }

@@ -1,0 +1,72 @@
+(** Combinators for writing rendezvous protocols concisely.
+
+    Example (a one-line lock server's home node):
+    {[
+      let home =
+        Dsl.(
+          process "home" ~vars:[ ("o", Value.Drid) ] ~init:"U"
+            [
+              state "U" [ recv_any "o" "acq" [] ~goto:"G" ];
+              state "G" [ send_to (v "o") "grant" [] ~goto:"L" ];
+              state "L" [ recv_from (v "o") "rel" [] ~goto:"U" ];
+            ])
+    ]} *)
+
+(** {2 Expressions} *)
+
+val v : string -> Expr.t
+val self : Expr.t
+val rid : int -> Expr.t
+val int : int -> Expr.t
+val unit : Expr.t
+val empty_set : Expr.t
+
+val full_set : Expr.t
+(** All remote ids; resolved at instantiation time. *)
+
+(** [s +~ r] adds remote [r] to set [s]; [s -~ r] removes it. *)
+val ( +~ ) : Expr.t -> Expr.t -> Expr.t
+
+val ( -~ ) : Expr.t -> Expr.t -> Expr.t
+
+val ( ==~ ) : Expr.t -> Expr.t -> Expr.b
+val ( &&~ ) : Expr.b -> Expr.b -> Expr.b
+val not_ : Expr.b -> Expr.b
+val mem : Expr.t -> Expr.t -> Expr.b
+val is_empty : Expr.t -> Expr.b
+
+(** {2 Guards}
+
+    All guard builders accept [?cond], [?choose] and [?assigns]. *)
+
+type 'a gb :=
+  ?cond:Expr.b ->
+  ?choose:(string * Expr.t) list ->
+  ?assigns:(string * Expr.t) list ->
+  'a
+
+val tau : (string -> goto:string -> Ir.guard) gb
+val send_home : (string -> Expr.t list -> goto:string -> Ir.guard) gb
+val recv_home : (string -> string list -> goto:string -> Ir.guard) gb
+val send_to : (Expr.t -> string -> Expr.t list -> goto:string -> Ir.guard) gb
+
+val recv_any :
+  (string -> string -> string list -> goto:string -> Ir.guard) gb
+(** [recv_any binder msg payload_vars ~goto]: home input from any remote. *)
+
+val recv_from :
+  (Expr.t -> string -> string list -> goto:string -> Ir.guard) gb
+
+(** {2 Processes and systems} *)
+
+val state : string -> Ir.guard list -> Ir.state
+
+val process :
+  string ->
+  vars:(string * Value.domain) list ->
+  init:string ->
+  ?init_env:(string * Value.t) list ->
+  Ir.state list ->
+  Ir.process
+
+val system : string -> home:Ir.process -> remote:Ir.process -> Ir.system

@@ -1,0 +1,179 @@
+type t =
+  | Const of Value.t
+  | Var of string
+  | Self
+  | Set_add of t * t
+  | Set_remove of t * t
+  | Set_singleton of t
+  | Full_set
+  | Succ of t
+
+type b =
+  | True
+  | Not of b
+  | And of b * b
+  | Or of b * b
+  | Eq of t * t
+  | Set_mem of t * t
+  | Set_is_empty of t
+
+type ty = Tunit | Tbool | Tint | Trid | Tset
+
+exception Eval_error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Eval_error s)) fmt
+
+let as_rid = function
+  | Value.Vrid r -> r
+  | v -> error "expected a remote id, got %a" Value.pp v
+
+let as_int = function
+  | Value.Vint i -> i
+  | v -> error "expected an int, got %a" Value.pp v
+
+let as_set = function
+  | Value.Vset _ as v -> v
+  | v -> error "expected a set, got %a" Value.pp v
+
+let rec eval ~lookup ~self e =
+  match e with
+  | Const v -> v
+  | Var x -> lookup x
+  | Self -> (
+    match self with
+    | Some r -> Value.Vrid r
+    | None -> error "Self used outside a remote process")
+  | Set_add (s, r) ->
+    Value.set_add (as_rid (eval ~lookup ~self r)) (as_set (eval ~lookup ~self s))
+  | Set_remove (s, r) ->
+    Value.set_remove
+      (as_rid (eval ~lookup ~self r))
+      (as_set (eval ~lookup ~self s))
+  | Set_singleton r ->
+    Value.set_add (as_rid (eval ~lookup ~self r)) Value.set_empty
+  | Full_set ->
+    error "Full_set must be resolved at instantiation time (Link.compile)"
+  | Succ e -> Value.Vint (as_int (eval ~lookup ~self e) + 1)
+
+let rec eval_b ~lookup ~self b =
+  match b with
+  | True -> true
+  | Not b -> not (eval_b ~lookup ~self b)
+  | And (a, b) -> eval_b ~lookup ~self a && eval_b ~lookup ~self b
+  | Or (a, b) -> eval_b ~lookup ~self a || eval_b ~lookup ~self b
+  | Eq (a, b) -> Value.equal (eval ~lookup ~self a) (eval ~lookup ~self b)
+  | Set_mem (r, s) ->
+    Value.set_mem (as_rid (eval ~lookup ~self r)) (eval ~lookup ~self s)
+  | Set_is_empty s -> Value.set_is_empty (eval ~lookup ~self s)
+
+let ty_of_domain = function
+  | Value.Dunit -> Tunit
+  | Value.Dbool -> Tbool
+  | Value.Dint _ -> Tint
+  | Value.Drid -> Trid
+  | Value.Dset -> Tset
+
+let ty_of_value = function
+  | Value.Vunit -> Tunit
+  | Value.Vbool _ -> Tbool
+  | Value.Vint _ -> Tint
+  | Value.Vrid _ -> Trid
+  | Value.Vset _ -> Tset
+
+let pp_ty ppf ty =
+  Fmt.string ppf
+    (match ty with
+    | Tunit -> "unit"
+    | Tbool -> "bool"
+    | Tint -> "int"
+    | Trid -> "rid"
+    | Tset -> "rid set")
+
+let ( let* ) = Result.bind
+
+let rec infer ~var_ty ~in_remote e =
+  let infer = infer ~var_ty ~in_remote in
+  let expect want e =
+    let* ty = infer e in
+    if ty = want then Ok ()
+    else Error (Fmt.str "expected %a, found %a" pp_ty want pp_ty ty)
+  in
+  match e with
+  | Const v -> Ok (ty_of_value v)
+  | Var x -> (
+    match var_ty x with
+    | Some ty -> Ok ty
+    | None -> Error (Fmt.str "unbound variable %s" x))
+  | Self -> if in_remote then Ok Trid else Error "Self used in the home process"
+  | Set_add (s, r) | Set_remove (s, r) ->
+    let* () = expect Tset s in
+    let* () = expect Trid r in
+    Ok Tset
+  | Set_singleton r ->
+    let* () = expect Trid r in
+    Ok Tset
+  | Full_set -> Ok Tset
+  | Succ e ->
+    let* () = expect Tint e in
+    Ok Tint
+
+let rec check_b ~var_ty ~in_remote b =
+  let check_b' = check_b ~var_ty ~in_remote in
+  let infer = infer ~var_ty ~in_remote in
+  let expect want e =
+    let* ty = infer e in
+    if ty = want then Ok ()
+    else Error (Fmt.str "expected %a, found %a" pp_ty want pp_ty ty)
+  in
+  match b with
+  | True -> Ok ()
+  | Not b -> check_b' b
+  | And (a, b) | Or (a, b) ->
+    let* () = check_b' a in
+    check_b' b
+  | Eq (a, b) ->
+    let* ta = infer a in
+    let* tb = infer b in
+    if ta = tb then Ok ()
+    else Error (Fmt.str "comparison of %a with %a" pp_ty ta pp_ty tb)
+  | Set_mem (r, s) ->
+    let* () = expect Trid r in
+    expect Tset s
+  | Set_is_empty s -> expect Tset s
+
+let rec vars_acc acc = function
+  | Const _ | Self -> acc
+  | Var x -> if List.mem x acc then acc else x :: acc
+  | Set_add (a, b) | Set_remove (a, b) -> vars_acc (vars_acc acc a) b
+  | Set_singleton e | Succ e -> vars_acc acc e
+  | Full_set -> acc
+
+let vars e = List.rev (vars_acc [] e)
+
+let rec vars_b_acc acc = function
+  | True -> acc
+  | Not b -> vars_b_acc acc b
+  | And (a, b) | Or (a, b) -> vars_b_acc (vars_b_acc acc a) b
+  | Eq (a, b) | Set_mem (a, b) -> vars_acc (vars_acc acc a) b
+  | Set_is_empty e -> vars_acc acc e
+
+let vars_b b = List.rev (vars_b_acc [] b)
+
+let rec pp ppf = function
+  | Const v -> Value.pp ppf v
+  | Var x -> Fmt.string ppf x
+  | Self -> Fmt.string ppf "self"
+  | Set_add (s, r) -> Fmt.pf ppf "(%a + %a)" pp s pp r
+  | Set_remove (s, r) -> Fmt.pf ppf "(%a - %a)" pp s pp r
+  | Set_singleton r -> Fmt.pf ppf "{%a}" pp r
+  | Full_set -> Fmt.string ppf "ALL"
+  | Succ e -> Fmt.pf ppf "(%a + 1)" pp e
+
+let rec pp_b ppf = function
+  | True -> Fmt.string ppf "true"
+  | Not b -> Fmt.pf ppf "!(%a)" pp_b b
+  | And (a, b) -> Fmt.pf ppf "(%a && %a)" pp_b a pp_b b
+  | Or (a, b) -> Fmt.pf ppf "(%a || %a)" pp_b a pp_b b
+  | Eq (a, b) -> Fmt.pf ppf "%a = %a" pp a pp b
+  | Set_mem (r, s) -> Fmt.pf ppf "%a in %a" pp r pp s
+  | Set_is_empty s -> Fmt.pf ppf "empty(%a)" pp s

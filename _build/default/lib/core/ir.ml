@@ -1,0 +1,89 @@
+type target = To_home | To_remote of Expr.t
+
+type source =
+  | From_home
+  | From_any_remote of string
+  | From_remote of Expr.t
+
+type action =
+  | Send of target * string * Expr.t list
+  | Recv of source * string * string list
+  | Tau of string
+
+type guard = {
+  g_cond : Expr.b;
+  g_choose : (string * Expr.t) list;
+  g_action : action;
+  g_assigns : (string * Expr.t) list;
+  g_target : string;
+}
+
+type state = { s_name : string; s_guards : guard list }
+
+type process = {
+  p_name : string;
+  p_vars : (string * Value.domain) list;
+  p_init_state : string;
+  p_init_env : (string * Value.t) list;
+  p_states : state list;
+}
+
+type system = { sys_name : string; home : process; remote : process }
+
+let state_is_internal st =
+  List.for_all
+    (fun g -> match g.g_action with Tau _ -> true | Send _ | Recv _ -> false)
+    st.s_guards
+
+let find_state p name = List.find_opt (fun s -> s.s_name = name) p.p_states
+
+let action_msg = function
+  | Send (_, m, _) | Recv (_, m, _) -> Some m
+  | Tau _ -> None
+
+let pp_target ppf = function
+  | To_home -> Fmt.string ppf "h"
+  | To_remote e -> Fmt.pf ppf "r(%a)" Expr.pp e
+
+let pp_source ppf = function
+  | From_home -> Fmt.string ppf "h"
+  | From_any_remote x -> Fmt.pf ppf "r(%s)" x
+  | From_remote e -> Fmt.pf ppf "r(%a)" Expr.pp e
+
+let pp_action ppf = function
+  | Send (t, m, []) -> Fmt.pf ppf "%a!%s" pp_target t m
+  | Send (t, m, args) ->
+    Fmt.pf ppf "%a!%s(%a)" pp_target t m Fmt.(list ~sep:comma Expr.pp) args
+  | Recv (s, m, []) -> Fmt.pf ppf "%a?%s" pp_source s m
+  | Recv (s, m, vars) ->
+    Fmt.pf ppf "%a?%s(%a)" pp_source s m Fmt.(list ~sep:comma string) vars
+  | Tau l -> Fmt.pf ppf "tau:%s" l
+
+let pp_guard ppf g =
+  let pp_choose ppf (x, s) = Fmt.pf ppf "choose %s in %a; " x Expr.pp s in
+  let pp_assign ppf (x, e) = Fmt.pf ppf "; %s := %a" x Expr.pp e in
+  Fmt.pf ppf "%a%a%a%a -> %s"
+    Fmt.(list ~sep:nop pp_choose)
+    g.g_choose
+    (fun ppf c ->
+      match c with Expr.True -> () | c -> Fmt.pf ppf "[%a] " Expr.pp_b c)
+    g.g_cond pp_action g.g_action
+    Fmt.(list ~sep:nop pp_assign)
+    g.g_assigns g.g_target
+
+let pp_process ppf p =
+  Fmt.pf ppf "@[<v>process %s (init %s)@," p.p_name p.p_init_state;
+  List.iter
+    (fun (x, d) -> Fmt.pf ppf "  var %s : %a@," x Value.pp_domain d)
+    p.p_vars;
+  List.iter
+    (fun st ->
+      Fmt.pf ppf "  state %s%s:@," st.s_name
+        (if state_is_internal st then " (internal)" else "");
+      List.iter (fun g -> Fmt.pf ppf "    %a@," pp_guard g) st.s_guards)
+    p.p_states;
+  Fmt.pf ppf "@]"
+
+let pp_system ppf sys =
+  Fmt.pf ppf "@[<v>system %s@,%a@,%a@]" sys.sys_name pp_process sys.home
+    pp_process sys.remote

@@ -1,0 +1,71 @@
+(** The rendezvous-protocol intermediate representation.
+
+    A protocol is a pair of finite-state processes in a star topology: one
+    {e home} node and one {e remote} node template that is replicated [n]
+    times when the system is instantiated (paper §2.4).  Processes
+    communicate only by CSP-style rendezvous with direct addressing
+    (paper §2.3): the home addresses remotes by identity, remotes address
+    only the home.
+
+    A state's guards determine its class (paper §2.4): a state whose guards
+    are all [Tau] is an {e internal} state; a state with at least one
+    [Send]/[Recv] guard is a {e communication} state. *)
+
+type target =
+  | To_home  (** legal only in the remote process *)
+  | To_remote of Expr.t  (** [r(e)!...]; legal only in the home process *)
+
+type source =
+  | From_home  (** legal only in the remote process *)
+  | From_any_remote of string
+      (** [r(i)?msg]: accept from any remote, binding its id to the named
+          process variable (paper Figure 2's [r(i)?req]) *)
+  | From_remote of Expr.t  (** [r(e)?msg]: accept only from remote [e] *)
+
+type action =
+  | Send of target * string * Expr.t list
+      (** active participation: [peer!msg(e1, ..., ek)] *)
+  | Recv of source * string * string list
+      (** passive participation: [peer?msg(v1, ..., vk)]; the payload is
+          bound to the named process variables *)
+  | Tau of string
+      (** autonomous internal step (CPU read/write request, cache eviction,
+          ...), labeled for traces *)
+
+type guard = {
+  g_cond : Expr.b;
+      (** enabling condition, evaluated {e after} binding the [choose]
+          binders and, for [Recv], the message payload and sender *)
+  g_choose : (string * Expr.t) list;
+      (** nondeterministic binders: [(x, s)] binds the process variable [x]
+          to each member of the set [s] in turn *)
+  g_action : action;
+  g_assigns : (string * Expr.t) list;
+      (** simultaneous assignments performed when the guard fires (for
+          communication guards: when the rendezvous completes) *)
+  g_target : string;  (** next state *)
+}
+
+type state = { s_name : string; s_guards : guard list }
+
+type process = {
+  p_name : string;
+  p_vars : (string * Value.domain) list;
+  p_init_state : string;
+  p_init_env : (string * Value.t) list;
+      (** overrides of the per-domain defaults ({!Value.default}) *)
+  p_states : state list;
+}
+
+type system = { sys_name : string; home : process; remote : process }
+
+val state_is_internal : state -> bool
+(** True iff every guard is a [Tau] (or there are no guards). *)
+
+val find_state : process -> string -> state option
+val action_msg : action -> string option
+
+val pp_action : action Fmt.t
+val pp_guard : guard Fmt.t
+val pp_process : process Fmt.t
+val pp_system : system Fmt.t

@@ -1,0 +1,204 @@
+let rec compile_expr ~n lookup (e : Expr.t) : Prog.cexpr =
+  match e with
+  | Expr.Const v -> Prog.C_const v
+  | Expr.Var x -> Prog.C_var (lookup x)
+  | Expr.Self -> Prog.C_self
+  | Expr.Set_add (s, r) ->
+    Prog.C_set_add (compile_expr ~n lookup s, compile_expr ~n lookup r)
+  | Expr.Set_remove (s, r) ->
+    Prog.C_set_remove (compile_expr ~n lookup s, compile_expr ~n lookup r)
+  | Expr.Set_singleton r -> Prog.C_set_singleton (compile_expr ~n lookup r)
+  | Expr.Full_set -> Prog.C_const (Value.Vset ((1 lsl n) - 1))
+  | Expr.Succ e -> Prog.C_succ (compile_expr ~n lookup e)
+
+let rec compile_bool ~n lookup (b : Expr.b) : Prog.cbool =
+  match b with
+  | Expr.True -> Prog.B_true
+  | Expr.Not b -> Prog.B_not (compile_bool ~n lookup b)
+  | Expr.And (a, b) -> Prog.B_and (compile_bool ~n lookup a, compile_bool ~n lookup b)
+  | Expr.Or (a, b) -> Prog.B_or (compile_bool ~n lookup a, compile_bool ~n lookup b)
+  | Expr.Eq (a, b) -> Prog.B_eq (compile_expr ~n lookup a, compile_expr ~n lookup b)
+  | Expr.Set_mem (r, s) ->
+    Prog.B_mem (compile_expr ~n lookup r, compile_expr ~n lookup s)
+  | Expr.Set_is_empty s -> Prog.B_empty (compile_expr ~n lookup s)
+
+(* Which annotation does a communication guard get, given the accepted
+   request/reply pairs?  See {!Prog.ann}. *)
+let annotate_pairs pairs ~is_remote (action : Ir.action) : Prog.ann =
+  let find_req m init =
+    List.find_opt
+      (fun (p : Reqrep.pair) -> p.req = m && p.initiator = init)
+      pairs
+  in
+  let find_repl m init =
+    List.find_opt
+      (fun (p : Reqrep.pair) -> p.repl = m && p.initiator = init)
+      pairs
+  in
+  match (action, is_remote) with
+  | Ir.Send (_, m, _), true -> (
+    match find_req m Reqrep.Remote_initiated with
+    | Some p -> Prog.Rr_request p.repl
+    | None -> (
+      match find_repl m Reqrep.Home_initiated with
+      | Some _ -> Prog.Rr_reply_send
+      | None -> Prog.Plain))
+  | Ir.Send (_, m, _), false -> (
+    match find_req m Reqrep.Home_initiated with
+    | Some p -> Prog.Rr_await_repl p.repl
+    | None -> (
+      match find_repl m Reqrep.Remote_initiated with
+      | Some _ -> Prog.Rr_reply_send
+      | None -> Prog.Plain))
+  | Ir.Recv (_, m, _), true -> (
+    match find_req m Reqrep.Home_initiated with
+    | Some _ -> Prog.Rr_silent_consume
+    | None -> Prog.Plain)
+  | Ir.Recv (_, m, _), false -> (
+    match find_req m Reqrep.Remote_initiated with
+    | Some _ -> Prog.Rr_silent_consume
+    | None -> Prog.Plain)
+  | Ir.Tau _, _ -> Prog.Plain
+
+(* Fire-and-forget overrides (hand-optimized protocols) beat the pair
+   annotations: the sender moves on immediately and the home consumes
+   without acking. *)
+let annotate ~ff pairs ~is_remote (action : Ir.action) : Prog.ann =
+  let ff_override =
+    match action with
+    | Ir.Send (Ir.To_home, m, _) when is_remote && List.mem m ff ->
+      Some Prog.Rr_reply_send
+    | Ir.Recv ((Ir.From_any_remote _ | Ir.From_remote _), m, _)
+      when (not is_remote) && List.mem m ff ->
+      Some Prog.Rr_silent_consume
+    | _ -> None
+  in
+  match ff_override with
+  | Some ann -> ann
+  | None -> annotate_pairs pairs ~is_remote action
+
+let compile_process ~n ~is_remote ~ff pairs (p : Ir.process) : Prog.proc =
+  let var_names = Array.of_list (List.map fst p.p_vars) in
+  let domains = Array.of_list (List.map snd p.p_vars) in
+  let var_slot = Hashtbl.create 16 in
+  Array.iteri (fun i x -> Hashtbl.add var_slot x i) var_names;
+  let lookup x =
+    match Hashtbl.find_opt var_slot x with
+    | Some i -> i
+    | None -> invalid_arg ("Link: unbound variable " ^ x)
+  in
+  let state_idx = Hashtbl.create 16 in
+  List.iteri
+    (fun i (st : Ir.state) -> Hashtbl.add state_idx st.Ir.s_name i)
+    p.p_states;
+  let state_of x =
+    match Hashtbl.find_opt state_idx x with
+    | Some i -> i
+    | None -> invalid_arg ("Link: unknown state " ^ x)
+  in
+  let compile_guard (g : Ir.guard) : Prog.cguard =
+    let action =
+      match g.Ir.g_action with
+      | Ir.Send (Ir.To_home, m, args) ->
+        Prog.C_send_home (m, List.map (compile_expr ~n lookup) args)
+      | Ir.Send (Ir.To_remote e, m, args) ->
+        Prog.C_send_remote
+          (compile_expr ~n lookup e, m, List.map (compile_expr ~n lookup) args)
+      | Ir.Recv (Ir.From_home, m, vars) ->
+        Prog.C_recv_home (m, List.map lookup vars)
+      | Ir.Recv (Ir.From_any_remote x, m, vars) ->
+        Prog.C_recv_any (lookup x, m, List.map lookup vars)
+      | Ir.Recv (Ir.From_remote e, m, vars) ->
+        Prog.C_recv_from (compile_expr ~n lookup e, m, List.map lookup vars)
+      | Ir.Tau l -> Prog.C_tau l
+    in
+    Prog.
+      {
+        cg_cond = compile_bool ~n lookup g.Ir.g_cond;
+        cg_choose =
+          List.map
+            (fun (x, s) -> (lookup x, compile_expr ~n lookup s))
+            g.Ir.g_choose;
+        cg_action = action;
+        cg_assigns =
+          List.map
+            (fun (x, e) -> (lookup x, compile_expr ~n lookup e))
+            g.Ir.g_assigns;
+        cg_target = state_of g.Ir.g_target;
+        cg_ann = annotate ~ff pairs ~is_remote g.Ir.g_action;
+      }
+  in
+  let compile_state (st : Ir.state) : Prog.cstate =
+    let guards = Array.of_list (List.map compile_guard st.Ir.s_guards) in
+    let is_send i =
+      match guards.(i).Prog.cg_action with
+      | Prog.C_send_home _ | Prog.C_send_remote _ -> true
+      | _ -> false
+    in
+    let send_indices =
+      List.filter is_send (List.init (Array.length guards) Fun.id)
+    in
+    Prog.
+      {
+        cs_name = st.Ir.s_name;
+        cs_guards = guards;
+        cs_internal = Ir.state_is_internal st;
+        cs_active =
+          (match send_indices with [ i ] when is_remote -> Some i | _ -> None);
+        cs_sends = send_indices;
+      }
+  in
+  let init_env =
+    Array.map Value.default domains
+  in
+  List.iter
+    (fun (x, v) ->
+      let slot = lookup x in
+      if not (Value.member ~n domains.(slot) v) then
+        invalid_arg
+          (Fmt.str "Link: initial value %a of %s.%s outside its domain for \
+                    n = %d"
+             Value.pp v p.p_name x n);
+      init_env.(slot) <- v)
+    p.p_init_env;
+  Prog.
+    {
+      p_name = p.Ir.p_name;
+      p_var_names = var_names;
+      p_domains = domains;
+      p_states = Array.of_list (List.map compile_state p.p_states);
+      p_init = state_of p.p_init_state;
+      p_init_env = init_env;
+    }
+
+let compile ?(reqrep = true) ?(fire_and_forget = []) ~n (sys : Ir.system) :
+    Prog.t =
+  if n < 1 then invalid_arg "Link.compile: n must be at least 1";
+  let sigs = Validate.check_exn sys in
+  List.iter
+    (fun m ->
+      match List.find_opt (fun (s : Validate.signature) -> s.msg = m) sigs with
+      | Some { direction = Validate.Remote_to_home; _ } -> ()
+      | Some _ ->
+        invalid_arg
+          ("Link.compile: fire-and-forget only applies to remote-to-home \
+            messages: " ^ m)
+      | None -> invalid_arg ("Link.compile: unknown message " ^ m))
+    fire_and_forget;
+  let pairs = if reqrep then (Reqrep.analyze sys).pairs else [] in
+  let pairs =
+    List.filter
+      (fun (p : Reqrep.pair) ->
+        not
+          (List.mem p.req fire_and_forget || List.mem p.repl fire_and_forget))
+      pairs
+  in
+  let ff = fire_and_forget in
+  {
+    t_name = sys.sys_name;
+    n;
+    home = compile_process ~n ~is_remote:false ~ff pairs sys.home;
+    remote = compile_process ~n ~is_remote:true ~ff pairs sys.remote;
+    pairs;
+    ff_msgs = fire_and_forget;
+  }

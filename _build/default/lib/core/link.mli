@@ -1,0 +1,20 @@
+(** Linking: validated {!Ir.system} → executable {!Prog.t}.
+
+    [compile ~n sys] validates the protocol, instantiates it for [n]
+    remote nodes, resolves names to slots and indices, and (unless
+    [~reqrep:false]) runs the {!Reqrep} analysis and annotates the guards
+    so that the refinement drops the acks of detected request/reply
+    pairs. *)
+
+val compile :
+  ?reqrep:bool -> ?fire_and_forget:string list -> n:int -> Ir.system -> Prog.t
+(** @param reqrep apply the §3.3 optimization (default [true])
+    @param fire_and_forget remote-to-home messages sent without awaiting
+    any response and always admitted by the home.  This reproduces
+    hand-optimized designs (the Avalanche migratory protocol's unacked
+    [LR], paper §5); such protocols are {e not} covered by the
+    refinement's soundness argument and are provided for efficiency
+    comparisons.
+    @raise Invalid_argument if validation fails, [n < 1], an initial
+    value is outside its domain for this [n], or a fire-and-forget
+    message is not remote-to-home. *)

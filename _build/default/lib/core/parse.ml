@@ -1,0 +1,662 @@
+exception Error of { line : int; col : int; msg : string }
+
+let pp_error ppf = function
+  | Error { line; col; msg } ->
+    Fmt.pf ppf "parse error at line %d, column %d: %s" line col msg
+  | e -> Fmt.string ppf (Printexc.to_string e)
+
+(* ---- tokens ------------------------------------------------------------- *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | RID of int  (** [@K] *)
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | LPAREN
+  | RPAREN
+  | BANG
+  | QUESTION
+  | COMMA
+  | COLON
+  | ASSIGN  (** [:=] *)
+  | EQ
+  | NEQ
+  | PLUS
+  | MINUS
+  | DOTDOT
+  | EOF
+
+let token_name = function
+  | IDENT s -> Fmt.str "identifier %S" s
+  | INT i -> Fmt.str "integer %d" i
+  | RID r -> Fmt.str "remote @%d" r
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | BANG -> "'!'"
+  | QUESTION -> "'?'"
+  | COMMA -> "','"
+  | COLON -> "':'"
+  | ASSIGN -> "':='"
+  | EQ -> "'='"
+  | NEQ -> "'!='"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | DOTDOT -> "'..'"
+  | EOF -> "end of input"
+
+type lexer = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (** offset of the current line's start *)
+}
+
+let fail lx msg = raise (Error { line = lx.line; col = lx.pos - lx.bol + 1; msg })
+
+let is_ident_char c =
+  match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '\'' -> true | _ -> false
+
+let rec skip_ws lx =
+  if lx.pos >= String.length lx.src then ()
+  else
+    match lx.src.[lx.pos] with
+    | ' ' | '\t' | '\r' ->
+      lx.pos <- lx.pos + 1;
+      skip_ws lx
+    | '\n' ->
+      lx.pos <- lx.pos + 1;
+      lx.line <- lx.line + 1;
+      lx.bol <- lx.pos;
+      skip_ws lx
+    | '#' ->
+      while lx.pos < String.length lx.src && lx.src.[lx.pos] <> '\n' do
+        lx.pos <- lx.pos + 1
+      done;
+      skip_ws lx
+    | '/'
+      when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '/' ->
+      while lx.pos < String.length lx.src && lx.src.[lx.pos] <> '\n' do
+        lx.pos <- lx.pos + 1
+      done;
+      skip_ws lx
+    | _ -> ()
+
+let next_token lx =
+  skip_ws lx;
+  if lx.pos >= String.length lx.src then EOF
+  else
+    let c = lx.src.[lx.pos] in
+    let adv n = lx.pos <- lx.pos + n in
+    let peek1 =
+      if lx.pos + 1 < String.length lx.src then Some lx.src.[lx.pos + 1]
+      else None
+    in
+    match c with
+    | '{' -> adv 1; LBRACE
+    | '}' -> adv 1; RBRACE
+    | '[' -> adv 1; LBRACKET
+    | ']' -> adv 1; RBRACKET
+    | '(' -> adv 1; LPAREN
+    | ')' -> adv 1; RPAREN
+    | ',' -> adv 1; COMMA
+    | '+' -> adv 1; PLUS
+    | '-' -> adv 1; MINUS
+    | '=' -> adv 1; EQ
+    | '!' when peek1 = Some '=' -> adv 2; NEQ
+    | '!' -> adv 1; BANG
+    | '?' -> adv 1; QUESTION
+    | ':' when peek1 = Some '=' -> adv 2; ASSIGN
+    | ':' -> adv 1; COLON
+    | '.' when peek1 = Some '.' -> adv 2; DOTDOT
+    | '@' ->
+      adv 1;
+      let start = lx.pos in
+      while
+        lx.pos < String.length lx.src
+        && match lx.src.[lx.pos] with '0' .. '9' -> true | _ -> false
+      do
+        adv 1
+      done;
+      if lx.pos = start then fail lx "expected a remote number after '@'";
+      RID (int_of_string (String.sub lx.src start (lx.pos - start)))
+    | '0' .. '9' ->
+      let start = lx.pos in
+      while
+        lx.pos < String.length lx.src
+        && match lx.src.[lx.pos] with '0' .. '9' -> true | _ -> false
+      do
+        adv 1
+      done;
+      INT (int_of_string (String.sub lx.src start (lx.pos - start)))
+    | 'a' .. 'z' | 'A' .. 'Z' | '_' ->
+      let start = lx.pos in
+      while lx.pos < String.length lx.src && is_ident_char lx.src.[lx.pos] do
+        adv 1
+      done;
+      IDENT (String.sub lx.src start (lx.pos - start))
+    | c -> fail lx (Fmt.str "unexpected character %C" c)
+
+(* ---- parser ------------------------------------------------------------- *)
+
+type parser_state = { lx : lexer; mutable tok : token }
+
+let advance p = p.tok <- next_token p.lx
+let perr p msg = fail p.lx msg
+
+let expect p t =
+  if p.tok = t then advance p
+  else perr p (Fmt.str "expected %s, found %s" (token_name t) (token_name p.tok))
+
+let ident p =
+  match p.tok with
+  | IDENT s -> advance p; s
+  | t -> perr p (Fmt.str "expected an identifier, found %s" (token_name t))
+
+let keyword p kw =
+  match p.tok with
+  | IDENT s when s = kw -> advance p
+  | t -> perr p (Fmt.str "expected %S, found %s" kw (token_name t))
+
+let accept_kw p kw =
+  match p.tok with
+  | IDENT s when s = kw -> advance p; true
+  | _ -> false
+
+(* expressions *)
+let rec parse_expr p : Expr.t =
+  let lhs = parse_atom p in
+  parse_expr_rest p lhs
+
+and parse_expr_rest p lhs =
+  match p.tok with
+  | PLUS ->
+    advance p;
+    let rhs = parse_atom p in
+    parse_expr_rest p (Expr.Set_add (lhs, rhs))
+  | MINUS ->
+    advance p;
+    let rhs = parse_atom p in
+    parse_expr_rest p (Expr.Set_remove (lhs, rhs))
+  | _ -> lhs
+
+and parse_atom p : Expr.t =
+  match p.tok with
+  | IDENT "self" -> advance p; Expr.Self
+  | IDENT "all" -> advance p; Expr.Full_set
+  | IDENT "true" -> advance p; Expr.Const (Value.Vbool true)
+  | IDENT "false" -> advance p; Expr.Const (Value.Vbool false)
+  | IDENT "succ" ->
+    advance p;
+    Expr.Succ (parse_atom p)
+  | IDENT x -> advance p; Expr.Var x
+  | INT i -> advance p; Expr.Const (Value.Vint i)
+  | RID r -> advance p; Expr.Const (Value.Vrid r)
+  | LBRACE ->
+    advance p;
+    if p.tok = RBRACE then begin
+      advance p;
+      Expr.Const Value.set_empty
+    end
+    else begin
+      let e = parse_expr p in
+      expect p RBRACE;
+      Expr.Set_singleton e
+    end
+  | LPAREN ->
+    advance p;
+    let e = parse_expr p in
+    expect p RPAREN;
+    e
+  | t -> perr p (Fmt.str "expected an expression, found %s" (token_name t))
+
+(* conditions, precedence: not > comparisons > and > or *)
+let rec parse_bexpr p : Expr.b =
+  let lhs = parse_band p in
+  if accept_kw p "or" then Expr.Or (lhs, parse_bexpr p) else lhs
+
+and parse_band p =
+  let lhs = parse_bfact p in
+  if accept_kw p "and" then Expr.And (lhs, parse_band p) else lhs
+
+and parse_bfact p =
+  match p.tok with
+  | IDENT "not" ->
+    advance p;
+    Expr.Not (parse_bfact p)
+  | IDENT "empty" ->
+    advance p;
+    Expr.Set_is_empty (parse_atom p)
+  | LPAREN ->
+    (* '(' is ambiguous: a parenthesized condition, or a parenthesized
+       expression opening a comparison.  Try the condition reading first
+       and backtrack on failure — inputs are small. *)
+    let saved = (p.lx.pos, p.lx.line, p.lx.bol, p.tok) in
+    (try
+       advance p;
+       let b = parse_bexpr p in
+       expect p RPAREN;
+       b
+     with Error _ ->
+       let pos, line, bol, tok = saved in
+       p.lx.pos <- pos;
+       p.lx.line <- line;
+       p.lx.bol <- bol;
+       p.tok <- tok;
+       parse_comparison p)
+  | _ -> parse_comparison p
+
+and parse_comparison p =
+  let lhs = parse_expr p in
+  match p.tok with
+  | EQ ->
+    advance p;
+    Expr.Eq (lhs, parse_expr p)
+  | NEQ ->
+    advance p;
+    Expr.Not (Expr.Eq (lhs, parse_expr p))
+  | IDENT "in" ->
+    advance p;
+    Expr.Set_mem (lhs, parse_expr p)
+  | t ->
+    perr p
+      (Fmt.str "expected '=', '!=' or 'in' in a condition, found %s"
+         (token_name t))
+
+(* guard clause tail: choose* when? with? goto *)
+let parse_guard_tail p ~action =
+  let choose = ref [] in
+  while accept_kw p "choose" do
+    let x = ident p in
+    keyword p "in";
+    let e = parse_expr p in
+    choose := (x, e) :: !choose
+  done;
+  let cond = if accept_kw p "when" then parse_bexpr p else Expr.True in
+  let assigns =
+    if accept_kw p "with" then begin
+      let one () =
+        let x = ident p in
+        expect p ASSIGN;
+        (x, parse_expr p)
+      in
+      let acc = ref [ one () ] in
+      while p.tok = COMMA do
+        advance p;
+        acc := one () :: !acc
+      done;
+      List.rev !acc
+    end
+    else []
+  in
+  keyword p "goto";
+  let target = ident p in
+  Ir.
+    {
+      g_cond = cond;
+      g_choose = List.rev !choose;
+      g_action = action;
+      g_assigns = assigns;
+      g_target = target;
+    }
+
+let parse_args p =
+  expect p LPAREN;
+  if p.tok = RPAREN then begin
+    advance p;
+    []
+  end
+  else begin
+    let acc = ref [ parse_expr p ] in
+    while p.tok = COMMA do
+      advance p;
+      acc := parse_expr p :: !acc
+    done;
+    expect p RPAREN;
+    List.rev !acc
+  end
+
+let parse_binders p =
+  expect p LPAREN;
+  if p.tok = RPAREN then begin
+    advance p;
+    []
+  end
+  else begin
+    let acc = ref [ ident p ] in
+    while p.tok = COMMA do
+      advance p;
+      acc := ident p :: !acc
+    done;
+    expect p RPAREN;
+    List.rev !acc
+  end
+
+(* send h ! m(args) ... | send r[expr] ! m(args) ... *)
+let parse_send p ~is_remote =
+  let target =
+    match p.tok with
+    | IDENT "h" ->
+      if not is_remote then
+        perr p "the home cannot send to itself; use r[EXPR]";
+      advance p;
+      Ir.To_home
+    | IDENT "r" ->
+      if is_remote then perr p "a remote can only send to h (star topology)";
+      advance p;
+      expect p LBRACKET;
+      let e = parse_expr p in
+      expect p RBRACKET;
+      Ir.To_remote e
+    | t -> perr p (Fmt.str "expected 'h' or 'r[...]', found %s" (token_name t))
+  in
+  expect p BANG;
+  let m = ident p in
+  let args = parse_args p in
+  parse_guard_tail p ~action:(Ir.Send (target, m, args))
+
+(* recv h ? m(vars) | recv any i ? m(vars) | recv r[expr] ? m(vars) *)
+let parse_recv p ~is_remote =
+  let source =
+    match p.tok with
+    | IDENT "h" ->
+      if not is_remote then
+        perr p "the home cannot receive from itself; use 'any x' or r[EXPR]";
+      advance p;
+      Ir.From_home
+    | IDENT "any" ->
+      if is_remote then
+        perr p "a remote can only receive from h (star topology)";
+      advance p;
+      Ir.From_any_remote (ident p)
+    | IDENT "r" ->
+      if is_remote then
+        perr p "a remote can only receive from h (star topology)";
+      advance p;
+      expect p LBRACKET;
+      let e = parse_expr p in
+      expect p RBRACKET;
+      Ir.From_remote e
+    | t ->
+      perr p
+        (Fmt.str "expected 'h', 'any x' or 'r[...]', found %s" (token_name t))
+  in
+  expect p QUESTION;
+  let m = ident p in
+  let vars = parse_binders p in
+  parse_guard_tail p ~action:(Ir.Recv (source, m, vars))
+
+let parse_guard p ~is_remote =
+  match p.tok with
+  | IDENT "tau" ->
+    advance p;
+    let l = ident p in
+    parse_guard_tail p ~action:(Ir.Tau l)
+  | IDENT "send" ->
+    advance p;
+    parse_send p ~is_remote
+  | IDENT "recv" ->
+    advance p;
+    parse_recv p ~is_remote
+  | t ->
+    perr p
+      (Fmt.str "expected 'tau', 'send' or 'recv', found %s" (token_name t))
+
+let parse_domain p =
+  match p.tok with
+  | IDENT "unit" -> advance p; Value.Dunit
+  | IDENT "bool" -> advance p; Value.Dbool
+  | IDENT "rid" -> advance p; Value.Drid
+  | IDENT "set" -> advance p; Value.Dset
+  | IDENT "int" ->
+    advance p;
+    let lo =
+      match p.tok with
+      | INT i -> advance p; i
+      | MINUS -> (
+        advance p;
+        match p.tok with
+        | INT i -> advance p; -i
+        | t -> perr p (Fmt.str "expected an integer, found %s" (token_name t)))
+      | t -> perr p (Fmt.str "expected an integer, found %s" (token_name t))
+    in
+    expect p DOTDOT;
+    let hi =
+      match p.tok with
+      | INT i -> advance p; i
+      | t -> perr p (Fmt.str "expected an integer, found %s" (token_name t))
+    in
+    Value.Dint (lo, hi)
+  | t ->
+    perr p
+      (Fmt.str "expected a domain (unit/bool/rid/set/int lo .. hi), found %s"
+         (token_name t))
+
+let parse_literal p =
+  match p.tok with
+  | INT i -> advance p; Value.Vint i
+  | RID r -> advance p; Value.Vrid r
+  | IDENT "true" -> advance p; Value.Vbool true
+  | IDENT "false" -> advance p; Value.Vbool false
+  | LBRACE ->
+    advance p;
+    expect p RBRACE;
+    Value.set_empty
+  | t ->
+    perr p (Fmt.str "expected a literal initializer, found %s" (token_name t))
+
+let parse_process p ~name ~is_remote =
+  expect p LBRACE;
+  let vars = ref [] and init_env = ref [] and states = ref [] in
+  let init = ref None in
+  while p.tok <> RBRACE do
+    match p.tok with
+    | IDENT "var" ->
+      advance p;
+      let x = ident p in
+      expect p COLON;
+      let d = parse_domain p in
+      vars := (x, d) :: !vars;
+      if p.tok = EQ then begin
+        advance p;
+        init_env := (x, parse_literal p) :: !init_env
+      end
+    | IDENT "state" ->
+      advance p;
+      let s = ident p in
+      if !init = None then init := Some s;
+      expect p LBRACE;
+      let guards = ref [] in
+      while p.tok <> RBRACE do
+        guards := parse_guard p ~is_remote :: !guards
+      done;
+      expect p RBRACE;
+      states := Ir.{ s_name = s; s_guards = List.rev !guards } :: !states
+    | t ->
+      perr p (Fmt.str "expected 'var' or 'state', found %s" (token_name t))
+  done;
+  expect p RBRACE;
+  match !init with
+  | None -> perr p (Fmt.str "process %s has no states" name)
+  | Some init ->
+    Ir.
+      {
+        p_name = name;
+        p_vars = List.rev !vars;
+        p_init_state = init;
+        p_init_env = List.rev !init_env;
+        p_states = List.rev !states;
+      }
+
+let parse_system p =
+  keyword p "system";
+  (* system names may be dash-separated words ("write-update") *)
+  let name = ref (ident p) in
+  while p.tok = MINUS do
+    advance p;
+    name := !name ^ "-" ^ ident p
+  done;
+  let name = !name in
+  keyword p "home";
+  let home = parse_process p ~name:"home" ~is_remote:false in
+  keyword p "remote";
+  let remote = parse_process p ~name:"remote" ~is_remote:true in
+  if p.tok <> EOF then
+    perr p (Fmt.str "trailing input: %s" (token_name p.tok));
+  Ir.{ sys_name = name; home; remote }
+
+let system src =
+  let lx = { src; pos = 0; line = 1; bol = 0 } in
+  let p = { lx; tok = EOF } in
+  advance p;
+  parse_system p
+
+let system_of_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  system src
+
+(* ---- printer ------------------------------------------------------------ *)
+
+let rec print_expr (e : Expr.t) =
+  match e with
+  | Expr.Set_add (a, b) -> print_expr a ^ " + " ^ print_atom b
+  | Expr.Set_remove (a, b) -> print_expr a ^ " - " ^ print_atom b
+  | e -> print_atom e
+
+and print_atom (e : Expr.t) =
+  match e with
+  | Expr.Var x -> x
+  | Expr.Self -> "self"
+  | Expr.Full_set -> "all"
+  | Expr.Const (Value.Vint i) -> string_of_int i
+  | Expr.Const (Value.Vrid r) -> "@" ^ string_of_int r
+  | Expr.Const (Value.Vbool true) -> "true"
+  | Expr.Const (Value.Vbool false) -> "false"
+  | Expr.Const (Value.Vset 0) -> "{}"
+  | Expr.Const (Value.Vset _ as s) ->
+    (* general set constants print as unions of singletons *)
+    (match Value.set_members s with
+    | [] -> "{}"
+    | r :: rest ->
+      List.fold_left
+        (fun acc r -> acc ^ " + @" ^ string_of_int r)
+        ("{@" ^ string_of_int r ^ "}")
+        rest)
+  | Expr.Const Value.Vunit -> "0"
+  | Expr.Set_singleton e -> "{" ^ print_expr e ^ "}"
+  | Expr.Succ e -> "succ " ^ print_atom e
+  | Expr.Set_add _ | Expr.Set_remove _ -> "(" ^ print_expr e ^ ")"
+
+let rec print_bexpr (b : Expr.b) =
+  match b with
+  | Expr.Or (a, b) -> print_band a ^ " or " ^ print_bexpr b
+  | b -> print_band b
+
+and print_band (b : Expr.b) =
+  match b with
+  | Expr.And (a, b) -> print_bfact a ^ " and " ^ print_band b
+  | b -> print_bfact b
+
+and print_bfact (b : Expr.b) =
+  match b with
+  | Expr.True -> "(0 = 0)" (* no literal 'true' condition in the grammar *)
+  | Expr.Not (Expr.Eq (a, b)) -> print_expr a ^ " != " ^ print_expr b
+  | Expr.Not b -> "not " ^ print_bfact b
+  | Expr.Set_is_empty e -> "empty " ^ print_atom e
+  | Expr.Eq (a, b) -> print_expr a ^ " = " ^ print_expr b
+  | Expr.Set_mem (a, b) -> print_expr a ^ " in " ^ print_expr b
+  | Expr.And _ | Expr.Or _ -> "(" ^ print_bexpr b ^ ")"
+
+let print_guard (g : Ir.guard) =
+  let head =
+    match g.g_action with
+    | Ir.Tau l -> "tau " ^ l
+    | Ir.Send (Ir.To_home, m, args) ->
+      Fmt.str "send h ! %s(%s)" m (String.concat ", " (List.map print_expr args))
+    | Ir.Send (Ir.To_remote e, m, args) ->
+      Fmt.str "send r[%s] ! %s(%s)" (print_expr e) m
+        (String.concat ", " (List.map print_expr args))
+    | Ir.Recv (Ir.From_home, m, vars) ->
+      Fmt.str "recv h ? %s(%s)" m (String.concat ", " vars)
+    | Ir.Recv (Ir.From_any_remote x, m, vars) ->
+      Fmt.str "recv any %s ? %s(%s)" x m (String.concat ", " vars)
+    | Ir.Recv (Ir.From_remote e, m, vars) ->
+      Fmt.str "recv r[%s] ? %s(%s)" (print_expr e) m (String.concat ", " vars)
+  in
+  let choose =
+    String.concat ""
+      (List.map
+         (fun (x, e) -> Fmt.str " choose %s in %s" x (print_expr e))
+         g.g_choose)
+  in
+  let cond =
+    match g.g_cond with
+    | Expr.True -> ""
+    | c -> " when " ^ print_bexpr c
+  in
+  let assigns =
+    match g.g_assigns with
+    | [] -> ""
+    | l ->
+      " with "
+      ^ String.concat ", "
+          (List.map (fun (x, e) -> x ^ " := " ^ print_expr e) l)
+  in
+  Fmt.str "    %s%s%s%s goto %s" head choose cond assigns g.g_target
+
+let print_domain = function
+  | Value.Dunit -> "unit"
+  | Value.Dbool -> "bool"
+  | Value.Drid -> "rid"
+  | Value.Dset -> "set"
+  | Value.Dint (lo, hi) -> Fmt.str "int %d .. %d" lo hi
+
+let print_literal = function
+  | Value.Vint i -> string_of_int i
+  | Value.Vrid r -> "@" ^ string_of_int r
+  | Value.Vbool true -> "true"
+  | Value.Vbool false -> "false"
+  | Value.Vset 0 -> "{}"
+  | v -> invalid_arg (Fmt.str "Parse.to_string: unprintable initializer %a" Value.pp v)
+
+let print_process buf (p : Ir.process) =
+  List.iter
+    (fun (x, d) ->
+      Buffer.add_string buf (Fmt.str "  var %s : %s" x (print_domain d));
+      (match List.assoc_opt x p.p_init_env with
+      | Some v -> Buffer.add_string buf (" = " ^ print_literal v)
+      | None -> ());
+      Buffer.add_char buf '\n')
+    p.p_vars;
+  (* the first printed state must be the initial one *)
+  let states =
+    match List.partition (fun (s : Ir.state) -> s.s_name = p.p_init_state) p.p_states with
+    | [ init ], rest -> init :: rest
+    | _ -> p.p_states
+  in
+  List.iter
+    (fun (st : Ir.state) ->
+      Buffer.add_string buf (Fmt.str "\n  state %s {\n" st.s_name);
+      List.iter
+        (fun g -> Buffer.add_string buf (print_guard g ^ "\n"))
+        st.s_guards;
+      Buffer.add_string buf "  }\n")
+    states
+
+let to_string (sys : Ir.system) =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (Fmt.str "system %s\n\nhome {\n" sys.sys_name);
+  print_process buf sys.home;
+  Buffer.add_string buf "}\n\nremote {\n";
+  print_process buf sys.remote;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

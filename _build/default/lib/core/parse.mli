@@ -1,0 +1,81 @@
+(** A textual syntax for rendezvous protocols.
+
+    Protocols can be written in [.ccr] files instead of the OCaml DSL, so
+    the CLI works without recompiling.  The migratory protocol reads:
+
+    {v
+system migratory
+
+home {
+  var o : rid
+  var j : rid
+
+  state F {
+    recv any j ? req() goto Fg
+  }
+  state Fg {
+    send r[j] ! gr() with o := j goto E
+  }
+  state E {
+    recv r[o] ? LR() with o := @0, j := @0 goto F
+    recv any j ? req() goto I1
+  }
+  state I1 {
+    send r[o] ! inv() goto I2
+    recv r[o] ? LR() goto I3
+  }
+  state I2 {
+    recv r[o] ? ID() goto I3
+  }
+  state I3 {
+    send r[j] ! gr() with o := j goto E
+  }
+}
+
+remote {
+  state I {
+    send h ! req() goto Wg
+  }
+  state Wg {
+    recv h ? gr() goto V
+  }
+  state V {
+    tau evict goto Ev
+    recv h ? inv() goto Iv
+  }
+  state Ev {
+    send h ! LR() goto I
+  }
+  state Iv {
+    send h ! ID() goto I
+  }
+}
+    v}
+
+    Guard clauses, in order: [choose x in EXPR] (repeatable),
+    [when BEXPR], [with x := EXPR, ...], [goto STATE].  Domains:
+    [unit], [bool], [rid], [set], [int LO .. HI]; optional initializer
+    [var x : rid = @0].  Expressions: variables, [self], [all] (the full
+    remote set), [@K] (remote K), integer and boolean literals, [{}]
+    (empty set), [{EXPR}] (singleton), [EXPR + EXPR] / [EXPR - EXPR] (set
+    add/remove), [succ EXPR].  Conditions: [=], [!=], [in], [empty],
+    [not], [and], [or], parentheses.  Comments run from [#] or [//] to
+    the end of the line. *)
+
+exception Error of { line : int; col : int; msg : string }
+
+val system : string -> Ir.system
+(** Parse a system from a string.  @raise Error with position info. *)
+
+val system_of_file : string -> Ir.system
+(** @raise Error (parse/lex) or [Sys_error] (I/O). *)
+
+val to_string : Ir.system -> string
+(** Print a system in the concrete syntax.  Round-trips semantically:
+    [system (to_string sys)] validates and has the same state spaces and
+    request/reply pairs (structural equality may differ on sugared
+    constants, e.g. set literals).  The initial state is printed first
+    (the syntax defines the first state as initial). *)
+
+val pp_error : exn Fmt.t
+(** Render {!Error} (and any other exception) readably. *)

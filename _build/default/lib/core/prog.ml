@@ -1,0 +1,188 @@
+type cexpr =
+  | C_const of Value.t
+  | C_var of int
+  | C_self
+  | C_set_add of cexpr * cexpr
+  | C_set_remove of cexpr * cexpr
+  | C_set_singleton of cexpr
+  | C_succ of cexpr
+
+type cbool =
+  | B_true
+  | B_not of cbool
+  | B_and of cbool * cbool
+  | B_or of cbool * cbool
+  | B_eq of cexpr * cexpr
+  | B_mem of cexpr * cexpr
+  | B_empty of cexpr
+
+type ann =
+  | Plain
+  | Rr_request of string
+  | Rr_reply_send
+  | Rr_silent_consume
+  | Rr_await_repl of string
+
+type caction =
+  | C_send_home of string * cexpr list
+  | C_send_remote of cexpr * string * cexpr list
+  | C_recv_home of string * int list
+  | C_recv_any of int * string * int list
+  | C_recv_from of cexpr * string * int list
+  | C_tau of string
+
+type cguard = {
+  cg_cond : cbool;
+  cg_choose : (int * cexpr) list;
+  cg_action : caction;
+  cg_assigns : (int * cexpr) list;
+  cg_target : int;
+  cg_ann : ann;
+}
+
+type cstate = {
+  cs_name : string;
+  cs_guards : cguard array;
+  cs_internal : bool;
+  cs_active : int option;
+  cs_sends : int list;
+}
+
+type proc = {
+  p_name : string;
+  p_var_names : string array;
+  p_domains : Value.domain array;
+  p_states : cstate array;
+  p_init : int;
+  p_init_env : Value.t array;
+}
+
+type t = {
+  t_name : string;
+  n : int;
+  home : proc;
+  remote : proc;
+  pairs : Reqrep.pair list;
+  ff_msgs : string list;
+}
+
+exception Runtime_error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Runtime_error s)) fmt
+
+let as_rid = function
+  | Value.Vrid r -> r
+  | v -> error "expected a remote id, got %a" Value.pp v
+
+let as_int = function
+  | Value.Vint i -> i
+  | v -> error "expected an int, got %a" Value.pp v
+
+let rec eval ~env ~self e =
+  match e with
+  | C_const v -> v
+  | C_var i -> env.(i)
+  | C_self -> (
+    match self with
+    | Some r -> Value.Vrid r
+    | None -> error "self outside a remote process")
+  | C_set_add (s, r) ->
+    Value.set_add (as_rid (eval ~env ~self r)) (eval ~env ~self s)
+  | C_set_remove (s, r) ->
+    Value.set_remove (as_rid (eval ~env ~self r)) (eval ~env ~self s)
+  | C_set_singleton r ->
+    Value.set_add (as_rid (eval ~env ~self r)) Value.set_empty
+  | C_succ e -> Value.Vint (as_int (eval ~env ~self e) + 1)
+
+let rec eval_b ~env ~self b =
+  match b with
+  | B_true -> true
+  | B_not b -> not (eval_b ~env ~self b)
+  | B_and (a, b) -> eval_b ~env ~self a && eval_b ~env ~self b
+  | B_or (a, b) -> eval_b ~env ~self a || eval_b ~env ~self b
+  | B_eq (a, b) -> Value.equal (eval ~env ~self a) (eval ~env ~self b)
+  | B_mem (r, s) ->
+    Value.set_mem (as_rid (eval ~env ~self r)) (eval ~env ~self s)
+  | B_empty s -> Value.set_is_empty (eval ~env ~self s)
+
+let state_index proc name =
+  let rec find i =
+    if i >= Array.length proc.p_states then raise Not_found
+    else if proc.p_states.(i).cs_name = name then i
+    else find (i + 1)
+  in
+  find 0
+
+let var_index proc name =
+  let rec find i =
+    if i >= Array.length proc.p_var_names then raise Not_found
+    else if proc.p_var_names.(i) = name then i
+    else find (i + 1)
+  in
+  find 0
+
+let guard_instances ~self env (g : cguard) ~extra =
+  let scratch = Array.copy env in
+  List.iter (fun (slot, v) -> scratch.(slot) <- v) extra;
+  let rec expand scratch = function
+    | [] -> [ scratch ]
+    | (slot, set_expr) :: rest ->
+      let set = eval ~env:scratch ~self set_expr in
+      List.concat_map
+        (fun r ->
+          let scratch' = Array.copy scratch in
+          scratch'.(slot) <- Value.Vrid r;
+          expand scratch' rest)
+        (Value.set_members set)
+  in
+  expand scratch g.cg_choose
+  |> List.filter (fun env -> eval_b ~env ~self g.cg_cond)
+
+let complete ~self scratch (g : cguard) =
+  let rhs =
+    List.map (fun (slot, e) -> (slot, eval ~env:scratch ~self e)) g.cg_assigns
+  in
+  let env' = Array.copy scratch in
+  List.iter (fun (slot, v) -> env'.(slot) <- v) rhs;
+  env'
+
+let rec pp_cexpr proc ppf = function
+  | C_const v -> Value.pp ppf v
+  | C_var i -> Fmt.string ppf proc.p_var_names.(i)
+  | C_self -> Fmt.string ppf "self"
+  | C_set_add (s, r) ->
+    Fmt.pf ppf "(%a + %a)" (pp_cexpr proc) s (pp_cexpr proc) r
+  | C_set_remove (s, r) ->
+    Fmt.pf ppf "(%a - %a)" (pp_cexpr proc) s (pp_cexpr proc) r
+  | C_set_singleton r -> Fmt.pf ppf "{%a}" (pp_cexpr proc) r
+  | C_succ e -> Fmt.pf ppf "(%a + 1)" (pp_cexpr proc) e
+
+let pp_caction proc ppf action =
+  let args ppf = function
+    | [] -> ()
+    | l -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:comma (pp_cexpr proc)) l
+  in
+  let vars ppf = function
+    | [] -> ()
+    | l ->
+      Fmt.pf ppf "(%a)"
+        Fmt.(list ~sep:comma (fun ppf i -> Fmt.string ppf proc.p_var_names.(i)))
+        l
+  in
+  match action with
+  | C_send_home (m, a) -> Fmt.pf ppf "h!%s%a" m args a
+  | C_send_remote (e, m, a) ->
+    Fmt.pf ppf "r(%a)!%s%a" (pp_cexpr proc) e m args a
+  | C_recv_home (m, v) -> Fmt.pf ppf "h?%s%a" m vars v
+  | C_recv_any (b, m, v) ->
+    Fmt.pf ppf "r(%s)?%s%a" proc.p_var_names.(b) m vars v
+  | C_recv_from (e, m, v) ->
+    Fmt.pf ppf "r(%a)?%s%a" (pp_cexpr proc) e m vars v
+  | C_tau l -> Fmt.pf ppf "tau:%s" l
+
+let pp_ann ppf = function
+  | Plain -> Fmt.string ppf "plain"
+  | Rr_request repl -> Fmt.pf ppf "rr-request(repl=%s)" repl
+  | Rr_reply_send -> Fmt.string ppf "rr-reply-send"
+  | Rr_silent_consume -> Fmt.string ppf "rr-silent-consume"
+  | Rr_await_repl repl -> Fmt.pf ppf "rr-await-repl(%s)" repl

@@ -1,0 +1,131 @@
+(** Compiled (linked) protocols.
+
+    {!Link.compile} turns a validated {!Ir.system} into this form: variable
+    names become array slots, state names become indices, and every guard
+    carries its request/reply annotation.  Both the rendezvous and the
+    asynchronous semantics execute this representation. *)
+
+type cexpr =
+  | C_const of Value.t
+  | C_var of int
+  | C_self
+  | C_set_add of cexpr * cexpr
+  | C_set_remove of cexpr * cexpr
+  | C_set_singleton of cexpr
+  | C_succ of cexpr
+
+type cbool =
+  | B_true
+  | B_not of cbool
+  | B_and of cbool * cbool
+  | B_or of cbool * cbool
+  | B_eq of cexpr * cexpr
+  | B_mem of cexpr * cexpr
+  | B_empty of cexpr
+
+(** How the refinement treats a communication guard (paper §3, §3.3). *)
+type ann =
+  | Plain
+      (** generic scheme: request + ack/nack, transient state on the
+          active side *)
+  | Rr_request of string
+      (** active send that begins a request/reply pair; the argument is
+          the reply message.  The sender waits for the reply (or a nack)
+          instead of an ack. *)
+  | Rr_reply_send
+      (** active send of a reply: fire-and-forget, the peer is guaranteed
+          ready *)
+  | Rr_silent_consume
+      (** passive receive of a pair's request: no ack is emitted, the
+          eventual reply doubles as the ack *)
+  | Rr_await_repl of string
+      (** home send of a home-initiated pair's request; completion happens
+          when the reply request arrives *)
+
+type caction =
+  | C_send_home of string * cexpr list
+  | C_send_remote of cexpr * string * cexpr list
+  | C_recv_home of string * int list
+  | C_recv_any of int * string * int list  (** binder slot, msg, payload *)
+  | C_recv_from of cexpr * string * int list
+  | C_tau of string
+
+type cguard = {
+  cg_cond : cbool;
+  cg_choose : (int * cexpr) list;
+  cg_action : caction;
+  cg_assigns : (int * cexpr) list;
+  cg_target : int;
+  cg_ann : ann;
+}
+
+type cstate = {
+  cs_name : string;
+  cs_guards : cguard array;
+  cs_internal : bool;
+  cs_active : int option;
+      (** for remote processes: the single output guard's index, if this is
+          an active communication state *)
+  cs_sends : int list;
+      (** for the home process: indices of output guards, in declaration
+          order (the rotation order of Table 2 row T2) *)
+}
+
+type proc = {
+  p_name : string;
+  p_var_names : string array;
+  p_domains : Value.domain array;
+  p_states : cstate array;
+  p_init : int;
+  p_init_env : Value.t array;
+}
+
+type t = {
+  t_name : string;
+  n : int;  (** number of remote nodes *)
+  home : proc;
+  remote : proc;
+  pairs : Reqrep.pair list;  (** request/reply pairs applied (may be []) *)
+  ff_msgs : string list;
+      (** fire-and-forget messages (hand-optimized protocols only): sent
+          without awaiting any response and always admitted by the home,
+          like the Avalanche team's unacked [LR].  Such protocols fall
+          outside the refinement's soundness argument; see
+          {!Link.compile}'s [fire_and_forget]. *)
+}
+
+exception Runtime_error of string
+
+val eval : env:Value.t array -> self:int option -> cexpr -> Value.t
+val eval_b : env:Value.t array -> self:int option -> cbool -> bool
+
+val state_index : proc -> string -> int
+(** Raises [Not_found] if the state does not exist. *)
+
+val var_index : proc -> string -> int
+
+val guard_instances :
+  self:int option ->
+  Value.t array ->
+  cguard ->
+  extra:(int * Value.t) list ->
+  Value.t array list
+(** All environments in which the guard can fire: start from the given
+    environment, write the [extra] bindings (receive payload and sender
+    binder), expand the [choose] binders over their sets, and keep the
+    instances whose condition holds.  The returned arrays are fresh scratch
+    environments with bindings applied but assignments {e not yet}
+    performed. *)
+
+val complete : self:int option -> Value.t array -> cguard -> Value.t array
+(** Perform the guard's simultaneous assignments on a scratch environment
+    (returned by {!guard_instances}); returns the post-state environment.
+    The caller moves control to [cg_target]. *)
+
+val pp_ann : ann Fmt.t
+
+val pp_cexpr : proc -> cexpr Fmt.t
+(** Print with variable names resolved through the process' slot table. *)
+
+val pp_caction : proc -> caction Fmt.t
+(** CSP-style rendering: [h!m(e)], [r(i)?m(v)], [tau:l], ... *)

@@ -1,0 +1,345 @@
+type initiator = Remote_initiated | Home_initiated
+
+type pair = { req : string; repl : string; initiator : initiator }
+
+type report = { pairs : pair list; rejected : (string * string) list }
+
+let pp_pair ppf p =
+  Fmt.pf ppf "%s/%s (%s-initiated)" p.req p.repl
+    (match p.initiator with
+    | Remote_initiated -> "remote"
+    | Home_initiated -> "home")
+
+exception Reject of string
+
+let reject fmt = Fmt.kstr (fun s -> raise (Reject s)) fmt
+
+module Sset = Set.Make (String)
+
+let state_exn p name =
+  match Ir.find_state p name with
+  | Some st -> st
+  | None -> invalid_arg ("Reqrep: unknown state " ^ name)
+
+(* All (state, guard) pairs of a process. *)
+let guards_of (p : Ir.process) =
+  List.concat_map
+    (fun (st : Ir.state) -> List.map (fun g -> (st, g)) st.Ir.s_guards)
+    p.p_states
+
+(* ---- Remote side of a remote-initiated pair -------------------------- *)
+
+(* Every send of [m] must be followed immediately by a single
+   unconditional wait for one fixed reply message. *)
+let remote_reply_of (remote : Ir.process) m =
+  let sends =
+    List.filter
+      (fun ((_, g) : Ir.state * Ir.guard) ->
+        match g.Ir.g_action with
+        | Ir.Send (Ir.To_home, m', _) -> m' = m
+        | _ -> false)
+      (guards_of remote)
+  in
+  let reply_of ((_, g) : Ir.state * Ir.guard) =
+    let wait = state_exn remote g.Ir.g_target in
+    match wait.Ir.s_guards with
+    | [ { g_cond = Expr.True; g_choose = []; g_action = Ir.Recv (Ir.From_home, rm, _); _ } ] ->
+      rm
+    | _ ->
+      reject "send of %s is not followed by a single unconditional wait" m
+  in
+  match List.map reply_of sends with
+  | [] -> reject "%s is never sent by the remote" m
+  | rm :: rest ->
+    if List.for_all (( = ) rm) rest then rm
+    else reject "sends of %s wait for different replies" m
+
+(* Every receive of the reply must be one of the wait states reached from a
+   send of [m]; otherwise a stray reply could be mistaken for an ack. *)
+let check_reply_only_in_waits (remote : Ir.process) m rm =
+  let wait_states =
+    List.filter_map
+      (fun ((_, g) : Ir.state * Ir.guard) ->
+        match g.Ir.g_action with
+        | Ir.Send (Ir.To_home, m', _) when m' = m -> Some g.Ir.g_target
+        | _ -> None)
+      (guards_of remote)
+  in
+  List.iter
+    (fun ((st, g) : Ir.state * Ir.guard) ->
+      match g.Ir.g_action with
+      | Ir.Recv (Ir.From_home, rm', _) when rm' = rm ->
+        if not (List.mem st.Ir.s_name wait_states) then
+          reject "reply %s is also received outside the wait for %s" rm m
+      | _ -> ())
+    (guards_of remote)
+
+(* ---- Home side of a remote-initiated pair ---------------------------- *)
+
+(* Alias propagation: which variables are known to hold the requester's id
+   after simultaneous assignments?  RHS reads the post-binding scratch
+   environment, so [j := i] where [i] is the sender binder is an alias. *)
+let propagate aliases assigns =
+  let kept =
+    Sset.filter (fun x -> not (List.mem_assoc x assigns)) aliases
+  in
+  List.fold_left
+    (fun acc (lhs, rhs) ->
+      match rhs with
+      | Expr.Var a when Sset.mem a aliases -> Sset.add lhs acc
+      | _ -> acc)
+    kept assigns
+
+let mentions_alias aliases e =
+  List.exists (fun x -> Sset.mem x aliases) (Expr.vars e)
+
+(* Walk the home automaton from the state reached after consuming [m],
+   requiring that the next interaction with the requester on every path is
+   an unconditional send of [rm], and that such a send stays reachable. *)
+let walk_home_paths (home : Ir.process) ~m ~rm ~start ~aliases =
+  let module Node = struct
+    type t = string * Sset.t
+
+    let compare (s1, a1) (s2, a2) =
+      match String.compare s1 s2 with
+      | 0 -> Sset.compare a1 a2
+      | c -> c
+  end in
+  let module Nset = Set.Make (Node) in
+  let visited = ref Nset.empty in
+  let replying = ref Nset.empty in
+  let edges = ref [] in
+  let rec dfs (node : Node.t) =
+    if Nset.mem node !visited then ()
+    else begin
+      visited := Nset.add node !visited;
+      let st_name, aliases = node in
+      let st = state_exn home st_name in
+      List.iter
+        (fun (g : Ir.guard) ->
+          (* choose binders are rebound nondeterministically: they cannot
+             be trusted to still hold the requester *)
+          let aliases =
+            List.fold_left
+              (fun a (x, _) -> Sset.remove x a)
+              aliases g.Ir.g_choose
+          in
+          let continue_to aliases' =
+            let node' = (g.Ir.g_target, propagate aliases' g.Ir.g_assigns) in
+            edges := (node, node') :: !edges;
+            dfs node'
+          in
+          match g.Ir.g_action with
+          | Ir.Tau _ -> continue_to aliases
+          | Ir.Send (Ir.To_remote e, m', _) ->
+            if mentions_alias aliases e then
+              if
+                m' = rm
+                && g.Ir.g_cond = Expr.True
+                && g.Ir.g_choose = []
+                && (match e with Expr.Var _ -> true | _ -> false)
+              then replying := Nset.add node !replying
+                (* path ends: the reply is sent *)
+              else
+                reject
+                  "home interacts with the requester of %s other than by \
+                   replying %s (at state %s)"
+                  m rm st_name
+            else continue_to aliases
+          | Ir.Send (Ir.To_home, _, _) | Ir.Recv (Ir.From_home, _, _) ->
+            reject "home process is malformed"
+          | Ir.Recv (Ir.From_remote e, _, _) ->
+            if mentions_alias aliases e then
+              reject
+                "home receives from the requester of %s before replying \
+                 (at state %s)"
+                m st_name
+            else continue_to aliases
+          | Ir.Recv (Ir.From_any_remote y, _, _) ->
+            (* rebinding [y] kills the alias; the requester itself cannot
+               send here because it is blocked waiting for the reply *)
+            continue_to (Sset.remove y aliases))
+        st.Ir.s_guards
+    end
+  in
+  let start_node = (start, aliases) in
+  dfs start_node;
+  (* every visited node must be able to reach a replying node *)
+  let can_reach = ref !replying in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (a, b) ->
+        if Nset.mem b !can_reach && not (Nset.mem a !can_reach) then begin
+          can_reach := Nset.add a !can_reach;
+          changed := true
+        end)
+      !edges
+  done;
+  Nset.iter
+    (fun ((st, _) as node) ->
+      if not (Nset.mem node !can_reach) then
+        reject "after consuming %s the home can reach state %s from which \
+                no reply %s is possible" m st rm)
+    !visited
+
+let check_home_side (home : Ir.process) ~m ~rm =
+  let recvs =
+    List.filter
+      (fun ((_, g) : Ir.state * Ir.guard) ->
+        match g.Ir.g_action with
+        | Ir.Recv ((Ir.From_any_remote _ | Ir.From_remote _), m', _) -> m' = m
+        | _ -> false)
+      (guards_of home)
+  in
+  if recvs = [] then reject "%s is never received by the home" m;
+  List.iter
+    (fun ((_, g) : Ir.state * Ir.guard) ->
+      let aliases0 =
+        match g.Ir.g_action with
+        | Ir.Recv (Ir.From_any_remote x, _, _) -> Sset.singleton x
+        | Ir.Recv (Ir.From_remote (Expr.Var a), _, _) -> Sset.singleton a
+        | _ -> reject "receive of %s does not name the requester" m
+      in
+      walk_home_paths home ~m ~rm ~start:g.Ir.g_target
+        ~aliases:(propagate aliases0 g.Ir.g_assigns))
+    recvs
+
+(* ---- Home-initiated pairs --------------------------------------------- *)
+
+(* From the state a remote reaches after consuming [m], only internal (tau)
+   moves may happen before a single active send; all such sends must carry
+   the same reply message. *)
+let remote_continuation_replies (remote : Ir.process) m =
+  let recvs =
+    List.filter
+      (fun ((_, g) : Ir.state * Ir.guard) ->
+        match g.Ir.g_action with
+        | Ir.Recv (Ir.From_home, m', _) -> m' = m
+        | _ -> false)
+      (guards_of remote)
+  in
+  if recvs = [] then reject "%s is never received by a remote" m;
+  let rec replies_from seen st_name =
+    if List.mem st_name seen then
+      reject "remote loops internally after receiving %s" m;
+    let st = state_exn remote st_name in
+    match st.Ir.s_guards with
+    | [ { g_action = Ir.Send (Ir.To_home, rm, _); g_cond = Expr.True; _ } ] ->
+      [ rm ]
+    | guards when Ir.state_is_internal st && guards <> [] ->
+      List.concat_map
+        (fun (g : Ir.guard) -> replies_from (st_name :: seen) g.Ir.g_target)
+        guards
+    | _ ->
+      reject
+        "remote does not answer %s with a single reply after local actions \
+         (stuck at state %s)"
+        m st_name
+  in
+  let all =
+    List.concat_map
+      (fun ((_, g) : Ir.state * Ir.guard) -> replies_from [] g.Ir.g_target)
+      recvs
+  in
+  match all with
+  | [] -> reject "no reply found for %s" m
+  | rm :: rest ->
+    if List.for_all (( = ) rm) rest then rm
+    else reject "receives of %s are answered with different replies" m
+
+(* The home's send of [m] to remote [e] must lead to a state containing an
+   unconditional receive of [rm] from the syntactically identical [e]. *)
+let check_home_awaits (home : Ir.process) ~m ~rm =
+  List.iter
+    (fun ((st, g) : Ir.state * Ir.guard) ->
+      match g.Ir.g_action with
+      | Ir.Send (Ir.To_remote e, m', _) when m' = m ->
+        let stable =
+          match e with
+          | Expr.Var a -> not (List.mem_assoc a g.Ir.g_assigns)
+          | _ -> false
+        in
+        if not stable then
+          reject "target of %s (at state %s) is not a stable variable" m
+            st.Ir.s_name;
+        let t = state_exn home g.Ir.g_target in
+        let has_wait =
+          List.exists
+            (fun (g' : Ir.guard) ->
+              match g'.Ir.g_action with
+              | Ir.Recv (Ir.From_remote e', rm', _) ->
+                rm' = rm && e' = e && g'.Ir.g_cond = Expr.True
+                && g'.Ir.g_choose = []
+              | _ -> false)
+            t.Ir.s_guards
+        in
+        if not has_wait then
+          reject "home does not wait for %s from the target of %s" rm m
+      | _ -> ())
+    (guards_of home)
+
+(* ---- Top level -------------------------------------------------------- *)
+
+let analyze (sys : Ir.system) =
+  let remote_sent_msgs =
+    List.filter_map
+      (fun ((_, g) : Ir.state * Ir.guard) ->
+        match g.Ir.g_action with
+        | Ir.Send (Ir.To_home, m, _) -> Some m
+        | _ -> None)
+      (guards_of sys.remote)
+    |> List.sort_uniq String.compare
+  in
+  let home_sent_msgs =
+    List.filter_map
+      (fun ((_, g) : Ir.state * Ir.guard) ->
+        match g.Ir.g_action with
+        | Ir.Send (Ir.To_remote _, m, _) -> Some m
+        | _ -> None)
+      (guards_of sys.home)
+    |> List.sort_uniq String.compare
+  in
+  let pairs = ref [] and rejected = ref [] in
+  List.iter
+    (fun m ->
+      match
+        let rm = remote_reply_of sys.remote m in
+        check_reply_only_in_waits sys.remote m rm;
+        check_home_side sys.home ~m ~rm;
+        rm
+      with
+      | rm ->
+        pairs := { req = m; repl = rm; initiator = Remote_initiated } :: !pairs
+      | exception Reject reason -> rejected := (m, reason) :: !rejected)
+    remote_sent_msgs;
+  List.iter
+    (fun m ->
+      match
+        let rm = remote_continuation_replies sys.remote m in
+        check_home_awaits sys.home ~m ~rm;
+        rm
+      with
+      | rm ->
+        pairs := { req = m; repl = rm; initiator = Home_initiated } :: !pairs
+      | exception Reject reason -> rejected := (m, reason) :: !rejected)
+    home_sent_msgs;
+  (* pairs must not share messages: drop any pair that overlaps an earlier
+     accepted one (deterministic order: remote-initiated first) *)
+  let pairs = List.rev !pairs in
+  let used = ref Sset.empty in
+  let pairs =
+    List.filter
+      (fun p ->
+        if Sset.mem p.req !used || Sset.mem p.repl !used then begin
+          rejected := (p.req, "overlaps another request/reply pair") :: !rejected;
+          false
+        end
+        else begin
+          used := Sset.add p.req (Sset.add p.repl !used);
+          true
+        end)
+      pairs
+  in
+  { pairs; rejected = List.rev !rejected }

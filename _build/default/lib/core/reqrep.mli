@@ -1,0 +1,30 @@
+(** Detection of request/reply rendezvous pairs (paper §3.3).
+
+    The generic refinement turns each rendezvous into a request plus an
+    ack.  When two messages [req] and [repl] always occur as
+    [h!req(e); h?repl(v)] in the remote node and the home always answers a
+    consumed [req] from remote [i] with [r(i)!repl] before any other
+    interaction with [i], both acks can be dropped: the reply doubles as
+    the ack of the request, and the requester is guaranteed ready for the
+    reply.  Symmetrically for pairs initiated by the home (the remote must
+    answer [req] with [repl] after local actions only).
+
+    The analysis is syntactic, like the paper's side condition.  Alias
+    tracking follows the requester's identity through assignments
+    ([j := i]); expressions that might denote the requester but cannot be
+    proven to are rejected conservatively. *)
+
+type initiator = Remote_initiated | Home_initiated
+
+type pair = { req : string; repl : string; initiator : initiator }
+
+type report = {
+  pairs : pair list;
+  rejected : (string * string) list;
+      (** [(msg, reason)] for messages considered but not optimizable *)
+}
+
+val analyze : Ir.system -> report
+(** Requires a system that passed {!Validate.check}. *)
+
+val pp_pair : pair Fmt.t

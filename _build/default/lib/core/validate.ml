@@ -1,0 +1,234 @@
+type error = { where : string; what : string }
+
+type direction = Remote_to_home | Home_to_remote
+
+type signature = {
+  msg : string;
+  direction : direction;
+  payload : Expr.ty list;
+}
+
+let pp_error ppf e = Fmt.pf ppf "%s: %s" e.where e.what
+
+(* Accumulating checker: errors are collected rather than failing fast so a
+   protocol author sees everything wrong at once. *)
+type ctx = { mutable errors : error list }
+
+let err ctx where fmt =
+  Fmt.kstr (fun what -> ctx.errors <- { where; what } :: ctx.errors) fmt
+
+let pp_dir ppf = function
+  | Remote_to_home -> Fmt.string ppf "remote->home"
+  | Home_to_remote -> Fmt.string ppf "home->remote"
+
+(* Message signature table built incrementally; conflicting uses are
+   reported at the use site. *)
+let record_signature ctx ~where table msg direction payload =
+  match Hashtbl.find_opt table msg with
+  | None -> Hashtbl.add table msg { msg; direction; payload }
+  | Some s ->
+    if s.direction <> direction then
+      err ctx where "message %s used both %a and %a" msg pp_dir s.direction
+        pp_dir direction;
+    if s.payload <> payload then
+      err ctx where
+        "message %s used with payload (%a) here but (%a) elsewhere" msg
+        Fmt.(list ~sep:comma Expr.pp_ty)
+        payload
+        Fmt.(list ~sep:comma Expr.pp_ty)
+        s.payload
+
+let check_process ctx table ~is_remote (p : Ir.process) =
+  let pname = p.p_name in
+  (* variable environment *)
+  let var_domain = Hashtbl.create 16 in
+  List.iter
+    (fun (x, d) ->
+      if Hashtbl.mem var_domain x then
+        err ctx pname "duplicate variable %s" x
+      else Hashtbl.add var_domain x d)
+    p.p_vars;
+  let var_ty x =
+    Option.map Expr.ty_of_domain (Hashtbl.find_opt var_domain x)
+  in
+  let states = Hashtbl.create 16 in
+  List.iter
+    (fun (st : Ir.state) ->
+      if Hashtbl.mem states st.Ir.s_name then
+        err ctx pname "duplicate state %s" st.Ir.s_name
+      else Hashtbl.add states st.Ir.s_name st)
+    p.p_states;
+  if not (Hashtbl.mem states p.p_init_state) then
+    err ctx pname "initial state %s not defined" p.p_init_state;
+  List.iter
+    (fun (x, v) ->
+      match Hashtbl.find_opt var_domain x with
+      | None -> err ctx pname "initial value for undeclared variable %s" x
+      | Some d ->
+        (* range checks that depend on n happen at instantiation time *)
+        let vt =
+          match v with
+          | Value.Vunit -> Expr.Tunit
+          | Value.Vbool _ -> Expr.Tbool
+          | Value.Vint _ -> Expr.Tint
+          | Value.Vrid _ -> Expr.Trid
+          | Value.Vset _ -> Expr.Tset
+        in
+        if Expr.ty_of_domain d <> vt then
+          err ctx pname "initial value %a has wrong type for %s" Value.pp v x)
+    p.p_init_env;
+  let in_remote = is_remote in
+  let check_expr where want e =
+    match Expr.infer ~var_ty ~in_remote e with
+    | Error msg -> err ctx where "%s" msg
+    | Ok ty -> (
+      match want with
+      | Some w when w <> ty ->
+        err ctx where "expected %a, found %a in %a" Expr.pp_ty w Expr.pp_ty ty
+          Expr.pp e
+      | _ -> ())
+  in
+  let infer_ty where e =
+    match Expr.infer ~var_ty ~in_remote e with
+    | Ok ty -> Some ty
+    | Error msg ->
+      err ctx where "%s" msg;
+      None
+  in
+  let check_guard where (g : Ir.guard) =
+    (* choose binders *)
+    List.iter
+      (fun (x, s) ->
+        (match Hashtbl.find_opt var_domain x with
+        | Some Value.Drid -> ()
+        | Some d ->
+          err ctx where "choose binder %s must have domain rid, has %a" x
+            Value.pp_domain d
+        | None -> err ctx where "choose binder %s is not declared" x);
+        check_expr where (Some Expr.Tset) s)
+      g.g_choose;
+    (match Expr.check_b ~var_ty ~in_remote g.g_cond with
+    | Ok () -> ()
+    | Error msg -> err ctx where "in condition: %s" msg);
+    (* action *)
+    (match g.g_action with
+    | Ir.Tau _ -> ()
+    | Ir.Send (target, msg, args) ->
+      (match (target, is_remote) with
+      | Ir.To_home, true -> ()
+      | Ir.To_home, false -> err ctx where "home cannot send to home"
+      | Ir.To_remote _, true ->
+        err ctx where "remote cannot address another remote (star topology)"
+      | Ir.To_remote e, false -> check_expr where (Some Expr.Trid) e);
+      let payload = List.filter_map (infer_ty where) args in
+      if List.length payload = List.length args then
+        record_signature ctx ~where table msg
+          (if is_remote then Remote_to_home else Home_to_remote)
+          payload
+    | Ir.Recv (source, msg, vars) ->
+      (match (source, is_remote) with
+      | Ir.From_home, true -> ()
+      | Ir.From_home, false -> err ctx where "home cannot receive from home"
+      | (Ir.From_any_remote _ | Ir.From_remote _), true ->
+        err ctx where "remote cannot receive from another remote"
+      | Ir.From_any_remote x, false -> (
+        match Hashtbl.find_opt var_domain x with
+        | Some Value.Drid -> ()
+        | Some d ->
+          err ctx where "sender binder %s must have domain rid, has %a" x
+            Value.pp_domain d
+        | None -> err ctx where "sender binder %s is not declared" x)
+      | Ir.From_remote e, false -> check_expr where (Some Expr.Trid) e);
+      let payload =
+        List.filter_map
+          (fun x ->
+            match var_ty x with
+            | Some ty -> Some ty
+            | None ->
+              err ctx where "payload variable %s is not declared" x;
+              None)
+          vars
+      in
+      if List.length payload = List.length vars then
+        record_signature ctx ~where table msg
+          (if is_remote then Home_to_remote else Remote_to_home)
+          payload);
+    (* assignments *)
+    List.iter
+      (fun (x, e) ->
+        match var_ty x with
+        | None -> err ctx where "assignment to undeclared variable %s" x
+        | Some ty -> check_expr where (Some ty) e)
+      g.g_assigns;
+    if not (Hashtbl.mem states g.g_target) then
+      err ctx where "target state %s not defined" g.g_target
+  in
+  List.iter
+    (fun (st : Ir.state) ->
+      let taus, sends, recvs =
+        List.fold_left
+          (fun (t, s, r) (g : Ir.guard) ->
+            match g.g_action with
+            | Ir.Tau _ -> (t + 1, s, r)
+            | Ir.Send _ -> (t, s + 1, r)
+            | Ir.Recv _ -> (t, s, r + 1))
+          (0, 0, 0) st.Ir.s_guards
+      in
+      let where = Fmt.str "%s state %s" pname st.Ir.s_name in
+      if is_remote then begin
+        (* §2.4: active = exactly one output guard and nothing else;
+           passive = inputs plus optional taus. *)
+        if sends > 1 then
+          err ctx where "remote state offers %d output guards (max 1)" sends;
+        if sends = 1 && (recvs > 0 || taus > 0) then
+          err ctx where
+            "remote active state must contain only its single output guard"
+      end
+      else if taus > 0 && (sends > 0 || recvs > 0) then
+        err ctx where
+          "home state mixes internal (tau) and communication guards";
+      List.iteri
+        (fun i g -> check_guard (Fmt.str "%s guard %d" where (i + 1)) g)
+        st.Ir.s_guards)
+    p.p_states;
+  (* internal states must not cycle among themselves *)
+  let internal st = Ir.state_is_internal st in
+  let visiting = Hashtbl.create 16 and done_ = Hashtbl.create 16 in
+  let rec dfs (st : Ir.state) =
+    if Hashtbl.mem done_ st.Ir.s_name then ()
+    else if Hashtbl.mem visiting st.Ir.s_name then
+      err ctx pname "internal states form a cycle through %s" st.Ir.s_name
+    else begin
+      Hashtbl.add visiting st.Ir.s_name ();
+      List.iter
+        (fun (g : Ir.guard) ->
+          match Hashtbl.find_opt states g.g_target with
+          | Some st' when internal st' -> dfs st'
+          | _ -> ())
+        st.Ir.s_guards;
+      Hashtbl.remove visiting st.Ir.s_name;
+      Hashtbl.add done_ st.Ir.s_name ()
+    end
+  in
+  List.iter (fun st -> if internal st then dfs st) p.p_states
+
+let check (sys : Ir.system) =
+  let ctx = { errors = [] } in
+  let table = Hashtbl.create 16 in
+  check_process ctx table ~is_remote:false sys.home;
+  check_process ctx table ~is_remote:true sys.remote;
+  match ctx.errors with
+  | [] ->
+    Ok
+      (Hashtbl.fold (fun _ s acc -> s :: acc) table []
+      |> List.sort (fun a b -> String.compare a.msg b.msg))
+  | errors -> Error (List.rev errors)
+
+let check_exn sys =
+  match check sys with
+  | Ok sigs -> sigs
+  | Error errors ->
+    invalid_arg
+      (Fmt.str "invalid protocol %s:@,%a" sys.sys_name
+         Fmt.(list ~sep:cut pp_error)
+         errors)

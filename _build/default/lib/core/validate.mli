@@ -1,0 +1,34 @@
+(** Static checking of rendezvous protocols.
+
+    [check] enforces well-formedness (states and variables resolve, guards
+    type-check, message payloads are consistent across the two processes)
+    and the paper's syntactic restrictions (§2.4):
+
+    - star topology: remotes talk only to the home, the home only to
+      remotes;
+    - a remote communication state is either {e active} — exactly one
+      output guard — or {e passive} — input guards plus optional [Tau]
+      guards (Figure 1 (b) and (c));
+    - the home does not mix [Tau] guards with communication guards in one
+      state (internal and communication states are disjoint);
+    - internal states cannot loop among themselves forever (the paper's
+      assumption that a process eventually reaches a communication
+      state). *)
+
+type error = { where : string; what : string }
+
+type direction = Remote_to_home | Home_to_remote
+
+type signature = {
+  msg : string;
+  direction : direction;
+  payload : Expr.ty list;
+}
+
+val check : Ir.system -> (signature list, error list) result
+(** All checks; on success returns the message signature table. *)
+
+val check_exn : Ir.system -> signature list
+(** Like {!check} but raises [Invalid_argument] with a readable message. *)
+
+val pp_error : error Fmt.t

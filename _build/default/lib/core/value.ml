@@ -1,0 +1,108 @@
+type rid = int
+
+type t =
+  | Vunit
+  | Vbool of bool
+  | Vint of int
+  | Vrid of rid
+  | Vset of int
+
+type domain =
+  | Dunit
+  | Dbool
+  | Dint of int * int
+  | Drid
+  | Dset
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let default = function
+  | Dunit -> Vunit
+  | Dbool -> Vbool false
+  | Dint (lo, _) -> Vint lo
+  | Drid -> Vrid 0
+  | Dset -> Vset 0
+
+let member ~n dom v =
+  match (dom, v) with
+  | Dunit, Vunit -> true
+  | Dbool, Vbool _ -> true
+  | Dint (lo, hi), Vint i -> lo <= i && i <= hi
+  | Drid, Vrid r -> 0 <= r && r < n
+  | Dset, Vset m -> m >= 0 && m < 1 lsl n
+  | (Dunit | Dbool | Dint _ | Drid | Dset), _ -> false
+
+let enumerate ~n = function
+  | Dunit -> [ Vunit ]
+  | Dbool -> [ Vbool false; Vbool true ]
+  | Dint (lo, hi) -> List.init (hi - lo + 1) (fun i -> Vint (lo + i))
+  | Drid -> List.init n (fun i -> Vrid i)
+  | Dset -> List.init (1 lsl n) (fun m -> Vset m)
+
+let set_empty = Vset 0
+
+let as_mask = function
+  | Vset m -> m
+  | Vunit | Vbool _ | Vint _ | Vrid _ -> invalid_arg "Value: expected a set"
+
+let set_mem r s = as_mask s land (1 lsl r) <> 0
+let set_add r s = Vset (as_mask s lor (1 lsl r))
+let set_remove r s = Vset (as_mask s land lnot (1 lsl r))
+let set_is_empty s = as_mask s = 0
+
+let set_members s =
+  let m = as_mask s in
+  let rec loop i acc =
+    if 1 lsl i > m then List.rev acc
+    else loop (i + 1) (if m land (1 lsl i) <> 0 then i :: acc else acc)
+  in
+  loop 0 []
+
+let set_of_list rs = Vset (List.fold_left (fun m r -> m lor (1 lsl r)) 0 rs)
+let set_cardinal s = List.length (set_members s)
+
+let pp ppf = function
+  | Vunit -> Fmt.string ppf "()"
+  | Vbool b -> Fmt.bool ppf b
+  | Vint i -> Fmt.int ppf i
+  | Vrid r -> Fmt.pf ppf "r%d" r
+  | Vset s ->
+    Fmt.pf ppf "{%s}"
+      (String.concat "," (List.map string_of_int (set_members (Vset s))))
+
+let pp_domain ppf = function
+  | Dunit -> Fmt.string ppf "unit"
+  | Dbool -> Fmt.string ppf "bool"
+  | Dint (lo, hi) -> Fmt.pf ppf "int[%d..%d]" lo hi
+  | Drid -> Fmt.string ppf "rid"
+  | Dset -> Fmt.string ppf "rid set"
+
+let encode_int buf i =
+  let byte i = Buffer.add_char buf (Char.chr (i land 0xff)) in
+  (* small non-negative ints in one byte; larger in five *)
+  if i >= 0 && i < 0xf8 then byte i
+  else begin
+    byte 0xf8;
+    byte (i land 0xff);
+    byte ((i lsr 8) land 0xff);
+    byte ((i lsr 16) land 0xff);
+    byte ((i asr 24) land 0xff)
+  end
+
+let encode buf v =
+  let byte i = Buffer.add_char buf (Char.chr (i land 0xff)) in
+  let int i = encode_int buf i in
+  match v with
+  | Vunit -> byte 0
+  | Vbool false -> byte 1
+  | Vbool true -> byte 2
+  | Vint i ->
+    byte 3;
+    int (if i >= 0 then 2 * i else (-2 * i) + 1)
+  | Vrid r ->
+    byte 4;
+    int r
+  | Vset m ->
+    byte 5;
+    int m

@@ -1,0 +1,62 @@
+(** Runtime values and finite domains for protocol variables.
+
+    The refinement framework model-checks protocols by explicit state
+    enumeration, so every variable ranges over a small finite domain that is
+    declared up front.  Remote-node identities ([Vrid]) and sets of remote
+    identities ([Vset], represented as bitmasks) are first-class because
+    directory protocols are parameterized by the remote population. *)
+
+type rid = int
+(** A remote node identity, [0 .. n-1] for a system with [n] remotes. *)
+
+type t =
+  | Vunit
+  | Vbool of bool
+  | Vint of int
+  | Vrid of rid
+  | Vset of int  (** bitmask over remote ids; bit [i] = remote [i] present *)
+
+type domain =
+  | Dunit
+  | Dbool
+  | Dint of int * int  (** inclusive range [lo, hi] *)
+  | Drid
+  | Dset
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val default : domain -> t
+(** Initial value of a variable of the given domain: [Vunit], [false],
+    the low bound, remote [0], or the empty set. *)
+
+val member : n:int -> domain -> t -> bool
+(** Is the value a member of the domain, in a system with [n] remotes? *)
+
+val enumerate : n:int -> domain -> t list
+(** All members of the domain in a system with [n] remotes.  [Dset] has
+    [2^n] members; callers should restrict themselves to small [n]. *)
+
+(** {2 Set operations (bitmask sets of remote ids)} *)
+
+val set_empty : t
+val set_mem : rid -> t -> bool
+val set_add : rid -> t -> t
+val set_remove : rid -> t -> t
+val set_is_empty : t -> bool
+val set_members : t -> rid list
+val set_of_list : rid list -> t
+val set_cardinal : t -> int
+
+(** {2 Printing and encoding} *)
+
+val pp : t Fmt.t
+val pp_domain : domain Fmt.t
+
+val encode : Buffer.t -> t -> unit
+(** Append a compact, injective byte encoding; used to key hash tables of
+    visited states during model checking. *)
+
+val encode_int : Buffer.t -> int -> unit
+(** The same variable-length integer encoding used by {!encode}; injective
+    over non-negative ints, usable for control states and counters. *)

@@ -1,0 +1,1 @@
+lib/modelcheck/explore.ml: Array Bytes Char Fmt Hashtbl List Queue Stack String Unix

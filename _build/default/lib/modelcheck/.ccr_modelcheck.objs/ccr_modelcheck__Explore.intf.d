@@ -1,0 +1,1 @@
+lib/modelcheck/explore.mli: Fmt

@@ -1,0 +1,1 @@
+lib/modelcheck/graph.ml: Array Explore Hashtbl List Queue Stack

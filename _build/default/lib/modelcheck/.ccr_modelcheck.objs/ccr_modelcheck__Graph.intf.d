@@ -1,0 +1,1 @@
+lib/modelcheck/graph.mli: Explore

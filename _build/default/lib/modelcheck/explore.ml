@@ -1,0 +1,202 @@
+type ('s, 'l) system = {
+  init : 's;
+  succ : 's -> ('l * 's) list;
+  encode : 's -> string;
+}
+
+type limit = L_states | L_memory | L_time
+
+type strategy = Bfs | Dfs
+
+type visited_mode = Exact | Bitstate of int
+
+type 's outcome =
+  | Complete
+  | Limit of limit
+  | Violation of { invariant : string; state : 's }
+  | Deadlock of 's
+
+type ('s, 'l) stats = {
+  outcome : 's outcome;
+  states : int;
+  transitions : int;
+  time_s : float;
+  mem_bytes : int;
+  trace : ('l option * 's) list option;
+}
+
+(* Approximate per-state bookkeeping overhead of the visited set, on top of
+   the encoded key itself: hash-table bucket, boxed string header, id.  The
+   figure only needs to be stable, not exact: it turns the memory cap into
+   a deterministic, reproducible cap, which is what the paper's 64 MB
+   "Unfinished" entries correspond to. *)
+let per_state_overhead = 64
+
+(* The visited set, abstracted over exact hashing vs bitstate hashing.
+   [add] returns true when the key was not seen before (and marks it);
+   [bytes] is the memory the set holds. *)
+type store = { add : string -> bool; bytes : unit -> int }
+
+let exact_store () =
+  let tbl : (string, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let mem = ref 0 in
+  {
+    add =
+      (fun key ->
+        if Hashtbl.mem tbl key then false
+        else begin
+          Hashtbl.add tbl key ();
+          mem := !mem + String.length key + per_state_overhead;
+          true
+        end);
+    bytes = (fun () -> !mem);
+  }
+
+let bitstate_store bits =
+  let bits = max 10 (min 34 bits) in
+  let nbits = 1 lsl bits in
+  let table = Bytes.make (nbits / 8) '\000' in
+  let mask = nbits - 1 in
+  let get i = Char.code (Bytes.get table (i lsr 3)) land (1 lsl (i land 7)) <> 0 in
+  let set i =
+    Bytes.set table (i lsr 3)
+      (Char.chr
+         (Char.code (Bytes.get table (i lsr 3)) lor (1 lsl (i land 7))))
+  in
+  {
+    add =
+      (fun key ->
+        (* two independent hash positions, as SPIN's double bitstate *)
+        let h1 = Hashtbl.hash key land mask in
+        let h2 = Hashtbl.hash (key ^ "\x01") land mask in
+        let seen = get h1 && get h2 in
+        if not seen then begin
+          set h1;
+          set h2
+        end;
+        not seen);
+    bytes = (fun () -> nbits / 8);
+  }
+
+let run ?(strategy = Bfs) ?(visited = Exact) ?max_states ?max_mem_bytes
+    ?max_time_s ?(check_deadlock = false) ?(trace = false) ?(invariants = [])
+    sys =
+  let t0 = Unix.gettimeofday () in
+  let store =
+    match visited with Exact -> exact_store () | Bitstate b -> bitstate_store b
+  in
+  (* with [trace]: states.(id) and parents.(id) = (parent id, label) *)
+  let parents = ref [||] in
+  let states = ref [||] in
+  let n_states = ref 0 in
+  let record st parent label =
+    if trace then begin
+      if !n_states >= Array.length !states then begin
+        let cap = max 1024 (2 * Array.length !states) in
+        let states' = Array.make cap st
+        and parents' = Array.make cap (0, None) in
+        Array.blit !states 0 states' 0 !n_states;
+        Array.blit !parents 0 parents' 0 !n_states;
+        states := states';
+        parents := parents'
+      end;
+      !states.(!n_states) <- st;
+      !parents.(!n_states) <- (parent, label)
+    end
+  in
+  let rebuild_trace id =
+    if not trace then None
+    else
+      let rec up id acc =
+        let parent, label = !parents.(id) in
+        let entry = (label, !states.(id)) in
+        if parent = id then entry :: acc else up parent (entry :: acc)
+      in
+      Some (up id [])
+  in
+  let push_frontier, pop_frontier, frontier_empty =
+    match strategy with
+    | Bfs ->
+      let q = Queue.create () in
+      ( (fun x -> Queue.push x q),
+        (fun () -> Queue.pop q),
+        fun () -> Queue.is_empty q )
+    | Dfs ->
+      let s = Stack.create () in
+      ( (fun x -> Stack.push x s),
+        (fun () -> Stack.pop s),
+        fun () -> Stack.is_empty s )
+  in
+  let n_transitions = ref 0 in
+  let finished = ref None in
+  let bad_id = ref 0 in
+  let finish ?id o =
+    if !finished = None then begin
+      finished := Some o;
+      match id with Some id -> bad_id := id | None -> ()
+    end
+  in
+  let violated st =
+    List.find_opt (fun (_, check) -> not (check st)) invariants
+  in
+  let discover st parent label =
+    let key = sys.encode st in
+    if store.add key then begin
+      let id = !n_states in
+      record st parent label;
+      incr n_states;
+      (match violated st with
+      | Some (name, _) ->
+        finish ~id (Violation { invariant = name; state = st })
+      | None -> ());
+      (match (max_states, max_mem_bytes) with
+      | Some cap, _ when !n_states >= cap -> finish (Limit L_states)
+      | _, Some cap when store.bytes () >= cap -> finish (Limit L_memory)
+      | _ -> ());
+      push_frontier (st, id)
+    end
+  in
+  discover sys.init 0 None;
+  let tick = ref 0 in
+  while (not (frontier_empty ())) && !finished = None do
+    let st, id = pop_frontier () in
+    incr tick;
+    (match max_time_s with
+    | Some cap when !tick land 255 = 0 && Unix.gettimeofday () -. t0 > cap ->
+      finish (Limit L_time)
+    | _ -> ());
+    if !finished = None then begin
+      let succs = sys.succ st in
+      if check_deadlock && succs = [] then finish ~id (Deadlock st);
+      List.iter
+        (fun (label, st') ->
+          if !finished = None then begin
+            incr n_transitions;
+            discover st' id (Some label)
+          end)
+        succs
+    end
+  done;
+  let outcome = match !finished with Some o -> o | None -> Complete in
+  let trace_path =
+    match outcome with
+    | Violation _ | Deadlock _ -> rebuild_trace !bad_id
+    | Complete | Limit _ -> None
+  in
+  {
+    outcome;
+    states = !n_states;
+    transitions = !n_transitions;
+    time_s = Unix.gettimeofday () -. t0;
+    mem_bytes = store.bytes ();
+    trace = trace_path;
+  }
+
+let pp_outcome pp_state ppf = function
+  | Complete -> Fmt.string ppf "complete"
+  | Limit L_states -> Fmt.string ppf "unfinished (state cap)"
+  | Limit L_memory -> Fmt.string ppf "unfinished (memory cap)"
+  | Limit L_time -> Fmt.string ppf "unfinished (time cap)"
+  | Violation { invariant; state } ->
+    Fmt.pf ppf "invariant %s violated at@,%a" invariant pp_state state
+  | Deadlock state -> Fmt.pf ppf "deadlock at@,%a" pp_state state

@@ -1,0 +1,66 @@
+(** Explicit-state reachability analysis.
+
+    This is the reproduction's substitute for the paper's use of SPIN
+    (§5): breadth-first enumeration of the reachable states of a labeled
+    transition system, with invariant checking, deadlock detection,
+    counterexample traces, and the resource caps that produce the
+    "Unfinished" entries of Table 3. *)
+
+type ('s, 'l) system = {
+  init : 's;
+  succ : 's -> ('l * 's) list;
+  encode : 's -> string;  (** injective encoding for visited-state hashing *)
+}
+
+type limit = L_states | L_memory | L_time
+
+type strategy = Bfs | Dfs
+(** Search order.  Both enumerate the same reachable set; BFS yields
+    shortest counterexamples, DFS uses less frontier memory. *)
+
+type visited_mode =
+  | Exact  (** hash table of full encodings: exact counts *)
+  | Bitstate of int
+      (** supertrace/bitstate hashing with a [2^bits]-bit table and two
+          independent hash functions, as SPIN's [-DBITSTATE] (Holzmann
+          1991, which the paper used).  Collisions silently prune states:
+          the visit count is a lower bound, using [2^bits / 8] bytes
+          regardless of the state space. *)
+
+type 's outcome =
+  | Complete  (** the full reachable state space was enumerated *)
+  | Limit of limit  (** exploration stopped at a resource cap *)
+  | Violation of { invariant : string; state : 's }
+  | Deadlock of 's  (** a state with no successors (when enabled) *)
+
+type ('s, 'l) stats = {
+  outcome : 's outcome;
+  states : int;  (** distinct states visited *)
+  transitions : int;  (** transitions traversed *)
+  time_s : float;
+  mem_bytes : int;  (** approximate bytes held by the visited-state set *)
+  trace : ('l option * 's) list option;
+      (** with [~trace:true]: initial state to offending state, each entry
+          carrying the label that led to it *)
+}
+
+val run :
+  ?strategy:strategy ->
+  ?visited:visited_mode ->
+  ?max_states:int ->
+  ?max_mem_bytes:int ->
+  ?max_time_s:float ->
+  ?check_deadlock:bool ->
+  ?trace:bool ->
+  ?invariants:(string * ('s -> bool)) list ->
+  ('s, 'l) system ->
+  ('s, 'l) stats
+(** Search from [init] (default: breadth-first with an exact visited
+    set).  Invariants are checked on every state as it is discovered
+    (including the initial one); the first violation stops the search.
+    [check_deadlock] (default [false]) reports a state with no
+    successors.  [trace] (default [false]) keeps parent pointers so the
+    offending state's path can be reconstructed — at the cost of
+    retaining all visited states in memory. *)
+
+val pp_outcome : 's Fmt.t -> 's outcome Fmt.t

@@ -1,0 +1,107 @@
+type ('s, 'l) t = {
+  states : 's array;
+  edges : ('l * int) list array;
+  truncated : bool;
+}
+
+let build ?(max_states = 1_000_000) (sys : ('s, 'l) Explore.system) =
+  let visited : (string, int) Hashtbl.t = Hashtbl.create 4096 in
+  let states = ref [] and n = ref 0 in
+  let queue = Queue.create () in
+  let truncated = ref false in
+  let discover st =
+    let key = sys.encode st in
+    match Hashtbl.find_opt visited key with
+    | Some id -> id
+    | None ->
+      let id = !n in
+      incr n;
+      Hashtbl.add visited key id;
+      states := st :: !states;
+      Queue.push (st, id) queue;
+      id
+  in
+  ignore (discover sys.init);
+  let edges_acc = ref [] in
+  while not (Queue.is_empty queue) do
+    let st, id = Queue.pop queue in
+    if !n > max_states then truncated := true
+    else
+      let out =
+        List.map (fun (l, st') -> (l, discover st')) (sys.succ st)
+      in
+      edges_acc := (id, out) :: !edges_acc
+  done;
+  let states = Array.of_list (List.rev !states) in
+  let edges = Array.make (Array.length states) [] in
+  List.iter (fun (id, out) -> edges.(id) <- out) !edges_acc;
+  { states; edges; truncated = !truncated }
+
+let deadlocks g =
+  Array.to_list
+    (Array.mapi (fun i out -> (i, out)) g.edges)
+  |> List.filter_map (fun (i, out) -> if out = [] then Some i else None)
+
+(* A state is good iff it can reach the source of a progress edge.
+   Compute the set by backward closure over a reversed graph; then report
+   the [from]-states outside it. *)
+let violates_ag_implies_ef g ~from ~progress =
+  let n = Array.length g.states in
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun src out -> List.iter (fun (_, dst) -> preds.(dst) <- src :: preds.(dst)) out)
+    g.edges;
+  let good = Array.make n false in
+  let stack = Stack.create () in
+  Array.iteri
+    (fun src out ->
+      if (not good.(src)) && List.exists (fun (l, _) -> progress l) out then begin
+        good.(src) <- true;
+        Stack.push src stack
+      end)
+    g.edges;
+  while not (Stack.is_empty stack) do
+    let v = Stack.pop stack in
+    List.iter
+      (fun p ->
+        if not good.(p) then begin
+          good.(p) <- true;
+          Stack.push p stack
+        end)
+      preds.(v)
+  done;
+  let bad = ref [] in
+  for i = n - 1 downto 0 do
+    if (not good.(i)) && from g.states.(i) then bad := i :: !bad
+  done;
+  !bad
+
+let violates_ag_ef g ~progress =
+  violates_ag_implies_ef g ~from:(fun _ -> true) ~progress
+
+let path_to g target =
+  let n = Array.length g.states in
+  let parent = Array.make n None in
+  let seen = Array.make n false in
+  seen.(0) <- true;
+  let q = Queue.create () in
+  Queue.push 0 q;
+  let found = ref (target = 0) in
+  while (not !found) && not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    List.iter
+      (fun (l, w) ->
+        if not seen.(w) then begin
+          seen.(w) <- true;
+          parent.(w) <- Some (v, l);
+          if w = target then found := true;
+          Queue.push w q
+        end)
+      g.edges.(v)
+  done;
+  let rec up v acc =
+    match parent.(v) with
+    | None -> (None, g.states.(v)) :: acc
+    | Some (p, l) -> up p ((Some l, g.states.(v)) :: acc)
+  in
+  if !found || target = 0 then up target [] else []

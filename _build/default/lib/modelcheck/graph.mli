@@ -1,0 +1,38 @@
+(** Materialized reachability graphs for liveness-flavoured analyses.
+
+    {!Explore.run} streams through the state space and keeps only hashes;
+    this module instead retains every state and edge so that global
+    questions can be asked — chiefly the forward-progress property of
+    paper §2.5: from every reachable state, a progress transition (a
+    completed rendezvous) must remain reachable.  Intended for the small
+    configurations where such questions are tractable. *)
+
+type ('s, 'l) t = {
+  states : 's array;
+  edges : ('l * int) list array;  (** edges.(i) = outgoing edges of state i *)
+  truncated : bool;  (** true if [max_states] stopped the construction *)
+}
+
+val build : ?max_states:int -> ('s, 'l) Explore.system -> ('s, 'l) t
+
+val deadlocks : ('s, 'l) t -> int list
+(** Indices of states with no outgoing edges. *)
+
+val violates_ag_ef :
+  ('s, 'l) t -> progress:('l -> bool) -> int list
+(** Indices of states from which no progress-labeled edge is reachable —
+    witnesses against "from everywhere, some rendezvous can still
+    complete".  Empty on a truncated graph means nothing; callers should
+    check [truncated]. *)
+
+val violates_ag_implies_ef :
+  ('s, 'l) t -> from:('s -> bool) -> progress:('l -> bool) -> int list
+(** Witnesses against [AG (from ⇒ EF progress)]: indices of states
+    satisfying [from] from which no progress-labeled edge is reachable.
+    With [from = fun _ -> true] this is {!violates_ag_ef}.  Used for
+    per-remote response possibility: "whenever remote i is waiting, its
+    completion is still reachable". *)
+
+val path_to : ('s, 'l) t -> int -> ('l option * 's) list
+(** A shortest path (by BFS order) from the initial state to the given
+    state index. *)

@@ -1,0 +1,1 @@
+lib/protocols/barrier.ml: Array Async Ccr_core Ccr_refine Dsl List Prog Props Value Wire

@@ -1,0 +1,1 @@
+lib/protocols/invalidate.ml: Ccr_core Dsl Expr Props Value

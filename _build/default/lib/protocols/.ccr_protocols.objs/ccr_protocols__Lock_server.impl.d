@@ -1,0 +1,1 @@
+lib/protocols/lock_server.ml: Ccr_core Dsl Props Value

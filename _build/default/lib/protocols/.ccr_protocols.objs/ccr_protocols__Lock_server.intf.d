@@ -1,0 +1,1 @@
+lib/protocols/lock_server.mli: Async Ccr_core Ccr_refine Ccr_semantics Ir Prog Rendezvous

@@ -1,0 +1,1 @@
+lib/protocols/mesi.ml: Ccr_core Dsl Expr Prog Props Value

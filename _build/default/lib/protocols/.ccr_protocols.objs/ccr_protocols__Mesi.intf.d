@@ -1,0 +1,1 @@
+lib/protocols/mesi.mli: Async Ccr_core Ccr_refine Ccr_semantics Ir Prog Rendezvous

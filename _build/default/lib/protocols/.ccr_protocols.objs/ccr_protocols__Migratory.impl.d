@@ -1,0 +1,1 @@
+lib/protocols/migratory.ml: Ccr_core Dsl Props Value

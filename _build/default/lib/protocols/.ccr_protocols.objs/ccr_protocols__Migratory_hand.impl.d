@@ -1,0 +1,1 @@
+lib/protocols/migratory_hand.ml: Ccr_core Link Migratory

@@ -1,0 +1,1 @@
+lib/protocols/migratory_hand.mli: Async Ccr_core Ccr_refine Prog

@@ -1,0 +1,1 @@
+lib/protocols/props.ml: Array Async Ccr_core Ccr_refine Ccr_semantics List Prog Rendezvous

@@ -1,0 +1,1 @@
+lib/protocols/props.mli: Async Ccr_core Ccr_refine Ccr_semantics Prog Rendezvous Value

@@ -1,0 +1,1 @@
+lib/protocols/registry.ml: Async Barrier Ccr_core Ccr_refine Ccr_semantics Invalidate Ir Link List Lock_server Mesi Migratory Migratory_hand Prog Rendezvous Write_update

@@ -1,0 +1,1 @@
+lib/protocols/write_update.ml: Array Async Ccr_core Ccr_refine Ccr_semantics Dsl List Prog Props Value

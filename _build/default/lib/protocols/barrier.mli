@@ -1,0 +1,27 @@
+(** A barrier-synchronization protocol.
+
+    Not a cache protocol, but squarely within the paper's protocol class
+    (DSM runtime services share the same star shape, cf. the Avalanche
+    synchronization study the paper cites): every remote announces
+    [arrive]; once the home has collected all [n] arrivals it releases
+    each remote in turn with [go], choosing release order
+    nondeterministically from the arrived set.
+
+    Unlike the cache protocols, the home's [go] sends are {e not}
+    request/reply-optimizable (between a remote's [arrive] and its [go]
+    the home rendezvouses with every other remote, and the requester
+    alias is killed by the collection loop), so the refined protocol
+    exercises the generic path of Table 2 — home-initiated plain requests
+    with choose binders, acks and rotation. *)
+
+open Ccr_core
+open Ccr_semantics
+open Ccr_refine
+
+val system : Ir.system
+
+val rv_invariants : Prog.t -> (string * (Rendezvous.state -> bool)) list
+(** The release phase only starts complete ([s] is the full set on entry
+    to [R]); an arrived remote recorded in [s] is still waiting. *)
+
+val async_invariants : Prog.t -> (string * (Async.state -> bool)) list

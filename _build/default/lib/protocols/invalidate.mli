@@ -1,0 +1,30 @@
+(** The invalidate protocol — the second Avalanche DSM protocol measured
+    in the paper's Table 3.
+
+    The paper gives no figure for it, so this is a reconstruction of a
+    standard DSM invalidate protocol in the paper's rendezvous notation:
+    multiple remotes may share the line read-only ([S]); one remote may
+    own it for writing ([M]); on a write request the home invalidates
+    every sharer in turn (a [choose]-driven loop over the sharer set)
+    before granting; sharers may spontaneously evict ([relS]), the owner
+    may write back ([relM]).
+
+    Its directory state (a sharer set) makes its state space much larger
+    than migratory's, which is the shape Table 3 reports (invalidate rows
+    explode at smaller [n]).
+
+    Request/reply pairs found by the analysis: [reqS]/[grS],
+    [reqM]/[grM] (remote-initiated) and [inv]/[ID] (home-initiated);
+    [relS] and [relM] remain request+ack. *)
+
+open Ccr_core
+open Ccr_semantics
+open Ccr_refine
+
+val system : Ir.system
+
+val rv_invariants : Prog.t -> (string * (Rendezvous.state -> bool)) list
+(** Single-writer/multi-reader coherence, and soundness of the home's
+    sharer set. *)
+
+val async_invariants : Prog.t -> (string * (Async.state -> bool)) list

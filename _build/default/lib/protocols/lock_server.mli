@@ -1,0 +1,18 @@
+(** A minimal mutual-exclusion protocol in the paper's star shape.
+
+    Not a cache protocol, but the smallest useful instance of the
+    refinement framework: remotes acquire and release a lock held at the
+    home.  Used as the quickstart example and as a tiny test vehicle;
+    its rendezvous state space is small enough to enumerate by hand. *)
+
+open Ccr_core
+open Ccr_semantics
+open Ccr_refine
+
+val system : Ir.system
+
+val rv_invariants : Prog.t -> (string * (Rendezvous.state -> bool)) list
+(** Mutual exclusion: at most one remote in its critical section, and the
+    home is unlocked only when nobody is. *)
+
+val async_invariants : Prog.t -> (string * (Async.state -> bool)) list

@@ -1,0 +1,26 @@
+(** A MESI-style protocol: invalidate plus the Exclusive-clean state.
+
+    The first reader of an idle line receives it {e exclusively}
+    ([grS(excl=true)]): a subsequent write upgrades E→M with a silent
+    local step — no message at all, the signature MESI optimization,
+    expressible here because tau guards are free.  When another reader
+    appears the home {e downgrades} the exclusive holder ([down]/[dAck])
+    instead of invalidating it, keeping both as sharers; writers go
+    through the invalidation loop as in the invalidate protocol.
+
+    Payloads carry the dirtiness of writebacks ([rel(dirty)],
+    [ID(dirty)]) the way a memory controller would need.
+
+    Request/reply pairs: [reqS]/[grS], [reqM]/[grM] (remote-initiated),
+    [inv]/[ID] and [down]/[dAck] (home-initiated); [rel] stays
+    request+ack.  The conditional E-vs-S entry lives in an internal
+    state after the unconditional wait, keeping the pair optimizable. *)
+
+open Ccr_core
+open Ccr_semantics
+open Ccr_refine
+
+val system : Ir.system
+
+val rv_invariants : Prog.t -> (string * (Rendezvous.state -> bool)) list
+val async_invariants : Prog.t -> (string * (Async.state -> bool)) list

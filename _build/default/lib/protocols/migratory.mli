@@ -1,0 +1,33 @@
+(** The migratory protocol of the Avalanche DSM machine (paper §5,
+    Figures 2 and 3).
+
+    A single cache line migrates between remote nodes: the home grants
+    exclusive access to one remote at a time ([gr]), revokes it when
+    another remote asks ([inv]/[ID]) and accepts voluntary relinquishment
+    ([LR]).  The request/reply analysis finds the pairs [req]/[gr]
+    (remote-initiated) and [inv]/[ID] (home-initiated), so the refined
+    protocol exchanges two messages for those rendezvous and
+    request+ack for [LR] — exactly the refined automata of Figures 4
+    and 5.
+
+    [~with_data:true] makes the messages carry the cache-line contents,
+    modeled as the identity of the last writer: remotes in [V] may
+    execute a [write] tau setting their copy to [Self], and [gr], [LR]
+    and [ID] move the value around, as in the paper's [gr(data)].  The
+    default is the payload-free model, which is what Table 3 measures. *)
+
+open Ccr_core
+open Ccr_semantics
+open Ccr_refine
+
+val system : ?with_data:bool -> unit -> Ir.system
+
+val rv_invariants :
+  Prog.t -> (string * (Rendezvous.state -> bool)) list
+(** Coherence at the rendezvous level: at most one remote holds the line
+    ([V], or draining through [Ev]/[Iv]); nobody holds it when the home
+    is free; a remote with read/write permission ([V]) is the home's
+    recorded owner. *)
+
+val async_invariants : Prog.t -> (string * (Async.state -> bool)) list
+(** The same properties phrased for the refined protocol. *)

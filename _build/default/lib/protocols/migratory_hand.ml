@@ -1,0 +1,6 @@
+open Ccr_core
+
+let prog ?with_data ~n () =
+  Link.compile ~fire_and_forget:[ "LR" ] ~n (Migratory.system ?with_data ())
+
+let async_invariants = Migratory.async_invariants

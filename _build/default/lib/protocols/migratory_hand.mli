@@ -1,0 +1,24 @@
+(** The hand-designed Avalanche migratory protocol (paper §5).
+
+    The Avalanche architecture team's asynchronous migratory protocol
+    differs from the refined one in exactly one way: no ack is exchanged
+    after an [LR] message (the dotted edges of Figures 4–5 are not
+    taken).  The relinquishing remote moves on immediately and the home
+    must always accept an [LR] — a designer-level insight the mechanical
+    refinement cannot make, obtained here with {!Link.compile}'s
+    [fire_and_forget].
+
+    The paper left quantifying the difference as future work; the
+    message-efficiency bench compares this protocol against the refined
+    one.  Note that the soundness argument (Eq. 1) does {e not} apply to
+    hand-modified protocols; its coherence invariants are model-checked
+    directly instead. *)
+
+open Ccr_core
+open Ccr_refine
+
+val prog : ?with_data:bool -> n:int -> unit -> Prog.t
+(** The hand-optimized protocol, ready to execute (there is no rendezvous
+    counterpart: the modification lives below the rendezvous level). *)
+
+val async_invariants : Prog.t -> (string * (Async.state -> bool)) list

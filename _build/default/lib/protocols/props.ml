@@ -1,0 +1,49 @@
+open Ccr_core
+open Ccr_semantics
+open Ccr_refine
+
+let count p n f =
+  let c = ref 0 in
+  for i = 0 to n - 1 do
+    if f i then incr c
+  done;
+  ignore p;
+  !c
+
+let rv_remote_ctl (prog : Prog.t) (st : Rendezvous.state) i =
+  prog.remote.p_states.(st.r.(i).ctl).cs_name
+
+let rv_remotes_in prog names (st : Rendezvous.state) =
+  count prog (Array.length st.r) (fun i ->
+      List.mem (rv_remote_ctl prog st i) names)
+
+let rv_home_in (prog : Prog.t) names (st : Rendezvous.state) =
+  List.mem prog.home.p_states.(st.h.ctl).cs_name names
+
+let rv_home_var (prog : Prog.t) x (st : Rendezvous.state) =
+  st.h.env.(Prog.var_index prog.home x)
+
+let as_remote_ctl (prog : Prog.t) (st : Async.state) i =
+  prog.remote.p_states.(st.r.(i).r_ctl).cs_name
+
+let as_remotes_in prog names (st : Async.state) =
+  count prog (Array.length st.r) (fun i ->
+      List.mem (as_remote_ctl prog st i) names)
+
+let as_home_in (prog : Prog.t) names (st : Async.state) =
+  List.mem prog.home.p_states.(st.h.h_ctl).cs_name names
+
+let as_home_var (prog : Prog.t) x (st : Async.state) =
+  st.h.h_env.(Prog.var_index prog.home x)
+
+let as_home_idle (st : Async.state) =
+  match st.h.h_mode with Async.Hcomm -> true | Async.Htrans _ -> false
+
+let as_home_transient_peer (st : Async.state) =
+  match st.h.h_mode with
+  | Async.Hcomm -> None
+  | Async.Htrans { peer; _ } -> Some peer
+
+let forall_remotes n f =
+  let rec loop i = i >= n || (f i && loop (i + 1)) in
+  loop 0

@@ -1,0 +1,69 @@
+open Ccr_core
+open Ccr_semantics
+open Ccr_refine
+
+type t = {
+  name : string;
+  doc : string;
+  system : Ir.system option;
+  instantiate : reqrep:bool -> n:int -> Prog.t;
+  rv_invariants : Prog.t -> (string * (Rendezvous.state -> bool)) list;
+  async_invariants : Prog.t -> (string * (Async.state -> bool)) list;
+}
+
+let of_system ?(rv = fun _ -> []) ?(asy = fun _ -> []) name doc sys =
+  {
+    name;
+    doc;
+    system = Some sys;
+    instantiate = (fun ~reqrep ~n -> Link.compile ~reqrep ~n sys);
+    rv_invariants = rv;
+    async_invariants = asy;
+  }
+
+let all =
+  [
+    of_system "migratory"
+      "the Avalanche migratory protocol (paper Figures 2-3)"
+      (Migratory.system ())
+      ~rv:Migratory.rv_invariants ~asy:Migratory.async_invariants;
+    of_system "migratory-data"
+      "migratory carrying the cache line's contents (last-writer id)"
+      (Migratory.system ~with_data:true ())
+      ~rv:Migratory.rv_invariants ~asy:Migratory.async_invariants;
+    {
+      name = "migratory-hand";
+      doc =
+        "the Avalanche team's hand-designed migratory protocol (unacked \
+         LR, paper §5); no rendezvous level";
+      system = None;
+      instantiate = (fun ~reqrep:_ ~n -> Migratory_hand.prog ~n ());
+      rv_invariants = (fun _ -> []);
+      async_invariants = Migratory_hand.async_invariants;
+    };
+    of_system "invalidate"
+      "the Avalanche invalidate protocol (multi-reader/single-writer, \
+       reconstructed)"
+      Invalidate.system ~rv:Invalidate.rv_invariants
+      ~asy:Invalidate.async_invariants;
+    of_system "mesi"
+      "MESI: invalidate plus an Exclusive-clean state with silent E->M \
+       upgrade and a downgrade path"
+      Mesi.system ~rv:Mesi.rv_invariants ~asy:Mesi.async_invariants;
+    of_system "write-update"
+      "write-update: writes broadcast to sharers, deferred-writer \
+       serialization, quiescent copies agree"
+      Write_update.system ~rv:Write_update.rv_invariants
+      ~asy:Write_update.async_invariants;
+    of_system "lock"
+      "a mutual-exclusion lock server (quickstart protocol)"
+      Lock_server.system ~rv:Lock_server.rv_invariants
+      ~asy:Lock_server.async_invariants;
+    of_system "barrier"
+      "barrier synchronization (choose-driven release loop, generic \
+       refinement path)"
+      Barrier.system ~rv:Barrier.rv_invariants ~asy:Barrier.async_invariants;
+  ]
+
+let find name = List.find_opt (fun e -> e.name = name) all
+let names () = List.map (fun e -> e.name) all

@@ -1,0 +1,22 @@
+(** The catalogue of shipped protocols, for the CLI and the examples.
+
+    Each entry bundles a rendezvous specification (absent for
+    hand-optimized variants, which only exist below the rendezvous level)
+    with its instantiation function and per-level coherence invariants. *)
+
+open Ccr_core
+open Ccr_semantics
+open Ccr_refine
+
+type t = {
+  name : string;
+  doc : string;
+  system : Ir.system option;  (** [None] for hand-optimized variants *)
+  instantiate : reqrep:bool -> n:int -> Prog.t;
+  rv_invariants : Prog.t -> (string * (Rendezvous.state -> bool)) list;
+  async_invariants : Prog.t -> (string * (Async.state -> bool)) list;
+}
+
+val all : t list
+val find : string -> t option
+val names : unit -> string list

@@ -1,0 +1,25 @@
+(** A write-update protocol: writes are broadcast, nobody is invalidated.
+
+    Readers join a sharer set; a sharer writes by sending its new value
+    to the home ([wr]), which propagates it to every other sharer
+    ([upd]/[updAck]) before acknowledging the writer ([wrAck]).  The
+    home serializes concurrent writes through a {e deferred-writer set}:
+    a [wr] arriving mid-propagation is absorbed into [pend] and served
+    in a later round (the value travels as the writer's identity, like
+    the data-carrying migratory variant).  Writers must stay receptive
+    to updates while waiting for their own acknowledgment — the deadlock
+    that would otherwise arise is exactly Table 2's condition (c) at
+    work, and shaped this protocol (see DESIGN.md).
+
+    The line's value is modeled as the last writer's identity, giving a
+    checkable coherence property: whenever the system is quiescent,
+    every sharer's copy equals the home's. *)
+
+open Ccr_core
+open Ccr_semantics
+open Ccr_refine
+
+val system : Ir.system
+
+val rv_invariants : Prog.t -> (string * (Rendezvous.state -> bool)) list
+val async_invariants : Prog.t -> (string * (Async.state -> bool)) list

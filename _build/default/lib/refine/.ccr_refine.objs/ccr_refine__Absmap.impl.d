@@ -1,0 +1,1 @@
+lib/refine/absmap.ml: Array Async Ccr_core Ccr_semantics Fmt Hashtbl List Prog Queue Rendezvous Wire

@@ -1,0 +1,1 @@
+lib/refine/absmap.mli: Async Ccr_core Ccr_semantics Fmt Prog Rendezvous

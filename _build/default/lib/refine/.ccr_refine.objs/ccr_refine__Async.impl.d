@@ -1,0 +1,1 @@
+lib/refine/async.ml: Array Buffer Ccr_core Fmt List Prog String Value Wire

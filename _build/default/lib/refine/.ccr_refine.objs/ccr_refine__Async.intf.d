@@ -1,0 +1,1 @@
+lib/refine/async.mli: Ccr_core Fmt Prog Value Wire

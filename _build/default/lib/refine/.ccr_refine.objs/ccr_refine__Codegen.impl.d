@@ -1,0 +1,1 @@
+lib/refine/codegen.ml: Buffer Compile Fmt List String

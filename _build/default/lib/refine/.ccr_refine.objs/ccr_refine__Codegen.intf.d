@@ -1,0 +1,1 @@
+lib/refine/codegen.mli: Compile

@@ -1,0 +1,1 @@
+lib/refine/compile.ml: Array Ccr_core Fmt Hashtbl List Prog

@@ -1,0 +1,1 @@
+lib/refine/compile.mli: Ccr_core

@@ -1,0 +1,1 @@
+lib/refine/report.ml: Array Buffer Ccr_core Compile Fmt Ir Link List Prog Reqrep String Validate

@@ -1,0 +1,1 @@
+lib/refine/report.mli: Ccr_core Ir

@@ -1,0 +1,1 @@
+lib/refine/symmetry.ml: Array Async Ccr_core Ccr_semantics Fun List Option Prog Rendezvous String Value Wire

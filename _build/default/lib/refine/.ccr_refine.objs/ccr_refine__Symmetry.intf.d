@@ -1,0 +1,1 @@
+lib/refine/symmetry.mli: Async Ccr_core Ccr_semantics Prog Rendezvous

@@ -1,0 +1,1 @@
+lib/refine/wire.ml: Buffer Ccr_core Fmt List String Value

@@ -1,0 +1,1 @@
+lib/refine/wire.mli: Buffer Ccr_core Fmt Value

@@ -1,0 +1,196 @@
+open Ccr_core
+open Ccr_semantics
+
+let msg_name_of_send (g : Prog.cguard) =
+  match g.cg_action with
+  | Prog.C_send_home (m, _) | Prog.C_send_remote (_, m, _) -> m
+  | Prog.C_recv_home _ | Prog.C_recv_any _ | Prog.C_recv_from _ | Prog.C_tau _
+    ->
+    invalid_arg "Absmap: transient mode refers to a non-send guard"
+
+let has_ack q = List.exists (function Wire.Ack -> true | _ -> false) q
+let has_nack q = List.exists (function Wire.Nack -> true | _ -> false) q
+
+let find_req_named q name =
+  List.find_map
+    (function
+      | Wire.Req m when m.Wire.m_name = name -> Some m
+      | Wire.Req _ | Wire.Ack | Wire.Nack -> None)
+    q
+
+let has_req_other q name =
+  List.exists
+    (function
+      | Wire.Req m -> m.Wire.m_name <> name
+      | Wire.Ack | Wire.Nack -> false)
+    q
+
+let abs (prog : Prog.t) (st : Async.state) : Rendezvous.state =
+  let abs_remote i (r : Async.remote) : Rendezvous.pstate =
+    match r.r_mode with
+    | Async.Rcomm -> { ctl = r.r_ctl; env = Array.copy r.r_env }
+    | Async.Rtrans { guard; scratch } ->
+      let g = prog.remote.p_states.(r.r_ctl).cs_guards.(guard) in
+      if has_ack st.to_r.(i) then
+        (* ack in flight: prepaid *)
+        { ctl = g.cg_target; env = Prog.complete ~self:(Some i) scratch g }
+      else { ctl = r.r_ctl; env = Array.copy r.r_env }
+    | Async.Rwait { guard; scratch; repl } -> (
+      let g = prog.remote.p_states.(r.r_ctl).cs_guards.(guard) in
+      let req_name = msg_name_of_send g in
+      if has_nack st.to_r.(i) then
+        (* nack in flight: the request never happened *)
+        { ctl = r.r_ctl; env = Array.copy r.r_env }
+      else
+        match find_req_named st.to_r.(i) repl with
+        | Some m -> (
+          (* reply in flight: both rendezvous are prepaid *)
+          let env1 = Prog.complete ~self:(Some i) scratch g in
+          let ctl1 = g.cg_target in
+          match Async.remote_request_instances prog ~ctl:ctl1 ~env:env1 i m with
+          | (gi2, scratch2) :: _ ->
+            let g2 = prog.remote.p_states.(ctl1).cs_guards.(gi2) in
+            {
+              ctl = g2.cg_target;
+              env = Prog.complete ~self:(Some i) scratch2 g2;
+            }
+          | [] ->
+            invalid_arg "Absmap: reply in flight matches no wait guard")
+        | None ->
+          let pending =
+            find_req_named st.to_h.(i) req_name <> None
+            || List.exists
+                 (fun (j, (m : Wire.msg)) -> j = i && m.m_name = req_name)
+                 st.h.h_buf
+          in
+          if pending then
+            (* request discarded: roll the sender back *)
+            { ctl = r.r_ctl; env = Array.copy r.r_env }
+          else
+            (* the home consumed the request silently: the first
+               rendezvous happened, the reply is still to come *)
+            { ctl = g.cg_target; env = Prog.complete ~self:(Some i) scratch g })
+  in
+  let abs_home (h : Async.home) : Rendezvous.pstate =
+    match h.h_mode with
+    | Async.Hcomm -> { ctl = h.h_ctl; env = Array.copy h.h_env }
+    | Async.Htrans { guard; peer; scratch; await } -> (
+      let g = prog.home.p_states.(h.h_ctl).cs_guards.(guard) in
+      let rolled () : Rendezvous.pstate =
+        { ctl = h.h_ctl; env = Array.copy h.h_env }
+      in
+      let post () : Rendezvous.pstate =
+        { ctl = g.cg_target; env = Prog.complete ~self:None scratch g }
+      in
+      match await with
+      | `Ack -> if has_ack st.to_h.(peer) then post () else rolled ()
+      | `Repl repl -> (
+        let req_name = msg_name_of_send g in
+        match find_req_named st.to_h.(peer) repl with
+        | Some m -> (
+          (* reply in flight towards the home: both rendezvous prepaid *)
+          let env1 = Prog.complete ~self:None scratch g in
+          let ctl1 = g.cg_target in
+          match
+            Async.home_request_instances prog ~ctl:ctl1 ~env:env1 peer m
+          with
+          | (gi2, scratch2) :: _ ->
+            let g2 = prog.home.p_states.(ctl1).cs_guards.(gi2) in
+            {
+              ctl = g2.cg_target;
+              env = Prog.complete ~self:None scratch2 g2;
+            }
+          | [] -> invalid_arg "Absmap: reply in flight matches no home guard")
+        | None ->
+          if has_nack st.to_h.(peer) then rolled ()
+          else if has_req_other st.to_h.(peer) repl then
+            (* a crossing request from the peer: implicit nack coming *)
+            rolled ()
+          else
+            let pending =
+              find_req_named st.to_r.(peer) req_name <> None
+              ||
+              match st.r.(peer).r_buf with
+              | Some m -> m.m_name = req_name
+              | None -> false
+            in
+            if pending then rolled ()
+            else
+              (* the peer consumed the request silently and will reply
+                 after local actions only *)
+              post ()))
+  in
+  { h = abs_home st.h; r = Array.mapi abs_remote st.r }
+
+type failure = {
+  label : Async.label;
+  from_abs : Rendezvous.state;
+  to_abs : Rendezvous.state;
+}
+
+type verdict = {
+  ok : bool;
+  states : int;
+  transitions : int;
+  stutters : int;
+  steps : int;
+  abs_states : int;
+  failure : failure option;
+  truncated : bool;
+}
+
+let check_eq1 ?(max_states = 200_000) (prog : Prog.t) (cfg : Async.config) =
+  let visited = Hashtbl.create 4096 in
+  let abs_seen = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  let push st =
+    let key = Async.encode st in
+    if not (Hashtbl.mem visited key) then begin
+      Hashtbl.add visited key ();
+      Hashtbl.replace abs_seen (Rendezvous.encode (abs prog st)) ();
+      Queue.push st queue
+    end
+  in
+  push (Async.initial prog cfg);
+  let transitions = ref 0 and stutters = ref 0 and steps = ref 0 in
+  let failure = ref None in
+  let truncated = ref false in
+  while (not (Queue.is_empty queue)) && !failure = None do
+    let st = Queue.pop queue in
+    if Hashtbl.length visited > max_states then truncated := true
+    else
+      List.iter
+        (fun (label, st') ->
+          if !failure = None then begin
+            incr transitions;
+            let a = abs prog st and a' = abs prog st' in
+            let ka = Rendezvous.encode a and ka' = Rendezvous.encode a' in
+            if ka = ka' then incr stutters
+            else if
+              List.exists
+                (fun (_, s) -> Rendezvous.encode s = ka')
+                (Rendezvous.successors prog a)
+            then incr steps
+            else failure := Some { label; from_abs = a; to_abs = a' };
+            push st'
+          end)
+        (Async.successors prog cfg st)
+  done;
+  {
+    ok = !failure = None;
+    states = Hashtbl.length visited;
+    transitions = !transitions;
+    stutters = !stutters;
+    steps = !steps;
+    abs_states = Hashtbl.length abs_seen;
+    failure = !failure;
+    truncated = !truncated;
+  }
+
+let pp_verdict ppf v =
+  Fmt.pf ppf
+    "eq1: %s — %d async states (%d transitions: %d stutters, %d rendezvous \
+     steps) covering %d rendezvous states%s"
+    (if v.ok then "OK" else "VIOLATED")
+    v.states v.transitions v.stutters v.steps v.abs_states
+    (if v.truncated then " (truncated)" else "")

@@ -1,0 +1,47 @@
+(** The abstraction function of the soundness argument (paper §4).
+
+    [abs] maps a state of the refined asynchronous protocol back to a
+    state of the rendezvous protocol, exactly as the paper constructs it:
+
+    - requests for rendezvous still in flight (or buffered) are
+      discarded, rolling their sender back from its transient mode to the
+      communication state it came from;
+    - acks in flight are prepaid: the process they travel towards is
+      advanced to the state it will reach on consuming them (a reply
+      under the request/reply optimization counts as an ack);
+    - nacks in flight are discarded, rolling the nacked process back.
+
+    {!check_eq1} verifies the paper's Equation 1 on the reachable
+    fragment of the asynchronous system: every asynchronous transition
+    maps under [abs] to a stutter or to a legal rendezvous transition.
+    This is the mechanized counterpart of the paper's correctness
+    argument, run per-protocol. *)
+
+open Ccr_core
+open Ccr_semantics
+
+val abs : Prog.t -> Async.state -> Rendezvous.state
+
+type failure = {
+  label : Async.label;  (** the asynchronous transition that broke Eq. 1 *)
+  from_abs : Rendezvous.state;
+  to_abs : Rendezvous.state;
+}
+
+type verdict = {
+  ok : bool;
+  states : int;  (** asynchronous states explored *)
+  transitions : int;
+  stutters : int;  (** transitions with [abs q = abs q'] *)
+  steps : int;  (** transitions mapping to a rendezvous transition *)
+  abs_states : int;  (** distinct rendezvous states in the image of [abs] *)
+  failure : failure option;
+  truncated : bool;  (** hit [max_states] before exhausting the space *)
+}
+
+val check_eq1 :
+  ?max_states:int -> Prog.t -> Async.config -> verdict
+(** Breadth-first over the asynchronous system (default cap 200_000
+    states); stops at the first Eq. 1 violation. *)
+
+val pp_verdict : verdict Fmt.t

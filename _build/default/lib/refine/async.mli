@@ -1,0 +1,175 @@
+(** The refined asynchronous semantics (paper §3, Tables 1 and 2).
+
+    The rendezvous protocol is executed over reliable in-order
+    point-to-point FIFO channels with request/ack/nack messages:
+
+    - every active guard becomes a request followed by a wait in a
+      {e transient} mode for an ack, a nack, or a crossing request
+      (implicit nack, rule R3);
+    - every remote node owns a one-message buffer for a pending home
+      request (Table 1);
+    - the home owns a [k >= 2]-message buffer with two reservations: the
+      {e progress buffer} (last free slot only admits a request that can
+      complete a rendezvous in the current communication state) and, while
+      the home is transient towards remote [i], the {e ack buffer} (one
+      slot kept free so a message from [i] can always be held) — Table 2;
+    - on a nack the home rotates to its next output guard (Table 2, T2);
+    - guards annotated by the request/reply analysis (§3.3) skip acks: the
+      reply doubles as the ack of the request.
+
+    This module is an interpreter for the refined protocol; the
+    corresponding explicit automata (paper Figures 4–5) are produced by
+    {!Compile}. *)
+
+open Ccr_core
+
+type config = { k : int }  (** home buffer capacity, [k >= 2] *)
+
+type hmode =
+  | Hcomm
+  | Htrans of {
+      guard : int;  (** index of the output guard in the control state *)
+      peer : int;  (** remote the home awaits *)
+      scratch : Value.t array;
+          (** environment with the guard's choose binders applied, kept so
+              the assignments can run when the rendezvous completes *)
+      await : [ `Ack | `Repl of string ];
+    }
+
+type home = {
+  h_ctl : int;
+  h_env : Value.t array;
+  h_mode : hmode;
+  h_rot : int;
+      (** rotation position over the control state's output guards,
+          advanced on (implicit) nacks — Table 2 row T2 *)
+  h_buf : (int * Wire.msg) list;  (** buffered requests, oldest first *)
+}
+
+type rmode =
+  | Rcomm
+  | Rtrans of { guard : int; scratch : Value.t array }
+  | Rwait of { guard : int; scratch : Value.t array; repl : string }
+      (** request sent under request/reply: waiting for the reply (or a
+          nack), no ack will come *)
+
+type remote = {
+  r_ctl : int;
+  r_env : Value.t array;
+  r_mode : rmode;
+  r_buf : Wire.msg option;  (** the one-message buffer of Table 1 *)
+}
+
+type state = {
+  h : home;
+  r : remote array;
+  to_h : Wire.t list array;  (** channel remote [i] → home, head oldest *)
+  to_r : Wire.t list array;  (** channel home → remote [i] *)
+}
+
+(** Rule identifiers, named after the rows of Tables 1 and 2; used for
+    trace explanation and for the rule-coverage experiment. *)
+type rule_id =
+  | R_C1  (** remote: request for rendezvous sent, buffer was empty *)
+  | R_C2  (** remote: request sent, pending home request deleted *)
+  | R_C3_ack  (** remote: buffered home request matched, acked *)
+  | R_C3_silent  (** remote: request/reply consume, no ack *)
+  | R_C3_nack  (** remote: buffered home request matched no guard *)
+  | R_T1  (** remote: ack received, rendezvous complete *)
+  | R_T2  (** remote: nack received, back to communication state *)
+  | R_T3  (** remote: home request ignored while transient *)
+  | R_tau
+  | R_reply_send  (** remote: fire-and-forget reply *)
+  | R_repl_recv  (** remote: reply received, completes both rendezvous *)
+  | R_deliver  (** home request moved from channel into remote buffer *)
+  | H_C1  (** home: buffered request matched, acked *)
+  | H_C1_silent  (** home: request/reply consume, no ack *)
+  | H_C2  (** home: request for rendezvous sent, transient entered *)
+  | H_T1  (** home: ack received, rendezvous complete *)
+  | H_T1_repl  (** home: reply received, completes both rendezvous *)
+  | H_T2  (** home: nack received, rotation advanced *)
+  | H_T3  (** home: implicit nack — peer's request buffered *)
+  | H_T4  (** home: foreign request admitted, > 2 slots free *)
+  | H_T5  (** home: foreign request admitted into the progress buffer *)
+  | H_T6  (** home: foreign request nacked, buffers exhausted *)
+  | H_tau
+  | H_reply_send  (** home: fire-and-forget reply *)
+  | H_admit  (** home (non-transient): request admitted *)
+  | H_admit_progress
+      (** home (non-transient): request admitted into the progress buffer *)
+  | H_nack_full  (** home (non-transient): request nacked, buffers full *)
+
+type label = {
+  rule : rule_id;
+  actor : int;  (** remote id, or [-1] for the home *)
+  subject : string;  (** message or tau label involved, [""] if none *)
+}
+
+exception Protocol_error of string
+(** Raised when an execution reaches a configuration the refinement rules
+    declare impossible (e.g. an ack arriving at a non-transient process).
+    Reachable only if the refinement itself is broken, so tests treat it
+    as a hard failure. *)
+
+val initial : Prog.t -> config -> state
+val successors : Prog.t -> config -> state -> (label * state) list
+val encode : state -> string
+
+(** {2 Node-local semantics}
+
+    The refinement rules are local to one node: these functions give each
+    node's transitions together with the messages it emits.  The global
+    {!successors} is assembled from them, and {!Runtime} executes them
+    concurrently over real channels. *)
+
+val initial_home : Prog.t -> home
+val initial_remote : Prog.t -> remote
+
+val home_local :
+  Prog.t -> config -> home -> (label * home * (int * Wire.t) list) list
+(** Taus, row C1 (consume a buffered request — emits the ack) and row C2
+    (send a request — emits it plus any eviction nack). *)
+
+val home_recv :
+  Prog.t -> config -> home -> int -> Wire.t -> (label * home * (int * Wire.t) list) list
+(** Reaction to a message from remote [i]: rows T1-T6 and the admission
+    rules.  Always consumes the message.
+    @raise Protocol_error on messages the rules declare impossible. *)
+
+val remote_local : Prog.t -> remote -> int -> (label * remote * Wire.t list) list
+(** Taus, the active send (rows C1/C2 of Table 1) and passive consumption
+    of the buffered home request (row C3). *)
+
+val remote_recv : Prog.t -> remote -> int -> Wire.t -> (label * remote * Wire.t list) list
+(** Reaction to a message from the home: rows T1-T3 and buffering.
+    Returns [[]] when the one-slot buffer is full and the request cannot
+    be accepted yet; the caller must leave the message queued. *)
+
+(** {2 Matching helpers}
+
+    All ways a request from remote [i] could complete a rendezvous of the
+    home (resp. of remote [i]) at control state [ctl] under environment
+    [env].  Each result is the matching guard's index and the scratch
+    environment with bindings applied.  Shared with {!Absmap}. *)
+
+val home_request_instances :
+  Prog.t ->
+  ctl:int ->
+  env:Value.t array ->
+  int ->
+  Wire.msg ->
+  (int * Value.t array) list
+
+val remote_request_instances :
+  Prog.t ->
+  ctl:int ->
+  env:Value.t array ->
+  int ->
+  Wire.msg ->
+  (int * Value.t array) list
+
+val messages_in_flight : state -> int
+val all_rules : rule_id list
+val rule_name : rule_id -> string
+val pp_label : label Fmt.t
+val pp_state : Prog.t -> state Fmt.t

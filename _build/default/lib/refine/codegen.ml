@@ -1,0 +1,64 @@
+let ident s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> c
+      | _ -> '_')
+    s
+
+let event_of (e : Compile.edge) =
+  match e.e_kind with
+  | Compile.E_send_req | Compile.E_reply_send -> "EV_LOCAL_DECISION"
+  | Compile.E_recv_req _ -> "EV_REQUEST_MATCHED"
+  | Compile.E_recv_nomatch -> "EV_REQUEST_UNMATCHED"
+  | Compile.E_ack_in -> "EV_ACK"
+  | Compile.E_nack_in -> "EV_NACK"
+  | Compile.E_repl_in -> "EV_REPLY"
+  | Compile.E_ignore -> "EV_REQUEST_IGNORED"
+  | Compile.E_tau -> "EV_LOCAL_DECISION"
+
+let action_of (e : Compile.edge) =
+  match e.e_kind with
+  | Compile.E_send_req | Compile.E_reply_send ->
+    Fmt.str "send_request(); /* %s */" e.e_label
+  | Compile.E_recv_req `Ack -> Fmt.str "consume_and_ack(); /* %s */" e.e_label
+  | Compile.E_recv_req `Silent ->
+    Fmt.str "consume_silently(); /* %s */" e.e_label
+  | Compile.E_recv_nomatch -> "send_nack();"
+  | Compile.E_ack_in -> "commit_rendezvous();"
+  | Compile.E_nack_in -> "abort_rendezvous(); /* retry from here */"
+  | Compile.E_repl_in ->
+    Fmt.str "commit_both_rendezvous(); /* %s */" e.e_label
+  | Compile.E_ignore -> "drop_request(); /* implicit nack at peer */"
+  | Compile.E_tau -> Fmt.str "/* %s */" e.e_label
+
+let emit_c (a : Compile.automaton) =
+  let buf = Buffer.create 2048 in
+  let out fmt = Fmt.kstr (Buffer.add_string buf) fmt in
+  out "/* generated dispatch table for %s */\n" a.a_name;
+  out "enum state { %s };\n\n"
+    (String.concat ", "
+       (List.map (fun (s, _) -> "S_" ^ ident s) a.a_states));
+  out "void dispatch(enum state *state, enum event ev) {\n";
+  out "  switch (*state) {\n";
+  List.iter
+    (fun (s, kind) ->
+      out "  case S_%s: /* %s */\n" (ident s)
+        (match kind with
+        | Compile.Communication -> "communication state"
+        | Compile.Internal -> "internal state"
+        | Compile.Transient -> "transient state");
+      out "    switch (ev) {\n";
+      List.iter
+        (fun (e : Compile.edge) ->
+          if e.e_from = s then begin
+            out "    case %s:\n" (event_of e);
+            out "      %s\n" (action_of e);
+            out "      *state = S_%s; break;\n" (ident e.e_to)
+          end)
+        a.a_edges;
+      out "    default: break; /* held in buffer or nacked */\n";
+      out "    }\n    break;\n")
+    a.a_states;
+  out "  }\n}\n";
+  Buffer.contents buf

@@ -1,0 +1,8 @@
+(** Dispatch-table rendering of refined automata.
+
+    The paper notes the refined protocol "can be implemented directly,
+    for example in microcode" (§2.3).  This module prints the explicit
+    automata of {!Compile} as event-dispatch pseudo-C: one switch arm per
+    (state, event), the shape a protocol engine's firmware takes. *)
+
+val emit_c : Compile.automaton -> string

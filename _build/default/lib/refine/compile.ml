@@ -1,0 +1,324 @@
+open Ccr_core
+
+type state_kind = Communication | Internal | Transient
+
+type edge_kind =
+  | E_send_req
+  | E_recv_req of [ `Ack | `Silent ]
+  | E_recv_nomatch
+  | E_ack_in
+  | E_nack_in
+  | E_repl_in
+  | E_ignore
+  | E_tau
+  | E_reply_send
+
+type edge = {
+  e_from : string;
+  e_to : string;
+  e_kind : edge_kind;
+  e_label : string;
+}
+
+type automaton = {
+  a_name : string;
+  a_init : string;
+  a_states : (string * state_kind) list;
+  a_edges : edge list;
+}
+
+let pp_args proc ppf = function
+  | [] -> ()
+  | l -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:comma (Prog.pp_cexpr proc)) l
+
+let pp_vars proc ppf = function
+  | [] -> ()
+  | l ->
+    Fmt.pf ppf "(%a)"
+      Fmt.(
+        list ~sep:comma (fun ppf i -> Fmt.string ppf proc.Prog.p_var_names.(i)))
+      l
+
+let guard_prefix proc (g : Prog.cguard) =
+  let choose =
+    Fmt.str "%a"
+      Fmt.(
+        list ~sep:nop (fun ppf (slot, s) ->
+            Fmt.pf ppf "choose %s in %a; " proc.Prog.p_var_names.(slot)
+              (Prog.pp_cexpr proc) s))
+      g.cg_choose
+  in
+  let cond =
+    match g.cg_cond with
+    | Prog.B_true -> ""
+    | _ -> "[...] "
+  in
+  choose ^ cond
+
+(* Find the guard consuming message [m] in state [ctl]; used to resolve the
+   bypassed wait state of a request/reply pair. *)
+let consumer_target (proc : Prog.proc) ctl m =
+  let st = proc.p_states.(ctl) in
+  let found =
+    Array.to_list st.cs_guards
+    |> List.find_opt (fun (g : Prog.cguard) ->
+           match g.cg_action with
+           | Prog.C_recv_home (m', _)
+           | Prog.C_recv_any (_, m', _)
+           | Prog.C_recv_from (_, m', _) ->
+             m' = m
+           | _ -> false)
+  in
+  match found with
+  | Some g -> g.cg_target
+  | None -> invalid_arg ("Compile: no consumer for reply " ^ m)
+
+let prune (a : automaton) =
+  let reachable = Hashtbl.create 16 in
+  let rec visit s =
+    if not (Hashtbl.mem reachable s) then begin
+      Hashtbl.add reachable s ();
+      List.iter
+        (fun e -> if e.e_from = s then visit e.e_to)
+        a.a_edges
+    end
+  in
+  visit a.a_init;
+  {
+    a with
+    a_states = List.filter (fun (s, _) -> Hashtbl.mem reachable s) a.a_states;
+    a_edges = List.filter (fun e -> Hashtbl.mem reachable e.e_from) a.a_edges;
+  }
+
+let remote_automaton (prog : Prog.t) =
+  let proc = prog.remote in
+  let states = ref [] and edges = ref [] in
+  let add_state s k = states := (s, k) :: !states in
+  let add e = edges := e :: !edges in
+  Array.iter
+    (fun (st : Prog.cstate) ->
+      let n = st.cs_name in
+      match st.cs_active with
+      | Some gi -> (
+        add_state n Communication;
+        let g = st.cs_guards.(gi) in
+        let m, args =
+          match g.cg_action with
+          | Prog.C_send_home (m, args) -> (m, args)
+          | _ -> assert false
+        in
+        let label =
+          Fmt.str "%sh!!%s%a" (guard_prefix proc g) m (pp_args proc) args
+        in
+        match g.cg_ann with
+        | Prog.Rr_reply_send ->
+          add
+            {
+              e_from = n;
+              e_to = proc.p_states.(g.cg_target).cs_name;
+              e_kind = E_reply_send;
+              e_label = label;
+            }
+        | Prog.Rr_request repl ->
+          let t = n ^ "'" in
+          add_state t Transient;
+          add { e_from = n; e_to = t; e_kind = E_send_req; e_label = label };
+          add
+            {
+              e_from = t;
+              e_to = n;
+              e_kind = E_nack_in;
+              e_label = "h??nack";
+            };
+          let after =
+            proc.p_states.(consumer_target proc g.cg_target repl).cs_name
+          in
+          add
+            {
+              e_from = t;
+              e_to = after;
+              e_kind = E_repl_in;
+              e_label = "h??" ^ repl;
+            };
+          add { e_from = t; e_to = t; e_kind = E_ignore; e_label = "h??*" }
+        | Prog.Plain | Prog.Rr_silent_consume | Prog.Rr_await_repl _ ->
+          let t = n ^ "'" in
+          add_state t Transient;
+          add { e_from = n; e_to = t; e_kind = E_send_req; e_label = label };
+          add
+            {
+              e_from = t;
+              e_to = proc.p_states.(g.cg_target).cs_name;
+              e_kind = E_ack_in;
+              e_label = "h??ack";
+            };
+          add
+            {
+              e_from = t;
+              e_to = n;
+              e_kind = E_nack_in;
+              e_label = "h??nack";
+            };
+          add { e_from = t; e_to = t; e_kind = E_ignore; e_label = "h??*" })
+      | None ->
+        add_state n (if st.cs_internal then Internal else Communication);
+        let has_recv = ref false in
+        Array.iter
+          (fun (g : Prog.cguard) ->
+            match g.cg_action with
+            | Prog.C_tau l ->
+              add
+                {
+                  e_from = n;
+                  e_to = proc.p_states.(g.cg_target).cs_name;
+                  e_kind = E_tau;
+                  e_label = guard_prefix proc g ^ l;
+                }
+            | Prog.C_recv_home (m, vars) ->
+              has_recv := true;
+              let silent = g.cg_ann = Prog.Rr_silent_consume in
+              add
+                {
+                  e_from = n;
+                  e_to = proc.p_states.(g.cg_target).cs_name;
+                  e_kind = E_recv_req (if silent then `Silent else `Ack);
+                  e_label =
+                    Fmt.str "%sh??%s%a%s" (guard_prefix proc g) m
+                      (pp_vars proc) vars
+                      (if silent then "" else " / h!!ack");
+                }
+            | _ -> assert false)
+          st.cs_guards;
+        if !has_recv then
+          add
+            {
+              e_from = n;
+              e_to = n;
+              e_kind = E_recv_nomatch;
+              e_label = "h??other / h!!nack";
+            })
+    proc.p_states;
+  prune
+    {
+      a_name = prog.t_name ^ ".remote (refined)";
+      a_init = proc.p_states.(proc.p_init).cs_name;
+      a_states = List.rev !states;
+      a_edges = List.rev !edges;
+    }
+
+let home_automaton (prog : Prog.t) =
+  let proc = prog.home in
+  let states = ref [] and edges = ref [] in
+  let add_state s k = states := (s, k) :: !states in
+  let add e = edges := e :: !edges in
+  Array.iter
+    (fun (st : Prog.cstate) ->
+      let n = st.cs_name in
+      add_state n (if st.cs_internal then Internal else Communication);
+      Array.iter
+        (fun (g : Prog.cguard) ->
+          let target = proc.p_states.(g.cg_target).cs_name in
+          match g.cg_action with
+          | Prog.C_tau l ->
+            add
+              {
+                e_from = n;
+                e_to = target;
+                e_kind = E_tau;
+                e_label = guard_prefix proc g ^ l;
+              }
+          | Prog.C_recv_any (b, m, vars) ->
+            let silent = g.cg_ann = Prog.Rr_silent_consume in
+            add
+              {
+                e_from = n;
+                e_to = target;
+                e_kind = E_recv_req (if silent then `Silent else `Ack);
+                e_label =
+                  Fmt.str "%sr(%s)??%s%a%s" (guard_prefix proc g)
+                    proc.p_var_names.(b) m (pp_vars proc) vars
+                    (if silent then "" else " / !!ack");
+              }
+          | Prog.C_recv_from (e, m, vars) ->
+            let silent = g.cg_ann = Prog.Rr_silent_consume in
+            add
+              {
+                e_from = n;
+                e_to = target;
+                e_kind = E_recv_req (if silent then `Silent else `Ack);
+                e_label =
+                  Fmt.str "%sr(%a)??%s%a%s" (guard_prefix proc g)
+                    (Prog.pp_cexpr proc) e m (pp_vars proc) vars
+                    (if silent then "" else " / !!ack");
+              }
+          | Prog.C_send_remote (e, m, args) -> (
+            let label =
+              Fmt.str "%sr(%a)!!%s%a" (guard_prefix proc g)
+                (Prog.pp_cexpr proc) e m (pp_args proc) args
+            in
+            match g.cg_ann with
+            | Prog.Rr_reply_send ->
+              add
+                { e_from = n; e_to = target; e_kind = E_reply_send;
+                  e_label = label }
+            | Prog.Rr_await_repl repl ->
+              let t = n ^ "'" ^ m in
+              add_state t Transient;
+              add { e_from = n; e_to = t; e_kind = E_send_req; e_label = label };
+              let after =
+                proc.p_states.(consumer_target proc g.cg_target repl).cs_name
+              in
+              add
+                {
+                  e_from = t;
+                  e_to = after;
+                  e_kind = E_repl_in;
+                  e_label = Fmt.str "r(%a)??%s" (Prog.pp_cexpr proc) e repl;
+                };
+              add
+                { e_from = t; e_to = n; e_kind = E_nack_in; e_label = "[nack]" };
+              add
+                {
+                  e_from = t;
+                  e_to = t;
+                  e_kind = E_recv_nomatch;
+                  e_label = "r(x)??msg / nack or buffer";
+                }
+            | Prog.Plain | Prog.Rr_request _ | Prog.Rr_silent_consume ->
+              let t = n ^ "'" ^ m in
+              add_state t Transient;
+              add { e_from = n; e_to = t; e_kind = E_send_req; e_label = label };
+              add
+                {
+                  e_from = t;
+                  e_to = target;
+                  e_kind = E_ack_in;
+                  e_label = Fmt.str "r(%a)??ack" (Prog.pp_cexpr proc) e;
+                };
+              add
+                { e_from = t; e_to = n; e_kind = E_nack_in; e_label = "[nack]" };
+              add
+                {
+                  e_from = t;
+                  e_to = t;
+                  e_kind = E_recv_nomatch;
+                  e_label = "r(x)??msg / nack or buffer";
+                })
+          | Prog.C_send_home _ | Prog.C_recv_home _ ->
+            invalid_arg "Compile: remote action in the home process")
+        st.cs_guards)
+    proc.p_states;
+  prune
+    {
+      a_name = prog.t_name ^ ".home (refined)";
+      a_init = proc.p_states.(proc.p_init).cs_name;
+      a_states = List.rev !states;
+      a_edges = List.rev !edges;
+    }
+
+let n_states a = List.length a.a_states
+
+let n_transient a =
+  List.length (List.filter (fun (_, k) -> k = Transient) a.a_states)
+
+let n_edges a = List.length a.a_edges

@@ -1,0 +1,45 @@
+(** Materialized refined automata — the paper's Figures 4 and 5.
+
+    {!Async} interprets the refinement rules directly; this module instead
+    produces the {e explicit} asynchronous automata, with one transient
+    state per output guard, ack/nack edges, the [h??*] ignore self-loops
+    of the remote and the [\[nack\]] retry edges of the home.  They are
+    what a microcode or RTL implementation would encode, what {!Codegen}
+    prints as dispatch tables, and what the figure-reproduction benches
+    render. *)
+
+type state_kind = Communication | Internal | Transient
+
+type edge_kind =
+  | E_send_req  (** [p!!m(...)]: emit a request for rendezvous *)
+  | E_recv_req of [ `Ack | `Silent ]
+      (** consume a buffered request, emitting an ack unless the
+          request/reply optimization silences it *)
+  | E_recv_nomatch  (** nack an unmatched request (self-loop) *)
+  | E_ack_in  (** consume an ack: rendezvous complete *)
+  | E_nack_in  (** consume a nack (for the home: implicit nacks too) *)
+  | E_repl_in  (** consume a reply: completes both rendezvous *)
+  | E_ignore  (** remote in a transient state ignoring a home request *)
+  | E_tau
+  | E_reply_send  (** fire-and-forget reply *)
+
+type edge = {
+  e_from : string;
+  e_to : string;
+  e_kind : edge_kind;
+  e_label : string;  (** rendered with the paper's [!!]/[??] notation *)
+}
+
+type automaton = {
+  a_name : string;
+  a_init : string;
+  a_states : (string * state_kind) list;
+  a_edges : edge list;
+}
+
+val remote_automaton : Ccr_core.Prog.t -> automaton
+val home_automaton : Ccr_core.Prog.t -> automaton
+
+val n_states : automaton -> int
+val n_transient : automaton -> int
+val n_edges : automaton -> int

@@ -1,0 +1,115 @@
+open Ccr_core
+
+let derive ?(n = 2) (sys : Ir.system) =
+  let buf = Buffer.create 4096 in
+  let out fmt = Fmt.kstr (Buffer.add_string buf) fmt in
+  let sigs = Validate.check_exn sys in
+  let rr = Reqrep.analyze sys in
+  let prog = Link.compile ~n sys in
+  out "Derivation report for %S (instantiated for %d remotes)\n" sys.sys_name
+    n;
+  out "%s\n\n" (String.make 72 '=');
+
+  out "1. Messages\n\n";
+  List.iter
+    (fun (s : Validate.signature) ->
+      out "   %-10s %-14s %d payload value(s)\n" s.msg
+        (match s.direction with
+        | Validate.Remote_to_home -> "remote->home"
+        | Validate.Home_to_remote -> "home->remote")
+        (List.length s.payload))
+    sigs;
+
+  out "\n2. Request/reply analysis (paper 3.3)\n\n";
+  if rr.pairs = [] then
+    out "   No pair qualifies: every rendezvous uses the generic\n\
+        \   request + ack/nack scheme.\n"
+  else
+    List.iter
+      (fun (p : Reqrep.pair) ->
+        out "   %-14s two messages instead of four: the %s doubles as the\n\
+            \                  ack of the %s, and the %s's sender is\n\
+            \                  guaranteed ready for it.\n"
+          (Fmt.str "%s/%s" p.req p.repl)
+          p.repl p.req p.repl)
+      rr.pairs;
+  List.iter
+    (fun (m, why) -> out "   %-14s kept generic: %s\n" m why)
+    rr.rejected;
+
+  out "\n3. Guard-by-guard treatment\n\n";
+  let describe_proc (proc : Prog.proc) label =
+    out "   %s:\n" label;
+    Array.iter
+      (fun (st : Prog.cstate) ->
+        Array.iter
+          (fun (g : Prog.cguard) ->
+            let action = Fmt.str "%a" (Prog.pp_caction proc) g.cg_action in
+            let treatment =
+              match (g.cg_action, g.cg_ann) with
+              | Prog.C_tau _, _ -> "local step, unchanged"
+              | (Prog.C_send_home _ | Prog.C_send_remote _), Prog.Plain ->
+                "request + transient state awaiting ack/nack"
+              | _, Prog.Rr_request repl ->
+                Fmt.str "request; the %s reply will complete it (no ack)"
+                  repl
+              | _, Prog.Rr_reply_send ->
+                "fire-and-forget reply (peer guaranteed waiting)"
+              | _, Prog.Rr_await_repl repl ->
+                Fmt.str
+                  "request + transient state awaiting the %s reply (no ack)"
+                  repl
+              | _, Prog.Rr_silent_consume ->
+                "consumed silently (the later reply doubles as the ack)"
+              | ( ( Prog.C_recv_home (m, _)
+                  | Prog.C_recv_any (_, m, _)
+                  | Prog.C_recv_from (_, m, _) ),
+                  Prog.Plain ) -> (
+                (* a pair's reply is never consumed as an ordinary
+                   request: the waiting peer absorbs it directly *)
+                match
+                  List.find_opt
+                    (fun (p : Reqrep.pair) -> p.repl = m)
+                    prog.pairs
+                with
+                | Some p ->
+                  Fmt.str
+                    "wait bypassed by the refinement: the %s arrives as \
+                     the completion of %s"
+                    p.repl p.req
+                | None -> "consumed with an explicit ack")
+            in
+            out "     %-10s %-26s %s\n" st.cs_name action treatment)
+          st.cs_guards)
+      proc.p_states
+  in
+  describe_proc prog.home "home";
+  describe_proc prog.remote "remote";
+
+  out "\n4. Derived automata\n\n";
+  let ha = Compile.home_automaton prog in
+  let ra = Compile.remote_automaton prog in
+  let orig_h = Array.length prog.home.p_states in
+  let orig_r = Array.length prog.remote.p_states in
+  out "   home:   %d states -> %d (%d transient), %d edges\n" orig_h
+    (Compile.n_states ha) (Compile.n_transient ha) (Compile.n_edges ha);
+  out "   remote: %d states -> %d (%d transient), %d edges\n" orig_r
+    (Compile.n_states ra) (Compile.n_transient ra) (Compile.n_edges ra);
+
+  out "\n5. Buffering (paper Table 2, 2.5, 6)\n\n";
+  out
+    "   home buffer: any k >= 2 slots; the last free slot (progress\n\
+    \   buffer) only admits a request that can complete a rendezvous now,\n\
+    \   and one slot is kept free while transient (ack buffer).  This\n\
+    \   guarantees progress for SOME remote; per-remote progress would\n\
+    \   need %d slots for this configuration.\n"
+    n;
+  out "   each remote: one buffered home request.\n";
+  (match prog.ff_msgs with
+  | [] -> ()
+  | ff ->
+    out
+      "\n   hand overrides: %s sent fire-and-forget and always admitted\n\
+      \   (outside the soundness argument; model-check coherence directly).\n"
+      (String.concat ", " ff));
+  Buffer.contents buf

@@ -1,0 +1,14 @@
+(** Human-readable derivation reports.
+
+    [derive] explains what the refinement did to a protocol: the message
+    signatures, which rendezvous were request/reply-optimized and why the
+    others were not, how each guard is treated (transient introduced, ack
+    dropped, fire-and-forget), and the resulting automaton sizes and
+    buffer requirements.  This is the artifact a protocol designer reads
+    to trust the derived implementation — the per-protocol analogue of
+    the paper's §3. *)
+
+open Ccr_core
+
+val derive : ?n:int -> Ir.system -> string
+(** @param n instantiation used for the size figures (default 2). *)

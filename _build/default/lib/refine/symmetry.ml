@@ -1,0 +1,104 @@
+open Ccr_core
+open Ccr_semantics
+
+(* Rename remote ids through [p] inside a value. *)
+let permute_value (p : int array) (v : Value.t) =
+  match v with
+  | Value.Vrid r -> Value.Vrid p.(r)
+  | Value.Vset _ ->
+    Value.set_of_list (List.map (fun r -> p.(r)) (Value.set_members v))
+  | Value.Vunit | Value.Vbool _ | Value.Vint _ -> v
+
+let permute_env p env = Array.map (permute_value p) env
+
+let permute_msg p (m : Wire.msg) =
+  { m with Wire.m_payload = List.map (permute_value p) m.m_payload }
+
+let permute_wire p = function
+  | Wire.Req m -> Wire.Req (permute_msg p m)
+  | (Wire.Ack | Wire.Nack) as w -> w
+
+(* New array whose slot [p.(i)] holds the (renamed) content of slot [i]. *)
+let permute_slots p a f =
+  let a' = Array.make (Array.length a) a.(0) in
+  Array.iteri (fun i x -> a'.(p.(i)) <- f x) a;
+  a'
+
+let permute_rv (_ : Prog.t) p (st : Rendezvous.state) : Rendezvous.state =
+  {
+    h = { st.h with env = permute_env p st.h.env };
+    r =
+      permute_slots p st.r (fun (ps : Rendezvous.pstate) ->
+          { ps with env = permute_env p ps.env });
+  }
+
+let permute_async (_ : Prog.t) p (st : Async.state) : Async.state =
+  let home =
+    {
+      st.Async.h with
+      h_env = permute_env p st.Async.h.h_env;
+      h_mode =
+        (match st.Async.h.h_mode with
+        | Async.Hcomm -> Async.Hcomm
+        | Async.Htrans t ->
+          Async.Htrans
+            {
+              t with
+              peer = p.(t.peer);
+              scratch = permute_env p t.scratch;
+            });
+      h_buf =
+        List.map (fun (i, m) -> (p.(i), permute_msg p m)) st.Async.h.h_buf;
+    }
+  in
+  let remote (r : Async.remote) =
+    {
+      Async.r_ctl = r.Async.r_ctl;
+      r_env = permute_env p r.Async.r_env;
+      r_mode =
+        (match r.Async.r_mode with
+        | Async.Rcomm -> Async.Rcomm
+        | Async.Rtrans t ->
+          Async.Rtrans { t with scratch = permute_env p t.scratch }
+        | Async.Rwait t ->
+          Async.Rwait { t with scratch = permute_env p t.scratch });
+      r_buf = Option.map (permute_msg p) r.Async.r_buf;
+    }
+  in
+  {
+    Async.h = home;
+    r = permute_slots p st.Async.r remote;
+    to_h = permute_slots p st.Async.to_h (List.map (permute_wire p));
+    to_r = permute_slots p st.Async.to_r (List.map (permute_wire p));
+  }
+
+(* All permutations of [0..n-1], as arrays. *)
+let permutations n =
+  let rec perms = function
+    | [] -> [ [] ]
+    | l ->
+      List.concat_map
+        (fun x -> List.map (fun r -> x :: r) (perms (List.filter (( <> ) x) l)))
+        l
+  in
+  perms (List.init n Fun.id) |> List.map Array.of_list
+
+let canonical ~permute ~encode ?(max_fact = 6) prog n st =
+  if n > max_fact then encode st
+  else
+    List.fold_left
+      (fun best p ->
+        let e = encode (permute prog p st) in
+        match best with
+        | Some b when String.compare b e <= 0 -> best
+        | _ -> Some e)
+      None (permutations n)
+    |> Option.get
+
+let canonical_rv ?max_fact (prog : Prog.t) st =
+  canonical ~permute:permute_rv ~encode:Rendezvous.encode ?max_fact prog
+    prog.n st
+
+let canonical_async ?max_fact (prog : Prog.t) st =
+  canonical ~permute:permute_async ~encode:Async.encode ?max_fact prog prog.n
+    st

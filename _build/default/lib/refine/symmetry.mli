@@ -1,0 +1,37 @@
+(** Symmetry reduction over remote identities.
+
+    The paper's systems are fully symmetric in the remote nodes: every
+    remote runs the same process, and remote identities appear only as
+    interchangeable tokens (directory variables, sharer sets, payload
+    values, channel indices).  Any permutation of remote ids is therefore
+    an automorphism of the transition system, and reachability only needs
+    one representative per orbit.
+
+    These functions produce a {e canonical encoding}: the
+    lexicographically smallest encoding over all permutations of remote
+    ids (exhaustive up to the given bound, falling back to the identity
+    beyond it — still sound, just less reduction).  Plugging them in as
+    the [encode] of {!Ccr_modelcheck.Explore.run} explores the quotient
+    space: counts shrink by up to [n!] while preserving every property
+    that is itself symmetric (coherence invariants, deadlock,
+    progress).
+
+    This is an {e extension} beyond the paper — 1997 SPIN had no symmetry
+    reduction — quantified by the bench harness. *)
+
+open Ccr_core
+open Ccr_semantics
+
+val canonical_rv : ?max_fact:int -> Prog.t -> Rendezvous.state -> string
+(** Canonical encoding of a rendezvous state.  [max_fact] bounds the
+    number of remotes for which all permutations are tried (default 6;
+    beyond it the identity permutation is used). *)
+
+val canonical_async : ?max_fact:int -> Prog.t -> Async.state -> string
+
+val permute_rv : Prog.t -> int array -> Rendezvous.state -> Rendezvous.state
+(** [permute_rv prog p st] renames remote [i] to [p.(i)] everywhere:
+    remote array slots, rid-valued variables, rid sets, payloads and
+    channel contents.  Exposed for the property tests. *)
+
+val permute_async : Prog.t -> int array -> Async.state -> Async.state

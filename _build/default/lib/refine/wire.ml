@@ -1,0 +1,25 @@
+open Ccr_core
+
+type msg = { m_name : string; m_payload : Value.t list }
+
+type t = Req of msg | Ack | Nack
+
+let equal (a : t) (b : t) = a = b
+
+let encode buf = function
+  | Ack -> Value.encode_int buf 0
+  | Nack -> Value.encode_int buf 1
+  | Req m ->
+    Value.encode_int buf 2;
+    Value.encode_int buf (String.length m.m_name);
+    Buffer.add_string buf m.m_name;
+    Value.encode_int buf (List.length m.m_payload);
+    List.iter (Value.encode buf) m.m_payload
+
+let pp ppf = function
+  | Ack -> Fmt.string ppf "ack"
+  | Nack -> Fmt.string ppf "nack"
+  | Req m ->
+    Fmt.pf ppf "req:%s(%a)" m.m_name
+      Fmt.(list ~sep:comma Value.pp)
+      m.m_payload

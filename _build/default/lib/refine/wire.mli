@@ -1,0 +1,18 @@
+(** Messages of the refined (asynchronous) protocol.
+
+    Each rendezvous is split into a {e request} carrying the rendezvous'
+    message type and payload, answered by an {e ack} (success), a {e nack}
+    (failure: insufficient buffers or no matching guard), or — under the
+    request/reply optimization — by the reply request itself.  Acks carry
+    no payload: data always flows from the active to the passive party of
+    the rendezvous, i.e. inside the request. *)
+
+open Ccr_core
+
+type msg = { m_name : string; m_payload : Value.t list }
+
+type t = Req of msg | Ack | Nack
+
+val equal : t -> t -> bool
+val encode : Buffer.t -> t -> unit
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/runtime/channel.ml: Fun Mutex Queue

@@ -1,0 +1,1 @@
+lib/runtime/runtime.ml: Array Async Atomic Ccr_core Ccr_refine Channel Fmt Fun List Mutex Prog Random String Thread Unix

@@ -1,0 +1,1 @@
+lib/runtime/runtime.mli: Async Ccr_core Ccr_refine Fmt Prog

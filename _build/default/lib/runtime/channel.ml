@@ -1,0 +1,13 @@
+type 'a t = { mutex : Mutex.t; queue : 'a Queue.t }
+
+let create () = { mutex = Mutex.create (); queue = Queue.create () }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let send t x = with_lock t (fun () -> Queue.push x t.queue)
+let peek t = with_lock t (fun () -> Queue.peek_opt t.queue)
+let pop t = with_lock t (fun () -> Queue.take_opt t.queue)
+let length t = with_lock t (fun () -> Queue.length t.queue)
+let is_empty t = length t = 0

@@ -1,0 +1,20 @@
+(** Thread-safe FIFO channels with single-consumer peek semantics.
+
+    Models the paper's network assumption (§2.2): reliable, in-order,
+    point-to-point delivery with unbounded buffering.  The consumer may
+    {!peek} before committing to {!pop} — remotes must leave a request
+    queued while their one-slot buffer is full (Table 1). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val send : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** The oldest element, without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the oldest element. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool

@@ -1,0 +1,265 @@
+open Ccr_core
+open Ccr_refine
+
+type stats = {
+  completions : int array;
+  rendezvous : int;
+  messages : int;
+  steps : int;
+  quiescent : bool;
+  invariant_failures : string list;
+  protocol_errors : string list;
+  wall_s : float;
+}
+
+(* Per-node shared cell: the node's state, guarded by a mutex so the
+   monitor (and the final assembly) can read it consistently. *)
+type 'a cell = { mutex : Mutex.t; mutable v : 'a; mutable idle : bool }
+
+let cell v = { mutex = Mutex.create (); v; idle = false }
+
+let with_cell c f =
+  Mutex.lock c.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock c.mutex) (fun () -> f c)
+
+(* Completion counting mirrors {!Sim}: each rendezvous is counted exactly
+   once, at the transition that commits it on the passive side (or at the
+   reply completion). *)
+let completes (l : Async.label) =
+  match l.rule with
+  | Async.H_C1 | Async.H_C1_silent | Async.H_T1_repl | Async.R_C3_ack
+  | Async.R_C3_silent | Async.R_repl_recv ->
+    true
+  | _ -> false
+
+let run ?(seed = 42) ?(deadline_s = 30.0) ~budget ~invariants (prog : Prog.t)
+    (cfg : Async.config) =
+  let t0 = Unix.gettimeofday () in
+  let n = prog.n in
+  let to_h = Array.init n (fun _ -> Channel.create ()) in
+  let to_r = Array.init n (fun _ -> Channel.create ()) in
+  let stop = Atomic.make false in
+  let messages = Atomic.make 0 in
+  let steps = Atomic.make 0 in
+  let rendezvous_by = Array.init n (fun _ -> Atomic.make 0) in
+  let errors_mutex = Mutex.create () in
+  let errors = ref [] in
+  let record_error e =
+    Mutex.lock errors_mutex;
+    errors := e :: !errors;
+    Mutex.unlock errors_mutex;
+    Atomic.set stop true
+  in
+  let count l =
+    Atomic.incr steps;
+    if completes l then Atomic.incr rendezvous_by.(l.Async.actor)
+  in
+  let pick rng = function
+    | [] -> None
+    | l -> Some (List.nth l (Random.State.int rng (List.length l)))
+  in
+  (* ---- home thread ----------------------------------------------------- *)
+  let hcell = cell (Async.initial_home prog) in
+  let home_thread () =
+    let rng = Random.State.make [| seed; 7919 |] in
+    let next = ref 0 in
+    try
+      while not (Atomic.get stop) do
+        let worked = ref false in
+        (* 1. serve incoming messages, round-robin over the remotes *)
+        for off = 0 to n - 1 do
+          let i = (!next + off) mod n in
+          if not !worked then
+            match Channel.peek to_h.(i) with
+            | Some w ->
+              with_cell hcell (fun c ->
+                  match pick rng (Async.home_recv prog cfg c.v i w) with
+                  | Some (l, h', outs) ->
+                    ignore (Channel.pop to_h.(i));
+                    c.v <- h';
+                    List.iter
+                      (fun (j, w) ->
+                        Atomic.incr messages;
+                        Channel.send to_r.(j) w)
+                      outs;
+                    count l;
+                    worked := true;
+                    next := (i + 1) mod n
+                  | None -> ())
+            | None -> ()
+        done;
+        (* 2. otherwise take a local transition (C1/C2/tau) *)
+        if not !worked then
+          with_cell hcell (fun c ->
+              match pick rng (Async.home_local prog cfg c.v) with
+              | Some (l, h', outs) ->
+                c.v <- h';
+                List.iter
+                  (fun (j, w) ->
+                    Atomic.incr messages;
+                    Channel.send to_r.(j) w)
+                  outs;
+                count l;
+                worked := true
+              | None -> ());
+        with_cell hcell (fun c -> c.idle <- not !worked);
+        if not !worked then Thread.yield ()
+      done
+    with Async.Protocol_error e -> record_error ("home: " ^ e)
+  in
+  (* ---- remote threads --------------------------------------------------- *)
+  let rcells = Array.init n (fun _ -> cell (Async.initial_remote prog)) in
+  let budgets = Array.make n budget in
+  let remote_thread i () =
+    let rng = Random.State.make [| seed; i |] in
+    try
+      while not (Atomic.get stop) do
+        let worked = ref false in
+        (* 1. consume a message from the home if possible *)
+        (match Channel.peek to_r.(i) with
+        | Some w ->
+          with_cell rcells.(i) (fun c ->
+              match pick rng (Async.remote_recv prog c.v i w) with
+              | Some (l, r', outs) ->
+                ignore (Channel.pop to_r.(i));
+                c.v <- r';
+                List.iter
+                  (fun w ->
+                    Atomic.incr messages;
+                    Channel.send to_h.(i) w)
+                  outs;
+                count l;
+                worked := true
+              | None -> () (* one-slot buffer full: leave it queued *))
+        | None -> ());
+        (* 2. otherwise act locally; a fresh protocol cycle consumes
+           budget, and a spent remote stays quiet in its initial state *)
+        if not !worked then
+          with_cell rcells.(i) (fun c ->
+              let at_start =
+                c.v.Async.r_ctl = prog.remote.p_init
+                && c.v.Async.r_mode = Async.Rcomm
+              in
+              if not (at_start && budgets.(i) <= 0) then
+                match pick rng (Async.remote_local prog c.v i) with
+                | Some (l, r', outs) ->
+                  if at_start then budgets.(i) <- budgets.(i) - 1;
+                  c.v <- r';
+                  List.iter
+                    (fun w ->
+                      Atomic.incr messages;
+                      Channel.send to_h.(i) w)
+                    outs;
+                  count l;
+                  worked := true
+                | None -> ());
+        with_cell rcells.(i) (fun c -> c.idle <- not !worked);
+        if not !worked then Thread.yield ()
+      done
+    with Async.Protocol_error e ->
+      record_error (Fmt.str "remote %d: %s" i e)
+  in
+  let threads =
+    Thread.create home_thread ()
+    :: List.init n (fun i -> Thread.create (remote_thread i) ())
+  in
+  (* ---- monitor: detect quiescence or the deadline ----------------------- *)
+  let quiescent = ref false in
+  let rec monitor () =
+    if Atomic.get stop then ()
+    else if Unix.gettimeofday () -. t0 > deadline_s then Atomic.set stop true
+    else begin
+      let channels_empty =
+        Array.for_all Channel.is_empty to_h
+        && Array.for_all Channel.is_empty to_r
+      in
+      let spent = Array.for_all (fun b -> b <= 0) budgets in
+      let all_idle =
+        with_cell hcell (fun c -> c.idle && c.v.Async.h_mode = Async.Hcomm)
+        && Array.for_all
+             (fun rc ->
+               with_cell rc (fun c ->
+                   c.idle && c.v.Async.r_mode = Async.Rcomm))
+             rcells
+      in
+      if channels_empty && spent && all_idle then begin
+        (* double-check after a pause: idleness must be stable *)
+        Thread.delay 0.005;
+        let still =
+          Array.for_all Channel.is_empty to_h
+          && Array.for_all Channel.is_empty to_r
+          && with_cell hcell (fun c -> c.idle)
+          && Array.for_all (fun rc -> with_cell rc (fun c -> c.idle)) rcells
+        in
+        if still then begin
+          quiescent := true;
+          Atomic.set stop true
+        end
+        else monitor ()
+      end
+      else begin
+        Thread.delay 0.001;
+        monitor ()
+      end
+    end
+  in
+  monitor ();
+  List.iter Thread.join threads;
+  (* ---- reassemble the final global state and check it ------------------- *)
+  let final =
+    {
+      Async.h = with_cell hcell (fun c -> c.v);
+      r = Array.map (fun rc -> with_cell rc (fun c -> c.v)) rcells;
+      to_h =
+        Array.map
+          (fun ch ->
+            let rec drain acc =
+              match Channel.pop ch with
+              | Some w -> drain (w :: acc)
+              | None -> List.rev acc
+            in
+            drain [])
+          to_h;
+      to_r =
+        Array.map
+          (fun ch ->
+            let rec drain acc =
+              match Channel.pop ch with
+              | Some w -> drain (w :: acc)
+              | None -> List.rev acc
+            in
+            drain [])
+          to_r;
+    }
+  in
+  let invariant_failures =
+    List.filter_map
+      (fun (name, check) -> if check final then None else Some name)
+      invariants
+  in
+  {
+    completions = Array.map Atomic.get rendezvous_by;
+    rendezvous = Array.fold_left (fun a c -> a + Atomic.get c) 0 rendezvous_by;
+    messages = Atomic.get messages;
+    steps = Atomic.get steps;
+    quiescent = !quiescent;
+    invariant_failures;
+    protocol_errors = List.rev !errors;
+    wall_s = Unix.gettimeofday () -. t0;
+  }
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "@[<v>%d rendezvous over %d messages in %.2fs (%d node transitions)@,\
+     per-remote: %s@,\
+     %s%s%s@]"
+    s.rendezvous s.messages s.wall_s s.steps
+    (String.concat " "
+       (Array.to_list (Array.map string_of_int s.completions)))
+    (if s.quiescent then "terminated quiescent" else "DEADLINE HIT")
+    (match s.invariant_failures with
+    | [] -> "; final state coherent"
+    | l -> "; INVARIANTS FAILED: " ^ String.concat ", " l)
+    (match s.protocol_errors with
+    | [] -> ""
+    | l -> "; PROTOCOL ERRORS: " ^ String.concat "; " l)

@@ -1,0 +1,45 @@
+(** Concurrent execution of a refined protocol.
+
+    The paper's output is a protocol "that can be implemented directly,
+    for example in microcode" — this module is that implementation in
+    software: the home and each remote run as {e real threads}, each
+    interpreting its own node-local slice of the refinement rules
+    ({!Async.home_local}/{!Async.home_recv}/{!Async.remote_local}/
+    {!Async.remote_recv}) and exchanging {!Wire} messages over in-order
+    {!Channel}s.  Nothing coordinates the nodes besides the messages —
+    the interleavings are whatever the OS scheduler produces.
+
+    Workload: each remote runs [budget] protocol cycles (a cycle starts
+    whenever the remote leaves its initial control state) and then goes
+    quiet, still answering home requests.  The run ends when every node
+    is idle with empty channels, or at [deadline_s].
+
+    The final configuration is reassembled into a global {!Async.state}
+    and handed to the caller's invariants: coherence must hold at the
+    end of a real concurrent execution, not only in the model. *)
+
+open Ccr_core
+open Ccr_refine
+
+type stats = {
+  completions : int array;  (** per-remote completed rendezvous *)
+  rendezvous : int;
+  messages : int;  (** wire messages actually sent *)
+  steps : int;  (** node transitions executed *)
+  quiescent : bool;  (** clean termination before the deadline *)
+  invariant_failures : string list;  (** on the final global state *)
+  protocol_errors : string list;  (** {!Async.Protocol_error} from any thread *)
+  wall_s : float;
+}
+
+val run :
+  ?seed:int ->
+  ?deadline_s:float ->
+  budget:int ->
+  invariants:(string * (Async.state -> bool)) list ->
+  Prog.t ->
+  Async.config ->
+  stats
+(** @param budget protocol cycles per remote (default deadline 30 s). *)
+
+val pp_stats : stats Fmt.t

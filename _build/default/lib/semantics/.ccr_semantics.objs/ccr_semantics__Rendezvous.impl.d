@@ -1,0 +1,1 @@
+lib/semantics/rendezvous.ml: Array Buffer Ccr_core Fmt List Prog Value

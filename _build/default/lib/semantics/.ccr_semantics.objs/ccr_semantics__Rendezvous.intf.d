@@ -1,0 +1,1 @@
+lib/semantics/rendezvous.mli: Ccr_core Fmt Prog Value

@@ -1,0 +1,1 @@
+lib/simulate/sched.ml: Async Ccr_refine Fmt List Random

@@ -1,0 +1,1 @@
+lib/simulate/sched.mli: Async Ccr_refine Random

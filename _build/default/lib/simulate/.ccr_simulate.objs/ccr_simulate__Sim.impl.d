@@ -1,0 +1,1 @@
+lib/simulate/sim.ml: Array Async Ccr_core Ccr_refine Float Fmt Hashtbl List Prog Random Sched String

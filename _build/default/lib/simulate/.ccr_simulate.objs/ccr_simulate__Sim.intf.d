@@ -1,0 +1,1 @@
+lib/simulate/sim.mli: Async Ccr_core Ccr_refine Fmt Prog Sched

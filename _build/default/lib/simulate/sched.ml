@@ -1,0 +1,52 @@
+open Ccr_refine
+
+type t = {
+  name : string;
+  pick :
+    Random.State.t ->
+    (Async.label * Async.state) list ->
+    (Async.label * Async.state) option;
+}
+
+let pick_uniform rng = function
+  | [] -> None
+  | succs -> Some (List.nth succs (Random.State.int rng (List.length succs)))
+
+let uniform = { name = "uniform"; pick = pick_uniform }
+
+let starve victim =
+  {
+    name = Fmt.str "starve-r%d" victim;
+    pick =
+      (fun rng succs ->
+        let others =
+          List.filter
+            (fun ((l : Async.label), _) -> l.actor <> victim)
+            succs
+        in
+        match others with
+        | [] -> pick_uniform rng succs
+        | _ -> pick_uniform rng others);
+  }
+
+let home_first =
+  {
+    name = "home-first";
+    pick =
+      (fun rng succs ->
+        let home_rules =
+          List.filter
+            (fun ((l : Async.label), _) ->
+              match l.rule with
+              | Async.H_C1 | Async.H_C1_silent | Async.H_C2 | Async.H_T1
+              | Async.H_T1_repl | Async.H_T2 | Async.H_T3 | Async.H_T4
+              | Async.H_T5 | Async.H_T6 | Async.H_tau | Async.H_reply_send
+              | Async.H_admit | Async.H_admit_progress | Async.H_nack_full ->
+                true
+              | _ -> false)
+            succs
+        in
+        match home_rules with
+        | [] -> pick_uniform rng succs
+        | _ -> pick_uniform rng home_rules);
+  }

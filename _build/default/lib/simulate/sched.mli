@@ -1,0 +1,29 @@
+(** Schedulers: policies for resolving the nondeterminism of the
+    asynchronous semantics during simulation.
+
+    The refinement guarantees forward progress for {e some} remote under
+    any scheduling (paper §2.5); the adversarial schedulers here exhibit
+    the flip side — an individual remote can starve when the home's
+    buffer is small (paper §6). *)
+
+open Ccr_refine
+
+type t = {
+  name : string;
+  pick :
+    Random.State.t ->
+    (Async.label * Async.state) list ->
+    (Async.label * Async.state) option;
+}
+
+val uniform : t
+(** Choose uniformly among enabled transitions. *)
+
+val starve : int -> t
+(** [starve i] never schedules a transition of remote [i] (or a delivery
+    involving it) while any other transition is enabled: the adversary of
+    the starvation discussion in §6. *)
+
+val home_first : t
+(** Prioritize home transitions; keeps buffers drained, minimizing
+    nacks — the friendliest scheduling for message-count comparisons. *)

@@ -1,0 +1,158 @@
+open Ccr_core
+open Ccr_refine
+
+type metrics = {
+  steps : int;
+  rendezvous : int;
+  per_remote : int array;
+  reqs : int;
+  acks : int;
+  nacks : int;
+  retransmissions : int;
+  rule_counts : (Async.rule_id * int) list;
+  buf_occupancy : int array;
+  max_in_flight : int;
+  deadlocked : bool;
+  latency_sum : int;
+  latency_count : int;
+  latency_max : int;
+}
+
+let mean_latency m =
+  if m.latency_count = 0 then Float.nan
+  else float_of_int m.latency_sum /. float_of_int m.latency_count
+
+let messages m = m.reqs + m.acks + m.nacks
+
+let per_rendezvous m =
+  if m.rendezvous = 0 then Float.infinity
+  else float_of_int (messages m) /. float_of_int m.rendezvous
+
+let rule_index =
+  let tbl = Hashtbl.create 32 in
+  List.iteri (fun i r -> Hashtbl.add tbl r i) Async.all_rules;
+  fun r -> Hashtbl.find tbl r
+
+let run ?(seed = 42) ~steps (prog : Prog.t) (cfg : Async.config)
+    (sched : Sched.t) =
+  let rng = Random.State.make [| seed |] in
+  let counts = Array.make (List.length Async.all_rules) 0 in
+  let per_remote = Array.make prog.n 0 in
+  let buf_occupancy = Array.make (cfg.k + 1) 0 in
+  let reqs = ref 0
+  and acks = ref 0
+  and nacks = ref 0
+  and rendezvous = ref 0
+  and retrans = ref 0
+  and max_in_flight = ref 0 in
+  (* "was nacked, will retransmit" flags: remotes and the home *)
+  let r_nacked = Array.make prog.n false in
+  let h_nacked = ref false in
+  (* transaction latency: step of each remote's pending first request *)
+  let started = Array.make prog.n (-1) in
+  let lat_sum = ref 0 and lat_count = ref 0 and lat_max = ref 0 in
+  let st = ref (Async.initial prog cfg) in
+  let executed = ref 0 in
+  let deadlocked = ref false in
+  (try
+     for _ = 1 to steps do
+       let succs = Async.successors prog cfg !st in
+       match sched.Sched.pick rng succs with
+       | None ->
+         deadlocked := true;
+         raise Exit
+       | Some ((l : Async.label), st') ->
+         incr executed;
+         counts.(rule_index l.rule) <- counts.(rule_index l.rule) + 1;
+         (match l.rule with
+         | Async.R_C1 | Async.R_C2 ->
+           incr reqs;
+           if r_nacked.(l.actor) then begin
+             incr retrans;
+             r_nacked.(l.actor) <- false
+           end
+         | Async.R_reply_send | Async.H_reply_send -> incr reqs
+         | Async.H_C2 ->
+           incr reqs;
+           (* an eviction nack frees the ack-buffer slot *)
+           if List.length st'.Async.h.h_buf < List.length !st.Async.h.h_buf
+           then incr nacks;
+           if !h_nacked then begin
+             incr retrans;
+             h_nacked := false
+           end
+         | Async.R_C3_ack | Async.H_C1 -> incr acks
+         | Async.R_C3_nack | Async.H_T6 | Async.H_nack_full -> incr nacks
+         | Async.R_T2 -> r_nacked.(l.actor) <- true
+         | Async.H_T2 | Async.H_T3 -> h_nacked := true
+         | _ -> ());
+         (match l.rule with
+         | Async.H_C1 | Async.H_C1_silent | Async.R_C3_ack | Async.R_C3_silent
+         | Async.R_repl_recv | Async.H_T1_repl ->
+           incr rendezvous;
+           per_remote.(l.actor) <- per_remote.(l.actor) + 1
+         | _ -> ());
+         (* transaction latency: first request ... own completion *)
+         (match l.rule with
+         | Async.R_C1 | Async.R_C2 ->
+           if started.(l.actor) < 0 then started.(l.actor) <- !executed
+         | Async.R_repl_recv | Async.R_T1 ->
+           if started.(l.actor) >= 0 then begin
+             let d = !executed - started.(l.actor) in
+             lat_sum := !lat_sum + d;
+             incr lat_count;
+             if d > !lat_max then lat_max := d;
+             started.(l.actor) <- -1
+           end
+         | _ -> ());
+         let occ = List.length st'.Async.h.h_buf in
+         buf_occupancy.(min occ cfg.k) <- buf_occupancy.(min occ cfg.k) + 1;
+         max_in_flight := max !max_in_flight (Async.messages_in_flight st');
+         st := st'
+     done
+   with Exit -> ());
+  {
+    steps = !executed;
+    rendezvous = !rendezvous;
+    per_remote;
+    reqs = !reqs;
+    acks = !acks;
+    nacks = !nacks;
+    retransmissions = !retrans;
+    rule_counts = List.map (fun r -> (r, counts.(rule_index r))) Async.all_rules;
+    buf_occupancy;
+    max_in_flight = !max_in_flight;
+    deadlocked = !deadlocked;
+    latency_sum = !lat_sum;
+    latency_count = !lat_count;
+    latency_max = !lat_max;
+  }
+
+let run_trace ?(seed = 42) ~steps (prog : Prog.t) (cfg : Async.config)
+    (sched : Sched.t) =
+  let rng = Random.State.make [| seed |] in
+  let st = ref (Async.initial prog cfg) in
+  let acc = ref [] in
+  (try
+     for _ = 1 to steps do
+       match sched.Sched.pick rng (Async.successors prog cfg !st) with
+       | None -> raise Exit
+       | Some (l, st') ->
+         acc := l :: !acc;
+         st := st'
+     done
+   with Exit -> ());
+  List.rev !acc
+
+let pp ppf m =
+  Fmt.pf ppf
+    "@[<v>%d steps, %d rendezvous (%.2f msgs/rendezvous)@,\
+     messages: %d req, %d ack, %d nack (%d retransmissions)@,\
+     per-remote completions: %s@,\
+     peak in-flight: %d%s@]"
+    m.steps m.rendezvous (per_rendezvous m) m.reqs m.acks m.nacks
+    m.retransmissions
+    (String.concat " "
+       (Array.to_list (Array.map string_of_int m.per_remote)))
+    m.max_in_flight
+    (if m.deadlocked then " DEADLOCKED" else "")

@@ -1,0 +1,52 @@
+(** Workload-driven simulation of refined protocols.
+
+    Executes the asynchronous semantics under a {!Sched.t} for a number
+    of steps, collecting the efficiency metrics the paper uses to judge
+    refined protocols: request/ack/nack counts per completed rendezvous
+    (§1's quality measure 1) and the buffering behaviour (§1's measure 2,
+    §6).  Runs are deterministic given the seed. *)
+
+open Ccr_core
+open Ccr_refine
+
+type metrics = {
+  steps : int;  (** transitions executed *)
+  rendezvous : int;  (** rendezvous completed (counted once each) *)
+  per_remote : int array;  (** rendezvous completions involving remote i *)
+  reqs : int;  (** request messages sent (incl. replies) *)
+  acks : int;
+  nacks : int;
+  retransmissions : int;  (** requests re-sent after a (implicit) nack *)
+  rule_counts : (Async.rule_id * int) list;  (** every rule's firing count *)
+  buf_occupancy : int array;  (** histogram: steps spent with i buffered *)
+  max_in_flight : int;  (** peak messages in the network *)
+  deadlocked : bool;  (** a state without successors was reached *)
+  latency_sum : int;
+      (** summed transaction latencies, in scheduler steps from a remote's
+          first request (leaving [Rcomm] at its initial control state,
+          i.e. a transaction start) to its next completed rendezvous.
+          Longer protocol chains (extra acks, revocations) show up
+          directly here — the figure the paper's §8 future work (direct
+          remote-to-remote messages) aims to cut. *)
+  latency_count : int;
+  latency_max : int;
+}
+
+val mean_latency : metrics -> float
+
+val messages : metrics -> int
+(** Total messages sent: requests + acks + nacks. *)
+
+val per_rendezvous : metrics -> float
+(** Messages per completed rendezvous — the headline efficiency figure. *)
+
+val run :
+  ?seed:int -> steps:int -> Prog.t -> Async.config -> Sched.t -> metrics
+
+val run_trace :
+  ?seed:int -> steps:int -> Prog.t -> Async.config -> Sched.t ->
+  Async.label list
+(** The sequence of transitions of a (deterministic, seeded) run; feed it
+    to [Ccr_viz.Msc.render] for a message-sequence chart. *)
+
+val pp : metrics Fmt.t

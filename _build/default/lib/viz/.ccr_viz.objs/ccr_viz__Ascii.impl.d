@@ -1,0 +1,1 @@
+lib/viz/ascii.ml: Ccr_core Ccr_refine Compile Fmt Ir List

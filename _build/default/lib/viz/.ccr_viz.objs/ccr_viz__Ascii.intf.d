@@ -1,0 +1,1 @@
+lib/viz/ascii.mli: Ccr_core Ccr_refine Compile Fmt Ir

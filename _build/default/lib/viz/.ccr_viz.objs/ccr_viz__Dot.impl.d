@@ -1,0 +1,1 @@
+lib/viz/dot.ml: Buffer Ccr_core Ccr_refine Compile Fmt Ir List String

@@ -1,0 +1,1 @@
+lib/viz/dot.mli: Ccr_core Ccr_refine Compile Ir

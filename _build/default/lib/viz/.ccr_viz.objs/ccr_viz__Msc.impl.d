@@ -1,0 +1,1 @@
+lib/viz/msc.ml: Async Buffer Bytes Ccr_core Ccr_refine Ccr_simulate Fmt List Prog String

@@ -1,0 +1,1 @@
+lib/viz/msc.mli: Async Ccr_core Ccr_refine Prog

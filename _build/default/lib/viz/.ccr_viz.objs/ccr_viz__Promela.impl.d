@@ -1,0 +1,1 @@
+lib/viz/promela.ml: Buffer Ccr_core Expr Fmt Ir List String Validate Value

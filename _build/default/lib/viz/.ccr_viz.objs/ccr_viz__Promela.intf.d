@@ -1,0 +1,1 @@
+lib/viz/promela.mli: Ccr_core Ir

@@ -1,0 +1,23 @@
+open Ccr_core
+open Ccr_refine
+
+let pp_process = Ir.pp_process
+let pp_system = Ir.pp_system
+
+let kind_suffix = function
+  | Compile.Communication -> ""
+  | Compile.Internal -> " (internal)"
+  | Compile.Transient -> " (transient)"
+
+let pp_automaton ppf (a : Compile.automaton) =
+  Fmt.pf ppf "@[<v>automaton %s (init %s)@," a.a_name a.a_init;
+  List.iter
+    (fun (s, k) ->
+      Fmt.pf ppf "  state %s%s:@," s (kind_suffix k);
+      List.iter
+        (fun (e : Compile.edge) ->
+          if e.e_from = s then
+            Fmt.pf ppf "    --%s--> %s@," e.e_label e.e_to)
+        a.a_edges)
+    a.a_states;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,13 @@
+(** Plain-text rendering of protocols and refined automata.
+
+    [pp_system] renders a rendezvous protocol the way the paper's
+    Figures 1–3 describe them (states, guard lists, internal markers);
+    [pp_automaton] renders the explicit refined automata of Figures 4–5,
+    with transient states marked the way the paper dots them. *)
+
+open Ccr_core
+open Ccr_refine
+
+val pp_process : Ir.process Fmt.t
+val pp_system : Ir.system Fmt.t
+val pp_automaton : Compile.automaton Fmt.t

@@ -1,0 +1,62 @@
+open Ccr_core
+open Ccr_refine
+
+let escape s =
+  String.concat "\\\"" (String.split_on_char '"' s)
+
+let of_process (p : Ir.process) =
+  let buf = Buffer.create 1024 in
+  let out fmt = Fmt.kstr (Buffer.add_string buf) fmt in
+  out "digraph \"%s\" {\n  rankdir=LR;\n  node [shape=circle];\n"
+    (escape p.p_name);
+  out "  __init [shape=point];\n  __init -> \"%s\";\n" (escape p.p_init_state);
+  List.iter
+    (fun (st : Ir.state) ->
+      if Ir.state_is_internal st then
+        out "  \"%s\" [shape=box];\n" (escape st.s_name))
+    p.p_states;
+  List.iter
+    (fun (st : Ir.state) ->
+      List.iter
+        (fun (g : Ir.guard) ->
+          let label = Fmt.str "%a" Ir.pp_guard g in
+          (* strip the "-> target" suffix that pp_guard appends *)
+          let label =
+            match String.index_opt label '>' with
+            | Some i when i >= 2 && label.[i - 1] = '-' ->
+              String.sub label 0 (i - 2)
+            | _ -> label
+          in
+          out "  \"%s\" -> \"%s\" [label=\"%s\"];\n" (escape st.s_name)
+            (escape g.g_target) (escape label))
+        st.s_guards)
+    p.p_states;
+  out "}\n";
+  Buffer.contents buf
+
+let of_automaton (a : Compile.automaton) =
+  let buf = Buffer.create 1024 in
+  let out fmt = Fmt.kstr (Buffer.add_string buf) fmt in
+  out "digraph \"%s\" {\n  rankdir=LR;\n  node [shape=circle];\n"
+    (escape a.a_name);
+  out "  __init [shape=point];\n  __init -> \"%s\";\n" (escape a.a_init);
+  List.iter
+    (fun (s, k) ->
+      match k with
+      | Compile.Transient -> out "  \"%s\" [style=dashed];\n" (escape s)
+      | Compile.Internal -> out "  \"%s\" [shape=box];\n" (escape s)
+      | Compile.Communication -> ())
+    a.a_states;
+  List.iter
+    (fun (e : Compile.edge) ->
+      let style =
+        match e.e_kind with
+        | Compile.E_nack_in | Compile.E_recv_nomatch -> " style=dotted"
+        | Compile.E_ignore -> " style=dotted"
+        | _ -> ""
+      in
+      out "  \"%s\" -> \"%s\" [label=\"%s\"%s];\n" (escape e.e_from)
+        (escape e.e_to) (escape e.e_label) style)
+    a.a_edges;
+  out "}\n";
+  Buffer.contents buf

@@ -1,0 +1,14 @@
+(** Graphviz export of protocol automata.
+
+    Communication states are drawn as solid circles, internal states as
+    plain nodes and transient states (refined automata only) as dashed
+    circles, matching the dotted circles of the paper's Figures 4–5. *)
+
+open Ccr_core
+open Ccr_refine
+
+val of_process : Ir.process -> string
+(** A rendezvous-level process (paper Figures 1–3 style). *)
+
+val of_automaton : Compile.automaton -> string
+(** A refined automaton (paper Figures 4–5 style). *)

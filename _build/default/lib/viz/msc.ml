@@ -1,0 +1,91 @@
+open Ccr_core
+open Ccr_refine
+
+(* lane 0 = home, lane i+1 = remote i *)
+type event =
+  | Msg of int * int * string  (** src lane, dst lane, text *)
+  | Local of int * string
+
+let classify (l : Async.label) =
+  let h = 0 and r = l.actor + 1 in
+  match l.rule with
+  | Async.R_C1 | Async.R_C2 -> Msg (r, h, l.subject)
+  | Async.R_reply_send -> Msg (r, h, l.subject)
+  | Async.R_C3_ack -> Msg (r, h, "ack")
+  | Async.R_C3_nack -> Msg (r, h, "nack")
+  | Async.H_C2 | Async.H_reply_send -> Msg (h, r, l.subject)
+  | Async.H_C1 -> Msg (h, r, "ack")
+  | Async.H_T6 | Async.H_nack_full -> Msg (h, r, "nack")
+  | Async.H_tau -> Local (h, "tau:" ^ l.subject)
+  | Async.R_tau -> Local (r, "tau:" ^ l.subject)
+  | Async.H_C1_silent | Async.H_T1 | Async.H_T1_repl | Async.H_T2
+  | Async.H_T3 | Async.H_T4 | Async.H_T5 | Async.H_admit
+  | Async.H_admit_progress ->
+    Local (h, Async.rule_name l.rule ^ if l.subject = "" then "" else ":" ^ l.subject)
+  | Async.R_T1 | Async.R_T2 | Async.R_T3 | Async.R_repl_recv
+  | Async.R_C3_silent | Async.R_deliver ->
+    Local (r, Async.rule_name l.rule ^ if l.subject = "" then "" else ":" ^ l.subject)
+
+let render (prog : Prog.t) labels =
+  let lanes = prog.n + 1 in
+  let step = 12 in
+  let width = ((lanes - 1) * step) + 6 in
+  let col lane = lane * step in
+  let buf = Buffer.create 1024 in
+  (* header *)
+  let header = Bytes.make width ' ' in
+  let put_text b pos s =
+    String.iteri
+      (fun i c ->
+        if pos + i >= 0 && pos + i < Bytes.length b then
+          Bytes.set b (pos + i) c)
+      s
+  in
+  put_text header (col 0) "home";
+  for i = 0 to prog.n - 1 do
+    put_text header (col (i + 1)) (Fmt.str "r%d" i)
+  done;
+  Buffer.add_string buf (Bytes.to_string header);
+  Buffer.add_char buf '\n';
+  let line () =
+    let b = Bytes.make width ' ' in
+    for lane = 0 to lanes - 1 do
+      Bytes.set b (col lane) '|'
+    done;
+    b
+  in
+  List.iter
+    (fun label ->
+      let b = line () in
+      let annot =
+        match classify label with
+        | Local (lane, text) ->
+          Bytes.set b (col lane) 'o';
+          text
+        | Msg (src, dst, text) ->
+          let a = col src and z = col dst in
+          let lo = min a z and hi = max a z in
+          for x = lo + 1 to hi - 1 do
+            if Bytes.get b x = ' ' then Bytes.set b x '-'
+          done;
+          Bytes.set b (if z > a then z - 1 else z + 1)
+            (if z > a then '>' else '<');
+          Bytes.set b a '+';
+          Fmt.str "%s %s"
+            (if src = 0 then "home->" ^ "r" ^ string_of_int (dst - 1)
+             else "r" ^ string_of_int (src - 1) ^ "->home")
+            text
+      in
+      Buffer.add_string buf (Bytes.to_string b);
+      Buffer.add_string buf ("  " ^ Fmt.str "%a" Async.pp_label label);
+      ignore annot;
+      Buffer.add_char buf '\n')
+    labels;
+  Buffer.contents buf
+
+let render_run ?(seed = 42) ?(steps = 40) prog cfg =
+  let labels =
+    Ccr_simulate.Sim.run_trace ~seed ~steps prog cfg
+      Ccr_simulate.Sched.uniform
+  in
+  render prog labels

@@ -1,0 +1,18 @@
+(** ASCII message-sequence charts of asynchronous executions.
+
+    One lane per node (home first), one line per transition.  Arrows mark
+    {e emissions} — the network is asynchronous, so a message's
+    consumption appears later as its own event ([R-deliver], [R-T1],
+    [H-admit], ...) on the receiving lane.  Feed the label sequence of a
+    simulation ([Ccr_simulate.Sim.run_trace]) or the labels of a
+    counterexample trace. *)
+
+open Ccr_core
+open Ccr_refine
+
+val render : Prog.t -> Async.label list -> string
+
+val render_run :
+  ?seed:int -> ?steps:int -> Prog.t -> Async.config -> string
+(** Convenience: simulate [steps] (default 40) uniformly scheduled
+    transitions and render them. *)

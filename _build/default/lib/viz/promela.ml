@@ -1,0 +1,210 @@
+open Ccr_core
+
+let rec expr ~n ~self (e : Expr.t) =
+  match e with
+  | Expr.Const Value.Vunit -> "0"
+  | Expr.Const (Value.Vbool b) -> if b then "1" else "0"
+  | Expr.Const (Value.Vint i) -> string_of_int i
+  | Expr.Const (Value.Vrid r) -> string_of_int r
+  | Expr.Const (Value.Vset m) -> string_of_int m
+  | Expr.Var x -> x
+  | Expr.Self -> self
+  | Expr.Set_add (s, r) ->
+    Fmt.str "(%s | (1 << %s))" (expr ~n ~self s) (expr ~n ~self r)
+  | Expr.Set_remove (s, r) ->
+    Fmt.str "(%s & ~(1 << %s))" (expr ~n ~self s) (expr ~n ~self r)
+  | Expr.Set_singleton r -> Fmt.str "(1 << %s)" (expr ~n ~self r)
+  | Expr.Full_set -> Fmt.str "((1 << %d) - 1)" n
+  | Expr.Succ e -> Fmt.str "(%s + 1)" (expr ~n ~self e)
+
+let rec bexpr ~n ~self (b : Expr.b) =
+  match b with
+  | Expr.True -> "true"
+  | Expr.Not b -> Fmt.str "!(%s)" (bexpr ~n ~self b)
+  | Expr.And (a, b) -> Fmt.str "(%s && %s)" (bexpr ~n ~self a) (bexpr ~n ~self b)
+  | Expr.Or (a, b) -> Fmt.str "(%s || %s)" (bexpr ~n ~self a) (bexpr ~n ~self b)
+  | Expr.Eq (a, b) -> Fmt.str "(%s == %s)" (expr ~n ~self a) (expr ~n ~self b)
+  | Expr.Set_mem (r, s) ->
+    Fmt.str "((%s & (1 << %s)) != 0)" (expr ~n ~self s) (expr ~n ~self r)
+  | Expr.Set_is_empty s -> Fmt.str "(%s == 0)" (expr ~n ~self s)
+
+(* payload lists padded to the global maximum arity *)
+let pad_args ~n ~self ~arity args =
+  let given = List.map (expr ~n ~self) args in
+  given @ List.init (arity - List.length args) (fun _ -> "0")
+
+let pad_vars ~arity vars =
+  vars @ List.init (arity - List.length vars) (fun _ -> "_")
+
+let assigns_str ~n ~self assigns =
+  (* simultaneous assignment: evaluate into temporaries first when more
+     than one assignment could interfere; single assignments (the common
+     case) go straight through *)
+  match assigns with
+  | [] -> ""
+  | [ (x, e) ] -> Fmt.str "%s = %s; " x (expr ~n ~self e)
+  | many ->
+    let temps =
+      List.mapi (fun i (_, e) -> Fmt.str "_t%d = %s; " i (expr ~n ~self e)) many
+    in
+    let writes = List.mapi (fun i (x, _) -> Fmt.str "%s = _t%d; " x i) many in
+    String.concat "" (temps @ writes)
+
+let max_assigns (p : Ir.process) =
+  List.fold_left
+    (fun acc (st : Ir.state) ->
+      List.fold_left
+        (fun acc (g : Ir.guard) -> max acc (List.length g.Ir.g_assigns))
+        acc st.Ir.s_guards)
+    0 p.p_states
+
+(* Emit the nondeterministic selection of a choose binder. *)
+let choose_str ~n ~self (x, set_e) =
+  let opts =
+    List.init n (fun r ->
+        Fmt.str ":: ((%s & (1 << %d)) != 0) -> %s = %d\n      " (expr ~n ~self set_e)
+          r x r)
+  in
+  Fmt.str "if\n      %sfi; " (String.concat "" opts)
+
+let decl_var (x, d) =
+  match d with
+  | Value.Dset -> Fmt.str "  int %s = 0;\n" x
+  | Value.Dunit | Value.Dbool | Value.Dint _ | Value.Drid ->
+    Fmt.str "  byte %s = 0;\n" x
+
+type ctx = {
+  n : int;
+  arity : int;
+  buf : Buffer.t;
+}
+
+let out ctx fmt = Fmt.kstr (Buffer.add_string ctx.buf) fmt
+
+(* One executable option of a state's selection.  [recv_chan] is e.g.
+   "to_h[0]" and [sender_bind] the statement binding the sender id. *)
+let emit_guard ctx ~self ~is_remote (g : Ir.guard) =
+  let chooses =
+    String.concat "" (List.map (choose_str ~n:ctx.n ~self) g.Ir.g_choose)
+  in
+  let cond = bexpr ~n:ctx.n ~self g.Ir.g_cond in
+  let assigns = assigns_str ~n:ctx.n ~self g.Ir.g_assigns in
+  let fin = Fmt.str "%sgoto %s" assigns g.Ir.g_target in
+  match g.Ir.g_action with
+  | Ir.Tau _ ->
+    (* choose binders before the condition would not be guarded; taus with
+       chooses are not used by our protocols, so keep the simple order *)
+    out ctx "  :: atomic { %s -> %s%s }\n" cond chooses fin
+  | Ir.Send (target, m, args) ->
+    let chan =
+      match (target, is_remote) with
+      | Ir.To_home, true -> Fmt.str "to_h[%s]" self
+      | Ir.To_remote e, false -> Fmt.str "to_r[%s]" (expr ~n:ctx.n ~self e)
+      | _ -> invalid_arg "Promela: direction violates the star topology"
+    in
+    let payload =
+      match pad_args ~n:ctx.n ~self ~arity:ctx.arity args with
+      | [] -> ""
+      | l -> "," ^ String.concat "," l
+    in
+    if g.Ir.g_choose = [] then
+      out ctx "  :: atomic { %s -> %s!%s%s; %s }\n" cond chan m payload fin
+    else
+      (* the choose must run before the send addresses its target *)
+      out ctx "  :: atomic { %s -> %s%s!%s%s; %s }\n" cond chooses chan m
+        payload fin
+  | Ir.Recv (source, m, vars) -> (
+    let payload =
+      match pad_vars ~arity:ctx.arity vars with
+      | [] -> ""
+      | l -> "," ^ String.concat "," l
+    in
+    match (source, is_remote) with
+    | Ir.From_home, true ->
+      out ctx "  :: atomic { to_r[%s]?%s%s -> %s%s }\n" self m payload
+        (if cond = "true" then ""
+         else Fmt.str "if :: %s :: else -> assert(false) fi; " cond)
+        fin
+    | Ir.From_remote e, false ->
+      out ctx "  :: atomic { to_h[%s]?%s%s -> %s%s }\n" (expr ~n:ctx.n ~self e) m
+        payload
+        (if cond = "true" then ""
+         else Fmt.str "if :: %s :: else -> assert(false) fi; " cond)
+        fin
+    | Ir.From_any_remote x, false ->
+      for i = 0 to ctx.n - 1 do
+        out ctx "  :: atomic { to_h[%d]?%s%s -> %s = %d; %s%s }\n" i m payload
+          x i
+          (if cond = "true" then ""
+           else Fmt.str "if :: %s :: else -> assert(false) fi; " cond)
+          fin
+      done
+    | _ -> invalid_arg "Promela: direction violates the star topology")
+
+let emit_process ctx ~is_remote (p : Ir.process) =
+  let self = if is_remote then "me" else "255" in
+  let params = if is_remote then "byte me" else "" in
+  out ctx "proctype %s(%s) {\n" p.p_name params;
+  List.iter (fun v -> out ctx "%s" (decl_var v)) p.p_vars;
+  let na = max_assigns p in
+  if na > 1 then
+    for i = 0 to na - 1 do
+      out ctx "  int _t%d = 0;\n" i
+    done;
+  List.iter
+    (fun (x, v) ->
+      let v =
+        match v with
+        | Value.Vunit -> 0
+        | Value.Vbool b -> if b then 1 else 0
+        | Value.Vint i -> i
+        | Value.Vrid r -> r
+        | Value.Vset m -> m
+      in
+      out ctx "  %s = %d;\n" x v)
+    p.p_init_env;
+  out ctx "  goto %s;\n" p.p_init_state;
+  List.iter
+    (fun (st : Ir.state) ->
+      out ctx "%s:\n  if\n" st.Ir.s_name;
+      List.iter (fun g -> emit_guard ctx ~self ~is_remote g) st.Ir.s_guards;
+      out ctx "  fi;\n")
+    p.p_states;
+  out ctx "}\n\n"
+
+let of_system ~n (sys : Ir.system) =
+  (match Validate.check sys with
+  | Ok _ -> ()
+  | Error es ->
+    invalid_arg
+      (Fmt.str "Promela.of_system: invalid protocol: %a"
+         Fmt.(list ~sep:sp Validate.pp_error)
+         es));
+  if n > 8 then
+    invalid_arg "Promela.of_system: byte-encoded sharer sets support n <= 8";
+  let sigs = Validate.check_exn sys in
+  let arity =
+    List.fold_left
+      (fun a (s : Validate.signature) -> max a (List.length s.payload))
+      0 sigs
+  in
+  let ctx = { n; arity; buf = Buffer.create 4096 } in
+  out ctx "/* generated by ccrefine from the rendezvous protocol \"%s\"\n"
+    sys.sys_name;
+  out ctx "   (n = %d remotes); rendezvous channels, paper methodology */\n\n"
+    n;
+  out ctx "mtype = { %s };\n"
+    (String.concat ", " (List.map (fun s -> s.Validate.msg) sigs));
+  let fields =
+    "mtype" :: List.init arity (fun _ -> "byte") |> String.concat ", "
+  in
+  out ctx "chan to_h[%d] = [0] of { %s };\n" n fields;
+  out ctx "chan to_r[%d] = [0] of { %s };\n\n" n fields;
+  emit_process ctx ~is_remote:false sys.home;
+  emit_process ctx ~is_remote:true sys.remote;
+  out ctx "init {\n  atomic {\n    run %s();\n" sys.home.p_name;
+  for i = 0 to n - 1 do
+    out ctx "    run %s(%d);\n" sys.remote.p_name i
+  done;
+  out ctx "  }\n}\n";
+  Buffer.contents ctx.buf

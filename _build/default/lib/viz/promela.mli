@@ -1,0 +1,18 @@
+(** Promela (SPIN) export of rendezvous protocols.
+
+    The paper verified its rendezvous protocols with SPIN (§5); this
+    exporter regenerates such models from the same {!Ir.system} the OCaml
+    checker executes, so the two toolchains can be cross-validated.
+    Rendezvous channels (capacity 0) per remote and direction carry
+    [mtype] message names plus byte-encoded payloads; CSP guards become
+    guarded options of a state-labeled goto program.
+
+    Only the rendezvous level is exported: in the paper's methodology
+    that is the level the designer verifies, the asynchronous protocol
+    being correct by refinement. *)
+
+open Ccr_core
+
+val of_system : n:int -> Ir.system -> string
+(** @raise Invalid_argument if the system fails validation or [n] exceeds
+    the 8 remotes a byte-encoded sharer set supports. *)

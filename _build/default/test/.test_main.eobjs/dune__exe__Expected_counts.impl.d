@@ -1,0 +1,1 @@
+test/expected_counts.ml:

@@ -1,0 +1,1 @@
+test/suite_absmap.ml: Absmap Alcotest Array Async Ccr_core Ccr_protocols Ccr_refine Ccr_semantics Fmt Hashtbl List Option Prog Queue Rendezvous Test_util Value Wire

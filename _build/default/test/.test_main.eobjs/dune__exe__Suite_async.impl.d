@@ -1,0 +1,1 @@
+test/suite_async.ml: Alcotest Array Async Ccr_core Ccr_protocols Ccr_refine Dsl Expected_counts Fmt Hashtbl List Prog Queue Test_util Value Wire

@@ -1,0 +1,1 @@
+test/suite_compile.ml: Ccr_core Ccr_protocols Ccr_refine Ccr_viz Codegen Compile Fmt Ir List String Test_util

@@ -1,0 +1,1 @@
+test/suite_expr.ml: Alcotest Ccr_core Expr List Test_util Value

@@ -1,0 +1,1 @@
+test/suite_link.ml: Alcotest Array Ccr_core Ccr_protocols Dsl Link List Prog Test_util Value

@@ -1,0 +1,1 @@
+test/suite_parse.ml: Alcotest Bytes Ccr_core Ccr_protocols Expr Filename Fmt Ir Link List Parse QCheck2 Reqrep Result String Sys Test_util Validate Value

@@ -1,0 +1,1 @@
+test/suite_prog.ml: Alcotest Array Buffer Ccr_core Ccr_protocols Ccr_refine Ccr_semantics Dsl Fmt Link List Prog QCheck2 Rendezvous String Test_util Value

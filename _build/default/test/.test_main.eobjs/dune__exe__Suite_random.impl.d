@@ -1,0 +1,1 @@
+test/suite_random.ml: Ccr_core Ccr_modelcheck Ccr_refine Ccr_semantics Ccr_simulate Dsl Fmt Fun Hashtbl Ir Link List QCheck2 Queue Reqrep String Test_util Validate Value

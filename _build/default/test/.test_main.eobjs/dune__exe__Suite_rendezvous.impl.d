@@ -1,0 +1,1 @@
+test/suite_rendezvous.ml: Alcotest Array Ccr_core Ccr_protocols Ccr_semantics Expected_counts Fmt Hashtbl List Prog Rendezvous String Test_util Value

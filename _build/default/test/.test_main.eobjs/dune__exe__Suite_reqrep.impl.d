@@ -1,0 +1,1 @@
+test/suite_reqrep.ml: Alcotest Ccr_core Ccr_protocols Dsl Expr Fmt List Reqrep Test_util Validate Value

@@ -1,0 +1,1 @@
+test/suite_runtime.ml: Alcotest Array Barrier Ccr_core Ccr_protocols Ccr_refine Ccr_runtime Invalidate Link List Lock_server Mesi Migratory Migratory_hand String Test_util Thread Write_update

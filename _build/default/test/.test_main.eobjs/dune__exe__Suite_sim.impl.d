@@ -1,0 +1,1 @@
+test/suite_sim.ml: Array Async Ccr_protocols Ccr_refine Ccr_simulate Float List Sched Sim Test_util

@@ -1,0 +1,1 @@
+test/suite_symmetry.ml: Array Async Ccr_core Ccr_modelcheck Ccr_protocols Ccr_refine Ccr_semantics Fun Hashtbl List Prog Queue Rendezvous Symmetry Test_util Value

@@ -1,0 +1,1 @@
+test/suite_validate.ml: Alcotest Ccr_core Ccr_protocols Dsl Expr Fmt Ir List Test_util Validate Value

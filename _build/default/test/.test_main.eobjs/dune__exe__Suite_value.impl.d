@@ -1,0 +1,1 @@
+test/suite_value.ml: Alcotest Buffer Ccr_core List QCheck2 String Test_util Value

@@ -1,0 +1,1 @@
+test/suite_viz.ml: Async Ccr_core Ccr_protocols Ccr_refine Ccr_simulate Ccr_viz Dsl Ir List Prog Report String Test_util Value

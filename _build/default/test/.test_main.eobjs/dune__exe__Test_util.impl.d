@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Ccr_core Ccr_modelcheck Ccr_refine Ccr_semantics Dsl Fmt Link List QCheck2 QCheck_alcotest String Value

@@ -1,0 +1,3 @@
+  $ ../../bin/ccr.exe show migratory --level refined
+  $ ../../bin/ccr.exe show lock --format promela -n 2 | head -12
+  $ ../../bin/ccr.exe explain lock | sed -n '1,20p'

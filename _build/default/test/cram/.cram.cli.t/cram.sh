@@ -1,0 +1,5 @@
+  $ ../../bin/ccr.exe list
+  $ ../../bin/ccr.exe pairs migratory
+  $ ../../bin/ccr.exe pairs nonsense
+  $ ../../bin/ccr.exe eq1 migratory -n 2
+  $ ../../bin/ccr.exe progress lock -n 2

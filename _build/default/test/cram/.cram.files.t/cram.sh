@@ -1,0 +1,9 @@
+  $ ../../bin/ccr.exe pairs ../../protocols/migratory.ccr
+  $ ../../bin/ccr.exe eq1 ../../protocols/lock.ccr -n 3
+  $ ../../bin/ccr.exe export barrier > b.ccr
+  $ ../../bin/ccr.exe progress b.ccr -n 2
+  $ printf 'system x\nhome { var : rid }\n' > bad.ccr
+  $ ../../bin/ccr.exe pairs bad.ccr
+  $ ../../bin/ccr.exe pairs ../../protocols/rwlock.ccr
+  $ ../../bin/ccr.exe eq1 ../../protocols/rwlock.ccr -n 2
+  $ ../../bin/ccr.exe progress ../../protocols/rwlock.ccr -n 2

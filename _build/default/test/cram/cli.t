@@ -1,0 +1,38 @@
+The protocol catalogue:
+
+  $ ../../bin/ccr.exe list
+  migratory        the Avalanche migratory protocol (paper Figures 2-3)
+  migratory-data   migratory carrying the cache line's contents (last-writer id)
+  migratory-hand   the Avalanche team's hand-designed migratory protocol (unacked LR, paper §5); no rendezvous level [refined level only]
+  invalidate       the Avalanche invalidate protocol (multi-reader/single-writer, reconstructed)
+  mesi             MESI: invalidate plus an Exclusive-clean state with silent E->M upgrade and a downgrade path
+  write-update     write-update: writes broadcast to sharers, deferred-writer serialization, quiescent copies agree
+  lock             a mutual-exclusion lock server (quickstart protocol)
+  barrier          barrier synchronization (choose-driven release loop, generic refinement path)
+
+The request/reply analysis (paper 3.3):
+
+  $ ../../bin/ccr.exe pairs migratory
+  pair: req/gr (remote-initiated)
+  pair: inv/ID (home-initiated)
+  not optimizable: ID       send of ID is not followed by a single unconditional wait
+  not optimizable: LR       send of LR is not followed by a single unconditional wait
+  not optimizable: gr       remote does not answer gr with a single reply after local actions (stuck at state V)
+
+Unknown protocols are rejected with the catalogue:
+
+  $ ../../bin/ccr.exe pairs nonsense
+  ccr: PROTOCOL argument: unknown protocol "nonsense" (try: migratory,
+       migratory-data, migratory-hand, invalidate, mesi, write-update, lock,
+       barrier, or a .ccr file)
+  Usage: ccr pairs [OPTION]… PROTOCOL
+  Try 'ccr pairs --help' or 'ccr --help' for more information.
+  [124]
+
+The soundness check is deterministic:
+
+  $ ../../bin/ccr.exe eq1 migratory -n 2
+  eq1: OK — 129 async states (242 transitions: 162 stutters, 80 rendezvous steps) covering 15 rendezvous states
+
+  $ ../../bin/ccr.exe progress lock -n 2
+  108 states; 0 deadlocks; 0 states from which no rendezvous can complete

@@ -1,0 +1,45 @@
+Protocols load from textual .ccr files; the analysis and the soundness
+check give the same results as the built-in definitions:
+
+  $ ../../bin/ccr.exe pairs ../../protocols/migratory.ccr
+  pair: req/gr (remote-initiated)
+  pair: inv/ID (home-initiated)
+  not optimizable: ID       send of ID is not followed by a single unconditional wait
+  not optimizable: LR       send of LR is not followed by a single unconditional wait
+  not optimizable: gr       remote does not answer gr with a single reply after local actions (stuck at state V)
+
+  $ ../../bin/ccr.exe eq1 ../../protocols/lock.ccr -n 3
+  eq1: OK — 859 async states (2397 transitions: 1620 stutters, 777 rendezvous steps) covering 44 rendezvous states
+
+Exports reload losslessly:
+
+  $ ../../bin/ccr.exe export barrier > b.ccr
+  $ ../../bin/ccr.exe progress b.ccr -n 2
+  196 states; 0 deadlocks; 0 states from which no rendezvous can complete
+
+Bad files produce located errors:
+
+  $ printf 'system x\nhome { var : rid }\n' > bad.ccr
+  $ ../../bin/ccr.exe pairs bad.ccr
+  ccr: PROTOCOL argument: parse error at line 2, column 13: expected an
+       identifier, found ':'
+  Usage: ccr pairs [OPTION]… PROTOCOL
+  Try 'ccr pairs --help' or 'ccr --help' for more information.
+  [124]
+
+A protocol that exists only as a file (no OCaml): the readers-writer
+lock shipped in protocols/rwlock.ccr:
+
+  $ ../../bin/ccr.exe pairs ../../protocols/rwlock.ccr
+  pair: acqR/grR (remote-initiated)
+  pair: acqW/grW (remote-initiated)
+  not optimizable: relR     send of relR is not followed by a single unconditional wait
+  not optimizable: relW     send of relW is not followed by a single unconditional wait
+  not optimizable: grR      target of grR (at state GR) is not a stable variable
+  not optimizable: grW      overlaps another request/reply pair
+
+  $ ../../bin/ccr.exe eq1 ../../protocols/rwlock.ccr -n 2
+  eq1: OK — 435 async states (876 transitions: 534 stutters, 342 rendezvous steps) covering 57 rendezvous states
+
+  $ ../../bin/ccr.exe progress ../../protocols/rwlock.ccr -n 2
+  435 states; 0 deadlocks; 0 states from which no rendezvous can complete

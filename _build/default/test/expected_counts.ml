@@ -1,0 +1,32 @@
+(* Exact reachable-state counts used as regression anchors.
+
+   These pin down the semantics: any change to the rendezvous executor,
+   the refinement rules (Tables 1-2), the request/reply optimization or
+   the buffer machinery shifts them.  Recorded from the implementation
+   once its invariants, Eq. 1 checks and scaling shape were validated;
+   they are anchors for the Table 3 reproduction, not the paper's SPIN
+   numbers (a different checker encodes states differently). *)
+
+(* n = 1, 2, 4 *)
+let migratory_rv = [ 4; 15; 61 ]
+
+(* n = 1, 2, 3; k = 2 *)
+let migratory_as = [ 10; 129; 1650 ]
+
+(* n = 1, 2, 3 *)
+let invalidate_rv = [ 9; 92; 647 ]
+
+(* n = 1, 2; k = 2 *)
+let invalidate_as = [ 21; 604 ]
+
+(* n = 1, 2, 3 *)
+let lock_rv = [ 5; 16; 44 ]
+
+(* n = 1, 2, 3; k = 2 *)
+let lock_as = [ 11; 108; 859 ]
+
+(* n = 1, 2; k = 2; generic scheme (no request/reply pairs) *)
+let migratory_generic_as = [ 16; 383 ]
+
+(* n = 1, 2; k = 2; hand-optimized (unacked LR) *)
+let migratory_hand_as = [ 14; 366 ]

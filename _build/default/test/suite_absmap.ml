@@ -1,0 +1,287 @@
+open Ccr_core
+open Ccr_semantics
+open Ccr_refine
+open Test_util
+
+let k2 = Async.{ k = 2 }
+
+let assert_eq1 name prog k =
+  let v = Absmap.check_eq1 prog Async.{ k } in
+  if not v.ok then
+    Alcotest.failf "%s: Eq. 1 violated at %a" name Async.pp_label
+      (Option.get v.failure).label;
+  checkb (name ^ " untruncated") true (not v.truncated);
+  v
+
+let tests =
+  [
+    case "abs of the initial state is the rendezvous initial state" (fun () ->
+        List.iter
+          (fun prog ->
+            checks "init"
+              (Rendezvous.encode (Rendezvous.initial prog))
+              (Rendezvous.encode (Absmap.abs prog (Async.initial prog k2))))
+          [
+            compile ~n:2 (Ccr_protocols.Migratory.system ());
+            compile ~n:3 Ccr_protocols.Invalidate.system;
+            compile ~n:2 ping_system;
+          ]);
+    case "abs rolls back a transient sender" (fun () ->
+        let prog = compile ~n:2 (Ccr_protocols.Migratory.system ()) in
+        let st = Async.initial prog k2 in
+        let st' = fire prog st (by_rule ~actor:0 Async.R_C1) in
+        (* the request is in flight: under abs it never happened *)
+        checks "stutter" (Rendezvous.encode (Absmap.abs prog st))
+          (Rendezvous.encode (Absmap.abs prog st')));
+    case "abs advances on silent consumption" (fun () ->
+        let prog = compile ~n:2 (Ccr_protocols.Migratory.system ()) in
+        let st = Async.initial prog k2 in
+        let st = fire prog st (by_rule ~actor:0 Async.R_C1) in
+        let st = fire prog st (by_rule ~actor:0 Async.H_admit) in
+        let before = Absmap.abs prog st in
+        let st = fire prog st (by_rule ~actor:0 Async.H_C1_silent) in
+        let after = Absmap.abs prog st in
+        checkb "abs changed" false
+          (Rendezvous.encode before = Rendezvous.encode after);
+        (* and the change is a legal rendezvous step *)
+        checkb "legal step" true
+          (List.exists
+             (fun (_, s) ->
+               Rendezvous.encode s = Rendezvous.encode after)
+             (Rendezvous.successors prog before));
+        (* the waiting remote is mapped to its wait state *)
+        checki "r0 abs at Wg"
+          (Prog.state_index prog.remote "Wg")
+          after.Rendezvous.r.(0).ctl);
+    case "abs prepays an ack in flight" (fun () ->
+        let prog = compile ~reqrep:false ~n:2 (Ccr_protocols.Migratory.system ()) in
+        let st = Async.initial prog k2 in
+        let st = fire prog st (by_rule ~actor:0 Async.R_C1) in
+        let st = fire prog st (by_rule ~actor:0 Async.H_admit) in
+        let st = fire prog st (by_rule ~actor:0 Async.H_C1) in
+        (* ack in flight towards r0: abs already moved r0 to Wg *)
+        let a = Absmap.abs prog st in
+        checki "r0 abs at Wg"
+          (Prog.state_index prog.remote "Wg")
+          a.Rendezvous.r.(0).ctl;
+        (* consuming the ack is a stutter *)
+        let st' = fire prog st (by_rule ~actor:0 Async.R_T1) in
+        checks "stutter" (Rendezvous.encode a)
+          (Rendezvous.encode (Absmap.abs prog st')));
+    case "abs discards a nack" (fun () ->
+        let prog = compile ~n:3 Ccr_protocols.Lock_server.system in
+        let st = Async.initial prog k2 in
+        let work i st = fire prog st (by_rule ~actor:i Async.R_tau) in
+        let st = work 0 st in
+        let st = fire prog st (by_rule ~actor:0 Async.R_C1) in
+        let st = fire prog st (by_rule ~actor:0 Async.H_admit) in
+        let st = fire prog st (by_rule ~actor:0 Async.H_C1_silent) in
+        let st = fire prog st (by_rule ~actor:0 Async.H_reply_send) in
+        let st = fire prog st (by_rule ~actor:0 Async.R_repl_recv) in
+        (* fill the buffer so r2 gets nacked *)
+        let st = work 1 st in
+        let st = fire prog st (by_rule ~actor:1 Async.R_C1) in
+        let st = fire prog st (by_rule ~actor:1 Async.H_admit) in
+        let st = work 2 st in
+        let st = fire prog st (by_rule ~actor:2 Async.R_C1) in
+        let before = Absmap.abs prog st in
+        let st = fire prog st (by_rule ~actor:2 Async.H_nack_full) in
+        checks "nack emission is a stutter" (Rendezvous.encode before)
+          (Rendezvous.encode (Absmap.abs prog st));
+        let st' = fire prog st (by_rule ~actor:2 Async.R_T2) in
+        checks "nack consumption is a stutter" (Rendezvous.encode before)
+          (Rendezvous.encode (Absmap.abs prog st')));
+    case "Eq. 1: migratory (optimized, generic, data, hand-free k)" (fun () ->
+        let mig = Ccr_protocols.Migratory.system () in
+        ignore (assert_eq1 "mig n=1" (compile ~n:1 mig) 2);
+        ignore (assert_eq1 "mig n=2" (compile ~n:2 mig) 2);
+        ignore (assert_eq1 "mig n=2 k=3" (compile ~n:2 mig) 3);
+        ignore (assert_eq1 "generic n=2" (compile ~reqrep:false ~n:2 mig) 2);
+        ignore
+          (assert_eq1 "data n=2"
+             (compile ~n:2 (Ccr_protocols.Migratory.system ~with_data:true ()))
+             2));
+    slow_case "Eq. 1: migratory n=3" (fun () ->
+        ignore
+          (assert_eq1 "mig n=3"
+             (compile ~n:3 (Ccr_protocols.Migratory.system ()))
+             2));
+    slow_case "Eq. 1 sweep: every registry protocol, k in {2, 3}" (fun () ->
+        List.iter
+          (fun (e : Ccr_protocols.Registry.t) ->
+            if e.system <> None then
+              List.iter
+                (fun k ->
+                  ignore
+                    (assert_eq1
+                       (Fmt.str "%s n=2 k=%d" e.name k)
+                       (e.instantiate ~reqrep:true ~n:2)
+                       k))
+                [ 2; 3 ])
+          Ccr_protocols.Registry.all);
+    slow_case "Eq. 1: invalidate and write-update at n=3" (fun () ->
+        ignore
+          (assert_eq1 "invalidate n=3"
+             (compile ~n:3 Ccr_protocols.Invalidate.system)
+             2);
+        ignore
+          (assert_eq1 "write-update n=3"
+             (compile ~n:3 Ccr_protocols.Write_update.system)
+             2));
+    case "Eq. 1: invalidate and lock" (fun () ->
+        ignore (assert_eq1 "inv n=2" (compile ~n:2 Ccr_protocols.Invalidate.system) 2);
+        ignore
+          (assert_eq1 "inv generic n=2"
+             (compile ~reqrep:false ~n:2 Ccr_protocols.Invalidate.system)
+             2);
+        ignore (assert_eq1 "lock n=3" (compile ~n:3 Ccr_protocols.Lock_server.system) 2);
+        ignore (assert_eq1 "ping n=2" (compile ~n:2 ping_system) 2);
+        ignore (assert_eq1 "plain n=2" (compile ~n:2 plain_system) 2));
+    case "Eq. 1 verdict accounting" (fun () ->
+        let prog = compile ~n:2 (Ccr_protocols.Migratory.system ()) in
+        let v = assert_eq1 "mig" prog 2 in
+        checki "states match exploration" (explore_async prog).states v.states;
+        checki "every transition classified" v.transitions
+          (v.stutters + v.steps);
+        checkb "some real steps" true (v.steps > 0);
+        checkb "abs image is small" true (v.abs_states < v.states));
+    case "abs branch coverage on crafted states" (fun () ->
+        let prog = compile ~n:2 (Ccr_protocols.Migratory.system ()) in
+        let st0 = Async.initial prog k2 in
+        let i_send =
+          let s = prog.Prog.remote.p_states.(Prog.state_index prog.remote "I") in
+          Option.get s.Prog.cs_active
+        in
+        let scratch = Array.copy st0.Async.r.(0).r_env in
+        let rwait =
+          {
+            (st0.Async.r.(0)) with
+            Async.r_mode = Async.Rwait { guard = i_send; scratch; repl = "gr" };
+          }
+        in
+        let with_r0 r to_r0 to_h0 =
+          {
+            st0 with
+            Async.r = (let a = Array.copy st0.Async.r in a.(0) <- r; a);
+            to_r = (let a = Array.make 2 [] in a.(0) <- to_r0; a);
+            to_h = (let a = Array.make 2 [] in a.(0) <- to_h0; a);
+          }
+        in
+        let ctl_of (a : Ccr_semantics.Rendezvous.state) =
+          prog.Prog.remote.p_states.(a.Ccr_semantics.Rendezvous.r.(0).ctl)
+            .cs_name
+        in
+        (* 1. request still in flight: rolled back to I *)
+        let st =
+          with_r0 rwait []
+            [ Wire.Req { m_name = "req"; m_payload = [] } ]
+        in
+        checks "pending -> rolled back" "I" (ctl_of (Absmap.abs prog st));
+        (* 2. nack in flight: rolled back *)
+        let st = with_r0 rwait [ Wire.Nack ] [] in
+        checks "nack -> rolled back" "I" (ctl_of (Absmap.abs prog st));
+        (* 3. consumed silently, no reply yet: advanced to the wait state *)
+        let st = with_r0 rwait [] [] in
+        checks "consumed -> wait state" "Wg" (ctl_of (Absmap.abs prog st));
+        (* 4. reply in flight: both rendezvous prepaid *)
+        let st =
+          with_r0 rwait [ Wire.Req { m_name = "gr"; m_payload = [] } ] []
+        in
+        checks "reply -> post-post" "V" (ctl_of (Absmap.abs prog st)));
+    case "abs home branch coverage on crafted states" (fun () ->
+        let prog = compile ~n:2 (Ccr_protocols.Migratory.system ()) in
+        let st0 = Async.initial prog k2 in
+        let i1 = Prog.state_index prog.home "I1" in
+        let inv_guard =
+          match prog.Prog.home.p_states.(i1).Prog.cs_sends with
+          | [ g ] -> g
+          | _ -> assert false
+        in
+        let env = Array.copy st0.Async.h.h_env in
+        (* owner r0, requester r1 *)
+        env.(Prog.var_index prog.home "o") <- Value.Vrid 0;
+        env.(Prog.var_index prog.home "j") <- Value.Vrid 1;
+        let h =
+          {
+            st0.Async.h with
+            Async.h_ctl = i1;
+            h_env = env;
+            h_mode =
+              Async.Htrans
+                {
+                  guard = inv_guard;
+                  peer = 0;
+                  scratch = Array.copy env;
+                  await = `Repl "ID";
+                };
+          }
+        in
+        let hctl (a : Ccr_semantics.Rendezvous.state) =
+          prog.Prog.home.p_states.(a.Ccr_semantics.Rendezvous.h.ctl).cs_name
+        in
+        let with_channels to_r0 to_h0 =
+          {
+            st0 with
+            Async.h;
+            to_r = (let a = Array.make 2 [] in a.(0) <- to_r0; a);
+            to_h = (let a = Array.make 2 [] in a.(0) <- to_h0; a);
+          }
+        in
+        (* request pending toward the peer: rolled back *)
+        let st =
+          with_channels [ Wire.Req { m_name = "inv"; m_payload = [] } ] []
+        in
+        checks "pending -> I1" "I1" (hctl (Absmap.abs prog st));
+        (* peer consumed silently: advanced to I2 *)
+        let st = with_channels [] [] in
+        checks "consumed -> I2" "I2" (hctl (Absmap.abs prog st));
+        (* reply in flight: completes both, home at I3 *)
+        let st =
+          with_channels [] [ Wire.Req { m_name = "ID"; m_payload = [] } ] in
+        checks "reply -> I3" "I3" (hctl (Absmap.abs prog st));
+        (* crossing LR from the peer: implicit nack coming, rolled back *)
+        let st =
+          with_channels [] [ Wire.Req { m_name = "LR"; m_payload = [] } ]
+        in
+        checks "crossing -> I1" "I1" (hctl (Absmap.abs prog st));
+        (* explicit nack in flight: rolled back *)
+        let st = with_channels [] [ Wire.Nack ] in
+        checks "nack -> I1" "I1" (hctl (Absmap.abs prog st)));
+    case "abs image is contained in the reachable rendezvous states"
+      (fun () ->
+        let prog = compile ~n:2 (Ccr_protocols.Migratory.system ()) in
+        (* collect reachable rendezvous states *)
+        let rv_seen = Hashtbl.create 64 in
+        let q = Queue.create () in
+        let push st =
+          let key = Rendezvous.encode st in
+          if not (Hashtbl.mem rv_seen key) then begin
+            Hashtbl.add rv_seen key ();
+            Queue.push st q
+          end
+        in
+        push (Rendezvous.initial prog);
+        while not (Queue.is_empty q) do
+          let st = Queue.pop q in
+          List.iter (fun (_, s) -> push s) (Rendezvous.successors prog st)
+        done;
+        (* walk the async space and check each abs state is known *)
+        let seen = Hashtbl.create 64 in
+        let qa = Queue.create () in
+        let pusha st =
+          let key = Async.encode st in
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.add seen key ();
+            checkb "abs reachable" true
+              (Hashtbl.mem rv_seen (Rendezvous.encode (Absmap.abs prog st)));
+            Queue.push st qa
+          end
+        in
+        pusha (Async.initial prog k2);
+        while not (Queue.is_empty qa) do
+          let st = Queue.pop qa in
+          List.iter (fun (_, s) -> pusha s) (Async.successors prog k2 st)
+        done);
+  ]
+
+let suite = ("absmap", tests)

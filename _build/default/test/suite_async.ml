@@ -1,0 +1,556 @@
+open Ccr_core
+open Ccr_refine
+open Test_util
+
+let k2 = Async.{ k = 2 }
+
+let mig n = compile ~n (Ccr_protocols.Migratory.system ())
+let mig_generic n = compile ~reqrep:false ~n (Ccr_protocols.Migratory.system ())
+
+let ctl_of prog (st : Async.state) i =
+  prog.Prog.remote.p_states.(st.Async.r.(i).r_ctl).cs_name
+
+let hctl_of prog (st : Async.state) =
+  prog.Prog.home.p_states.(st.Async.h.h_ctl).cs_name
+
+(* ---- walkthrough scenarios -------------------------------------------- *)
+
+(* Optimized migratory: request/reply means req is consumed silently and
+   gr doubles as its ack. *)
+let optimized_grant_walkthrough () =
+  let prog = mig 2 in
+  let st = Async.initial prog k2 in
+  (* r0 requests: C1 (its buffer is empty) *)
+  let st = fire prog st (by_rule ~actor:0 ~subject:"req" Async.R_C1) in
+  checkb "r0 awaits the reply" true
+    (match st.Async.r.(0).r_mode with
+    | Async.Rwait { repl = "gr"; _ } -> true
+    | _ -> false);
+  (* the request reaches the home's buffer, then is consumed silently *)
+  let st = fire prog st (by_rule ~actor:0 Async.H_admit) in
+  checki "buffered" 1 (List.length st.Async.h.h_buf);
+  let st = fire prog st (by_rule ~actor:0 Async.H_C1_silent) in
+  checks "home granted" "Fg" (hctl_of prog st);
+  checki "no ack in flight" 0 (List.length st.Async.to_r.(0));
+  (* the grant is fire-and-forget *)
+  let st = fire prog st (by_rule ~actor:0 ~subject:"gr" Async.H_reply_send) in
+  checks "home at E" "E" (hctl_of prog st);
+  (* the reply completes both rendezvous at r0 *)
+  let st = fire prog st (by_rule ~actor:0 Async.R_repl_recv) in
+  checks "r0 at V" "V" (ctl_of prog st 0);
+  checkb "r0 back in communication mode" true (st.Async.r.(0).r_mode = Async.Rcomm);
+  st
+
+(* Generic scheme: the same grant costs four messages and two transients. *)
+let generic_grant_walkthrough () =
+  let prog = mig_generic 2 in
+  let st = Async.initial prog k2 in
+  let st = fire prog st (by_rule ~actor:0 ~subject:"req" Async.R_C1) in
+  checkb "r0 transient" true
+    (match st.Async.r.(0).r_mode with Async.Rtrans _ -> true | _ -> false);
+  let st = fire prog st (by_rule ~actor:0 Async.H_admit) in
+  (* plain consume acks *)
+  let st = fire prog st (by_rule ~actor:0 Async.H_C1) in
+  checkb "ack in flight" true (List.mem Wire.Ack st.Async.to_r.(0));
+  let st = fire prog st (by_rule ~actor:0 Async.R_T1) in
+  checks "r0 at Wg" "Wg" (ctl_of prog st 0);
+  (* the grant is now a plain request: home goes transient *)
+  let st = fire prog st (by_rule ~actor:0 ~subject:"gr" Async.H_C2) in
+  checkb "home transient" true
+    (match st.Async.h.h_mode with
+    | Async.Htrans { peer = 0; await = `Ack; _ } -> true
+    | _ -> false);
+  let st = fire prog st (by_rule ~actor:0 ~subject:"gr" Async.R_deliver) in
+  let st = fire prog st (by_rule ~actor:0 ~subject:"gr" Async.R_C3_ack) in
+  checks "r0 at V" "V" (ctl_of prog st 0);
+  let st = fire prog st (by_rule ~actor:0 Async.H_T1) in
+  checks "home at E" "E" (hctl_of prog st);
+  st
+
+(* The crossing race of §3: the owner relinquishes while the home is
+   invalidating it.  Exercises R_C2 (deleting the buffered inv), H_T3
+   (implicit nack) and the home's recovery through its LR guard. *)
+let crossing_walkthrough () =
+  let prog = mig 2 in
+  let st = optimized_grant_walkthrough () in
+  (* r1 requests while r0 owns the line *)
+  let st = fire prog st (by_rule ~actor:1 ~subject:"req" Async.R_C1) in
+  let st = fire prog st (by_rule ~actor:1 Async.H_admit) in
+  let st = fire prog st (by_rule ~actor:1 Async.H_C1_silent) in
+  checks "home at I1" "I1" (hctl_of prog st);
+  (* home sends inv to the owner and goes transient *)
+  let st = fire prog st (by_rule ~actor:0 ~subject:"inv" Async.H_C2) in
+  checkb "awaiting ID" true
+    (match st.Async.h.h_mode with
+    | Async.Htrans { peer = 0; await = `Repl "ID"; _ } -> true
+    | _ -> false);
+  (* meanwhile r0 evicts; the inv lands in its buffer *)
+  let st = fire prog st (by_rule ~actor:0 Async.R_tau) in
+  checks "r0 at Ev" "Ev" (ctl_of prog st 0);
+  let st = fire prog st (by_rule ~actor:0 ~subject:"inv" Async.R_deliver) in
+  checkb "inv buffered at r0" true (st.Async.r.(0).r_buf <> None);
+  (* r0 sends LR anyway: row C2 deletes the buffered inv *)
+  let st = fire prog st (by_rule ~actor:0 ~subject:"LR" Async.R_C2) in
+  checkb "buffer cleared" true (st.Async.r.(0).r_buf = None);
+  (* the crossing LR is an implicit nack for the inv *)
+  let st = fire prog st (by_rule ~actor:0 ~subject:"LR" Async.H_T3) in
+  checkb "home back in communication mode" true
+    (st.Async.h.h_mode = Async.Hcomm);
+  checks "still at I1" "I1" (hctl_of prog st);
+  checki "LR buffered" 1 (List.length st.Async.h.h_buf);
+  (* the home now completes the LR rendezvous instead *)
+  let st = fire prog st (by_rule ~actor:0 ~subject:"LR" Async.H_C1) in
+  checks "home at I3" "I3" (hctl_of prog st);
+  let st = fire prog st (by_rule ~actor:0 Async.R_T1) in
+  checks "r0 at I" "I" (ctl_of prog st 0);
+  (* and grants to r1 *)
+  let st = fire prog st (by_rule ~actor:1 ~subject:"gr" Async.H_reply_send) in
+  let st = fire prog st (by_rule ~actor:1 Async.R_repl_recv) in
+  checks "r1 at V" "V" (ctl_of prog st 1);
+  st
+
+(* The other interleaving: the LR is already in flight when the home sends
+   inv; the transient remote ignores (drops) the home's request. *)
+let ignore_walkthrough () =
+  let prog = mig 2 in
+  let st = optimized_grant_walkthrough () in
+  let st = fire prog st (by_rule ~actor:1 ~subject:"req" Async.R_C1) in
+  let st = fire prog st (by_rule ~actor:1 Async.H_admit) in
+  (* r0 evicts and sends LR first *)
+  let st = fire prog st (by_rule ~actor:0 Async.R_tau) in
+  let st = fire prog st (by_rule ~actor:0 ~subject:"LR" Async.R_C1) in
+  checkb "r0 transient" true
+    (match st.Async.r.(0).r_mode with Async.Rtrans _ -> true | _ -> false);
+  (* now the home processes r1's request and invalidates r0 *)
+  let st = fire prog st (by_rule ~actor:1 Async.H_C1_silent) in
+  let st = fire prog st (by_rule ~actor:0 ~subject:"inv" Async.H_C2) in
+  (* the inv reaches r0 while it is transient: row T3 drops it *)
+  let st = fire prog st (by_rule ~actor:0 ~subject:"inv" Async.R_T3) in
+  checkb "inv vanished" true
+    (st.Async.to_r.(0) = [] && st.Async.r.(0).r_buf = None);
+  st
+
+(* The home-initiated request/reply pair completing normally. *)
+let inv_id_walkthrough () =
+  let prog = mig 2 in
+  let st = optimized_grant_walkthrough () in
+  let st = fire prog st (by_rule ~actor:1 ~subject:"req" Async.R_C1) in
+  let st = fire prog st (by_rule ~actor:1 Async.H_admit) in
+  let st = fire prog st (by_rule ~actor:1 Async.H_C1_silent) in
+  let st = fire prog st (by_rule ~actor:0 ~subject:"inv" Async.H_C2) in
+  (* r0 consumes the inv silently (no ack) ... *)
+  let st = fire prog st (by_rule ~actor:0 ~subject:"inv" Async.R_deliver) in
+  let st = fire prog st (by_rule ~actor:0 ~subject:"inv" Async.R_C3_silent) in
+  checks "r0 at Iv" "Iv" (ctl_of prog st 0);
+  checki "no ack sent" 0 (List.length st.Async.to_h.(0));
+  (* ... and replies with ID, fire-and-forget *)
+  let st = fire prog st (by_rule ~actor:0 ~subject:"ID" Async.R_reply_send) in
+  checks "r0 at I" "I" (ctl_of prog st 0);
+  (* the ID completes both rendezvous at the home *)
+  let st = fire prog st (by_rule ~actor:0 ~subject:"ID" Async.H_T1_repl) in
+  checks "home at I3" "I3" (hctl_of prog st);
+  st
+
+(* ---- hand-crafted states for hard-to-reach rows ------------------------ *)
+
+(* A full buffer of stale requests at a send state forces row C2's
+   eviction: the oldest request is nacked to free the ack-buffer slot. *)
+let eviction_test () =
+  let prog = mig_generic 4 in
+  let st = Async.initial prog k2 in
+  let junk i = (i, Wire.{ m_name = "req"; m_payload = [] }) in
+  (* home at I1 (inv pending to owner 0), buffer full of requests from
+     r2 and r3 — neither matches I1's only receive guard (LR from o) *)
+  let h =
+    {
+      st.Async.h with
+      h_ctl = Prog.state_index prog.home "I1";
+      h_buf = [ junk 2; junk 3 ];
+    }
+  in
+  (* owner r0 parked in V so the inv has a target *)
+  let r0 = { (st.Async.r.(0)) with r_ctl = Prog.state_index prog.remote "V" } in
+  let st = { st with Async.h; r = (let a = Array.copy st.Async.r in a.(0) <- r0; a) } in
+  let st' = fire prog st (by_rule ~actor:0 ~subject:"inv" Async.H_C2) in
+  checki "one entry evicted" 1 (List.length st'.Async.h.h_buf);
+  checkb "oldest was evicted" true (fst (List.hd st'.Async.h.h_buf) = 3);
+  checkb "nack sent to r2" true (List.mem Wire.Nack st'.Async.to_r.(2));
+  checkb "inv sent to r0" true
+    (List.exists
+       (function Wire.Req m -> m.Wire.m_name = "inv" | _ -> false)
+       st'.Async.to_r.(0))
+
+(* Rows T4/T5/T6: admission of foreign requests while transient. *)
+let transient_admission_test () =
+  let prog = mig_generic 4 in
+  let cfg = Async.{ k = 4 } in
+  let st = Async.initial prog cfg in
+  let req = Wire.Req { m_name = "req"; m_payload = [] } in
+  (* home transient towards r0 (gr in the generic scheme) *)
+  let gr_guard =
+    let s = prog.home.p_states.(Prog.state_index prog.home "Fg") in
+    match s.Prog.cs_sends with [ g ] -> g | _ -> assert false
+  in
+  let h =
+    {
+      st.Async.h with
+      h_ctl = Prog.state_index prog.home "Fg";
+      h_mode =
+        Async.Htrans
+          {
+            guard = gr_guard;
+            peer = 0;
+            scratch = Array.copy st.Async.h.h_env;
+            await = `Ack;
+          };
+    }
+  in
+  let st = { st with Async.h } in
+  (* free = 4 > 2: T4 admits *)
+  let st1 = { st with Async.to_h = (let a = Array.copy st.Async.to_h in a.(1) <- [ req ]; a) } in
+  let st2 = fire ~k:4 prog st1 (by_rule ~actor:1 Async.H_T4) in
+  checki "admitted" 1 (List.length st2.Async.h.h_buf);
+  (* free = 2 and the request does NOT satisfy Fg (no receive guards):
+     T6 nacks *)
+  let junk i = (i, Wire.{ m_name = "req"; m_payload = [] }) in
+  let st3 =
+    {
+      st1 with
+      Async.h = { h with h_buf = [ junk 2; junk 3 ] };
+    }
+  in
+  let st4 = fire ~k:4 prog st3 (by_rule ~actor:1 Async.H_T6) in
+  checkb "nacked" true (List.mem Wire.Nack st4.Async.to_r.(1));
+  (* free = 2 and the request DOES satisfy the underlying state: T5 *)
+  let e_guard_state = Prog.state_index prog.home "E" in
+  let inv_guard =
+    let s = prog.home.p_states.(Prog.state_index prog.home "I1") in
+    match s.Prog.cs_sends with [ g ] -> g | _ -> assert false
+  in
+  ignore e_guard_state;
+  let h5 =
+    {
+      st.Async.h with
+      h_ctl = Prog.state_index prog.home "I1";
+      h_mode =
+        Async.Htrans
+          {
+            guard = inv_guard;
+            peer = 0;
+            scratch = Array.copy st.Async.h.h_env;
+            await = `Ack;
+          };
+      h_buf = [ junk 2; junk 3 ];
+    }
+  in
+  (* the owner variable is r0 by default; an LR from r0 satisfies I1 *)
+  let lr = Wire.Req { m_name = "LR"; m_payload = [] } in
+  let st5 =
+    {
+      st with
+      Async.h = h5;
+      to_h = (let a = Array.make 4 [] in a.(0) <- [ lr ]; a);
+    }
+  in
+  (* note: r0 is the transient peer here, so an LR from r0 is T3; use a
+     different owner to observe T5 — set o := r1 and send LR from r1 *)
+  let o = Prog.var_index prog.home "o" in
+  let env = Array.copy h5.h_env in
+  env.(o) <- Value.Vrid 1;
+  let h5 = { h5 with h_env = env } in
+  let st5 =
+    {
+      st5 with
+      Async.h = h5;
+      to_h = (let a = Array.make 4 [] in a.(1) <- [ lr ]; a);
+    }
+  in
+  let st6 = fire ~k:4 prog st5 (by_rule ~actor:1 ~subject:"LR" Async.H_T5) in
+  checki "progress slot used" 3 (List.length st6.Async.h.h_buf)
+
+(* Admission outside a transient: the progress buffer only admits a
+   request that can complete a rendezvous now. *)
+let progress_buffer_test () =
+  let prog = compile ~n:3 Ccr_protocols.Lock_server.system in
+  let st = Async.initial prog k2 in
+  let work i st = fire prog st (by_rule ~actor:i ~subject:"work" Async.R_tau) in
+  (* r0 acquires the lock *)
+  let st = work 0 st in
+  let st = fire prog st (by_rule ~actor:0 ~subject:"acq" Async.R_C1) in
+  let st = fire prog st (by_rule ~actor:0 Async.H_admit) in
+  let st = fire prog st (by_rule ~actor:0 Async.H_C1_silent) in
+  let st = fire prog st (by_rule ~actor:0 Async.H_reply_send) in
+  let st = fire prog st (by_rule ~actor:0 Async.R_repl_recv) in
+  checks "home locked" "L" (hctl_of prog st);
+  (* r1's acq is admitted (free = 2 > 1) *)
+  let st = work 1 st in
+  let st = fire prog st (by_rule ~actor:1 ~subject:"acq" Async.R_C1) in
+  let st = fire prog st (by_rule ~actor:1 Async.H_admit) in
+  (* r2's acq cannot use the progress slot: only rel from r0 matches L *)
+  let st = work 2 st in
+  let st = fire prog st (by_rule ~actor:2 ~subject:"acq" Async.R_C1) in
+  let st = fire prog st (by_rule ~actor:2 Async.H_nack_full) in
+  checkb "r2 nacked" true (List.mem Wire.Nack st.Async.to_r.(2));
+  let st = fire prog st (by_rule ~actor:2 Async.R_T2) in
+  checkb "r2 will retry" true (st.Async.r.(2).r_mode = Async.Rcomm);
+  (* r0's rel does satisfy L: progress-slot admission *)
+  let st = fire prog st (by_rule ~actor:0 Async.R_tau) in
+  let st = fire prog st (by_rule ~actor:0 ~subject:"rel" Async.R_C1) in
+  let st = fire prog st (by_rule ~actor:0 Async.H_admit_progress) in
+  checki "both buffered" 2 (List.length st.Async.h.h_buf);
+  (* and the lock moves on *)
+  let st = fire prog st (by_rule ~actor:0 ~subject:"rel" Async.H_C1) in
+  checks "unlocked" "U" (hctl_of prog st)
+
+(* The home rotates to its next output guard on a nack (row T2). *)
+let rotation_test () =
+  (* a home with two output guards: it probes its client, and on a nack
+     tries the other one *)
+  let open Dsl in
+  let sys =
+    system "rot"
+      ~home:
+        (process "h" ~vars:[ ("a", Value.Drid); ("b", Value.Drid) ] ~init:"U"
+           [
+             state "U"
+               [
+                 recv_any "a" "hello" [] ~goto:"U2";
+               ];
+             state "U2" [ recv_any "b" "hello" [] ~goto:"P" ];
+             state "P"
+               [
+                 send_to (v "a") "pa" [] ~goto:"DONE";
+                 send_to (v "b") "pb" [] ~goto:"DONE";
+               ];
+             state "DONE" [ recv_any "a" "bye" [] ~goto:"DONE" ];
+           ])
+      ~remote:
+        (process "r" ~vars:[] ~init:"T"
+           [
+             state "T" [ send_home "hello" [] ~goto:"W" ];
+             state "W"
+               [
+                 recv_home "pb" [] ~goto:"X";
+                 tau "lose_interest" ~goto:"Y";
+               ];
+             state "X" [ send_home "bye" [] ~goto:"X2" ];
+             state "X2" [ recv_home "never" [] ~goto:"X2" ];
+             state "Y" [ recv_home "pb" [] ~goto:"X" ];
+           ])
+  in
+  let prog = compile ~reqrep:false ~n:2 sys in
+  let st = Async.initial prog k2 in
+  (* both remotes say hello; the home moves to P with a=first, b=second *)
+  let st = fire prog st (by_rule ~actor:0 Async.R_C1) in
+  let st = fire prog st (by_rule ~actor:0 Async.H_admit) in
+  let st = fire prog st (by_rule ~actor:0 Async.H_C1) in
+  let st = fire prog st (by_rule ~actor:0 Async.R_T1) in
+  let st = fire prog st (by_rule ~actor:1 Async.R_C1) in
+  let st = fire prog st (by_rule ~actor:1 Async.H_admit) in
+  let st = fire prog st (by_rule ~actor:1 Async.H_C1) in
+  let st = fire prog st (by_rule ~actor:1 Async.R_T1) in
+  checks "home at P" "P" (hctl_of prog st);
+  checki "rotation starts at 0" 0 st.Async.h.h_rot;
+  (* first attempt: pa to r0 — but r0 only accepts pb: explicit nack *)
+  let st = fire prog st (by_rule ~actor:0 ~subject:"pa" Async.H_C2) in
+  let st = fire prog st (by_rule ~actor:0 ~subject:"pa" Async.R_deliver) in
+  let st = fire prog st (by_rule ~actor:0 ~subject:"pa" Async.R_C3_nack) in
+  let st = fire prog st (by_rule ~actor:0 Async.H_T2) in
+  checki "rotation advanced" 1 st.Async.h.h_rot;
+  (* the retry goes to the NEXT guard: pb to r1 *)
+  let st = fire prog st (by_rule ~actor:1 ~subject:"pb" Async.H_C2) in
+  checkb "now probing r1" true
+    (match st.Async.h.h_mode with
+    | Async.Htrans { peer = 1; _ } -> true
+    | _ -> false)
+
+(* ---- whole-space checks ------------------------------------------------ *)
+
+let coverage prog ?(k = 2) () =
+  let cfg = Async.{ k } in
+  let seen = Hashtbl.create 64 in
+  let fired = Hashtbl.create 64 in
+  let q = Queue.create () in
+  let push st =
+    let key = Async.encode st in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      Queue.push st q
+    end
+  in
+  push (Async.initial prog cfg);
+  while not (Queue.is_empty q) do
+    let st = Queue.pop q in
+    List.iter
+      (fun ((l : Async.label), st') ->
+        Hashtbl.replace fired l.rule ();
+        push st')
+      (Async.successors prog cfg st)
+  done;
+  List.filter (Hashtbl.mem fired) Async.all_rules
+  |> List.map Async.rule_name
+
+let tests =
+  [
+    case "optimized grant walkthrough" (fun () ->
+        ignore (optimized_grant_walkthrough ()));
+    case "generic grant walkthrough" (fun () ->
+        ignore (generic_grant_walkthrough ()));
+    case "crossing LR/inv race (implicit nack)" (fun () ->
+        ignore (crossing_walkthrough ()));
+    case "transient remote ignores home requests" (fun () ->
+        ignore (ignore_walkthrough ()));
+    case "home-initiated request/reply pair" (fun () ->
+        ignore (inv_id_walkthrough ()));
+    case "row C2 eviction nacks the oldest request" eviction_test;
+    case "rows T4/T5/T6 admission while transient" transient_admission_test;
+    case "progress buffer admission" progress_buffer_test;
+    case "rotation over output guards (row T2)" rotation_test;
+    case "rule coverage: optimized migratory" (fun () ->
+        let rules = coverage (mig 3) () in
+        List.iter
+          (fun r ->
+            checkb (r ^ " fired") true (List.mem r rules))
+          [
+            "R-C1"; "R-C2"; "R-C3-silent"; "R-T2"; "R-T3"; "R-reply-send";
+            "R-repl-recv"; "R-deliver"; "H-C1"; "H-C1-silent"; "H-C2";
+            "H-T1-repl"; "H-T3"; "H-reply-send"; "H-admit";
+            "H-admit-progress"; "H-nack-full";
+          ])
+      ;
+    case "rule coverage: generic migratory" (fun () ->
+        let rules = coverage (mig_generic 3) () in
+        List.iter
+          (fun r -> checkb (r ^ " fired") true (List.mem r rules))
+          (* R-C3-nack needs a home request that finds no matching guard;
+             migratory remotes always match (see the rotation test for the
+             nack path).  H-T4 needs free > 2, impossible at k = 2 (see
+             the admission test). *)
+          [
+            "R-C1"; "R-C2"; "R-C3-ack"; "R-T1"; "R-T2"; "R-T3";
+            "H-C1"; "H-C2"; "H-T1"; "H-T3";
+          ]);
+    case "async state counts are stable" (fun () ->
+        let counts =
+          List.map (fun n -> (explore_async (mig n)).states) [ 1; 2; 3 ]
+        in
+        Alcotest.(check (list int))
+          "migratory async" Expected_counts.migratory_as counts;
+        let counts =
+          List.map
+            (fun n -> (explore_async (mig_generic n)).states)
+            [ 1; 2 ]
+        in
+        Alcotest.(check (list int))
+          "generic" Expected_counts.migratory_generic_as counts;
+        let counts =
+          List.map
+            (fun n ->
+              (explore_async (Ccr_protocols.Migratory_hand.prog ~n ())).states)
+            [ 1; 2 ]
+        in
+        Alcotest.(check (list int))
+          "hand" Expected_counts.migratory_hand_as counts);
+    case "no deadlock, no protocol error (whole spaces)" (fun () ->
+        List.iter
+          (fun prog -> assert_complete prog.Prog.t_name (explore_async prog))
+          [
+            mig 3;
+            mig_generic 2;
+            compile ~n:2 (Ccr_protocols.Migratory.system ~with_data:true ());
+            compile ~n:2 Ccr_protocols.Invalidate.system;
+            compile ~n:3 Ccr_protocols.Lock_server.system;
+            Ccr_protocols.Migratory_hand.prog ~n:2 ();
+            compile ~n:2 ping_system;
+            compile ~n:2 plain_system;
+            compile ~reqrep:false ~n:2 plain_system;
+          ]);
+    case "deadlock-freedom holds for larger k" (fun () ->
+        List.iter
+          (fun k -> assert_complete "mig k" (explore_async ~k (mig 2)))
+          [ 3; 4; 6 ]);
+    case "messages in flight stay bounded" (fun () ->
+        let prog = mig 3 in
+        let cfg = k2 in
+        let seen = Hashtbl.create 64 in
+        let q = Queue.create () in
+        let maxf = ref 0 in
+        let push st =
+          let key = Async.encode st in
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.add seen key ();
+            maxf := max !maxf (Async.messages_in_flight st);
+            Queue.push st q
+          end
+        in
+        push (Async.initial prog cfg);
+        while not (Queue.is_empty q) do
+          let st = Queue.pop q in
+          List.iter (fun (_, st') -> push st') (Async.successors prog cfg st)
+        done;
+        checkb "bounded by 2 per remote + grants" true (!maxf <= 2 * 3));
+    case "encode injective across reachable async states" (fun () ->
+        let prog = mig 2 in
+        let cfg = k2 in
+        let seen = Hashtbl.create 64 in
+        let q = Queue.create () in
+        let push st =
+          let key = Async.encode st in
+          match Hashtbl.find_opt seen key with
+          | Some repr ->
+            checks "collision" repr (Fmt.str "%a" (Async.pp_state prog) st)
+          | None ->
+            Hashtbl.add seen key (Fmt.str "%a" (Async.pp_state prog) st);
+            Queue.push st q
+        in
+        push (Async.initial prog cfg);
+        while not (Queue.is_empty q) do
+          let st = Queue.pop q in
+          List.iter (fun (_, st') -> push st') (Async.successors prog cfg st)
+        done);
+    case "buffers below k = 2 are rejected" (fun () ->
+        checkb "raises" true
+          (match Async.initial (mig 2) Async.{ k = 1 } with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    case "fire-and-forget LR is always admitted" (fun () ->
+        let prog = Ccr_protocols.Migratory_hand.prog ~n:3 () in
+        (* craft: home transient, regular buffer full, LR arrives: admitted
+           beyond k *)
+        let st = Async.initial prog k2 in
+        let junk i = (i, Wire.{ m_name = "req"; m_payload = [] }) in
+        let inv_guard =
+          let s = prog.Prog.home.p_states.(Prog.state_index prog.home "I1") in
+          match s.Prog.cs_sends with [ g ] -> g | _ -> assert false
+        in
+        let env = Array.copy st.Async.h.h_env in
+        env.(Prog.var_index prog.home "o") <- Value.Vrid 0;
+        let h =
+          {
+            st.Async.h with
+            h_ctl = Prog.state_index prog.home "I1";
+            h_env = env;
+            h_mode =
+              Async.Htrans
+                {
+                  guard = inv_guard;
+                  peer = 0;
+                  scratch = Array.copy env;
+                  await = `Repl "ID";
+                };
+            h_buf = [ junk 1; junk 2 ];
+          }
+        in
+        let lr = Wire.Req { m_name = "LR"; m_payload = [] } in
+        let st =
+          {
+            st with
+            Async.h;
+            to_h = (let a = Array.make 3 [] in a.(1) <- [ lr ]; a);
+          }
+        in
+        let st' = fire prog st (by_rule ~actor:1 ~subject:"LR" Async.H_T4) in
+        checki "admitted beyond k" 3 (List.length st'.Async.h.h_buf));
+  ]
+
+let suite = ("async", tests)

@@ -1,0 +1,161 @@
+open Ccr_core
+open Ccr_refine
+open Test_util
+
+let mig n = compile ~n (Ccr_protocols.Migratory.system ())
+
+let edge_exists (a : Compile.automaton) ~from_ ~to_ pred =
+  List.exists
+    (fun (e : Compile.edge) -> e.e_from = from_ && e.e_to = to_ && pred e)
+    a.a_edges
+
+let tests =
+  [
+    case "refined migratory remote matches Figure 5" (fun () ->
+        let a = Compile.remote_automaton (mig 2) in
+        checki "states" 6 (Compile.n_states a);
+        checki "transients" 2 (Compile.n_transient a);
+        checki "edges" 12 (Compile.n_edges a);
+        (* the wait state Wg is bypassed by the request/reply transient *)
+        checkb "Wg pruned" true (not (List.mem_assoc "Wg" a.a_states));
+        checkb "request edge" true
+          (edge_exists a ~from_:"I" ~to_:"I'" (fun e ->
+               e.e_kind = Compile.E_send_req));
+        checkb "reply consumes gr" true
+          (edge_exists a ~from_:"I'" ~to_:"V" (fun e ->
+               e.e_kind = Compile.E_repl_in && e.e_label = "h??gr"));
+        checkb "nack returns" true
+          (edge_exists a ~from_:"I'" ~to_:"I" (fun e ->
+               e.e_kind = Compile.E_nack_in));
+        checkb "h??* self loop" true
+          (edge_exists a ~from_:"I'" ~to_:"I'" (fun e ->
+               e.e_kind = Compile.E_ignore));
+        checkb "LR goes through an acked transient" true
+          (edge_exists a ~from_:"Ev'" ~to_:"I" (fun e ->
+               e.e_kind = Compile.E_ack_in));
+        checkb "ID is fire-and-forget" true
+          (edge_exists a ~from_:"Iv" ~to_:"I" (fun e ->
+               e.e_kind = Compile.E_reply_send));
+        checkb "inv consumed silently" true
+          (edge_exists a ~from_:"V" ~to_:"Iv" (fun e ->
+               e.e_kind = Compile.E_recv_req `Silent)));
+    case "refined migratory home matches Figure 4" (fun () ->
+        let a = Compile.home_automaton (mig 2) in
+        checki "states" 6 (Compile.n_states a);
+        checki "transients" 1 (Compile.n_transient a);
+        checkb "I2 pruned (bypassed by the reply)" true
+          (not (List.mem_assoc "I2" a.a_states));
+        checkb "inv transient awaits ID into I3" true
+          (edge_exists a ~from_:"I1'inv" ~to_:"I3" (fun e ->
+               e.e_kind = Compile.E_repl_in));
+        checkb "[nack] retry edge" true
+          (edge_exists a ~from_:"I1'inv" ~to_:"I1" (fun e ->
+               e.e_kind = Compile.E_nack_in && e.e_label = "[nack]"));
+        checkb "grants are fire-and-forget" true
+          (edge_exists a ~from_:"Fg" ~to_:"E" (fun e ->
+               e.e_kind = Compile.E_reply_send)
+          && edge_exists a ~from_:"I3" ~to_:"E" (fun e ->
+                 e.e_kind = Compile.E_reply_send));
+        checkb "requests consumed silently" true
+          (edge_exists a ~from_:"F" ~to_:"Fg" (fun e ->
+               e.e_kind = Compile.E_recv_req `Silent));
+        checkb "LR acked" true
+          (edge_exists a ~from_:"E" ~to_:"F" (fun e ->
+               e.e_kind = Compile.E_recv_req `Ack)));
+    case "generic scheme materializes more transients" (fun () ->
+        let prog = compile ~reqrep:false ~n:2 (Ccr_protocols.Migratory.system ()) in
+        let r = Compile.remote_automaton prog in
+        let h = Compile.home_automaton prog in
+        checki "remote transients" 3 (Compile.n_transient r);
+        checkb "Wg kept" true (List.mem_assoc "Wg" r.a_states);
+        checki "home transients" 3 (Compile.n_transient h);
+        checkb "I2 kept" true (List.mem_assoc "I2" h.a_states));
+    case "every edge references known states" (fun () ->
+        List.iter
+          (fun (a : Compile.automaton) ->
+            List.iter
+              (fun (e : Compile.edge) ->
+                checkb "from known" true (List.mem_assoc e.e_from a.a_states);
+                checkb "to known" true (List.mem_assoc e.e_to a.a_states))
+              a.a_edges;
+            checkb "init known" true (List.mem_assoc a.a_init a.a_states))
+          [
+            Compile.remote_automaton (mig 2);
+            Compile.home_automaton (mig 2);
+            Compile.remote_automaton (compile ~n:2 Ccr_protocols.Invalidate.system);
+            Compile.home_automaton (compile ~n:2 Ccr_protocols.Invalidate.system);
+          ]);
+    case "invalidate home automaton has one transient per output guard"
+      (fun () ->
+        let prog = compile ~n:2 Ccr_protocols.Invalidate.system in
+        let a = Compile.home_automaton prog in
+        (* grS/grM are replies; inv appears at Inv, MwS, MwM *)
+        checki "transients" 3 (Compile.n_transient a));
+    case "ascii rendering mentions every state" (fun () ->
+        let a = Compile.remote_automaton (mig 2) in
+        let s = Fmt.str "%a" Ccr_viz.Ascii.pp_automaton a in
+        List.iter
+          (fun (st, _) -> checkb st true (contains_sub ~sub:("state " ^ st) s))
+          a.a_states);
+    case "dot output is well formed" (fun () ->
+        let a = Compile.home_automaton (mig 2) in
+        let dot = Ccr_viz.Dot.of_automaton a in
+        checkb "digraph" true (contains_sub ~sub:"digraph" dot);
+        checkb "dashed transients" true (contains_sub ~sub:"style=dashed" dot);
+        checkb "closes" true (contains_sub ~sub:"}" dot);
+        let dotp =
+          Ccr_viz.Dot.of_process (Ccr_protocols.Migratory.system ()).Ir.home
+        in
+        checkb "process digraph" true (contains_sub ~sub:"digraph" dotp);
+        checkb "init marker" true (contains_sub ~sub:"__init" dotp));
+    case "codegen emits a dispatch arm per state" (fun () ->
+        let a = Compile.remote_automaton (mig 2) in
+        let c = Codegen.emit_c a in
+        List.iter
+          (fun (st, _) ->
+            let id =
+              String.map
+                (fun ch ->
+                  match ch with
+                  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> ch
+                  | _ -> '_')
+                st
+            in
+            checkb st true (contains_sub ~sub:("case S_" ^ id ^ ":") c))
+          a.a_states;
+        checkb "commit action" true
+          (contains_sub ~sub:"commit_rendezvous" c));
+    case "promela export contains the expected skeleton" (fun () ->
+        let p = Ccr_viz.Promela.of_system ~n:2 (Ccr_protocols.Migratory.system ()) in
+        List.iter
+          (fun sub -> checkb sub true (contains_sub ~sub p))
+          [
+            "mtype = {";
+            "chan to_h[2] = [0] of { mtype };";
+            "proctype home()";
+            "proctype remote(byte me)";
+            "to_h[0]?req";
+            "to_r[o]!inv";
+            "run remote(1);";
+            "goto F";
+          ]);
+    case "promela export handles payloads and sets" (fun () ->
+        let p = Ccr_viz.Promela.of_system ~n:2 Ccr_protocols.Invalidate.system in
+        checkb "set decl" true (contains_sub ~sub:"int sh = 0;" p);
+        checkb "choose unrolled" true (contains_sub ~sub:"(1 << 0)" p);
+        let pd =
+          Ccr_viz.Promela.of_system ~n:2
+            (Ccr_protocols.Migratory.system ~with_data:true ())
+        in
+        checkb "payload fields" true
+          (contains_sub ~sub:"of { mtype, byte }" pd));
+    case "promela export rejects n > 8" (fun () ->
+        checkb "raises" true
+          (match
+             Ccr_viz.Promela.of_system ~n:9 (Ccr_protocols.Migratory.system ())
+           with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+  ]
+
+let suite = ("compile", tests)

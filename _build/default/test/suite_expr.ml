@@ -1,0 +1,102 @@
+open Ccr_core
+open Test_util
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let env = [ ("x", Value.Vint 4); ("r", Value.Vrid 1); ("s", Value.Vset 0b110) ]
+
+let lookup x =
+  match List.assoc_opt x env with
+  | Some v -> v
+  | None -> raise (Expr.Eval_error ("unbound " ^ x))
+
+let eval ?self e = Expr.eval ~lookup ~self e
+let eval_b ?self b = Expr.eval_b ~lookup ~self b
+
+let var_ty x =
+  List.assoc_opt x
+    [ ("x", Expr.Tint); ("r", Expr.Trid); ("s", Expr.Tset); ("u", Expr.Tunit) ]
+
+let tests =
+  [
+    case "eval constants and vars" (fun () ->
+        check value "const" (Value.Vint 7) (eval (Expr.Const (Value.Vint 7)));
+        check value "var" (Value.Vint 4) (eval (Expr.Var "x"));
+        check value "self" (Value.Vrid 3) (eval ~self:3 Expr.Self));
+    case "self outside remote raises" (fun () ->
+        Alcotest.check_raises "self" (Expr.Eval_error "Self used outside a remote process")
+          (fun () -> ignore (eval Expr.Self)));
+    case "unbound var raises" (fun () ->
+        Alcotest.check_raises "unbound" (Expr.Eval_error "unbound zz") (fun () ->
+            ignore (eval (Expr.Var "zz"))));
+    case "set expressions" (fun () ->
+        check value "add" (Value.Vset 0b111)
+          (eval (Expr.Set_add (Expr.Var "s", Expr.Const (Value.Vrid 0))));
+        check value "remove" (Value.Vset 0b100)
+          (eval (Expr.Set_remove (Expr.Var "s", Expr.Var "r")));
+        check value "singleton" (Value.Vset 0b10)
+          (eval (Expr.Set_singleton (Expr.Var "r")));
+        check value "succ" (Value.Vint 5) (eval (Expr.Succ (Expr.Var "x"))));
+    case "set op on non-set raises" (fun () ->
+        checkb "raises" true
+          (match eval (Expr.Set_add (Expr.Var "x", Expr.Var "r")) with
+          | exception Expr.Eval_error _ -> true
+          | _ -> false));
+    case "boolean expressions" (fun () ->
+        checkb "true" true (eval_b Expr.True);
+        checkb "not" false (eval_b (Expr.Not Expr.True));
+        checkb "and" false (eval_b (Expr.And (Expr.True, Expr.Not Expr.True)));
+        checkb "or" true (eval_b (Expr.Or (Expr.Not Expr.True, Expr.True)));
+        checkb "eq" true
+          (eval_b (Expr.Eq (Expr.Var "x", Expr.Const (Value.Vint 4))));
+        checkb "mem" true (eval_b (Expr.Set_mem (Expr.Var "r", Expr.Var "s")));
+        checkb "not mem" false
+          (eval_b (Expr.Set_mem (Expr.Const (Value.Vrid 0), Expr.Var "s")));
+        checkb "empty" false (eval_b (Expr.Set_is_empty (Expr.Var "s")));
+        checkb "empty of {}" true
+          (eval_b (Expr.Set_is_empty (Expr.Const Value.set_empty))));
+    case "type inference accepts good terms" (fun () ->
+        let ok e want =
+          match Expr.infer ~var_ty ~in_remote:true e with
+          | Ok ty -> checkb "ty" true (ty = want)
+          | Error m -> Alcotest.failf "unexpected type error: %s" m
+        in
+        ok (Expr.Var "x") Expr.Tint;
+        ok Expr.Self Expr.Trid;
+        ok (Expr.Set_add (Expr.Var "s", Expr.Self)) Expr.Tset;
+        ok (Expr.Succ (Expr.Var "x")) Expr.Tint);
+    case "type inference rejects bad terms" (fun () ->
+        let bad e =
+          match Expr.infer ~var_ty ~in_remote:false e with
+          | Ok _ -> Alcotest.fail "expected type error"
+          | Error _ -> ()
+        in
+        bad Expr.Self;
+        bad (Expr.Var "zz");
+        bad (Expr.Set_add (Expr.Var "x", Expr.Var "r"));
+        bad (Expr.Succ (Expr.Var "r")));
+    case "boolean checking" (fun () ->
+        checkb "good" true
+          (Expr.check_b ~var_ty ~in_remote:false
+             (Expr.Eq (Expr.Var "x", Expr.Const (Value.Vint 0)))
+          = Ok ());
+        checkb "mismatched eq" true
+          (match
+             Expr.check_b ~var_ty ~in_remote:false
+               (Expr.Eq (Expr.Var "x", Expr.Var "r"))
+           with
+          | Error _ -> true
+          | Ok () -> false));
+    case "vars collection" (fun () ->
+        Alcotest.(check (list string))
+          "expr vars" [ "s"; "r" ]
+          (Expr.vars (Expr.Set_add (Expr.Var "s", Expr.Var "r")));
+        Alcotest.(check (list string))
+          "dedup" [ "x" ]
+          (Expr.vars (Expr.Set_add (Expr.Var "x", Expr.Var "x")));
+        Alcotest.(check (list string))
+          "bexpr vars" [ "r"; "s" ]
+          (Expr.vars_b (Expr.Set_mem (Expr.Var "r", Expr.Var "s"))));
+  ]
+
+let suite = ("expr", tests)

@@ -1,0 +1,159 @@
+open Ccr_core
+open Test_util
+
+let mig () = Ccr_protocols.Migratory.system ()
+
+let find_guard (proc : Prog.proc) ~st p =
+  let s = proc.p_states.(Prog.state_index proc st) in
+  let found = Array.to_list s.cs_guards |> List.filter p in
+  match found with
+  | [ g ] -> g
+  | l -> Alcotest.failf "expected one matching guard in %s, found %d" st (List.length l)
+
+let is_send_of m (g : Prog.cguard) =
+  match g.cg_action with
+  | Prog.C_send_home (m', _) | Prog.C_send_remote (_, m', _) -> m' = m
+  | _ -> false
+
+let is_recv_of m (g : Prog.cguard) =
+  match g.cg_action with
+  | Prog.C_recv_home (m', _) | Prog.C_recv_any (_, m', _)
+  | Prog.C_recv_from (_, m', _) ->
+    m' = m
+  | _ -> false
+
+let tests =
+  [
+    case "n must be positive" (fun () ->
+        checkb "raises" true
+          (match compile ~n:0 (mig ()) with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    case "invalid protocols are rejected" (fun () ->
+        let broken =
+          Dsl.(
+            system "broken"
+              ~home:
+                (process "h" ~vars:[] ~init:"NOPE"
+                   [ state "U" [] ])
+              ~remote:(process "r" ~vars:[] ~init:"T" [ state "T" [] ]))
+        in
+        checkb "raises" true
+          (match compile ~n:2 broken with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    case "initial environment uses defaults and overrides" (fun () ->
+        let prog = compile ~n:3 Ccr_protocols.Invalidate.system in
+        let sh = Prog.var_index prog.home "sh" in
+        checkb "sh empty" true
+          (Value.equal prog.home.p_init_env.(sh) Value.set_empty));
+    case "out-of-domain initial value rejected" (fun () ->
+        let sys =
+          Dsl.(
+            system "badinit"
+              ~home:
+                (process "h"
+                   ~vars:[ ("c", Value.Drid) ]
+                   ~init:"U"
+                   ~init_env:[ ("c", Value.Vrid 5) ]
+                   [
+                     state "U" [ recv_any "c" "m" [] ~goto:"G" ];
+                     state "G" [ send_to (v "c") "g" [] ~goto:"U" ];
+                   ])
+              ~remote:
+                (process "r" ~vars:[] ~init:"T"
+                   [
+                     state "T" [ send_home "m" [] ~goto:"W" ];
+                     state "W" [ recv_home "g" [] ~goto:"T" ];
+                   ]))
+        in
+        checkb "rejected for n=2" true
+          (match compile ~n:2 sys with
+          | exception Invalid_argument _ -> true
+          | _ -> false);
+        checkb "accepted for n=6" true
+          (match compile ~n:6 sys with _ -> true));
+    case "state and variable indices resolve" (fun () ->
+        let prog = compile ~n:2 (mig ()) in
+        checki "home init is F" (Prog.state_index prog.home "F")
+          prog.home.p_init;
+        checkb "o and j exist" true
+          (Prog.var_index prog.home "o" >= 0
+          && Prog.var_index prog.home "j" >= 0);
+        checkb "unknown raises" true
+          (match Prog.state_index prog.home "ZZ" with
+          | exception Not_found -> true
+          | _ -> false));
+    case "annotations: migratory optimized" (fun () ->
+        let prog = compile ~n:2 (mig ()) in
+        let g_req =
+          find_guard prog.remote ~st:"I" (is_send_of "req")
+        in
+        checkb "req is rr-request(gr)" true (g_req.cg_ann = Prog.Rr_request "gr");
+        let g_gr = find_guard prog.home ~st:"Fg" (is_send_of "gr") in
+        checkb "gr is reply-send" true (g_gr.cg_ann = Prog.Rr_reply_send);
+        let g_inv = find_guard prog.home ~st:"I1" (is_send_of "inv") in
+        checkb "inv awaits ID" true (g_inv.cg_ann = Prog.Rr_await_repl "ID");
+        let g_id = find_guard prog.remote ~st:"Iv" (is_send_of "ID") in
+        checkb "ID is reply-send" true (g_id.cg_ann = Prog.Rr_reply_send);
+        let g_lr = find_guard prog.remote ~st:"Ev" (is_send_of "LR") in
+        checkb "LR is plain" true (g_lr.cg_ann = Prog.Plain);
+        let g_rreq = find_guard prog.home ~st:"F" (is_recv_of "req") in
+        checkb "home req recv silent" true
+          (g_rreq.cg_ann = Prog.Rr_silent_consume);
+        let g_rinv = find_guard prog.remote ~st:"V" (is_recv_of "inv") in
+        checkb "remote inv recv silent" true
+          (g_rinv.cg_ann = Prog.Rr_silent_consume));
+    case "annotations: generic scheme is all plain" (fun () ->
+        let prog = compile ~reqrep:false ~n:2 (mig ()) in
+        let all_plain (proc : Prog.proc) =
+          Array.for_all
+            (fun (s : Prog.cstate) ->
+              Array.for_all (fun (g : Prog.cguard) -> g.cg_ann = Prog.Plain)
+                s.cs_guards)
+            proc.p_states
+        in
+        checkb "home" true (all_plain prog.home);
+        checkb "remote" true (all_plain prog.remote);
+        checkb "no pairs" true (prog.pairs = []));
+    case "fire-and-forget overrides LR" (fun () ->
+        let prog = Ccr_protocols.Migratory_hand.prog ~n:2 () in
+        let g_lr = find_guard prog.remote ~st:"Ev" (is_send_of "LR") in
+        checkb "LR reply-send" true (g_lr.cg_ann = Prog.Rr_reply_send);
+        let g_hlr = find_guard prog.home ~st:"E" (is_recv_of "LR") in
+        checkb "home LR silent" true (g_hlr.cg_ann = Prog.Rr_silent_consume);
+        checkb "ff recorded" true (prog.ff_msgs = [ "LR" ]);
+        (* pairs survive: LR was not part of one *)
+        checki "pairs" 2 (List.length prog.pairs));
+    case "fire-and-forget validates direction" (fun () ->
+        checkb "home->remote rejected" true
+          (match
+             Link.compile ~fire_and_forget:[ "gr" ] ~n:2 (mig ())
+           with
+          | exception Invalid_argument _ -> true
+          | _ -> false);
+        checkb "unknown rejected" true
+          (match
+             Link.compile ~fire_and_forget:[ "zz" ] ~n:2 (mig ())
+           with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    case "cs_active and cs_sends" (fun () ->
+        let prog = compile ~n:2 (mig ()) in
+        let i_state = prog.remote.p_states.(Prog.state_index prog.remote "I") in
+        checkb "I is active" true (i_state.cs_active <> None);
+        let v_state = prog.remote.p_states.(Prog.state_index prog.remote "V") in
+        checkb "V is passive" true (v_state.cs_active = None);
+        let i1 = prog.home.p_states.(Prog.state_index prog.home "I1") in
+        checki "I1 has one send" 1 (List.length i1.cs_sends);
+        let e = prog.home.p_states.(Prog.state_index prog.home "E") in
+        checki "E has no sends" 0 (List.length e.cs_sends));
+    case "internal states are marked" (fun () ->
+        let prog = compile ~n:2 Ccr_protocols.Invalidate.system in
+        let invd = prog.home.p_states.(Prog.state_index prog.home "InvD") in
+        checkb "InvD internal" true invd.cs_internal;
+        let f = prog.home.p_states.(Prog.state_index prog.home "F") in
+        checkb "F not internal" true (not f.cs_internal));
+  ]
+
+let suite = ("link", tests)

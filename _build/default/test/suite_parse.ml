@@ -1,0 +1,260 @@
+open Ccr_core
+open Test_util
+
+let migratory_src =
+  {|
+# The migratory protocol of paper Figures 2-3, in the concrete syntax.
+system migratory
+
+home {
+  var o : rid
+  var j : rid
+
+  state F {
+    recv any j ? req() goto Fg
+  }
+  state Fg {
+    send r[j] ! gr() with o := j goto E
+  }
+  state E {
+    recv r[o] ? LR() with o := @0, j := @0 goto F
+    recv any j ? req() goto I1
+  }
+  state I1 {
+    send r[o] ! inv() goto I2
+    recv r[o] ? LR() goto I3
+  }
+  state I2 {
+    recv r[o] ? ID() goto I3
+  }
+  state I3 {
+    send r[j] ! gr() with o := j goto E
+  }
+}
+
+remote {
+  state I {
+    send h ! req() goto Wg
+  }
+  state Wg {
+    recv h ? gr() goto V
+  }
+  state V {
+    tau evict goto Ev
+    recv h ? inv() goto Iv
+  }
+  state Ev {
+    send h ! LR() goto I
+  }
+  state Iv {
+    send h ! ID() goto I
+  }
+}
+|}
+
+let rv_count sys n =
+  let prog = Link.compile ~n sys in
+  (explore_rv prog).states
+
+let async_count sys n =
+  let prog = Link.compile ~n sys in
+  (explore_async prog).states
+
+let pairs_of sys =
+  List.map
+    (fun (p : Reqrep.pair) -> (p.req, p.repl))
+    (Reqrep.analyze sys).pairs
+  |> List.sort compare
+
+(* Semantic equivalence: same validation, pairs, and state spaces. *)
+let assert_equivalent name a b =
+  checkb (name ^ " validates") true (Result.is_ok (Validate.check b));
+  checkb (name ^ " same pairs") true (pairs_of a = pairs_of b);
+  checki (name ^ " same rv space") (rv_count a 2) (rv_count b 2);
+  checki (name ^ " same async space") (async_count a 2) (async_count b 2)
+
+let assert_parse_error ?at src =
+  match Parse.system src with
+  | exception Parse.Error { line; _ } -> (
+    match at with
+    | Some expected -> checki "error line" expected line
+    | None -> ())
+  | _ -> Alcotest.fail "expected a parse error"
+
+let tests =
+  [
+    case "migratory source parses to the library protocol" (fun () ->
+        let parsed = Parse.system migratory_src in
+        checks "name" "migratory" parsed.Ir.sys_name;
+        assert_equivalent "migratory" (Ccr_protocols.Migratory.system ())
+          parsed);
+    case "every registry protocol round-trips through the syntax" (fun () ->
+        List.iter
+          (fun (e : Ccr_protocols.Registry.t) ->
+            match e.system with
+            | None -> ()
+            | Some sys ->
+              let printed = Parse.to_string sys in
+              let reparsed =
+                try Parse.system printed
+                with exn ->
+                  Alcotest.failf "%s: %a@.%s" e.name Parse.pp_error exn
+                    printed
+              in
+              assert_equivalent e.name sys reparsed)
+          Ccr_protocols.Registry.all);
+    case "comments and whitespace are ignored" (fun () ->
+        let sys =
+          Parse.system
+            "system c // trailing\n\
+             home { # comment\n\
+             var x : rid\n\
+             state U { recv any x ? m() goto G }\n\
+             state G { send r[x] ! g() goto U } }\n\
+             remote { state T { send h ! m() goto W }\n\
+             state W { recv h ? g() goto T } }"
+        in
+        checkb "valid" true (Result.is_ok (Validate.check sys)));
+    case "domains parse, including negative int bounds" (fun () ->
+        let sys =
+          Parse.system
+            "system d home { var a : unit\n var b : bool = true\n\
+             var c : int -3 .. 4 = 2\n var s : set = {}\n var r : rid = @1\n\
+             state U { recv any r ? m() goto U } }\n\
+             remote { state T { send h ! m() goto W }\n\
+             state W { recv h ? never() goto T } }"
+        in
+        let home = sys.Ir.home in
+        checkb "int domain" true
+          (List.assoc "c" home.Ir.p_vars = Value.Dint (-3, 4));
+        checkb "init" true
+          (List.assoc "c" home.Ir.p_init_env = Value.Vint 2));
+    case "conditions: operators and precedence" (fun () ->
+        let parse_cond c =
+          let src =
+            Fmt.str
+              "system x home { var s : set\n var t : set\n var i : rid\n\
+               state U { recv any i ? m() when %s goto U } }\n\
+               remote { state T { send h ! m() goto W }\n\
+               state W { recv h ? never() goto T } }"
+              c
+          in
+          let sys = Parse.system src in
+          let st = List.hd sys.Ir.home.Ir.p_states in
+          (List.hd st.Ir.s_guards).Ir.g_cond
+        in
+        checkb "and binds tighter than or" true
+          (match parse_cond "empty s or empty t and i in s" with
+          | Expr.Or (Expr.Set_is_empty _, Expr.And (_, _)) -> true
+          | _ -> false);
+        checkb "parens override" true
+          (match parse_cond "(empty s or empty t) and i in s" with
+          | Expr.And (Expr.Or (_, _), _) -> true
+          | _ -> false);
+        checkb "neq sugar" true
+          (match parse_cond "s + i != t" with
+          | Expr.Not (Expr.Eq (Expr.Set_add _, _)) -> true
+          | _ -> false);
+        checkb "parenthesized comparison" true
+          (match parse_cond "(s = t)" with Expr.Eq _ -> true | _ -> false));
+    case "choose, when, with clauses" (fun () ->
+        let sys =
+          Parse.system
+            "system y home { var s : set\n var j : rid\n var i : rid\n\
+             state U { recv any i ? m() with s := s + i goto G }\n\
+             state G { send r[j] ! g() choose j in s when not empty s\n\
+             with s := s - j goto U } }\n\
+             remote { state T { send h ! m() goto W }\n\
+             state W { recv h ? g() goto T } }"
+        in
+        let g =
+          List.nth sys.Ir.home.Ir.p_states 1 |> fun st ->
+          List.hd st.Ir.s_guards
+        in
+        checkb "choose" true (g.Ir.g_choose = [ ("j", Expr.Var "s") ]);
+        checkb "cond" true
+          (match g.Ir.g_cond with
+          | Expr.Not (Expr.Set_is_empty _) -> true
+          | _ -> false);
+        checki "assigns" 1 (List.length g.Ir.g_assigns));
+    case "the first state is initial" (fun () ->
+        let sys =
+          Parse.system
+            "system z home { var i : rid state B { recv any i ? m() goto A }\n\
+             state A { recv any i ? m() goto B } }\n\
+             remote { state T { send h ! m() goto T } }"
+        in
+        checks "home init" "B" sys.Ir.home.Ir.p_init_state;
+        checks "remote init" "T" sys.Ir.remote.Ir.p_init_state);
+    case "errors carry positions" (fun () ->
+        assert_parse_error ~at:1 "syste m";
+        assert_parse_error ~at:2 "system x\nhome { var : rid }";
+        assert_parse_error "system x home { state U { zap } } remote {}";
+        assert_parse_error
+          "system x home { state U { recv any i ? m() } } remote {}";
+        (* star topology enforced at parse time *)
+        assert_parse_error
+          "system x home { state U { send h ! m() goto U } } remote {}";
+        assert_parse_error
+          "system x home { state U { recv any i ? m() goto U } }\n\
+           remote { state T { send r[@0] ! m() goto T } }");
+    case "self and all in expressions" (fun () ->
+        let sys =
+          Parse.system
+            "system w home { var s : set\n var i : rid\n\
+             state U { recv any i ? m() when s + i = all goto U } }\n\
+             remote { state T { send h ! m() goto W }\n\
+             state W { recv h ? never() goto T } }"
+        in
+        let g = List.hd (List.hd sys.Ir.home.Ir.p_states).Ir.s_guards in
+        checkb "full set" true
+          (match g.Ir.g_cond with
+          | Expr.Eq (_, Expr.Full_set) -> true
+          | _ -> false));
+    case "parse errors from files are wrapped" (fun () ->
+        checkb "missing file" true
+          (match Parse.system_of_file "/nonexistent.ccr" with
+          | exception Sys_error _ -> true
+          | _ -> false));
+    case "shipped .ccr files stay in sync with the library" (fun () ->
+        let dir =
+          List.find_opt Sys.file_exists
+            [ "../protocols"; "../../protocols"; "protocols" ]
+        in
+        match dir with
+        | None -> Alcotest.skip ()
+        | Some dir ->
+          List.iter
+            (fun (e : Ccr_protocols.Registry.t) ->
+              match e.system with
+              | None -> ()
+              | Some sys ->
+                let path = Filename.concat dir (e.name ^ ".ccr") in
+                if Sys.file_exists path then
+                  assert_equivalent e.name sys (Parse.system_of_file path)
+                else Alcotest.failf "missing shipped file %s" path)
+            Ccr_protocols.Registry.all;
+          (* and the file-only protocol is well-formed *)
+          let rw = Parse.system_of_file (Filename.concat dir "rwlock.ccr") in
+          checkb "rwlock validates" true (Result.is_ok (Validate.check rw)));
+    qcase ~count:200 "the parser never fails with anything but Parse.Error"
+      QCheck2.Gen.(string_size ~gen:printable (int_bound 120))
+      (fun src ->
+        match Parse.system src with
+        | _ -> true
+        | exception Parse.Error _ -> true
+        | exception _ -> false);
+    qcase ~count:120 "mutated migratory sources fail cleanly or parse"
+      QCheck2.Gen.(pair (int_bound (String.length migratory_src - 2)) printable)
+      (fun (i, c) ->
+        let b = Bytes.of_string migratory_src in
+        Bytes.set b i c;
+        match Parse.system (Bytes.to_string b) with
+        | sys -> (
+          (* if it still parses it must still be a checkable system *)
+          match Validate.check sys with _ -> true)
+        | exception Parse.Error _ -> true
+        | exception _ -> false);
+  ]
+
+let suite = ("parse", tests)

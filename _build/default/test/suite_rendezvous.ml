@@ -1,0 +1,176 @@
+open Ccr_core
+open Ccr_semantics
+open Test_util
+
+let mig n = compile ~n (Ccr_protocols.Migratory.system ())
+
+let labels prog st =
+  Rendezvous.successors prog st
+  |> List.map (fun (l, _) -> Fmt.str "%a" Rendezvous.pp_label l)
+  |> List.sort String.compare
+
+let step_via prog st pred =
+  match
+    List.find_opt (fun (l, _) -> pred l) (Rendezvous.successors prog st)
+  with
+  | Some (_, st') -> st'
+  | None -> Alcotest.fail "expected transition not enabled"
+
+let is_rv msg (l : Rendezvous.label) =
+  match l with
+  | Rendezvous.L_rendezvous r -> r.msg = msg
+  | Rendezvous.L_tau _ -> false
+
+let is_rv_from msg who (l : Rendezvous.label) =
+  match l with
+  | Rendezvous.L_rendezvous r -> r.msg = msg && r.active = who
+  | Rendezvous.L_tau _ -> false
+
+let tests =
+  [
+    case "initial state" (fun () ->
+        let prog = mig 2 in
+        let st = Rendezvous.initial prog in
+        checki "home ctl" (Prog.state_index prog.home "F") st.h.ctl;
+        checki "remotes" 2 (Array.length st.r);
+        checki "remote ctl" (Prog.state_index prog.remote "I") st.r.(0).ctl);
+    case "initial successors are the two requests" (fun () ->
+        let prog = mig 2 in
+        let st = Rendezvous.initial prog in
+        let succs = Rendezvous.successors prog st in
+        checki "two" 2 (List.length succs);
+        checkb "all req rendezvous" true
+          (List.for_all (fun (l, _) -> is_rv "req" l) succs));
+    case "grant walkthrough" (fun () ->
+        let prog = mig 2 in
+        let st = Rendezvous.initial prog in
+        (* r0 requests, home grants, r0 holds the line *)
+        let st = step_via prog st (is_rv_from "req" (Rendezvous.Pr 0)) in
+        checki "home at Fg" (Prog.state_index prog.home "Fg") st.h.ctl;
+        let st = step_via prog st (is_rv "gr") in
+        checki "home at E" (Prog.state_index prog.home "E") st.h.ctl;
+        checki "r0 at V" (Prog.state_index prog.remote "V") st.r.(0).ctl;
+        checkb "owner recorded" true
+          (Value.equal st.h.env.(Prog.var_index prog.home "o") (Value.Vrid 0));
+        (* eviction path: r0 relinquishes *)
+        let st =
+          step_via prog st (fun l -> l = Rendezvous.L_tau (Rendezvous.Pr 0, "evict"))
+        in
+        checki "r0 at Ev" (Prog.state_index prog.remote "Ev") st.r.(0).ctl;
+        let st = step_via prog st (is_rv "LR") in
+        checki "home back at F" (Prog.state_index prog.home "F") st.h.ctl;
+        checki "r0 at I" (Prog.state_index prog.remote "I") st.r.(0).ctl);
+    case "invalidation walkthrough" (fun () ->
+        let prog = mig 2 in
+        let st = Rendezvous.initial prog in
+        let st = step_via prog st (is_rv_from "req" (Rendezvous.Pr 0)) in
+        let st = step_via prog st (is_rv "gr") in
+        (* r1 requests while r0 owns: home revokes via inv/ID *)
+        let st = step_via prog st (is_rv_from "req" (Rendezvous.Pr 1)) in
+        checki "home at I1" (Prog.state_index prog.home "I1") st.h.ctl;
+        let st = step_via prog st (is_rv "inv") in
+        checki "home at I2" (Prog.state_index prog.home "I2") st.h.ctl;
+        checki "r0 at Iv" (Prog.state_index prog.remote "Iv") st.r.(0).ctl;
+        let st = step_via prog st (is_rv "ID") in
+        let st = step_via prog st (is_rv "gr") in
+        checki "r1 at V" (Prog.state_index prog.remote "V") st.r.(1).ctl;
+        checkb "owner is r1" true
+          (Value.equal st.h.env.(Prog.var_index prog.home "o") (Value.Vrid 1)));
+    case "recv_from only matches the addressed remote" (fun () ->
+        let prog = mig 2 in
+        let st = Rendezvous.initial prog in
+        let st = step_via prog st (is_rv_from "req" (Rendezvous.Pr 0)) in
+        let st = step_via prog st (is_rv "gr") in
+        let st =
+          step_via prog st (fun l -> l = Rendezvous.L_tau (Rendezvous.Pr 0, "evict"))
+        in
+        (* home at E accepts LR only from the owner r0; r1's req is also
+           possible, but no LR from r1 *)
+        let ls = labels prog st in
+        checkb "LR from r0 present" true
+          (List.exists (fun s -> contains_sub ~sub:"r0 -> home: LR" s) ls);
+        checkb "no LR from r1" true
+          (not (List.exists (fun s -> contains_sub ~sub:"r1 -> home: LR" s) ls)));
+    case "payload values travel" (fun () ->
+        let prog = compile ~n:2 (Ccr_protocols.Migratory.system ~with_data:true ()) in
+        let st = Rendezvous.initial prog in
+        let st = step_via prog st (is_rv_from "req" (Rendezvous.Pr 0)) in
+        let st = step_via prog st (is_rv "gr") in
+        (* r0 writes its identity+0? writes Self = r0; then evicts and the
+           home's copy must reflect the write after LR *)
+        let st =
+          step_via prog st (fun l -> l = Rendezvous.L_tau (Rendezvous.Pr 0, "write"))
+        in
+        checkb "r0 wrote" true
+          (Value.equal
+             st.r.(0).env.(Prog.var_index prog.remote "d")
+             (Value.Vrid 0));
+        let st =
+          step_via prog st (fun l -> l = Rendezvous.L_tau (Rendezvous.Pr 0, "evict"))
+        in
+        let st = step_via prog st (is_rv "LR") in
+        checkb "home copy updated" true
+          (Value.equal st.h.env.(Prog.var_index prog.home "d") (Value.Vrid 0)));
+    case "choose expands over set members" (fun () ->
+        let prog = compile ~n:3 Ccr_protocols.Invalidate.system in
+        let st = Rendezvous.initial prog in
+        (* two remotes obtain shared access, a third requests M: the home
+           must offer an inv rendezvous to each sharer *)
+        let read i st =
+          step_via prog st (fun l -> l = Rendezvous.L_tau (Rendezvous.Pr i, "read"))
+        in
+        let st = read 0 st in
+        let st = step_via prog st (is_rv_from "reqS" (Rendezvous.Pr 0)) in
+        let st = step_via prog st (is_rv "grS") in
+        let st = read 1 st in
+        let st = step_via prog st (is_rv_from "reqS" (Rendezvous.Pr 1)) in
+        let st = step_via prog st (is_rv "grS") in
+        let st =
+          step_via prog st (fun l -> l = Rendezvous.L_tau (Rendezvous.Pr 2, "write"))
+        in
+        let st = step_via prog st (is_rv_from "reqM" (Rendezvous.Pr 2)) in
+        checki "home at Inv" (Prog.state_index prog.home "Inv") st.h.ctl;
+        let invs =
+          Rendezvous.successors prog st
+          |> List.filter (fun (l, _) -> is_rv "inv" l)
+        in
+        checki "two inv options" 2 (List.length invs));
+    case "encode distinguishes reachable states" (fun () ->
+        let prog = mig 2 in
+        (* walk the full space; Explore's hashtable relies on injectivity,
+           so check no two distinct pretty-printed states share a key *)
+        let seen = Hashtbl.create 64 in
+        let rec go st =
+          let key = Rendezvous.encode st in
+          match Hashtbl.find_opt seen key with
+          | Some repr ->
+            checks "same state" repr
+              (Fmt.str "%a" (Rendezvous.pp_state prog) st)
+          | None ->
+            Hashtbl.add seen key (Fmt.str "%a" (Rendezvous.pp_state prog) st);
+            List.iter (fun (_, st') -> go st') (Rendezvous.successors prog st)
+        in
+        go (Rendezvous.initial prog);
+        checkb "nontrivial" true (Hashtbl.length seen > 10));
+    case "state-count growth is polynomial, not exponential" (fun () ->
+        (* the paper's Table 3 shape: the rendezvous protocol stays tiny;
+           regression-anchor the exact small-n counts *)
+        let counts =
+          List.map (fun n -> (explore_rv (mig n)).states) [ 1; 2; 3; 4; 6 ]
+        in
+        (match counts with
+        | [ _; c2; _; c4; c6 ] ->
+          checkb "subquadratic-ish growth" true
+            (c4 < 8 * c2 && c6 < 4 * c4)
+        | _ -> assert false);
+        checkb "monotone" true
+          (List.sort compare counts = counts));
+    case "state counts are stable" (fun () ->
+        let counts =
+          List.map (fun n -> (explore_rv (mig n)).states) [ 1; 2; 4 ]
+        in
+        Alcotest.(check (list int))
+          "migratory rendezvous" Expected_counts.migratory_rv counts);
+  ]
+
+let suite = ("rendezvous", tests)

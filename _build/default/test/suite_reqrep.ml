@@ -1,0 +1,175 @@
+open Ccr_core
+open Test_util
+open Dsl
+
+let pairs_of sys =
+  (Reqrep.analyze sys).pairs
+  |> List.map (fun (p : Reqrep.pair) ->
+         ( p.req,
+           p.repl,
+           match p.initiator with
+           | Reqrep.Remote_initiated -> `R
+           | Reqrep.Home_initiated -> `H ))
+  |> List.sort compare
+
+let tests =
+  [
+    case "migratory finds req/gr and inv/ID" (fun () ->
+        checkb "pairs" true
+          (pairs_of (Ccr_protocols.Migratory.system ())
+          = [ ("inv", "ID", `H); ("req", "gr", `R) ]));
+    case "migratory with data finds the same pairs" (fun () ->
+        checkb "pairs" true
+          (pairs_of (Ccr_protocols.Migratory.system ~with_data:true ())
+          = [ ("inv", "ID", `H); ("req", "gr", `R) ]));
+    case "invalidate finds reqS/grS, reqM/grM and inv/ID" (fun () ->
+        checkb "pairs" true
+          (pairs_of Ccr_protocols.Invalidate.system
+          = [ ("inv", "ID", `H); ("reqM", "grM", `R); ("reqS", "grS", `R) ]));
+    case "lock server finds acq/grant" (fun () ->
+        checkb "pairs" true
+          (pairs_of Ccr_protocols.Lock_server.system
+          = [ ("acq", "grant", `R) ]));
+    case "LR is rejected (no immediate wait)" (fun () ->
+        let r = Reqrep.analyze (Ccr_protocols.Migratory.system ()) in
+        checkb "LR rejected" true (List.mem_assoc "LR" r.rejected));
+    case "plain protocol has no pairs" (fun () ->
+        (* the remote pauses (tau) between ask and the wait for tell, so
+           the §3.3 side condition fails *)
+        checkb "no pairs" true (pairs_of plain_system = []));
+    case "ping finds acq/grant but not rel" (fun () ->
+        checkb "pairs" true (pairs_of ping_system = [ ("acq", "grant", `R) ]));
+    case "detour breaks the pair: home interacts with requester" (fun () ->
+        (* home sends a probe to the requester before replying *)
+        let home =
+          process "h" ~vars:[ ("c", Value.Drid) ] ~init:"U"
+            [
+              state "U" [ recv_any "c" "acq" [] ~goto:"P" ];
+              state "P" [ send_to (v "c") "probe" [] ~goto:"PW" ];
+              state "PW" [ recv_from (v "c") "probeAck" [] ~goto:"G" ];
+              state "G" [ send_to (v "c") "grant" [] ~goto:"U" ];
+            ]
+        in
+        let remote =
+          process "r" ~vars:[] ~init:"T"
+            [
+              state "T" [ send_home "acq" [] ~goto:"W" ];
+              state "W" [ recv_home "grant" [] ~goto:"T"
+                        ; recv_home "probe" [] ~goto:"PA" ];
+              state "PA" [ send_home "probeAck" [] ~goto:"W" ];
+            ]
+        in
+        let sys = system "probe" ~home ~remote in
+        (match Validate.check sys with
+        | Ok _ -> ()
+        | Error es ->
+          Alcotest.failf "probe system invalid: %a"
+            Fmt.(list ~sep:sp Validate.pp_error)
+            es);
+        let r = Reqrep.analyze sys in
+        checkb "acq not a pair" true
+          (not
+             (List.exists
+                (fun (p : Reqrep.pair) -> p.req = "acq")
+                r.pairs)));
+    case "conditional wait breaks the pair" (fun () ->
+        let home =
+          process "h" ~vars:[ ("c", Value.Drid); ("b", Value.Dbool) ] ~init:"U"
+            [
+              state "U" [ recv_any "c" "acq" [] ~goto:"G" ];
+              state "G" [ send_to (v "c") "grant" [] ~goto:"U" ];
+            ]
+        in
+        let remote =
+          process "r" ~vars:[ ("b", Value.Dbool) ] ~init:"T"
+            [
+              state "T" [ send_home "acq" [] ~goto:"W" ];
+              state "W"
+                [
+                  recv_home "grant" []
+                    ~cond:(Expr.Eq (v "b", Expr.Const (Value.Vbool false)))
+                    ~goto:"T";
+                ];
+            ]
+        in
+        let sys = system "condwait" ~home ~remote in
+        let r = Reqrep.analyze sys in
+        checkb "acq not a pair" true
+          (not (List.exists (fun (p : Reqrep.pair) -> p.req = "acq") r.pairs)));
+    case "home-initiated pair requires local-only continuation" (fun () ->
+        (* after receiving inv the remote waits for another rendezvous
+           before replying: not a pair *)
+        let home =
+          process "h" ~vars:[ ("c", Value.Drid) ] ~init:"U"
+            [
+              state "U" [ recv_any "c" "hello" [] ~goto:"S" ];
+              state "S" [ send_to (v "c") "inv" [] ~goto:"W" ];
+              state "W" [ send_to (v "c") "nudge" [] ~goto:"W2" ];
+              state "W2" [ recv_from (v "c") "ID" [] ~goto:"U" ];
+            ]
+        in
+        let remote =
+          process "r" ~vars:[] ~init:"T"
+            [
+              state "T" [ send_home "hello" [] ~goto:"V" ];
+              state "V" [ recv_home "inv" [] ~goto:"X" ];
+              state "X" [ recv_home "nudge" [] ~goto:"Y" ];
+              state "Y" [ send_home "ID" [] ~goto:"T" ];
+            ]
+        in
+        let sys = system "chatty" ~home ~remote in
+        (match Validate.check sys with
+        | Ok _ -> ()
+        | Error es ->
+          Alcotest.failf "chatty system invalid: %a"
+            Fmt.(list ~sep:sp Validate.pp_error)
+            es);
+        let r = Reqrep.analyze sys in
+        checkb "inv not a pair" true
+          (not (List.exists (fun (p : Reqrep.pair) -> p.req = "inv") r.pairs)));
+    case "alias tracking follows j := i" (fun () ->
+        (* the home stores the requester in a second variable before
+           replying: still a pair *)
+        let home =
+          process "h" ~vars:[ ("i", Value.Drid); ("j", Value.Drid) ] ~init:"U"
+            [
+              state "U"
+                [ recv_any "i" "acq" [] ~assigns:[ ("j", v "i") ] ~goto:"G" ];
+              state "G" [ send_to (v "j") "grant" [] ~goto:"U" ];
+            ]
+        in
+        let remote =
+          process "r" ~vars:[] ~init:"T"
+            [
+              state "T" [ send_home "acq" [] ~goto:"W" ];
+              state "W" [ recv_home "grant" [] ~goto:"T" ];
+            ]
+        in
+        let r = Reqrep.analyze (system "alias" ~home ~remote) in
+        checkb "acq/grant found" true
+          (List.exists
+             (fun (p : Reqrep.pair) -> p.req = "acq" && p.repl = "grant")
+             r.pairs));
+    case "killed alias breaks the pair" (fun () ->
+        (* the requester variable is overwritten before the reply *)
+        let home =
+          process "h" ~vars:[ ("i", Value.Drid) ] ~init:"U"
+            [
+              state "U" [ recv_any "i" "acq" [] ~goto:"K" ];
+              state "K" [ tau "clobber" ~assigns:[ ("i", rid 0) ] ~goto:"G" ];
+              state "G" [ send_to (v "i") "grant" [] ~goto:"U" ];
+            ]
+        in
+        let remote =
+          process "r" ~vars:[] ~init:"T"
+            [
+              state "T" [ send_home "acq" [] ~goto:"W" ];
+              state "W" [ recv_home "grant" [] ~goto:"T" ];
+            ]
+        in
+        let r = Reqrep.analyze (system "clobber" ~home ~remote) in
+        checkb "acq rejected" true
+          (not (List.exists (fun (p : Reqrep.pair) -> p.req = "acq") r.pairs)));
+  ]
+
+let suite = ("reqrep", tests)

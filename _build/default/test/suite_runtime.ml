@@ -1,0 +1,148 @@
+open Ccr_core
+open Ccr_protocols
+open Test_util
+module Runtime = Ccr_runtime.Runtime
+module Channel = Ccr_runtime.Channel
+
+let k2 = Ccr_refine.Async.{ k = 2 }
+
+let assert_clean name (s : Runtime.stats) =
+  if not s.quiescent then
+    Alcotest.failf "%s: did not reach quiescence (%a)" name Runtime.pp_stats s;
+  if s.protocol_errors <> [] then
+    Alcotest.failf "%s: protocol errors: %s" name
+      (String.concat "; " s.protocol_errors);
+  if s.invariant_failures <> [] then
+    Alcotest.failf "%s: final-state invariants failed: %s" name
+      (String.concat ", " s.invariant_failures)
+
+let tests =
+  [
+    case "channel is FIFO with peek semantics" (fun () ->
+        let c = Channel.create () in
+        checkb "empty" true (Channel.is_empty c);
+        Channel.send c 1;
+        Channel.send c 2;
+        checki "length" 2 (Channel.length c);
+        checkb "peek oldest" true (Channel.peek c = Some 1);
+        checkb "peek does not consume" true (Channel.peek c = Some 1);
+        checkb "pop oldest" true (Channel.pop c = Some 1);
+        checkb "then next" true (Channel.pop c = Some 2);
+        checkb "then empty" true (Channel.pop c = None));
+    case "channel survives concurrent producers and one consumer" (fun () ->
+        let c = Channel.create () in
+        let producers =
+          List.init 4 (fun p ->
+              Thread.create
+                (fun () ->
+                  for i = 0 to 249 do
+                    Channel.send c ((p * 1000) + i)
+                  done)
+                ())
+        in
+        List.iter Thread.join producers;
+        let seen = ref [] in
+        let rec drain () =
+          match Channel.pop c with
+          | Some x ->
+            seen := x :: !seen;
+            drain ()
+          | None -> ()
+        in
+        drain ();
+        checki "all received" 1000 (List.length !seen);
+        (* per-producer order is preserved *)
+        List.iter
+          (fun p ->
+            let mine =
+              List.rev (List.filter (fun x -> x / 1000 = p) !seen)
+            in
+            checkb "in order" true (List.sort compare mine = mine))
+          [ 0; 1; 2; 3 ]);
+    case "migratory runs concurrently and ends coherent" (fun () ->
+        let prog = Link.compile ~n:4 (Migratory.system ()) in
+        let s =
+          Runtime.run ~budget:50
+            ~invariants:(Migratory.async_invariants prog)
+            prog k2
+        in
+        assert_clean "migratory" s;
+        checkb "work happened" true (s.rendezvous > 4 * 50 / 2));
+    case "invalidate runs concurrently and ends coherent" (fun () ->
+        let prog = Link.compile ~n:3 Invalidate.system in
+        let s =
+          Runtime.run ~budget:60
+            ~invariants:(Invalidate.async_invariants prog)
+            prog k2
+        in
+        assert_clean "invalidate" s);
+    case "lock server: mutual exclusion end to end" (fun () ->
+        let prog = Link.compile ~n:4 Lock_server.system in
+        let s =
+          Runtime.run ~budget:40
+            ~invariants:(Lock_server.async_invariants prog)
+            prog k2
+        in
+        assert_clean "lock" s;
+        (* every budgeted cycle acquires and releases: two rendezvous *)
+        checkb "completions per remote" true
+          (Array.for_all (fun c -> c >= 40) s.completions));
+    case "barrier: equal budgets synchronize to quiescence" (fun () ->
+        let prog = Link.compile ~n:3 Barrier.system in
+        let s =
+          Runtime.run ~budget:30
+            ~invariants:(Barrier.async_invariants prog)
+            prog k2
+        in
+        assert_clean "barrier" s;
+        (* every remote completes one arrive and one go per round *)
+        Array.iter (fun c -> checki "rounds" 60 c) s.completions);
+    case "mesi under real concurrency" (fun () ->
+        let prog = Link.compile ~n:3 Mesi.system in
+        let s =
+          Runtime.run ~budget:50 ~invariants:(Mesi.async_invariants prog)
+            prog k2
+        in
+        assert_clean "mesi" s);
+    case "write-update under real concurrency" (fun () ->
+        let prog = Link.compile ~n:3 Write_update.system in
+        let s =
+          Runtime.run ~budget:50
+            ~invariants:(Write_update.async_invariants prog)
+            prog k2
+        in
+        assert_clean "write-update" s);
+    case "hand-optimized migratory under real concurrency" (fun () ->
+        let prog = Migratory_hand.prog ~n:3 () in
+        let s =
+          Runtime.run ~budget:50
+            ~invariants:(Migratory_hand.async_invariants prog)
+            prog k2
+        in
+        assert_clean "hand" s);
+    case "bigger buffers work too" (fun () ->
+        let prog = Link.compile ~n:4 (Migratory.system ()) in
+        let s =
+          Runtime.run ~budget:40
+            ~invariants:(Migratory.async_invariants prog)
+            prog Ccr_refine.Async.{ k = 4 }
+        in
+        assert_clean "k=4" s);
+    case "workload budget bounds the run" (fun () ->
+        (* thread interleavings vary, but the budget caps the work: a
+           migratory cycle completes at most four rendezvous (request +
+           grant + revoke + done), so two remotes with 25 cycles each can
+           never exceed 4 * 2 * 25 *)
+        let prog = Link.compile ~n:2 (Migratory.system ()) in
+        let s =
+          Runtime.run ~budget:25
+            ~invariants:(Migratory.async_invariants prog)
+            prog k2
+        in
+        assert_clean "bounds" s;
+        checkb "not more rendezvous than cycles allow" true
+          (s.rendezvous <= 4 * 2 * 25);
+        checkb "and real work happened" true (s.rendezvous >= 25));
+  ]
+
+let suite = ("runtime", tests)

@@ -1,0 +1,107 @@
+open Ccr_refine
+open Ccr_simulate
+open Test_util
+
+let k2 = Async.{ k = 2 }
+let mig n = compile ~n (Ccr_protocols.Migratory.system ())
+
+let tests =
+  [
+    case "runs are deterministic given the seed" (fun () ->
+        let prog = mig 3 in
+        let m1 = Sim.run ~seed:7 ~steps:5000 prog k2 Sched.uniform in
+        let m2 = Sim.run ~seed:7 ~steps:5000 prog k2 Sched.uniform in
+        checkb "equal" true (m1 = m2);
+        let m3 = Sim.run ~seed:8 ~steps:5000 prog k2 Sched.uniform in
+        checkb "different seed differs somewhere" true
+          (m1.Sim.rendezvous <> m3.Sim.rendezvous
+          || m1.Sim.reqs <> m3.Sim.reqs
+          || m1.Sim.per_remote <> m3.Sim.per_remote));
+    case "message accounting is consistent" (fun () ->
+        let prog = mig 3 in
+        let m = Sim.run ~steps:20000 prog k2 Sched.uniform in
+        checki "steps" 20000 m.Sim.steps;
+        checkb "no deadlock" true (not m.Sim.deadlocked);
+        checkb "messages add up" true
+          (Sim.messages m = m.Sim.reqs + m.Sim.acks + m.Sim.nacks);
+        (* every ack or nack answers a request *)
+        checkb "responses bounded by requests" true
+          (m.Sim.acks + m.Sim.nacks <= m.Sim.reqs);
+        checkb "retransmissions bounded by nacks" true
+          (m.Sim.retransmissions <= m.Sim.nacks + m.Sim.reqs);
+        (* rule counts cover every completion *)
+        let rc r = List.assoc r m.Sim.rule_counts in
+        checki "completions match rules" m.Sim.rendezvous
+          (rc Async.H_C1 + rc Async.H_C1_silent + rc Async.R_C3_ack
+          + rc Async.R_C3_silent + rc Async.R_repl_recv + rc Async.H_T1_repl);
+        checki "per-remote sums to total" m.Sim.rendezvous
+          (Array.fold_left ( + ) 0 m.Sim.per_remote));
+    case "optimized beats generic beats nothing (msgs/rendezvous)" (fun () ->
+        let opt = Sim.run ~steps:30000 (mig 3) k2 Sched.uniform in
+        let gen =
+          Sim.run ~steps:30000
+            (compile ~reqrep:false ~n:3 (Ccr_protocols.Migratory.system ()))
+            k2 Sched.uniform
+        in
+        let hand =
+          Sim.run ~steps:30000
+            (Ccr_protocols.Migratory_hand.prog ~n:3 ())
+            k2 Sched.uniform
+        in
+        checkb "optimized < generic" true
+          (Sim.per_rendezvous opt < Sim.per_rendezvous gen);
+        checkb "hand <= optimized (the unacked LR)" true
+          (Sim.per_rendezvous hand <= Sim.per_rendezvous opt);
+        (* the paper's figure: roughly 2 with the optimization, 4 without *)
+        checkb "optimized near 2" true (Sim.per_rendezvous opt < 2.6);
+        checkb "generic near 4" true (Sim.per_rendezvous gen > 2.8));
+    case "home-first scheduling reduces nacks" (fun () ->
+        let prog = mig 4 in
+        let uni = Sim.run ~steps:30000 prog k2 Sched.uniform in
+        let hf = Sim.run ~steps:30000 prog k2 Sched.home_first in
+        checkb "fewer nacks" true (hf.Sim.nacks <= uni.Sim.nacks));
+    case "starvation: the adversary freezes its victim" (fun () ->
+        let prog = mig 3 in
+        let m = Sim.run ~steps:30000 prog k2 (Sched.starve 0) in
+        checki "victim completes nothing" 0 m.Sim.per_remote.(0);
+        checkb "the others make progress (weak fairness)" true
+          (m.Sim.per_remote.(1) > 100 && m.Sim.per_remote.(2) > 100));
+    case "uniform scheduling starves nobody" (fun () ->
+        let prog = mig 3 in
+        let m = Sim.run ~steps:30000 prog k2 Sched.uniform in
+        checkb "all progress" true
+          (Array.for_all (fun c -> c > 100) m.Sim.per_remote));
+    case "buffer occupancy histogram covers the run" (fun () ->
+        let prog = mig 3 in
+        let m = Sim.run ~steps:10000 prog k2 Sched.uniform in
+        checki "histogram sums to steps" m.Sim.steps
+          (Array.fold_left ( + ) 0 m.Sim.buf_occupancy);
+        checkb "buffer actually used" true (m.Sim.buf_occupancy.(1) > 0));
+    case "larger buffers reduce nacks" (fun () ->
+        let prog = compile ~n:6 (Ccr_protocols.Migratory.system ()) in
+        let at_k k = (Sim.run ~steps:30000 prog Async.{ k } Sched.uniform).Sim.nacks in
+        let n2 = at_k 2 and n6 = at_k 6 in
+        checkb "k=6 <= k=2" true (n6 <= n2));
+    case "latency accounting is consistent" (fun () ->
+        let prog = mig 3 in
+        let m = Sim.run ~steps:20000 prog k2 Sched.uniform in
+        checkb "latencies recorded" true (m.Sim.latency_count > 100);
+        checkb "max bounds mean" true
+          (float_of_int m.Sim.latency_max >= Sim.mean_latency m);
+        checkb "mean at least a round trip" true (Sim.mean_latency m >= 2.0));
+    case "the generic scheme has higher transaction latency" (fun () ->
+        let opt = Sim.run ~steps:30000 (mig 2) k2 Sched.uniform in
+        let gen =
+          Sim.run ~steps:30000
+            (compile ~reqrep:false ~n:2 (Ccr_protocols.Migratory.system ()))
+            k2 Sched.uniform
+        in
+        checkb "generic slower" true
+          (Sim.mean_latency gen > Sim.mean_latency opt));
+    case "per_rendezvous of an empty run is infinite" (fun () ->
+        let prog = mig 2 in
+        let m = Sim.run ~steps:0 prog k2 Sched.uniform in
+        checkb "infinite" true (Sim.per_rendezvous m = Float.infinity));
+  ]
+
+let suite = ("sim", tests)

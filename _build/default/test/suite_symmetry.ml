@@ -1,0 +1,142 @@
+open Ccr_core
+open Ccr_semantics
+open Ccr_refine
+open Test_util
+
+let k2 = Async.{ k = 2 }
+let mig n = compile ~n (Ccr_protocols.Migratory.system ())
+
+let explore_with encode succ init =
+  Ccr_modelcheck.Explore.run
+    Ccr_modelcheck.Explore.{ init; succ; encode }
+  |> fun (r : (_, _) Ccr_modelcheck.Explore.stats) -> (r.states, r.outcome)
+
+let rv_quotient prog =
+  explore_with
+    (Symmetry.canonical_rv prog)
+    (Rendezvous.successors prog)
+    (Rendezvous.initial prog)
+
+let rv_exact prog =
+  explore_with Rendezvous.encode (Rendezvous.successors prog)
+    (Rendezvous.initial prog)
+
+let async_quotient ?(k = 2) prog =
+  explore_with
+    (Symmetry.canonical_async prog)
+    (Async.successors prog Async.{ k })
+    (Async.initial prog Async.{ k })
+
+let async_exact ?(k = 2) prog =
+  explore_with Async.encode
+    (Async.successors prog Async.{ k })
+    (Async.initial prog Async.{ k })
+
+let identity n = Array.init n Fun.id
+let swap01 n =
+  let p = Array.init n Fun.id in
+  p.(0) <- 1;
+  p.(1) <- 0;
+  p
+
+let tests =
+  [
+    case "permuting with the identity is the identity" (fun () ->
+        let prog = mig 3 in
+        let st = Async.initial prog k2 in
+        let st = fire prog st (by_rule ~actor:1 Async.R_C1) in
+        let st' = Symmetry.permute_async prog (identity 3) st in
+        checks "same" (Async.encode st) (Async.encode st'));
+    case "permutation renames consistently" (fun () ->
+        let prog = mig 2 in
+        let st = Async.initial prog k2 in
+        (* r0 requests; swapping 0<->1 must move the request to r1 *)
+        let st = fire prog st (by_rule ~actor:0 Async.R_C1) in
+        let st' = Symmetry.permute_async prog (swap01 2) st in
+        checkb "r1 now waits" true
+          (match st'.Async.r.(1).r_mode with
+          | Async.Rwait _ -> true
+          | _ -> false);
+        checkb "r0 now idle" true (st'.Async.r.(0).r_mode = Async.Rcomm);
+        checki "channel moved" 1 (List.length st'.Async.to_h.(1));
+        checki "old channel empty" 0 (List.length st'.Async.to_h.(0)));
+    case "permutation renames directory variables and sets" (fun () ->
+        let prog = compile ~n:3 Ccr_protocols.Invalidate.system in
+        let st = Rendezvous.initial prog in
+        let sh = Prog.var_index prog.home "sh" in
+        let env = Array.copy st.Rendezvous.h.env in
+        env.(sh) <- Value.set_of_list [ 0; 2 ];
+        let st = { st with Rendezvous.h = { st.Rendezvous.h with env } } in
+        let p = [| 1; 0; 2 |] in
+        let st' = Symmetry.permute_rv prog p st in
+        checkb "set renamed" true
+          (Value.equal
+             st'.Rendezvous.h.env.(sh)
+             (Value.set_of_list [ 1; 2 ])));
+    case "canonical encoding is permutation-invariant" (fun () ->
+        let prog = mig 3 in
+        let seen = Hashtbl.create 64 in
+        let q = Queue.create () in
+        let budget = ref 500 in
+        let push st =
+          let key = Async.encode st in
+          if (not (Hashtbl.mem seen key)) && !budget > 0 then begin
+            decr budget;
+            Hashtbl.add seen key st;
+            Queue.push st q
+          end
+        in
+        push (Async.initial prog k2);
+        while not (Queue.is_empty q) do
+          let st = Queue.pop q in
+          (* every permutation of the state canonicalizes identically *)
+          let c = Symmetry.canonical_async prog st in
+          List.iter
+            (fun p ->
+              checks "invariant" c
+                (Symmetry.canonical_async prog
+                   (Symmetry.permute_async prog (Array.of_list p) st)))
+            [ [ 1; 0; 2 ]; [ 2; 1; 0 ]; [ 1; 2; 0 ] ];
+          List.iter (fun (_, s) -> push s) (Async.successors prog k2 st)
+        done);
+    case "quotient counts sit between exact/n! and exact" (fun () ->
+        let rec fact = function 0 | 1 -> 1 | k -> k * fact (k - 1) in
+        List.iter
+          (fun n ->
+            let prog = mig n in
+            let exact, _ = rv_exact prog in
+            let quotient, _ = rv_quotient prog in
+            checkb "reduced" true (quotient <= exact);
+            checkb "not over-reduced" true (quotient * fact n >= exact))
+          [ 2; 3; 4 ]);
+    case "quotient preserves invariants and deadlock-freedom" (fun () ->
+        let prog = mig 3 in
+        let r =
+          Ccr_modelcheck.Explore.run ~check_deadlock:true
+            ~invariants:(Ccr_protocols.Migratory.async_invariants prog)
+            Ccr_modelcheck.Explore.
+              {
+                init = Async.initial prog k2;
+                succ = Async.successors prog k2;
+                encode = Symmetry.canonical_async prog;
+              }
+        in
+        checkb "complete" true (outcome_complete r.outcome));
+    case "async quotient reduction factor grows with n" (fun () ->
+        let e2, _ = async_exact (mig 2) in
+        let q2, _ = async_quotient (mig 2) in
+        let e3, _ = async_exact (mig 3) in
+        let q3, _ = async_quotient (mig 3) in
+        let f2 = float_of_int e2 /. float_of_int q2 in
+        let f3 = float_of_int e3 /. float_of_int q3 in
+        checkb "reduces at n=2" true (f2 > 1.5);
+        checkb "reduces more at n=3" true (f3 > f2));
+    case "beyond max_fact the encoding falls back soundly" (fun () ->
+        let prog = mig 3 in
+        let st = Async.initial prog k2 in
+        checks "identity fallback"
+          (Async.encode st)
+          (Symmetry.canonical_async ~max_fact:2 prog st));
+  ]
+
+let suite = ("symmetry", tests)

@@ -1,0 +1,210 @@
+open Ccr_core
+open Test_util
+open Dsl
+
+(* A minimal valid system to mutate. *)
+let base_home =
+  process "h" ~vars:[ ("c", Value.Drid) ] ~init:"U"
+    [
+      state "U" [ recv_any "c" "m" [] ~goto:"G" ];
+      state "G" [ send_to (v "c") "g" [] ~goto:"U" ];
+    ]
+
+let base_remote =
+  process "r" ~vars:[] ~init:"T"
+    [
+      state "T" [ send_home "m" [] ~goto:"W" ];
+      state "W" [ recv_home "g" [] ~goto:"T" ];
+    ]
+
+let base = system "base" ~home:base_home ~remote:base_remote
+
+let assert_ok sys =
+  match Validate.check sys with
+  | Ok _ -> ()
+  | Error es ->
+    Alcotest.failf "expected valid, got: %a"
+      Fmt.(list ~sep:sp Validate.pp_error)
+      es
+
+let assert_error ~containing sys =
+  match Validate.check sys with
+  | Ok _ -> Alcotest.failf "expected a validation error (%s)" containing
+  | Error es ->
+    let all = Fmt.str "%a" Fmt.(list ~sep:sp Validate.pp_error) es in
+    if not (contains_sub ~sub:containing all) then
+      Alcotest.failf "error %S does not mention %S" all containing
+
+let with_home h = { base with Ir.home = h }
+let with_remote r = { base with Ir.remote = r }
+
+let tests =
+  [
+    case "base system validates" (fun () -> assert_ok base);
+    case "all protocol-library systems validate" (fun () ->
+        assert_ok (Ccr_protocols.Migratory.system ());
+        assert_ok (Ccr_protocols.Migratory.system ~with_data:true ());
+        assert_ok Ccr_protocols.Invalidate.system;
+        assert_ok Ccr_protocols.Lock_server.system;
+        assert_ok ping_system;
+        assert_ok plain_system);
+    case "signatures are collected" (fun () ->
+        let sigs = Validate.check_exn base in
+        checki "two messages" 2 (List.length sigs);
+        let m = List.find (fun s -> s.Validate.msg = "m") sigs in
+        checkb "direction" true (m.direction = Validate.Remote_to_home);
+        checki "arity" 0 (List.length m.payload));
+    case "unknown initial state" (fun () ->
+        assert_error ~containing:"initial state"
+          (with_home { base_home with Ir.p_init_state = "ZZ" }));
+    case "duplicate state names" (fun () ->
+        assert_error ~containing:"duplicate state"
+          (with_home
+             {
+               base_home with
+               Ir.p_states = base_home.Ir.p_states @ [ state "U" [] ];
+             }));
+    case "duplicate variables" (fun () ->
+        assert_error ~containing:"duplicate variable"
+          (with_home
+             {
+               base_home with
+               Ir.p_vars = [ ("c", Value.Drid); ("c", Value.Dbool) ];
+             }));
+    case "unknown guard target" (fun () ->
+        assert_error ~containing:"target state"
+          (with_remote
+             (process "r" ~vars:[] ~init:"T"
+                [ state "T" [ send_home "m" [] ~goto:"NOPE" ] ])));
+    case "undeclared assignment" (fun () ->
+        assert_error ~containing:"undeclared"
+          (with_remote
+             (process "r" ~vars:[] ~init:"T"
+                [
+                  state "T"
+                    [ send_home "m" [] ~assigns:[ ("zz", int 0) ] ~goto:"T" ];
+                ])));
+    case "wrong initial value type" (fun () ->
+        assert_error ~containing:"initial value"
+          (with_home
+             { base_home with Ir.p_init_env = [ ("c", Value.Vint 3) ] }));
+    case "initial value for unknown variable" (fun () ->
+        assert_error ~containing:"undeclared"
+          (with_home
+             { base_home with Ir.p_init_env = [ ("zz", Value.Vint 3) ] }));
+    case "star topology: remote to remote" (fun () ->
+        assert_error ~containing:"star"
+          (with_remote
+             (process "r" ~vars:[] ~init:"T"
+                [ state "T" [ send_to (rid 0) "m" [] ~goto:"T" ] ])));
+    case "star topology: home to home" (fun () ->
+        assert_error ~containing:"home cannot send to home"
+          (with_home
+             (process "h" ~vars:[] ~init:"U"
+                [ state "U" [ send_home "m" [] ~goto:"U" ] ])));
+    case "remote receives from remote" (fun () ->
+        assert_error ~containing:"cannot receive"
+          (with_remote
+             (process "r" ~vars:[ ("i", Value.Drid) ] ~init:"T"
+                [ state "T" [ recv_any "i" "m" [] ~goto:"T" ] ])));
+    case "remote active state must be alone" (fun () ->
+        assert_error ~containing:"single output"
+          (with_remote
+             (process "r" ~vars:[] ~init:"T"
+                [
+                  state "T"
+                    [
+                      send_home "m" [] ~goto:"W"; tau "oops" ~goto:"T";
+                    ];
+                  state "W" [ recv_home "g" [] ~goto:"T" ];
+                ])));
+    case "remote cannot offer two outputs" (fun () ->
+        assert_error ~containing:"output guards"
+          (with_remote
+             (process "r" ~vars:[] ~init:"T"
+                [
+                  state "T"
+                    [ send_home "m" [] ~goto:"W"; send_home "m2" [] ~goto:"W" ];
+                  state "W" [ recv_home "g" [] ~goto:"T" ];
+                ])));
+    case "home cannot mix tau with communication" (fun () ->
+        assert_error ~containing:"mixes internal"
+          (with_home
+             (process "h" ~vars:[ ("c", Value.Drid) ] ~init:"U"
+                [
+                  state "U"
+                    [ recv_any "c" "m" [] ~goto:"U"; tau "oops" ~goto:"U" ];
+                ])));
+    case "internal cycle rejected" (fun () ->
+        assert_error ~containing:"cycle"
+          (with_remote
+             (process "r" ~vars:[] ~init:"A"
+                [
+                  state "A" [ tau "x" ~goto:"B" ];
+                  state "B" [ tau "y" ~goto:"A" ];
+                ])));
+    case "internal path into comm state accepted" (fun () ->
+        assert_ok
+          (with_remote
+             (process "r" ~vars:[] ~init:"A"
+                [
+                  state "A" [ tau "x" ~goto:"B" ];
+                  state "B" [ tau "y" ~goto:"T" ];
+                  state "T" [ send_home "m" [] ~goto:"W" ];
+                  state "W" [ recv_home "g" [] ~goto:"A" ];
+                ])));
+    case "message arity must be consistent" (fun () ->
+        assert_error ~containing:"payload"
+          (with_remote
+             (process "r" ~vars:[ ("d", Value.Drid) ] ~init:"T"
+                [
+                  state "T" [ send_home "m" [ v "d" ] ~goto:"W" ];
+                  state "W" [ recv_home "g" [] ~goto:"T" ];
+                ])));
+    case "message direction must be consistent" (fun () ->
+        (* remote also sends "g", which the home sends *)
+        assert_error ~containing:"used both"
+          (with_remote
+             (process "r" ~vars:[] ~init:"T"
+                [
+                  state "T" [ send_home "m" [] ~goto:"W" ];
+                  state "W" [ recv_home "g" [] ~goto:"X" ];
+                  state "X" [ send_home "g" [] ~goto:"T" ];
+                ])));
+    case "choose binder must be rid over a set" (fun () ->
+        assert_error ~containing:"choose binder"
+          (with_home
+             (process "h" ~vars:[ ("c", Value.Drid); ("s", Value.Dset) ]
+                ~init:"U"
+                [
+                  state "U" [ recv_any "c" "m" [] ~goto:"G" ];
+                  state "G"
+                    [
+                      send_to (v "c") "g" [] ~choose:[ ("s", v "s") ]
+                        ~goto:"U";
+                    ];
+                ])));
+    case "cond type errors are caught" (fun () ->
+        assert_error ~containing:"condition"
+          (with_home
+             (process "h" ~vars:[ ("c", Value.Drid) ] ~init:"U"
+                [
+                  state "U"
+                    [
+                      recv_any "c" "m" []
+                        ~cond:(Expr.Set_is_empty (v "c"))
+                        ~goto:"G";
+                    ];
+                  state "G" [ send_to (v "c") "g" [] ~goto:"U" ];
+                ])));
+    case "check_exn raises on invalid" (fun () ->
+        checkb "raises" true
+          (match
+             Validate.check_exn
+               (with_home { base_home with Ir.p_init_state = "ZZ" })
+           with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+  ]
+
+let suite = ("validate", tests)

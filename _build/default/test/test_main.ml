@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "ccrefine"
+    [
+      Suite_value.suite;
+      Suite_expr.suite;
+      Suite_validate.suite;
+      Suite_reqrep.suite;
+      Suite_link.suite;
+      Suite_rendezvous.suite;
+      Suite_async.suite;
+      Suite_absmap.suite;
+      Suite_explore.suite;
+      Suite_compile.suite;
+      Suite_sim.suite;
+      Suite_protocols.suite;
+      Suite_runtime.suite;
+      Suite_symmetry.suite;
+      Suite_viz.suite;
+      Suite_prog.suite;
+      Suite_parse.suite;
+      Suite_random.suite;
+    ]

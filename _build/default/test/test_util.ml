@@ -1,0 +1,127 @@
+(* Shared helpers for the test suites. *)
+open Ccr_core
+
+let check = Alcotest.check
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let contains_sub ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+  n = 0 || at 0
+let slow_case name f = Alcotest.test_case name `Slow f
+
+let qcase ?(count = 100) ?print name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name ?print gen prop)
+
+(* ---- tiny protocols used across suites -------------------------------- *)
+
+(* Ping: the smallest level protocol — remote requests, home acknowledges
+   by granting, remote releases.  Isomorphic to the lock server but local
+   to the tests so suites do not depend on protocol-library changes. *)
+let ping_system =
+  let open Dsl in
+  let home =
+    process "ping_home" ~vars:[ ("c", Value.Drid) ] ~init:"U"
+      [
+        state "U" [ recv_any "c" "acq" [] ~goto:"G" ];
+        state "G" [ send_to (v "c") "grant" [] ~goto:"L" ];
+        state "L"
+          [ recv_from (v "c") "rel" [] ~assigns:[ ("c", rid 0) ] ~goto:"U" ];
+      ]
+  in
+  let remote =
+    process "ping_remote" ~vars:[] ~init:"T"
+      [
+        state "T" [ send_home "acq" [] ~goto:"W" ];
+        state "W" [ recv_home "grant" [] ~goto:"C" ];
+        state "C" [ send_home "rel" [] ~goto:"T" ];
+      ]
+  in
+  system "ping" ~home ~remote
+
+(* A protocol with no request/reply pairs at all: the home answers [ask]
+   with a separate plain rendezvous [tell] only after a detour, and the
+   remote does not wait immediately.  Exercises the generic scheme even
+   when reqrep analysis is on. *)
+let plain_system =
+  let open Dsl in
+  let home =
+    process "plain_home" ~vars:[ ("c", Value.Drid) ] ~init:"U"
+      [
+        state "U" [ recv_any "c" "ask" [] ~goto:"D" ];
+        state "D" [ tau "think" ~goto:"G" ];
+        state "G" [ send_to (v "c") "tell" [] ~goto:"U" ];
+      ]
+  in
+  let remote =
+    process "plain_remote" ~vars:[] ~init:"T"
+      [
+        state "T" [ send_home "ask" [] ~goto:"P" ];
+        state "P" [ tau "pause" ~goto:"W" ];
+        state "W" [ recv_home "tell" [] ~goto:"T" ];
+      ]
+  in
+  system "plain" ~home ~remote
+
+let compile ?reqrep ?fire_and_forget ~n sys =
+  Link.compile ?reqrep ?fire_and_forget ~n sys
+
+let rv_system prog =
+  Ccr_modelcheck.Explore.
+    {
+      init = Ccr_semantics.Rendezvous.initial prog;
+      succ = Ccr_semantics.Rendezvous.successors prog;
+      encode = Ccr_semantics.Rendezvous.encode;
+    }
+
+let async_system ?(k = 2) prog =
+  let cfg = Ccr_refine.Async.{ k } in
+  Ccr_modelcheck.Explore.
+    {
+      init = Ccr_refine.Async.initial prog cfg;
+      succ = Ccr_refine.Async.successors prog cfg;
+      encode = Ccr_refine.Async.encode;
+    }
+
+let explore_rv ?invariants ?max_states prog =
+  Ccr_modelcheck.Explore.run ?invariants ?max_states ~trace:true
+    (rv_system prog)
+
+let explore_async ?invariants ?max_states ?(k = 2) ?(check_deadlock = true)
+    prog =
+  Ccr_modelcheck.Explore.run ?invariants ?max_states ~check_deadlock
+    ~trace:true (async_system ~k prog)
+
+(* Drive the asynchronous system one chosen transition at a time. *)
+let fire ?(k = 2) prog st pred =
+  let cfg = Ccr_refine.Async.{ k } in
+  let succs = Ccr_refine.Async.successors prog cfg st in
+  match List.filter (fun (l, _) -> pred l) succs with
+  | [ (_, st') ] -> st'
+  | [] ->
+    Alcotest.failf "no matching transition; enabled: %a"
+      Fmt.(list ~sep:sp Ccr_refine.Async.pp_label)
+      (List.map fst succs)
+  | many ->
+    Alcotest.failf "ambiguous transition (%d matches): %a" (List.length many)
+      Fmt.(list ~sep:sp Ccr_refine.Async.pp_label)
+      (List.map fst many)
+
+let by_rule ?actor ?subject rule (l : Ccr_refine.Async.label) =
+  l.rule = rule
+  && (match actor with None -> true | Some a -> l.actor = a)
+  && match subject with None -> true | Some s -> l.subject = s
+
+let outcome_complete = function
+  | Ccr_modelcheck.Explore.Complete -> true
+  | _ -> false
+
+let assert_complete name (r : (_, _) Ccr_modelcheck.Explore.stats) =
+  if not (outcome_complete r.outcome) then
+    Alcotest.failf "%s: exploration did not complete cleanly (%d states)"
+      name r.states
