@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-fast examples artifacts clean
+.PHONY: all build test bench bench-fast bench-json par-smoke examples artifacts clean
 
 all: build
 
@@ -15,6 +15,16 @@ bench:
 
 bench-fast:
 	CCR_BENCH_FAST=1 dune exec bench/main.exe
+
+# Fast bench run that also emits per-row JSON (states/transitions/time/mem
+# per protocol x n x level x jobs) next to the repo root.
+bench-json:
+	CCR_BENCH_FAST=1 CCR_BENCH_JSON=BENCH_$$(date +%Y%m%d).json dune exec bench/main.exe
+
+# Quick seq-vs-par equivalence check (the par_explore suite only), with
+# backtraces on so a worker-domain failure is attributable.
+par-smoke:
+	OCAMLRUNPARAM=b dune exec test/test_main.exe -- test par_explore
 
 examples:
 	dune exec examples/quickstart.exe

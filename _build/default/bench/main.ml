@@ -3,8 +3,12 @@
    coverage, Eq. 1, message efficiency, buffers/fairness, progress).
 
    Environment:
-     CCR_BENCH_FAST=1   lower caps (quick smoke run)
-     CCR_BENCH_MEM=MB   memory cap for Table 3 (default 64, as the paper)
+     CCR_BENCH_FAST=1    lower caps (quick smoke run)
+     CCR_BENCH_MEM=MB    memory cap for Table 3 (default 64, as the paper)
+     CCR_BENCH_JOBS=J    worker domains for the parallel-exploration section
+                         (default: the recommended domain count)
+     CCR_BENCH_JSON=path write machine-readable per-row results (JSON array)
+                         to [path], e.g. BENCH_20260807.json
 
    See EXPERIMENTS.md for the recorded paper-vs-measured discussion. *)
 
@@ -24,7 +28,51 @@ let mem_cap_mb =
 
 let time_cap = if fast then 5.0 else 120.0
 
+let bench_jobs =
+  match Sys.getenv_opt "CCR_BENCH_JOBS" with
+  | Some s -> ( try max 1 (int_of_string s) with _ -> 4)
+  | None -> max 2 (Domain.recommended_domain_count ())
+
+let bench_json = Sys.getenv_opt "CCR_BENCH_JSON"
+
 let section title = Fmt.pr "@.=== %s ===@.@." title
+
+(* ---- machine-readable results ------------------------------------------ *)
+
+let json_rows : string list ref = ref []
+
+let outcome_tag = function
+  | Explore.Complete -> "complete"
+  | Explore.Limit Explore.L_states -> "limit-states"
+  | Explore.Limit Explore.L_memory -> "limit-memory"
+  | Explore.Limit Explore.L_time -> "limit-time"
+  | Explore.Violation _ -> "violation"
+  | Explore.Deadlock _ -> "deadlock"
+
+let record_row ~protocol ~n ~level ~jobs (r : (_, _) Explore.stats) =
+  if bench_json <> None then
+    json_rows :=
+      Fmt.str
+        {|  {"protocol": %S, "n": %d, "level": %S, "states": %d, "transitions": %d, "time_s": %.6f, "mem_bytes": %d, "outcome": %S, "jobs": %d}|}
+        protocol n level r.states r.transitions r.time_s r.mem_bytes
+        (outcome_tag r.outcome) jobs
+      :: !json_rows
+
+let write_json () =
+  match bench_json with
+  | None -> ()
+  | Some path -> (
+    let rows = List.rev !json_rows in
+    match open_out path with
+    | exception Sys_error msg ->
+      Fmt.epr "@.CCR_BENCH_JSON: cannot write %s (%s); results above stand@."
+        path msg
+    | oc ->
+      output_string oc "[\n";
+      output_string oc (String.concat ",\n" rows);
+      output_string oc "\n]\n";
+      close_out oc;
+      Fmt.pr "@.wrote %d benchmark rows to %s@." (List.length rows) path)
 
 (* ---- Table 3 ----------------------------------------------------------- *)
 
@@ -66,6 +114,8 @@ let table3 () =
     let prog = Link.compile ~n sys in
     let rv = run_rv prog in
     let asy = run_async prog in
+    record_row ~protocol:name ~n ~level:"rendezvous" ~jobs:1 rv;
+    record_row ~protocol:name ~n ~level:"async" ~jobs:1 asy;
     Fmt.pr "%-12s %-3d %-28s %-28s %-24s@." name n (cell asy) (cell rv)
       (Fmt.str "%s | %s" paper_async paper_rv)
   in
@@ -101,6 +151,57 @@ let table3_64 () =
     "@.(The paper model-checked the rendezvous migratory protocol for 64 \
      nodes in 32 MB while the asynchronous version exhausted 64 MB at two \
      nodes.)@."
+
+(* ---- parallel exploration ----------------------------------------------- *)
+
+let parallel () =
+  section
+    (Fmt.str
+       "Parallel exploration: sequential vs %d domains on the Table 3 \
+        asynchronous workloads (available cores: %d)"
+       bench_jobs
+       (Domain.recommended_domain_count ()));
+  Fmt.pr "%-22s %10s %12s %10s %10s %8s %8s@." "workload" "states" "trans"
+    "seq (s)" "par (s)" "speedup" "equal";
+  let row protocol n prog =
+    let name = Fmt.str "%s n=%d" protocol n in
+    let sys =
+      Explore.
+        {
+          init = Async.initial prog Async.{ k = 2 };
+          succ = Async.successors prog Async.{ k = 2 };
+          encode = Async.encode;
+        }
+    in
+    let mem = mem_cap_mb * 1024 * 1024 in
+    let seq = Explore.run ~max_mem_bytes:mem ~max_time_s:time_cap sys in
+    let par =
+      Explore.par_run ~jobs:bench_jobs ~max_mem_bytes:mem ~max_time_s:time_cap
+        sys
+    in
+    record_row ~protocol ~n ~level:"async" ~jobs:1 seq;
+    record_row ~protocol ~n ~level:"async" ~jobs:bench_jobs par;
+    let equal = seq.states = par.states && seq.transitions = par.transitions in
+    Fmt.pr "%-22s %10d %12d %10.3f %10.3f %7.2fx %8s@." name seq.states
+      seq.transitions seq.time_s par.time_s
+      (seq.time_s /. max 1e-9 par.time_s)
+      (if equal then "yes" else "NO");
+    if not equal then
+      Fmt.pr "  MISMATCH: par %d states / %d transitions@." par.states
+        par.transitions
+  in
+  let mig = Migratory.system () in
+  row "migratory" 2 (Link.compile ~n:2 mig);
+  let mig_big = if fast then 3 else 4 in
+  row "migratory" mig_big (Link.compile ~n:mig_big mig);
+  row "invalidate" 2 (Link.compile ~n:2 Invalidate.system);
+  if not fast then row "invalidate" 3 (Link.compile ~n:3 Invalidate.system);
+  Fmt.pr
+    "@.(Counts must agree exactly with the sequential engine — that is the \
+     determinism contract of Explore.par_run.  Wall-clock speedup depends \
+     on the cores the container actually grants; on a single-core host the \
+     parallel engine degrades to roughly sequential speed plus \
+     synchronization overhead.)@."
 
 (* ---- Figures ----------------------------------------------------------- *)
 
@@ -535,6 +636,7 @@ let () =
   figures ();
   table3 ();
   table3_64 ();
+  parallel ();
   rule_coverage ();
   eq1 ();
   message_efficiency ();
@@ -543,4 +645,5 @@ let () =
   symmetry ();
   breadth ();
   microbench ();
+  write_json ();
   Fmt.pr "@.done.@."

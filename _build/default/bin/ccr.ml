@@ -92,6 +92,15 @@ let max_states_arg =
     value & opt int 1_000_000
     & info [ "max-states" ] ~docv:"S" ~doc:"State cap for explorations.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"J"
+        ~doc:
+          "Worker domains for state-space exploration (1 = sequential).  \
+           With J > 1, counterexample traces come from a sequential re-run \
+           after the parallel search finds a violation or deadlock.")
+
 let instantiate (e : Registry.t) ~generic ~n =
   e.Registry.instantiate ~reqrep:(not generic) ~n
 
@@ -239,9 +248,17 @@ let check_cmd =
       value & opt (some int) None
       & info [ "mem" ] ~docv:"MB" ~doc:"Memory cap in megabytes.")
   in
-  let run (e : Registry.t) n k generic level max_states mem =
+  let run (e : Registry.t) n k generic level max_states mem jobs =
     let prog = instantiate e ~generic ~n in
     let mem_bytes = Option.map (fun mb -> mb * 1024 * 1024) mem in
+    let explore ?check_deadlock ~invariants sys =
+      if jobs > 1 then
+        Explore.par_run ~jobs ~max_states ?max_mem_bytes:mem_bytes
+          ?check_deadlock ~trace:true ~invariants sys
+      else
+        Explore.run ~max_states ?max_mem_bytes:mem_bytes ?check_deadlock
+          ~trace:true ~invariants sys
+    in
     let report ?msc name (r : (_, _) Explore.stats) pp_state =
       Fmt.pr "%s: %d states, %d transitions, %.2fs, ~%.1f MB@." name r.states
         r.transitions r.time_s
@@ -261,10 +278,11 @@ let check_cmd =
         exit 2
       | _ -> if r.outcome <> Explore.Complete then exit 2
     in
+    let jobs_tag = if jobs > 1 then Fmt.str ", j=%d" jobs else "" in
     match level with
     | `Rv ->
       let r =
-        Explore.run ~max_states ?max_mem_bytes:mem_bytes ~trace:true
+        explore
           ~invariants:(e.Registry.rv_invariants prog)
           Explore.
             {
@@ -274,14 +292,13 @@ let check_cmd =
             }
       in
       report
-        (Fmt.str "%s (rendezvous, n=%d)" e.name n)
+        (Fmt.str "%s (rendezvous, n=%d%s)" e.name n jobs_tag)
         r
         (Ccr_semantics.Rendezvous.pp_state prog)
     | `Async ->
       let cfg = Async.{ k } in
       let r =
-        Explore.run ~max_states ?max_mem_bytes:mem_bytes ~trace:true
-          ~check_deadlock:true
+        explore ~check_deadlock:true
           ~invariants:(e.Registry.async_invariants prog)
           Explore.
             {
@@ -292,8 +309,9 @@ let check_cmd =
       in
       report
         ~msc:(Ccr_viz.Msc.render prog)
-        (Fmt.str "%s (async, n=%d, k=%d%s)" e.name n k
-           (if generic then ", generic" else ""))
+        (Fmt.str "%s (async, n=%d, k=%d%s%s)" e.name n k
+           (if generic then ", generic" else "")
+           jobs_tag)
         r (Async.pp_state prog)
   in
   Cmd.v
@@ -303,7 +321,7 @@ let check_cmd =
           deadlock.")
     Term.(
       const run $ protocol_arg $ n_arg $ k_arg $ generic_arg $ level
-      $ max_states_arg $ mem)
+      $ max_states_arg $ mem $ jobs_arg)
 
 (* ---- eq1 ----------------------------------------------------------------- *)
 

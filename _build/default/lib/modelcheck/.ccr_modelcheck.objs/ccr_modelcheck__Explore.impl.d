@@ -1,1 +1,1 @@
-lib/modelcheck/explore.ml: Array Bytes Char Fmt Hashtbl List Queue Stack String Unix
+lib/modelcheck/explore.ml: Array Atomic Bytes Char Condition Domain Fmt Hashtbl List Mutex Printexc Queue Stack String Unix

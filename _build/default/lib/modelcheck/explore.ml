@@ -37,26 +37,91 @@ let per_state_overhead = 64
    [bytes] is the memory the set holds. *)
 type store = { add : string -> bool; bytes : unit -> int }
 
-let exact_store () =
-  let tbl : (string, unit) Hashtbl.t = Hashtbl.create 4096 in
-  let mem = ref 0 in
-  {
-    add =
-      (fun key ->
-        if Hashtbl.mem tbl key then false
-        else begin
-          Hashtbl.add tbl key ();
-          mem := !mem + String.length key + per_state_overhead;
-          true
-        end);
-    bytes = (fun () -> !mem);
+(* Insert-only open-addressing string set.  [add] is the visited-set hot
+   path: it hashes the key once and walks a single probe sequence to both
+   test membership and insert, where the stdlib [Hashtbl.mem] + [Hashtbl.add]
+   pair traverses its bucket chain twice and allocates a bucket cell per
+   state.  Keys are interned exactly once: the encoded string handed to
+   [add] is the string retained in the table. *)
+module Strset = struct
+  type t = {
+    mutable keys : string array;
+    mutable hashes : int array;
+    mutable count : int;
+    mutable mem : int;
   }
+
+  (* Physically unique empty-slot marker ([String.make] allocates a fresh
+     block, so no real key can be [==] to it). *)
+  let absent = String.make 1 '\000'
+
+  let create () =
+    {
+      keys = Array.make 4096 absent;
+      hashes = Array.make 4096 0;
+      count = 0;
+      mem = 0;
+    }
+
+  let resize t =
+    let old_keys = t.keys and old_hashes = t.hashes in
+    let cap = 2 * Array.length old_keys in
+    let mask = cap - 1 in
+    let keys = Array.make cap absent and hashes = Array.make cap 0 in
+    Array.iteri
+      (fun i k ->
+        if k != absent then begin
+          let h = old_hashes.(i) in
+          let j = ref (h land mask) in
+          while keys.(!j) != absent do
+            j := (!j + 1) land mask
+          done;
+          keys.(!j) <- k;
+          hashes.(!j) <- h
+        end)
+      old_keys;
+    t.keys <- keys;
+    t.hashes <- hashes
+
+  (* true when [key] was absent (in which case it is inserted) *)
+  let add t key =
+    if 2 * t.count >= Array.length t.keys then resize t;
+    let h = Hashtbl.hash key in
+    let mask = Array.length t.keys - 1 in
+    let j = ref (h land mask) in
+    let fresh = ref false and scanning = ref true in
+    while !scanning do
+      let k = t.keys.(!j) in
+      if k == absent then begin
+        t.keys.(!j) <- key;
+        t.hashes.(!j) <- h;
+        t.count <- t.count + 1;
+        t.mem <- t.mem + String.length key + per_state_overhead;
+        fresh := true;
+        scanning := false
+      end
+      else if t.hashes.(!j) = h && String.equal k key then scanning := false
+      else j := (!j + 1) land mask
+    done;
+    !fresh
+end
+
+let exact_store () =
+  let t = Strset.create () in
+  { add = (fun key -> Strset.add t key); bytes = (fun () -> t.Strset.mem) }
+
+(* Two independent hash positions, as SPIN's double bitstate.  Seeded
+   hashing keeps the second position allocation-free (the old scheme
+   hashed [key ^ "\x01"], building a fresh string per state). *)
+let bitstate_positions ~bits key =
+  let bits = max 10 (min 34 bits) in
+  let mask = (1 lsl bits) - 1 in
+  (Hashtbl.seeded_hash 0 key land mask, Hashtbl.seeded_hash 1 key land mask)
 
 let bitstate_store bits =
   let bits = max 10 (min 34 bits) in
   let nbits = 1 lsl bits in
   let table = Bytes.make (nbits / 8) '\000' in
-  let mask = nbits - 1 in
   let get i = Char.code (Bytes.get table (i lsr 3)) land (1 lsl (i land 7)) <> 0 in
   let set i =
     Bytes.set table (i lsr 3)
@@ -66,9 +131,7 @@ let bitstate_store bits =
   {
     add =
       (fun key ->
-        (* two independent hash positions, as SPIN's double bitstate *)
-        let h1 = Hashtbl.hash key land mask in
-        let h2 = Hashtbl.hash (key ^ "\x01") land mask in
+        let h1, h2 = bitstate_positions ~bits key in
         let seen = get h1 && get h2 in
         if not seen then begin
           set h1;
@@ -157,12 +220,13 @@ let run ?(strategy = Bfs) ?(visited = Exact) ?max_states ?max_mem_bytes
     end
   in
   discover sys.init 0 None;
-  let tick = ref 0 in
   while (not (frontier_empty ())) && !finished = None do
     let st, id = pop_frontier () in
-    incr tick;
+    (* Consult the time cap before every expansion: a throttled check (the
+       old every-256-pops scheme) lets a batch of slow [succ] calls
+       overshoot the cap by seconds on the asynchronous protocols. *)
     (match max_time_s with
-    | Some cap when !tick land 255 = 0 && Unix.gettimeofday () -. t0 > cap ->
+    | Some cap when Unix.gettimeofday () -. t0 > cap ->
       finish (Limit L_time)
     | _ -> ());
     if !finished = None then begin
@@ -191,6 +255,214 @@ let run ?(strategy = Bfs) ?(visited = Exact) ?max_states ?max_mem_bytes
     mem_bytes = store.bytes ();
     trace = trace_path;
   }
+
+(* ---- parallel exploration (OCaml 5 domains) ------------------------------ *)
+
+(* Shard routing uses a third hash seed so it stays independent of both the
+   exact store's probe hash (seed 0) and the bitstate positions (0 and 1). *)
+let shard_seed = 2
+let n_shards = 64 (* power of two; log2 = 6 *)
+
+(* A reusable rendezvous point for [jobs] domains.  Phase counting makes it
+   safe to reuse back-to-back (a fast domain cannot lap a slow one). *)
+let make_barrier jobs =
+  let lock = Mutex.create () and cond = Condition.create () in
+  let count = ref 0 and phase = ref 0 in
+  fun () ->
+    Mutex.lock lock;
+    let my = !phase in
+    incr count;
+    if !count = jobs then begin
+      count := 0;
+      incr phase;
+      Condition.broadcast cond
+    end
+    else
+      while !phase = my do
+        Condition.wait cond lock
+      done;
+    Mutex.unlock lock
+
+let par_run ?jobs ?(visited = Exact) ?max_states ?max_mem_bytes ?max_time_s
+    ?(check_deadlock = false) ?(trace = false) ?(invariants = []) sys =
+  let jobs =
+    match jobs with
+    | Some j -> max 1 j
+    | None -> Domain.recommended_domain_count ()
+  in
+  let t0 = Unix.gettimeofday () in
+  (* Sharded visited set: [n_shards] independent stores, each behind its own
+     mutex; states route to a shard by a seeded hash of the encoded key, so
+     two domains only contend when they discover states that share a shard.
+     In [Bitstate b] mode each shard holds a table of [2^(b - log2 n_shards)]
+     bits, keeping total memory at the sequential [2^b] bits (collision
+     patterns differ from the sequential table's, so bitstate counts are, as
+     always, approximate). *)
+  let shards =
+    Array.init n_shards (fun _ ->
+        ( Mutex.create (),
+          match visited with
+          | Exact -> exact_store ()
+          | Bitstate b -> bitstate_store (b - 6) ))
+  in
+  let shard_add key =
+    let lock, store =
+      shards.(Hashtbl.seeded_hash shard_seed key land (n_shards - 1))
+    in
+    Mutex.lock lock;
+    let fresh = store.add key in
+    Mutex.unlock lock;
+    fresh
+  in
+  let total_bytes () =
+    Array.fold_left (fun acc (_, s) -> acc + s.bytes ()) 0 shards
+  in
+  (* Cooperative stop flag, polled by every domain between expansions. *)
+  let stop = Atomic.make false in
+  let timed_out = Atomic.make false in
+  (* First violation/deadlock/exception seen by any domain, in arrival
+     order (the deterministic report comes from the sequential fallback). *)
+  let event_lock = Mutex.create () in
+  let event = ref None in
+  let worker_exn = ref None in
+  let record_event e =
+    Mutex.lock event_lock;
+    if !event = None then event := Some e;
+    Mutex.unlock event_lock;
+    Atomic.set stop true
+  in
+  let record_exn exn bt =
+    Mutex.lock event_lock;
+    if !worker_exn = None then worker_exn := Some (exn, bt);
+    Mutex.unlock event_lock;
+    Atomic.set stop true
+  in
+  (* Level-synchronous BFS.  All domains drain the current frontier in
+     batches claimed off an atomic cursor; newly discovered states
+     accumulate in per-domain buffers; at the level boundary the leader
+     (worker 0) splices the buffers into the next frontier and applies the
+     resource caps.  Expanding strictly level by level preserves BFS
+     semantics, and per-domain buffers keep the shared structures cold
+     inside a level. *)
+  let frontier = ref [| sys.init |] in
+  let cursor = Atomic.make 0 in
+  let batch = 32 in
+  let next = Array.init jobs (fun _ -> ref []) in
+  let trans = Array.init jobs (fun _ -> ref 0) in
+  let n_states = ref 0 in
+  let limit_hit = ref None in
+  let keep_going = ref true in
+  let barrier = make_barrier jobs in
+  let discover wid st' =
+    let key = sys.encode st' in
+    if shard_add key then begin
+      next.(wid) := st' :: !(next.(wid));
+      match List.find_opt (fun (_, check) -> not (check st')) invariants with
+      | Some (name, _) -> record_event (Violation { invariant = name; state = st' })
+      | None -> ()
+    end
+  in
+  let expand wid st =
+    (* same cap discipline as the sequential engine: consult the clock
+       before every expansion *)
+    (match max_time_s with
+    | Some cap when Unix.gettimeofday () -. t0 > cap ->
+      Atomic.set timed_out true;
+      Atomic.set stop true
+    | _ -> ());
+    if not (Atomic.get stop) then begin
+      let succs = sys.succ st in
+      if check_deadlock && succs = [] then record_event (Deadlock st);
+      trans.(wid) := !(trans.(wid)) + List.length succs;
+      List.iter (fun (_, st') -> discover wid st') succs
+    end
+  in
+  let worker wid () =
+    let running = ref true in
+    while !running do
+      let f = !frontier in
+      let len = Array.length f in
+      let exhausted = ref false in
+      while not !exhausted do
+        let start = Atomic.fetch_and_add cursor batch in
+        if start >= len then exhausted := true
+        else
+          for i = start to min len (start + batch) - 1 do
+            if not (Atomic.get stop) then
+              (* exceptions must not break out of the barrier protocol:
+                 record, stop everyone, re-raise after the join *)
+              try expand wid f.(i)
+              with exn -> record_exn exn (Printexc.get_raw_backtrace ())
+          done
+      done;
+      barrier ();
+      if wid = 0 then begin
+        (* merge the per-domain discoveries into the next frontier *)
+        let level =
+          List.concat_map
+            (fun r ->
+              let l = !r in
+              r := [];
+              l)
+            (Array.to_list next)
+        in
+        n_states := !n_states + List.length level;
+        frontier := Array.of_list level;
+        Atomic.set cursor 0;
+        (match (max_states, max_mem_bytes) with
+        | Some cap, _ when !n_states >= cap ->
+          limit_hit := Some (Limit L_states);
+          Atomic.set stop true
+        | _, Some cap when total_bytes () >= cap ->
+          limit_hit := Some (Limit L_memory);
+          Atomic.set stop true
+        | _ -> ());
+        if Atomic.get timed_out then limit_hit := Some (Limit L_time);
+        keep_going := (not (Atomic.get stop)) && Array.length !frontier > 0
+      end;
+      barrier ();
+      running := !keep_going
+    done
+  in
+  (* discover the initial state (and its possible violation) up front, as
+     the sequential engine does *)
+  ignore (shard_add (sys.encode sys.init));
+  n_states := 1;
+  (match List.find_opt (fun (_, check) -> not (check sys.init)) invariants with
+  | Some (name, _) ->
+    record_event (Violation { invariant = name; state = sys.init })
+  | None -> ());
+  (match max_states with
+  | Some cap when !n_states >= cap ->
+    limit_hit := Some (Limit L_states);
+    Atomic.set stop true
+  | _ -> ());
+  let others = List.init (jobs - 1) (fun i -> Domain.spawn (worker (i + 1))) in
+  worker 0 ();
+  List.iter Domain.join others;
+  (match !worker_exn with
+  | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+  | None -> ());
+  match !event with
+  | Some _ ->
+    (* A violation or deadlock was found.  Which one the stats report, and
+       the counterexample trace, must be deterministic: fall back to a
+       sequential BFS re-run, which returns the canonical (shallowest,
+       first-discovered) event with its shortest-path trace. *)
+    let r =
+      run ~strategy:Bfs ~visited ?max_states ?max_mem_bytes ?max_time_s
+        ~check_deadlock ~trace ~invariants sys
+    in
+    { r with time_s = Unix.gettimeofday () -. t0 }
+  | None ->
+    {
+      outcome = (match !limit_hit with Some o -> o | None -> Complete);
+      states = !n_states;
+      transitions = Array.fold_left (fun acc r -> acc + !r) 0 trans;
+      time_s = Unix.gettimeofday () -. t0;
+      mem_bytes = total_bytes ();
+      trace = None;
+    }
 
 let pp_outcome pp_state ppf = function
   | Complete -> Fmt.string ppf "complete"

@@ -63,4 +63,39 @@ val run :
     offending state's path can be reconstructed — at the cost of
     retaining all visited states in memory. *)
 
+val par_run :
+  ?jobs:int ->
+  ?visited:visited_mode ->
+  ?max_states:int ->
+  ?max_mem_bytes:int ->
+  ?max_time_s:float ->
+  ?check_deadlock:bool ->
+  ?trace:bool ->
+  ?invariants:(string * ('s -> bool)) list ->
+  ('s, 'l) system ->
+  ('s, 'l) stats
+(** Parallel breadth-first search over [jobs] OCaml 5 domains (default:
+    [Domain.recommended_domain_count ()]).  The visited set is sharded
+    across independently locked stores, routed by a seeded hash of the
+    encoded key; the frontier is drained level by level in batches, with
+    per-domain successor buffers merged at level boundaries, so BFS level
+    order is preserved.  Requires [succ] and [encode] to be safe to call
+    concurrently from several domains (true of all systems in this
+    repository: they only read the compiled program).
+
+    Determinism: for runs that end in [Complete], [states] and
+    [transitions] equal the sequential {!run}'s exactly (with the [Exact]
+    visited set; [Bitstate] counts are approximate in both engines, with
+    different collision patterns).  When a violation or deadlock is found,
+    the engine falls back to a sequential re-run to report the canonical
+    first event and — with [~trace:true] — its shortest counterexample,
+    so the returned outcome is deterministic too; [time_s] then covers
+    both phases.  Resource caps are applied at BFS-level granularity:
+    a [Limit] outcome may report slightly more than [max_states]. *)
+
+val bitstate_positions : bits:int -> string -> int * int
+(** The two bit-table positions a key occupies under {!Bitstate}
+    hashing (seeded hashes 0 and 1 of the key, masked to [2^bits]).
+    Exposed so tests can pin the independence of the two positions. *)
+
 val pp_outcome : 's Fmt.t -> 's outcome Fmt.t

@@ -1,1 +1,1 @@
-lib/refine/async.ml: Array Buffer Ccr_core Fmt List Prog String Value Wire
+lib/refine/async.ml: Array Buffer Ccr_core Domain Fmt List Prog String Value Wire

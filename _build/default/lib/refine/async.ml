@@ -667,8 +667,14 @@ let messages_in_flight st =
   Array.fold_left (fun n q -> n + List.length q) 0 st.to_h
   + Array.fold_left (fun n q -> n + List.length q) 0 st.to_r
 
+(* Per-domain scratch buffer: [encode] runs once per discovered state on
+   the model checker's hot path, and the parallel engine calls it from
+   several domains at once. *)
+let scratch = Domain.DLS.new_key (fun () -> Buffer.create 128)
+
 let encode (st : state) =
-  let buf = Buffer.create 128 in
+  let buf = Domain.DLS.get scratch in
+  Buffer.clear buf;
   let int = Value.encode_int buf in
   let env e = Array.iter (Value.encode buf) e in
   let wire_msg (m : Wire.msg) = Wire.encode buf (Wire.Req m) in

@@ -1,1 +1,1 @@
-lib/semantics/rendezvous.ml: Array Buffer Ccr_core Fmt List Prog Value
+lib/semantics/rendezvous.ml: Array Buffer Ccr_core Domain Fmt List Prog Value

@@ -142,8 +142,15 @@ let successors (prog : Prog.t) (st : state) =
     st.r;
   List.rev !acc
 
+(* [encode] runs once per discovered state on the model checker's hot
+   path: reuse a scratch buffer per domain instead of allocating one per
+   state.  Domain-local (not global) because the parallel engine calls
+   [encode] concurrently from several domains. *)
+let scratch = Domain.DLS.new_key (fun () -> Buffer.create 64)
+
 let encode (st : state) =
-  let buf = Buffer.create 64 in
+  let buf = Domain.DLS.get scratch in
+  Buffer.clear buf;
   let pstate ps =
     Value.encode_int buf ps.ctl;
     Array.iter (Value.encode buf) ps.env

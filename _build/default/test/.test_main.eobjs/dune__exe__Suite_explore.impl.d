@@ -1,1 +1,1 @@
-test/suite_explore.ml: Alcotest Array Ccr_modelcheck Ccr_protocols Ccr_refine Fmt Fun List Sys Test_util
+test/suite_explore.ml: Alcotest Array Ccr_modelcheck Ccr_protocols Ccr_refine Char Fmt Fun List String Sys Test_util Unix

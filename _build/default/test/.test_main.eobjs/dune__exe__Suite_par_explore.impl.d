@@ -1,0 +1,1 @@
+test/suite_par_explore.ml: Alcotest Ccr_modelcheck Ccr_protocols Ccr_refine Fmt Fun List Sys Test_util

@@ -225,6 +225,47 @@ let tests =
           (List.length
              (Graph.violates_ag_implies_ef g ~from:waiting
                 ~progress:completes_r0)));
+    case "bitstate hash positions are independent (h1 <> h2)" (fun () ->
+        (* regression for the seeded-hash scheme: the two bitstate
+           positions must stay distinct or double bitstate degenerates to
+           single-hash supertrace *)
+        let keys =
+          List.init 200 (fun i ->
+              Fmt.str "key-%d-%s" i (String.make (i mod 11) (Char.chr (65 + (i mod 26)))))
+        in
+        let distinct =
+          List.filter
+            (fun k ->
+              let h1, h2 = Explore.bitstate_positions ~bits:20 k in
+              checkb "h1 in range" true (h1 >= 0 && h1 < 1 lsl 20);
+              checkb "h2 in range" true (h2 >= 0 && h2 < 1 lsl 20);
+              h1 <> h2)
+            keys
+        in
+        (* all 200 sampled keys hash to two distinct positions *)
+        checki "all distinct" (List.length keys) (List.length distinct));
+    case "time cap is consulted before every expansion" (fun () ->
+        (* regression: with the old every-256-pops check, 256 slow succ
+           calls (20 ms each) overshoot a 50 ms cap by ~5 s.  The per-pop
+           check bounds the overshoot by a single succ call. *)
+        let t0 = Unix.gettimeofday () in
+        let very_slow =
+          Explore.
+            {
+              init = 0;
+              succ =
+                (fun s ->
+                  ignore (Unix.select [] [] [] 0.02);
+                  [ ("n", s + 1) ]);
+              encode = string_of_int;
+            }
+        in
+        let r = Explore.run ~max_time_s:0.05 very_slow in
+        let elapsed = Unix.gettimeofday () -. t0 in
+        (match r.outcome with
+        | Explore.Limit Explore.L_time -> ()
+        | _ -> Alcotest.fail "expected time cap");
+        checkb "no 256-expansion overshoot" true (elapsed < 1.0));
     case "time cap triggers" (fun () ->
         (* an expensive successor function; generous state space *)
         let slow =

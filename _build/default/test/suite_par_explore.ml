@@ -1,0 +1,192 @@
+(* Parallel/sequential equivalence of the exploration engines.
+
+   The contract of [Explore.par_run] (DESIGN.md "Parallel exploration"):
+   for runs that complete, [states] and [transitions] equal the sequential
+   [Explore.run]'s exactly, for any number of domains; violations and
+   deadlocks are still detected, with the canonical counterexample coming
+   from the documented sequential fallback re-run. *)
+
+open Test_util
+module Explore = Ccr_modelcheck.Explore
+module Registry = Ccr_protocols.Registry
+
+let jobs_list = [ 1; 2; 4 ]
+
+(* Same synthetic systems as suite_explore: known counts. *)
+let counter_system ~limit =
+  Explore.
+    {
+      init = 0;
+      succ =
+        (fun s ->
+          if s >= limit then []
+          else [ ("inc", s + 1); ("double", min limit (2 * s + 1)) ]);
+      encode = string_of_int;
+    }
+
+let bits_system k =
+  Explore.
+    {
+      init = 0;
+      succ =
+        (fun s -> List.init k (fun i -> (Fmt.str "flip%d" i, s lxor (1 lsl i))));
+      encode = string_of_int;
+    }
+
+let check_equiv name sys =
+  let seq = Explore.run sys in
+  List.iter
+    (fun jobs ->
+      let par = Explore.par_run ~jobs sys in
+      checki (Fmt.str "%s: states (j=%d)" name jobs) seq.states par.states;
+      checki
+        (Fmt.str "%s: transitions (j=%d)" name jobs)
+        seq.transitions par.transitions;
+      checkb
+        (Fmt.str "%s: complete (j=%d)" name jobs)
+        true
+        (outcome_complete par.outcome))
+    jobs_list
+
+let tests =
+  [
+    case "par matches seq on synthetic systems" (fun () ->
+        check_equiv "bits-8" (bits_system 8);
+        check_equiv "counter-50" (counter_system ~limit:50));
+    case "every registry protocol: rendezvous counts match for j in 1,2,4"
+      (fun () ->
+        List.iter
+          (fun (e : Registry.t) ->
+            match e.Registry.system with
+            | None -> () (* hand-optimized: no rendezvous level *)
+            | Some _ ->
+              let prog = e.Registry.instantiate ~reqrep:true ~n:2 in
+              check_equiv (e.Registry.name ^ " rv n=2") (rv_system prog))
+          Registry.all);
+    case "every registry protocol: async counts match for j in 1,2,4"
+      (fun () ->
+        List.iter
+          (fun (e : Registry.t) ->
+            let prog = e.Registry.instantiate ~reqrep:true ~n:2 in
+            check_equiv (e.Registry.name ^ " async n=2") (async_system prog))
+          Registry.all);
+    case "async n=3 migratory: counts match across domain counts" (fun () ->
+        let prog =
+          compile ~n:3 (Ccr_protocols.Migratory.system ())
+        in
+        check_equiv "migratory async n=3" (async_system prog));
+    case "seeded invariant violation is detected with a valid trace"
+      (fun () ->
+        List.iter
+          (fun jobs ->
+            let r =
+              Explore.par_run ~jobs ~trace:true
+                ~invariants:[ ("below7", fun s -> s < 7) ]
+                (counter_system ~limit:100)
+            in
+            (match r.outcome with
+            | Explore.Violation { invariant; state } ->
+              checks "name" "below7" invariant;
+              checkb "state breaks it" true (state >= 7)
+            | _ -> Alcotest.fail "expected violation");
+            match r.trace with
+            | Some path ->
+              let final = snd (List.nth path (List.length path - 1)) in
+              checkb "trace ends at the violation" true (final >= 7);
+              (* the fallback re-run is BFS: every prefix state holds *)
+              List.iteri
+                (fun i (_, s) ->
+                  if i < List.length path - 1 then
+                    checkb "prefix ok" true (s < 7))
+                path
+            | None -> Alcotest.fail "expected a trace")
+          jobs_list);
+    case "violation on a protocol invariant, parallel" (fun () ->
+        (* seed an invariant the migratory protocol cannot satisfy: the
+           home never being in its exclusive state *)
+        let prog = compile ~n:2 (Ccr_protocols.Migratory.system ()) in
+        let bad_inv =
+          ( "home-never-moves",
+            fun (st : Ccr_refine.Async.state) ->
+              st.Ccr_refine.Async.h.h_ctl
+              = (Ccr_refine.Async.initial prog { k = 2 }).Ccr_refine.Async.h
+                  .h_ctl )
+        in
+        let r =
+          Explore.par_run ~jobs:2 ~trace:true ~invariants:[ bad_inv ]
+            (async_system prog)
+        in
+        (match r.outcome with
+        | Explore.Violation { invariant; _ } ->
+          checks "name" "home-never-moves" invariant
+        | _ -> Alcotest.fail "expected violation");
+        match r.trace with
+        | Some path -> checkb "trace nonempty" true (List.length path > 1)
+        | None -> Alcotest.fail "expected a trace");
+    case "deadlock is detected via the sequential fallback" (fun () ->
+        let r =
+          Explore.par_run ~jobs:2 ~check_deadlock:true ~trace:true
+            (counter_system ~limit:10)
+        in
+        (match r.outcome with
+        | Explore.Deadlock s -> checki "deadlock at limit" 10 s
+        | _ -> Alcotest.fail "expected deadlock");
+        match r.trace with
+        | Some path ->
+          checkb "path ends at 10" true
+            (snd (List.nth path (List.length path - 1)) = 10)
+        | None -> Alcotest.fail "expected a trace");
+    case "violation in the initial state, parallel" (fun () ->
+        let r =
+          Explore.par_run ~jobs:2 ~trace:true
+            ~invariants:[ ("never", fun _ -> false) ]
+            (bits_system 3)
+        in
+        match r.outcome with
+        | Explore.Violation _ -> checki "only the root" 1 r.states
+        | _ -> Alcotest.fail "expected violation");
+    case "state cap reports Unfinished (level granularity)" (fun () ->
+        let r = Explore.par_run ~jobs:2 ~max_states:10 (bits_system 8) in
+        (match r.outcome with
+        | Explore.Limit Explore.L_states -> ()
+        | _ -> Alcotest.fail "expected state cap");
+        (* the cap applies at BFS-level boundaries: at least the cap, at
+           most one extra level *)
+        checkb "at least the cap" true (r.states >= 10));
+    case "memory cap reports Unfinished" (fun () ->
+        let r = Explore.par_run ~jobs:2 ~max_mem_bytes:500 (bits_system 10) in
+        match r.outcome with
+        | Explore.Limit Explore.L_memory ->
+          checkb "mem accounted" true (r.mem_bytes >= 500)
+        | _ -> Alcotest.fail "expected memory cap");
+    case "time cap triggers in the parallel engine" (fun () ->
+        let slow =
+          Explore.
+            {
+              init = 0;
+              succ =
+                (fun s ->
+                  ignore (Sys.opaque_identity (List.init 2000 Fun.id));
+                  [ ("n", (s + 1) mod 1000000); ("m", (s + 7) mod 1000000) ]);
+              encode = string_of_int;
+            }
+        in
+        let r = Explore.par_run ~jobs:2 ~max_time_s:0.05 slow in
+        match r.outcome with
+        | Explore.Limit Explore.L_time -> ()
+        | Explore.Complete -> Alcotest.fail "space too small for the cap"
+        | _ -> Alcotest.fail "expected time cap");
+    case "parallel bitstate is a sound under-approximation" (fun () ->
+        let exact = Explore.run (bits_system 10) in
+        let par =
+          Explore.par_run ~jobs:2 ~visited:(Explore.Bitstate 22)
+            (bits_system 10)
+        in
+        checkb "lower bound" true (par.states <= exact.states);
+        checkb "most states found" true (par.states > 900);
+        (* total table memory equals the sequential table's 2^22 bits,
+           spread over the shards *)
+        checki "table bytes" (1 lsl 22 / 8) par.mem_bytes);
+  ]
+
+let suite = ("par_explore", tests)

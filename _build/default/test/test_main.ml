@@ -10,6 +10,7 @@ let () =
       Suite_async.suite;
       Suite_absmap.suite;
       Suite_explore.suite;
+      Suite_par_explore.suite;
       Suite_compile.suite;
       Suite_sim.suite;
       Suite_protocols.suite;
