@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-fast bench-json par-smoke examples artifacts clean
+.PHONY: all build test bench bench-fast bench-json par-smoke obs-smoke examples artifacts clean
 
 all: build
 
@@ -25,6 +25,15 @@ bench-json:
 # backtraces on so a worker-domain failure is attributable.
 par-smoke:
 	OCAMLRUNPARAM=b dune exec test/test_main.exe -- test par_explore
+
+# Observability layer: unit suite, CLI cram checks, and a live run of
+# every flag against a real protocol.
+obs-smoke:
+	dune build @all
+	dune exec test/test_main.exe -- test obs
+	dune build @test/cram/runtest
+	dune exec bin/ccr.exe -- check invalidate -n 2 --level async \
+	  --progress --trace /tmp/ccr-obs-smoke-trace.json --metrics-json -
 
 examples:
 	dune exec examples/quickstart.exe

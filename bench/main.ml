@@ -49,13 +49,31 @@ let outcome_tag = function
   | Explore.Violation _ -> "violation"
   | Explore.Deadlock _ -> "deadlock"
 
-let record_row ~protocol ~n ~level ~jobs (r : (_, _) Explore.stats) =
+(* Protocol names are normalized to lowercase so the same workload keys
+   identically whichever section emitted it (table3 used to say
+   "Migratory" where the parallel section said "migratory"). *)
+let record_row ?metrics ~protocol ~n ~level ~jobs (r : (_, _) Explore.stats) =
   if bench_json <> None then
     json_rows :=
       Fmt.str
-        {|  {"protocol": %S, "n": %d, "level": %S, "states": %d, "transitions": %d, "time_s": %.6f, "mem_bytes": %d, "outcome": %S, "jobs": %d}|}
-        protocol n level r.states r.transitions r.time_s r.mem_bytes
+        {|  {"protocol": %S, "n": %d, "level": %S, "states": %d, "transitions": %d, "time_s": %.6f, "mem_bytes": %d, "outcome": %S, "jobs": %d%s}|}
+        (String.lowercase_ascii protocol)
+        n level r.states r.transitions r.time_s r.mem_bytes
         (outcome_tag r.outcome) jobs
+        (match metrics with
+        | None -> ""
+        | Some j -> Fmt.str {|, "metrics": %s|} j)
+      :: !json_rows
+
+let record_sim_row ~protocol ~variant ~n ~metrics (m : Sim.metrics) =
+  if bench_json <> None then
+    json_rows :=
+      Fmt.str
+        {|  {"protocol": %S, "variant": %S, "n": %d, "level": "sim", "steps": %d, "rendezvous": %d, "msgs_per_rdv": %.4f, "metrics": %s}|}
+        (String.lowercase_ascii protocol)
+        variant n m.Sim.steps m.Sim.rendezvous
+        (if m.Sim.rendezvous = 0 then 0.0 else Sim.per_rendezvous m)
+        metrics
       :: !json_rows
 
 let write_json () =
@@ -95,6 +113,48 @@ let run_async ?(k = 2) prog =
         encode = Async.encode;
       }
 
+(* Like {!run_async} but with a metrics registry metered through the
+   successor relation; returns the stats plus the registry's JSON
+   snapshot, to be embedded in the row. *)
+let run_async_metered ?(k = 2) prog =
+  let module M = Ccr_obs.Metrics in
+  let cfg = Async.{ k } in
+  let reg = M.create () in
+  let req = M.counter reg "msg.req"
+  and ack = M.counter reg "msg.ack"
+  and nack = M.counter reg "msg.nack"
+  and data = M.counter reg "msg.data" in
+  let occ = M.histogram reg "home_buffer_occupancy" in
+  let meter =
+    Async.
+      {
+        m_sent =
+          (fun w ->
+            match w with
+            | Ccr_refine.Wire.Req m ->
+              M.incr req;
+              if m.Ccr_refine.Wire.m_payload <> [] then M.incr data
+            | Ccr_refine.Wire.Ack -> M.incr ack
+            | Ccr_refine.Wire.Nack -> M.incr nack);
+        m_buf = (fun o -> M.observe occ o);
+      }
+  in
+  let r =
+    Explore.run ~max_mem_bytes:(mem_cap_mb * 1024 * 1024) ~max_time_s:time_cap
+      Explore.
+        {
+          init = Async.initial prog cfg;
+          succ = Async.successors ~meter prog cfg;
+          encode = Async.encode;
+        }
+  in
+  M.set
+    (M.gauge reg "states_per_sec")
+    (if r.Explore.time_s > 0. then
+       float_of_int r.Explore.states /. r.Explore.time_s
+     else 0.);
+  (r, M.to_json (M.snapshot reg))
+
 let cell (r : (_, _) Explore.stats) =
   match r.outcome with
   | Explore.Complete -> Fmt.str "%d/%.2f" r.states r.time_s
@@ -113,9 +173,10 @@ let table3 () =
   let row name sys ~paper_async ~paper_rv n =
     let prog = Link.compile ~n sys in
     let rv = run_rv prog in
-    let asy = run_async prog in
+    let asy, asy_metrics = run_async_metered prog in
     record_row ~protocol:name ~n ~level:"rendezvous" ~jobs:1 rv;
-    record_row ~protocol:name ~n ~level:"async" ~jobs:1 asy;
+    record_row ~metrics:asy_metrics ~protocol:name ~n ~level:"async" ~jobs:1
+      asy;
     Fmt.pr "%-12s %-3d %-28s %-28s %-24s@." name n (cell asy) (cell rv)
       (Fmt.str "%s | %s" paper_async paper_rv)
   in
@@ -339,25 +400,33 @@ let message_efficiency () =
   let steps = if fast then 20_000 else 200_000 in
   Fmt.pr "%-34s %8s %8s %8s %8s %10s %9s@." "protocol" "req" "ack" "nack"
     "rendezv" "msgs/rdv" "latency";
-  let row name prog =
-    let m = Sim.run ~steps prog Async.{ k = 2 } Sched.uniform in
-    Fmt.pr "%-34s %8d %8d %8d %8d %10.2f %9.1f@." name m.Sim.reqs m.Sim.acks
-      m.Sim.nacks m.Sim.rendezvous (Sim.per_rendezvous m) (Sim.mean_latency m)
+  let row ~protocol ~variant ~n display prog =
+    let module M = Ccr_obs.Metrics in
+    let reg = M.create () in
+    let m = Sim.run ~metrics:reg ~steps prog Async.{ k = 2 } Sched.uniform in
+    record_sim_row ~protocol ~variant ~n
+      ~metrics:(M.to_json (M.snapshot reg))
+      m;
+    Fmt.pr "%-34s %8d %8d %8d %8d %10.2f %9.1f@." display m.Sim.reqs
+      m.Sim.acks m.Sim.nacks m.Sim.rendezvous (Sim.per_rendezvous m)
+      (Sim.mean_latency m)
   in
   List.iter
     (fun n ->
-      row
+      row ~protocol:"migratory" ~variant:"refined" ~n
         (Fmt.str "migratory n=%d refined" n)
         (Link.compile ~n (Migratory.system ()));
-      row
+      row ~protocol:"migratory" ~variant:"generic" ~n
         (Fmt.str "migratory n=%d generic (no 3.3)" n)
         (Link.compile ~reqrep:false ~n (Migratory.system ()));
-      row
+      row ~protocol:"migratory" ~variant:"hand" ~n
         (Fmt.str "migratory n=%d hand (unacked LR)" n)
         (Migratory_hand.prog ~n ()))
     [ 2; 4; 8 ];
-  row "invalidate n=4 refined" (Link.compile ~n:4 Invalidate.system);
-  row "invalidate n=4 generic"
+  row ~protocol:"invalidate" ~variant:"refined" ~n:4
+    "invalidate n=4 refined"
+    (Link.compile ~n:4 Invalidate.system);
+  row ~protocol:"invalidate" ~variant:"generic" ~n:4 "invalidate n=4 generic"
     (Link.compile ~reqrep:false ~n:4 Invalidate.system);
   Fmt.pr
     "@.(Refined ~2 msgs/rendezvous vs ~3.5-4 generic: the §3.3 optimization \

@@ -102,7 +102,104 @@ let jobs_arg =
            after the parallel search finds a violation or deadlock.")
 
 let instantiate (e : Registry.t) ~generic ~n =
-  e.Registry.instantiate ~reqrep:(not generic) ~n
+  Ccr_obs.Trace.with_span "instantiate"
+    ~args:[ ("protocol", Ccr_obs.Trace.Str e.Registry.name) ]
+    (fun () -> e.Registry.instantiate ~reqrep:(not generic) ~n)
+
+(* ---- observability flags -------------------------------------------------- *)
+
+module Obs = struct
+  module M = Ccr_obs.Metrics
+  module T = Ccr_obs.Trace
+
+  let progress_arg =
+    Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:"Render a live status line on stderr while the engine runs.")
+
+  let trace_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace_event JSON timeline of the run to \
+             $(docv); open it in chrome://tracing or Perfetto.")
+
+  let metrics_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics-json" ] ~docv:"FILE"
+          ~doc:
+            "Write the metrics registry as one JSON object to $(docv).  \
+             With $(b,-), the JSON goes to stdout and the human report \
+             moves to stderr.")
+
+  let write_file path s =
+    let oc = open_out path in
+    output_string oc s;
+    output_char oc '\n';
+    close_out oc
+
+  (* Call before the instrumented work: installs the trace collector and
+     makes the registry. *)
+  let setup ~trace_file =
+    if trace_file <> None then T.start ();
+    M.create ()
+
+  (* Where the human-readable report goes: stderr when stdout carries the
+     metrics JSON. *)
+  let report_ppf ~metrics_file =
+    if metrics_file = Some "-" then Fmt.stderr else Fmt.stdout
+
+  (* Call after the instrumented work, before anything that may [exit]. *)
+  let emit reg ~trace_file ~metrics_file =
+    (match trace_file with
+    | Some f -> write_file f (T.stop ())
+    | None -> ());
+    match metrics_file with
+    | Some "-" ->
+      print_endline (M.to_json (M.snapshot reg));
+      flush stdout
+    | Some f -> write_file f (M.to_json (M.snapshot reg))
+    | None -> ()
+
+  (* The checker's per-enumerated-transition message meter, plus nack
+     instants for the tracer.  Registered eagerly so the metric keys
+     exist (as zeros) even for levels that never send a message. *)
+  let meter reg =
+    let open M in
+    let req = counter reg "msg.req"
+    and ack = counter reg "msg.ack"
+    and nack = counter reg "msg.nack"
+    and data = counter reg "msg.data" in
+    let occ = histogram reg "home_buffer_occupancy" in
+    Async.
+      {
+        m_sent =
+          (fun w ->
+            match w with
+            | Ccr_refine.Wire.Req m ->
+              incr req;
+              if m.Ccr_refine.Wire.m_payload <> [] then incr data
+            | Ccr_refine.Wire.Ack -> incr ack
+            | Ccr_refine.Wire.Nack ->
+              incr nack;
+              if T.enabled () then T.instant "nack");
+        m_buf = (fun o -> observe occ o);
+      }
+
+  (* Post-run gauges shared by check and sim. *)
+  let explore_gauges reg (r : (_, _) Explore.stats) =
+    let open M in
+    set (gauge reg "states_per_sec")
+      (if r.Explore.time_s > 0. then
+         float_of_int r.Explore.states /. r.Explore.time_s
+       else 0.);
+    set (gauge reg "peak_frontier") (float_of_int r.Explore.peak_frontier);
+    set (gauge reg "max_depth") (float_of_int r.Explore.max_depth);
+    set (gauge reg "mem_bytes") (float_of_int r.Explore.mem_bytes)
+end
 
 (* ---- list ---------------------------------------------------------------- *)
 
@@ -248,33 +345,57 @@ let check_cmd =
       value & opt (some int) None
       & info [ "mem" ] ~docv:"MB" ~doc:"Memory cap in megabytes.")
   in
-  let run (e : Registry.t) n k generic level max_states mem jobs =
+  let run (e : Registry.t) n k generic level max_states mem jobs progress
+      trace_file metrics_file =
+    let reg = Obs.setup ~trace_file in
+    let ppf = Obs.report_ppf ~metrics_file in
+    let meter = Obs.meter reg in
     let prog = instantiate e ~generic ~n in
     let mem_bytes = Option.map (fun mb -> mb * 1024 * 1024) mem in
+    let on_progress, finish_progress =
+      if progress then
+        let cb, fin = Ccr_obs.Progress.reporter () in
+        (Some cb, fin)
+      else (None, fun () -> ())
+    in
     let explore ?check_deadlock ~invariants sys =
-      if jobs > 1 then
-        Explore.par_run ~jobs ~max_states ?max_mem_bytes:mem_bytes
-          ?check_deadlock ~trace:true ~invariants sys
-      else
-        Explore.run ~max_states ?max_mem_bytes:mem_bytes ?check_deadlock
-          ~trace:true ~invariants sys
+      Obs.T.with_span "explore" (fun () ->
+          if jobs > 1 then
+            Explore.par_run ~jobs ~max_states ?max_mem_bytes:mem_bytes
+              ?check_deadlock ~trace:true ~invariants ?on_progress sys
+          else
+            Explore.run ~max_states ?max_mem_bytes:mem_bytes ?check_deadlock
+              ~trace:true ~invariants ?on_progress sys)
+    in
+    (* Emit the trace and metrics artifacts before [report], which exits
+       non-zero on any non-Complete outcome. *)
+    let finish (r : (_, _) Explore.stats) =
+      finish_progress ();
+      (match r.outcome with
+      | Explore.Violation { invariant; _ } ->
+        Obs.T.instant ~args:[ ("invariant", Obs.T.Str invariant) ] "violation"
+      | Explore.Limit _ -> Obs.T.instant "cap-hit"
+      | Explore.Deadlock _ -> Obs.T.instant "deadlock"
+      | Explore.Complete -> ());
+      Obs.explore_gauges reg r;
+      Obs.emit reg ~trace_file ~metrics_file
     in
     let report ?msc name (r : (_, _) Explore.stats) pp_state =
-      Fmt.pr "%s: %d states, %d transitions, %.2fs, ~%.1f MB@." name r.states
-        r.transitions r.time_s
+      finish r;
+      Fmt.pf ppf "%s: %d states, %d transitions, %.2fs, ~%.1f MB@." name
+        r.states r.transitions r.time_s
         (float_of_int r.mem_bytes /. 1048576.);
       (match r.outcome with
-      | Explore.Complete -> Fmt.pr "outcome: complete, invariants hold@."
-      | o -> Fmt.pr "outcome: %a@." (Explore.pp_outcome pp_state) o);
+      | Explore.Complete -> Fmt.pf ppf "outcome: complete, invariants hold@."
+      | o -> Fmt.pf ppf "outcome: %a@." (Explore.pp_outcome pp_state) o);
       match r.trace with
       | Some path when List.length path > 1 ->
-        Fmt.pr "counterexample (%d steps):@." (List.length path - 1);
+        Fmt.pf ppf "counterexample (%d steps):@." (List.length path - 1);
         (match msc with
         | Some render ->
-          print_string (render (List.filter_map fst path));
-          Fmt.pr "@."
+          Fmt.pf ppf "%s@." (render (List.filter_map fst path))
         | None -> ());
-        List.iter (fun (_, st) -> Fmt.pr "%a@." pp_state st) path;
+        List.iter (fun (_, st) -> Fmt.pf ppf "%a@." pp_state st) path;
         exit 2
       | _ -> if r.outcome <> Explore.Complete then exit 2
     in
@@ -297,15 +418,23 @@ let check_cmd =
         (Ccr_semantics.Rendezvous.pp_state prog)
     | `Async ->
       let cfg = Async.{ k } in
+      let succ_base = Async.successors ~meter prog cfg in
+      let succ =
+        if trace_file = None then succ_base
+        else fun st ->
+          let outs = succ_base st in
+          List.iter
+            (fun ((l : Async.label), _) ->
+              match l.rule with
+              | Async.H_T3 | Async.R_T3 -> Obs.T.instant "implicit-nack"
+              | _ -> ())
+            outs;
+          outs
+      in
       let r =
         explore ~check_deadlock:true
           ~invariants:(e.Registry.async_invariants prog)
-          Explore.
-            {
-              init = Async.initial prog cfg;
-              succ = Async.successors prog cfg;
-              encode = Async.encode;
-            }
+          Explore.{ init = Async.initial prog cfg; succ; encode = Async.encode }
       in
       report
         ~msc:(Ccr_viz.Msc.render prog)
@@ -321,7 +450,8 @@ let check_cmd =
           deadlock.")
     Term.(
       const run $ protocol_arg $ n_arg $ k_arg $ generic_arg $ level
-      $ max_states_arg $ mem $ jobs_arg)
+      $ max_states_arg $ mem $ jobs_arg $ Obs.progress_arg $ Obs.trace_arg
+      $ Obs.metrics_arg)
 
 (* ---- eq1 ----------------------------------------------------------------- *)
 
@@ -375,7 +505,10 @@ let sim_cmd =
             "Scheduler: $(b,uniform), $(b,home-first), or $(b,starve:I) \
              (adversary that never schedules remote I).")
   in
-  let run (e : Registry.t) n k generic steps seed sched =
+  let run (e : Registry.t) n k generic steps seed sched progress trace_file
+      metrics_file =
+    let reg = Obs.setup ~trace_file in
+    let ppf = Obs.report_ppf ~metrics_file in
     let prog = instantiate e ~generic ~n in
     let sched =
       match String.split_on_char ':' sched with
@@ -386,11 +519,33 @@ let sim_cmd =
         Fmt.epr "unknown scheduler %S@." sched;
         exit 1
     in
-    let m = Ccr_simulate.Sim.run ~seed ~steps prog Async.{ k } sched in
-    Fmt.pr "%a@." Ccr_simulate.Sim.pp m;
-    Fmt.pr "rule counts:@.";
+    let t0 = Unix.gettimeofday () in
+    let on_progress =
+      if progress then
+        Some
+          (fun executed ->
+            let el = Unix.gettimeofday () -. t0 in
+            let rate = if el > 0. then float_of_int executed /. el else 0. in
+            Printf.eprintf "\r  sim: %d/%d steps (%.0f steps/s)%!" executed
+              steps rate)
+      else None
+    in
+    let m =
+      Obs.T.with_span "simulate" (fun () ->
+          Ccr_simulate.Sim.run ~seed ~metrics:reg ?on_progress ~steps prog
+            Async.{ k } sched)
+    in
+    if progress then Printf.eprintf "\r%s\r%!" (String.make 79 ' ');
+    let el = Unix.gettimeofday () -. t0 in
+    Obs.M.set
+      (Obs.M.gauge reg "steps_per_sec")
+      (if el > 0. then float_of_int m.Ccr_simulate.Sim.steps /. el else 0.);
+    Obs.emit reg ~trace_file ~metrics_file;
+    Fmt.pf ppf "%a@." Ccr_simulate.Sim.pp m;
+    Fmt.pf ppf "rule counts:@.";
     List.iter
-      (fun (r, c) -> if c > 0 then Fmt.pr "  %-18s %d@." (Async.rule_name r) c)
+      (fun (r, c) ->
+        if c > 0 then Fmt.pf ppf "  %-18s %d@." (Async.rule_name r) c)
       m.Ccr_simulate.Sim.rule_counts
   in
   Cmd.v
@@ -398,7 +553,7 @@ let sim_cmd =
        ~doc:"Simulate the refined protocol and report efficiency metrics.")
     Term.(
       const run $ protocol_arg $ n_arg $ k_arg $ generic_arg $ steps $ seed
-      $ sched)
+      $ sched $ Obs.progress_arg $ Obs.trace_arg $ Obs.metrics_arg)
 
 (* ---- msc ----------------------------------------------------------------- *)
 

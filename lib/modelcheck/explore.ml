@@ -22,6 +22,8 @@ type ('s, 'l) stats = {
   transitions : int;
   time_s : float;
   mem_bytes : int;
+  peak_frontier : int;
+  max_depth : int;
   trace : ('l option * 's) list option;
 }
 
@@ -34,8 +36,9 @@ let per_state_overhead = 64
 
 (* The visited set, abstracted over exact hashing vs bitstate hashing.
    [add] returns true when the key was not seen before (and marks it);
-   [bytes] is the memory the set holds. *)
-type store = { add : string -> bool; bytes : unit -> int }
+   [bytes] is the memory the set holds; [count] the keys it marked (used
+   by the progress reporter's shard-balance figure). *)
+type store = { add : string -> bool; bytes : unit -> int; count : unit -> int }
 
 (* Insert-only open-addressing string set.  [add] is the visited-set hot
    path: it hashes the key once and walks a single probe sequence to both
@@ -108,7 +111,11 @@ end
 
 let exact_store () =
   let t = Strset.create () in
-  { add = (fun key -> Strset.add t key); bytes = (fun () -> t.Strset.mem) }
+  {
+    add = (fun key -> Strset.add t key);
+    bytes = (fun () -> t.Strset.mem);
+    count = (fun () -> t.Strset.count);
+  }
 
 (* Two independent hash positions, as SPIN's double bitstate.  Seeded
    hashing keeps the second position allocation-free (the old scheme
@@ -128,6 +135,7 @@ let bitstate_store bits =
       (Char.chr
          (Char.code (Bytes.get table (i lsr 3)) lor (1 lsl (i land 7))))
   in
+  let marked = ref 0 in
   {
     add =
       (fun key ->
@@ -135,15 +143,17 @@ let bitstate_store bits =
         let seen = get h1 && get h2 in
         if not seen then begin
           set h1;
-          set h2
+          set h2;
+          incr marked
         end;
         not seen);
     bytes = (fun () -> nbits / 8);
+    count = (fun () -> !marked);
   }
 
 let run ?(strategy = Bfs) ?(visited = Exact) ?max_states ?max_mem_bytes
     ?max_time_s ?(check_deadlock = false) ?(trace = false) ?(invariants = [])
-    sys =
+    ?on_progress ?(progress_every = 8192) sys =
   let t0 = Unix.gettimeofday () in
   let store =
     match visited with Exact -> exact_store () | Bitstate b -> bitstate_store b
@@ -191,6 +201,9 @@ let run ?(strategy = Bfs) ?(visited = Exact) ?max_states ?max_mem_bytes
         fun () -> Stack.is_empty s )
   in
   let n_transitions = ref 0 in
+  let frontier_len = ref 0 in
+  let peak_frontier = ref 0 in
+  let max_depth = ref 0 in
   let finished = ref None in
   let bad_id = ref 0 in
   let finish ?id o =
@@ -202,12 +215,35 @@ let run ?(strategy = Bfs) ?(visited = Exact) ?max_states ?max_mem_bytes
   let violated st =
     List.find_opt (fun (_, check) -> not (check st)) invariants
   in
-  let discover st parent label =
+  let emit_progress =
+    match on_progress with
+    | None -> fun _ -> ()
+    | Some f ->
+      fun depth ->
+        if !n_states mod progress_every = 0 then begin
+          let elapsed = Unix.gettimeofday () -. t0 in
+          f
+            {
+              Ccr_obs.Progress.states = !n_states;
+              transitions = !n_transitions;
+              depth;
+              frontier = !frontier_len;
+              rate =
+                (if elapsed > 0. then float_of_int !n_states /. elapsed
+                 else 0.);
+              mem_bytes = store.bytes ();
+              shard_balance = 1.0;
+              elapsed_s = elapsed;
+            }
+        end
+  in
+  let discover st parent label ~depth =
     let key = sys.encode st in
     if store.add key then begin
       let id = !n_states in
       record st parent label;
       incr n_states;
+      if depth > !max_depth then max_depth := depth;
       (match violated st with
       | Some (name, _) ->
         finish ~id (Violation { invariant = name; state = st })
@@ -216,12 +252,16 @@ let run ?(strategy = Bfs) ?(visited = Exact) ?max_states ?max_mem_bytes
       | Some cap, _ when !n_states >= cap -> finish (Limit L_states)
       | _, Some cap when store.bytes () >= cap -> finish (Limit L_memory)
       | _ -> ());
-      push_frontier (st, id)
+      push_frontier (st, id, depth);
+      incr frontier_len;
+      if !frontier_len > !peak_frontier then peak_frontier := !frontier_len;
+      emit_progress depth
     end
   in
-  discover sys.init 0 None;
+  discover sys.init 0 None ~depth:0;
   while (not (frontier_empty ())) && !finished = None do
-    let st, id = pop_frontier () in
+    let st, id, depth = pop_frontier () in
+    decr frontier_len;
     (* Consult the time cap before every expansion: a throttled check (the
        old every-256-pops scheme) lets a batch of slow [succ] calls
        overshoot the cap by seconds on the asynchronous protocols. *)
@@ -236,7 +276,7 @@ let run ?(strategy = Bfs) ?(visited = Exact) ?max_states ?max_mem_bytes
         (fun (label, st') ->
           if !finished = None then begin
             incr n_transitions;
-            discover st' id (Some label)
+            discover st' id (Some label) ~depth:(depth + 1)
           end)
         succs
     end
@@ -253,6 +293,8 @@ let run ?(strategy = Bfs) ?(visited = Exact) ?max_states ?max_mem_bytes
     transitions = !n_transitions;
     time_s = Unix.gettimeofday () -. t0;
     mem_bytes = store.bytes ();
+    peak_frontier = !peak_frontier;
+    max_depth = !max_depth;
     trace = trace_path;
   }
 
@@ -284,7 +326,8 @@ let make_barrier jobs =
     Mutex.unlock lock
 
 let par_run ?jobs ?(visited = Exact) ?max_states ?max_mem_bytes ?max_time_s
-    ?(check_deadlock = false) ?(trace = false) ?(invariants = []) sys =
+    ?(check_deadlock = false) ?(trace = false) ?(invariants = [])
+    ?on_progress sys =
   let jobs =
     match jobs with
     | Some j -> max 1 j
@@ -352,7 +395,37 @@ let par_run ?jobs ?(visited = Exact) ?max_states ?max_mem_bytes ?max_time_s
   let n_states = ref 0 in
   let limit_hit = ref None in
   let keep_going = ref true in
+  let cur_depth = ref 0 in
+  let peak_frontier = ref 1 in
   let barrier = make_barrier jobs in
+  (* Only the leader (worker 0) emits progress, at level boundaries; the
+     reads of other domains' transition counters and shard fills are
+     unsynchronized (monitoring data, exactness not required). *)
+  let emit_progress () =
+    match on_progress with
+    | None -> ()
+    | Some f ->
+      let total = !n_states in
+      let maxc =
+        Array.fold_left (fun m (_, s) -> max m (s.count ())) 0 shards
+      in
+      let balance =
+        if total = 0 then 1.0
+        else float_of_int (maxc * n_shards) /. float_of_int total
+      in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      f
+        {
+          Ccr_obs.Progress.states = total;
+          transitions = Array.fold_left (fun acc r -> acc + !r) 0 trans;
+          depth = !cur_depth;
+          frontier = Array.length !frontier;
+          rate = (if elapsed > 0. then float_of_int total /. elapsed else 0.);
+          mem_bytes = total_bytes ();
+          shard_balance = balance;
+          elapsed_s = elapsed;
+        }
+  in
   let discover wid st' =
     let key = sys.encode st' in
     if shard_add key then begin
@@ -409,6 +482,12 @@ let par_run ?jobs ?(visited = Exact) ?max_states ?max_mem_bytes ?max_time_s
         n_states := !n_states + List.length level;
         frontier := Array.of_list level;
         Atomic.set cursor 0;
+        if Array.length !frontier > 0 then begin
+          incr cur_depth;
+          if Array.length !frontier > !peak_frontier then
+            peak_frontier := Array.length !frontier;
+          emit_progress ()
+        end;
         (match (max_states, max_mem_bytes) with
         | Some cap, _ when !n_states >= cap ->
           limit_hit := Some (Limit L_states);
@@ -451,7 +530,7 @@ let par_run ?jobs ?(visited = Exact) ?max_states ?max_mem_bytes ?max_time_s
        first-discovered) event with its shortest-path trace. *)
     let r =
       run ~strategy:Bfs ~visited ?max_states ?max_mem_bytes ?max_time_s
-        ~check_deadlock ~trace ~invariants sys
+        ~check_deadlock ~trace ~invariants ?on_progress sys
     in
     { r with time_s = Unix.gettimeofday () -. t0 }
   | None ->
@@ -461,6 +540,8 @@ let par_run ?jobs ?(visited = Exact) ?max_states ?max_mem_bytes ?max_time_s
       transitions = Array.fold_left (fun acc r -> acc + !r) 0 trans;
       time_s = Unix.gettimeofday () -. t0;
       mem_bytes = total_bytes ();
+      peak_frontier = !peak_frontier;
+      max_depth = !cur_depth;
       trace = None;
     }
 

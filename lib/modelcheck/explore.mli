@@ -39,6 +39,12 @@ type ('s, 'l) stats = {
   transitions : int;  (** transitions traversed *)
   time_s : float;
   mem_bytes : int;  (** approximate bytes held by the visited-state set *)
+  peak_frontier : int;
+      (** most states simultaneously awaiting expansion (BFS: queue
+          watermark / largest level; DFS: stack watermark) *)
+  max_depth : int;
+      (** deepest discovery (BFS: eccentricity of the initial state over
+          the explored region; DFS: longest stack path reached) *)
   trace : ('l option * 's) list option;
       (** with [~trace:true]: initial state to offending state, each entry
           carrying the label that led to it *)
@@ -53,6 +59,8 @@ val run :
   ?check_deadlock:bool ->
   ?trace:bool ->
   ?invariants:(string * ('s -> bool)) list ->
+  ?on_progress:(Ccr_obs.Progress.sample -> unit) ->
+  ?progress_every:int ->
   ('s, 'l) system ->
   ('s, 'l) stats
 (** Search from [init] (default: breadth-first with an exact visited
@@ -61,7 +69,10 @@ val run :
     [check_deadlock] (default [false]) reports a state with no
     successors.  [trace] (default [false]) keeps parent pointers so the
     offending state's path can be reconstructed — at the cost of
-    retaining all visited states in memory. *)
+    retaining all visited states in memory.  [on_progress] (default:
+    none, zero overhead beyond one closure call per discovery) is invoked
+    every [progress_every] (default 8192) discoveries with a live
+    {!Ccr_obs.Progress.sample}. *)
 
 val par_run :
   ?jobs:int ->
@@ -72,6 +83,7 @@ val par_run :
   ?check_deadlock:bool ->
   ?trace:bool ->
   ?invariants:(string * ('s -> bool)) list ->
+  ?on_progress:(Ccr_obs.Progress.sample -> unit) ->
   ('s, 'l) system ->
   ('s, 'l) stats
 (** Parallel breadth-first search over [jobs] OCaml 5 domains (default:
@@ -91,7 +103,12 @@ val par_run :
     first event and — with [~trace:true] — its shortest counterexample,
     so the returned outcome is deterministic too; [time_s] then covers
     both phases.  Resource caps are applied at BFS-level granularity:
-    a [Limit] outcome may report slightly more than [max_states]. *)
+    a [Limit] outcome may report slightly more than [max_states].
+    [on_progress] is invoked by the leader domain at every BFS level
+    boundary; its sample's [shard_balance] reports how evenly the visited
+    set spreads over the 64 shards.  [peak_frontier] here is the largest
+    BFS level (the level-synchronous frontier watermark), and [max_depth]
+    equals the sequential engine's on complete runs. *)
 
 val bitstate_positions : bits:int -> string -> int * int
 (** The two bit-table positions a key occupies under {!Bitstate}

@@ -1,0 +1,50 @@
+(* Live progress samples and the CLI's single rewriting status line. *)
+
+type sample = {
+  states : int;
+  transitions : int;
+  depth : int;
+  frontier : int;
+  rate : float;
+  mem_bytes : int;
+  shard_balance : float;
+  elapsed_s : float;
+}
+
+let mb bytes = float_of_int bytes /. 1048576.
+
+let human_rate r =
+  if r >= 1e6 then Printf.sprintf "%.1fM/s" (r /. 1e6)
+  else if r >= 1e3 then Printf.sprintf "%.1fk/s" (r /. 1e3)
+  else Printf.sprintf "%.0f/s" r
+
+let render s =
+  Printf.sprintf
+    "%d states %s | depth %d | frontier %d | %.1f MB | balance %.2f | %.1fs"
+    s.states (human_rate s.rate) s.depth s.frontier (mb s.mem_bytes)
+    s.shard_balance s.elapsed_s
+
+(* The reporter rewrites one status line with [\r]; it throttles itself so
+   a chatty caller (the sequential engine samples every few thousand
+   discoveries) cannot saturate the terminal. *)
+let reporter ?(every_s = 0.1) ?(out = stderr) () =
+  let last = ref 0.0 in
+  let width = ref 0 in
+  let emit s =
+    let now = Unix.gettimeofday () in
+    if now -. !last >= every_s then begin
+      last := now;
+      let line = render s in
+      let pad = max 0 (!width - String.length line) in
+      width := String.length line;
+      output_string out ("\r" ^ line ^ String.make pad ' ');
+      flush out
+    end
+  in
+  let finish () =
+    if !width > 0 then begin
+      output_string out ("\r" ^ String.make !width ' ' ^ "\r");
+      flush out
+    end
+  in
+  (emit, finish)

@@ -1,0 +1,28 @@
+(** Live progress reporting for long explorations.
+
+    The explorer invokes an [on_progress] callback with a {!sample} every
+    few thousand discoveries (sequential) or at every BFS level boundary
+    (parallel); {!reporter} renders the samples as a single rewriting
+    status line on stderr. *)
+
+type sample = {
+  states : int;  (** states discovered so far *)
+  transitions : int;  (** transitions traversed so far *)
+  depth : int;  (** current BFS depth (DFS: deepest discovery) *)
+  frontier : int;  (** states awaiting expansion *)
+  rate : float;  (** states/second over the whole run *)
+  mem_bytes : int;  (** visited-set memory watermark *)
+  shard_balance : float;
+      (** parallel engine: fullest shard / ideal even share (1.0 =
+          perfectly balanced); 1.0 in the sequential engine *)
+  elapsed_s : float;
+}
+
+val render : sample -> string
+(** One-line human rendering (no newline). *)
+
+val reporter :
+  ?every_s:float -> ?out:out_channel -> unit -> (sample -> unit) * (unit -> unit)
+(** [reporter ()] is [(on_progress, finish)]: [on_progress] rewrites a
+    single status line (throttled to one redraw per [every_s], default
+    0.1 s), [finish] clears it. *)

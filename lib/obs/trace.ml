@@ -1,0 +1,159 @@
+(* Structured event tracer emitting Chrome trace_event JSON.
+
+   A single process-wide collector: instrumentation points all over the
+   tree can emit without plumbing a handle through every signature, and
+   the whole layer costs one mutable-bool read when tracing is off.  The
+   collector is mutex-protected (events arrive from several domains) and
+   capped, so a pathological run cannot balloon the trace file. *)
+
+type arg = Int of int | Str of string | Float of float
+
+type event = {
+  e_name : string;
+  e_ph : char; (* 'X' complete (with dur), 'i' instant *)
+  e_ts_us : float;
+  e_dur_us : float;
+  e_tid : int;
+  e_args : (string * arg) list;
+}
+
+type collector = {
+  lock : Mutex.t;
+  mutable events : event list; (* newest first *)
+  mutable count : int;
+  mutable dropped : int;
+  t0 : float;
+}
+
+let max_events = 200_000
+let current : collector option ref = ref None
+let is_enabled = ref false
+
+let enabled () = !is_enabled
+
+let start () =
+  current :=
+    Some
+      {
+        lock = Mutex.create ();
+        events = [];
+        count = 0;
+        dropped = 0;
+        t0 = Unix.gettimeofday ();
+      };
+  is_enabled := true
+
+let push ev =
+  match !current with
+  | None -> ()
+  | Some c ->
+    Mutex.lock c.lock;
+    if c.count < max_events then begin
+      c.events <- ev :: c.events;
+      c.count <- c.count + 1
+    end
+    else c.dropped <- c.dropped + 1;
+    Mutex.unlock c.lock
+
+let now_us c = (Unix.gettimeofday () -. c.t0) *. 1e6
+
+let tid () = (Domain.self () :> int)
+
+let instant ?(args = []) name =
+  match !current with
+  | None -> ()
+  | Some c ->
+    push
+      {
+        e_name = name;
+        e_ph = 'i';
+        e_ts_us = now_us c;
+        e_dur_us = 0.0;
+        e_tid = tid ();
+        e_args = args;
+      }
+
+let with_span ?(args = []) name f =
+  match !current with
+  | None -> f ()
+  | Some c ->
+    let t0 = now_us c in
+    let finish () =
+      push
+        {
+          e_name = name;
+          e_ph = 'X';
+          e_ts_us = t0;
+          e_dur_us = now_us c -. t0;
+          e_tid = tid ();
+          e_args = args;
+        }
+    in
+    Fun.protect ~finally:finish f
+
+(* ---- export --------------------------------------------------------------- *)
+
+let arg_json b = function
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f ->
+    Buffer.add_string b
+      (if Float.is_finite f then Printf.sprintf "%.6g" f else "null")
+  | Str s ->
+    Buffer.add_char b '"';
+    String.iter
+      (fun ch ->
+        match ch with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | ch when Char.code ch < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code ch))
+        | ch -> Buffer.add_char b ch)
+      s;
+    Buffer.add_char b '"'
+
+let event_json b ev =
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"name\": \"%s\", \"ph\": \"%c\", \"ts\": %.1f, \"pid\": 0, \
+        \"tid\": %d"
+       ev.e_name ev.e_ph ev.e_ts_us ev.e_tid);
+  if ev.e_ph = 'X' then
+    Buffer.add_string b (Printf.sprintf ", \"dur\": %.1f" ev.e_dur_us);
+  if ev.e_ph = 'i' then Buffer.add_string b ", \"s\": \"g\"";
+  (match ev.e_args with
+  | [] -> ()
+  | args ->
+    Buffer.add_string b ", \"args\": {";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string b ", ";
+        Buffer.add_string b (Printf.sprintf "\"%s\": " k);
+        arg_json b v)
+      args;
+    Buffer.add_char b '}');
+  Buffer.add_char b '}'
+
+let to_json () =
+  match !current with
+  | None -> "{\"traceEvents\": []}\n"
+  | Some c ->
+    Mutex.lock c.lock;
+    let events = List.rev c.events and dropped = c.dropped in
+    Mutex.unlock c.lock;
+    let b = Buffer.create 4096 in
+    Buffer.add_string b "{\"traceEvents\": [\n";
+    List.iteri
+      (fun i ev ->
+        if i > 0 then Buffer.add_string b ",\n";
+        event_json b ev)
+      events;
+    Buffer.add_string b
+      (Printf.sprintf "\n], \"displayTimeUnit\": \"ms\", \"dropped\": %d}\n"
+         dropped);
+    Buffer.contents b
+
+let stop () =
+  is_enabled := false;
+  let json = to_json () in
+  current := None;
+  json

@@ -1,0 +1,33 @@
+(** Structured event tracer in Chrome [trace_event] JSON format.
+
+    One process-wide collector: {!start} installs it, instrumentation
+    points emit spans and instants, {!stop} returns the JSON document
+    (loadable in [chrome://tracing] or {{:https://ui.perfetto.dev}
+    Perfetto}).  When no collector is installed every emitter is a single
+    mutable-bool check — the hot paths stay allocation-free.
+
+    The collector caps itself at 200k events; further events are counted
+    in the document's ["dropped"] field rather than stored. *)
+
+type arg = Int of int | Str of string | Float of float
+
+val enabled : unit -> bool
+(** True between {!start} and {!stop}.  Instrumentation that must build
+    arguments eagerly should gate on this. *)
+
+val start : unit -> unit
+(** Install a fresh collector; timestamps are relative to this call. *)
+
+val instant : ?args:(string * arg) list -> string -> unit
+(** An instant event (phase ["i"]) — invariant violations, cap hits,
+    nacks.  No-op when disabled. *)
+
+val with_span : ?args:(string * arg) list -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a complete event (phase ["X"]) spanning its
+    duration.  When disabled, just runs the thunk. *)
+
+val to_json : unit -> string
+(** Render the current collector's events without uninstalling it. *)
+
+val stop : unit -> string
+(** Uninstall the collector and return the final JSON document. *)

@@ -634,15 +634,29 @@ let pop_to_r st i =
   | [] -> invalid_arg "pop_to_r"
   | _ :: rest -> { st with to_r = set_arr st.to_r i rest }
 
-let successors (prog : Prog.t) (cfg : config) st =
+type meter = { m_sent : Wire.t -> unit; m_buf : int -> unit }
+
+let successors ?meter (prog : Prog.t) (cfg : config) st =
+  let count_h, count_r =
+    match meter with
+    | None -> ((fun _ -> ()), fun _ -> ())
+    | Some m ->
+      m.m_buf (List.length st.h.h_buf);
+      ( (fun outs -> List.iter (fun (_, w) -> m.m_sent w) outs),
+        fun outs -> List.iter m.m_sent outs )
+  in
   let acc = ref [] in
   let add l = acc := l :: !acc in
   List.iter
-    (fun (l, h', outs) -> add (l, send_all_to_r (set_home st h') outs))
+    (fun (l, h', outs) ->
+      count_h outs;
+      add (l, send_all_to_r (set_home st h') outs))
     (home_local prog cfg st.h);
   for i = 0 to prog.n - 1 do
     List.iter
-      (fun (l, r', outs) -> add (l, send_all_to_h (set_remote st i r') i outs))
+      (fun (l, r', outs) ->
+        count_r outs;
+        add (l, send_all_to_h (set_remote st i r') i outs))
       (remote_local prog st.r.(i) i)
   done;
   for i = 0 to prog.n - 1 do
@@ -650,6 +664,7 @@ let successors (prog : Prog.t) (cfg : config) st =
     | w :: _ ->
       List.iter
         (fun (l, h', outs) ->
+          count_h outs;
           add (l, send_all_to_r (set_home (pop_to_h st i) h') outs))
         (home_recv prog cfg st.h i w)
     | [] -> ());
@@ -657,6 +672,7 @@ let successors (prog : Prog.t) (cfg : config) st =
     | w :: _ ->
       List.iter
         (fun (l, r', outs) ->
+          count_r outs;
           add (l, send_all_to_h (set_remote (pop_to_r st i) i r') i outs))
         (remote_recv prog st.r.(i) i w)
     | [] -> ()

@@ -111,8 +111,26 @@ exception Protocol_error of string
     Reachable only if the refinement itself is broken, so tests treat it
     as a hard failure. *)
 
+type meter = {
+  m_sent : Wire.t -> unit;
+      (** called for every message a generated transition enqueues *)
+  m_buf : int -> unit;
+      (** called once per {!successors} call with the expanded state's
+          home-buffer occupancy *)
+}
+(** Observation hooks for the model checker's observability layer.  The
+    semantics is per {e enumerated} transition: during exploration every
+    generated successor edge is counted once, so the derived figure is
+    messages per explored transition (a simulator executing one chosen
+    successor must count on the picked label instead — see
+    {!Ccr_simulate.Sim}). *)
+
 val initial : Prog.t -> config -> state
-val successors : Prog.t -> config -> state -> (label * state) list
+
+val successors : ?meter:meter -> Prog.t -> config -> state -> (label * state) list
+(** [meter] (default: none, a single option check) feeds the
+    observability layer; it does not affect the generated transitions. *)
+
 val encode : state -> string
 
 (** {2 Node-local semantics}

@@ -5,6 +5,11 @@ type stats = {
   completions : int array;
   rendezvous : int;
   messages : int;
+  reqs : int;
+  acks : int;
+  nacks : int;
+  data_msgs : int;
+  buf_occupancy : int array;
   steps : int;
   quiescent : bool;
   invariant_failures : string list;
@@ -32,14 +37,37 @@ let completes (l : Async.label) =
     true
   | _ -> false
 
-let run ?(seed = 42) ?(deadline_s = 30.0) ~budget ~invariants (prog : Prog.t)
-    (cfg : Async.config) =
+let run ?(seed = 42) ?(deadline_s = 30.0) ?metrics ~budget ~invariants
+    (prog : Prog.t) (cfg : Async.config) =
   let t0 = Unix.gettimeofday () in
   let n = prog.n in
   let to_h = Array.init n (fun _ -> Channel.create ()) in
   let to_r = Array.init n (fun _ -> Channel.create ()) in
   let stop = Atomic.make false in
   let messages = Atomic.make 0 in
+  (* Per-kind message counters.  The node loops are systhreads, not
+     domains, so they must not write DLS metric shards directly; they
+     bump atomics and the registry is filled once at the end. *)
+  let reqs_a = Atomic.make 0
+  and acks_a = Atomic.make 0
+  and nacks_a = Atomic.make 0
+  and datas_a = Atomic.make 0 in
+  let send_counted ch (w : Wire.t) =
+    Atomic.incr messages;
+    (match w with
+    | Wire.Req m ->
+      Atomic.incr reqs_a;
+      if m.Wire.m_payload <> [] then Atomic.incr datas_a
+    | Wire.Ack -> Atomic.incr acks_a
+    | Wire.Nack -> Atomic.incr nacks_a);
+    Channel.send ch w
+  in
+  (* Written by the home thread only; read after the joins. *)
+  let occ_hist = Array.make (cfg.k + 1) 0 in
+  let record_occ (h : Async.home) =
+    let occ = min (List.length h.Async.h_buf) cfg.k in
+    occ_hist.(occ) <- occ_hist.(occ) + 1
+  in
   let steps = Atomic.make 0 in
   let rendezvous_by = Array.init n (fun _ -> Atomic.make 0) in
   let errors_mutex = Mutex.create () in
@@ -77,11 +105,8 @@ let run ?(seed = 42) ?(deadline_s = 30.0) ~budget ~invariants (prog : Prog.t)
                   | Some (l, h', outs) ->
                     ignore (Channel.pop to_h.(i));
                     c.v <- h';
-                    List.iter
-                      (fun (j, w) ->
-                        Atomic.incr messages;
-                        Channel.send to_r.(j) w)
-                      outs;
+                    record_occ h';
+                    List.iter (fun (j, w) -> send_counted to_r.(j) w) outs;
                     count l;
                     worked := true;
                     next := (i + 1) mod n
@@ -94,11 +119,8 @@ let run ?(seed = 42) ?(deadline_s = 30.0) ~budget ~invariants (prog : Prog.t)
               match pick rng (Async.home_local prog cfg c.v) with
               | Some (l, h', outs) ->
                 c.v <- h';
-                List.iter
-                  (fun (j, w) ->
-                    Atomic.incr messages;
-                    Channel.send to_r.(j) w)
-                  outs;
+                record_occ h';
+                List.iter (fun (j, w) -> send_counted to_r.(j) w) outs;
                 count l;
                 worked := true
               | None -> ());
@@ -123,11 +145,7 @@ let run ?(seed = 42) ?(deadline_s = 30.0) ~budget ~invariants (prog : Prog.t)
               | Some (l, r', outs) ->
                 ignore (Channel.pop to_r.(i));
                 c.v <- r';
-                List.iter
-                  (fun w ->
-                    Atomic.incr messages;
-                    Channel.send to_h.(i) w)
-                  outs;
+                List.iter (fun w -> send_counted to_h.(i) w) outs;
                 count l;
                 worked := true
               | None -> () (* one-slot buffer full: leave it queued *))
@@ -145,11 +163,7 @@ let run ?(seed = 42) ?(deadline_s = 30.0) ~budget ~invariants (prog : Prog.t)
                 | Some (l, r', outs) ->
                   if at_start then budgets.(i) <- budgets.(i) - 1;
                   c.v <- r';
-                  List.iter
-                    (fun w ->
-                      Atomic.incr messages;
-                      Channel.send to_h.(i) w)
-                    outs;
+                  List.iter (fun w -> send_counted to_h.(i) w) outs;
                   count l;
                   worked := true
                 | None -> ());
@@ -237,10 +251,28 @@ let run ?(seed = 42) ?(deadline_s = 30.0) ~budget ~invariants (prog : Prog.t)
       (fun (name, check) -> if check final then None else Some name)
       invariants
   in
+  (match metrics with
+  | Some reg ->
+    let open Ccr_obs.Metrics in
+    add (counter reg "msg.req") (Atomic.get reqs_a);
+    add (counter reg "msg.ack") (Atomic.get acks_a);
+    add (counter reg "msg.nack") (Atomic.get nacks_a);
+    add (counter reg "msg.data") (Atomic.get datas_a);
+    add
+      (counter reg "rendezvous")
+      (Array.fold_left (fun a c -> a + Atomic.get c) 0 rendezvous_by);
+    let h = histogram reg "home_buffer_occupancy" in
+    Array.iteri (fun occ cnt -> observe_n h occ cnt) occ_hist
+  | None -> ());
   {
     completions = Array.map Atomic.get rendezvous_by;
     rendezvous = Array.fold_left (fun a c -> a + Atomic.get c) 0 rendezvous_by;
     messages = Atomic.get messages;
+    reqs = Atomic.get reqs_a;
+    acks = Atomic.get acks_a;
+    nacks = Atomic.get nacks_a;
+    data_msgs = Atomic.get datas_a;
+    buf_occupancy = occ_hist;
     steps = Atomic.get steps;
     quiescent = !quiescent;
     invariant_failures;

@@ -25,6 +25,13 @@ type stats = {
   completions : int array;  (** per-remote completed rendezvous *)
   rendezvous : int;
   messages : int;  (** wire messages actually sent *)
+  reqs : int;  (** request messages (incl. replies) *)
+  acks : int;
+  nacks : int;
+  data_msgs : int;  (** requests carrying a non-empty payload *)
+  buf_occupancy : int array;
+      (** histogram over home transitions: index [i] counts transitions
+          that left [i] requests buffered at the home *)
   steps : int;  (** node transitions executed *)
   quiescent : bool;  (** clean termination before the deadline *)
   invariant_failures : string list;  (** on the final global state *)
@@ -35,11 +42,16 @@ type stats = {
 val run :
   ?seed:int ->
   ?deadline_s:float ->
+  ?metrics:Ccr_obs.Metrics.t ->
   budget:int ->
   invariants:(string * (Async.state -> bool)) list ->
   Prog.t ->
   Async.config ->
   stats
-(** @param budget protocol cycles per remote (default deadline 30 s). *)
+(** @param budget protocol cycles per remote (default deadline 30 s).
+    [metrics] (default: none) fills [msg.req]/[msg.ack]/[msg.nack]/
+    [msg.data]/[rendezvous] counters and the [home_buffer_occupancy]
+    histogram in the given registry once, after the threads join — the
+    node loops themselves only bump atomics. *)
 
 val pp_stats : stats Fmt.t

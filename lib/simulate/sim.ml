@@ -33,9 +33,59 @@ let rule_index =
   List.iteri (fun i r -> Hashtbl.add tbl r i) Async.all_rules;
   fun r -> Hashtbl.find tbl r
 
-let run ?(seed = 42) ~steps (prog : Prog.t) (cfg : Async.config)
-    (sched : Sched.t) =
+(* Message names that carry a payload, statically from the compiled send
+   guards: such requests are the protocol's data-bearing traffic (cache
+   line contents, writer ids), reported as [msg.data] alongside the plain
+   request count. *)
+let data_msgs (prog : Prog.t) =
+  let acc = ref [] in
+  let scan (p : Prog.proc) =
+    Array.iter
+      (fun (cst : Prog.cstate) ->
+        Array.iter
+          (fun (g : Prog.cguard) ->
+            match g.Prog.cg_action with
+            | Prog.C_send_home (name, _ :: _)
+            | Prog.C_send_remote (_, name, _ :: _) ->
+              if not (List.mem name !acc) then acc := name :: !acc
+            | _ -> ())
+          cst.Prog.cs_guards)
+      p.Prog.p_states
+  in
+  scan prog.home;
+  scan prog.remote;
+  !acc
+
+(* Handles into an observability registry, registered up front so the
+   metric keys exist even when their counts stay zero. *)
+type obs = {
+  o_req : Ccr_obs.Metrics.counter;
+  o_ack : Ccr_obs.Metrics.counter;
+  o_nack : Ccr_obs.Metrics.counter;
+  o_data : Ccr_obs.Metrics.counter;
+  o_rendezvous : Ccr_obs.Metrics.counter;
+  o_occupancy : Ccr_obs.Metrics.histogram;
+  o_latency : Ccr_obs.Metrics.histogram;
+  o_data_names : string list;
+}
+
+let make_obs prog reg =
+  let open Ccr_obs.Metrics in
+  {
+    o_req = counter reg "msg.req";
+    o_ack = counter reg "msg.ack";
+    o_nack = counter reg "msg.nack";
+    o_data = counter reg "msg.data";
+    o_rendezvous = counter reg "rendezvous";
+    o_occupancy = histogram reg "home_buffer_occupancy";
+    o_latency = histogram reg "rendezvous_latency_steps";
+    o_data_names = data_msgs prog;
+  }
+
+let run ?(seed = 42) ?metrics ?on_progress ?(progress_every = 8192) ~steps
+    (prog : Prog.t) (cfg : Async.config) (sched : Sched.t) =
   let rng = Random.State.make [| seed |] in
+  let obs = Option.map (make_obs prog) metrics in
   let counts = Array.make (List.length Async.all_rules) 0 in
   let per_remote = Array.make prog.n 0 in
   let buf_occupancy = Array.make (cfg.k + 1) 0 in
@@ -64,6 +114,16 @@ let run ?(seed = 42) ~steps (prog : Prog.t) (cfg : Async.config)
        | Some ((l : Async.label), st') ->
          incr executed;
          counts.(rule_index l.rule) <- counts.(rule_index l.rule) + 1;
+         (match obs with
+         | Some o -> begin
+           match l.rule with
+           | Async.R_C1 | Async.R_C2 | Async.R_reply_send | Async.H_reply_send
+           | Async.H_C2 ->
+             if List.mem l.subject o.o_data_names then
+               Ccr_obs.Metrics.incr o.o_data
+           | _ -> ()
+         end
+         | None -> ());
          (match l.rule with
          | Async.R_C1 | Async.R_C2 ->
            incr reqs;
@@ -102,15 +162,32 @@ let run ?(seed = 42) ~steps (prog : Prog.t) (cfg : Async.config)
              lat_sum := !lat_sum + d;
              incr lat_count;
              if d > !lat_max then lat_max := d;
-             started.(l.actor) <- -1
+             started.(l.actor) <- -1;
+             match obs with
+             | Some o -> Ccr_obs.Metrics.observe o.o_latency d
+             | None -> ()
            end
          | _ -> ());
          let occ = List.length st'.Async.h.h_buf in
          buf_occupancy.(min occ cfg.k) <- buf_occupancy.(min occ cfg.k) + 1;
+         (match obs with
+         | Some o -> Ccr_obs.Metrics.observe o.o_occupancy occ
+         | None -> ());
+         (match on_progress with
+         | Some f when !executed mod progress_every = 0 -> f !executed
+         | _ -> ());
          max_in_flight := max !max_in_flight (Async.messages_in_flight st');
          st := st'
      done
    with Exit -> ());
+  (match obs with
+  | Some o ->
+    let open Ccr_obs.Metrics in
+    add o.o_req !reqs;
+    add o.o_ack !acks;
+    add o.o_nack !nacks;
+    add o.o_rendezvous !rendezvous
+  | None -> ());
   {
     steps = !executed;
     rendezvous = !rendezvous;

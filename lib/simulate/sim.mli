@@ -40,8 +40,25 @@ val messages : metrics -> int
 val per_rendezvous : metrics -> float
 (** Messages per completed rendezvous — the headline efficiency figure. *)
 
+val data_msgs : Prog.t -> string list
+(** Message names sent with a non-empty payload anywhere in the compiled
+    program — the protocol's data-bearing traffic (a subset of the
+    requests). *)
+
 val run :
-  ?seed:int -> steps:int -> Prog.t -> Async.config -> Sched.t -> metrics
+  ?seed:int ->
+  ?metrics:Ccr_obs.Metrics.t ->
+  ?on_progress:(int -> unit) ->
+  ?progress_every:int ->
+  steps:int -> Prog.t -> Async.config -> Sched.t -> metrics
+(** [metrics] (default: none) registers and fills [msg.req]/[msg.ack]/
+    [msg.nack]/[msg.data]/[rendezvous] counters plus the
+    [home_buffer_occupancy] and [rendezvous_latency_steps] histograms in
+    the given {!Ccr_obs.Metrics} registry.  Unlike the model checker's
+    per-enumerated-transition meter ({!Async.meter}), the simulator counts
+    on the {e picked} label only.  [on_progress] (default: none) is called
+    with the executed step count every [progress_every] (default 8192)
+    steps. *)
 
 val run_trace :
   ?seed:int -> steps:int -> Prog.t -> Async.config -> Sched.t ->

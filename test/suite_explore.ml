@@ -31,7 +31,51 @@ let tests =
         let r = Explore.run (bits_system 5) in
         checki "states" 32 r.states;
         checki "transitions" 160 r.transitions;
-        checkb "complete" true (outcome_complete r.outcome));
+        checkb "complete" true (outcome_complete r.outcome);
+        (* BFS depth of the all-ones state: one flip per bit *)
+        checki "max_depth" 5 r.max_depth;
+        (* the largest BFS level is C(5,2) = 10; the queue watermark can
+           only be larger (it mixes adjacent levels), bounded by the
+           state count *)
+        checkb "peak_frontier >= largest level" true (r.peak_frontier >= 10);
+        checkb "peak_frontier <= states" true (r.peak_frontier <= r.states));
+    case "depth and frontier of a chain" (fun () ->
+        (* a pure chain: frontier never exceeds 1, depth = length *)
+        let chain =
+          Explore.
+            {
+              init = 0;
+              succ = (fun s -> if s >= 17 then [] else [ ("n", s + 1) ]);
+              encode = string_of_int;
+            }
+        in
+        let r = Explore.run chain in
+        checki "max_depth" 17 r.max_depth;
+        checki "peak_frontier" 1 r.peak_frontier;
+        let d = Explore.run ~strategy:Explore.Dfs chain in
+        checki "dfs max_depth" 17 d.max_depth;
+        checki "dfs peak_frontier" 1 d.peak_frontier);
+    case "on_progress fires with monotone counts" (fun () ->
+        let samples = ref [] in
+        let r =
+          Explore.run
+            ~on_progress:(fun s -> samples := s :: !samples)
+            ~progress_every:100 (bits_system 10)
+        in
+        checkb "fired" true (List.length !samples >= 9);
+        let ordered = List.rev !samples in
+        let rec monotone = function
+          | (a : Ccr_obs.Progress.sample) :: (b :: _ as rest) ->
+            a.states <= b.states && a.transitions <= b.transitions
+            && monotone rest
+          | _ -> true
+        in
+        checkb "monotone" true (monotone ordered);
+        List.iter
+          (fun (s : Ccr_obs.Progress.sample) ->
+            checkb "depth bounded" true (s.depth >= 0 && s.depth <= 10);
+            checkb "states bounded" true (s.states <= r.states))
+          ordered);
     case "counter reaches its limit and deadlocks" (fun () ->
         let r = Explore.run ~check_deadlock:true ~trace:true (counter_system ~limit:10) in
         (match r.outcome with

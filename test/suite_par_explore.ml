@@ -45,7 +45,13 @@ let check_equiv name sys =
       checkb
         (Fmt.str "%s: complete (j=%d)" name jobs)
         true
-        (outcome_complete par.outcome))
+        (outcome_complete par.outcome);
+      checki
+        (Fmt.str "%s: max_depth (j=%d)" name jobs)
+        seq.max_depth par.max_depth;
+      checkb
+        (Fmt.str "%s: peak_frontier positive (j=%d)" name jobs)
+        true (par.peak_frontier > 0))
     jobs_list
 
 let tests =
@@ -176,6 +182,12 @@ let tests =
         | Explore.Limit Explore.L_time -> ()
         | Explore.Complete -> Alcotest.fail "space too small for the cap"
         | _ -> Alcotest.fail "expected time cap");
+    case "parallel peak_frontier is the largest BFS level" (fun () ->
+        (* level-synchronous BFS over the 8-bit hypercube: level d holds
+           C(8,d) states, so the watermark is C(8,4) = 70 exactly *)
+        let r = Explore.par_run ~jobs:2 (bits_system 8) in
+        checki "largest level" 70 r.peak_frontier;
+        checki "max_depth" 8 r.max_depth);
     case "parallel bitstate is a sound under-approximation" (fun () ->
         let exact = Explore.run (bits_system 10) in
         let par =

@@ -11,6 +11,7 @@ let () =
       Suite_absmap.suite;
       Suite_explore.suite;
       Suite_par_explore.suite;
+      Suite_obs.suite;
       Suite_compile.suite;
       Suite_sim.suite;
       Suite_protocols.suite;
