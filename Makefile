@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-fast bench-json par-smoke obs-smoke examples artifacts clean
+.PHONY: all build test bench bench-fast bench-json par-smoke obs-smoke sym-smoke examples artifacts clean
 
 all: build
 
@@ -34,6 +34,15 @@ obs-smoke:
 	dune build @test/cram/runtest
 	dune exec bin/ccr.exe -- check invalidate -n 2 --level async \
 	  --progress --trace /tmp/ccr-obs-smoke-trace.json --metrics-json -
+
+# Symmetry reduction: unit suite (canonicalizer properties, quotient
+# count equality vs the brute oracle at jobs 1/2/4), the --symmetry cram
+# checks, and a live quotient run past the old n! cliff.
+sym-smoke:
+	dune build @all
+	dune exec test/test_main.exe -- test symmetry
+	dune build @test/cram/runtest
+	dune exec bin/ccr.exe -- check migratory -n 7 --level async --symmetry auto
 
 examples:
 	dune exec examples/quickstart.exe

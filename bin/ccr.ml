@@ -345,12 +345,88 @@ let check_cmd =
       value & opt (some int) None
       & info [ "mem" ] ~docv:"MB" ~doc:"Memory cap in megabytes.")
   in
-  let run (e : Registry.t) n k generic level max_states mem jobs progress
-      trace_file metrics_file =
+  let symmetry =
+    Arg.(
+      value
+      & opt (enum [ ("auto", `Auto); ("off", `Off); ("brute", `Brute) ]) `Auto
+      & info [ "symmetry" ] ~docv:"MODE"
+          ~doc:
+            "Symmetry reduction over remote identities: $(b,auto) (the \
+             default: fast signature-sort canonicalization, explore one \
+             state per orbit), $(b,off) (explore the full space), or \
+             $(b,brute) (the n! oracle canonicalizer, for cross-checking; \
+             falls back past 6 remotes).  Counterexample traces are always \
+             concrete, replayable runs.")
+  in
+  let run (e : Registry.t) n k generic level symmetry max_states mem jobs
+      progress trace_file metrics_file =
     let reg = Obs.setup ~trace_file in
     let ppf = Obs.report_ppf ~metrics_file in
     let meter = Obs.meter reg in
     let prog = instantiate e ~generic ~n in
+    let module Sym = Ccr_refine.Symmetry in
+    let sym_stats = Sym.make_stats () in
+    (* Symmetry hooks for the explorer: dedup by canonical key, keep
+       concrete states.  [auto] also harvests the orbit size computed as a
+       by-product of each fresh state's canonicalization — only at -j 1,
+       because the parallel engine decides freshness in the leader domain
+       while the orbit size sits in the canonicalizing domain's local
+       storage. *)
+    let canon_of ~orbits key =
+      Some
+        Explore.
+          {
+            canon_key = key;
+            canon_fresh =
+              (if orbits && jobs <= 1 then begin
+                 let h = Obs.M.histogram reg "canon.orbit_states" in
+                 Some
+                   (fun _ ->
+                     let o = Sym.last_orbit () in
+                     if o > 0 then Obs.M.observe h o)
+               end
+               else None);
+            canon_fallbacks = (fun () -> Sym.fallbacks sym_stats);
+          }
+    in
+    let rv_canon () =
+      match symmetry with
+      | `Off -> None
+      | `Auto ->
+        canon_of ~orbits:true (Sym.canonical_rv_fast ~stats:sym_stats prog)
+      | `Brute ->
+        canon_of ~orbits:false (Sym.canonical_rv ~stats:sym_stats prog)
+    in
+    let async_canon () =
+      match symmetry with
+      | `Off -> None
+      | `Auto ->
+        canon_of ~orbits:true (Sym.canonical_async_fast ~stats:sym_stats prog)
+      | `Brute ->
+        canon_of ~orbits:false (Sym.canonical_async ~stats:sym_stats prog)
+    in
+    let sym_tag =
+      match symmetry with
+      | `Off -> ""
+      | `Auto -> ", sym=auto"
+      | `Brute -> ", sym=brute"
+    in
+    let canon_metrics (r : (_, _) Explore.stats) =
+      if symmetry <> `Off then begin
+        let open Obs.M in
+        add (counter reg "canon.calls") (Sym.calls sym_stats);
+        add (counter reg "canon.fallbacks") (Sym.fallbacks sym_stats);
+        add (counter reg "canon.perms") (Sym.perms_tried sym_stats);
+        let tg = histogram reg "canon.tie_group_size" in
+        Sym.iter_tie_groups sym_stats (fun ~size ~count ->
+            observe_n tg size count);
+        (* summed across domains, so the share may exceed 1 with -j *)
+        set (gauge reg "canon.time_share")
+          (if r.Explore.time_s > 0. then
+             Sym.canon_seconds sym_stats /. r.Explore.time_s
+           else 0.)
+      end
+    in
     let mem_bytes = Option.map (fun mb -> mb * 1024 * 1024) mem in
     let on_progress, finish_progress =
       if progress then
@@ -378,6 +454,7 @@ let check_cmd =
       | Explore.Deadlock _ -> Obs.T.instant "deadlock"
       | Explore.Complete -> ());
       Obs.explore_gauges reg r;
+      canon_metrics r;
       Obs.emit reg ~trace_file ~metrics_file
     in
     let report ?msc name (r : (_, _) Explore.stats) pp_state =
@@ -385,6 +462,11 @@ let check_cmd =
       Fmt.pf ppf "%s: %d states, %d transitions, %.2fs, ~%.1f MB@." name
         r.states r.transitions r.time_s
         (float_of_int r.mem_bytes /. 1048576.);
+      if r.canon_fallbacks > 0 then
+        Fmt.pf ppf
+          "warning: %d canonicalizations fell back to a non-canonical key \
+           (symmetry reduction partial; counts are a sound upper bound)@."
+          r.canon_fallbacks;
       (match r.outcome with
       | Explore.Complete -> Fmt.pf ppf "outcome: complete, invariants hold@."
       | o -> Fmt.pf ppf "outcome: %a@." (Explore.pp_outcome pp_state) o);
@@ -410,10 +492,11 @@ let check_cmd =
               init = Ccr_semantics.Rendezvous.initial prog;
               succ = Ccr_semantics.Rendezvous.successors prog;
               encode = Ccr_semantics.Rendezvous.encode;
+              canon = rv_canon ();
             }
       in
       report
-        (Fmt.str "%s (rendezvous, n=%d%s)" e.name n jobs_tag)
+        (Fmt.str "%s (rendezvous, n=%d%s%s)" e.name n jobs_tag sym_tag)
         r
         (Ccr_semantics.Rendezvous.pp_state prog)
     | `Async ->
@@ -434,13 +517,19 @@ let check_cmd =
       let r =
         explore ~check_deadlock:true
           ~invariants:(e.Registry.async_invariants prog)
-          Explore.{ init = Async.initial prog cfg; succ; encode = Async.encode }
+          Explore.
+            {
+              init = Async.initial prog cfg;
+              succ;
+              encode = Async.encode;
+              canon = async_canon ();
+            }
       in
       report
         ~msc:(Ccr_viz.Msc.render prog)
-        (Fmt.str "%s (async, n=%d, k=%d%s%s)" e.name n k
+        (Fmt.str "%s (async, n=%d, k=%d%s%s%s)" e.name n k
            (if generic then ", generic" else "")
-           jobs_tag)
+           jobs_tag sym_tag)
         r (Async.pp_state prog)
   in
   Cmd.v
@@ -450,8 +539,8 @@ let check_cmd =
           deadlock.")
     Term.(
       const run $ protocol_arg $ n_arg $ k_arg $ generic_arg $ level
-      $ max_states_arg $ mem $ jobs_arg $ Obs.progress_arg $ Obs.trace_arg
-      $ Obs.metrics_arg)
+      $ symmetry $ max_states_arg $ mem $ jobs_arg $ Obs.progress_arg
+      $ Obs.trace_arg $ Obs.metrics_arg)
 
 (* ---- eq1 ----------------------------------------------------------------- *)
 
@@ -591,6 +680,7 @@ let progress_cmd =
             init = Async.initial prog cfg;
             succ = Async.successors prog cfg;
             encode = Async.encode;
+            canon = None;
           }
     in
     let progress_label (l : Async.label) =

@@ -46,6 +46,7 @@ let () =
               init = Ccr_semantics.Rendezvous.initial prog;
               succ = Ccr_semantics.Rendezvous.successors prog;
               encode = Ccr_semantics.Rendezvous.encode;
+              canon = None;
             }
       in
       let cfg = Async.{ k = 2 } in
@@ -57,6 +58,7 @@ let () =
               init = Async.initial prog cfg;
               succ = Async.successors prog cfg;
               encode = Async.encode;
+              canon = None;
             }
       in
       let ok o = match o with Explore.Complete -> "ok" | _ -> "FAILED" in
@@ -83,6 +85,7 @@ let () =
               init = Ccr_semantics.Rendezvous.initial prog;
               succ = Ccr_semantics.Rendezvous.successors prog;
               encode = Ccr_semantics.Rendezvous.encode;
+              canon = None;
             }
       in
       Fmt.pr "  rendezvous n=%-3d %6d states@." n rv.states)

@@ -83,6 +83,7 @@ let () =
           init = Ccr_semantics.Rendezvous.initial prog;
           succ = Ccr_semantics.Rendezvous.successors prog;
           encode = Ccr_semantics.Rendezvous.encode;
+          canon = None;
         }
   in
   Fmt.pr "rendezvous level: %d states — %s@." rv.states
@@ -110,6 +111,7 @@ let () =
           init = Ccr_refine.Async.initial prog cfg;
           succ = Ccr_refine.Async.successors prog cfg;
           encode = Ccr_refine.Async.encode;
+          canon = None;
         }
   in
   Fmt.pr "asynchronous level: %d states — %s@." asy.states

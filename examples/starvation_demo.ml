@@ -70,6 +70,7 @@ let () =
           init = Async.initial prog2 cfg;
           succ = Async.successors prog2 cfg;
           encode = Async.encode;
+          canon = None;
         }
   in
   Fmt.pr "   n=3: %d states, %s@." r.states

@@ -90,6 +90,16 @@ let encode_int buf i =
     byte ((i asr 24) land 0xff)
   end
 
+(* Single source of the rid/set byte layout, shared with {!encode_perm}:
+   a renamed value must encode exactly as the value it renames to. *)
+let encode_rid buf r =
+  Buffer.add_char buf '\004';
+  encode_int buf r
+
+let encode_set buf m =
+  Buffer.add_char buf '\005';
+  encode_int buf m
+
 let encode buf v =
   let byte i = Buffer.add_char buf (Char.chr (i land 0xff)) in
   let int i = encode_int buf i in
@@ -100,9 +110,18 @@ let encode buf v =
   | Vint i ->
     byte 3;
     int (if i >= 0 then 2 * i else (-2 * i) + 1)
-  | Vrid r ->
-    byte 4;
-    int r
+  | Vrid r -> encode_rid buf r
+  | Vset m -> encode_set buf m
+
+let encode_perm buf p v =
+  match v with
+  | Vrid r -> encode_rid buf p.(r)
   | Vset m ->
-    byte 5;
-    int m
+    let m' = ref 0 in
+    let i = ref 0 in
+    while m lsr !i <> 0 do
+      if (m lsr !i) land 1 = 1 then m' := !m' lor (1 lsl p.(!i));
+      incr i
+    done;
+    encode_set buf !m'
+  | Vunit | Vbool _ | Vint _ -> encode buf v

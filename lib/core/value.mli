@@ -60,3 +60,10 @@ val encode : Buffer.t -> t -> unit
 val encode_int : Buffer.t -> int -> unit
 (** The same variable-length integer encoding used by {!encode}; injective
     over non-negative ints, usable for control states and counters. *)
+
+val encode_perm : Buffer.t -> int array -> t -> unit
+(** [encode_perm buf p v] writes exactly the bytes [encode] would write for
+    [v] with remote ids renamed by the permutation [p]: [Vrid r] encodes as
+    [Vrid p.(r)], [Vset m] as the mask with bit [p.(i)] set for every bit
+    [i] of [m].  Lets canonicalization encode a permuted state without
+    materializing it. *)

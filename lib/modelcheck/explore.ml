@@ -1,8 +1,26 @@
+type 's canon = {
+  canon_key : 's -> string;
+  canon_fresh : ('s -> unit) option;
+  canon_fallbacks : unit -> int;
+}
+
 type ('s, 'l) system = {
   init : 's;
   succ : 's -> ('l * 's) list;
   encode : 's -> string;
+  canon : 's canon option;
 }
+
+(* Visited-set key function and fresh-state callback: under symmetry
+   reduction states are deduplicated by canonical key while the concrete
+   state flows on to successor generation and traces. *)
+let key_fns sys =
+  match sys.canon with
+  | None -> (sys.encode, (fun _ -> ()), fun () -> 0)
+  | Some c ->
+    ( c.canon_key,
+      (match c.canon_fresh with None -> fun _ -> () | Some f -> f),
+      c.canon_fallbacks )
 
 type limit = L_states | L_memory | L_time
 
@@ -24,6 +42,7 @@ type ('s, 'l) stats = {
   mem_bytes : int;
   peak_frontier : int;
   max_depth : int;
+  canon_fallbacks : int;
   trace : ('l option * 's) list option;
 }
 
@@ -155,6 +174,7 @@ let run ?(strategy = Bfs) ?(visited = Exact) ?max_states ?max_mem_bytes
     ?max_time_s ?(check_deadlock = false) ?(trace = false) ?(invariants = [])
     ?on_progress ?(progress_every = 8192) sys =
   let t0 = Unix.gettimeofday () in
+  let key_of, on_fresh, canon_fallbacks = key_fns sys in
   let store =
     match visited with Exact -> exact_store () | Bitstate b -> bitstate_store b
   in
@@ -238,8 +258,9 @@ let run ?(strategy = Bfs) ?(visited = Exact) ?max_states ?max_mem_bytes
         end
   in
   let discover st parent label ~depth =
-    let key = sys.encode st in
+    let key = key_of st in
     if store.add key then begin
+      on_fresh st;
       let id = !n_states in
       record st parent label;
       incr n_states;
@@ -295,6 +316,7 @@ let run ?(strategy = Bfs) ?(visited = Exact) ?max_states ?max_mem_bytes
     mem_bytes = store.bytes ();
     peak_frontier = !peak_frontier;
     max_depth = !max_depth;
+    canon_fallbacks = canon_fallbacks ();
     trace = trace_path;
   }
 
@@ -334,6 +356,7 @@ let par_run ?jobs ?(visited = Exact) ?max_states ?max_mem_bytes ?max_time_s
     | None -> Domain.recommended_domain_count ()
   in
   let t0 = Unix.gettimeofday () in
+  let key_of, on_fresh, canon_fallbacks = key_fns sys in
   (* Sharded visited set: [n_shards] independent stores, each behind its own
      mutex; states route to a shard by a seeded hash of the encoded key, so
      two domains only contend when they discover states that share a shard.
@@ -427,15 +450,28 @@ let par_run ?jobs ?(visited = Exact) ?max_states ?max_mem_bytes ?max_time_s
         }
   in
   let discover wid st' =
-    let key = sys.encode st' in
+    let key = key_of st' in
     if shard_add key then begin
+      on_fresh st';
       next.(wid) := st' :: !(next.(wid));
       match List.find_opt (fun (_, check) -> not (check st')) invariants with
       | Some (name, _) -> record_event (Violation { invariant = name; state = st' })
       | None -> ()
     end
   in
-  let expand wid st =
+  (* Under symmetry reduction which orbit member reaches the visited set
+     first decides the concrete representative whose successors get
+     explored — and for protocols that are symmetric only up to dead
+     rid-variable resets, different representatives reach different key
+     sets.  The racy [discover] above would then make counts depend on the
+     within-level race.  So with a [canon] hook the workers merely buffer
+     every successor, tagged with its (frontier index, successor ordinal),
+     and the leader replays the buffers in that order at the level
+     boundary: freshness is decided exactly as the sequential engine would,
+     so par_run keeps its counts-equal-seq determinism. *)
+  let has_canon = sys.canon <> None in
+  let pend = Array.init jobs (fun _ -> ref []) in
+  let expand wid i st =
     (* same cap discipline as the sequential engine: consult the clock
        before every expansion *)
     (match max_time_s with
@@ -447,7 +483,13 @@ let par_run ?jobs ?(visited = Exact) ?max_states ?max_mem_bytes ?max_time_s
       let succs = sys.succ st in
       if check_deadlock && succs = [] then record_event (Deadlock st);
       trans.(wid) := !(trans.(wid)) + List.length succs;
-      List.iter (fun (_, st') -> discover wid st') succs
+      if has_canon then
+        (* canonicalization (the expensive step) stays in the workers *)
+        List.iteri
+          (fun ord (_, st') ->
+            pend.(wid) := (i, ord, key_of st', st') :: !(pend.(wid)))
+          succs
+      else List.iter (fun (_, st') -> discover wid st') succs
     end
   in
   let worker wid () =
@@ -464,7 +506,7 @@ let par_run ?jobs ?(visited = Exact) ?max_states ?max_mem_bytes ?max_time_s
             if not (Atomic.get stop) then
               (* exceptions must not break out of the barrier protocol:
                  record, stop everyone, re-raise after the join *)
-              try expand wid f.(i)
+              try expand wid i f.(i)
               with exn -> record_exn exn (Printexc.get_raw_backtrace ())
           done
       done;
@@ -472,12 +514,47 @@ let par_run ?jobs ?(visited = Exact) ?max_states ?max_mem_bytes ?max_time_s
       if wid = 0 then begin
         (* merge the per-domain discoveries into the next frontier *)
         let level =
-          List.concat_map
-            (fun r ->
-              let l = !r in
-              r := [];
-              l)
-            (Array.to_list next)
+          if has_canon then begin
+            (* replay the buffered discoveries in (frontier index,
+               successor ordinal) order — the order the sequential engine
+               discovers them in — so the representative kept per
+               canonical key is race-free and identical to [run]'s *)
+            let entries =
+              Array.of_list
+                (List.concat_map
+                   (fun r ->
+                     let l = !r in
+                     r := [];
+                     l)
+                   (Array.to_list pend))
+            in
+            Array.sort
+              (fun (i1, o1, _, _) (i2, o2, _, _) ->
+                if i1 <> i2 then compare i1 i2 else compare o1 o2)
+              entries;
+            let acc = ref [] in
+            Array.iter
+              (fun (_, _, key, st') ->
+                if shard_add key then begin
+                  on_fresh st';
+                  acc := st' :: !acc;
+                  match
+                    List.find_opt (fun (_, check) -> not (check st')) invariants
+                  with
+                  | Some (name, _) ->
+                    record_event (Violation { invariant = name; state = st' })
+                  | None -> ()
+                end)
+              entries;
+            List.rev !acc
+          end
+          else
+            List.concat_map
+              (fun r ->
+                let l = !r in
+                r := [];
+                l)
+              (Array.to_list next)
         in
         n_states := !n_states + List.length level;
         frontier := Array.of_list level;
@@ -505,7 +582,8 @@ let par_run ?jobs ?(visited = Exact) ?max_states ?max_mem_bytes ?max_time_s
   in
   (* discover the initial state (and its possible violation) up front, as
      the sequential engine does *)
-  ignore (shard_add (sys.encode sys.init));
+  ignore (shard_add (key_of sys.init));
+  on_fresh sys.init;
   n_states := 1;
   (match List.find_opt (fun (_, check) -> not (check sys.init)) invariants with
   | Some (name, _) ->
@@ -542,6 +620,7 @@ let par_run ?jobs ?(visited = Exact) ?max_states ?max_mem_bytes ?max_time_s
       mem_bytes = total_bytes ();
       peak_frontier = !peak_frontier;
       max_depth = !cur_depth;
+      canon_fallbacks = canon_fallbacks ();
       trace = None;
     }
 

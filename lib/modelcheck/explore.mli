@@ -6,10 +6,38 @@
     counterexample traces, and the resource caps that produce the
     "Unfinished" entries of Table 3. *)
 
+type 's canon = {
+  canon_key : 's -> string;
+      (** canonical (orbit-representative) encoding used to key the
+          visited set; must be deterministic and injective {e across
+          orbits} (two states may share a key only if they are related by
+          a symmetry of the system) *)
+  canon_fresh : ('s -> unit) option;
+      (** if given, called on each state right after it is found fresh.
+          The sequential engine calls it in the domain that canonicalized
+          the state, so per-state canonicalization by-products (e.g. orbit
+          sizes held in domain-local storage) are still readable; the
+          parallel engine decides freshness in the leader domain at level
+          boundaries, so such by-products are {e not} readable there —
+          attach domain-local harvesting only for sequential runs *)
+  canon_fallbacks : unit -> int;
+      (** read at the end of the search: how many canonicalizations gave
+          up on exactness and returned a merely injective key (sound, but
+          reduces less) — surfaced as {!stats.canon_fallbacks} *)
+}
+(** Symmetry-reduction hook.  When present, exploration stores
+    [canon_key st] in the visited set but keeps the {e concrete} state for
+    successor generation, invariant checking and traces — so quotient
+    exploration changes which states count as duplicates, while
+    counterexamples remain concrete, replayable runs (de-canonicalization
+    is free: canonical keys never replace states). *)
+
 type ('s, 'l) system = {
   init : 's;
   succ : 's -> ('l * 's) list;
   encode : 's -> string;  (** injective encoding for visited-state hashing *)
+  canon : 's canon option;
+      (** optional symmetry reduction; [None] = explore the full space *)
 }
 
 type limit = L_states | L_memory | L_time
@@ -45,6 +73,11 @@ type ('s, 'l) stats = {
   max_depth : int;
       (** deepest discovery (BFS: eccentricity of the initial state over
           the explored region; DFS: longest stack path reached) *)
+  canon_fallbacks : int;
+      (** canonicalizations that fell back to a non-canonical key (0
+          without a [canon] hook); a non-zero value means the symmetry
+          quotient was computed only partially — counts stay sound upper
+          bounds of the quotient, verdicts are unaffected *)
   trace : ('l option * 's) list option;
       (** with [~trace:true]: initial state to offending state, each entry
           carrying the label that led to it *)
@@ -98,7 +131,12 @@ val par_run :
     Determinism: for runs that end in [Complete], [states] and
     [transitions] equal the sequential {!run}'s exactly (with the [Exact]
     visited set; [Bitstate] counts are approximate in both engines, with
-    different collision patterns).  When a violation or deadlock is found,
+    different collision patterns).  With a [canon] hook this extends to
+    the {e representative} kept per canonical key: workers buffer every
+    successor tagged with its discovery position and the leader replays
+    the buffers in sequential BFS order at the level boundary, so the
+    quotient explored is identical at every job count even for protocols
+    that are symmetric only up to dead-variable resets.  When a violation or deadlock is found,
     the engine falls back to a sequential re-run to report the canonical
     first event and — with [~trace:true] — its shortest counterexample,
     so the returned outcome is deterministic too; [time_s] then covers

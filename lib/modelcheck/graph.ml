@@ -9,8 +9,13 @@ let build ?(max_states = 1_000_000) (sys : ('s, 'l) Explore.system) =
   let states = ref [] and n = ref 0 in
   let queue = Queue.create () in
   let truncated = ref false in
+  (* Quotient graphs come for free: key by the canonical encoding when the
+     system carries a symmetry hook, keeping concrete representatives. *)
+  let key_of =
+    match sys.canon with None -> sys.encode | Some c -> c.Explore.canon_key
+  in
   let discover st =
-    let key = sys.encode st in
+    let key = key_of st in
     match Hashtbl.find_opt visited key with
     | Some id -> id
     | None ->

@@ -745,6 +745,73 @@ let encode (st : state) =
   Array.iter channel st.to_r;
   Buffer.contents buf
 
+(* Byte-identical to [encode (Symmetry.permute_async p st)]: remote slot
+   [j] of the permuted state is [st]'s slot [inv.(j)] (likewise for both
+   channel arrays), buffered messages keep their queue order but their
+   sender id and rid-valued payloads are renamed through [p].  Must mirror
+   the [encode] layout above field for field. *)
+let encode_perm ~p ~inv (st : state) =
+  let buf = Domain.DLS.get scratch in
+  Buffer.clear buf;
+  let int = Value.encode_int buf in
+  let env e = Array.iter (Value.encode_perm buf p) e in
+  let wire_msg (m : Wire.msg) = Wire.encode_perm buf p (Wire.Req m) in
+  let n = Array.length st.r in
+  int st.h.h_ctl;
+  int st.h.h_rot;
+  env st.h.h_env;
+  (match st.h.h_mode with
+  | Hcomm -> int 0
+  | Htrans { guard; peer; scratch = sc; await } ->
+    (match await with
+    | `Ack -> int 1
+    | `Repl repl ->
+      int 2;
+      int (String.length repl);
+      Buffer.add_string buf repl);
+    int guard;
+    int p.(peer);
+    env sc);
+  int (List.length st.h.h_buf);
+  List.iter
+    (fun (i, m) ->
+      int p.(i);
+      wire_msg m)
+    st.h.h_buf;
+  for j = 0 to n - 1 do
+    let r = st.r.(inv.(j)) in
+    int r.r_ctl;
+    env r.r_env;
+    (match r.r_mode with
+    | Rcomm -> int 0
+    | Rtrans { guard; scratch = sc } ->
+      int 1;
+      int guard;
+      env sc
+    | Rwait { guard; scratch = sc; repl } ->
+      int 2;
+      int guard;
+      int (String.length repl);
+      Buffer.add_string buf repl;
+      env sc);
+    match r.r_buf with
+    | None -> int 0
+    | Some m ->
+      int 1;
+      wire_msg m
+  done;
+  let channel q =
+    int (List.length q);
+    List.iter (Wire.encode_perm buf p) q
+  in
+  for j = 0 to n - 1 do
+    channel st.to_h.(inv.(j))
+  done;
+  for j = 0 to n - 1 do
+    channel st.to_r.(inv.(j))
+  done;
+  Buffer.contents buf
+
 let pp_label ppf l =
   if l.subject = "" then
     Fmt.pf ppf "%s[%s]" (rule_name l.rule)

@@ -133,6 +133,13 @@ val successors : ?meter:meter -> Prog.t -> config -> state -> (label * state) li
 
 val encode : state -> string
 
+val encode_perm : p:int array -> inv:int array -> state -> string
+(** [encode_perm ~p ~inv st] is byte-identical to [encode] of [st] with
+    remotes permuted by [p] ([inv] is [p]'s inverse): slot arrays and both
+    channel arrays are read through [inv], while sender ids and rid-valued
+    payloads are renamed through [p].  Lets symmetry canonicalization score
+    a permutation without building the permuted state. *)
+
 (** {2 Node-local semantics}
 
     The refinement rules are local to one node: these functions give each

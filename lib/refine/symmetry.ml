@@ -20,9 +20,12 @@ let permute_wire p = function
 
 (* New array whose slot [p.(i)] holds the (renamed) content of slot [i]. *)
 let permute_slots p a f =
-  let a' = Array.make (Array.length a) a.(0) in
-  Array.iteri (fun i x -> a'.(p.(i)) <- f x) a;
-  a'
+  if Array.length a = 0 then [||]
+  else begin
+    let a' = Array.make (Array.length a) (f a.(0)) in
+    Array.iteri (fun i x -> a'.(p.(i)) <- f x) a;
+    a'
+  end
 
 let permute_rv (_ : Prog.t) p (st : Rendezvous.state) : Rendezvous.state =
   {
@@ -83,22 +86,368 @@ let permutations n =
   in
   perms (List.init n Fun.id) |> List.map Array.of_list
 
-let canonical ~permute ~encode ?(max_fact = 6) prog n st =
-  if n > max_fact then encode st
-  else
-    List.fold_left
-      (fun best p ->
-        let e = encode (permute prog p st) in
-        match best with
-        | Some b when String.compare b e <= 0 -> best
-        | _ -> Some e)
-      None (permutations n)
-    |> Option.get
+(* {2 Canonicalization statistics} *)
 
-let canonical_rv ?max_fact (prog : Prog.t) st =
-  canonical ~permute:permute_rv ~encode:Rendezvous.encode ?max_fact prog
+(* Atomics so the parallel engine's worker domains can share one record;
+   [tie_sizes.(s)] counts tie groups of size [s] (sizes >= 2 only). *)
+let max_tie_bucket = 32
+
+type stats = {
+  st_calls : int Atomic.t;
+  st_fallbacks : int Atomic.t;
+  st_tied_calls : int Atomic.t;
+  st_perms_tried : int Atomic.t;
+  st_canon_ns : int Atomic.t;
+  st_tie_sizes : int Atomic.t array;
+}
+
+let make_stats () =
+  {
+    st_calls = Atomic.make 0;
+    st_fallbacks = Atomic.make 0;
+    st_tied_calls = Atomic.make 0;
+    st_perms_tried = Atomic.make 0;
+    st_canon_ns = Atomic.make 0;
+    st_tie_sizes = Array.init (max_tie_bucket + 1) (fun _ -> Atomic.make 0);
+  }
+
+let calls s = Atomic.get s.st_calls
+let fallbacks s = Atomic.get s.st_fallbacks
+let tied_calls s = Atomic.get s.st_tied_calls
+let perms_tried s = Atomic.get s.st_perms_tried
+let canon_seconds s = float_of_int (Atomic.get s.st_canon_ns) /. 1e9
+
+let iter_tie_groups s f =
+  Array.iteri
+    (fun size c ->
+      let count = Atomic.get c in
+      if count > 0 then f ~size ~count)
+    s.st_tie_sizes
+
+let bump a k = if k <> 0 then ignore (Atomic.fetch_and_add a k)
+
+let record_tie s len =
+  bump s.st_tie_sizes.(min len max_tie_bucket) 1
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+(* {2 Brute-force canonicalization}
+
+   Kept for [--symmetry brute] and as the test oracle for the fast path.
+   The [n > max_fact] fallback returns the plain encoding — sound (it is
+   still an injective key, so no two orbits merge) but it reduces nothing;
+   it is now counted in [stats] instead of degrading silently. *)
+
+let canonical ~permute ~encode ?stats ?(max_fact = 6) prog n st =
+  let t0 = match stats with None -> 0 | Some _ -> now_ns () in
+  let key =
+    if n > max_fact then begin
+      Option.iter (fun s -> bump s.st_fallbacks 1) stats;
+      encode st
+    end
+    else
+      List.fold_left
+        (fun best p ->
+          Option.iter (fun s -> bump s.st_perms_tried 1) stats;
+          let e = encode (permute prog p st) in
+          match best with
+          | Some b when String.compare b e <= 0 -> best
+          | _ -> Some e)
+        None (permutations n)
+      |> Option.get
+  in
+  Option.iter
+    (fun s ->
+      bump s.st_calls 1;
+      bump s.st_canon_ns (now_ns () - t0))
+    stats;
+  key
+
+let canonical_rv ?stats ?max_fact (prog : Prog.t) st =
+  canonical ~permute:permute_rv ~encode:Rendezvous.encode ?stats ?max_fact
+    prog prog.n st
+
+let canonical_async ?stats ?max_fact (prog : Prog.t) st =
+  canonical ~permute:permute_async ~encode:Async.encode ?stats ?max_fact prog
     prog.n st
 
-let canonical_async ?max_fact (prog : Prog.t) st =
-  canonical ~permute:permute_async ~encode:Async.encode ?max_fact prog prog.n
-    st
+(* {2 Fast canonicalization: signature sort + tie refinement}
+
+   Per remote slot compute a permutation-equivariant {e signature} — a byte
+   string such that slot [p.(i)] of the permuted state has the same
+   signature as slot [i] of the original.  Sorting slots by signature then
+   fixes the canonical position of every slot whose signature is unique;
+   only slots inside {e tied} signature groups can still be reordered, so
+   the minimal encoding is found by enumerating arrangements within tie
+   groups only.  The common case (all signatures distinct) is one sort and
+   one [encode_perm] instead of [n!] permute+encode rounds.
+
+   Equivariance is what makes the result exactly canonical: applying the
+   candidate set to any orbit member yields the same set of permuted
+   states, so the minimum over it does not depend on the representative.
+   Rid-valued data is abstracted {e relative to the slot} (self/other bit,
+   set cardinality + contains-self) — exactly the features preserved by
+   renaming.  A too-coarse signature only costs time (bigger tie groups),
+   never correctness. *)
+
+(* Per-domain scratch: signature strings, sort order, candidate
+   permutation and its inverse, plus the orbit size of the last
+   canonicalized state (0 = unknown, e.g. after a fallback). *)
+type scratch = {
+  mutable cap : int;
+  mutable sigs : string array;
+  mutable order : int array;
+  mutable perm : int array;
+  mutable inv : int array;
+  sbuf : Buffer.t;
+  mutable last_orbit : int;
+}
+
+let scratch_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        cap = 0;
+        sigs = [||];
+        order = [||];
+        perm = [||];
+        inv = [||];
+        sbuf = Buffer.create 256;
+        last_orbit = 0;
+      })
+
+let ensure sc n =
+  if sc.cap < n then begin
+    sc.cap <- n;
+    sc.sigs <- Array.make n "";
+    sc.order <- Array.make n 0;
+    sc.perm <- Array.make n 0;
+    sc.inv <- Array.make n 0
+  end
+
+let last_orbit () = (Domain.DLS.get scratch_key).last_orbit
+
+let rec fact n = if n <= 1 then 1 else n * fact (n - 1)
+
+(* n! for the orbit-size computation; 0 = too big to represent. *)
+let factorial n = if n > 20 then 0 else fact n
+
+(* Slot-relative value abstraction: every feature written here is
+   preserved when ids are renamed and the slot moves along. *)
+let sig_value buf ~self (v : Value.t) =
+  match v with
+  | Value.Vrid r ->
+    Buffer.add_char buf 'R';
+    Buffer.add_char buf (if r = self then '1' else '0')
+  | Value.Vset _ ->
+    Buffer.add_char buf 'S';
+    Value.encode_int buf (Value.set_cardinal v);
+    Buffer.add_char buf (if Value.set_mem self v then '1' else '0')
+  | Value.Vunit | Value.Vbool _ | Value.Vint _ ->
+    Buffer.add_char buf 'V';
+    Value.encode buf v
+
+let sig_msg buf ~self (m : Wire.msg) =
+  Value.encode_int buf (String.length m.m_name);
+  Buffer.add_string buf m.m_name;
+  Value.encode_int buf (List.length m.m_payload);
+  List.iter (sig_value buf ~self) m.m_payload
+
+let sig_wire buf ~self = function
+  | Wire.Ack -> Buffer.add_char buf 'a'
+  | Wire.Nack -> Buffer.add_char buf 'n'
+  | Wire.Req m ->
+    Buffer.add_char buf 'q';
+    sig_msg buf ~self m
+
+let rv_sig buf (st : Rendezvous.state) i =
+  let r = st.r.(i) in
+  Value.encode_int buf r.ctl;
+  Array.iter (sig_value buf ~self:i) r.env;
+  Buffer.add_char buf '|';
+  Array.iter (sig_value buf ~self:i) st.h.env
+
+let async_sig buf (st : Async.state) i =
+  let r = st.r.(i) in
+  Value.encode_int buf r.Async.r_ctl;
+  Array.iter (sig_value buf ~self:i) r.Async.r_env;
+  (match r.Async.r_mode with
+  | Async.Rcomm -> Buffer.add_char buf 'c'
+  | Async.Rtrans { guard; scratch } ->
+    Buffer.add_char buf 't';
+    Value.encode_int buf guard;
+    Array.iter (sig_value buf ~self:i) scratch
+  | Async.Rwait { guard; scratch; repl } ->
+    Buffer.add_char buf 'w';
+    Value.encode_int buf guard;
+    Value.encode_int buf (String.length repl);
+    Buffer.add_string buf repl;
+    Array.iter (sig_value buf ~self:i) scratch);
+  (match r.Async.r_buf with
+  | None -> Buffer.add_char buf '0'
+  | Some m ->
+    Buffer.add_char buf '1';
+    sig_msg buf ~self:i m);
+  Buffer.add_char buf '|';
+  List.iter (sig_wire buf ~self:i) st.Async.to_h.(i);
+  Buffer.add_char buf '|';
+  List.iter (sig_wire buf ~self:i) st.Async.to_r.(i);
+  Buffer.add_char buf '|';
+  (* Home-side features as seen from slot [i]: whether home data, the
+     transient peer, or buffered requests refer to this slot. *)
+  Array.iter (sig_value buf ~self:i) st.Async.h.h_env;
+  (match st.Async.h.h_mode with
+  | Async.Hcomm -> Buffer.add_char buf 'C'
+  | Async.Htrans { guard; peer; scratch; await } ->
+    Buffer.add_char buf 'T';
+    Value.encode_int buf guard;
+    Buffer.add_char buf (if peer = i then '1' else '0');
+    (match await with
+    | `Ack -> Buffer.add_char buf 'A'
+    | `Repl repl ->
+      Buffer.add_char buf 'P';
+      Value.encode_int buf (String.length repl);
+      Buffer.add_string buf repl);
+    Array.iter (sig_value buf ~self:i) scratch);
+  List.iter
+    (fun (j, m) ->
+      Buffer.add_char buf (if j = i then '1' else '0');
+      sig_msg buf ~self:i m)
+    st.Async.h.h_buf
+
+let default_max_perms = 5040 (* 7!: brute-force cost we never exceed *)
+
+let canonicalize ~sig_slot ~encode_perm ?stats ?(max_perms = default_max_perms)
+    ~n st =
+  let sc = Domain.DLS.get scratch_key in
+  ensure sc n;
+  let t0 = match stats with None -> 0 | Some _ -> now_ns () in
+  for i = 0 to n - 1 do
+    Buffer.clear sc.sbuf;
+    sig_slot sc.sbuf st i;
+    sc.sigs.(i) <- Buffer.contents sc.sbuf
+  done;
+  (* Insertion sort of the slot order by signature: n is small and the
+     array is in scratch, so this beats a closure-driven Array.sort. *)
+  for i = 0 to n - 1 do
+    sc.order.(i) <- i
+  done;
+  for i = 1 to n - 1 do
+    let x = sc.order.(i) in
+    let j = ref (i - 1) in
+    while !j >= 0 && String.compare sc.sigs.(sc.order.(!j)) sc.sigs.(x) > 0 do
+      sc.order.(!j + 1) <- sc.order.(!j);
+      decr j
+    done;
+    sc.order.(!j + 1) <- x
+  done;
+  (* Tie groups: runs of equal signatures in sorted order.  The number of
+     candidate permutations is the product of the group factorials. *)
+  let groups = ref [] in
+  let candidates = ref 1 in
+  let tied = ref false in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref (!i + 1) in
+    while
+      !j < n && String.equal sc.sigs.(sc.order.(!i)) sc.sigs.(sc.order.(!j))
+    do
+      incr j
+    done;
+    let len = !j - !i in
+    if len > 1 then begin
+      tied := true;
+      groups := (!i, !j - 1) :: !groups;
+      Option.iter (fun s -> record_tie s len) stats;
+      let f = factorial len in
+      candidates :=
+        (if f = 0 || !candidates > max_perms / f then max_perms + 1
+         else !candidates * f)
+    end;
+    i := !j
+  done;
+  let use_order () =
+    for j = 0 to n - 1 do
+      sc.inv.(j) <- sc.order.(j);
+      sc.perm.(sc.order.(j)) <- j
+    done;
+    encode_perm ~p:sc.perm ~inv:sc.inv st
+  in
+  let tried = ref 0 in
+  let key =
+    if not !tied then begin
+      (* All signatures distinct: the sorted order IS the canonical order,
+         and distinct signatures rule out any non-trivial stabilizer. *)
+      incr tried;
+      sc.last_orbit <- factorial n;
+      use_order ()
+    end
+    else if !candidates > max_perms then begin
+      (* Too many tied arrangements: keep the signature-sorted order as a
+         deterministic (injective, hence sound) key and report the
+         degradation instead of hiding it. *)
+      Option.iter (fun s -> bump s.st_fallbacks 1) stats;
+      sc.last_orbit <- 0;
+      use_order ()
+    end
+    else begin
+      let garr = Array.of_list !groups in
+      let best = ref "" in
+      let stab = ref 0 in
+      let try_candidate () =
+        incr tried;
+        let e = use_order () in
+        if !stab = 0 then begin
+          best := e;
+          stab := 1
+        end
+        else
+          let c = String.compare e !best in
+          if c < 0 then begin
+            best := e;
+            stab := 1
+          end
+          else if c = 0 then incr stab
+      in
+      let rec enum gi =
+        if gi = Array.length garr then try_candidate ()
+        else begin
+          let lo, hi = garr.(gi) in
+          arrange lo hi gi
+        end
+      and arrange k hi gi =
+        if k >= hi then enum (gi + 1)
+        else
+          for j = k to hi do
+            let t = sc.order.(k) in
+            sc.order.(k) <- sc.order.(j);
+            sc.order.(j) <- t;
+            arrange (k + 1) hi gi;
+            let t = sc.order.(k) in
+            sc.order.(k) <- sc.order.(j);
+            sc.order.(j) <- t
+          done
+      in
+      enum 0;
+      (* Candidates achieving the minimum are exactly the stabilizer of
+         the canonical representative, so orbit size = n! / |stab|. *)
+      let f = factorial n in
+      sc.last_orbit <- (if f = 0 then 0 else f / !stab);
+      !best
+    end
+  in
+  Option.iter
+    (fun s ->
+      bump s.st_calls 1;
+      if !tied then bump s.st_tied_calls 1;
+      bump s.st_perms_tried !tried;
+      bump s.st_canon_ns (now_ns () - t0))
+    stats;
+  key
+
+let canonical_rv_fast ?stats ?max_perms (prog : Prog.t) st =
+  canonicalize ~sig_slot:rv_sig ~encode_perm:Rendezvous.encode_perm ?stats
+    ?max_perms ~n:prog.n st
+
+let canonical_async_fast ?stats ?max_perms (prog : Prog.t) st =
+  canonicalize ~sig_slot:async_sig ~encode_perm:Async.encode_perm ?stats
+    ?max_perms ~n:prog.n st

@@ -16,6 +16,16 @@ let encode buf = function
     Value.encode_int buf (List.length m.m_payload);
     List.iter (Value.encode buf) m.m_payload
 
+let encode_perm buf p = function
+  | Ack -> Value.encode_int buf 0
+  | Nack -> Value.encode_int buf 1
+  | Req m ->
+    Value.encode_int buf 2;
+    Value.encode_int buf (String.length m.m_name);
+    Buffer.add_string buf m.m_name;
+    Value.encode_int buf (List.length m.m_payload);
+    List.iter (Value.encode_perm buf p) m.m_payload
+
 let pp ppf = function
   | Ack -> Fmt.string ppf "ack"
   | Nack -> Fmt.string ppf "nack"

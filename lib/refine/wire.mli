@@ -15,4 +15,9 @@ type t = Req of msg | Ack | Nack
 
 val equal : t -> t -> bool
 val encode : Buffer.t -> t -> unit
+
+val encode_perm : Buffer.t -> int array -> t -> unit
+(** [encode_perm buf p m] writes exactly the bytes [encode] would write
+    for [m] with every remote id [r] in its payload renamed to [p.(r)]. *)
+
 val pp : t Fmt.t

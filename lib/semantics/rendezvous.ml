@@ -159,6 +159,24 @@ let encode (st : state) =
   Array.iter pstate st.r;
   Buffer.contents buf
 
+(* Byte-identical to [encode (st with remotes permuted by p)]: slot [j] of
+   the permuted state is slot [inv.(j)] of [st], and every rid-valued datum
+   is renamed through [p].  Used by fast canonicalization to score a
+   candidate permutation without building the permuted state. *)
+let encode_perm ~p ~inv (st : state) =
+  let buf = Domain.DLS.get scratch in
+  Buffer.clear buf;
+  let pstate ps =
+    Value.encode_int buf ps.ctl;
+    Array.iter (Value.encode_perm buf p) ps.env
+  in
+  pstate st.h;
+  let n = Array.length st.r in
+  for j = 0 to n - 1 do
+    pstate st.r.(inv.(j))
+  done;
+  Buffer.contents buf
+
 let pp_proc_id ppf = function
   | Ph -> Fmt.string ppf "home"
   | Pr i -> Fmt.pf ppf "r%d" i

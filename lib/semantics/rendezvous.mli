@@ -31,6 +31,12 @@ val successors : Prog.t -> state -> (label * state) list
 val encode : state -> string
 (** Injective byte encoding, for visited-state hashing. *)
 
+val encode_perm : p:int array -> inv:int array -> state -> string
+(** [encode_perm ~p ~inv st] is byte-identical to [encode] applied to [st]
+    with the remotes permuted by [p] ([inv] is [p]'s inverse: slot [j] of
+    the permuted state is [st]'s slot [inv.(j)]), without materializing the
+    permuted state.  Backbone of fast symmetry canonicalization. *)
+
 val pp_proc_id : proc_id Fmt.t
 val pp_label : label Fmt.t
 val pp_state : Prog.t -> state Fmt.t

@@ -5,6 +5,12 @@ key set:
   $ ../../bin/ccr.exe check invalidate -n 2 --level async --metrics-json - 2>/dev/null \
   >   | tr ',{' '\n\n' | grep -o '"[a-z_.]*":' | sort -u
   "buckets":
+  "canon.calls":
+  "canon.fallbacks":
+  "canon.orbit_states":
+  "canon.perms":
+  "canon.tie_group_size":
+  "canon.time_share":
   "count":
   "hi":
   "home_buffer_occupancy":
@@ -30,14 +36,14 @@ The human report still lands on stderr, and the exit code stays 0:
 
   $ ../../bin/ccr.exe check invalidate -n 2 --level async --metrics-json - 2>&1 >/dev/null \
   >   | sed 's/[0-9.]*s, ~[0-9.]* MB/TIME/'
-  invalidate (async, n=2, k=2): 604 states, 1201 transitions, TIME
+  invalidate (async, n=2, k=2, sym=auto): 604 states, 1201 transitions, TIME
   outcome: complete, invariants hold
 
 Writing metrics to a file leaves stdout alone:
 
   $ ../../bin/ccr.exe check invalidate -n 2 --level async --metrics-json m.json \
   >   | sed 's/[0-9.]*s, ~[0-9.]* MB/TIME/'
-  invalidate (async, n=2, k=2): 604 states, 1201 transitions, TIME
+  invalidate (async, n=2, k=2, sym=auto): 604 states, 1201 transitions, TIME
   outcome: complete, invariants hold
   $ grep -c '"msg.req"' m.json
   1

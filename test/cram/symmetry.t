@@ -1,0 +1,178 @@
+Symmetry reduction is driven by --symmetry: off explores the full state
+space, auto canonicalizes with the fast signature-sort canonicalizer,
+brute uses the n! oracle.  auto and brute agree on the quotient counts;
+off shows the full space:
+
+  $ ../../bin/ccr.exe check migratory -n 3 --level async --symmetry off \
+  >   | sed 's/[0-9.]*s, ~[0-9.]* MB/TIME/'
+  migratory (async, n=3, k=2): 1650 states, 4530 transitions, TIME
+  outcome: complete, invariants hold
+
+  $ ../../bin/ccr.exe check migratory -n 3 --level async --symmetry auto \
+  >   | sed 's/[0-9.]*s, ~[0-9.]* MB/TIME/'
+  migratory (async, n=3, k=2, sym=auto): 375 states, 1045 transitions, TIME
+  outcome: complete, invariants hold
+
+  $ ../../bin/ccr.exe check migratory -n 3 --level async --symmetry brute \
+  >   | sed 's/[0-9.]*s, ~[0-9.]* MB/TIME/'
+  migratory (async, n=3, k=2, sym=brute): 375 states, 1045 transitions, TIME
+  outcome: complete, invariants hold
+
+The quotient is deterministic across job counts — the parallel engine
+replays discoveries in sequential BFS order at each level boundary:
+
+  $ ../../bin/ccr.exe check migratory -n 3 --level async --symmetry auto -j 2 \
+  >   | sed 's/[0-9.]*s, ~[0-9.]* MB/TIME/'
+  migratory (async, n=3, k=2, j=2, sym=auto): 375 states, 1045 transitions, TIME
+  outcome: complete, invariants hold
+
+It works at the rendezvous level too:
+
+  $ ../../bin/ccr.exe check migratory -n 4 --level rendezvous --symmetry auto \
+  >   | sed 's/[0-9.]*s, ~[0-9.]* MB/TIME/'
+  migratory (rendezvous, n=4, sym=auto): 9 states, 19 transitions, TIME
+  outcome: complete, invariants hold
+
+Canonicalization publishes its own metrics:
+
+  $ ../../bin/ccr.exe check migratory -n 3 --level async --symmetry auto \
+  >   --metrics-json - 2>/dev/null \
+  >   | tr ',{' '\n\n' | grep -o '"canon[a-z_.]*":' | sort -u
+  "canon.calls":
+  "canon.fallbacks":
+  "canon.orbit_states":
+  "canon.perms":
+  "canon.tie_group_size":
+  "canon.time_share":
+
+Counterexamples stay concrete under symmetry reduction: the visited set
+is keyed by canonical encodings, but the states kept — and printed in
+traces — are the concrete ones, so a violation is a replayable run with
+real remote identities (note r0, r1 and r2 acting in turn below, not a
+collapsed representative).  This home consumes requests without ever
+replying, so once every remote is waiting the system is dead:
+
+  $ cat > broken.ccr <<'EOF'
+  > system broken
+  > 
+  > home {
+  >   var j : rid
+  > 
+  >   state F {
+  >     recv any j ? req() goto F
+  >   }
+  > }
+  > 
+  > remote {
+  >   state I {
+  >     send h ! req() goto W
+  >   }
+  > 
+  >   state W {
+  >     recv h ? gr() goto I
+  >   }
+  > }
+  > EOF
+
+  $ ../../bin/ccr.exe check broken.ccr -n 3 --level async --symmetry auto \
+  >   | sed 's/[0-9.]*s, ~[0-9.]* MB/TIME/'
+  broken (async, n=3, k=2, sym=auto): 58 states, 142 transitions, TIME
+  outcome: deadlock at
+  home: F j=r2 rot=0
+  r0: W  ->h:  h->:
+  r1: W  ->h:  h->:
+  r2: W  ->h:  h->:
+  
+  counterexample (12 steps):
+  home        r0          r1          r2    
+  |<----------+           |           |       R-C1[r0,req]
+  |<----------|-----------+           |       R-C1[r1,req]
+  |<----------|-----------|-----------+       R-C1[r2,req]
+  o           |           |           |       H-admit[r0,req]
+  +---------->|           |           |       H-C1[r0,req]
+  |           o           |           |       R-T1[r0]
+  o           |           |           |       H-admit[r1,req]
+  +-----------|---------->|           |       H-C1[r1,req]
+  |           |           o           |       R-T1[r1]
+  o           |           |           |       H-admit[r2,req]
+  +-----------|-----------|---------->|       H-C1[r2,req]
+  |           |           |           o       R-T1[r2]
+  
+  home: F j=r0 rot=0
+  r0: I  ->h:  h->:
+  r1: I  ->h:  h->:
+  r2: I  ->h:  h->:
+  
+  home: F j=r0 rot=0
+  r0: I (transient)  ->h:req:req()  h->:
+  r1: I  ->h:  h->:
+  r2: I  ->h:  h->:
+  
+  home: F j=r0 rot=0
+  r0: I (transient)  ->h:req:req()  h->:
+  r1: I (transient)  ->h:req:req()  h->:
+  r2: I  ->h:  h->:
+  
+  home: F j=r0 rot=0
+  r0: I (transient)  ->h:req:req()  h->:
+  r1: I (transient)  ->h:req:req()  h->:
+  r2: I (transient)  ->h:req:req()  h->:
+  
+  home: F j=r0 rot=0 [r0:req]
+  r0: I (transient)  ->h:  h->:
+  r1: I (transient)  ->h:req:req()  h->:
+  r2: I (transient)  ->h:req:req()  h->:
+  
+  home: F j=r0 rot=0
+  r0: I (transient)  ->h:  h->:ack
+  r1: I (transient)  ->h:req:req()  h->:
+  r2: I (transient)  ->h:req:req()  h->:
+  
+  home: F j=r0 rot=0
+  r0: W  ->h:  h->:
+  r1: I (transient)  ->h:req:req()  h->:
+  r2: I (transient)  ->h:req:req()  h->:
+  
+  home: F j=r0 rot=0 [r1:req]
+  r0: W  ->h:  h->:
+  r1: I (transient)  ->h:  h->:
+  r2: I (transient)  ->h:req:req()  h->:
+  
+  home: F j=r1 rot=0
+  r0: W  ->h:  h->:
+  r1: I (transient)  ->h:  h->:ack
+  r2: I (transient)  ->h:req:req()  h->:
+  
+  home: F j=r1 rot=0
+  r0: W  ->h:  h->:
+  r1: W  ->h:  h->:
+  r2: I (transient)  ->h:req:req()  h->:
+  
+  home: F j=r1 rot=0 [r2:req]
+  r0: W  ->h:  h->:
+  r1: W  ->h:  h->:
+  r2: I (transient)  ->h:  h->:
+  
+  home: F j=r2 rot=0
+  r0: W  ->h:  h->:
+  r1: W  ->h:  h->:
+  r2: I (transient)  ->h:  h->:ack
+  
+  home: F j=r2 rot=0
+  r0: W  ->h:  h->:
+  r1: W  ->h:  h->:
+  r2: W  ->h:  h->:
+  
+
+
+
+
+
+
+
+
+
+
+
+
+

@@ -13,6 +13,7 @@ let counter_system ~limit =
           if s >= limit then []
           else [ ("inc", s + 1); ("double", min limit (2 * s + 1)) ]);
       encode = string_of_int;
+      canon = None;
     }
 
 (* k independent bits: 2^k states, no deadlock (self loops). *)
@@ -23,6 +24,7 @@ let bits_system k =
       succ =
         (fun s -> List.init k (fun i -> (Fmt.str "flip%d" i, s lxor (1 lsl i))));
       encode = string_of_int;
+      canon = None;
     }
 
 let tests =
@@ -47,6 +49,7 @@ let tests =
               init = 0;
               succ = (fun s -> if s >= 17 then [] else [ ("n", s + 1) ]);
               encode = string_of_int;
+              canon = None;
             }
         in
         let r = Explore.run chain in
@@ -302,6 +305,7 @@ let tests =
                   ignore (Unix.select [] [] [] 0.02);
                   [ ("n", s + 1) ]);
               encode = string_of_int;
+              canon = None;
             }
         in
         let r = Explore.run ~max_time_s:0.05 very_slow in
@@ -321,6 +325,7 @@ let tests =
                   ignore (Sys.opaque_identity (List.init 2000 Fun.id));
                   [ ("n", (s + 1) mod 1000000); ("m", (s + 7) mod 1000000) ]);
               encode = string_of_int;
+              canon = None;
             }
         in
         let r = Explore.run ~max_time_s:0.05 slow in

@@ -53,6 +53,7 @@ let metered_async_system reg prog =
       init = Async.initial prog cfg;
       succ = Async.successors ~meter prog cfg;
       encode = Async.encode;
+      canon = None;
     }
 
 let tests =

@@ -22,6 +22,7 @@ let counter_system ~limit =
           if s >= limit then []
           else [ ("inc", s + 1); ("double", min limit (2 * s + 1)) ]);
       encode = string_of_int;
+      canon = None;
     }
 
 let bits_system k =
@@ -31,6 +32,7 @@ let bits_system k =
       succ =
         (fun s -> List.init k (fun i -> (Fmt.str "flip%d" i, s lxor (1 lsl i))));
       encode = string_of_int;
+      canon = None;
     }
 
 let check_equiv name sys =
@@ -175,6 +177,7 @@ let tests =
                   ignore (Sys.opaque_identity (List.init 2000 Fun.id));
                   [ ("n", (s + 1) mod 1000000); ("m", (s + 7) mod 1000000) ]);
               encode = string_of_int;
+              canon = None;
             }
         in
         let r = Explore.par_run ~jobs:2 ~max_time_s:0.05 slow in

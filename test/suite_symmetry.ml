@@ -8,7 +8,7 @@ let mig n = compile ~n (Ccr_protocols.Migratory.system ())
 
 let explore_with encode succ init =
   Ccr_modelcheck.Explore.run
-    Ccr_modelcheck.Explore.{ init; succ; encode }
+    Ccr_modelcheck.Explore.{ init; succ; encode; canon = None }
   |> fun (r : (_, _) Ccr_modelcheck.Explore.stats) -> (r.states, r.outcome)
 
 let rv_quotient prog =
@@ -38,6 +38,80 @@ let swap01 n =
   p.(0) <- 1;
   p.(1) <- 0;
   p
+
+(* ---- shared machinery for the property tests --------------------------- *)
+
+(* Registry protocols instantiated at [n] (the request/reply-optimized
+   refinement, as `ccr check` uses). *)
+let registry_progs n =
+  List.map
+    (fun (e : Ccr_protocols.Registry.t) ->
+      (e.name, e.instantiate ~reqrep:true ~n))
+    Ccr_protocols.Registry.all
+
+(* BFS sample of up to [budget] distinct reachable states. *)
+let sample_states ~encode ~succ init budget =
+  let seen = Hashtbl.create 64 in
+  let q = Queue.create () in
+  let out = ref [] in
+  let budget = ref budget in
+  let push st =
+    let key = encode st in
+    if (not (Hashtbl.mem seen key)) && !budget > 0 then begin
+      decr budget;
+      Hashtbl.add seen key ();
+      out := st :: !out;
+      Queue.push st q
+    end
+  in
+  push init;
+  while not (Queue.is_empty q) do
+    let st = Queue.pop q in
+    List.iter (fun (_, s) -> push s) (succ st)
+  done;
+  !out
+
+let sample_async prog budget =
+  sample_states ~encode:Async.encode
+    ~succ:(Async.successors prog k2)
+    (Async.initial prog k2) budget
+
+let sample_rv prog budget =
+  sample_states ~encode:Rendezvous.encode
+    ~succ:(Rendezvous.successors prog)
+    (Rendezvous.initial prog) budget
+
+let random_perm rng n =
+  let p = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = p.(i) in
+    p.(i) <- p.(j);
+    p.(j) <- t
+  done;
+  p
+
+(* Quotient exploration through the [canon] hook, sequential or parallel. *)
+let quotient_count ~jobs sys canon_key =
+  let sys =
+    Ccr_modelcheck.Explore.
+      {
+        sys with
+        canon =
+          Some
+            {
+              canon_key;
+              canon_fresh = None;
+              canon_fallbacks = (fun () -> 0);
+            };
+      }
+  in
+  let r =
+    if jobs > 1 then Ccr_modelcheck.Explore.par_run ~jobs sys
+    else Ccr_modelcheck.Explore.run sys
+  in
+  assert_complete "quotient" r;
+  r.states
 
 let tests =
   [
@@ -73,32 +147,173 @@ let tests =
           (Value.equal
              st'.Rendezvous.h.env.(sh)
              (Value.set_of_list [ 1; 2 ])));
+    case "permute_slots is total on the empty array" (fun () ->
+        checki "empty" 0 (Array.length (Symmetry.permute_slots [||] [||] Fun.id)));
     case "canonical encoding is permutation-invariant" (fun () ->
         let prog = mig 3 in
-        let seen = Hashtbl.create 64 in
-        let q = Queue.create () in
-        let budget = ref 500 in
-        let push st =
-          let key = Async.encode st in
-          if (not (Hashtbl.mem seen key)) && !budget > 0 then begin
-            decr budget;
-            Hashtbl.add seen key st;
-            Queue.push st q
-          end
-        in
-        push (Async.initial prog k2);
-        while not (Queue.is_empty q) do
-          let st = Queue.pop q in
-          (* every permutation of the state canonicalizes identically *)
-          let c = Symmetry.canonical_async prog st in
+        List.iter
+          (fun st ->
+            (* every permutation of the state canonicalizes identically *)
+            let c = Symmetry.canonical_async prog st in
+            List.iter
+              (fun p ->
+                checks "invariant" c
+                  (Symmetry.canonical_async prog
+                     (Symmetry.permute_async prog (Array.of_list p) st)))
+              [ [ 1; 0; 2 ]; [ 2; 1; 0 ]; [ 1; 2; 0 ] ])
+          (sample_async prog 500));
+    case "encode_perm matches encode-of-permuted, both levels" (fun () ->
+        let rng = Random.State.make [| 0x5e7 |] in
+        List.iter
+          (fun (name, prog) ->
+            let n = prog.Prog.n in
+            let inv_of p =
+              let inv = Array.make n 0 in
+              Array.iteri (fun i j -> inv.(j) <- i) p;
+              inv
+            in
+            List.iter
+              (fun st ->
+                let p = random_perm rng n in
+                checks (name ^ " async")
+                  (Async.encode (Symmetry.permute_async prog p st))
+                  (Async.encode_perm ~p ~inv:(inv_of p) st))
+              (sample_async prog 60);
+            if
+              List.exists
+                (fun (e : Ccr_protocols.Registry.t) ->
+                  e.name = name && e.system <> None)
+                Ccr_protocols.Registry.all
+            then
+              List.iter
+                (fun st ->
+                  let p = random_perm rng n in
+                  checks (name ^ " rv")
+                    (Rendezvous.encode (Symmetry.permute_rv prog p st))
+                    (Rendezvous.encode_perm ~p ~inv:(inv_of p) st))
+                (sample_rv prog 60))
+          (registry_progs 3));
+    case "fast and brute canonicalizers induce the same partition"
+      (fun () ->
+        (* The two canonicalizers may pick different orbit representatives
+           (fast minimizes over the signature-consistent permutations, brute
+           over all), but they must merge exactly the same states: the key
+           equivalences coincide.  That is the property the quotient counts
+           and verdicts depend on. *)
+        let rng = Random.State.make [| 0xb0b |] in
+        List.iter
+          (fun n ->
+            List.iter
+              (fun (name, prog) ->
+                let base = sample_async prog (if n = 3 then 120 else 60) in
+                (* include permuted variants so cross-orbit merging is
+                   actually exercised, not just hit by luck *)
+                let sts =
+                  base
+                  @ List.map
+                      (fun st ->
+                        Symmetry.permute_async prog (random_perm rng n) st)
+                      base
+                in
+                let brute_to_fast = Hashtbl.create 64 in
+                let fast_to_brute = Hashtbl.create 64 in
+                List.iter
+                  (fun st ->
+                    let b = Symmetry.canonical_async prog st in
+                    let f = Symmetry.canonical_async_fast prog st in
+                    (match Hashtbl.find_opt brute_to_fast b with
+                    | None -> Hashtbl.add brute_to_fast b f
+                    | Some f' -> checks (name ^ " merge") f' f);
+                    match Hashtbl.find_opt fast_to_brute f with
+                    | None -> Hashtbl.add fast_to_brute f b
+                    | Some b' -> checks (name ^ " split") b' b)
+                  sts)
+              (registry_progs n))
+          [ 3; 4 ]);
+    case "fast canonical is permutation-invariant (random perms)" (fun () ->
+        let rng = Random.State.make [| 0xfa57 |] in
+        List.iter
+          (fun (name, prog) ->
+            List.iter
+              (fun st ->
+                let c = Symmetry.canonical_async_fast prog st in
+                for _ = 1 to 4 do
+                  let p = random_perm rng prog.Prog.n in
+                  checks name c
+                    (Symmetry.canonical_async_fast prog
+                       (Symmetry.permute_async prog p st))
+                done)
+              (sample_async prog 80))
+          (registry_progs 4));
+    case "fast rendezvous canonical is permutation-invariant" (fun () ->
+        let rng = Random.State.make [| 0xca4 |] in
+        List.iter
+          (fun (name, prog) ->
+            List.iter
+              (fun st ->
+                let c = Symmetry.canonical_rv_fast prog st in
+                for _ = 1 to 4 do
+                  let p = random_perm rng prog.Prog.n in
+                  checks name c
+                    (Symmetry.canonical_rv_fast prog
+                       (Symmetry.permute_rv prog p st))
+                done)
+              (sample_rv prog 120))
+          (List.filter_map
+             (fun (e : Ccr_protocols.Registry.t) ->
+               if e.system = None then None
+               else Some (e.name, e.instantiate ~reqrep:true ~n:4))
+             Ccr_protocols.Registry.all));
+    case "quotient counts: fast = brute at jobs 1/2/4, rendezvous n=3..4"
+      (fun () ->
+        List.iter
+          (fun n ->
+            List.iter
+              (fun (e : Ccr_protocols.Registry.t) ->
+                match e.system with
+                | None -> ()
+                | Some _ ->
+                  let prog = e.instantiate ~reqrep:true ~n in
+                  let sys = rv_system prog in
+                  let brute =
+                    quotient_count ~jobs:1 sys (Symmetry.canonical_rv prog)
+                  in
+                  List.iter
+                    (fun jobs ->
+                      checki
+                        (Fmt.str "%s rv n=%d j=%d" e.name n jobs)
+                        brute
+                        (quotient_count ~jobs sys
+                           (Symmetry.canonical_rv_fast prog)))
+                    [ 1; 2; 4 ])
+              Ccr_protocols.Registry.all)
+          [ 3; 4 ]);
+    case "quotient counts: fast = brute at jobs 1/2/4, async n=3..4"
+      (fun () ->
+        (* full registry at n=3; n=4 on the protocols whose brute-force
+           quotient stays small enough for a test run *)
+        let sweep n names =
           List.iter
-            (fun p ->
-              checks "invariant" c
-                (Symmetry.canonical_async prog
-                   (Symmetry.permute_async prog (Array.of_list p) st)))
-            [ [ 1; 0; 2 ]; [ 2; 1; 0 ]; [ 1; 2; 0 ] ];
-          List.iter (fun (_, s) -> push s) (Async.successors prog k2 st)
-        done);
+            (fun (e : Ccr_protocols.Registry.t) ->
+              if names = [] || List.mem e.name names then begin
+                let prog = e.instantiate ~reqrep:true ~n in
+                let sys = async_system prog in
+                let brute =
+                  quotient_count ~jobs:1 sys (Symmetry.canonical_async prog)
+                in
+                List.iter
+                  (fun jobs ->
+                    checki
+                      (Fmt.str "%s async n=%d j=%d" e.name n jobs)
+                      brute
+                      (quotient_count ~jobs sys
+                         (Symmetry.canonical_async_fast prog)))
+                  [ 1; 2; 4 ]
+              end)
+            Ccr_protocols.Registry.all
+        in
+        sweep 3 [ "migratory"; "migratory-hand"; "invalidate"; "lock"; "barrier" ];
+        sweep 4 [ "migratory"; "lock"; "barrier" ]);
     case "quotient counts sit between exact/n! and exact" (fun () ->
         let rec fact = function 0 | 1 -> 1 | k -> k * fact (k - 1) in
         List.iter
@@ -119,6 +334,7 @@ let tests =
                 init = Async.initial prog k2;
                 succ = Async.successors prog k2;
                 encode = Symmetry.canonical_async prog;
+                canon = None;
               }
         in
         checkb "complete" true (outcome_complete r.outcome));
@@ -131,12 +347,88 @@ let tests =
         let f3 = float_of_int e3 /. float_of_int q3 in
         checkb "reduces at n=2" true (f2 > 1.5);
         checkb "reduces more at n=3" true (f3 > f2));
-    case "beyond max_fact the encoding falls back soundly" (fun () ->
+    case "orbit sizes from the stabilizer count" (fun () ->
+        let prog = mig 3 in
+        let st0 = Async.initial prog k2 in
+        (* migratory's home starts with owner [o = rid 0], which
+           distinguishes remote 0; remotes 1 and 2 tie, so the stabilizer
+           is 2! and the initial orbit 3!/2! = 3 *)
+        ignore (Symmetry.canonical_async_fast prog st0);
+        checki "initial orbit" 3 (Symmetry.last_orbit ());
+        (* remote 1 fires C1: now all three slots are distinguished (0 by
+           the owner var, 1 by its control state), stabilizer 1, orbit 3! *)
+        let st1 = fire prog st0 (by_rule ~actor:1 Async.R_C1) in
+        ignore (Symmetry.canonical_async_fast prog st1);
+        checki "one-requester orbit" 6 (Symmetry.last_orbit ()));
+    case "beyond max_fact the brute encoding falls back, counted" (fun () ->
         let prog = mig 3 in
         let st = Async.initial prog k2 in
+        let stats = Symmetry.make_stats () in
         checks "identity fallback"
           (Async.encode st)
-          (Symmetry.canonical_async ~max_fact:2 prog st));
+          (Symmetry.canonical_async ~stats ~max_fact:2 prog st);
+        checki "fallback counted" 1 (Symmetry.fallbacks stats);
+        checki "one call" 1 (Symmetry.calls stats));
+    case "fast tie cap falls back soundly, counted" (fun () ->
+        let prog = mig 3 in
+        let st = Async.initial prog k2 in
+        let stats = Symmetry.make_stats () in
+        (* the initial state's remotes all tie: 3! arrangements > 1 *)
+        let k1 = Symmetry.canonical_async_fast ~stats ~max_perms:1 prog st in
+        checki "fallback counted" 1 (Symmetry.fallbacks stats);
+        checki "orbit unknown" 0 (Symmetry.last_orbit ());
+        checks "deterministic" k1
+          (Symmetry.canonical_async_fast ~max_perms:1 prog st);
+        (* capped quotient still lands between true quotient and exact *)
+        let capped =
+          explore_with
+            (Symmetry.canonical_async_fast ~max_perms:1 prog)
+            (Async.successors prog k2)
+            (Async.initial prog k2)
+          |> fst
+        in
+        let q, _ = async_quotient prog in
+        let e, _ = async_exact prog in
+        checkb "sound" true (q <= capped && capped <= e));
+    case "explorer surfaces canonicalization fallbacks" (fun () ->
+        let prog = mig 3 in
+        let stats = Symmetry.make_stats () in
+        let sys =
+          Ccr_modelcheck.Explore.
+            {
+              (async_system prog) with
+              canon =
+                Some
+                  {
+                    canon_key =
+                      Symmetry.canonical_async ~stats ~max_fact:2 prog;
+                    canon_fresh = None;
+                    canon_fallbacks = (fun () -> Symmetry.fallbacks stats);
+                  };
+            }
+        in
+        let r = Ccr_modelcheck.Explore.run sys in
+        assert_complete "capped" r;
+        (* one canonicalization per discovered successor plus the initial
+           state, every one of them beyond max_fact *)
+        checki "fallbacks surfaced" (r.transitions + 1) r.canon_fallbacks);
+    case "canonicalization stats add up" (fun () ->
+        let prog = mig 3 in
+        let stats = Symmetry.make_stats () in
+        let sts = sample_async prog 200 in
+        List.iter
+          (fun st -> ignore (Symmetry.canonical_async_fast ~stats prog st))
+          sts;
+        checki "calls" (List.length sts) (Symmetry.calls stats);
+        checkb "perms >= calls" true
+          (Symmetry.perms_tried stats >= Symmetry.calls stats);
+        checkb "time measured" true (Symmetry.canon_seconds stats >= 0.);
+        let tied = ref 0 in
+        Symmetry.iter_tie_groups stats (fun ~size ~count ->
+            checkb "tie sizes >= 2" true (size >= 2);
+            tied := !tied + count);
+        checkb "tied calls counted" true
+          ((!tied > 0) = (Symmetry.tied_calls stats > 0)));
   ]
 
 let suite = ("symmetry", tests)

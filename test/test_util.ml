@@ -77,6 +77,7 @@ let rv_system prog =
       init = Ccr_semantics.Rendezvous.initial prog;
       succ = Ccr_semantics.Rendezvous.successors prog;
       encode = Ccr_semantics.Rendezvous.encode;
+      canon = None;
     }
 
 let async_system ?(k = 2) prog =
@@ -86,6 +87,7 @@ let async_system ?(k = 2) prog =
       init = Ccr_refine.Async.initial prog cfg;
       succ = Ccr_refine.Async.successors prog cfg;
       encode = Ccr_refine.Async.encode;
+      canon = None;
     }
 
 let explore_rv ?invariants ?max_states prog =
