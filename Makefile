@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-fast bench-json par-smoke obs-smoke sym-smoke examples artifacts clean
+.PHONY: all build test bench bench-fast bench-json par-smoke obs-smoke sym-smoke fault-smoke examples artifacts clean
 
 all: build
 
@@ -43,6 +43,18 @@ sym-smoke:
 	dune exec test/test_main.exe -- test symmetry
 	dune build @test/cram/runtest
 	dune exec bin/ccr.exe -- check migratory -n 7 --level async --symmetry auto
+
+# Fault model: unit suite, the --faults cram checks, then the headline
+# demonstration live — the vanilla refinement must FAIL (exit 2, with a
+# starvation counterexample) under one dropped ack, and the hardened
+# variant must absorb the same budget cleanly.
+fault-smoke:
+	dune build @all
+	dune exec test/test_main.exe -- test faults
+	dune build @test/cram/runtest
+	! dune exec bin/ccr.exe -- check migratory -n 2 --faults drop=1@ack
+	dune exec bin/ccr.exe -- check migratory -n 2 --faults drop=1@ack --harden
+	dune exec bin/ccr.exe -- run migratory -n 2 --budget 20 --faults drop=1,dup=1 --harden --seed 3
 
 examples:
 	dune exec examples/quickstart.exe

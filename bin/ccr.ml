@@ -8,8 +8,12 @@
      export      print a protocol in the textual .ccr syntax
      explain     derivation report: what the refinement did and why
      check       model-check a protocol level with its invariants
+                 (--faults adds a budget of network faults; --harden
+                 checks the retransmit/dedup-hardened transport)
      eq1         verify the §4 stuttering simulation
      sim         simulate the refined protocol and report efficiency
+     run         execute the protocol on real threads, optionally through
+                 the fault-injecting transport
      msc         message-sequence chart of a simulated execution
      progress    deadlock + AG-EF-progress analysis (§2.5)
 
@@ -18,7 +22,11 @@
 open Ccr_core
 open Ccr_protocols
 module Explore = Ccr_modelcheck.Explore
+module Graph = Ccr_modelcheck.Graph
 module Async = Ccr_refine.Async
+module Fault = Ccr_faults.Fault
+module Injected = Ccr_faults.Injected
+module Plan = Ccr_faults.Plan
 
 (* A protocol argument is a registry name or a path to a [.ccr] file.
    File-based protocols get no built-in invariants; everything else
@@ -100,6 +108,40 @@ let jobs_arg =
           "Worker domains for state-space exploration (1 = sequential).  \
            With J > 1, counterexample traces come from a sequential re-run \
            after the parallel search finds a violation or deadlock.")
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Inject network faults from a budget spec: comma-separated \
+           $(b,drop=K), $(b,dup=K), $(b,delay=K), $(b,pause=K), each \
+           channel fault optionally filtered by message class as in \
+           $(b,drop=1\\@ack) ($(b,\\@req), $(b,\\@ack), $(b,\\@nack)).  \
+           $(b,check) explores every placement within the budget; \
+           $(b,sim) and $(b,run) draw one deterministic plan from \
+           $(b,--seed).")
+
+let harden_arg =
+  Arg.(
+    value & flag
+    & info [ "harden" ]
+        ~doc:
+          "Replace the paper's bare reliable channels with the hardened \
+           transport: timeouts, sequence-numbered retransmission and \
+           duplicate suppression.  Coherence and quiescence must then \
+           survive the fault budget.")
+
+(* Parse --faults, or die with a usage error. *)
+let fault_spec_of = function
+  | None -> None
+  | Some s -> (
+    match Fault.parse s with
+    | Ok spec -> Some spec
+    | Error msg ->
+      Fmt.epr "bad --faults spec: %s@." msg;
+      exit 1)
 
 let instantiate (e : Registry.t) ~generic ~n =
   Ccr_obs.Trace.with_span "instantiate"
@@ -239,7 +281,11 @@ let show_cmd =
             "Output format: $(b,ascii), $(b,dot), $(b,promela) (rendezvous \
              only), or $(b,c) (refined dispatch tables).")
   in
-  let run (e : Registry.t) n generic level format =
+  let run (e : Registry.t) n generic level format harden =
+    if harden && level = `Rv then begin
+      Fmt.epr "--harden applies to the refined level only.@.";
+      exit 1
+    end;
     match (level, format, e.Registry.system) with
     | `Rv, `Ascii, Some sys -> Fmt.pr "%a@." Ccr_viz.Ascii.pp_system sys
     | `Rv, `Dot, Some sys ->
@@ -255,8 +301,8 @@ let show_cmd =
       exit 1
     | `Refined, fmt, _ -> (
       let prog = instantiate e ~generic ~n in
-      let home = Ccr_refine.Compile.home_automaton prog in
-      let remote = Ccr_refine.Compile.remote_automaton prog in
+      let home = Ccr_refine.Compile.home_automaton ~harden prog in
+      let remote = Ccr_refine.Compile.remote_automaton ~harden prog in
       match fmt with
       | `Ascii ->
         Fmt.pr "%a@.%a@." Ccr_viz.Ascii.pp_automaton home
@@ -273,7 +319,9 @@ let show_cmd =
   in
   Cmd.v
     (Cmd.info "show" ~doc:"Render a protocol or its refined automata.")
-    Term.(const run $ protocol_arg $ n_arg $ generic_arg $ level $ format)
+    Term.(
+      const run $ protocol_arg $ n_arg $ generic_arg $ level $ format
+      $ harden_arg)
 
 (* ---- pairs --------------------------------------------------------------- *)
 
@@ -358,8 +406,9 @@ let check_cmd =
              falls back past 6 remotes).  Counterexample traces are always \
              concrete, replayable runs.")
   in
-  let run (e : Registry.t) n k generic level symmetry max_states mem jobs
-      progress trace_file metrics_file =
+  let run (e : Registry.t) n k generic level symmetry faults harden max_states
+      mem jobs progress trace_file metrics_file =
+    let fspec = fault_spec_of faults in
     let reg = Obs.setup ~trace_file in
     let ppf = Obs.report_ppf ~metrics_file in
     let meter = Obs.meter reg in
@@ -482,8 +531,116 @@ let check_cmd =
       | _ -> if r.outcome <> Explore.Complete then exit 2
     in
     let jobs_tag = if jobs > 1 then Fmt.str ", j=%d" jobs else "" in
-    match level with
-    | `Rv ->
+    (* Fault budgets break the interchangeability of remote identities (a
+       budgeted drop on remote 0's channel is not a drop on remote 1's),
+       so symmetry reduction is forced off under --faults. *)
+    match (level, fspec) with
+    | `Rv, Some spec ->
+      if Fault.total spec > spec.Fault.pause then begin
+        Fmt.epr
+          "the rendezvous level has no channels: only pause=K applies \
+           (got %a)@."
+          Fault.pp spec;
+        exit 1
+      end;
+      let invariants =
+        List.map
+          (fun (nm, f) ->
+            (nm, fun (fs : Injected.rv_fstate) -> f fs.Injected.rv_base))
+          (e.Registry.rv_invariants prog)
+      in
+      let r =
+        explore ~invariants
+          Explore.
+            {
+              init = Injected.rv_initial spec prog;
+              succ = Injected.rv_successors prog;
+              encode = Injected.rv_encode;
+              canon = None;
+            }
+      in
+      report
+        (Fmt.str "%s (rendezvous, n=%d, faults=%a%s)" e.name n Fault.pp spec
+           jobs_tag)
+        r
+        (Injected.pp_rv_fstate prog)
+    | `Async, Some spec ->
+      let cfg = Async.{ k } in
+      let mode = if harden then Injected.Hardened else Injected.Vanilla in
+      let invariants =
+        Injected.no_wedge
+        :: List.map Injected.lift_invariant (e.Registry.async_invariants prog)
+      in
+      let sys =
+        Explore.
+          {
+            init = Injected.initial spec prog cfg;
+            succ = Injected.successors mode spec prog cfg;
+            encode = Injected.encode;
+            canon = None;
+          }
+      in
+      let r = explore ~check_deadlock:true ~invariants sys in
+      report
+        (Fmt.str "%s (async, n=%d, k=%d%s, faults=%a, %s%s)" e.name n k
+           (if generic then ", generic" else "")
+           Fault.pp spec
+           (if harden then "hardened" else "vanilla")
+           jobs_tag)
+        r
+        (Injected.pp_fstate prog);
+      (* [report] returned: safety held and no deadlock.  The remaining
+         question is liveness — a dropped message can leave a remote
+         stuck in its transient state forever while the rest of the
+         system keeps running (starvation, not deadlock), so ask the
+         reachability graph: can every remote always still complete? *)
+      let g = Graph.build ~max_states sys in
+      if g.Graph.truncated then
+        Fmt.pf ppf
+          "liveness: not assessed (graph truncated; raise --max-states)@."
+      else begin
+        let progress_of pred l =
+          match l with
+          | Injected.Step al -> Injected.completes al && pred al
+          | Injected.Fault _ -> false
+        in
+        let starved =
+          List.concat
+            (List.init n (fun i ->
+                 match
+                   Graph.violates_ag_ef g
+                     ~progress:(progress_of (fun al -> al.Async.actor = i))
+                 with
+                 | [] -> []
+                 | bad -> [ (i, bad) ]))
+        in
+        match starved with
+        | [] ->
+          Fmt.pf ppf
+            "liveness: every remote can always still complete a rendezvous \
+             (quiescence preserved under the fault budget)@."
+        | (i, bad) :: _ ->
+          Fmt.pf ppf
+            "liveness violation: remote %d can be starved forever (%d \
+             reachable states lose its completion)@."
+            i (List.length bad);
+          let witness = List.hd bad in
+          let path = Graph.path_to g witness in
+          Fmt.pf ppf "starvation witness (%d steps):@."
+            (List.length path - 1);
+          List.iter
+            (fun (l, _) ->
+              match l with
+              | Some l -> Fmt.pf ppf "  %a@." Injected.pp_label l
+              | None -> ())
+            path;
+          (match List.rev path with
+          | (_, st) :: _ ->
+            Fmt.pf ppf "stuck state:@.%a@." (Injected.pp_fstate prog) st
+          | [] -> ());
+          exit 2
+      end
+    | `Rv, None ->
       let r =
         explore
           ~invariants:(e.Registry.rv_invariants prog)
@@ -499,7 +656,7 @@ let check_cmd =
         (Fmt.str "%s (rendezvous, n=%d%s%s)" e.name n jobs_tag sym_tag)
         r
         (Ccr_semantics.Rendezvous.pp_state prog)
-    | `Async ->
+    | `Async, None ->
       let cfg = Async.{ k } in
       let succ_base = Async.successors ~meter prog cfg in
       let succ =
@@ -539,8 +696,8 @@ let check_cmd =
           deadlock.")
     Term.(
       const run $ protocol_arg $ n_arg $ k_arg $ generic_arg $ level
-      $ symmetry $ max_states_arg $ mem $ jobs_arg $ Obs.progress_arg
-      $ Obs.trace_arg $ Obs.metrics_arg)
+      $ symmetry $ faults_arg $ harden_arg $ max_states_arg $ mem $ jobs_arg
+      $ Obs.progress_arg $ Obs.trace_arg $ Obs.metrics_arg)
 
 (* ---- eq1 ----------------------------------------------------------------- *)
 
@@ -594,11 +751,18 @@ let sim_cmd =
             "Scheduler: $(b,uniform), $(b,home-first), or $(b,starve:I) \
              (adversary that never schedules remote I).")
   in
-  let run (e : Registry.t) n k generic steps seed sched progress trace_file
-      metrics_file =
+  let run (e : Registry.t) n k generic steps seed sched faults harden progress
+      trace_file metrics_file =
     let reg = Obs.setup ~trace_file in
     let ppf = Obs.report_ppf ~metrics_file in
     let prog = instantiate e ~generic ~n in
+    let fplan =
+      Option.map
+        (fun spec ->
+          ( (if harden then Injected.Hardened else Injected.Vanilla),
+            Plan.random ~n ~seed spec ))
+        (fault_spec_of faults)
+    in
     let sched =
       match String.split_on_char ':' sched with
       | [ "uniform" ] -> Ccr_simulate.Sched.uniform
@@ -621,8 +785,8 @@ let sim_cmd =
     in
     let m =
       Obs.T.with_span "simulate" (fun () ->
-          Ccr_simulate.Sim.run ~seed ~metrics:reg ?on_progress ~steps prog
-            Async.{ k } sched)
+          Ccr_simulate.Sim.run ~seed ~metrics:reg ?faults:fplan ?on_progress
+            ~steps prog Async.{ k } sched)
     in
     if progress then Printf.eprintf "\r%s\r%!" (String.make 79 ' ');
     let el = Unix.gettimeofday () -. t0 in
@@ -635,14 +799,88 @@ let sim_cmd =
     List.iter
       (fun (r, c) ->
         if c > 0 then Fmt.pf ppf "  %-18s %d@." (Async.rule_name r) c)
-      m.Ccr_simulate.Sim.rule_counts
+      m.Ccr_simulate.Sim.rule_counts;
+    match m.Ccr_simulate.Sim.blocked with
+    | Some cfg ->
+      (* deadlocked or wedged: show where the system got stuck *)
+      Fmt.pf ppf "blocked configuration:@.%s@." cfg;
+      exit 2
+    | None -> ()
   in
   Cmd.v
     (Cmd.info "sim"
-       ~doc:"Simulate the refined protocol and report efficiency metrics.")
+       ~doc:
+         "Simulate the refined protocol and report efficiency metrics.  \
+          Deadlocked or wedged runs print the blocked configuration and \
+          exit 2.")
     Term.(
       const run $ protocol_arg $ n_arg $ k_arg $ generic_arg $ steps $ seed
-      $ sched $ Obs.progress_arg $ Obs.trace_arg $ Obs.metrics_arg)
+      $ sched $ faults_arg $ harden_arg $ Obs.progress_arg $ Obs.trace_arg
+      $ Obs.metrics_arg)
+
+(* ---- run ------------------------------------------------------------------ *)
+
+let run_cmd =
+  let budget =
+    Arg.(
+      value & opt int 100
+      & info [ "budget" ] ~docv:"CYCLES"
+          ~doc:"Protocol cycles each remote thread performs.")
+  in
+  let deadline =
+    Arg.(
+      value & opt float 10.
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock deadline; when hit, the per-node watchdog names \
+             the stuck node and its control state.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Fault-plan seed.  Thread interleavings come from the OS \
+             scheduler; the injected faults are deterministic in the \
+             seed alone.")
+  in
+  let run (e : Registry.t) n k generic budget deadline seed faults harden
+      metrics_file =
+    let reg = Obs.setup ~trace_file:None in
+    let ppf = Obs.report_ppf ~metrics_file in
+    let prog = instantiate e ~generic ~n in
+    let fplan =
+      Option.map
+        (fun spec ->
+          ( (if harden then Injected.Hardened else Injected.Vanilla),
+            Plan.random ~n ~seed spec ))
+        (fault_spec_of faults)
+    in
+    let s =
+      Ccr_runtime.Runtime.run ~seed ~deadline_s:deadline ~metrics:reg
+        ?faults:fplan ~budget
+        ~invariants:(e.Registry.async_invariants prog)
+        prog
+        Async.{ k }
+    in
+    Obs.emit reg ~trace_file:None ~metrics_file;
+    Fmt.pf ppf "%a@." Ccr_runtime.Runtime.pp_stats s;
+    if
+      (not s.Ccr_runtime.Runtime.quiescent)
+      || s.Ccr_runtime.Runtime.invariant_failures <> []
+      || s.Ccr_runtime.Runtime.protocol_errors <> []
+    then exit 2
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Execute the refined protocol on real threads — optionally \
+          through the fault-injecting transport — and check the coherence \
+          invariants on the final configuration.  Non-quiescent runs \
+          report the stuck node and exit 2.")
+    Term.(
+      const run $ protocol_arg $ n_arg $ k_arg $ generic_arg $ budget
+      $ deadline $ seed $ faults_arg $ harden_arg $ Obs.metrics_arg)
 
 (* ---- msc ----------------------------------------------------------------- *)
 
@@ -725,5 +963,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; show_cmd; pairs_cmd; export_cmd; explain_cmd; check_cmd; eq1_cmd;
-            sim_cmd; msc_cmd; progress_cmd;
+            sim_cmd; run_cmd; msc_cmd; progress_cmd;
           ]))

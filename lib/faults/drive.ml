@@ -1,0 +1,211 @@
+open Ccr_refine
+
+let rto_ticks = 12
+let delay_ticks = 6
+
+type pending = {
+  p_chan : Fault.chan;
+  p_wire : Wire.t;
+  mutable p_ahead : int;
+      (* messages in front of the gap; -1 = re-enter at the tail
+         (vanilla delay) *)
+  p_due : int;
+  p_retx : bool;
+}
+
+type t = {
+  d_mode : Injected.mode;
+  d_plan : Plan.t;
+  d_cur : Plan.cursor;
+  d_counts : Fault.counts;
+  mutable d_pending : pending list;
+}
+
+let create mode plan =
+  let counts = Fault.zero () in
+  counts.Fault.pauses <- List.length plan.Plan.windows;
+  {
+    d_mode = mode;
+    d_plan = plan;
+    d_cur = Plan.cursor plan;
+    d_counts = counts;
+    d_pending = [];
+  }
+
+let counts t = t.d_counts
+
+let set_arr a i x =
+  let a' = Array.copy a in
+  a'.(i) <- x;
+  a'
+
+let get_chan (st : Async.state) = function
+  | Fault.To_h i -> st.Async.to_h.(i)
+  | Fault.To_r i -> st.Async.to_r.(i)
+
+let set_chan (st : Async.state) ch l =
+  match ch with
+  | Fault.To_h i -> { st with Async.to_h = set_arr st.Async.to_h i l }
+  | Fault.To_r i -> { st with Async.to_r = set_arr st.Async.to_r i l }
+
+let rec insert_at l pos w =
+  if pos <= 0 then w :: l
+  else
+    match l with [] -> [ w ] | x :: rest -> x :: insert_at rest (pos - 1) w
+
+let rec remove_at l pos =
+  match (l, pos) with
+  | [], _ -> []
+  | _ :: rest, 0 -> rest
+  | x :: rest, _ -> x :: remove_at rest (pos - 1)
+
+let step_begin t ~step st =
+  let due, still =
+    List.partition (fun p -> p.p_due <= step) t.d_pending
+  in
+  t.d_pending <- still;
+  List.fold_left
+    (fun st p ->
+      let l = get_chan st p.p_chan in
+      let l' =
+        if p.p_ahead < 0 then l @ [ p.p_wire ]
+        else insert_at l (min p.p_ahead (List.length l)) p.p_wire
+      in
+      if p.p_retx then t.d_counts.retransmits <- t.d_counts.retransmits + 1;
+      set_chan st p.p_chan l')
+    st due
+
+let gap_on t ch =
+  List.exists (fun p -> p.p_chan = ch && p.p_ahead >= 0) t.d_pending
+
+let successors t ~step prog cfg (st : Async.state) =
+  let n = t.d_plan.Plan.pn in
+  let paused = Array.init n (fun i -> Plan.paused_at t.d_plan i step) in
+  let stalled_h =
+    Array.init n (fun i ->
+        List.exists
+          (fun p -> p.p_chan = Fault.To_h i && p.p_ahead = 0)
+          t.d_pending)
+  in
+  let stalled_r =
+    Array.init n (fun i ->
+        List.exists
+          (fun p -> p.p_chan = Fault.To_r i && p.p_ahead = 0)
+          t.d_pending)
+  in
+  let steps, wedges =
+    Injected.protocol_successors ~paused ~stalled_h ~stalled_r prog cfg st
+  in
+  (steps, match wedges with [] -> None | (_, m) :: _ -> Some m)
+
+(* Longest-prefix diff of one channel: FIFO transitions pop at most one
+   head and append at the tail, so [after] is [before] (minus its head if
+   the transition consumed it) followed by the newly sent messages. *)
+let rec is_prefix p l =
+  match (p, l) with
+  | [], _ -> true
+  | x :: p', y :: l' -> Wire.equal x y && is_prefix p' l'
+  | _ :: _, [] -> false
+
+let rec drop_n n l = if n <= 0 then l else match l with [] -> [] | _ :: r -> drop_n (n - 1) r
+
+let observe t ~step ~before (after : Async.state) =
+  let n = t.d_plan.Plan.pn in
+  let chans =
+    List.init n (fun i -> Fault.To_h i) @ List.init n (fun i -> Fault.To_r i)
+  in
+  List.fold_left
+    (fun st ch ->
+      let b = get_chan before ch and a = get_chan st ch in
+      let popped = not (is_prefix b a) in
+      if popped then
+        (* the consumed head was in front of any gap: the gap moves up *)
+        List.iter
+          (fun p -> if p.p_chan = ch && p.p_ahead > 0 then p.p_ahead <- p.p_ahead - 1)
+          t.d_pending;
+      let first_new = List.length b - if popped then 1 else 0 in
+      let news = drop_n first_new a in
+      let lst = ref a and pos = ref first_new in
+      List.iter
+        (fun w ->
+          match
+            (Plan.decide t.d_plan t.d_cur ch w, t.d_mode)
+          with
+          | Plan.Deliver, _ ->
+            t.d_counts.delivered <- t.d_counts.delivered + 1;
+            incr pos
+          | Plan.Dup, Injected.Vanilla ->
+            t.d_counts.dups <- t.d_counts.dups + 1;
+            lst := insert_at !lst (!pos + 1) w;
+            pos := !pos + 2
+          | Plan.Dup, Injected.Hardened ->
+            t.d_counts.dups <- t.d_counts.dups + 1;
+            t.d_counts.absorbed <- t.d_counts.absorbed + 1;
+            incr pos
+          | Plan.Drop, Injected.Vanilla ->
+            t.d_counts.drops <- t.d_counts.drops + 1;
+            lst := remove_at !lst !pos
+          | Plan.Drop, Injected.Hardened ->
+            if gap_on t ch then begin
+              (* one gap per channel; the slot is taken, deliver *)
+              t.d_counts.delivered <- t.d_counts.delivered + 1;
+              incr pos
+            end
+            else begin
+              t.d_counts.drops <- t.d_counts.drops + 1;
+              t.d_pending <-
+                t.d_pending
+                @ [
+                    {
+                      p_chan = ch;
+                      p_wire = w;
+                      p_ahead = !pos;
+                      p_due = step + rto_ticks;
+                      p_retx = true;
+                    };
+                  ];
+              lst := remove_at !lst !pos
+            end
+          | Plan.Delay, Injected.Vanilla ->
+            t.d_counts.delays <- t.d_counts.delays + 1;
+            t.d_pending <-
+              t.d_pending
+              @ [
+                  {
+                    p_chan = ch;
+                    p_wire = w;
+                    p_ahead = -1;
+                    p_due = step + delay_ticks;
+                    p_retx = false;
+                  };
+                ];
+            lst := remove_at !lst !pos
+          | Plan.Delay, Injected.Hardened ->
+            if gap_on t ch then begin
+              t.d_counts.delivered <- t.d_counts.delivered + 1;
+              incr pos
+            end
+            else begin
+              t.d_counts.delays <- t.d_counts.delays + 1;
+              t.d_pending <-
+                t.d_pending
+                @ [
+                    {
+                      p_chan = ch;
+                      p_wire = w;
+                      p_ahead = !pos;
+                      p_due = step + delay_ticks;
+                      p_retx = false;
+                    };
+                  ];
+              lst := remove_at !lst !pos
+            end)
+        news;
+      if !lst == a then st else set_chan st ch !lst)
+    after chans
+
+let waiting t ~step =
+  t.d_pending <> []
+  || List.exists
+       (fun (w : Plan.window) -> w.w_start <= step && step < w.w_start + w.w_len)
+       t.d_plan.Plan.windows

@@ -1,0 +1,42 @@
+(** Deterministic fault injection for a single simulated execution.
+
+    Applies a {!Plan.t} to the asynchronous state the simulator threads
+    through {!Ccr_simulate.Sim}: each message {e enqueued} by an executed
+    transition is counted on its channel and given its planned fate
+    (deliver / drop / duplicate / delay), pause windows mask the affected
+    remote's transitions, and — in hardened mode — lost or delayed
+    messages re-enter at their original FIFO position after a retransmit
+    timeout, mirroring {!Injected}'s ghost-ARQ model tick by tick. *)
+
+open Ccr_core
+open Ccr_refine
+
+type t
+
+val create : Injected.mode -> Plan.t -> t
+
+val step_begin : t -> step:int -> Async.state -> Async.state
+(** Re-inject messages whose retransmit/delay timer expired. *)
+
+val successors :
+  t ->
+  step:int ->
+  Prog.t ->
+  Async.config ->
+  Async.state ->
+  (Async.label * Async.state) list * string option
+(** Protocol transitions under the current pause/stall masks; [Some msg]
+    if a head reception would raise [Protocol_error] (the run is wedged). *)
+
+val observe :
+  t -> step:int -> before:Async.state -> Async.state -> Async.state
+(** Account the executed transition [before → after]: advance gap
+    positions past the consumed message and decide the fate of every
+    newly enqueued message, editing the channels accordingly. *)
+
+val waiting : t -> step:int -> bool
+(** True if a quiet system is only waiting on the fault layer (a pending
+    re-injection or an active pause window), so an empty successor list
+    is not yet a deadlock. *)
+
+val counts : t -> Fault.counts

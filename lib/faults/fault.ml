@@ -1,0 +1,166 @@
+open Ccr_refine
+
+type wire_filter = Kany | Kreq | Kack | Knack
+
+type chan = To_h of int | To_r of int
+
+type spec = {
+  drop : int;
+  drop_on : wire_filter;
+  dup : int;
+  dup_on : wire_filter;
+  delay : int;
+  delay_on : wire_filter;
+  pause : int;
+}
+
+let none =
+  {
+    drop = 0;
+    drop_on = Kany;
+    dup = 0;
+    dup_on = Kany;
+    delay = 0;
+    delay_on = Kany;
+    pause = 0;
+  }
+
+let total s = s.drop + s.dup + s.delay + s.pause
+let is_none s = total s = 0
+
+let filter_of_string = function
+  | "any" -> Ok Kany
+  | "req" -> Ok Kreq
+  | "ack" -> Ok Kack
+  | "nack" -> Ok Knack
+  | f -> Error (Fmt.str "unknown message filter %S (any/req/ack/nack)" f)
+
+let filter_name = function
+  | Kany -> "any"
+  | Kreq -> "req"
+  | Kack -> "ack"
+  | Knack -> "nack"
+
+let parse s =
+  let item acc part =
+    match acc with
+    | Error _ as e -> e
+    | Ok spec -> (
+      let kind, count, filt =
+        match String.index_opt part '=' with
+        | None -> (part, Error "missing =COUNT", Ok Kany)
+        | Some i -> (
+          let kind = String.sub part 0 i in
+          let rest = String.sub part (i + 1) (String.length part - i - 1) in
+          let countstr, filt =
+            match String.index_opt rest '@' with
+            | None -> (rest, Ok Kany)
+            | Some j ->
+              ( String.sub rest 0 j,
+                filter_of_string
+                  (String.sub rest (j + 1) (String.length rest - j - 1)) )
+          in
+          match int_of_string_opt countstr with
+          | Some c when c >= 0 -> (kind, Ok c, filt)
+          | _ -> (kind, Error (Fmt.str "bad count %S" countstr), filt))
+      in
+      match (count, filt) with
+      | Error e, _ | _, Error e -> Error (Fmt.str "%s: %s" part e)
+      | Ok c, Ok f -> (
+        match kind with
+        | "drop" -> Ok { spec with drop = c; drop_on = f }
+        | "dup" -> Ok { spec with dup = c; dup_on = f }
+        | "delay" -> Ok { spec with delay = c; delay_on = f }
+        | "pause" ->
+          if f <> Kany then
+            Error "pause takes no message filter"
+          else Ok { spec with pause = c }
+        | k ->
+          Error (Fmt.str "unknown fault kind %S (drop/dup/delay/pause)" k)))
+  in
+  String.split_on_char ',' (String.trim s)
+  |> List.filter (fun p -> String.trim p <> "")
+  |> List.map String.trim
+  |> List.fold_left item (Ok none)
+
+let pp ppf s =
+  let part name c f =
+    if c = 0 then None
+    else if f = Kany then Some (Fmt.str "%s=%d" name c)
+    else Some (Fmt.str "%s=%d@%s" name c (filter_name f))
+  in
+  let parts =
+    List.filter_map Fun.id
+      [
+        part "drop" s.drop s.drop_on;
+        part "dup" s.dup s.dup_on;
+        part "delay" s.delay s.delay_on;
+        (if s.pause = 0 then None else Some (Fmt.str "pause=%d" s.pause));
+      ]
+  in
+  Fmt.string ppf (if parts = [] then "none" else String.concat "," parts)
+
+let matches f (w : Wire.t) =
+  match (f, w) with
+  | Kany, _ -> true
+  | Kreq, Wire.Req _ -> true
+  | Kack, Wire.Ack -> true
+  | Knack, Wire.Nack -> true
+  | _ -> false
+
+let pp_chan ppf = function
+  | To_h i -> Fmt.pf ppf "r%d→h" i
+  | To_r i -> Fmt.pf ppf "h→r%d" i
+
+let chan_index ~n = function To_h i -> i | To_r i -> n + i
+
+type counts = {
+  mutable drops : int;
+  mutable dups : int;
+  mutable delays : int;
+  mutable pauses : int;
+  mutable retransmits : int;
+  mutable absorbed : int;
+  mutable delivered : int;
+}
+
+let zero () =
+  {
+    drops = 0;
+    dups = 0;
+    delays = 0;
+    pauses = 0;
+    retransmits = 0;
+    absorbed = 0;
+    delivered = 0;
+  }
+
+type fcounts = {
+  f_drops : int;
+  f_dups : int;
+  f_delays : int;
+  f_pauses : int;
+  f_retransmits : int;
+  f_absorbed : int;
+  f_delivered : int;
+}
+
+let freeze c =
+  {
+    f_drops = c.drops;
+    f_dups = c.dups;
+    f_delays = c.delays;
+    f_pauses = c.pauses;
+    f_retransmits = c.retransmits;
+    f_absorbed = c.absorbed;
+    f_delivered = c.delivered;
+  }
+
+let injected f = f.f_drops + f.f_dups + f.f_delays + f.f_pauses
+
+let pp_fcounts ppf f =
+  Fmt.pf ppf
+    "injected %d (%d drop, %d dup, %d delay, %d pause); %d retransmits, %d \
+     absorbed, %d delivered clean"
+    (injected f) f.f_drops f.f_dups f.f_delays f.f_pauses f.f_retransmits
+    f.f_absorbed f.f_delivered

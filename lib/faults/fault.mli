@@ -1,0 +1,77 @@
+(** Network-fault vocabulary shared by the checker, the simulator and the
+    runtime.
+
+    The paper's refinement (§2.2) assumes reliable, in-order,
+    point-to-point FIFO channels.  A {!spec} relaxes that assumption by a
+    finite budget of {e faults}: per-channel message drops, duplications
+    and delays, plus remote pause/resume (a node that stops reacting for
+    a while).  Budgets keep every derived state space finite; per-kind
+    wire filters let a fault target a message class (e.g. only acks,
+    which is where the vanilla refinement is most fragile). *)
+
+open Ccr_refine
+
+type wire_filter =
+  | Kany
+  | Kreq  (** requests (including replies) *)
+  | Kack
+  | Knack
+
+type chan =
+  | To_h of int  (** channel remote [i] → home *)
+  | To_r of int  (** channel home → remote [i] *)
+
+type spec = {
+  drop : int;  (** messages the network may lose *)
+  drop_on : wire_filter;
+  dup : int;  (** messages the network may duplicate *)
+  dup_on : wire_filter;
+  delay : int;  (** messages the network may reorder past successors *)
+  delay_on : wire_filter;
+  pause : int;  (** remotes that may stop reacting for a while *)
+}
+
+val none : spec
+val total : spec -> int
+val is_none : spec -> bool
+
+val parse : string -> (spec, string) result
+(** Parse a budget spec such as ["drop=1"], ["drop=1@ack,dup=2"],
+    ["delay=1@req,pause=1"].  Kinds: [drop], [dup], [delay], [pause];
+    filters: [@any] (default), [@req], [@ack], [@nack]. *)
+
+val pp : spec Fmt.t
+val matches : wire_filter -> Wire.t -> bool
+val pp_chan : chan Fmt.t
+
+val chan_index : n:int -> chan -> int
+(** Dense index in [0, 2n): [To_h i ↦ i], [To_r i ↦ n + i]. *)
+
+(** {2 Injection accounting} *)
+
+type counts = {
+  mutable drops : int;  (** messages dropped by the network *)
+  mutable dups : int;  (** messages duplicated by the network *)
+  mutable delays : int;  (** messages delayed past a successor *)
+  mutable pauses : int;  (** remote pause windows *)
+  mutable retransmits : int;  (** hardened: retransmissions issued *)
+  mutable absorbed : int;  (** hardened: duplicates deduplicated away *)
+  mutable delivered : int;  (** fault-eligible messages passed untouched *)
+}
+
+val zero : unit -> counts
+
+type fcounts = {
+  f_drops : int;
+  f_dups : int;
+  f_delays : int;
+  f_pauses : int;
+  f_retransmits : int;
+  f_absorbed : int;
+  f_delivered : int;
+}
+(** Immutable snapshot of {!counts}, safe to embed in result records. *)
+
+val freeze : counts -> fcounts
+val injected : fcounts -> int
+val pp_fcounts : fcounts Fmt.t

@@ -1,0 +1,113 @@
+open Ccr_refine
+
+type decision = Deliver | Drop | Dup | Delay
+
+type event = {
+  ev_kind : decision;
+  ev_on : Fault.wire_filter;
+  ev_chan : Fault.chan;
+  ev_ord : int;
+}
+
+type window = { w_remote : int; w_start : int; w_len : int }
+
+type t = {
+  pn : int;
+  events : event list;
+  windows : window list;
+  spec : Fault.spec;
+}
+
+let make ~n ?(windows = []) spec events = { pn = n; events; windows; spec }
+
+let filter_index = function
+  | Fault.Kany -> 0
+  | Fault.Kreq -> 1
+  | Fault.Kack -> 2
+  | Fault.Knack -> 3
+
+let random ~n ?(horizon = 12) ~seed (spec : Fault.spec) =
+  let rng = Random.State.make [| 0x5eed; seed |] in
+  let used = Hashtbl.create 16 in
+  let chan_of i = if i < n then Fault.To_h i else Fault.To_r (i - n) in
+  let fresh_slot on =
+    (* retry a few times for a slot no other event owns; collisions are
+       harmless (first event wins) but waste budget *)
+    let rec go tries =
+      let ci = Random.State.int rng (2 * n) in
+      let ord = 1 + Random.State.int rng horizon in
+      let key = (ci, filter_index on, ord) in
+      if Hashtbl.mem used key && tries < 64 then go (tries + 1)
+      else begin
+        Hashtbl.replace used key ();
+        (chan_of ci, ord)
+      end
+    in
+    go 0
+  in
+  let gen count kind on =
+    List.init count (fun _ ->
+        let ev_chan, ev_ord = fresh_slot on in
+        { ev_kind = kind; ev_on = on; ev_chan; ev_ord })
+  in
+  let events =
+    gen spec.drop Drop spec.drop_on
+    @ gen spec.dup Dup spec.dup_on
+    @ gen spec.delay Delay spec.delay_on
+  in
+  let windows =
+    List.init spec.pause (fun _ ->
+        let w_remote = Random.State.int rng n in
+        let w_start = Random.State.int rng 200 in
+        let w_len = 20 + Random.State.int rng 100 in
+        { w_remote; w_start; w_len })
+  in
+  { pn = n; events; windows; spec }
+
+let paused_at t i tick =
+  List.exists
+    (fun w -> w.w_remote = i && w.w_start <= tick && tick < w.w_start + w.w_len)
+    t.windows
+
+type cursor = int array (* (channel, filter) -> messages seen *)
+
+let cursor t = Array.make (2 * t.pn * 4) 0
+
+let decide t (cur : cursor) ch (w : Wire.t) =
+  let ci = Fault.chan_index ~n:t.pn ch in
+  (* advance every filter the message matches *)
+  List.iter
+    (fun f ->
+      if Fault.matches f w then begin
+        let idx = (ci * 4) + filter_index f in
+        cur.(idx) <- cur.(idx) + 1
+      end)
+    [ Fault.Kany; Fault.Kreq; Fault.Kack; Fault.Knack ];
+  let hit =
+    List.find_opt
+      (fun ev ->
+        ev.ev_chan = ch
+        && Fault.matches ev.ev_on w
+        && cur.((ci * 4) + filter_index ev.ev_on) = ev.ev_ord)
+      t.events
+  in
+  match hit with Some ev -> ev.ev_kind | None -> Deliver
+
+let pp_decision ppf = function
+  | Deliver -> Fmt.string ppf "deliver"
+  | Drop -> Fmt.string ppf "drop"
+  | Dup -> Fmt.string ppf "dup"
+  | Delay -> Fmt.string ppf "delay"
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>spec %a@,%a%a@]" Fault.pp t.spec
+    Fmt.(
+      list ~sep:nop (fun ppf ev ->
+          Fmt.pf ppf "%a msg #%d on %a@," pp_decision ev.ev_kind ev.ev_ord
+            Fault.pp_chan ev.ev_chan))
+    t.events
+    Fmt.(
+      list ~sep:nop (fun ppf w ->
+          Fmt.pf ppf "pause r%d ticks [%d, %d)@," w.w_remote w.w_start
+            (w.w_start + w.w_len)))
+    t.windows

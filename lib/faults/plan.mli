@@ -1,0 +1,60 @@
+(** Deterministic fault plans for the simulator and the runtime.
+
+    The checker explores {e all} fault placements within a budget; a
+    single execution needs one concrete placement.  A plan pre-assigns
+    every fault of a {!Fault.spec} to a slot — (channel, ordinal of the
+    matching message on that channel) — derived from a seed, so the same
+    seed injects the same faults regardless of thread scheduling.  A
+    {!cursor} counts matching messages per channel at the injection
+    point; {!decide} answers "what happens to this message?". *)
+
+open Ccr_refine
+
+type decision = Deliver | Drop | Dup | Delay
+
+type event = {
+  ev_kind : decision;  (** never [Deliver] *)
+  ev_on : Fault.wire_filter;
+  ev_chan : Fault.chan;
+  ev_ord : int;  (** 1-based ordinal among matching messages on the channel *)
+}
+
+type window = {
+  w_remote : int;
+  w_start : int;  (** tick the pause begins *)
+  w_len : int;  (** ticks it lasts *)
+}
+(** A remote's pause window, in abstract ticks.  The simulator counts one
+    tick per scheduler iteration; the runtime maps a tick to one
+    millisecond of wall time. *)
+
+type t = {
+  pn : int;  (** number of remotes *)
+  events : event list;
+  windows : window list;
+  spec : Fault.spec;
+}
+
+val make : n:int -> ?windows:window list -> Fault.spec -> event list -> t
+(** An exact, hand-written plan — the deterministic-failure tests use
+    this to aim a single fault at a known message. *)
+
+val random : n:int -> ?horizon:int -> seed:int -> Fault.spec -> t
+(** Derive a plan from the seed: each budgeted fault lands on a random
+    channel at a random ordinal in [1, horizon] (default 12), no two
+    faults on the same slot; each pause budget becomes a window. *)
+
+val paused_at : t -> int -> int -> bool
+(** [paused_at t i tick]: is remote [i] inside a pause window? *)
+
+type cursor
+(** Mutable per-(channel, filter) message counters.  Each channel's
+    counters are only ever advanced by that channel's sender (runtime) or
+    the single simulation loop, so no locking is needed. *)
+
+val cursor : t -> cursor
+
+val decide : t -> cursor -> Fault.chan -> Wire.t -> decision
+(** Count the message on its channel and look up the planned fate. *)
+
+val pp : t Fmt.t

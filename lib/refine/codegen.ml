@@ -16,6 +16,8 @@ let event_of (e : Compile.edge) =
   | Compile.E_repl_in -> "EV_REPLY"
   | Compile.E_ignore -> "EV_REQUEST_IGNORED"
   | Compile.E_tau -> "EV_LOCAL_DECISION"
+  | Compile.E_timeout -> "EV_TIMEOUT"
+  | Compile.E_dedup -> "EV_STALE_SEQ"
 
 let action_of (e : Compile.edge) =
   match e.e_kind with
@@ -31,6 +33,8 @@ let action_of (e : Compile.edge) =
     Fmt.str "commit_both_rendezvous(); /* %s */" e.e_label
   | Compile.E_ignore -> "drop_request(); /* implicit nack at peer */"
   | Compile.E_tau -> Fmt.str "/* %s */" e.e_label
+  | Compile.E_timeout -> Fmt.str "retransmit(); /* %s */" e.e_label
+  | Compile.E_dedup -> Fmt.str "reack_and_drop(); /* %s */" e.e_label
 
 let emit_c (a : Compile.automaton) =
   let buf = Buffer.create 2048 in

@@ -12,6 +12,8 @@ type edge_kind =
   | E_ignore
   | E_tau
   | E_reply_send
+  | E_timeout
+  | E_dedup
 
 type edge = {
   e_from : string;
@@ -90,7 +92,59 @@ let prune (a : automaton) =
     a_edges = List.filter (fun e -> Hashtbl.mem reachable e.e_from) a.a_edges;
   }
 
-let remote_automaton (prog : Prog.t) =
+(* Hardening decoration: a timeout/retransmit self-loop on every transient
+   (request-pending) state, and a dedup self-loop on every state with a
+   receive edge.  The sequence number lives in the channel layer
+   ({!Ccr_runtime.Faultlink}), not in the protocol state, so hardening
+   only ever adds self-loops — the state count is untouched. *)
+let harden_automaton (a : automaton) =
+  let receives s =
+    List.exists
+      (fun e ->
+        e.e_from = s
+        &&
+        match e.e_kind with
+        | E_recv_req _ | E_ack_in | E_nack_in | E_repl_in -> true
+        | _ -> false)
+      a.a_edges
+  in
+  let extra =
+    List.concat_map
+      (fun (s, k) ->
+        let timeout =
+          if k = Transient then
+            [
+              {
+                e_from = s;
+                e_to = s;
+                e_kind = E_timeout;
+                e_label = "timeout / !!retransmit#seq";
+              };
+            ]
+          else []
+        in
+        let dedup =
+          if receives s then
+            [
+              {
+                e_from = s;
+                e_to = s;
+                e_kind = E_dedup;
+                e_label = "??stale#seq / !!ack#seq";
+              };
+            ]
+          else []
+        in
+        timeout @ dedup)
+      a.a_states
+  in
+  {
+    a with
+    a_name = a.a_name ^ " hardened";
+    a_edges = a.a_edges @ extra;
+  }
+
+let remote_automaton ?(harden = false) (prog : Prog.t) =
   let proc = prog.remote in
   let states = ref [] and edges = ref [] in
   let add_state s k = states := (s, k) :: !states in
@@ -198,15 +252,18 @@ let remote_automaton (prog : Prog.t) =
               e_label = "h??other / h!!nack";
             })
     proc.p_states;
-  prune
-    {
-      a_name = prog.t_name ^ ".remote (refined)";
-      a_init = proc.p_states.(proc.p_init).cs_name;
-      a_states = List.rev !states;
-      a_edges = List.rev !edges;
-    }
+  let a =
+    prune
+      {
+        a_name = prog.t_name ^ ".remote (refined)";
+        a_init = proc.p_states.(proc.p_init).cs_name;
+        a_states = List.rev !states;
+        a_edges = List.rev !edges;
+      }
+  in
+  if harden then harden_automaton a else a
 
-let home_automaton (prog : Prog.t) =
+let home_automaton ?(harden = false) (prog : Prog.t) =
   let proc = prog.home in
   let states = ref [] and edges = ref [] in
   let add_state s k = states := (s, k) :: !states in
@@ -308,13 +365,16 @@ let home_automaton (prog : Prog.t) =
             invalid_arg "Compile: remote action in the home process")
         st.cs_guards)
     proc.p_states;
-  prune
-    {
-      a_name = prog.t_name ^ ".home (refined)";
-      a_init = proc.p_states.(proc.p_init).cs_name;
-      a_states = List.rev !states;
-      a_edges = List.rev !edges;
-    }
+  let a =
+    prune
+      {
+        a_name = prog.t_name ^ ".home (refined)";
+        a_init = proc.p_states.(proc.p_init).cs_name;
+        a_states = List.rev !states;
+        a_edges = List.rev !edges;
+      }
+  in
+  if harden then harden_automaton a else a
 
 let n_states a = List.length a.a_states
 

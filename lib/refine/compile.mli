@@ -22,6 +22,9 @@ type edge_kind =
   | E_ignore  (** remote in a transient state ignoring a home request *)
   | E_tau
   | E_reply_send  (** fire-and-forget reply *)
+  | E_timeout  (** hardened: retransmit the pending request after an RTO *)
+  | E_dedup
+      (** hardened: a stale sequence number is absorbed and re-acked *)
 
 type edge = {
   e_from : string;
@@ -37,8 +40,16 @@ type automaton = {
   a_edges : edge list;
 }
 
-val remote_automaton : Ccr_core.Prog.t -> automaton
-val home_automaton : Ccr_core.Prog.t -> automaton
+val remote_automaton : ?harden:bool -> Ccr_core.Prog.t -> automaton
+val home_automaton : ?harden:bool -> Ccr_core.Prog.t -> automaton
+(** With [~harden:true] (default [false]) the automata carry the lossy-
+    channel hardening of {!Ccr_faults}: every transient (request-pending)
+    state gains a timeout self-loop that retransmits the request under
+    the same sequence number, and every receiving state gains a dedup
+    self-loop that absorbs a stale sequence number and re-emits its ack.
+    Together these make the §2.2 reliable-FIFO assumption a derived
+    property instead of an axiom: drops are repaired by the timeout,
+    duplicates by the dedup, and the protocol layer above is unchanged. *)
 
 val n_states : automaton -> int
 val n_transient : automaton -> int

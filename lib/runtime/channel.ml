@@ -1,13 +1,26 @@
-type 'a t = { mutex : Mutex.t; queue : 'a Queue.t }
+type 'a t = { mutex : Mutex.t; queue : 'a Queue.t; mutable closed : bool }
 
-let create () = { mutex = Mutex.create (); queue = Queue.create () }
+let create () =
+  { mutex = Mutex.create (); queue = Queue.create (); closed = false }
 
 let with_lock t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
-let send t x = with_lock t (fun () -> Queue.push x t.queue)
-let peek t = with_lock t (fun () -> Queue.peek_opt t.queue)
-let pop t = with_lock t (fun () -> Queue.take_opt t.queue)
+let send t x = with_lock t (fun () -> if not t.closed then Queue.push x t.queue)
+
+let peek t =
+  with_lock t (fun () -> if t.closed then None else Queue.peek_opt t.queue)
+
+let pop t =
+  with_lock t (fun () -> if t.closed then None else Queue.take_opt t.queue)
+
 let length t = with_lock t (fun () -> Queue.length t.queue)
 let is_empty t = length t = 0
+
+let close t =
+  with_lock t (fun () ->
+      t.closed <- true;
+      Queue.clear t.queue)
+
+let is_closed t = with_lock t (fun () -> t.closed)

@@ -3,7 +3,11 @@
     Models the paper's network assumption (§2.2): reliable, in-order,
     point-to-point delivery with unbounded buffering.  The consumer may
     {!peek} before committing to {!pop} — remotes must leave a request
-    queued while their one-slot buffer is full (Table 1). *)
+    queued while their one-slot buffer is full (Table 1).
+
+    A channel can be {!close}d (poisoned): sends are dropped and
+    consumers see an empty channel, so node threads polling it wind down
+    immediately instead of blocking the join behind a wedged peer. *)
 
 type 'a t
 
@@ -18,3 +22,9 @@ val pop : 'a t -> 'a option
 
 val length : 'a t -> int
 val is_empty : 'a t -> bool
+
+val close : 'a t -> unit
+(** Poison the channel: discard its contents, make every later [send] a
+    no-op and every [peek]/[pop] return [None].  Idempotent. *)
+
+val is_closed : 'a t -> bool

@@ -1,5 +1,6 @@
 open Ccr_core
 open Ccr_refine
+open Ccr_faults
 
 type stats = {
   completions : int array;
@@ -14,6 +15,8 @@ type stats = {
   quiescent : bool;
   invariant_failures : string list;
   protocol_errors : string list;
+  faults : Fault.fcounts;
+  watchdog : (string * string) list;
   wall_s : float;
 }
 
@@ -37,12 +40,17 @@ let completes (l : Async.label) =
     true
   | _ -> false
 
-let run ?(seed = 42) ?(deadline_s = 30.0) ?metrics ~budget ~invariants
+let run ?(seed = 42) ?(deadline_s = 30.0) ?metrics ?faults ~budget ~invariants
     (prog : Prog.t) (cfg : Async.config) =
   let t0 = Unix.gettimeofday () in
   let n = prog.n in
-  let to_h = Array.init n (fun _ -> Channel.create ()) in
-  let to_r = Array.init n (fun _ -> Channel.create ()) in
+  let mode, plan =
+    match faults with
+    | Some (m, p) -> (m, p)
+    | None -> (Injected.Vanilla, Plan.make ~n Fault.none [])
+  in
+  let fcounts = Fault.zero () in
+  let link = Faultlink.make ~n ~mode ~plan ~counts:fcounts in
   let stop = Atomic.make false in
   let messages = Atomic.make 0 in
   (* Per-kind message counters.  The node loops are systhreads, not
@@ -60,8 +68,11 @@ let run ?(seed = 42) ?(deadline_s = 30.0) ?metrics ~budget ~invariants
       if m.Wire.m_payload <> [] then Atomic.incr datas_a
     | Wire.Ack -> Atomic.incr acks_a
     | Wire.Nack -> Atomic.incr nacks_a);
-    Channel.send ch w
+    Faultlink.send link ch w
   in
+  (* Pause windows: one plan tick = one millisecond of wall time. *)
+  let tick_now () = int_of_float ((Unix.gettimeofday () -. t0) *. 1000.) in
+  let paused_now i = Plan.paused_at plan i (tick_now ()) in
   (* Written by the home thread only; read after the joins. *)
   let occ_hist = Array.make (cfg.k + 1) 0 in
   let record_occ (h : Async.home) =
@@ -76,7 +87,10 @@ let run ?(seed = 42) ?(deadline_s = 30.0) ?metrics ~budget ~invariants
     Mutex.lock errors_mutex;
     errors := e :: !errors;
     Mutex.unlock errors_mutex;
-    Atomic.set stop true
+    Atomic.set stop true;
+    (* poison the transport so every other node thread winds down now
+       instead of polling until the deadline *)
+    Faultlink.close link
   in
   let count l =
     Atomic.incr steps;
@@ -93,20 +107,25 @@ let run ?(seed = 42) ?(deadline_s = 30.0) ?metrics ~budget ~invariants
     let next = ref 0 in
     try
       while not (Atomic.get stop) do
+        for j = 0 to n - 1 do
+          Faultlink.tick link (Fault.To_r j)
+        done;
         let worked = ref false in
         (* 1. serve incoming messages, round-robin over the remotes *)
         for off = 0 to n - 1 do
           let i = (!next + off) mod n in
           if not !worked then
-            match Channel.peek to_h.(i) with
+            match Faultlink.peek link (Fault.To_h i) with
             | Some w ->
               with_cell hcell (fun c ->
                   match pick rng (Async.home_recv prog cfg c.v i w) with
                   | Some (l, h', outs) ->
-                    ignore (Channel.pop to_h.(i));
+                    ignore (Faultlink.pop link (Fault.To_h i));
                     c.v <- h';
                     record_occ h';
-                    List.iter (fun (j, w) -> send_counted to_r.(j) w) outs;
+                    List.iter
+                      (fun (j, w) -> send_counted (Fault.To_r j) w)
+                      outs;
                     count l;
                     worked := true;
                     next := (i + 1) mod n
@@ -120,7 +139,7 @@ let run ?(seed = 42) ?(deadline_s = 30.0) ?metrics ~budget ~invariants
               | Some (l, h', outs) ->
                 c.v <- h';
                 record_occ h';
-                List.iter (fun (j, w) -> send_counted to_r.(j) w) outs;
+                List.iter (fun (j, w) -> send_counted (Fault.To_r j) w) outs;
                 count l;
                 worked := true
               | None -> ());
@@ -136,39 +155,47 @@ let run ?(seed = 42) ?(deadline_s = 30.0) ?metrics ~budget ~invariants
     let rng = Random.State.make [| seed; i |] in
     try
       while not (Atomic.get stop) do
-        let worked = ref false in
-        (* 1. consume a message from the home if possible *)
-        (match Channel.peek to_r.(i) with
-        | Some w ->
-          with_cell rcells.(i) (fun c ->
-              match pick rng (Async.remote_recv prog c.v i w) with
-              | Some (l, r', outs) ->
-                ignore (Channel.pop to_r.(i));
-                c.v <- r';
-                List.iter (fun w -> send_counted to_h.(i) w) outs;
-                count l;
-                worked := true
-              | None -> () (* one-slot buffer full: leave it queued *))
-        | None -> ());
-        (* 2. otherwise act locally; a fresh protocol cycle consumes
-           budget, and a spent remote stays quiet in its initial state *)
-        if not !worked then
-          with_cell rcells.(i) (fun c ->
-              let at_start =
-                c.v.Async.r_ctl = prog.remote.p_init
-                && c.v.Async.r_mode = Async.Rcomm
-              in
-              if not (at_start && budgets.(i) <= 0) then
-                match pick rng (Async.remote_local prog c.v i) with
+        if paused_now i then begin
+          (* injected fault: the node stops reacting for a while *)
+          with_cell rcells.(i) (fun c -> c.idle <- true);
+          Thread.delay 0.001
+        end
+        else begin
+          Faultlink.tick link (Fault.To_h i);
+          let worked = ref false in
+          (* 1. consume a message from the home if possible *)
+          (match Faultlink.peek link (Fault.To_r i) with
+          | Some w ->
+            with_cell rcells.(i) (fun c ->
+                match pick rng (Async.remote_recv prog c.v i w) with
                 | Some (l, r', outs) ->
-                  if at_start then budgets.(i) <- budgets.(i) - 1;
+                  ignore (Faultlink.pop link (Fault.To_r i));
                   c.v <- r';
-                  List.iter (fun w -> send_counted to_h.(i) w) outs;
+                  List.iter (fun w -> send_counted (Fault.To_h i) w) outs;
                   count l;
                   worked := true
-                | None -> ());
-        with_cell rcells.(i) (fun c -> c.idle <- not !worked);
-        if not !worked then Thread.yield ()
+                | None -> () (* one-slot buffer full: leave it queued *))
+          | None -> ());
+          (* 2. otherwise act locally; a fresh protocol cycle consumes
+             budget, and a spent remote stays quiet in its initial state *)
+          if not !worked then
+            with_cell rcells.(i) (fun c ->
+                let at_start =
+                  c.v.Async.r_ctl = prog.remote.p_init
+                  && c.v.Async.r_mode = Async.Rcomm
+                in
+                if not (at_start && budgets.(i) <= 0) then
+                  match pick rng (Async.remote_local prog c.v i) with
+                  | Some (l, r', outs) ->
+                    if at_start then budgets.(i) <- budgets.(i) - 1;
+                    c.v <- r';
+                    List.iter (fun w -> send_counted (Fault.To_h i) w) outs;
+                    count l;
+                    worked := true
+                  | None -> ());
+          with_cell rcells.(i) (fun c -> c.idle <- not !worked);
+          if not !worked then Thread.yield ()
+        end
       done
     with Async.Protocol_error e ->
       record_error (Fmt.str "remote %d: %s" i e)
@@ -183,10 +210,7 @@ let run ?(seed = 42) ?(deadline_s = 30.0) ?metrics ~budget ~invariants
     if Atomic.get stop then ()
     else if Unix.gettimeofday () -. t0 > deadline_s then Atomic.set stop true
     else begin
-      let channels_empty =
-        Array.for_all Channel.is_empty to_h
-        && Array.for_all Channel.is_empty to_r
-      in
+      let channels_empty = Faultlink.quiet link in
       let spent = Array.for_all (fun b -> b <= 0) budgets in
       let all_idle =
         with_cell hcell (fun c -> c.idle && c.v.Async.h_mode = Async.Hcomm)
@@ -200,8 +224,7 @@ let run ?(seed = 42) ?(deadline_s = 30.0) ?metrics ~budget ~invariants
         (* double-check after a pause: idleness must be stable *)
         Thread.delay 0.005;
         let still =
-          Array.for_all Channel.is_empty to_h
-          && Array.for_all Channel.is_empty to_r
+          Faultlink.quiet link
           && with_cell hcell (fun c -> c.idle)
           && Array.for_all (fun rc -> with_cell rc (fun c -> c.idle)) rcells
         in
@@ -219,31 +242,50 @@ let run ?(seed = 42) ?(deadline_s = 30.0) ?metrics ~budget ~invariants
   in
   monitor ();
   List.iter Thread.join threads;
+  (* pause windows the run lived through *)
+  fcounts.pauses <-
+    List.length
+      (List.filter
+         (fun (w : Plan.window) -> w.w_start < tick_now ())
+         plan.Plan.windows);
+  (* ---- watchdog: who is stuck where ------------------------------------- *)
+  let hmode_desc = function
+    | Async.Hcomm -> "comm"
+    | Async.Htrans { peer; await; _ } ->
+      Fmt.str "transient→r%d awaiting %s" peer
+        (match await with `Ack -> "ack" | `Repl m -> "reply " ^ m)
+  in
+  let rmode_desc = function
+    | Async.Rcomm -> "comm"
+    | Async.Rtrans _ -> "transient awaiting ack/nack"
+    | Async.Rwait { repl; _ } -> "awaiting reply " ^ repl
+  in
+  let watchdog =
+    ( "home",
+      with_cell hcell (fun c ->
+          Fmt.str "ctl=%s, %s, %d buffered, inbox %d"
+            prog.home.p_states.(c.v.Async.h_ctl).cs_name
+            (hmode_desc c.v.Async.h_mode)
+            (List.length c.v.Async.h_buf)
+            (Array.fold_left ( + ) 0
+               (Array.init n (fun i ->
+                    Faultlink.inbox_length link (Fault.To_h i)))) ) )
+    :: List.init n (fun i ->
+           ( Fmt.str "remote %d" i,
+             with_cell rcells.(i) (fun c ->
+                 Fmt.str "ctl=%s, %s, budget left %d, inbox %d"
+                   prog.remote.p_states.(c.v.Async.r_ctl).cs_name
+                   (rmode_desc c.v.Async.r_mode)
+                   budgets.(i)
+                   (Faultlink.inbox_length link (Fault.To_r i))) ))
+  in
   (* ---- reassemble the final global state and check it ------------------- *)
   let final =
     {
       Async.h = with_cell hcell (fun c -> c.v);
       r = Array.map (fun rc -> with_cell rc (fun c -> c.v)) rcells;
-      to_h =
-        Array.map
-          (fun ch ->
-            let rec drain acc =
-              match Channel.pop ch with
-              | Some w -> drain (w :: acc)
-              | None -> List.rev acc
-            in
-            drain [])
-          to_h;
-      to_r =
-        Array.map
-          (fun ch ->
-            let rec drain acc =
-              match Channel.pop ch with
-              | Some w -> drain (w :: acc)
-              | None -> List.rev acc
-            in
-            drain [])
-          to_r;
+      to_h = Array.init n (fun i -> Faultlink.drain link (Fault.To_h i));
+      to_r = Array.init n (fun i -> Faultlink.drain link (Fault.To_r i));
     }
   in
   let invariant_failures =
@@ -262,7 +304,16 @@ let run ?(seed = 42) ?(deadline_s = 30.0) ?metrics ~budget ~invariants
       (counter reg "rendezvous")
       (Array.fold_left (fun a c -> a + Atomic.get c) 0 rendezvous_by);
     let h = histogram reg "home_buffer_occupancy" in
-    Array.iteri (fun occ cnt -> observe_n h occ cnt) occ_hist
+    Array.iteri (fun occ cnt -> observe_n h occ cnt) occ_hist;
+    if faults <> None then begin
+      add (counter reg "fault.drop") fcounts.drops;
+      add (counter reg "fault.dup") fcounts.dups;
+      add (counter reg "fault.delay") fcounts.delays;
+      add (counter reg "fault.pause") fcounts.pauses;
+      add (counter reg "fault.retransmit") fcounts.retransmits;
+      add (counter reg "fault.absorbed") fcounts.absorbed;
+      add (counter reg "fault.delivered") fcounts.delivered
+    end
   | None -> ());
   {
     completions = Array.map Atomic.get rendezvous_by;
@@ -277,6 +328,8 @@ let run ?(seed = 42) ?(deadline_s = 30.0) ?metrics ~budget ~invariants
     quiescent = !quiescent;
     invariant_failures;
     protocol_errors = List.rev !errors;
+    faults = Fault.freeze fcounts;
+    watchdog;
     wall_s = Unix.gettimeofday () -. t0;
   }
 
@@ -284,7 +337,7 @@ let pp_stats ppf s =
   Fmt.pf ppf
     "@[<v>%d rendezvous over %d messages in %.2fs (%d node transitions)@,\
      per-remote: %s@,\
-     %s%s%s@]"
+     %s%s%s%a%a@]"
     s.rendezvous s.messages s.wall_s s.steps
     (String.concat " "
        (Array.to_list (Array.map string_of_int s.completions)))
@@ -295,3 +348,11 @@ let pp_stats ppf s =
     (match s.protocol_errors with
     | [] -> ""
     | l -> "; PROTOCOL ERRORS: " ^ String.concat "; " l)
+    (fun ppf f ->
+      if Fault.injected f > 0 || f.Fault.f_retransmits > 0 then
+        Fmt.pf ppf "@,faults: %a" Fault.pp_fcounts f)
+    s.faults
+    (fun ppf wd ->
+      if not s.quiescent then
+        List.iter (fun (who, what) -> Fmt.pf ppf "@,stuck? %s: %s" who what) wd)
+    s.watchdog

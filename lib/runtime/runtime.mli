@@ -6,8 +6,9 @@
     interpreting its own node-local slice of the refinement rules
     ({!Async.home_local}/{!Async.home_recv}/{!Async.remote_local}/
     {!Async.remote_recv}) and exchanging {!Wire} messages over in-order
-    {!Channel}s.  Nothing coordinates the nodes besides the messages —
-    the interleavings are whatever the OS scheduler produces.
+    {!Channel}s — through the fault-injecting {!Faultlink} transport when
+    a fault plan is given.  Nothing coordinates the nodes besides the
+    messages — the interleavings are whatever the OS scheduler produces.
 
     Workload: each remote runs [budget] protocol cycles (a cycle starts
     whenever the remote leaves its initial control state) and then goes
@@ -20,6 +21,7 @@
 
 open Ccr_core
 open Ccr_refine
+open Ccr_faults
 
 type stats = {
   completions : int array;  (** per-remote completed rendezvous *)
@@ -36,6 +38,12 @@ type stats = {
   quiescent : bool;  (** clean termination before the deadline *)
   invariant_failures : string list;  (** on the final global state *)
   protocol_errors : string list;  (** {!Async.Protocol_error} from any thread *)
+  faults : Fault.fcounts;
+      (** injection accounting (all zero without a fault plan) *)
+  watchdog : (string * string) list;
+      (** per-node snapshot taken after the join: control state, mode,
+          remaining budget, inbox depth — on a deadline hit this names
+          the stuck node instead of a bare [quiescent = false] *)
   wall_s : float;
 }
 
@@ -43,6 +51,7 @@ val run :
   ?seed:int ->
   ?deadline_s:float ->
   ?metrics:Ccr_obs.Metrics.t ->
+  ?faults:Injected.mode * Plan.t ->
   budget:int ->
   invariants:(string * (Async.state -> bool)) list ->
   Prog.t ->
@@ -52,6 +61,14 @@ val run :
     [metrics] (default: none) fills [msg.req]/[msg.ack]/[msg.nack]/
     [msg.data]/[rendezvous] counters and the [home_buffer_occupancy]
     histogram in the given registry once, after the threads join — the
-    node loops themselves only bump atomics. *)
+    node loops themselves only bump atomics.  [faults] (default: none)
+    routes every message through {!Faultlink} under the given plan:
+    [Vanilla] executes drops/dups/delays on the paper's unprotected
+    channels (expect a deadline hit or a protocol error — that is the
+    point), [Hardened] runs the timeout/retransmit/dedup transport and
+    must stay quiescent and coherent; [fault.*] counters are added to
+    [metrics] when a plan is given.  A thread that raises
+    {!Async.Protocol_error} poisons the transport ({!Channel.close}) so
+    the other node threads exit promptly. *)
 
 val pp_stats : stats Fmt.t

@@ -1,5 +1,6 @@
 open Ccr_core
 open Ccr_refine
+open Ccr_faults
 
 type metrics = {
   steps : int;
@@ -16,6 +17,9 @@ type metrics = {
   latency_sum : int;
   latency_count : int;
   latency_max : int;
+  faults : Fault.fcounts;
+  wedged : string option;
+  blocked : string option;
 }
 
 let mean_latency m =
@@ -82,10 +86,11 @@ let make_obs prog reg =
     o_data_names = data_msgs prog;
   }
 
-let run ?(seed = 42) ?metrics ?on_progress ?(progress_every = 8192) ~steps
-    (prog : Prog.t) (cfg : Async.config) (sched : Sched.t) =
+let run ?(seed = 42) ?metrics ?faults ?on_progress ?(progress_every = 8192)
+    ~steps (prog : Prog.t) (cfg : Async.config) (sched : Sched.t) =
   let rng = Random.State.make [| seed |] in
   let obs = Option.map (make_obs prog) metrics in
+  let drive = Option.map (fun (mode, plan) -> Drive.create mode plan) faults in
   let counts = Array.make (List.length Async.all_rules) 0 in
   let per_remote = Array.make prog.n 0 in
   let buf_occupancy = Array.make (cfg.k + 1) 0 in
@@ -104,14 +109,51 @@ let run ?(seed = 42) ?metrics ?on_progress ?(progress_every = 8192) ~steps
   let st = ref (Async.initial prog cfg) in
   let executed = ref 0 in
   let deadlocked = ref false in
+  let wedged = ref None in
+  let blocked = ref None in
+  (* [now] counts loop iterations (fault-plan ticks, including idle waits
+     for a pending re-injection); [executed] counts real transitions. *)
+  let now = ref 0 in
+  let idle = ref 0 in
   (try
-     for _ = 1 to steps do
-       let succs = Async.successors prog cfg !st in
+     while !executed < steps do
+       incr now;
+       (match drive with
+       | Some d -> st := Drive.step_begin d ~step:!now !st
+       | None -> ());
+       let succs, wedge =
+         match drive with
+         | None -> (Async.successors prog cfg !st, None)
+         | Some d -> Drive.successors d ~step:!now prog cfg !st
+       in
+       (match wedge with
+       | Some e ->
+         (* a head reception would raise Protocol_error: the run is
+            wedged — report it rather than crash *)
+         wedged := Some e;
+         blocked := Some (Fmt.str "%a" (Async.pp_state prog) !st);
+         raise Exit
+       | None -> ());
        match sched.Sched.pick rng succs with
        | None ->
-         deadlocked := true;
-         raise Exit
-       | Some ((l : Async.label), st') ->
+         let can_wait =
+           match drive with
+           | Some d -> Drive.waiting d ~step:!now
+           | None -> false
+         in
+         if can_wait && !idle < 100_000 then incr idle
+         else begin
+           deadlocked := true;
+           blocked := Some (Fmt.str "%a" (Async.pp_state prog) !st);
+           raise Exit
+         end
+       | Some ((l : Async.label), st_picked) ->
+         idle := 0;
+         let st' =
+           match drive with
+           | Some d -> Drive.observe d ~step:!now ~before:!st st_picked
+           | None -> st_picked
+         in
          incr executed;
          counts.(rule_index l.rule) <- counts.(rule_index l.rule) + 1;
          (match obs with
@@ -188,6 +230,18 @@ let run ?(seed = 42) ?metrics ?on_progress ?(progress_every = 8192) ~steps
     add o.o_nack !nacks;
     add o.o_rendezvous !rendezvous
   | None -> ());
+  (match (metrics, drive) with
+  | Some reg, Some d ->
+    let open Ccr_obs.Metrics in
+    let c = Drive.counts d in
+    add (counter reg "fault.drop") c.Fault.drops;
+    add (counter reg "fault.dup") c.Fault.dups;
+    add (counter reg "fault.delay") c.Fault.delays;
+    add (counter reg "fault.pause") c.Fault.pauses;
+    add (counter reg "fault.retransmit") c.Fault.retransmits;
+    add (counter reg "fault.absorbed") c.Fault.absorbed;
+    add (counter reg "fault.delivered") c.Fault.delivered
+  | _ -> ());
   {
     steps = !executed;
     rendezvous = !rendezvous;
@@ -203,6 +257,12 @@ let run ?(seed = 42) ?metrics ?on_progress ?(progress_every = 8192) ~steps
     latency_sum = !lat_sum;
     latency_count = !lat_count;
     latency_max = !lat_max;
+    faults =
+      (match drive with
+      | Some d -> Fault.freeze (Drive.counts d)
+      | None -> Fault.freeze (Fault.zero ()));
+    wedged = !wedged;
+    blocked = !blocked;
   }
 
 let run_trace ?(seed = 42) ~steps (prog : Prog.t) (cfg : Async.config)
@@ -226,10 +286,19 @@ let pp ppf m =
     "@[<v>%d steps, %d rendezvous (%.2f msgs/rendezvous)@,\
      messages: %d req, %d ack, %d nack (%d retransmissions)@,\
      per-remote completions: %s@,\
-     peak in-flight: %d%s@]"
+     peak in-flight: %d%s%a%a@]"
     m.steps m.rendezvous (per_rendezvous m) m.reqs m.acks m.nacks
     m.retransmissions
     (String.concat " "
        (Array.to_list (Array.map string_of_int m.per_remote)))
     m.max_in_flight
     (if m.deadlocked then " DEADLOCKED" else "")
+    (fun ppf f ->
+      if Fault.injected f > 0 || f.Fault.f_retransmits > 0 then
+        Fmt.pf ppf "@,faults: %a" Fault.pp_fcounts f)
+    m.faults
+    (fun ppf w ->
+      match w with
+      | Some e -> Fmt.pf ppf "@,WEDGED on protocol error: %s" e
+      | None -> ())
+    m.wedged

@@ -8,6 +8,7 @@
 
 open Ccr_core
 open Ccr_refine
+open Ccr_faults
 
 type metrics = {
   steps : int;  (** transitions executed *)
@@ -30,6 +31,13 @@ type metrics = {
           remote-to-remote messages) aims to cut. *)
   latency_count : int;
   latency_max : int;
+  faults : Fault.fcounts;
+      (** fault-injection accounting (all zero without [?faults]) *)
+  wedged : string option;
+      (** a reception raised {!Async.Protocol_error} (reachable under
+          vanilla duplication faults); the run stopped there *)
+  blocked : string option;
+      (** rendered configuration at a deadlock or wedge, for reporting *)
 }
 
 val mean_latency : metrics -> float
@@ -48,6 +56,7 @@ val data_msgs : Prog.t -> string list
 val run :
   ?seed:int ->
   ?metrics:Ccr_obs.Metrics.t ->
+  ?faults:Injected.mode * Plan.t ->
   ?on_progress:(int -> unit) ->
   ?progress_every:int ->
   steps:int -> Prog.t -> Async.config -> Sched.t -> metrics
@@ -56,8 +65,13 @@ val run :
     [home_buffer_occupancy] and [rendezvous_latency_steps] histograms in
     the given {!Ccr_obs.Metrics} registry.  Unlike the model checker's
     per-enumerated-transition meter ({!Async.meter}), the simulator counts
-    on the {e picked} label only.  [on_progress] (default: none) is called
-    with the executed step count every [progress_every] (default 8192)
+    on the {e picked} label only.  [faults] (default: none) drives the
+    run through {!Ccr_faults.Drive}: the plan's drops/dups/delays hit the
+    messages the executed transitions enqueue and pause windows mask
+    remotes, deterministically in the plan alone (the scheduler seed only
+    picks among the legal transitions); [fault.*] counters are added to
+    [metrics] when given.  [on_progress] (default: none) is called with
+    the executed step count every [progress_every] (default 8192)
     steps. *)
 
 val run_trace :

@@ -1,0 +1,135 @@
+The fault model: --faults SPEC gives the checker a finite budget of
+network faults.  The paper's refinement assumes reliable in-order
+channels (2.2); with that assumption revoked, a single dropped message
+kills the smallest protocol outright — the lock server with one client
+deadlocks when its acq request is lost:
+
+  $ ../../bin/ccr.exe check lock -n 1 --faults drop=1 \
+  >   | sed 's/[0-9.]*s, ~[0-9.]* MB/TIME/'
+  lock (async, n=1, k=2, faults=drop=1, vanilla): 6 states, 5 transitions, TIME
+  outcome: deadlock at
+  home: U c=r0 rot=0
+  r0: A (awaiting grant)  ->h:  h->:
+  
+  counterexample (3 steps):
+  home: U c=r0 rot=0
+  r0: T  ->h:  h->:
+  
+  [budget left: drop=1 dup=0 delay=0 pause=0]
+  home: U c=r0 rot=0
+  r0: A  ->h:  h->:
+  
+  [budget left: drop=1 dup=0 delay=0 pause=0]
+  home: U c=r0 rot=0
+  r0: A (awaiting grant)  ->h:req:acq()  h->:
+  
+  [budget left: drop=1 dup=0 delay=0 pause=0]
+  home: U c=r0 rot=0
+  r0: A (awaiting grant)  ->h:  h->:
+  
+
+
+
+
+
+
+  $ ../../bin/ccr.exe check lock -n 1 --faults drop=1 >/dev/null 2>&1
+  [2]
+
+With a second remote the system keeps moving, so the failure is subtler:
+coherence still holds, but a single dropped ack starves the waiting
+remote forever — a liveness violation with a concrete trace:
+
+  $ ../../bin/ccr.exe check migratory -n 2 --faults drop=1@ack \
+  >   | sed 's/[0-9.]*s, ~[0-9.]* MB/TIME/'
+  migratory (async, n=2, k=2, faults=drop=1@ack, vanilla): 153 states, 290 transitions, TIME
+  outcome: complete, invariants hold
+  liveness violation: remote 0 can be starved forever (12 reachable states lose its completion)
+  starvation witness (10 steps):
+    R-C1[r0,req]
+    H-admit[r0,req]
+    H-C1-silent[r0,req]
+    H-reply-send[r0,gr]
+    R-repl-recv[r0,gr]
+    R-tau[r0,evict]
+    R-C1[r0,LR]
+    H-admit[r0,LR]
+    H-C1[r0,LR]
+    fault: drop head of h→r0
+  stuck state:
+  home: F o=r0 j=r0 rot=0
+  r0: Ev (transient)  ->h:  h->:
+  r1: I  ->h:  h->:
+  
+
+
+--harden swaps in the timeout/retransmit/dedup transport; the same
+budget is then fully absorbed — safety and liveness both hold, and the
+result is deterministic across job counts:
+
+  $ ../../bin/ccr.exe check migratory -n 2 --faults drop=1@ack --harden \
+  >   | sed 's/[0-9.]*s, ~[0-9.]* MB/TIME/'
+  migratory (async, n=2, k=2, faults=drop=1@ack, hardened): 282 states, 556 transitions, TIME
+  outcome: complete, invariants hold
+  liveness: every remote can always still complete a rendezvous (quiescence preserved under the fault budget)
+
+  $ ../../bin/ccr.exe check migratory -n 2 --faults drop=1@ack --harden -j 4 \
+  >   | sed 's/[0-9.]*s, ~[0-9.]* MB/TIME/'
+  migratory (async, n=2, k=2, faults=drop=1@ack, hardened, j=4): 282 states, 556 transitions, TIME
+  outcome: complete, invariants hold
+  liveness: every remote can always still complete a rendezvous (quiescence preserved under the fault budget)
+
+The rendezvous level has no channels, so only pause faults apply there:
+
+  $ ../../bin/ccr.exe check lock -n 2 --level rendezvous --faults pause=1 \
+  >   | sed 's/[0-9.]*s, ~[0-9.]* MB/TIME/'
+  lock (rendezvous, n=2, faults=pause=1): 64 states, 142 transitions, TIME
+  outcome: complete, invariants hold
+
+  $ ../../bin/ccr.exe check lock --level rendezvous --faults drop=1
+  the rendezvous level has no channels: only pause=K applies (got drop=1)
+  [1]
+
+Malformed specs are rejected up front:
+
+  $ ../../bin/ccr.exe check lock --faults bogus=3
+  bad --faults spec: unknown fault kind "bogus" (drop/dup/delay/pause)
+  [1]
+
+The simulator draws one deterministic fault plan from --seed.  On the
+bare channels the planned drop deadlocks the run, which prints the
+blocked configuration and exits 2:
+
+  $ ../../bin/ccr.exe sim migratory -n 2 --steps 2000 --faults drop=1 --seed 7 \
+  >   | sed -n '1,5p;/blocked/,$p'
+  43 steps, 11 rendezvous (1.64 msgs/rendezvous)
+  messages: 15 req, 3 ack, 0 nack (2 retransmissions)
+  per-remote completions: 4 7
+  peak in-flight: 2 DEADLOCKED
+  faults: injected 1 (1 drop, 0 dup, 0 delay, 0 pause); 0 retransmits, 0 absorbed, 17 delivered clean
+  blocked configuration:
+  home: I1 o=r0 j=r1 rot=0 (transient -> r0, awaiting ID)
+  r0: I (awaiting gr)  ->h:  h->:
+  r1: I (awaiting gr)  ->h:  h->:
+  
+
+
+  $ ../../bin/ccr.exe sim migratory -n 2 --steps 2000 --faults drop=1 --seed 7 \
+  >   >/dev/null 2>&1
+  [2]
+
+Hardened, the same plan is repaired in-flight and the run completes:
+
+  $ ../../bin/ccr.exe sim migratory -n 2 --steps 2000 --faults drop=1 --seed 7 \
+  >   --harden | grep -E 'steps,|faults:'
+  2000 steps, 561 rendezvous (1.45 msgs/rendezvous)
+  faults: injected 1 (1 drop, 0 dup, 0 delay, 0 pause); 1 retransmits, 0 absorbed, 815 delivered clean
+
+The threaded runtime routes every message through the same plan; the
+hardened transport keeps the real execution quiescent and coherent
+(message counts vary with OS scheduling, so only the verdict is stable):
+
+  $ ../../bin/ccr.exe run migratory -n 2 --budget 20 --faults drop=1,dup=1 \
+  >   --harden --seed 3 | grep -E 'terminated|injected [0-9]' | sed 's/;.*//'
+  terminated quiescent
+  faults: injected 2 (1 drop, 1 dup, 0 delay, 0 pause)

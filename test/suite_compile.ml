@@ -156,6 +156,37 @@ let tests =
            with
           | exception Invalid_argument _ -> true
           | _ -> false));
+    case "hardened automata add only timeout/dedup self-loops" (fun () ->
+        let check_pair plain hard =
+          checki "states unchanged" (Compile.n_states plain)
+            (Compile.n_states hard);
+          checki "transients unchanged" (Compile.n_transient plain)
+            (Compile.n_transient hard);
+          let kinds k =
+            List.filter
+              (fun (e : Compile.edge) -> e.e_kind = k)
+              hard.Compile.a_edges
+          in
+          let timeouts = kinds Compile.E_timeout in
+          let dedups = kinds Compile.E_dedup in
+          checki "one timeout per transient" (Compile.n_transient hard)
+            (List.length timeouts);
+          checkb "dedup guards every receiver" true (dedups <> []);
+          checkb "all additions are self-loops" true
+            (List.for_all
+               (fun (e : Compile.edge) -> e.e_from = e.e_to)
+               (timeouts @ dedups));
+          checki "and nothing else changed"
+            (Compile.n_edges plain + List.length timeouts + List.length dedups)
+            (Compile.n_edges hard)
+        in
+        let prog = mig 2 in
+        check_pair
+          (Compile.remote_automaton prog)
+          (Compile.remote_automaton ~harden:true prog);
+        check_pair
+          (Compile.home_automaton prog)
+          (Compile.home_automaton ~harden:true prog));
   ]
 
 let suite = ("compile", tests)

@@ -1,10 +1,23 @@
 open Ccr_core
 open Ccr_protocols
+open Ccr_faults
 open Test_util
 module Runtime = Ccr_runtime.Runtime
 module Channel = Ccr_runtime.Channel
 
 let k2 = Ccr_refine.Async.{ k = 2 }
+
+let fspec s =
+  match Fault.parse s with
+  | Ok sp -> sp
+  | Error m -> Alcotest.failf "Fault.parse %S: %s" s m
+
+(* Aim one fault at a known message: with the generic (reqrep-off) ping,
+   the first message remote 0 sends is its acq request and the first
+   message the home sends back is the matching ack. *)
+let one_fault kind chan =
+  Plan.make ~n:1 (fspec "drop=1,dup=1")
+    [ { Plan.ev_kind = kind; ev_on = Fault.Kany; ev_chan = chan; ev_ord = 1 } ]
 
 let assert_clean name (s : Runtime.stats) =
   if not s.quiescent then
@@ -143,6 +156,90 @@ let tests =
         checkb "not more rendezvous than cycles allow" true
           (s.rendezvous <= 4 * 2 * 25);
         checkb "and real work happened" true (s.rendezvous >= 25));
+    case "closed channels poison senders and readers" (fun () ->
+        let c = Channel.create () in
+        Channel.send c 1;
+        checkb "open" false (Channel.is_closed c);
+        Channel.close c;
+        checkb "closed" true (Channel.is_closed c);
+        checkb "pending messages discarded" true (Channel.pop c = None);
+        Channel.send c 2;
+        checkb "send after close is a no-op" true (Channel.peek c = None);
+        (* idempotent *)
+        Channel.close c);
+    case "deadline hit: the watchdog names the stuck node" (fun () ->
+        (* drop remote 0's acq request: in the vanilla transport it waits
+           for an ack that can never come, and the run must end at the
+           deadline pointing at it — not hang, not crash *)
+        let prog = compile ~reqrep:false ~n:1 ping_system in
+        let s =
+          Runtime.run ~deadline_s:0.5
+            ~faults:(Injected.Vanilla, one_fault Plan.Drop (Fault.To_h 0))
+            ~budget:3 ~invariants:[] prog k2
+        in
+        checkb "not quiescent" false s.quiescent;
+        checki "the drop was injected" 1 s.faults.Fault.f_drops;
+        let remote_desc =
+          try List.assoc "remote 0" s.watchdog
+          with Not_found ->
+            Alcotest.failf "no watchdog entry for remote 0 (%a)"
+              Runtime.pp_stats s
+        in
+        checkb "remote 0 reported awaiting its ack" true
+          (contains_sub ~sub:"awaiting" remote_desc));
+    case "protocol error mid-run: reported, and the threads still wind \
+          down" (fun () ->
+        (* duplicate the home's first ack: the remote consumes the real
+           one, then meets the stale copy outside its transient state —
+           Async.Protocol_error.  The transport is poisoned so every
+           thread exits promptly instead of blocking the join. *)
+        let prog = compile ~reqrep:false ~n:1 ping_system in
+        let t0 = Unix.gettimeofday () in
+        let s =
+          Runtime.run ~deadline_s:20.
+            ~faults:(Injected.Vanilla, one_fault Plan.Dup (Fault.To_r 0))
+            ~budget:3 ~invariants:[] prog k2
+        in
+        checkb "protocol error surfaced" true (s.protocol_errors <> []);
+        checkb "error names the stale ack" true
+          (List.exists (contains_sub ~sub:"ack") s.protocol_errors);
+        checkb "run ended promptly, not at the deadline" true
+          (Unix.gettimeofday () -. t0 < 10.));
+    case "fault-injected runs are deterministic per seed" (fun () ->
+        let prog = Link.compile ~n:2 (Migratory.system ()) in
+        let go () =
+          Runtime.run
+            ~faults:
+              (Injected.Hardened, Plan.random ~n:2 ~seed:5 (fspec "drop=1,dup=1"))
+            ~budget:20
+            ~invariants:(Migratory.async_invariants prog)
+            prog k2
+        in
+        let s1 = go () and s2 = go () in
+        assert_clean "hardened run 1" s1;
+        assert_clean "hardened run 2" s2;
+        (* interleavings are the OS scheduler's, but the injected faults
+           are the plan's alone *)
+        checkb "identical injections" true
+          (s1.faults.Fault.f_drops = s2.faults.Fault.f_drops
+          && s1.faults.Fault.f_dups = s2.faults.Fault.f_dups
+          && s1.faults.Fault.f_delays = s2.faults.Fault.f_delays);
+        checki "both faults fired" 2
+          (s1.faults.Fault.f_drops + s1.faults.Fault.f_dups));
+    case "hardened transport survives drops, dups and delays" (fun () ->
+        let prog = Link.compile ~n:3 Invalidate.system in
+        let s =
+          Runtime.run
+            ~faults:
+              ( Injected.Hardened,
+                Plan.random ~n:3 ~seed:13 (fspec "drop=2,dup=2,delay=2") )
+            ~budget:40
+            ~invariants:(Invalidate.async_invariants prog)
+            prog k2
+        in
+        assert_clean "hardened invalidate" s;
+        checkb "faults actually injected" true (Fault.injected s.faults >= 4);
+        checkb "repair traffic flowed" true (s.faults.Fault.f_retransmits >= 1));
   ]
 
 let suite = ("runtime", tests)

@@ -15,6 +15,7 @@ let () =
       Suite_compile.suite;
       Suite_sim.suite;
       Suite_protocols.suite;
+      Suite_faults.suite;
       Suite_runtime.suite;
       Suite_symmetry.suite;
       Suite_viz.suite;
