@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-fast bench-json par-smoke obs-smoke sym-smoke fault-smoke examples artifacts clean
+.PHONY: all build test bench bench-fast bench-json par-smoke obs-smoke sym-smoke fault-smoke fuzz-smoke examples artifacts clean
 
 all: build
 
@@ -55,6 +55,16 @@ fault-smoke:
 	! dune exec bin/ccr.exe -- check migratory -n 2 --faults drop=1@ack
 	dune exec bin/ccr.exe -- check migratory -n 2 --faults drop=1@ack --harden
 	dune exec bin/ccr.exe -- run migratory -n 2 --budget 20 --faults drop=1,dup=1 --harden --seed 3
+
+# Differential fuzzer: unit suite (PRNG pins, codecs, shrinker, driver),
+# the fuzz/eq1 cram checks, then a fixed-seed 100-instance campaign — all
+# oracles must pass; any failure shrinks to a .ccr repro under /tmp.
+fuzz-smoke:
+	dune build @all
+	dune exec test/test_main.exe -- test fuzz
+	dune build @test/cram/runtest
+	dune exec bin/ccr.exe -- fuzz --seed 0 --count 100 --max-states 8000 \
+	  --out-dir /tmp/ccr-fuzz-smoke
 
 examples:
 	dune exec examples/quickstart.exe

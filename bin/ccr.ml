@@ -882,6 +882,107 @@ let run_cmd =
       const run $ protocol_arg $ n_arg $ k_arg $ generic_arg $ budget
       $ deadline $ seed $ faults_arg $ harden_arg $ Obs.metrics_arg)
 
+(* ---- fuzz ---------------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Campaign seed.  Case $(b,i) is drawn from the single integer \
+             SEED+i, so any reported failing seed re-runs alone with \
+             $(b,--seed S --count 1).")
+  in
+  let count =
+    Arg.(
+      value & opt int 100
+      & info [ "count" ] ~docv:"N" ~doc:"Number of generated protocols.")
+  in
+  let max_states =
+    Arg.(
+      value & opt int 10_000
+      & info [ "max-states" ] ~docv:"S"
+          ~doc:
+            "State cap for each oracle exploration (hitting the cap \
+             bounds the work, it is not a failure).")
+  in
+  let oracles =
+    Arg.(
+      value & opt string "all"
+      & info [ "oracles" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated oracle subset: $(b,validate), $(b,roundtrip), \
+             $(b,rv-explore), $(b,async-explore), $(b,eq1), $(b,symmetry), \
+             $(b,par), $(b,faults), or $(b,all).")
+  in
+  let out_dir =
+    Arg.(
+      value & opt string "_fuzz"
+      & info [ "out-dir" ] ~docv:"DIR"
+          ~doc:
+            "Where shrunk counterexamples are written as $(b,.ccr) repro \
+             files (created on the first failure).")
+  in
+  let no_matrix =
+    Arg.(
+      value & flag
+      & info [ "no-matrix" ]
+          ~doc:
+            "Skip the legacy-family baseline pass and its Tables 1-2 \
+             rule-coverage matrix.")
+  in
+  let run seed count max_states oracles out_dir no_matrix progress
+      metrics_file =
+    let only =
+      if oracles = "all" then Ccr_fuzz.Oracle.all
+      else
+        List.map
+          (fun s ->
+            match Ccr_fuzz.Oracle.name_of_string (String.trim s) with
+            | Ok o -> o
+            | Error msg ->
+              Fmt.epr "%s@." msg;
+              exit 1)
+          (String.split_on_char ',' oracles)
+    in
+    let reg = Obs.setup ~trace_file:None in
+    let ppf = Obs.report_ppf ~metrics_file in
+    let on_case =
+      if progress then
+        Some (fun i -> Printf.eprintf "\r  fuzz: %d/%d cases%!" (i + 1) count)
+      else None
+    in
+    let report =
+      Ccr_fuzz.Driver.run ~only ~legacy_matrix:(not no_matrix) ~metrics:reg
+        ?on_case ~seed ~count ~max_states ()
+    in
+    if progress then Printf.eprintf "\r%s\r%!" (String.make 40 ' ');
+    Obs.emit reg ~trace_file:None ~metrics_file;
+    Fmt.pf ppf "%a"
+      (Ccr_fuzz.Driver.pp
+         ~matrix:
+           ((not no_matrix) && List.mem Ccr_fuzz.Oracle.Async_explore only))
+      report;
+    match Ccr_fuzz.Driver.write_failures ~out_dir report with
+    | [] -> ()
+    | paths ->
+      List.iter (fun p -> Fmt.pf ppf "wrote %s@." p) paths;
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differentially fuzz the whole pipeline: generate seeded \
+          valid-by-construction protocols far beyond the shipped family, \
+          run every oracle (validation, exploration, Eq. 1, symmetry and \
+          parallel agreement, hardened faults, print/parse round-trip), \
+          shrink any failure to a minimal committed .ccr repro, and report \
+          the Tables 1-2 rule-coverage matrix.")
+    Term.(
+      const run $ seed $ count $ max_states $ oracles $ out_dir $ no_matrix
+      $ Obs.progress_arg $ Obs.metrics_arg)
+
 (* ---- msc ----------------------------------------------------------------- *)
 
 let msc_cmd =
@@ -963,5 +1064,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; show_cmd; pairs_cmd; export_cmd; explain_cmd; check_cmd; eq1_cmd;
-            sim_cmd; run_cmd; msc_cmd; progress_cmd;
+            sim_cmd; run_cmd; fuzz_cmd; msc_cmd; progress_cmd;
           ]))

@@ -1,0 +1,205 @@
+module Async = Ccr_refine.Async
+module Metrics = Ccr_obs.Metrics
+
+type failure = {
+  f_seed : int;
+  f_spec : Gen.spec;
+  f_oracle : string;
+  f_detail : string;
+  f_shrunk : Gen.spec;
+  f_shrunk_oracle : string;
+  f_shrunk_detail : string;
+  f_ccr : string;
+}
+
+type report = {
+  seed : int;
+  count : int;
+  max_states : int;
+  oracles : Oracle.name list;
+  passes : (Oracle.name * int) list;
+  fails : (Oracle.name * int) list;
+  failures : failure list;
+  coverage : int array;
+  legacy_coverage : int array option;
+}
+
+let run ?(only = Oracle.all) ?(legacy_matrix = true) ?metrics ?on_case ~seed
+    ~count ~max_states () =
+  let pass = Array.make (List.length Oracle.all) 0 in
+  let fail = Array.make (List.length Oracle.all) 0 in
+  let oracle_idx o =
+    let rec go i = function
+      | [] -> assert false
+      | o' :: rest -> if o = o' then i else go (i + 1) rest
+    in
+    go 0 Oracle.all
+  in
+  let coverage = Array.make Oracle.n_rules 0 in
+  let legacy_coverage =
+    if legacy_matrix then Some (Array.make Oracle.n_rules 0) else None
+  in
+  let failures = ref [] in
+  for i = 0 to count - 1 do
+    let case_seed = seed + i in
+    let spec =
+      Gen.generate ~family:Gen.General (Rng.make case_seed)
+    in
+    let results =
+      Oracle.run_battery ~only ~rules:coverage ~max_states spec
+    in
+    List.iter
+      (fun (r : Oracle.result) ->
+        let j = oracle_idx r.Oracle.oracle in
+        match r.Oracle.outcome with
+        | Oracle.Pass -> pass.(j) <- pass.(j) + 1
+        | Oracle.Fail _ -> fail.(j) <- fail.(j) + 1)
+      results;
+    (match Oracle.failures results with
+    | [] -> ()
+    | (o, detail) :: _ ->
+      (* shrink against the whole battery (without coverage accounting,
+         which must reflect only the generated family) *)
+      let fails s =
+        match
+          Oracle.failures (Oracle.run_battery ~only ~max_states s)
+        with
+        | [] -> None
+        | f :: _ -> Some f
+      in
+      let shrunk, (so, sdetail) = Shrink.minimize ~fails spec in
+      let so = Oracle.name_to_string so in
+      failures :=
+        {
+          f_seed = case_seed;
+          f_spec = spec;
+          f_oracle = Oracle.name_to_string o;
+          f_detail = detail;
+          f_shrunk = shrunk;
+          f_shrunk_oracle = so;
+          f_shrunk_detail = sdetail;
+          f_ccr =
+            Gen.to_ccr ~seed:case_seed ~oracle:so ~detail:sdetail shrunk;
+        }
+        :: !failures);
+    (match legacy_coverage with
+    | None -> ()
+    | Some arr ->
+      let lspec = Gen.generate ~family:Gen.Legacy (Rng.make case_seed) in
+      Oracle.coverage_of_spec ~rules:arr ~max_states lspec);
+    Option.iter (fun f -> f i) on_case
+  done;
+  let per arr =
+    List.filter_map
+      (fun o -> if List.mem o only then Some (o, arr.(oracle_idx o)) else None)
+      Oracle.all
+  in
+  let report =
+    {
+      seed;
+      count;
+      max_states;
+      oracles = List.filter (fun o -> List.mem o only) Oracle.all;
+      passes = per pass;
+      fails = per fail;
+      failures = List.rev !failures;
+      coverage;
+      legacy_coverage;
+    }
+  in
+  (match metrics with
+  | None -> ()
+  | Some reg ->
+    Metrics.add (Metrics.counter reg "fuzz.cases") count;
+    List.iter
+      (fun (o, c) ->
+        Metrics.add
+          (Metrics.counter reg ("fuzz.pass." ^ Oracle.name_to_string o))
+          c)
+      report.passes;
+    List.iter
+      (fun (o, c) ->
+        Metrics.add
+          (Metrics.counter reg ("fuzz.fail." ^ Oracle.name_to_string o))
+          c)
+      report.fails;
+    let mirror prefix arr =
+      List.iteri
+        (fun i r ->
+          Metrics.add
+            (Metrics.counter reg (prefix ^ Async.rule_name r))
+            arr.(i))
+        Async.all_rules
+    in
+    mirror "fuzz.rule.general." coverage;
+    Option.iter (mirror "fuzz.rule.legacy.") legacy_coverage);
+  report
+
+let newly_covered r =
+  match r.legacy_coverage with
+  | None -> []
+  | Some legacy ->
+    List.filteri
+      (fun i _ -> r.coverage.(i) > 0 && legacy.(i) = 0)
+      Async.all_rules
+
+let write_failures ~out_dir r =
+  if r.failures = [] then []
+  else begin
+    if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+    List.map
+      (fun f ->
+        let path =
+          Filename.concat out_dir
+            (Fmt.str "seed-%d-%s.ccr" f.f_seed f.f_shrunk_oracle)
+        in
+        let oc = open_out path in
+        output_string oc f.f_ccr;
+        close_out oc;
+        path)
+      r.failures
+  end
+
+let pp ?(matrix = true) ppf r =
+  Fmt.pf ppf "fuzz: seed %d, %d cases, max-states %d@." r.seed r.count
+    r.max_states;
+  Fmt.pf ppf "@.%-16s %6s %6s@." "oracle" "pass" "fail";
+  List.iter2
+    (fun (o, p) (_, f) ->
+      Fmt.pf ppf "%-16s %6d %6d@." (Oracle.name_to_string o) p f)
+    r.passes r.fails;
+  (match r.legacy_coverage with
+  | _ when not matrix -> ()
+  | None ->
+    Fmt.pf ppf "@.rule coverage (Tables 1-2, transitions enumerated):@.";
+    List.iteri
+      (fun i rule ->
+        Fmt.pf ppf "  %-18s %8d@." (Async.rule_name rule) r.coverage.(i))
+      Async.all_rules
+  | Some legacy ->
+    Fmt.pf ppf
+      "@.rule coverage (Tables 1-2, transitions enumerated per family):@.";
+    Fmt.pf ppf "  %-18s %8s %8s@." "rule" "legacy" "general";
+    List.iteri
+      (fun i rule ->
+        Fmt.pf ppf "  %-18s %8d %8d%s@." (Async.rule_name rule) legacy.(i)
+          r.coverage.(i)
+          (if r.coverage.(i) > 0 && legacy.(i) = 0 then "  (new)" else ""))
+      Async.all_rules;
+    let fresh = newly_covered r in
+    Fmt.pf ppf "rows exercised only by the generalized family: %d (%s)@."
+      (List.length fresh)
+      (if fresh = [] then "none"
+       else String.concat ", " (List.map Async.rule_name fresh)));
+  match r.failures with
+  | [] -> Fmt.pf ppf "@.no oracle failures.@."
+  | fs ->
+    Fmt.pf ppf "@.%d failing case(s):@." (List.length fs);
+    List.iter
+      (fun f ->
+        Fmt.pf ppf
+          "  seed %d: %s failed on %a@.    shrunk to %a (still fails %s: \
+           %s)@."
+          f.f_seed f.f_oracle Gen.pp f.f_spec Gen.pp f.f_shrunk
+          f.f_shrunk_oracle f.f_shrunk_detail)
+      fs

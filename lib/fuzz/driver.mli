@@ -1,0 +1,67 @@
+(** The fuzz campaign driver behind [ccr fuzz].
+
+    Case [i] of a campaign is reproducible from the single integer
+    [seed + i]: the spec is drawn from {!Rng.make}[ (seed + i)], so
+    re-running with [--seed (seed + i) --count 1] regenerates the same
+    spec, the same oracle verdicts, and — through the deterministic
+    {!Shrink} — the same shrunk [.ccr] byte for byte. *)
+
+open Ccr_refine
+
+type failure = {
+  f_seed : int;  (** the failing case's own seed *)
+  f_spec : Gen.spec;  (** as generated *)
+  f_oracle : string;  (** first failing oracle on the generated spec *)
+  f_detail : string;
+  f_shrunk : Gen.spec;  (** local minimum reached by {!Shrink} *)
+  f_shrunk_oracle : string;  (** failing oracle at the minimum *)
+  f_shrunk_detail : string;
+  f_ccr : string;  (** repro file contents ({!Gen.to_ccr} of the minimum) *)
+}
+
+type report = {
+  seed : int;
+  count : int;
+  max_states : int;
+  oracles : Oracle.name list;
+  passes : (Oracle.name * int) list;
+  fails : (Oracle.name * int) list;
+  failures : failure list;
+  coverage : int array;  (** per-{!Async.all_rules} transition counts *)
+  legacy_coverage : int array option;
+      (** same case seeds through the Legacy family, async oracle only *)
+}
+
+val run :
+  ?only:Oracle.name list ->
+  ?legacy_matrix:bool ->
+  ?metrics:Ccr_obs.Metrics.t ->
+  ?on_case:(int -> unit) ->
+  seed:int ->
+  count:int ->
+  max_states:int ->
+  unit ->
+  report
+(** Run the campaign.  [legacy_matrix] (default [true]) additionally
+    runs each case seed through the {!Gen.Legacy} family to produce the
+    before/after rule-coverage matrix.  [metrics] (default none) mirrors
+    the campaign into a {!Ccr_obs.Metrics} registry: [fuzz.cases],
+    per-oracle [fuzz.pass.*]/[fuzz.fail.*] counters, and per-rule
+    [fuzz.rule.general.*] / [fuzz.rule.legacy.*] counters.  [on_case]
+    is called with each finished case index. *)
+
+val newly_covered : report -> Async.rule_id list
+(** Rules with transitions in the generalized family's coverage but none
+    in the legacy baseline (empty without [legacy_matrix]). *)
+
+val write_failures : out_dir:string -> report -> string list
+(** Write each failure's repro under [out_dir] as
+    [seed-<S>-<oracle>.ccr]; creates the directory, returns the paths. *)
+
+val pp : ?matrix:bool -> Format.formatter -> report -> unit
+(** The CLI report: per-oracle pass/fail table, the Tables 1–2 coverage
+    matrix (with newly exercised rows flagged), and shrunk failures.
+    Contains no timings, so output is deterministic in the seed.
+    [matrix] (default [true]) controls the coverage section; pass
+    [false] when coverage was not collected (e.g. the [Async_explore]
+    oracle was excluded). *)

@@ -1,0 +1,361 @@
+open Ccr_core
+
+type txn = { t_pause : bool; t_arity : int; t_detour : bool }
+type own = { o_arity : int; o_evict : bool; o_detour : bool }
+
+type spec = {
+  txns : txn list;
+  own : own option;
+  n : int;
+  k : int;
+  reqrep : bool;
+}
+
+type family = Legacy | General
+
+let valid s =
+  s.n >= 1 && s.k >= 2
+  && (s.txns <> [] || s.own <> None)
+  && List.for_all (fun t -> t.t_arity >= 0 && t.t_arity <= 2) s.txns
+  && (match s.own with
+     | None -> true
+     | Some o -> o.o_arity >= 0 && o.o_arity <= 2 && (o.o_evict || s.n >= 2))
+
+(* ---- generation --------------------------------------------------------- *)
+
+let gen_txn r =
+  { t_pause = Rng.bool r; t_arity = Rng.int r 3; t_detour = Rng.bool r }
+
+let generate ~family r =
+  match family with
+  | Legacy ->
+    let txns = List.init (Rng.range r 1 3) (fun _ -> gen_txn r) in
+    let n = Rng.range r 1 2 in
+    let k = Rng.range r 2 3 in
+    let reqrep = Rng.bool r in
+    { txns; own = None; n; k; reqrep }
+  | General ->
+    let own =
+      if Rng.bool r then
+        Some
+          {
+            o_arity = Rng.int r 3;
+            o_evict = Rng.bool r;
+            o_detour = Rng.bool r;
+          }
+      else None
+    in
+    let lo = if own = None then 1 else 0 in
+    let txns = List.init (Rng.range r lo 3) (fun _ -> gen_txn r) in
+    let n = Rng.range r 1 4 in
+    let k = Rng.range r 2 4 in
+    let reqrep = Rng.bool r in
+    (* an unevictable holder deadlocks the 1-remote system: nobody is
+       left to trigger the revocation *)
+    let own =
+      match own with
+      | Some o when n = 1 -> Some { o with o_evict = true }
+      | o -> o
+    in
+    { txns; own; n; k; reqrep }
+
+(* ---- building the Ir.system --------------------------------------------- *)
+
+let build (s : spec) : Ir.system =
+  let open Dsl in
+  let tn i = string_of_int i in
+  let pv arity = List.init arity (fun p -> Fmt.str "p%d" p) in
+  let self_args arity = List.init arity (fun _ -> self) in
+  (* one reply chain per (hub, transaction): the hub's recv jumps to a
+     detour or directly to the granting state, which returns to the hub *)
+  let serve_guard ~hub i (t : txn) =
+    recv_any "c" ("a" ^ tn i) (pv t.t_arity)
+      ~goto:((if t.t_detour then "D" else "G") ^ hub ^ tn i)
+  in
+  let serve_states ~hub goto_hub =
+    List.concat
+      (List.mapi
+         (fun i (t : txn) ->
+           let g =
+             state ("G" ^ hub ^ tn i)
+               [
+                 send_to (v "c") ("b" ^ tn i)
+                   (List.map v (pv t.t_arity))
+                   ~goto:goto_hub;
+               ]
+           in
+           if t.t_detour then
+             [
+               state ("D" ^ hub ^ tn i)
+                 [ tau ("d" ^ hub ^ tn i) ~goto:("G" ^ hub ^ tn i) ];
+               g;
+             ]
+           else [ g ])
+         s.txns)
+  in
+  let home =
+    let vars =
+      ("c", Value.Drid)
+      :: (if s.own <> None then [ ("o", Value.Drid) ] else [])
+      @ List.map (fun p -> (p, Value.Drid)) (pv 2)
+    in
+    let hub_u =
+      state "U"
+        (List.mapi (serve_guard ~hub:"U") s.txns
+        @
+        match s.own with
+        | None -> []
+        | Some o ->
+          [
+            recv_any "c" "acq" (pv o.o_arity)
+              ~goto:(if o.o_detour then "DA" else "GA");
+          ])
+    in
+    let own_states =
+      match s.own with
+      | None -> []
+      | Some o ->
+        let grant name ~goto =
+          state name
+            [
+              send_to (v "c") "gr"
+                (List.map v (pv o.o_arity))
+                ~assigns:[ ("o", v "c") ] ~goto;
+            ]
+        in
+        (if o.o_detour then [ state "DA" [ tau "da" ~goto:"GA" ] ] else [])
+        @ [
+            grant "GA" ~goto:"E";
+            state "E"
+              ((if o.o_evict then
+                  [ recv_from (v "o") "LR" [] ~goto:"U" ]
+                else [])
+              @ [ recv_any "c" "acq" (pv o.o_arity) ~goto:"I1" ]
+              @ List.mapi (serve_guard ~hub:"E") s.txns);
+            state "I1"
+              (send_to (v "o") "inv" [] ~goto:"I2"
+              ::
+              (if o.o_evict then
+                 [ recv_from (v "o") "LR" [] ~goto:"I3" ]
+               else []));
+            state "I2" [ recv_from (v "o") "ID" [] ~goto:"I3" ];
+            grant "I3" ~goto:"E";
+          ]
+        @ serve_states ~hub:"E" "E"
+    in
+    process "home" ~vars ~init:"U"
+      ((hub_u :: serve_states ~hub:"U" "U") @ own_states)
+  in
+  let remote =
+    let vars = List.map (fun p -> (p, Value.Drid)) (pv 2) in
+    let picks =
+      List.mapi (fun i (_ : txn) -> tau ("pick" ^ tn i) ~goto:("S" ^ tn i))
+        s.txns
+      @
+      match s.own with
+      | None -> []
+      | Some _ -> [ tau "pickacq" ~goto:"SA" ]
+    in
+    let txn_states =
+      List.concat
+        (List.mapi
+           (fun i (t : txn) ->
+             let send =
+               state ("S" ^ tn i)
+                 [
+                   send_home ("a" ^ tn i) (self_args t.t_arity)
+                     ~goto:((if t.t_pause then "P" else "W") ^ tn i);
+                 ]
+             in
+             let wait =
+               state ("W" ^ tn i)
+                 [ recv_home ("b" ^ tn i) (pv t.t_arity) ~goto:"T" ]
+             in
+             if t.t_pause then
+               [
+                 send;
+                 state ("P" ^ tn i) [ tau ("z" ^ tn i) ~goto:("W" ^ tn i) ];
+                 wait;
+               ]
+             else [ send; wait ])
+           s.txns)
+    in
+    let own_states =
+      match s.own with
+      | None -> []
+      | Some o ->
+        [
+          state "SA"
+            [ send_home "acq" (self_args o.o_arity) ~goto:"WA" ];
+          state "WA" [ recv_home "gr" (pv o.o_arity) ~goto:"V" ];
+          state "V"
+            ((if o.o_evict then [ tau "evict" ~goto:"EV" ] else [])
+            @ [ recv_home "inv" [] ~goto:"IV" ]);
+        ]
+        @ (if o.o_evict then
+             [ state "EV" [ send_home "LR" [] ~goto:"T" ] ]
+           else [])
+        @ [ state "IV" [ send_home "ID" [] ~goto:"T" ] ]
+    in
+    process "remote" ~vars ~init:"T" ((state "T" picks :: txn_states) @ own_states)
+  in
+  system "fuzz" ~home ~remote
+
+let compile s = Link.compile ~reqrep:s.reqrep ~n:s.n (build s)
+
+let size s =
+  let txn t =
+    (2 + t.t_arity) + (if t.t_pause then 1 else 0)
+    + if t.t_detour then 1 else 0
+  in
+  List.fold_left (fun acc t -> acc + txn t) 0 s.txns
+  + (match s.own with
+    | None -> 0
+    | Some o ->
+      (3 + o.o_arity) + (if o.o_evict then 1 else 0)
+      + if o.o_detour then 1 else 0)
+  + s.n + s.k
+  + if s.reqrep then 1 else 0
+
+(* ---- printing and parsing ------------------------------------------------ *)
+
+let pp ppf s =
+  Fmt.pf ppf "{n=%d k=%d reqrep=%b own=%s txns=[%s]}" s.n s.k s.reqrep
+    (match s.own with
+    | None -> "none"
+    | Some o ->
+      Fmt.str "arity=%d evict=%b detour=%b" o.o_arity o.o_evict o.o_detour)
+    (String.concat "; "
+       (List.map
+          (fun t ->
+            Fmt.str "pause=%b arity=%d detour=%b" t.t_pause t.t_arity
+              t.t_detour)
+          s.txns))
+
+let flag b = if b then 't' else 'f'
+
+let spec_to_string s =
+  let triple a b c = Fmt.str "%d%c%c" a (flag b) (flag c) in
+  Fmt.str "n=%d k=%d reqrep=%c own=%s txns=%s" s.n s.k (flag s.reqrep)
+    (match s.own with
+    | None -> "-"
+    | Some o -> triple o.o_arity o.o_evict o.o_detour)
+    (if s.txns = [] then "-"
+     else
+       String.concat ","
+         (List.map (fun t -> triple t.t_arity t.t_pause t.t_detour) s.txns))
+
+let spec_of_string str =
+  let ( let* ) = Result.bind in
+  let parse_flag = function
+    | 't' -> Ok true
+    | 'f' -> Ok false
+    | c -> Error (Fmt.str "bad flag %C" c)
+  in
+  let parse_triple t =
+    if String.length t <> 3 || t.[0] < '0' || t.[0] > '9' then
+      Error (Fmt.str "bad triple %S" t)
+    else
+      let* b = parse_flag t.[1] in
+      let* c = parse_flag t.[2] in
+      Ok (Char.code t.[0] - Char.code '0', b, c)
+  in
+  let field key =
+    let fields =
+      List.filter_map
+        (fun f ->
+          match String.index_opt f '=' with
+          | Some i ->
+            Some
+              ( String.sub f 0 i,
+                String.sub f (i + 1) (String.length f - i - 1) )
+          | None -> None)
+        (String.split_on_char ' ' (String.trim str))
+    in
+    match List.assoc_opt key fields with
+    | Some v -> Ok v
+    | None -> Error (Fmt.str "missing field %s=" key)
+  in
+  let* n = field "n" in
+  let* k = field "k" in
+  let* rr = field "reqrep" in
+  let* ow = field "own" in
+  let* tx = field "txns" in
+  let* n =
+    match int_of_string_opt n with
+    | Some n -> Ok n
+    | None -> Error "bad n"
+  in
+  let* k =
+    match int_of_string_opt k with
+    | Some k -> Ok k
+    | None -> Error "bad k"
+  in
+  let* reqrep =
+    if String.length rr = 1 then parse_flag rr.[0] else Error "bad reqrep"
+  in
+  let* own =
+    if ow = "-" then Ok None
+    else
+      let* a, e, d = parse_triple ow in
+      Ok (Some { o_arity = a; o_evict = e; o_detour = d })
+  in
+  let* txns =
+    if tx = "-" then Ok []
+    else
+      List.fold_right
+        (fun t acc ->
+          let* acc = acc in
+          let* a, p, d = parse_triple t in
+          Ok ({ t_arity = a; t_pause = p; t_detour = d } :: acc))
+        (String.split_on_char ',' tx)
+        (Ok [])
+  in
+  let s = { txns; own; n; k; reqrep } in
+  if valid s then Ok s else Error "spec violates the family constraints"
+
+(* ---- committed repro files ----------------------------------------------- *)
+
+let sanitize_line s =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let to_ccr ~seed ~oracle ~detail spec =
+  Fmt.str
+    "# ccr fuzz counterexample — reproduce with: ccr fuzz --seed %d --count \
+     1\n\
+     # seed: %d\n\
+     # oracle: %s\n\
+     # detail: %s\n\
+     # spec: %s\n\
+     # instantiate with the n/reqrep above; k bounds the home buffer.\n\
+     %s"
+    seed seed oracle
+    (sanitize_line detail)
+    (spec_to_string spec)
+    (Parse.to_string (build spec))
+
+let of_ccr contents =
+  let ( let* ) = Result.bind in
+  let line key =
+    let prefix = "# " ^ key ^ ": " in
+    match
+      List.find_opt
+        (fun l -> String.starts_with ~prefix l)
+        (String.split_on_char '\n' contents)
+    with
+    | Some l ->
+      Ok
+        (String.sub l (String.length prefix)
+           (String.length l - String.length prefix))
+    | None -> Error (Fmt.str "missing %S header line" prefix)
+  in
+  let* seed = line "seed" in
+  let* oracle = line "oracle" in
+  let* spec = line "spec" in
+  let* seed =
+    match int_of_string_opt (String.trim seed) with
+    | Some s -> Ok s
+    | None -> Error "bad seed"
+  in
+  let* spec = spec_of_string spec in
+  Ok (seed, oracle, spec)

@@ -1,0 +1,88 @@
+(** Valid-by-construction star-protocol specs and their generator.
+
+    A {!spec} describes a protocol in the generalized fuzz family:
+
+    - {e remote-initiated transactions} ([txns]): the remote sends [aI]
+      (payload arity 0–2) and waits for the home's reply [bI], optionally
+      pausing between the two (which defeats the request/reply analysis)
+      while the home may take an internal detour before replying — the
+      family of the original [test/suite_random.ml];
+    - at most one {e ownership transaction} ([own]): the remote acquires
+      a grant ([acq]/[gr]) and holds it in a passive state until the home
+      revokes it with a {e home-initiated} rendezvous ([inv]/[ID], the
+      migratory pattern) on behalf of a second acquirer, optionally
+      racing a spontaneous [tau] eviction ([LR]).  This puts the home in
+      a second hub state ([E]) from which all other transactions are also
+      served, so generated systems exercise home-initiated request/reply
+      pairs, multiple home hub states, and crossing-request races that
+      the original family never reached.
+
+    Every spec in {!valid} builds ({!build}) into a system that passes
+    {!Ccr_core.Validate.check} and is deadlock-free at the rendezvous
+    level by construction; the differential oracles ({!Oracle}) then hold
+    the whole refinement pipeline to that promise. *)
+
+open Ccr_core
+
+type txn = {
+  t_pause : bool;  (** remote taus between send and wait (not a pair) *)
+  t_arity : int;  (** 0, 1 or 2 payload values on both messages *)
+  t_detour : bool;  (** home taus before replying *)
+}
+
+type own = {
+  o_arity : int;  (** payload on [acq] and [gr] *)
+  o_evict : bool;  (** holder may spontaneously evict ([tau]; sends [LR]) *)
+  o_detour : bool;  (** home taus before the first grant *)
+}
+
+type spec = {
+  txns : txn list;
+  own : own option;
+  n : int;  (** remote nodes, 1–4 *)
+  k : int;  (** home buffer capacity, 2–4 *)
+  reqrep : bool;  (** apply the §3.3 request/reply optimization *)
+}
+
+type family =
+  | Legacy
+      (** the original [suite_random.ml] knobs: 1–3 remote-initiated
+          transactions, no ownership, n ∈ 1–2, k ∈ 2–3 *)
+  | General  (** the full family above: n ∈ 1–4, k ∈ 2–4, ownership *)
+
+val valid : spec -> bool
+(** Structural constraints: at least one transaction, arities in 0–2,
+    [n >= 1], [k >= 2], and — since a holder that can neither evict nor
+    be revoked deadlocks the n=1 system — [own] without eviction
+    requires [n >= 2]. *)
+
+val generate : family:family -> Rng.t -> spec
+(** Draw a spec from the family; always {!valid}. *)
+
+val build : spec -> Ir.system
+val compile : spec -> Prog.t
+(** [Link.compile ~reqrep ~n] of {!build}. *)
+
+val size : spec -> int
+(** Structural size; every {!Shrink} step strictly decreases it. *)
+
+val pp : spec Fmt.t
+
+val spec_to_string : spec -> string
+(** Compact machine-readable form, e.g.
+    ["n=2 k=3 reqrep=t own=1tf txns=2tf,0ff"] ([own] is [-] when absent;
+    each coded triple is arity digit, then [t]/[f] for the two flags). *)
+
+val spec_of_string : string -> (spec, string) result
+(** Inverse of {!spec_to_string}. *)
+
+(** {2 Committed repro files}
+
+    A shrunk counterexample is written as a parseable [.ccr] file whose
+    header comments carry everything needed to re-run the oracles: the
+    failing case seed, the oracle name, and the spec line. *)
+
+val to_ccr : seed:int -> oracle:string -> detail:string -> spec -> string
+
+val of_ccr : string -> (int * string * spec, string) result
+(** Parse a repro file's contents back to (seed, oracle, spec). *)

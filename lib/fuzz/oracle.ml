@@ -1,0 +1,311 @@
+open Ccr_core
+module Explore = Ccr_modelcheck.Explore
+module Async = Ccr_refine.Async
+module Absmap = Ccr_refine.Absmap
+module Sym = Ccr_refine.Symmetry
+module Rendezvous = Ccr_semantics.Rendezvous
+module Fault = Ccr_faults.Fault
+module Injected = Ccr_faults.Injected
+
+type name =
+  | Validate
+  | Roundtrip
+  | Rv
+  | Async_explore
+  | Eq1
+  | Symmetry
+  | Par
+  | Faults
+
+let all =
+  [ Validate; Roundtrip; Rv; Async_explore; Eq1; Symmetry; Par; Faults ]
+
+let name_to_string = function
+  | Validate -> "validate"
+  | Roundtrip -> "roundtrip"
+  | Rv -> "rv-explore"
+  | Async_explore -> "async-explore"
+  | Eq1 -> "eq1"
+  | Symmetry -> "symmetry"
+  | Par -> "par"
+  | Faults -> "faults"
+
+let name_of_string s =
+  match List.find_opt (fun o -> name_to_string o = s) all with
+  | Some o -> Ok o
+  | None ->
+    Error
+      (Fmt.str "unknown oracle %S (known: %s)" s
+         (String.concat ", " (List.map name_to_string all)))
+
+type outcome = Pass | Fail of string
+
+type result = { oracle : name; outcome : outcome }
+
+(* ---- rule coverage ------------------------------------------------------- *)
+
+let n_rules = List.length Async.all_rules
+
+let rule_index =
+  let tbl = Hashtbl.create 32 in
+  List.iteri (fun i r -> Hashtbl.add tbl r i) Async.all_rules;
+  fun r -> Hashtbl.find tbl r
+
+(* ---- shared per-spec context --------------------------------------------- *)
+
+(* The battery shares the compiled program and the (rule-counting)
+   asynchronous exploration across oracles; lazies are materialized as
+   results so a failing stage reports identically however often it is
+   consulted. *)
+type ctx = {
+  spec : Gen.spec;
+  max_states : int;
+  prog : (Prog.t, exn) Result.t Lazy.t;
+  async_stats :
+    ((Async.state, Async.label) Explore.stats, exn) Result.t Lazy.t;
+}
+
+let capture f = try Ok (f ()) with e -> Error e
+
+let async_sys prog cfg =
+  Explore.
+    {
+      init = Async.initial prog cfg;
+      succ = Async.successors prog cfg;
+      encode = Async.encode;
+      canon = None;
+    }
+
+let make_ctx ?rules ~max_states spec =
+  let prog = lazy (capture (fun () -> Gen.compile spec)) in
+  let async_stats =
+    lazy
+      (match Lazy.force prog with
+      | Error e -> Error e
+      | Ok p ->
+        capture (fun () ->
+            let cfg = Async.{ k = spec.Gen.k } in
+            let base = async_sys p cfg in
+            let succ =
+              match rules with
+              | None -> base.Explore.succ
+              | Some arr ->
+                fun st ->
+                  let outs = base.Explore.succ st in
+                  List.iter
+                    (fun ((l : Async.label), _) ->
+                      let i = rule_index l.Async.rule in
+                      arr.(i) <- arr.(i) + 1)
+                    outs;
+                  outs
+            in
+            Explore.run ~max_states ~check_deadlock:true
+              { base with Explore.succ }))
+  in
+  { spec; max_states; prog; async_stats }
+
+(* ---- the oracles --------------------------------------------------------- *)
+
+let exn_msg e =
+  match e with
+  | Async.Protocol_error m -> "Protocol_error: " ^ m
+  | Invalid_argument m -> "Invalid_argument: " ^ m
+  | e -> Printexc.to_string e
+
+let explored_ok what (r : (_, _) Explore.stats) pp_state =
+  match r.Explore.outcome with
+  | Explore.Complete | Explore.Limit Explore.L_states -> Pass
+  | Explore.Limit l ->
+    Fail
+      (Fmt.str "%s stopped at an unexpected %s limit" what
+         (match l with
+         | Explore.L_memory -> "memory"
+         | Explore.L_time -> "time"
+         | Explore.L_states -> "state"))
+  | Explore.Violation { invariant; state } ->
+    Fail
+      (Fmt.str "%s violated %s after %d states:@ %a" what invariant
+         r.Explore.states pp_state state)
+  | Explore.Deadlock st ->
+    Fail
+      (Fmt.str "%s deadlocked after %d states:@ %a" what r.Explore.states
+         pp_state st)
+
+let o_validate ctx =
+  match Validate.check (Gen.build ctx.spec) with
+  | Ok _ -> Pass
+  | Error es ->
+    Fail (Fmt.str "%a" Fmt.(list ~sep:(any "; ") Validate.pp_error) es)
+
+let o_roundtrip ctx =
+  let sys = Gen.build ctx.spec in
+  let printed = Parse.to_string sys in
+  match Parse.system printed with
+  | sys' ->
+    if sys' = sys then Pass
+    else Fail "print/parse round-trip changed the system structurally"
+  | exception e ->
+    Fail (Fmt.str "printed system does not re-parse: %a" Parse.pp_error e)
+
+let o_rv ctx =
+  match Lazy.force ctx.prog with
+  | Error e -> Fail (exn_msg e)
+  | Ok prog ->
+    let r =
+      Explore.run ~max_states:ctx.max_states ~check_deadlock:true
+        Explore.
+          {
+            init = Rendezvous.initial prog;
+            succ = Rendezvous.successors prog;
+            encode = Rendezvous.encode;
+            canon = None;
+          }
+    in
+    explored_ok "rendezvous exploration" r (Rendezvous.pp_state prog)
+
+let o_async ctx =
+  match (Lazy.force ctx.prog, Lazy.force ctx.async_stats) with
+  | Error e, _ | _, Error e -> Fail (exn_msg e)
+  | Ok prog, Ok r -> explored_ok "async exploration" r (Async.pp_state prog)
+
+let o_eq1 ctx =
+  match Lazy.force ctx.prog with
+  | Error e -> Fail (exn_msg e)
+  | Ok prog ->
+    let v =
+      Absmap.check_eq1 ~max_states:ctx.max_states prog
+        Async.{ k = ctx.spec.Gen.k }
+    in
+    if v.Absmap.ok then Pass
+    else
+      Fail
+        (match v.Absmap.failure with
+        | Some f ->
+          Fmt.str "Eq. 1 violated by %a after %d states" Async.pp_label
+            f.Absmap.label v.Absmap.states
+        | None -> "Eq. 1 violated")
+
+let o_symmetry ctx =
+  match (Lazy.force ctx.prog, Lazy.force ctx.async_stats) with
+  | Error e, _ | _, Error e -> Fail (exn_msg e)
+  | Ok prog, Ok full ->
+    let cfg = Async.{ k = ctx.spec.Gen.k } in
+    let quotient canon_key stats =
+      Explore.run ~max_states:ctx.max_states
+        {
+          (async_sys prog cfg) with
+          Explore.canon =
+            Some
+              Explore.
+                {
+                  canon_key;
+                  canon_fresh = None;
+                  canon_fallbacks = (fun () -> Sym.fallbacks stats);
+                };
+        }
+    in
+    let st_fast = Sym.make_stats () and st_brute = Sym.make_stats () in
+    let fast = quotient (Sym.canonical_async_fast ~stats:st_fast prog) st_fast in
+    let brute = quotient (Sym.canonical_async ~stats:st_brute prog) st_brute in
+    let complete (r : (_, _) Explore.stats) =
+      r.Explore.outcome = Explore.Complete
+    in
+    if
+      fast.Explore.canon_fallbacks > 0 || brute.Explore.canon_fallbacks > 0
+    then Pass (* counted fallback: the two partitions are incomparable *)
+    else if not (complete fast && complete brute) then Pass
+    else if
+      fast.Explore.states <> brute.Explore.states
+      || fast.Explore.transitions <> brute.Explore.transitions
+    then
+      Fail
+        (Fmt.str
+           "fast and brute symmetry quotients disagree: %d/%d states, \
+            %d/%d transitions"
+           fast.Explore.states brute.Explore.states fast.Explore.transitions
+           brute.Explore.transitions)
+    else if complete full && fast.Explore.states > full.Explore.states then
+      Fail
+        (Fmt.str "symmetry quotient larger than the full space: %d > %d"
+           fast.Explore.states full.Explore.states)
+    else Pass
+
+let o_par ctx =
+  match (Lazy.force ctx.prog, Lazy.force ctx.async_stats) with
+  | Error e, _ | _, Error e -> Fail (exn_msg e)
+  | Ok prog, Ok seq ->
+    if seq.Explore.outcome <> Explore.Complete then Pass
+    else
+      let cfg = Async.{ k = ctx.spec.Gen.k } in
+      let par =
+        Explore.par_run ~jobs:4 ~max_states:ctx.max_states
+          ~check_deadlock:true (async_sys prog cfg)
+      in
+      if par.Explore.outcome <> Explore.Complete then
+        Fail
+          (Fmt.str "parallel exploration did not complete (%a)"
+             (Explore.pp_outcome (Async.pp_state prog))
+             par.Explore.outcome)
+      else if
+        par.Explore.states <> seq.Explore.states
+        || par.Explore.transitions <> seq.Explore.transitions
+      then
+        Fail
+          (Fmt.str
+             "-j 4 and -j 1 disagree: %d/%d states, %d/%d transitions"
+             par.Explore.states seq.Explore.states par.Explore.transitions
+             seq.Explore.transitions)
+      else Pass
+
+let o_faults ctx =
+  match Lazy.force ctx.prog with
+  | Error e -> Fail (exn_msg e)
+  | Ok prog ->
+    let cfg = Async.{ k = ctx.spec.Gen.k } in
+    let budget = { Fault.none with Fault.drop = 1 } in
+    let r =
+      Explore.run ~max_states:ctx.max_states ~check_deadlock:true
+        ~invariants:[ Injected.no_wedge ]
+        Explore.
+          {
+            init = Injected.initial budget prog cfg;
+            succ = Injected.successors Injected.Hardened budget prog cfg;
+            encode = Injected.encode;
+            canon = None;
+          }
+    in
+    explored_ok "hardened exploration under drop=1" r
+      (Injected.pp_fstate prog)
+
+let run_oracle ctx o =
+  let body =
+    match o with
+    | Validate -> o_validate
+    | Roundtrip -> o_roundtrip
+    | Rv -> o_rv
+    | Async_explore -> o_async
+    | Eq1 -> o_eq1
+    | Symmetry -> o_symmetry
+    | Par -> o_par
+    | Faults -> o_faults
+  in
+  let outcome = try body ctx with e -> Fail (exn_msg e) in
+  { oracle = o; outcome }
+
+let run_battery ?(only = all) ?rules ~max_states spec =
+  let ctx = make_ctx ?rules ~max_states spec in
+  List.filter_map
+    (fun o -> if List.mem o only then Some (run_oracle ctx o) else None)
+    all
+
+let failures results =
+  List.filter_map
+    (fun r ->
+      match r.outcome with
+      | Pass -> None
+      | Fail msg -> Some (r.oracle, msg))
+    results
+
+let coverage_of_spec ?rules ~max_states spec =
+  let ctx = make_ctx ?rules ~max_states spec in
+  ignore (Lazy.force ctx.async_stats)

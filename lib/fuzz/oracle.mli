@@ -1,0 +1,67 @@
+(** The differential oracle battery.
+
+    Every generated spec is valid by construction, so each oracle states
+    a property the refinement pipeline must satisfy on it — a failure is
+    a bug in the pipeline (or in the generator's validity argument), and
+    is handed to {!Shrink}:
+
+    - [Validate]: the built system passes {!Ccr_core.Validate.check};
+    - [Roundtrip]: pretty-printing to the [.ccr] syntax and re-parsing
+      yields a structurally identical {!Ccr_core.Ir.system};
+    - [Rv]: rendezvous-level exploration finds no deadlock;
+    - [Async]: refined-level exploration finds no deadlock and no
+      {!Ccr_refine.Async.Protocol_error};
+    - [Eq1]: the §4 stuttering simulation (Equation 1) holds;
+    - [Symmetry]: the fast and brute-force symmetry quotients agree, and
+      are no larger than the full space;
+    - [Par]: the 4-domain parallel explorer reports the same state and
+      transition counts as the sequential one;
+    - [Faults]: under a one-drop budget the hardened transport stays
+      safe — no wedge, no deadlock.
+
+    All explorations are capped at [max_states]; hitting the cap passes
+    the oracle (the budget bounds work, it is not a verdict). *)
+
+open Ccr_refine
+
+type name =
+  | Validate
+  | Roundtrip
+  | Rv
+  | Async_explore
+  | Eq1
+  | Symmetry
+  | Par
+  | Faults
+
+val all : name list
+val name_to_string : name -> string
+val name_of_string : string -> (name, string) result
+
+type outcome = Pass | Fail of string
+
+type result = { oracle : name; outcome : outcome }
+
+val n_rules : int
+val rule_index : Async.rule_id -> int
+(** Dense index into a coverage array, aligned with {!Async.all_rules}. *)
+
+val run_battery :
+  ?only:name list ->
+  ?rules:int array ->
+  max_states:int ->
+  Gen.spec ->
+  result list
+(** Run the oracles in the fixed order of {!all} (restricted to [only]).
+    [rules] (length {!n_rules}) accumulates per-rule transition counts
+    enumerated during the [Async_explore] oracle — the Tables 1–2
+    coverage matrix.  Compilation and the asynchronous exploration are
+    shared across oracles, so the battery costs a handful of capped
+    explorations per spec.  Any exception an oracle raises is folded
+    into its [Fail]. *)
+
+val failures : result list -> (name * string) list
+
+val coverage_of_spec :
+  ?rules:int array -> max_states:int -> Gen.spec -> unit
+(** Just the [Async_explore] rule accounting, for coverage baselines. *)

@@ -1,0 +1,44 @@
+(* SplitMix64 (Steele, Lea & Flood, OOPSLA 2014): one mutable 64-bit
+   word, a fixed odd gamma, and a finalizing mixer.  Chosen over
+   [Random.State] because its output is specified bit-for-bit — repro
+   seeds stored in the corpus must survive compiler and stdlib
+   upgrades. *)
+
+type t = { mutable state : int64 }
+
+let gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 t =
+  t.state <- Int64.add t.state gamma;
+  mix64 t.state
+
+let make seed =
+  (* pre-mix the seed so consecutive integers give uncorrelated streams *)
+  { state = mix64 (Int64.of_int seed) }
+
+let split t = { state = bits64 t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  (* 62 non-negative bits modulo the bound ([max_int] is 2^62 - 1 on a
+     64-bit host); the modulo bias is < 2^-50 for the tiny bounds used
+     in spec generation *)
+  let v = Int64.to_int (bits64 t) land max_int in
+  v mod bound
+
+let range t lo hi =
+  if hi < lo then invalid_arg "Rng.range: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let choose t = function
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | xs -> List.nth xs (int t (List.length xs))

@@ -1,0 +1,32 @@
+(** Splittable seeded PRNG (SplitMix64).
+
+    Every fuzz case is reproducible from a single integer: the generator
+    state is one 64-bit word advanced by a fixed odd gamma and finalized
+    by an avalanching mixer, so the stream depends only on the seed — not
+    on platform word size, hash randomization, or any global state.
+    [split] forks an independent stream (seeded from the parent's next
+    output), letting sub-generators draw without perturbing the parent's
+    sequence. *)
+
+type t
+
+val make : int -> t
+(** A fresh stream seeded by [seed].  Equal seeds give equal streams. *)
+
+val split : t -> t
+(** An independent child stream; advances the parent by one draw. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound).
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val range : t -> int -> int -> int
+(** [range t lo hi] draws uniformly from [lo, hi] inclusive. *)
+
+val bool : t -> bool
+
+val choose : t -> 'a list -> 'a
+(** Uniform pick.  @raise Invalid_argument on the empty list. *)

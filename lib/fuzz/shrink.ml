@@ -1,0 +1,56 @@
+open Gen
+
+(* Replace element [i] of [l] by [f (List.nth l i)]. *)
+let map_nth i f l = List.mapi (fun j x -> if i = j then f x else x) l
+
+let drop_nth i l = List.filteri (fun j _ -> j <> i) l
+
+let candidates (s : spec) : spec list =
+  let txn_ops (t : txn) =
+    (if t.t_pause then [ { t with t_pause = false } ] else [])
+    @ (if t.t_detour then [ { t with t_detour = false } ] else [])
+    @ if t.t_arity > 0 then [ { t with t_arity = t.t_arity - 1 } ] else []
+  in
+  let own_ops (o : own) =
+    (if o.o_evict then [ { o with o_evict = false } ] else [])
+    @ (if o.o_detour then [ { o with o_detour = false } ] else [])
+    @ if o.o_arity > 0 then [ { o with o_arity = o.o_arity - 1 } ] else []
+  in
+  List.concat
+    [
+      (* structure first: dropping a whole transaction shrinks fastest *)
+      List.mapi (fun i _ -> { s with txns = drop_nth i s.txns }) s.txns;
+      (match s.own with None -> [] | Some _ -> [ { s with own = None } ]);
+      (* then the per-transaction knobs *)
+      List.concat
+        (List.mapi
+           (fun i t ->
+             List.map
+               (fun t' -> { s with txns = map_nth i (fun _ -> t') s.txns })
+               (txn_ops t))
+           s.txns);
+      (match s.own with
+      | None -> []
+      | Some o -> List.map (fun o' -> { s with own = Some o' }) (own_ops o));
+      (* finally the instance parameters *)
+      (if s.n > 1 then [ { s with n = s.n - 1 } ] else []);
+      (if s.k > 2 then [ { s with k = s.k - 1 } ] else []);
+      (if s.reqrep then [ { s with reqrep = false } ] else []);
+    ]
+  |> List.filter valid
+
+let minimize ~fails spec =
+  match fails spec with
+  | None -> invalid_arg "Shrink.minimize: the initial spec does not fail"
+  | Some why ->
+    let rec go spec why =
+      let rec first = function
+        | [] -> (spec, why)
+        | c :: rest -> (
+          match fails c with
+          | Some why' -> go c why'
+          | None -> first rest)
+      in
+      first (candidates spec)
+    in
+    go spec why

@@ -1,0 +1,25 @@
+(** Greedy structural counterexample shrinking.
+
+    Given a failing spec, repeatedly try simpler variants — drop a
+    transaction, drop the ownership transaction, clear a pause/detour/
+    eviction flag, lower a payload arity, lower [n] or [k], turn off the
+    request/reply optimization — and keep the first variant that still
+    fails {e any} oracle.  Every candidate strictly decreases
+    {!Gen.size}, so the loop terminates at a local minimum: a spec whose
+    every one-step simplification passes the whole battery.
+
+    Shrinking is deterministic: candidates are tried in a fixed order
+    and the oracles themselves are deterministic, so a given failing
+    seed always produces the same shrunk [.ccr], byte for byte. *)
+
+val candidates : Gen.spec -> Gen.spec list
+(** All one-step simplifications, in the order tried; each is
+    {!Gen.valid} and strictly smaller. *)
+
+val minimize :
+  fails:(Gen.spec -> (Oracle.name * string) option) ->
+  Gen.spec ->
+  Gen.spec * (Oracle.name * string)
+(** [minimize ~fails spec] greedily walks to a local minimum.  [spec]
+    must itself fail ([fails spec <> None] — raises [Invalid_argument]
+    otherwise); returns the minimal spec and its failing oracle. *)

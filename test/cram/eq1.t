@@ -1,0 +1,34 @@
+Equation 1 verdict formatting and exit codes.
+
+The full check prints the async/rendezvous state accounting:
+
+  $ ../../bin/ccr.exe eq1 migratory -n 2
+  eq1: OK — 129 async states (242 transitions: 162 stutters, 80 rendezvous steps) covering 15 rendezvous states
+
+A state budget truncates the exploration; the verdict still holds on the
+explored prefix but says so:
+
+  $ ../../bin/ccr.exe eq1 migratory -n 2 --max-states 50
+  eq1: OK — 51 async states (78 transitions: 52 stutters, 26 rendezvous steps) covering 10 rendezvous states (truncated)
+
+The lock server from the quickstart:
+
+  $ ../../bin/ccr.exe eq1 lock -n 2 -k 2
+  eq1: OK — 108 async states (204 transitions: 130 stutters, 74 rendezvous steps) covering 16 rendezvous states
+
+Hand-optimized protocols have no rendezvous level, so the refinement
+soundness argument does not apply and the check refuses to run:
+
+  $ ../../bin/ccr.exe eq1 migratory-hand -n 2
+  migratory-hand is hand-optimized: the refinement soundness argument does not apply.
+  [1]
+
+Unknown protocols are rejected with the catalogue:
+
+  $ ../../bin/ccr.exe eq1 nonsense
+  ccr: PROTOCOL argument: unknown protocol "nonsense" (try: migratory,
+       migratory-data, migratory-hand, invalidate, mesi, write-update, lock,
+       barrier, or a .ccr file)
+  Usage: ccr eq1 [OPTION]… PROTOCOL
+  Try 'ccr eq1 --help' or 'ccr --help' for more information.
+  [124]

@@ -1,0 +1,72 @@
+The differential fuzzer is deterministic in the seed: the report (per-
+oracle pass/fail counters and the Tables 1-2 rule-coverage matrix)
+carries no timings, so a small campaign is an exact regression.
+
+  $ ../../bin/ccr.exe fuzz --seed 7 --count 5 --max-states 3000
+  fuzz: seed 7, 5 cases, max-states 3000
+  
+  oracle             pass   fail
+  validate              5      0
+  roundtrip             5      0
+  rv-explore            5      0
+  async-explore         5      0
+  eq1                   5      0
+  symmetry              5      0
+  par                   5      0
+  faults                5      0
+  
+  rule coverage (Tables 1-2, transitions enumerated per family):
+    rule                 legacy  general
+    R-C1                   2379     4722
+    R-C2                      0       34  (new)
+    R-C3-ack                197      352
+    R-C3-silent               0       42  (new)
+    R-C3-nack                 0        0
+    R-T1                    621     2038
+    R-T2                    453      520
+    R-T3                      0      305  (new)
+    R-tau                  3231     6323
+    R-reply-send              0       34  (new)
+    R-repl-recv            1056      389
+    R-deliver               416      856
+    H-C1                    442     1352
+    H-C1-silent             721      681
+    H-C2                    607     1814
+    H-T1                   1148      402
+    H-T1-repl                 0       90  (new)
+    H-T2                      0        0
+    H-T3                      0       64  (new)
+    H-T4                    216      975
+    H-T5                      0        0
+    H-T6                    280      225
+    H-tau                   793      567
+    H-reply-send            276      381
+    H-admit                1206     2340
+    H-admit-progress        124      300
+    H-nack-full               0       96  (new)
+  rows exercised only by the generalized family: 7 (R-C2, R-C3-silent, R-T3, R-reply-send, H-T1-repl, H-T3, H-nack-full)
+  
+  no oracle failures.
+
+
+
+
+An oracle subset skips the others; without async-explore there is no
+coverage to report, so the matrix section disappears:
+
+  $ ../../bin/ccr.exe fuzz --seed 7 --count 2 --max-states 2000 --oracles validate,eq1
+  fuzz: seed 7, 2 cases, max-states 2000
+  
+  oracle             pass   fail
+  validate              2      0
+  eq1                   2      0
+  
+  no oracle failures.
+
+
+
+Unknown oracle names are rejected up front:
+
+  $ ../../bin/ccr.exe fuzz --oracles bogus --count 1
+  unknown oracle "bogus" (known: validate, roundtrip, rv-explore, async-explore, eq1, symmetry, par, faults)
+  [1]

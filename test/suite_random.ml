@@ -1,245 +1,163 @@
-(* Property-based testing over a generated family of star protocols.
+(* Property-based testing over the generated star-protocol families.
 
-   Each generated protocol is a set of "transactions": the remote sends
-   [a_i] and eventually waits for the home's [b_i]; the home serves any
-   transaction from a hub state.  Generation knobs (per transaction):
-   whether the remote pauses between request and wait (breaking the
-   request/reply pattern), payload arity, and whether the home takes an
-   internal detour before replying.  Every instance is a valid protocol
-   by construction, so the refinement pipeline must hold end to end:
-   validation, exploration without protocol errors or deadlock, and the
-   Eq. 1 simulation. *)
+   The generator now lives in [Ccr_fuzz.Gen] (shared with the [ccr fuzz]
+   subcommand); this suite drives it over {e fixed} seed ranges, so the
+   regression is deterministic — a failure here names the seed, and
+   [ccr fuzz --seed S --count 1] replays the same instance under the
+   full oracle battery.  The legacy family keeps the original knobs
+   (remote pause, payload arity, home detour); the checks hold the
+   refinement pipeline to its promise end to end: validation,
+   exploration without protocol errors or deadlock, and the Eq. 1
+   simulation with the original 20k-state budget. *)
 
 open Ccr_core
+open Ccr_fuzz
 open Test_util
 
-type txn = {
-  pause : bool;  (** remote taus between send and wait *)
-  arity : int;  (** 0, 1 or 2 payload values on both messages *)
-  detour : bool;  (** home taus before replying *)
-}
+let seeds lo hi = List.init (hi - lo + 1) (fun i -> lo + i)
 
-type spec = { txns : txn list; n : int; k : int; reqrep : bool }
-
-let build_system (s : spec) : Ir.system =
-  let open Dsl in
-  let txn_name i = string_of_int i in
-  let payload_vars arity = List.init arity (fun p -> Fmt.str "p%d" p) in
-  let home =
-    let vars =
-      ("c", Value.Drid)
-      :: List.map (fun p -> (p, Value.Drid)) (payload_vars 2)
-    in
-    let hub_guards =
-      List.mapi
-        (fun i (t : txn) ->
-          recv_any "c"
-            ("a" ^ txn_name i)
-            (payload_vars t.arity)
-            ~goto:(if t.detour then "D" ^ txn_name i else "G" ^ txn_name i))
-        s.txns
-    in
-    let txn_states =
-      List.concat
-        (List.mapi
-           (fun i (t : txn) ->
-             let g =
-               state ("G" ^ txn_name i)
-                 [
-                   send_to (v "c")
-                     ("b" ^ txn_name i)
-                     (List.map v (payload_vars t.arity))
-                     ~goto:"U";
-                 ]
-             in
-             if t.detour then
-               [
-                 state ("D" ^ txn_name i)
-                   [ tau ("d" ^ txn_name i) ~goto:("G" ^ txn_name i) ];
-                 g;
-               ]
-             else [ g ])
-           s.txns)
-    in
-    process "h" ~vars ~init:"U" (state "U" hub_guards :: txn_states)
-  in
-  let remote =
-    let vars = List.map (fun p -> (p, Value.Drid)) (payload_vars 2) in
-    let pick_guards =
-      List.mapi
-        (fun i (_ : txn) -> tau ("pick" ^ txn_name i) ~goto:("S" ^ txn_name i))
-        s.txns
-    in
-    let txn_states =
-      List.concat
-        (List.mapi
-           (fun i (t : txn) ->
-             let args = List.init t.arity (fun _ -> self) in
-             let send =
-               state ("S" ^ txn_name i)
-                 [
-                   send_home ("a" ^ txn_name i) args
-                     ~goto:
-                       (if t.pause then "P" ^ txn_name i else "W" ^ txn_name i);
-                 ]
-             in
-             let wait =
-               state ("W" ^ txn_name i)
-                 [
-                   recv_home ("b" ^ txn_name i) (payload_vars t.arity)
-                     ~goto:"T";
-                 ]
-             in
-             if t.pause then
-               [
-                 send;
-                 state ("P" ^ txn_name i)
-                   [ tau ("z" ^ txn_name i) ~goto:("W" ^ txn_name i) ];
-                 wait;
-               ]
-             else [ send; wait ])
-           s.txns)
-    in
-    process "r" ~vars ~init:"T" (state "T" pick_guards :: txn_states)
-  in
-  system "random" ~home ~remote
-
-let gen_spec =
-  let open QCheck2.Gen in
-  let gen_txn =
-    let* pause = bool in
-    let* arity = int_bound 2 in
-    let* detour = bool in
-    return { pause; arity; detour }
-  in
-  let* txns = list_size (int_range 1 3) gen_txn in
-  let* n = int_range 1 2 in
-  let* k = int_range 2 3 in
-  let* reqrep = bool in
-  return { txns; n; k; reqrep }
-
-let print_spec (s : spec) =
-  Fmt.str "{n=%d k=%d reqrep=%b txns=[%s]}" s.n s.k s.reqrep
-    (String.concat "; "
-       (List.map
-          (fun t ->
-            Fmt.str "pause=%b arity=%d detour=%b" t.pause t.arity t.detour)
-          s.txns))
-
-let compile_spec (s : spec) =
-  Link.compile ~reqrep:s.reqrep ~n:s.n (build_system s)
+(* Iterate a property over legacy-family specs drawn at fixed seeds,
+   naming the failing seed and spec. *)
+let over_legacy lo hi f =
+  List.iter
+    (fun seed ->
+      let spec = Gen.generate ~family:Gen.Legacy (Rng.make seed) in
+      match f spec with
+      | true -> ()
+      | false ->
+        Alcotest.failf "seed %d: property failed on %a" seed Gen.pp spec
+      | exception e ->
+        Alcotest.failf "seed %d: %s on %a" seed (Printexc.to_string e)
+          Gen.pp spec)
+    (seeds lo hi)
 
 let tests =
   [
-    qcase ~count:120 ~print:print_spec "generated protocols validate"
-      QCheck2.Gen.(map (fun s -> s) gen_spec)
-      (fun s ->
-        match Validate.check (build_system s) with
-        | Ok _ -> true
-        | Error _ -> false);
-    qcase ~count:60 ~print:print_spec "no pause means a request/reply pair" gen_spec (fun s ->
-        let report = Reqrep.analyze (build_system s) in
-        List.for_all
-          (fun i ->
-            let t = List.nth s.txns i in
-            let is_pair =
-              List.exists
-                (fun (p : Reqrep.pair) -> p.req = "a" ^ string_of_int i)
-                report.pairs
+    case "generated protocols validate" (fun () ->
+        over_legacy 0 119 (fun s ->
+            match Validate.check (Gen.build s) with
+            | Ok _ -> true
+            | Error _ -> false));
+    case "no pause means a request/reply pair" (fun () ->
+        over_legacy 0 59 (fun s ->
+            let report = Reqrep.analyze (Gen.build s) in
+            List.for_all
+              (fun i ->
+                let t = List.nth s.Gen.txns i in
+                let is_pair =
+                  List.exists
+                    (fun (p : Reqrep.pair) -> p.req = "a" ^ string_of_int i)
+                    report.pairs
+                in
+                is_pair = not t.Gen.t_pause)
+              (List.init (List.length s.Gen.txns) Fun.id)));
+    slow_case "async exploration: no deadlock, no protocol error" (fun () ->
+        over_legacy 0 59 (fun s ->
+            let prog = Gen.compile s in
+            let r = explore_async ~k:s.Gen.k ~max_states:30_000 prog in
+            match r.outcome with
+            | Ccr_modelcheck.Explore.Complete
+            | Ccr_modelcheck.Explore.Limit Ccr_modelcheck.Explore.L_states ->
+              true
+            | _ -> false));
+    slow_case "Eq. 1 holds across the family" (fun () ->
+        over_legacy 0 39 (fun s ->
+            let prog = Gen.compile s in
+            let v =
+              Ccr_refine.Absmap.check_eq1 ~max_states:20_000 prog
+                Ccr_refine.Async.{ k = s.Gen.k }
             in
-            is_pair = not t.pause)
-          (List.init (List.length s.txns) Fun.id));
-    qcase ~count:60 ~print:print_spec "async exploration: no deadlock, no protocol error"
-      gen_spec (fun s ->
-        let prog = compile_spec s in
-        let r = explore_async ~k:s.k ~max_states:30_000 prog in
-        match r.outcome with
-        | Ccr_modelcheck.Explore.Complete
-        | Ccr_modelcheck.Explore.Limit Ccr_modelcheck.Explore.L_states ->
-          true
-        | _ -> false);
-    qcase ~count:40 ~print:print_spec "Eq. 1 holds across the family" gen_spec (fun s ->
-        let prog = compile_spec s in
-        let v =
-          Ccr_refine.Absmap.check_eq1 ~max_states:20_000 prog
-            Ccr_refine.Async.{ k = s.k }
-        in
-        v.ok);
-    qcase ~count:30 ~print:print_spec "simulation completes transactions and accounts messages"
-      gen_spec (fun s ->
-        let prog = compile_spec s in
-        let m =
-          Ccr_simulate.Sim.run ~steps:3000 prog
-            Ccr_refine.Async.{ k = s.k }
-            Ccr_simulate.Sched.uniform
-        in
-        (not m.Ccr_simulate.Sim.deadlocked)
-        && m.Ccr_simulate.Sim.rendezvous > 0
-        && m.Ccr_simulate.Sim.acks + m.Ccr_simulate.Sim.nacks
-           <= m.Ccr_simulate.Sim.reqs);
-    qcase ~count:40 ~print:print_spec
-      "fire-and-forget requests keep the family deadlock-free" gen_spec
-      (fun s ->
-        (* mark the first transaction's request fire-and-forget (the
-           hand-optimization machinery): sender moves on, home always
-           admits; the reply still arrives as a plain send *)
-        let sys = build_system s in
-        let prog =
-          Link.compile ~reqrep:s.reqrep ~fire_and_forget:[ "a0" ] ~n:s.n sys
-        in
-        let r = explore_async ~k:s.k ~max_states:30_000 prog in
-        match r.outcome with
-        | Ccr_modelcheck.Explore.Complete
-        | Ccr_modelcheck.Explore.Limit Ccr_modelcheck.Explore.L_states ->
-          true
-        | _ -> false);
-    qcase ~count:30 ~print:print_spec "abs maps into the reachable rendezvous space" gen_spec
-      (fun s ->
-        let prog = compile_spec s in
-        (* enumerate rendezvous states (these protocols are small) *)
-        let rv_seen = Hashtbl.create 64 in
-        let q = Queue.create () in
-        let push st =
-          let key = Ccr_semantics.Rendezvous.encode st in
-          if not (Hashtbl.mem rv_seen key) then begin
-            Hashtbl.add rv_seen key ();
-            Queue.push st q
-          end
-        in
-        push (Ccr_semantics.Rendezvous.initial prog);
-        while not (Queue.is_empty q) do
-          let st = Queue.pop q in
-          List.iter
-            (fun (_, x) -> push x)
-            (Ccr_semantics.Rendezvous.successors prog st)
-        done;
-        let cfg = Ccr_refine.Async.{ k = s.k } in
-        let ok = ref true in
-        let seen = Hashtbl.create 64 in
-        let qa = Queue.create () in
-        let budget = ref 10_000 in
-        let pusha st =
-          let key = Ccr_refine.Async.encode st in
-          if (not (Hashtbl.mem seen key)) && !budget > 0 then begin
-            decr budget;
-            Hashtbl.add seen key ();
-            if
-              not
-                (Hashtbl.mem rv_seen
-                   (Ccr_semantics.Rendezvous.encode
-                      (Ccr_refine.Absmap.abs prog st)))
-            then ok := false;
-            Queue.push st qa
-          end
-        in
-        pusha (Ccr_refine.Async.initial prog cfg);
-        while not (Queue.is_empty qa) do
-          let st = Queue.pop qa in
-          List.iter
-            (fun (_, x) -> pusha x)
-            (Ccr_refine.Async.successors prog cfg st)
-        done;
-        !ok);
+            v.ok));
+    slow_case "Eq. 1 holds on the generalized family too" (fun () ->
+        (* ownership transactions, home-initiated pairs, n up to 4 *)
+        List.iter
+          (fun seed ->
+            let s = Gen.generate ~family:Gen.General (Rng.make seed) in
+            let prog = Gen.compile s in
+            let v =
+              Ccr_refine.Absmap.check_eq1 ~max_states:10_000 prog
+                Ccr_refine.Async.{ k = s.Gen.k }
+            in
+            if not v.ok then
+              Alcotest.failf "seed %d: Eq. 1 failed on %a" seed Gen.pp s)
+          (seeds 0 19));
+    slow_case "simulation completes transactions and accounts messages"
+      (fun () ->
+        over_legacy 0 29 (fun s ->
+            let prog = Gen.compile s in
+            let m =
+              Ccr_simulate.Sim.run ~steps:3000 prog
+                Ccr_refine.Async.{ k = s.Gen.k }
+                Ccr_simulate.Sched.uniform
+            in
+            (not m.Ccr_simulate.Sim.deadlocked)
+            && m.Ccr_simulate.Sim.rendezvous > 0
+            && m.Ccr_simulate.Sim.acks + m.Ccr_simulate.Sim.nacks
+               <= m.Ccr_simulate.Sim.reqs));
+    slow_case "fire-and-forget requests keep the family deadlock-free"
+      (fun () ->
+        over_legacy 0 39 (fun s ->
+            (* mark the first transaction's request fire-and-forget (the
+               hand-optimization machinery): sender moves on, home always
+               admits; the reply still arrives as a plain send *)
+            let sys = Gen.build s in
+            let prog =
+              Link.compile ~reqrep:s.Gen.reqrep ~fire_and_forget:[ "a0" ]
+                ~n:s.Gen.n sys
+            in
+            let r = explore_async ~k:s.Gen.k ~max_states:30_000 prog in
+            match r.outcome with
+            | Ccr_modelcheck.Explore.Complete
+            | Ccr_modelcheck.Explore.Limit Ccr_modelcheck.Explore.L_states ->
+              true
+            | _ -> false));
+    slow_case "abs maps into the reachable rendezvous space" (fun () ->
+        over_legacy 0 29 (fun s ->
+            let prog = Gen.compile s in
+            (* enumerate rendezvous states (these protocols are small) *)
+            let rv_seen = Hashtbl.create 64 in
+            let q = Queue.create () in
+            let push st =
+              let key = Ccr_semantics.Rendezvous.encode st in
+              if not (Hashtbl.mem rv_seen key) then begin
+                Hashtbl.add rv_seen key ();
+                Queue.push st q
+              end
+            in
+            push (Ccr_semantics.Rendezvous.initial prog);
+            while not (Queue.is_empty q) do
+              let st = Queue.pop q in
+              List.iter
+                (fun (_, x) -> push x)
+                (Ccr_semantics.Rendezvous.successors prog st)
+            done;
+            let cfg = Ccr_refine.Async.{ k = s.Gen.k } in
+            let ok = ref true in
+            let seen = Hashtbl.create 64 in
+            let qa = Queue.create () in
+            let budget = ref 10_000 in
+            let pusha st =
+              let key = Ccr_refine.Async.encode st in
+              if (not (Hashtbl.mem seen key)) && !budget > 0 then begin
+                decr budget;
+                Hashtbl.add seen key ();
+                if
+                  not
+                    (Hashtbl.mem rv_seen
+                       (Ccr_semantics.Rendezvous.encode
+                          (Ccr_refine.Absmap.abs prog st)))
+                then ok := false;
+                Queue.push st qa
+              end
+            in
+            pusha (Ccr_refine.Async.initial prog cfg);
+            while not (Queue.is_empty qa) do
+              let st = Queue.pop qa in
+              List.iter
+                (fun (_, x) -> pusha x)
+                (Ccr_refine.Async.successors prog cfg st)
+            done;
+            !ok));
   ]
 
 let suite = ("random", tests)

@@ -22,4 +22,5 @@ let () =
       Suite_prog.suite;
       Suite_parse.suite;
       Suite_random.suite;
+      Suite_fuzz.suite;
     ]
