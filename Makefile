@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-fast bench-json par-smoke obs-smoke sym-smoke fault-smoke fuzz-smoke examples artifacts clean
+.PHONY: all build test bench bench-fast bench-json par-smoke obs-smoke sym-smoke fault-smoke fuzz-smoke ooc-smoke examples artifacts clean
 
 all: build
 
@@ -65,6 +65,22 @@ fuzz-smoke:
 	dune build @test/cram/runtest
 	dune exec bin/ccr.exe -- fuzz --seed 0 --count 100 --max-states 8000 \
 	  --out-dir /tmp/ccr-fuzz-smoke
+
+# Storage & multi-process exploration: unit suites (mpx must fork
+# before any test spawns a domain, so it runs alone first), then live —
+# the memory-cliff headline (collapse completes migratory n=5 under an
+# 8 MB cap that the plain store blows through), the out-of-core store,
+# and a two-worker run whose counts must match.
+ooc-smoke:
+	dune build @all
+	dune exec test/test_main.exe -- test mpx
+	dune exec test/test_main.exe -- test store
+	! dune exec bin/ccr.exe -- check migratory -n 5 --level async \
+	  --symmetry off --mem 8 --max-states 2000000 2>/dev/null
+	dune exec bin/ccr.exe -- check migratory -n 5 --level async \
+	  --symmetry off --mem 8 --max-states 2000000 --store collapse
+	dune exec bin/ccr.exe -- check migratory -n 4 --level async \
+	  --symmetry off --store disk --workers 2 -j 2
 
 examples:
 	dune exec examples/quickstart.exe

@@ -22,6 +22,8 @@
 open Ccr_core
 open Ccr_protocols
 module Explore = Ccr_modelcheck.Explore
+module Vstore = Ccr_modelcheck.Vstore
+module Mpx = Ccr_modelcheck.Mpx
 module Graph = Ccr_modelcheck.Graph
 module Async = Ccr_refine.Async
 module Fault = Ccr_faults.Fault
@@ -108,6 +110,32 @@ let jobs_arg =
           "Worker domains for state-space exploration (1 = sequential).  \
            With J > 1, counterexample traces come from a sequential re-run \
            after the parallel search finds a violation or deadlock.")
+
+let store_arg =
+  Arg.(
+    value
+    & opt (enum [ ("mem", `Mem); ("collapse", `Collapse); ("disk", `Disk) ])
+        `Mem
+    & info [ "store" ] ~docv:"KIND"
+        ~doc:
+          "Visited-set representation: $(b,mem) (exact in-memory hash set), \
+           $(b,collapse) (SPIN-style collapse compression: per-component \
+           intern tables, states stored as tuples of small indices), or \
+           $(b,disk) (out-of-core: key bytes in an unlinked temp file, only \
+           the index in RAM).  All three give identical state and \
+           transition counts; only memory use differs.  The report prints \
+           resident vs raw bytes for the compressed stores.")
+
+let workers_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "workers" ] ~docv:"W"
+        ~doc:
+          "Partition the state space over W forked worker processes (each \
+           running $(b,-j) domains), exchanging frontier batches over \
+           pipes.  State and transition counts are byte-identical to \
+           sequential and $(b,-j) runs; memory caps meter the summed \
+           per-worker stores.")
 
 let faults_arg =
   Arg.(
@@ -240,7 +268,8 @@ module Obs = struct
        else 0.);
     set (gauge reg "peak_frontier") (float_of_int r.Explore.peak_frontier);
     set (gauge reg "max_depth") (float_of_int r.Explore.max_depth);
-    set (gauge reg "mem_bytes") (float_of_int r.Explore.mem_bytes)
+    set (gauge reg "mem_bytes") (float_of_int r.Explore.mem_bytes);
+    set (gauge reg "raw_bytes") (float_of_int r.Explore.raw_bytes)
 end
 
 (* ---- list ---------------------------------------------------------------- *)
@@ -407,7 +436,8 @@ let check_cmd =
              concrete, replayable runs.")
   in
   let run (e : Registry.t) n k generic level symmetry faults harden max_states
-      mem jobs progress trace_file metrics_file =
+      mem jobs store_sel workers progress trace_file metrics_file =
+    let workers = max 1 workers in
     let fspec = fault_spec_of faults in
     let reg = Obs.setup ~trace_file in
     let ppf = Obs.report_ppf ~metrics_file in
@@ -427,7 +457,10 @@ let check_cmd =
           {
             canon_key = key;
             canon_fresh =
-              (if orbits && jobs <= 1 then begin
+              (* orbit sizes are harvested from the canonicalizing domain's
+                 local storage, readable only when freshness is decided
+                 right there: sequential, single-process runs *)
+              (if orbits && jobs <= 1 && workers <= 1 then begin
                  let h = Obs.M.histogram reg "canon.orbit_states" in
                  Some
                    (fun _ ->
@@ -483,14 +516,33 @@ let check_cmd =
         (Some cb, fin)
       else (None, fun () -> ())
     in
-    let explore ?check_deadlock ~invariants sys =
+    (* The store selector resolves per system: collapse needs the
+       system's component splitter.  A system without one (the rv-faults
+       wrapper) falls back to whole-key interning — correct, but no
+       compression. *)
+    let store_of split =
+      match store_sel with
+      | `Mem -> Vstore.Mem
+      | `Disk -> Vstore.Disk
+      | `Collapse ->
+        Vstore.Collapse
+          (match split with
+          | Some s -> s
+          | None -> fun key -> [| String.length key |])
+    in
+    let explore ?check_deadlock ?split ~invariants sys =
+      let store = store_of split in
       Obs.T.with_span "explore" (fun () ->
-          if jobs > 1 then
-            Explore.par_run ~jobs ~max_states ?max_mem_bytes:mem_bytes
+          if workers > 1 then
+            Mpx.run ~workers ~jobs ~store ~max_states ?max_mem_bytes:mem_bytes
+              ?check_deadlock ~trace:true ~invariants ?on_progress ~metrics:reg
+              sys
+          else if jobs > 1 then
+            Explore.par_run ~jobs ~store ~max_states ?max_mem_bytes:mem_bytes
               ?check_deadlock ~trace:true ~invariants ?on_progress sys
           else
-            Explore.run ~max_states ?max_mem_bytes:mem_bytes ?check_deadlock
-              ~trace:true ~invariants ?on_progress sys)
+            Explore.run ~store ~max_states ?max_mem_bytes:mem_bytes
+              ?check_deadlock ~trace:true ~invariants ?on_progress sys)
     in
     (* Emit the trace and metrics artifacts before [report], which exits
        non-zero on any non-Complete outcome. *)
@@ -511,6 +563,19 @@ let check_cmd =
       Fmt.pf ppf "%s: %d states, %d transitions, %.2fs, ~%.1f MB@." name
         r.states r.transitions r.time_s
         (float_of_int r.mem_bytes /. 1048576.);
+      (if store_sel <> `Mem then
+         let kind = match store_sel with
+           | `Collapse -> "collapse"
+           | `Disk -> "disk"
+           | `Mem -> "mem"
+         in
+         Fmt.pf ppf "storage: %s, ~%.1f MB resident vs ~%.1f MB raw (%.1fx)@."
+           kind
+           (float_of_int r.mem_bytes /. 1048576.)
+           (float_of_int r.raw_bytes /. 1048576.)
+           (if r.mem_bytes > 0 then
+              float_of_int r.raw_bytes /. float_of_int r.mem_bytes
+            else 0.));
       if r.canon_fallbacks > 0 then
         Fmt.pf ppf
           "warning: %d canonicalizations fell back to a non-canonical key \
@@ -530,7 +595,17 @@ let check_cmd =
         exit 2
       | _ -> if r.outcome <> Explore.Complete then exit 2
     in
-    let jobs_tag = if jobs > 1 then Fmt.str ", j=%d" jobs else "" in
+    let jobs_tag =
+      String.concat ""
+        [
+          (if jobs > 1 then Fmt.str ", j=%d" jobs else "");
+          (if workers > 1 then Fmt.str ", w=%d" workers else "");
+          (match store_sel with
+          | `Mem -> ""
+          | `Collapse -> ", store=collapse"
+          | `Disk -> ", store=disk");
+        ]
+    in
     (* Fault budgets break the interchangeability of remote identities (a
        budgeted drop on remote 0's channel is not a drop on remote 1's),
        so symmetry reduction is forced off under --faults. *)
@@ -580,7 +655,10 @@ let check_cmd =
             canon = None;
           }
       in
-      let r = explore ~check_deadlock:true ~invariants sys in
+      let r =
+        explore ~check_deadlock:true ~split:(Injected.split_key prog)
+          ~invariants sys
+      in
       report
         (Fmt.str "%s (async, n=%d, k=%d%s, faults=%a, %s%s)" e.name n k
            (if generic then ", generic" else "")
@@ -643,6 +721,7 @@ let check_cmd =
     | `Rv, None ->
       let r =
         explore
+          ~split:(Ccr_semantics.Rendezvous.split_key prog)
           ~invariants:(e.Registry.rv_invariants prog)
           Explore.
             {
@@ -672,7 +751,7 @@ let check_cmd =
           outs
       in
       let r =
-        explore ~check_deadlock:true
+        explore ~check_deadlock:true ~split:(Async.split_key prog)
           ~invariants:(e.Registry.async_invariants prog)
           Explore.
             {
@@ -697,7 +776,8 @@ let check_cmd =
     Term.(
       const run $ protocol_arg $ n_arg $ k_arg $ generic_arg $ level
       $ symmetry $ faults_arg $ harden_arg $ max_states_arg $ mem $ jobs_arg
-      $ Obs.progress_arg $ Obs.trace_arg $ Obs.metrics_arg)
+      $ store_arg $ workers_arg $ Obs.progress_arg $ Obs.trace_arg
+      $ Obs.metrics_arg)
 
 (* ---- eq1 ----------------------------------------------------------------- *)
 
@@ -914,7 +994,7 @@ let fuzz_cmd =
           ~doc:
             "Comma-separated oracle subset: $(b,validate), $(b,roundtrip), \
              $(b,rv-explore), $(b,async-explore), $(b,eq1), $(b,symmetry), \
-             $(b,par), $(b,faults), or $(b,all).")
+             $(b,par), $(b,faults), $(b,store), or $(b,all).")
   in
   let out_dir =
     Arg.(

@@ -85,6 +85,13 @@ val protocol_successors :
     simulator's fault driver ({!Drive}). *)
 
 val encode : fstate -> string
+
+val split_key : Ccr_core.Prog.t -> string -> int array
+(** Collapse-store splitter over {!encode}d keys: the async boundaries of
+    the embedded base state ({!Async.split_key}) plus one trailing
+    component holding the fault bookkeeping.  Last offset equals
+    [String.length key]. *)
+
 val no_wedge : string * (fstate -> bool)
 (** Invariant: the run never wedged on a protocol error. *)
 

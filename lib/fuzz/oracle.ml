@@ -1,5 +1,6 @@
 open Ccr_core
 module Explore = Ccr_modelcheck.Explore
+module Vstore = Ccr_modelcheck.Vstore
 module Async = Ccr_refine.Async
 module Absmap = Ccr_refine.Absmap
 module Sym = Ccr_refine.Symmetry
@@ -16,9 +17,10 @@ type name =
   | Symmetry
   | Par
   | Faults
+  | Store
 
 let all =
-  [ Validate; Roundtrip; Rv; Async_explore; Eq1; Symmetry; Par; Faults ]
+  [ Validate; Roundtrip; Rv; Async_explore; Eq1; Symmetry; Par; Faults; Store ]
 
 let name_to_string = function
   | Validate -> "validate"
@@ -29,6 +31,7 @@ let name_to_string = function
   | Symmetry -> "symmetry"
   | Par -> "par"
   | Faults -> "faults"
+  | Store -> "store"
 
 let name_of_string s =
   match List.find_opt (fun o -> name_to_string o = s) all with
@@ -277,6 +280,72 @@ let o_faults ctx =
     explored_ok "hardened exploration under drop=1" r
       (Injected.pp_fstate prog)
 
+let o_store ctx =
+  match (Lazy.force ctx.prog, Lazy.force ctx.async_stats) with
+  | Error e, _ | _, Error e -> Fail (exn_msg e)
+  | Ok prog, Ok seq ->
+    let cfg = Async.{ k = ctx.spec.Gen.k } in
+    let sys = async_sys prog cfg in
+    let agree what (r : (_, _) Explore.stats) rest =
+      if
+        r.Explore.states <> seq.Explore.states
+        || r.Explore.transitions <> seq.Explore.transitions
+      then
+        Fail
+          (Fmt.str "%s store disagrees with mem: %d/%d states, %d/%d \
+                    transitions"
+             what r.Explore.states seq.Explore.states r.Explore.transitions
+             seq.Explore.transitions)
+      else rest ()
+    in
+    (* Compressed stores share the sequential engine's discovery order,
+       so even an [L_states]-limited baseline pins exact counts. *)
+    let collapse_kind = Vstore.Collapse (Async.split_key prog) in
+    let collapse =
+      Explore.run ~max_states:ctx.max_states ~store:collapse_kind sys
+    in
+    agree "collapse" collapse @@ fun () ->
+    (* The disk run also tees every encoded key into a tiny-tail disk
+       store and an exact one: with [tail_cap=64] almost every key
+       crosses the spill boundary, so the file read-back path is
+       exercised even on fuzz-sized instances. *)
+    let tee_disk = Vstore.disk ~tail_cap:64 () in
+    let tee_exact = Vstore.exact () in
+    let tee_mismatch = ref None in
+    let encode st =
+      let key = sys.Explore.encode st in
+      let d = tee_disk.Vstore.add key and e = tee_exact.Vstore.add key in
+      if d <> e && !tee_mismatch = None then tee_mismatch := Some (d, e);
+      key
+    in
+    let disk =
+      Explore.run ~max_states:ctx.max_states ~store:Vstore.Disk
+        { sys with Explore.encode }
+    in
+    agree "disk" disk @@ fun () ->
+    match !tee_mismatch with
+    | Some (d, e) ->
+      Fail
+        (Fmt.str
+           "spilling disk store and exact store disagree on a key: \
+            fresh=%b vs %b"
+           d e)
+    | None ->
+      if tee_disk.Vstore.count () <> tee_exact.Vstore.count () then
+        Fail
+          (Fmt.str "spilling disk store count %d <> exact count %d"
+             (tee_disk.Vstore.count ())
+             (tee_exact.Vstore.count ()))
+      else if seq.Explore.outcome <> Explore.Complete then Pass
+      else
+        (* Sharded discovery order differs, so the parallel collapse
+           comparison needs a complete baseline. *)
+        let par =
+          Explore.par_run ~jobs:2 ~max_states:ctx.max_states
+            ~store:collapse_kind sys
+        in
+        agree "parallel (j=2) collapse" par (fun () -> Pass)
+
 let run_oracle ctx o =
   let body =
     match o with
@@ -288,6 +357,7 @@ let run_oracle ctx o =
     | Symmetry -> o_symmetry
     | Par -> o_par
     | Faults -> o_faults
+    | Store -> o_store
   in
   let outcome = try body ctx with e -> Fail (exn_msg e) in
   { oracle = o; outcome }

@@ -17,7 +17,13 @@
     - [Par]: the 4-domain parallel explorer reports the same state and
       transition counts as the sequential one;
     - [Faults]: under a one-drop budget the hardened transport stays
-      safe — no wedge, no deadlock.
+      safe — no wedge, no deadlock;
+    - [Store]: the collapse-compressed and disk-backed visited stores
+      report the same state and transition counts as the exact in-memory
+      store (sequentially even under a state cap — the discovery order
+      is shared — and with a tiny spill buffer forcing the disk
+      read-back path; in parallel with 2 domains when the baseline
+      completed).
 
     All explorations are capped at [max_states]; hitting the cap passes
     the oracle (the budget bounds work, it is not a verdict). *)
@@ -33,6 +39,7 @@ type name =
   | Symmetry
   | Par
   | Faults
+  | Store
 
 val all : name list
 val name_to_string : name -> string

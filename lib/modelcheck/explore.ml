@@ -40,144 +40,30 @@ type ('s, 'l) stats = {
   transitions : int;
   time_s : float;
   mem_bytes : int;
+  raw_bytes : int;
   peak_frontier : int;
   max_depth : int;
   canon_fallbacks : int;
   trace : ('l option * 's) list option;
 }
 
-(* Approximate per-state bookkeeping overhead of the visited set, on top of
-   the encoded key itself: hash-table bucket, boxed string header, id.  The
-   figure only needs to be stable, not exact: it turns the memory cap into
-   a deterministic, reproducible cap, which is what the paper's 64 MB
-   "Unfinished" entries correspond to. *)
-let per_state_overhead = 64
+let bitstate_positions = Vstore.bitstate_positions
 
-(* The visited set, abstracted over exact hashing vs bitstate hashing.
-   [add] returns true when the key was not seen before (and marks it);
-   [bytes] is the memory the set holds; [count] the keys it marked (used
-   by the progress reporter's shard-balance figure). *)
-type store = { add : string -> bool; bytes : unit -> int; count : unit -> int }
+(* The visited set: exact in-memory, collapse-compressed or out-of-core
+   per the [store] kind, or bitstate when the [visited] mode asks for it
+   (bitstate changes the semantics — approximate counts — so it stays a
+   mode, not a store, and takes precedence). *)
+let make_store ?init_slots ?tail_cap visited kind =
+  match visited with
+  | Exact -> Vstore.make ?init_slots ?tail_cap kind
+  | Bitstate b -> Vstore.bitstate b
 
-(* Insert-only open-addressing string set.  [add] is the visited-set hot
-   path: it hashes the key once and walks a single probe sequence to both
-   test membership and insert, where the stdlib [Hashtbl.mem] + [Hashtbl.add]
-   pair traverses its bucket chain twice and allocates a bucket cell per
-   state.  Keys are interned exactly once: the encoded string handed to
-   [add] is the string retained in the table. *)
-module Strset = struct
-  type t = {
-    mutable keys : string array;
-    mutable hashes : int array;
-    mutable count : int;
-    mutable mem : int;
-  }
-
-  (* Physically unique empty-slot marker ([String.make] allocates a fresh
-     block, so no real key can be [==] to it). *)
-  let absent = String.make 1 '\000'
-
-  let create () =
-    {
-      keys = Array.make 4096 absent;
-      hashes = Array.make 4096 0;
-      count = 0;
-      mem = 0;
-    }
-
-  let resize t =
-    let old_keys = t.keys and old_hashes = t.hashes in
-    let cap = 2 * Array.length old_keys in
-    let mask = cap - 1 in
-    let keys = Array.make cap absent and hashes = Array.make cap 0 in
-    Array.iteri
-      (fun i k ->
-        if k != absent then begin
-          let h = old_hashes.(i) in
-          let j = ref (h land mask) in
-          while keys.(!j) != absent do
-            j := (!j + 1) land mask
-          done;
-          keys.(!j) <- k;
-          hashes.(!j) <- h
-        end)
-      old_keys;
-    t.keys <- keys;
-    t.hashes <- hashes
-
-  (* true when [key] was absent (in which case it is inserted) *)
-  let add t key =
-    if 2 * t.count >= Array.length t.keys then resize t;
-    let h = Hashtbl.hash key in
-    let mask = Array.length t.keys - 1 in
-    let j = ref (h land mask) in
-    let fresh = ref false and scanning = ref true in
-    while !scanning do
-      let k = t.keys.(!j) in
-      if k == absent then begin
-        t.keys.(!j) <- key;
-        t.hashes.(!j) <- h;
-        t.count <- t.count + 1;
-        t.mem <- t.mem + String.length key + per_state_overhead;
-        fresh := true;
-        scanning := false
-      end
-      else if t.hashes.(!j) = h && String.equal k key then scanning := false
-      else j := (!j + 1) land mask
-    done;
-    !fresh
-end
-
-let exact_store () =
-  let t = Strset.create () in
-  {
-    add = (fun key -> Strset.add t key);
-    bytes = (fun () -> t.Strset.mem);
-    count = (fun () -> t.Strset.count);
-  }
-
-(* Two independent hash positions, as SPIN's double bitstate.  Seeded
-   hashing keeps the second position allocation-free (the old scheme
-   hashed [key ^ "\x01"], building a fresh string per state). *)
-let bitstate_positions ~bits key =
-  let bits = max 10 (min 34 bits) in
-  let mask = (1 lsl bits) - 1 in
-  (Hashtbl.seeded_hash 0 key land mask, Hashtbl.seeded_hash 1 key land mask)
-
-let bitstate_store bits =
-  let bits = max 10 (min 34 bits) in
-  let nbits = 1 lsl bits in
-  let table = Bytes.make (nbits / 8) '\000' in
-  let get i = Char.code (Bytes.get table (i lsr 3)) land (1 lsl (i land 7)) <> 0 in
-  let set i =
-    Bytes.set table (i lsr 3)
-      (Char.chr
-         (Char.code (Bytes.get table (i lsr 3)) lor (1 lsl (i land 7))))
-  in
-  let marked = ref 0 in
-  {
-    add =
-      (fun key ->
-        let h1, h2 = bitstate_positions ~bits key in
-        let seen = get h1 && get h2 in
-        if not seen then begin
-          set h1;
-          set h2;
-          incr marked
-        end;
-        not seen);
-    bytes = (fun () -> nbits / 8);
-    count = (fun () -> !marked);
-  }
-
-let run ?(strategy = Bfs) ?(visited = Exact) ?max_states ?max_mem_bytes
-    ?max_time_s ?(check_deadlock = false) ?(trace = false) ?(invariants = [])
-    ?on_progress ?(progress_every = 8192) sys =
+let run ?(strategy = Bfs) ?(visited = Exact) ?(store = Vstore.Mem) ?max_states
+    ?max_mem_bytes ?max_time_s ?(check_deadlock = false) ?(trace = false)
+    ?(invariants = []) ?on_progress ?(progress_every = 8192) sys =
   let t0 = Unix.gettimeofday () in
   let key_of, on_fresh, canon_fallbacks = key_fns sys in
-  let store =
-    match visited with Exact -> exact_store () | Bitstate b -> bitstate_store b
-  in
+  let store = make_store visited store in
   (* with [trace]: states.(id) and parents.(id) = (parent id, label) *)
   let parents = ref [||] in
   let states = ref [||] in
@@ -251,7 +137,7 @@ let run ?(strategy = Bfs) ?(visited = Exact) ?max_states ?max_mem_bytes
               rate =
                 (if elapsed > 0. then float_of_int !n_states /. elapsed
                  else 0.);
-              mem_bytes = store.bytes ();
+              mem_bytes = store.Vstore.mem_bytes ();
               shard_balance = 1.0;
               elapsed_s = elapsed;
             }
@@ -259,7 +145,7 @@ let run ?(strategy = Bfs) ?(visited = Exact) ?max_states ?max_mem_bytes
   in
   let discover st parent label ~depth =
     let key = key_of st in
-    if store.add key then begin
+    if store.Vstore.add key then begin
       on_fresh st;
       let id = !n_states in
       record st parent label;
@@ -271,7 +157,8 @@ let run ?(strategy = Bfs) ?(visited = Exact) ?max_states ?max_mem_bytes
       | None -> ());
       (match (max_states, max_mem_bytes) with
       | Some cap, _ when !n_states >= cap -> finish (Limit L_states)
-      | _, Some cap when store.bytes () >= cap -> finish (Limit L_memory)
+      | _, Some cap when store.Vstore.mem_bytes () >= cap ->
+        finish (Limit L_memory)
       | _ -> ());
       push_frontier (st, id, depth);
       incr frontier_len;
@@ -313,7 +200,8 @@ let run ?(strategy = Bfs) ?(visited = Exact) ?max_states ?max_mem_bytes
     states = !n_states;
     transitions = !n_transitions;
     time_s = Unix.gettimeofday () -. t0;
-    mem_bytes = store.bytes ();
+    mem_bytes = store.Vstore.mem_bytes ();
+    raw_bytes = store.Vstore.raw_bytes ();
     peak_frontier = !peak_frontier;
     max_depth = !max_depth;
     canon_fallbacks = canon_fallbacks ();
@@ -347,9 +235,9 @@ let make_barrier jobs =
       done;
     Mutex.unlock lock
 
-let par_run ?jobs ?(visited = Exact) ?max_states ?max_mem_bytes ?max_time_s
-    ?(check_deadlock = false) ?(trace = false) ?(invariants = [])
-    ?on_progress sys =
+let par_run ?jobs ?(visited = Exact) ?(store = Vstore.Mem) ?max_states
+    ?max_mem_bytes ?max_time_s ?(check_deadlock = false) ?(trace = false)
+    ?(invariants = []) ?on_progress sys =
   let jobs =
     match jobs with
     | Some j -> max 1 j
@@ -357,31 +245,42 @@ let par_run ?jobs ?(visited = Exact) ?max_states ?max_mem_bytes ?max_time_s
   in
   let t0 = Unix.gettimeofday () in
   let key_of, on_fresh, canon_fallbacks = key_fns sys in
+  let store_kind = store in
   (* Sharded visited set: [n_shards] independent stores, each behind its own
      mutex; states route to a shard by a seeded hash of the encoded key, so
      two domains only contend when they discover states that share a shard.
-     In [Bitstate b] mode each shard holds a table of [2^(b - log2 n_shards)]
-     bits, keeping total memory at the sequential [2^b] bits (collision
-     patterns differ from the sequential table's, so bitstate counts are, as
-     always, approximate). *)
-  let shards =
-    Array.init n_shards (fun _ ->
-        ( Mutex.create (),
-          match visited with
-          | Exact -> exact_store ()
-          | Bitstate b -> bitstate_store (b - 6) ))
+     Shards start with small index tables and tail buffers: mem_bytes is
+     honest about table overhead, so 64 eagerly-sized shards would eat a
+     small memory cap up front.  In [Bitstate b] mode each shard holds a
+     table of [2^(b - log2 n_shards)] bits, keeping total memory at the
+     sequential [2^b] bits (collision patterns differ from the sequential
+     table's, so bitstate counts are, as always, approximate). *)
+  let shard_stores =
+    match (visited, store_kind) with
+    | Exact, Vstore.Collapse split ->
+      (* shared intern layer: per-shard tables would multiply the
+         component-table memory by the shard count *)
+      Vstore.collapse_shared ~init_slots:256 ~split n_shards
+    | Exact, (Vstore.Mem | Vstore.Disk) ->
+      Array.init n_shards (fun _ ->
+          Vstore.make ~init_slots:256 ~tail_cap:8192 store_kind)
+    | Bitstate b, _ -> Array.init n_shards (fun _ -> Vstore.bitstate (b - 6))
   in
+  let shards = Array.map (fun s -> (Mutex.create (), s)) shard_stores in
   let shard_add key =
     let lock, store =
       shards.(Hashtbl.seeded_hash shard_seed key land (n_shards - 1))
     in
     Mutex.lock lock;
-    let fresh = store.add key in
+    let fresh = store.Vstore.add key in
     Mutex.unlock lock;
     fresh
   in
   let total_bytes () =
-    Array.fold_left (fun acc (_, s) -> acc + s.bytes ()) 0 shards
+    Array.fold_left (fun acc (_, s) -> acc + s.Vstore.mem_bytes ()) 0 shards
+  in
+  let total_raw () =
+    Array.fold_left (fun acc (_, s) -> acc + s.Vstore.raw_bytes ()) 0 shards
   in
   (* Cooperative stop flag, polled by every domain between expansions. *)
   let stop = Atomic.make false in
@@ -430,7 +329,7 @@ let par_run ?jobs ?(visited = Exact) ?max_states ?max_mem_bytes ?max_time_s
     | Some f ->
       let total = !n_states in
       let maxc =
-        Array.fold_left (fun m (_, s) -> max m (s.count ())) 0 shards
+        Array.fold_left (fun m (_, s) -> max m (s.Vstore.count ())) 0 shards
       in
       let balance =
         if total = 0 then 1.0
@@ -607,8 +506,8 @@ let par_run ?jobs ?(visited = Exact) ?max_states ?max_mem_bytes ?max_time_s
        sequential BFS re-run, which returns the canonical (shallowest,
        first-discovered) event with its shortest-path trace. *)
     let r =
-      run ~strategy:Bfs ~visited ?max_states ?max_mem_bytes ?max_time_s
-        ~check_deadlock ~trace ~invariants ?on_progress sys
+      run ~strategy:Bfs ~visited ~store:store_kind ?max_states ?max_mem_bytes
+        ?max_time_s ~check_deadlock ~trace ~invariants ?on_progress sys
     in
     { r with time_s = Unix.gettimeofday () -. t0 }
   | None ->
@@ -618,6 +517,7 @@ let par_run ?jobs ?(visited = Exact) ?max_states ?max_mem_bytes ?max_time_s
       transitions = Array.fold_left (fun acc r -> acc + !r) 0 trans;
       time_s = Unix.gettimeofday () -. t0;
       mem_bytes = total_bytes ();
+      raw_bytes = total_raw ();
       peak_frontier = !peak_frontier;
       max_depth = !cur_depth;
       canon_fallbacks = canon_fallbacks ();

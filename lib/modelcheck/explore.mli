@@ -40,6 +40,12 @@ type ('s, 'l) system = {
       (** optional symmetry reduction; [None] = explore the full space *)
 }
 
+val key_fns :
+  ('s, 'l) system -> ('s -> string) * ('s -> unit) * (unit -> int)
+(** The visited-set key function, fresh-state callback and fallback
+    counter of a system ([encode] and no-ops without a [canon] hook).
+    Shared with the multi-process engine ({!Mpx}). *)
+
 type limit = L_states | L_memory | L_time
 
 type strategy = Bfs | Dfs
@@ -66,7 +72,14 @@ type ('s, 'l) stats = {
   states : int;  (** distinct states visited *)
   transitions : int;  (** transitions traversed *)
   time_s : float;
-  mem_bytes : int;  (** approximate bytes held by the visited-state set *)
+  mem_bytes : int;
+      (** honest resident bytes of the visited-state set, including index
+          tables, headers and tail buffers — what [max_mem_bytes] meters *)
+  raw_bytes : int;
+      (** what the plain in-memory store would hold for the same states
+          (key bytes plus a fixed per-state overhead); with a compressed
+          or out-of-core store, [raw_bytes /. mem_bytes] is the
+          compression ratio *)
   peak_frontier : int;
       (** most states simultaneously awaiting expansion (BFS: queue
           watermark / largest level; DFS: stack watermark) *)
@@ -86,6 +99,7 @@ type ('s, 'l) stats = {
 val run :
   ?strategy:strategy ->
   ?visited:visited_mode ->
+  ?store:Vstore.kind ->
   ?max_states:int ->
   ?max_mem_bytes:int ->
   ?max_time_s:float ->
@@ -96,8 +110,12 @@ val run :
   ?progress_every:int ->
   ('s, 'l) system ->
   ('s, 'l) stats
-(** Search from [init] (default: breadth-first with an exact visited
-    set).  Invariants are checked on every state as it is discovered
+(** Search from [init] (default: breadth-first with an exact in-memory
+    visited set).  [store] (default {!Vstore.Mem}) selects the
+    visited-set representation — collapse-compressed or out-of-core, see
+    {!Vstore}; all kinds produce identical state and transition counts,
+    only memory use differs.  A [Bitstate] visited mode takes precedence
+    over [store].  Invariants are checked on every state as it is discovered
     (including the initial one); the first violation stops the search.
     [check_deadlock] (default [false]) reports a state with no
     successors.  [trace] (default [false]) keeps parent pointers so the
@@ -110,6 +128,7 @@ val run :
 val par_run :
   ?jobs:int ->
   ?visited:visited_mode ->
+  ?store:Vstore.kind ->
   ?max_states:int ->
   ?max_mem_bytes:int ->
   ?max_time_s:float ->
@@ -151,6 +170,7 @@ val par_run :
 val bitstate_positions : bits:int -> string -> int * int
 (** The two bit-table positions a key occupies under {!Bitstate}
     hashing (seeded hashes 0 and 1 of the key, masked to [2^bits]).
-    Exposed so tests can pin the independence of the two positions. *)
+    Exposed so tests can pin the independence of the two positions.
+    (Alias of {!Vstore.bitstate_positions}.) *)
 
 val pp_outcome : 's Fmt.t -> 's outcome Fmt.t

@@ -1,0 +1,444 @@
+(* Multi-process exploration: the canonical-key space is partitioned over
+   [workers] forked OS processes, each owning the visited-set shard for
+   its keys (and, with [jobs > 1], running its own OCaml 5 domain pool for
+   successor generation and canonicalization).  The parent process is a
+   pure coordinator: it routes frontier batches between workers over
+   pipes and assigns global discovery indices, which makes state and
+   transition counts byte-identical to the sequential engine's.
+
+   Level-synchronous protocol, per BFS level:
+
+   1. parent -> worker: the candidate states owned by that worker, each
+      tagged with (parent global index, successor ordinal);
+   2. worker: sorts its candidates by tag — exactly the order the
+      sequential engine would discover them in — and runs them through
+      its visited store, so the representative kept per key is
+      deterministic and equal to [Explore.run]'s;
+   3. worker -> parent: the tags found fresh (plus store/meter figures);
+   4. parent: k-way merges the fresh tags of all workers, assigns each
+      fresh state its global index by rank, applies the resource caps at
+      level granularity, and answers with the indices (or a stop);
+   5. worker: expands its fresh states (optionally over a domain pool),
+      buckets every successor by [seeded_hash owner_seed key mod workers]
+      and sends the buckets up; the parent routes them, closing the loop.
+
+   Ownership partitions the key space, so freshness decisions are local
+   to one worker and no cross-process race can affect them.  On a
+   violation or deadlock the parent finishes the level, stops the
+   workers, and falls back to a sequential re-run for the canonical
+   first event and trace — the same discipline as [Explore.par_run]. *)
+
+(* Key-to-owner routing uses its own hash seed, independent of the exact
+   store probe hash, the bitstate positions (0, 1), the in-process shard
+   router (2) and the disk index (3). *)
+let owner_seed = 4
+
+type 's to_worker =
+  | P_candidates of (int * int * string * 's) array
+      (** (gidx, ord, key, state), unsorted; all owned by the receiver *)
+  | P_assign of { gidx : int array; stop : bool }
+      (** global index for each fresh state, in the order the worker
+          reported them; [stop] ends the worker after this message *)
+
+type event = Ev_violation of string | Ev_deadlock
+
+type 's to_parent =
+  | W_fresh of {
+      tags : (int * int) array;  (** fresh candidates, in sorted tag order *)
+      mem : int;
+      raw : int;
+      count : int;
+      fallbacks : int;
+      expand_s : float;  (** cumulative seconds spent expanding *)
+      event : event option;  (** first invariant violation, if any *)
+    }
+  | W_expanded of {
+      buckets : (int * int * string * 's) list array;
+          (** successor candidates per owner, unordered *)
+      trans : int;  (** transitions generated this level *)
+      event : event option;
+      timed_out : bool;
+    }
+
+let send oc (msg : 'a) =
+  Marshal.to_channel oc msg [];
+  flush oc
+
+let recv ic : 'a = Marshal.from_channel ic
+
+(* Expand [frontier] (an array of (gidx, state)), generating every
+   successor tagged (gidx, ordinal) with its canonical key.  With
+   [jobs > 1] and enough work the frontier is drained by a domain pool
+   off an atomic cursor; order is irrelevant here — the owner sorts. *)
+let expand_frontier ~jobs ~key_of ~succ ~check_deadlock ~deadline frontier =
+  let len = Array.length frontier in
+  let n_dom = if jobs > 1 && len >= 64 then jobs else 1 in
+  let cursor = Atomic.make 0 in
+  let batch = 16 in
+  let one_domain () =
+    let acc = ref [] and trans = ref 0 in
+    let event = ref None and timed_out = ref false in
+    let running = ref true in
+    while !running do
+      let start = Atomic.fetch_and_add cursor batch in
+      if start >= len then running := false
+      else begin
+        (match deadline with
+        | Some d when Unix.gettimeofday () > d ->
+          timed_out := true;
+          running := false
+        | _ -> ());
+        if !running then
+          for i = start to min len (start + batch) - 1 do
+            let gidx, st = frontier.(i) in
+            let succs = succ st in
+            if check_deadlock && succs = [] && !event = None then
+              event := Some Ev_deadlock;
+            trans := !trans + List.length succs;
+            List.iteri
+              (fun ord (_, st') -> acc := (gidx, ord, key_of st', st') :: !acc)
+              succs
+          done
+      end
+    done;
+    (!acc, !trans, !event, !timed_out)
+  in
+  let results =
+    if n_dom = 1 then [ one_domain () ]
+    else
+      let doms = List.init (n_dom - 1) (fun _ -> Domain.spawn one_domain) in
+      let mine = one_domain () in
+      mine :: List.map Domain.join doms
+  in
+  List.fold_left
+    (fun (acc, trans, event, timed_out) (a, t, e, o) ->
+      ( List.rev_append a acc,
+        trans + t,
+        (if event = None then e else event),
+        timed_out || o ))
+    ([], 0, None, false)
+    results
+
+let worker_main ~ic ~oc ~workers ~jobs ~key_of ~on_fresh ~canon_fallbacks
+    ~succ ~invariants ~check_deadlock ~store_kind ~deadline =
+  let store = Vstore.make store_kind in
+  let expand_s = ref 0. in
+  let running = ref true in
+  while !running do
+    let cands =
+      match (recv ic : _ to_worker) with
+      | P_candidates c -> c
+      | P_assign _ -> invalid_arg "Mpx worker: unexpected assign"
+    in
+    Array.sort
+      (fun (g1, o1, _, _) (g2, o2, _, _) ->
+        if g1 <> g2 then compare g1 g2 else compare o1 o2)
+      cands;
+    let fresh = ref [] and n_fresh = ref 0 in
+    let event = ref None in
+    Array.iter
+      (fun (g, o, key, st) ->
+        if store.Vstore.add key then begin
+          on_fresh st;
+          fresh := (g, o, st) :: !fresh;
+          incr n_fresh;
+          if !event = None then
+            match
+              List.find_opt (fun (_, check) -> not (check st)) invariants
+            with
+            | Some (name, _) -> event := Some (Ev_violation name)
+            | None -> ()
+        end)
+      cands;
+    let fresh = Array.of_list (List.rev !fresh) in
+    send oc
+      (W_fresh
+         {
+           tags = Array.map (fun (g, o, _) -> (g, o)) fresh;
+           mem = store.Vstore.mem_bytes ();
+           raw = store.Vstore.raw_bytes ();
+           count = store.Vstore.count ();
+           fallbacks = canon_fallbacks ();
+           expand_s = !expand_s;
+           event = !event;
+         });
+    (match (recv ic : _ to_worker) with
+    | P_assign { gidx; stop } ->
+      if stop then running := false
+      else begin
+        let frontier =
+          Array.mapi (fun i (_, _, st) -> (gidx.(i), st)) fresh
+        in
+        (* tags arrive sorted and global indices are assigned by tag
+           rank, so the frontier is already in gidx order *)
+        let t0 = Unix.gettimeofday () in
+        let acc, trans, event, timed_out =
+          expand_frontier ~jobs ~key_of ~succ ~check_deadlock ~deadline
+            frontier
+        in
+        expand_s := !expand_s +. (Unix.gettimeofday () -. t0);
+        let buckets = Array.make workers [] in
+        List.iter
+          (fun ((_, _, key, _) as entry) ->
+            let w = Hashtbl.seeded_hash owner_seed key mod workers in
+            buckets.(w) <- entry :: buckets.(w))
+          acc;
+        send oc (W_expanded { buckets; trans; event; timed_out })
+      end
+    | P_candidates _ -> invalid_arg "Mpx worker: unexpected candidates")
+  done
+
+let merge_stats ~t0 ~outcome ~n_states ~transitions ~mem ~raw ~peak_frontier
+    ~max_depth ~fallbacks =
+  {
+    Explore.outcome;
+    states = n_states;
+    transitions;
+    time_s = Unix.gettimeofday () -. t0;
+    mem_bytes = mem;
+    raw_bytes = raw;
+    peak_frontier;
+    max_depth;
+    canon_fallbacks = fallbacks;
+    trace = None;
+  }
+
+let run ?(workers = 2) ?(jobs = 1) ?(store = Vstore.Mem) ?max_states
+    ?max_mem_bytes ?max_time_s ?(check_deadlock = false) ?(trace = false)
+    ?(invariants = []) ?on_progress ?metrics (sys : ('s, 'l) Explore.system) =
+  let workers = max 1 workers in
+  if workers = 1 then
+    (* no partitioning to do: run in-process *)
+    if jobs > 1 then
+      Explore.par_run ~jobs ~store ?max_states ?max_mem_bytes ?max_time_s
+        ~check_deadlock ~trace ~invariants ?on_progress sys
+    else
+      Explore.run ~store ?max_states ?max_mem_bytes ?max_time_s
+        ~check_deadlock ~trace ~invariants ?on_progress sys
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let deadline = Option.map (fun cap -> t0 +. cap) max_time_s in
+    let key_of, on_fresh, canon_fallbacks = Explore.key_fns sys in
+    (* fork before any domain is spawned in this process: mixing fork
+       with live domains is unsupported in OCaml 5 *)
+    let procs =
+      Array.init workers (fun _ ->
+          let p2w_r, p2w_w = Unix.pipe ~cloexec:false () in
+          let w2p_r, w2p_w = Unix.pipe ~cloexec:false () in
+          match Unix.fork () with
+          | 0 ->
+            Unix.close p2w_w;
+            Unix.close w2p_r;
+            let ic = Unix.in_channel_of_descr p2w_r in
+            let oc = Unix.out_channel_of_descr w2p_w in
+            let status =
+              try
+                worker_main ~ic ~oc ~workers ~jobs ~key_of ~on_fresh
+                  ~canon_fallbacks ~succ:sys.Explore.succ ~invariants
+                  ~check_deadlock ~store_kind:store ~deadline;
+                0
+              with _ -> 1
+            in
+            (* _exit: skip the parent's at_exit/flush inherited state *)
+            Unix._exit status
+          | pid ->
+            Unix.close p2w_r;
+            Unix.close w2p_w;
+            ( pid,
+              Unix.out_channel_of_descr p2w_w,
+              Unix.in_channel_of_descr w2p_r ))
+    in
+    let send_to w msg =
+      let _, oc, _ = procs.(w) in
+      send oc msg
+    in
+    let recv_from w : 's to_parent =
+      let _, _, ic = procs.(w) in
+      recv ic
+    in
+    let shutdown () =
+      Array.iter
+        (fun (pid, oc, ic) ->
+          (try close_out oc with _ -> ());
+          (try close_in ic with _ -> ());
+          try ignore (Unix.waitpid [] pid) with _ -> ())
+        procs
+    in
+    let finally () = shutdown () in
+    Fun.protect ~finally @@ fun () ->
+    let n_states = ref 0 in
+    let transitions = ref 0 in
+    let peak_frontier = ref 0 in
+    let depth = ref 0 in
+    let max_depth = ref 0 in
+    let event = ref None in
+    let limit = ref None in
+    let timed_out = ref false in
+    let worker_mem = Array.make workers 0 in
+    let worker_raw = Array.make workers 0 in
+    let worker_count = Array.make workers 0 in
+    let worker_fallbacks = Array.make workers 0 in
+    let worker_expand_s = Array.make workers 0. in
+    let gauges =
+      match metrics with
+      | None -> None
+      | Some reg ->
+        Some
+          (Array.init workers (fun w ->
+               ( Ccr_obs.Metrics.gauge reg
+                   (Printf.sprintf "mpx.w%d.states_per_s" w),
+                 Ccr_obs.Metrics.gauge reg
+                   (Printf.sprintf "mpx.w%d.bytes_per_state" w) )))
+    in
+    let update_gauges () =
+      match gauges with
+      | None -> ()
+      | Some gs ->
+        Array.iteri
+          (fun w (g_rate, g_bytes) ->
+            if worker_expand_s.(w) > 0. then
+              Ccr_obs.Metrics.set g_rate
+                (float_of_int worker_count.(w) /. worker_expand_s.(w));
+            if worker_count.(w) > 0 then
+              Ccr_obs.Metrics.set g_bytes
+                (float_of_int worker_mem.(w) /. float_of_int worker_count.(w)))
+          gs
+    in
+    let emit_progress ~frontier =
+      match on_progress with
+      | None -> ()
+      | Some f ->
+        let elapsed = Unix.gettimeofday () -. t0 in
+        let maxc = Array.fold_left max 0 worker_count in
+        f
+          {
+            Ccr_obs.Progress.states = !n_states;
+            transitions = !transitions;
+            depth = !depth;
+            frontier;
+            rate =
+              (if elapsed > 0. then float_of_int !n_states /. elapsed else 0.);
+            mem_bytes = Array.fold_left ( + ) 0 worker_mem;
+            shard_balance =
+              (if !n_states = 0 then 1.0
+               else
+                 float_of_int (maxc * workers) /. float_of_int !n_states);
+            elapsed_s = elapsed;
+          }
+    in
+    let owner key = Hashtbl.seeded_hash owner_seed key mod workers in
+    (* level 0: the initial state, routed to its owner like any other
+       candidate, so its freshness/invariant handling is uniform *)
+    let buckets = Array.make workers [] in
+    let key0 = key_of sys.Explore.init in
+    buckets.(owner key0) <- [ (0, 0, key0, sys.Explore.init) ];
+    let looping = ref true in
+    while !looping do
+      (* phase 1+2: hand each worker its candidates, collect fresh tags *)
+      Array.iteri
+        (fun w b ->
+          send_to w (P_candidates (Array.of_list b));
+          buckets.(w) <- [])
+        buckets;
+      let worker_tags =
+        Array.init workers (fun w ->
+            match recv_from w with
+            | W_fresh { tags; mem; raw; count; fallbacks; expand_s; event = e }
+              ->
+              worker_mem.(w) <- mem;
+              worker_raw.(w) <- raw;
+              worker_count.(w) <- count;
+              worker_fallbacks.(w) <- fallbacks;
+              worker_expand_s.(w) <- expand_s;
+              (match e with
+              | Some e when !event = None -> event := Some e
+              | _ -> ());
+              tags
+            | W_expanded _ -> invalid_arg "Mpx: unexpected expanded")
+      in
+      (* phase 3: merge the tag streams (each already sorted) and assign
+         global indices by overall rank — the sequential discovery order *)
+      let total_fresh = Array.fold_left (fun a t -> a + Array.length t) 0 worker_tags in
+      let merged = Array.make total_fresh (0, 0, 0) in
+      let k = ref 0 in
+      Array.iteri
+        (fun w tags ->
+          Array.iteri
+            (fun i (g, o) ->
+              merged.(!k) <- (g, o, (w lsl 32) lor i);
+              incr k)
+            tags)
+        worker_tags;
+      Array.sort
+        (fun (g1, o1, _) (g2, o2, _) ->
+          if g1 <> g2 then compare g1 g2 else compare o1 o2)
+        merged;
+      let assignments = Array.map (fun tags -> Array.make (Array.length tags) 0) worker_tags in
+      Array.iteri
+        (fun rank (_, _, src) ->
+          assignments.(src lsr 32).(src land 0xffffffff) <- !n_states + rank)
+        merged;
+      n_states := !n_states + total_fresh;
+      if total_fresh > !peak_frontier then peak_frontier := total_fresh;
+      if total_fresh > 0 && !n_states > 1 then begin
+        incr depth;
+        max_depth := !depth
+      end;
+      emit_progress ~frontier:total_fresh;
+      update_gauges ();
+      (* caps, at level granularity as in [Explore.par_run] *)
+      (match (max_states, max_mem_bytes) with
+      | Some cap, _ when !n_states >= cap -> limit := Some Explore.L_states
+      | _, Some cap when Array.fold_left ( + ) 0 worker_mem >= cap ->
+        limit := Some Explore.L_memory
+      | _ -> ());
+      (match deadline with
+      | Some d when Unix.gettimeofday () > d ->
+        timed_out := true;
+        limit := Some Explore.L_time
+      | _ -> ());
+      if !timed_out then limit := Some Explore.L_time;
+      let stop =
+        total_fresh = 0 || !limit <> None || !event <> None
+      in
+      Array.iteri
+        (fun w gidx -> send_to w (P_assign { gidx; stop }))
+        assignments;
+      if stop then looping := false
+      else
+        (* phase 4+5: collect expansions, route successor buckets *)
+        Array.iteri
+          (fun w _ ->
+            match recv_from w with
+            | W_expanded { buckets = b; trans; event = e; timed_out = o } ->
+              transitions := !transitions + trans;
+              (match e with
+              | Some e when !event = None -> event := Some e
+              | _ -> ());
+              if o then timed_out := true;
+              Array.iteri
+                (fun dst entries ->
+                  buckets.(dst) <- List.rev_append entries buckets.(dst))
+                b
+            | W_fresh _ -> invalid_arg "Mpx: unexpected fresh")
+          procs
+    done;
+    shutdown ();
+    match !event with
+    | Some _ ->
+      (* deterministic event + trace: sequential fallback, as par_run *)
+      let r =
+        Explore.run ~strategy:Explore.Bfs ~store ?max_states ?max_mem_bytes
+          ?max_time_s ~check_deadlock ~trace ~invariants ?on_progress sys
+      in
+      { r with Explore.time_s = Unix.gettimeofday () -. t0 }
+    | None ->
+      merge_stats ~t0
+        ~outcome:
+          (match !limit with Some l -> Explore.Limit l | None -> Explore.Complete)
+        ~n_states:!n_states ~transitions:!transitions
+        ~mem:(Array.fold_left ( + ) 0 worker_mem)
+        ~raw:(Array.fold_left ( + ) 0 worker_raw)
+        ~peak_frontier:!peak_frontier ~max_depth:!max_depth
+        ~fallbacks:(Array.fold_left ( + ) 0 worker_fallbacks)
+  end

@@ -1,0 +1,49 @@
+(** Multi-process exploration.
+
+    [run] partitions the canonical-key space over [workers] forked OS
+    processes — each owning the visited-store shard for its keys, each
+    free to run its own OCaml 5 domain pool — and coordinates them from
+    the parent over pipes with a level-synchronous frontier-exchange
+    protocol (see the implementation header for the wire steps).  Because
+    ownership partitions keys and the parent assigns global discovery
+    indices by sequential-BFS rank, [states] and [transitions] are
+    byte-identical to {!Explore.run} and {!Explore.par_run} at every
+    worker and job count (with the default exact stores; bitstate is not
+    offered here).
+
+    Use it when one process's heap is the bottleneck: each worker holds
+    [1/workers] of the visited set, and with [--store collapse] or
+    [--store disk] per worker the per-process resident set shrinks
+    further.  For pure CPU parallelism inside one address space,
+    {!Explore.par_run} has lower constant costs.
+
+    Requirements: states and labels must contain no closures (frontier
+    batches cross process boundaries via [Marshal]), and [run] must be
+    called before any domain is spawned in the calling process (it
+    forks).  All systems in this repository satisfy both. *)
+
+val run :
+  ?workers:int ->
+  ?jobs:int ->
+  ?store:Vstore.kind ->
+  ?max_states:int ->
+  ?max_mem_bytes:int ->
+  ?max_time_s:float ->
+  ?check_deadlock:bool ->
+  ?trace:bool ->
+  ?invariants:(string * ('s -> bool)) list ->
+  ?on_progress:(Ccr_obs.Progress.sample -> unit) ->
+  ?metrics:Ccr_obs.Metrics.t ->
+  ('s, 'l) Explore.system ->
+  ('s, 'l) Explore.stats
+(** Explore with [workers] processes (default 2; [1] delegates to the
+    in-process engines) of [jobs] domains each (default 1).  Resource
+    caps are applied at BFS-level granularity, as in {!Explore.par_run};
+    [mem_bytes]/[raw_bytes] sum the per-worker stores.  On a violation or
+    deadlock the parent falls back to a sequential re-run for the
+    canonical first event and (with [~trace:true]) its shortest
+    counterexample.  [metrics] (default: none) publishes per-worker
+    [mpx.w<i>.states_per_s] and [mpx.w<i>.bytes_per_state] gauges through
+    the obs layer.  [on_progress] fires in the parent at every level
+    boundary; its [shard_balance] reports how evenly states spread over
+    the workers. *)

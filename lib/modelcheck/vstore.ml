@@ -1,0 +1,588 @@
+(* Visited-state stores: the exact in-memory set, SPIN-style collapse
+   compression, an out-of-core append-file store, and bitstate hashing —
+   all behind one record so the exploration engines stay store-agnostic. *)
+
+type t = {
+  add : string -> bool;
+  mem_bytes : unit -> int;
+  raw_bytes : unit -> int;
+  count : unit -> int;
+}
+
+type kind = Mem | Collapse of (string -> int array) | Disk
+
+let kind_name = function
+  | Mem -> "mem"
+  | Collapse _ -> "collapse"
+  | Disk -> "disk"
+
+(* Stable per-state bookkeeping figure used by the *raw* (uncompressed)
+   byte count: what a plain interned store pays per state on top of the
+   key bytes (hash slot, boxed string header, id).  Kept identical across
+   store kinds so bench bytes/state comparisons share one baseline. *)
+let per_state_overhead = 64
+
+(* Honest accounting constants for [mem_bytes]: OCaml boxed-string header
+   plus word rounding (~24 bytes on 64-bit), and open-addressing slot
+   costs.  These make [mem_bytes] track actual RAM, so a memory cap set
+   for the machine really is honored — the old figure ignored the tables
+   themselves, undercounting by ~30%. *)
+let string_overhead = 24
+let intern_entry_overhead = 48 (* hashtbl bucket + boxed header *)
+
+(* ---- exact in-memory store ---------------------------------------------
+
+   Insert-only open-addressing string set.  [add] is the visited-set hot
+   path: it hashes the key once and walks a single probe sequence to both
+   test membership and insert, where the stdlib [Hashtbl.mem] +
+   [Hashtbl.add] pair traverses its bucket chain twice and allocates a
+   bucket cell per state.  Keys are interned exactly once: the encoded
+   string handed to [add] is the string retained in the table. *)
+module Strset = struct
+  type t = {
+    mutable keys : string array;
+    mutable hashes : int array;
+    mutable count : int;
+    mutable key_bytes : int;
+  }
+
+  (* Physically unique empty-slot marker ([String.make] allocates a fresh
+     block, so no real key can be [==] to it). *)
+  let absent = String.make 1 '\000'
+
+  let create ~init_slots =
+    {
+      keys = Array.make init_slots absent;
+      hashes = Array.make init_slots 0;
+      count = 0;
+      key_bytes = 0;
+    }
+
+  let resize t =
+    let old_keys = t.keys and old_hashes = t.hashes in
+    let cap = 2 * Array.length old_keys in
+    let mask = cap - 1 in
+    let keys = Array.make cap absent and hashes = Array.make cap 0 in
+    Array.iteri
+      (fun i k ->
+        if k != absent then begin
+          let h = old_hashes.(i) in
+          let j = ref (h land mask) in
+          while keys.(!j) != absent do
+            j := (!j + 1) land mask
+          done;
+          keys.(!j) <- k;
+          hashes.(!j) <- h
+        end)
+      old_keys;
+    t.keys <- keys;
+    t.hashes <- hashes
+
+  (* true when [key] was absent (in which case it is inserted) *)
+  let add t key =
+    if 2 * t.count >= Array.length t.keys then resize t;
+    let h = Hashtbl.hash key in
+    let mask = Array.length t.keys - 1 in
+    let j = ref (h land mask) in
+    let fresh = ref false and scanning = ref true in
+    while !scanning do
+      let k = t.keys.(!j) in
+      if k == absent then begin
+        t.keys.(!j) <- key;
+        t.hashes.(!j) <- h;
+        t.count <- t.count + 1;
+        t.key_bytes <- t.key_bytes + String.length key;
+        fresh := true;
+        scanning := false
+      end
+      else if t.hashes.(!j) = h && String.equal k key then scanning := false
+      else j := (!j + 1) land mask
+    done;
+    !fresh
+end
+
+let exact ?(init_slots = 4096) () =
+  let t = Strset.create ~init_slots in
+  {
+    add = (fun key -> Strset.add t key);
+    mem_bytes =
+      (fun () ->
+        (* keys + headers, plus the two slot arrays (pointer + hash word) *)
+        t.Strset.key_bytes
+        + (string_overhead * t.Strset.count)
+        + (16 * Array.length t.Strset.keys));
+    raw_bytes =
+      (fun () -> t.Strset.key_bytes + (per_state_overhead * t.Strset.count));
+    count = (fun () -> t.Strset.count);
+  }
+
+(* ---- bitstate (supertrace) hashing -------------------------------------- *)
+
+(* Two independent hash positions, as SPIN's double bitstate.  Seeded
+   hashing keeps the second position allocation-free (the old scheme
+   hashed [key ^ "\x01"], building a fresh string per state). *)
+let bitstate_positions ~bits key =
+  let bits = max 10 (min 34 bits) in
+  let mask = (1 lsl bits) - 1 in
+  (Hashtbl.seeded_hash 0 key land mask, Hashtbl.seeded_hash 1 key land mask)
+
+let bitstate bits =
+  let bits = max 10 (min 34 bits) in
+  let nbits = 1 lsl bits in
+  let table = Bytes.make (nbits / 8) '\000' in
+  let get i =
+    Char.code (Bytes.get table (i lsr 3)) land (1 lsl (i land 7)) <> 0
+  in
+  let set i =
+    Bytes.set table (i lsr 3)
+      (Char.chr (Char.code (Bytes.get table (i lsr 3)) lor (1 lsl (i land 7))))
+  in
+  let marked = ref 0 in
+  {
+    add =
+      (fun key ->
+        let h1, h2 = bitstate_positions ~bits key in
+        let seen = get h1 && get h2 in
+        if not seen then begin
+          set h1;
+          set h2;
+          incr marked
+        end;
+        not seen);
+    mem_bytes = (fun () -> nbits / 8);
+    raw_bytes = (fun () -> nbits / 8);
+    count = (fun () -> !marked);
+  }
+
+(* ---- component interning (shared with the collapse store) --------------- *)
+
+module Intern = struct
+  type t = {
+    tbl : (string, int) Hashtbl.t;
+    mutable rev : string array;
+    mutable n : int;
+    mutable str_bytes : int;
+  }
+
+  let create () =
+    { tbl = Hashtbl.create 64; rev = Array.make 64 ""; n = 0; str_bytes = 0 }
+
+  let id t s =
+    match Hashtbl.find_opt t.tbl s with
+    | Some i -> i
+    | None ->
+      let i = t.n in
+      Hashtbl.add t.tbl s i;
+      if i >= Array.length t.rev then begin
+        let rev = Array.make (2 * Array.length t.rev) "" in
+        Array.blit t.rev 0 rev 0 i;
+        t.rev <- rev
+      end;
+      t.rev.(i) <- s;
+      t.n <- i + 1;
+      t.str_bytes <- t.str_bytes + String.length s;
+      i
+
+  let get t i =
+    if i < 0 || i >= t.n then invalid_arg "Vstore.Intern.get: unknown id";
+    t.rev.(i)
+
+  let count t = t.n
+
+  let mem_bytes t =
+    t.str_bytes + (intern_entry_overhead * t.n) + (8 * Array.length t.rev)
+end
+
+(* ---- collapse-compressed store ------------------------------------------
+
+   SPIN's collapse compression (Holzmann, "State compression in SPIN"):
+   each state key is cut into per-component substrings (one per process /
+   channel — the [split] function), every distinct component value is
+   interned once per position, and the visited set stores only the tuple
+   of small component ids.  Component values repeat massively across
+   states (a remote cache's local view changes in few transitions), so
+   tuples of 1-byte ids replace 50-200 byte keys.
+
+   The tuple set itself is flat: a growable byte arena of
+   varint-length-prefixed tuples plus an open-addressing index of arena
+   offsets, so a stored state costs its tuple bytes (+1-2 length bytes)
+   plus ~9 bytes of index slot — no per-state boxed values at all. *)
+
+(* FNV-1a over scratch bytes, folded to a non-negative OCaml int.  The
+   index cannot use [Hashtbl.hash] because tuples live in scratch/arena
+   bytes, never as strings. *)
+let hash_bytes b len =
+  let h = ref 0x5_17_cc_1b_72_72_20_a5 in
+  for i = 0 to len - 1 do
+    h := (!h lxor Char.code (Bytes.unsafe_get b i)) * 0x100000001b3
+  done;
+  let h = !h in
+  (h lxor (h lsr 29)) land max_int
+
+(* LEB128 for the non-negative ids packed into tuples (internal to the
+   tuple set — state keys keep the [Value.encode_int] format).  Intern
+   tables routinely exceed a few hundred entries per position, so the
+   2-byte middle range matters: it is the difference between ~20-byte and
+   ~40-byte tuples on the larger asynchronous instances. *)
+let rec put_varint b pos i =
+  if i < 0x80 then begin
+    Bytes.unsafe_set b pos (Char.unsafe_chr i);
+    pos + 1
+  end
+  else begin
+    Bytes.unsafe_set b pos (Char.unsafe_chr (0x80 lor (i land 0x7f)));
+    put_varint b (pos + 1) (i lsr 7)
+  end
+
+let get_varint b pos =
+  let rec go pos shift acc =
+    let c = Char.code (Bytes.unsafe_get b pos) in
+    if c < 0x80 then (acc lor (c lsl shift), pos + 1)
+    else go (pos + 1) (shift + 7) (acc lor ((c land 0x7f) lsl shift))
+  in
+  go pos 0 0
+
+module Tupleset = struct
+  type t = {
+    mutable offs : int array; (* arena offset + 1; 0 = empty slot *)
+    mutable tags : Bytes.t; (* low byte of the tuple hash, cuts probes *)
+    mutable count : int;
+    mutable arena : Bytes.t;
+    mutable arena_len : int;
+  }
+
+  let create ~init_slots =
+    {
+      offs = Array.make init_slots 0;
+      tags = Bytes.make init_slots '\000';
+      count = 0;
+      arena = Bytes.create 4096;
+      arena_len = 0;
+    }
+
+  (* tuple stored at [off]: varint length, then the id bytes *)
+  let tuple_matches t off b len =
+    let stored_len, data = get_varint t.arena off in
+    stored_len = len
+    &&
+    let i = ref 0 in
+    while
+      !i < len && Bytes.unsafe_get t.arena (data + !i) = Bytes.unsafe_get b !i
+    do
+      incr i
+    done;
+    !i = len
+
+  let resize t =
+    let old = t.offs in
+    let cap = 2 * Array.length old in
+    let mask = cap - 1 in
+    let offs = Array.make cap 0 and tags = Bytes.make cap '\000' in
+    Array.iter
+      (fun o ->
+        if o <> 0 then begin
+          let len, data = get_varint t.arena (o - 1) in
+          let h = hash_bytes (Bytes.sub t.arena data len) len in
+          let j = ref (h land mask) in
+          while offs.(!j) <> 0 do
+            j := (!j + 1) land mask
+          done;
+          offs.(!j) <- o;
+          Bytes.set tags !j (Char.chr ((h lsr 24) land 0xff))
+        end)
+      old;
+    t.offs <- offs;
+    t.tags <- tags
+
+  let append t b len =
+    let need = t.arena_len + 10 + len in
+    if need > Bytes.length t.arena then begin
+      (* 3/2 growth: the arena is counted at capacity by the honest
+         memory figure, so doubling would overstate steady-state use *)
+      let cap = ref (Bytes.length t.arena * 3 / 2) in
+      while !cap < need do
+        cap := !cap * 3 / 2
+      done;
+      let arena = Bytes.create !cap in
+      Bytes.blit t.arena 0 arena 0 t.arena_len;
+      t.arena <- arena
+    end;
+    let off = t.arena_len in
+    let pos = put_varint t.arena off len in
+    Bytes.blit b 0 t.arena pos len;
+    t.arena_len <- pos + len;
+    off
+
+  (* true when the tuple in [b.(0..len-1)] was absent (then inserted).
+     Load factor 3/4: higher than the string sets' 1/2 because the tag
+     byte rejects almost all false probes without touching the arena. *)
+  let add t b len =
+    if 4 * t.count >= 3 * Array.length t.offs then resize t;
+    let h = hash_bytes b len in
+    let tag = Char.chr ((h lsr 24) land 0xff) in
+    let mask = Array.length t.offs - 1 in
+    let j = ref (h land mask) in
+    let fresh = ref false and scanning = ref true in
+    while !scanning do
+      let o = t.offs.(!j) in
+      if o = 0 then begin
+        t.offs.(!j) <- append t b len + 1;
+        Bytes.set t.tags !j tag;
+        t.count <- t.count + 1;
+        fresh := true;
+        scanning := false
+      end
+      else if Bytes.get t.tags !j = tag && tuple_matches t (o - 1) b len then
+        scanning := false
+      else j := (!j + 1) land mask
+    done;
+    !fresh
+
+  let mem_bytes t =
+    (* offset array (words) + tag bytes + the arena's full capacity *)
+    (9 * Array.length t.offs) + Bytes.length t.arena
+end
+
+(* One collapse store over a (possibly shared) intern layer.  [lock]
+   guards the intern tables when several stores share them; the tuple set
+   stays private to the store (the caller serializes per-store access, as
+   the sharded engine's per-shard mutexes do).  [count_interns] lets
+   exactly one store of a sharing group account for the intern memory. *)
+let collapse_over ~init_slots ~split ~interns ~lock ~count_interns () =
+  let tuples = Tupleset.create ~init_slots in
+  let scratch = ref (Bytes.create 256) in
+  let raw = ref 0 in
+  let locked f =
+    match lock with
+    | None -> f ()
+    | Some m ->
+      Mutex.lock m;
+      let r = f () in
+      Mutex.unlock m;
+      r
+  in
+  let add key =
+    let bounds = split key in
+    let n_comp = Array.length bounds in
+    if Bytes.length !scratch < 10 * n_comp then
+      scratch := Bytes.create (2 * 10 * n_comp);
+    let b = !scratch in
+    let pos = ref 0 in
+    locked (fun () ->
+        (* one intern table per component position, sized on first use *)
+        if Array.length !interns = 0 then
+          interns := Array.init n_comp (fun _ -> Intern.create ())
+        else if Array.length !interns <> n_comp then
+          invalid_arg "Vstore.collapse: split returned inconsistent arity";
+        let start = ref 0 in
+        for c = 0 to n_comp - 1 do
+          let stop = bounds.(c) in
+          let id =
+            Intern.id
+              (Array.unsafe_get !interns c)
+              (String.sub key !start (stop - !start))
+          in
+          pos := put_varint b !pos id;
+          start := stop
+        done;
+        if !start <> String.length key then
+          invalid_arg "Vstore.collapse: split did not cover the key");
+    let fresh = Tupleset.add tuples b !pos in
+    if fresh then raw := !raw + String.length key + per_state_overhead;
+    fresh
+  in
+  {
+    add;
+    mem_bytes =
+      (fun () ->
+        Tupleset.mem_bytes tuples
+        + (if count_interns then
+             Array.fold_left
+               (fun acc it -> acc + Intern.mem_bytes it)
+               0 !interns
+           else 0)
+        + Bytes.length !scratch);
+    raw_bytes = (fun () -> !raw);
+    count = (fun () -> tuples.Tupleset.count);
+  }
+
+let collapse ?(init_slots = 1024) ~split () =
+  collapse_over ~init_slots ~split ~interns:(ref [||]) ~lock:None
+    ~count_interns:true ()
+
+let collapse_shared ?(init_slots = 256) ~split n =
+  let interns = ref [||] and lock = Some (Mutex.create ()) in
+  Array.init n (fun i ->
+      collapse_over ~init_slots ~split ~interns ~lock ~count_interns:(i = 0) ())
+
+(* ---- out-of-core (append-file) store ------------------------------------
+
+   Key bytes live in an unlinked temporary file (appended through a small
+   tail buffer); RAM holds only an open-addressing index of packed
+   (offset, length) words plus the key hashes.  Unlike bitstate hashing
+   this is exact: a hash hit is confirmed by reading the stored key back
+   and comparing bytes, so counts equal the in-memory store's. *)
+module Diskset = struct
+  (* Index slot layout, one OCaml int per slot:
+       0                              — empty
+       1 + (off << 20 | tag << 12 | lenfield)
+     [off]: byte offset of the key in the file (42 bits, 4 TB);
+     [tag]: 8 high bits of the key's hash, rejecting almost all false
+     probes without touching the file; [lenfield]: key length, values
+     >= 0xfff overflowing into [long_lens].  No per-slot hash word: a
+     resize re-reads each stored key once to rehash it — sequential-ish,
+     page-cache-friendly I/O, paid O(log n) times — which halves the
+     resident index to 8 bytes per slot. *)
+  type t = {
+    fd : Unix.file_descr;
+    mutable file_len : int; (* bytes flushed to [fd] *)
+    tail : Buffer.t; (* appended keys not yet flushed *)
+    tail_cap : int;
+    mutable packed : int array;
+    mutable count : int;
+    mutable key_bytes : int;
+    long_lens : (int, int) Hashtbl.t; (* off -> true len when >= 0xfff *)
+    mutable read_buf : Bytes.t;
+  }
+
+  let create ~init_slots ~tail_cap =
+    let path = Filename.temp_file "ccr_vstore" ".keys" in
+    let fd = Unix.openfile path [ Unix.O_RDWR ] 0o600 in
+    (* unlinked immediately: the file vanishes with the process *)
+    Unix.unlink path;
+    {
+      fd;
+      file_len = 0;
+      tail = Buffer.create (min tail_cap 65536);
+      tail_cap;
+      packed = Array.make init_slots 0;
+      count = 0;
+      key_bytes = 0;
+      long_lens = Hashtbl.create 16;
+      read_buf = Bytes.create 256;
+    }
+
+  let tag_of h = (h lsr 22) land 0xff
+
+  let pack ~off ~tag ~lenfield = ((off lsl 20) lor (tag lsl 12) lor lenfield) + 1
+
+  let flush t =
+    let s = Buffer.contents t.tail in
+    Buffer.clear t.tail;
+    let len = String.length s in
+    ignore (Unix.lseek t.fd t.file_len Unix.SEEK_SET);
+    let written = ref 0 in
+    while !written < len do
+      written :=
+        !written + Unix.write_substring t.fd s !written (len - !written)
+    done;
+    t.file_len <- t.file_len + len
+
+  let entry_len t off lenfield =
+    if lenfield < 0xfff then lenfield else Hashtbl.find t.long_lens off
+
+  (* Copy the [len] stored bytes at [off] into [t.read_buf]. *)
+  let read_stored t off len =
+    if Bytes.length t.read_buf < len then t.read_buf <- Bytes.create (2 * len);
+    if off >= t.file_len then
+      (* still in the tail buffer *)
+      Buffer.blit t.tail (off - t.file_len) t.read_buf 0 len
+    else begin
+      ignore (Unix.lseek t.fd off Unix.SEEK_SET);
+      let got = ref 0 in
+      while !got < len do
+        let r = Unix.read t.fd t.read_buf !got (len - !got) in
+        if r = 0 then invalid_arg "Vstore.disk: truncated store file";
+        got := !got + r
+      done
+    end
+
+  let stored_matches t off key =
+    let len = String.length key in
+    read_stored t off len;
+    let i = ref 0 in
+    while !i < len && Bytes.unsafe_get t.read_buf !i = String.unsafe_get key !i
+    do
+      incr i
+    done;
+    !i = len
+
+  let resize t =
+    let old = t.packed in
+    let cap = 2 * Array.length old in
+    let mask = cap - 1 in
+    let packed = Array.make cap 0 in
+    Array.iter
+      (fun p ->
+        if p <> 0 then begin
+          let off = (p - 1) lsr 20 in
+          let len = entry_len t off ((p - 1) land 0xfff) in
+          read_stored t off len;
+          let h =
+            Hashtbl.seeded_hash 3 (Bytes.sub_string t.read_buf 0 len)
+          in
+          let j = ref (h land mask) in
+          while packed.(!j) <> 0 do
+            j := (!j + 1) land mask
+          done;
+          packed.(!j) <- p
+        end)
+      old;
+    t.packed <- packed
+
+  let add t key =
+    if 2 * t.count >= Array.length t.packed then resize t;
+    let len = String.length key in
+    let h = Hashtbl.seeded_hash 3 key in
+    let tag = tag_of h in
+    let mask = Array.length t.packed - 1 in
+    let j = ref (h land mask) in
+    let fresh = ref false and scanning = ref true in
+    while !scanning do
+      let p = t.packed.(!j) in
+      if p = 0 then begin
+        let off = t.file_len + Buffer.length t.tail in
+        Buffer.add_string t.tail key;
+        if Buffer.length t.tail >= t.tail_cap then flush t;
+        let lenfield = min len 0xfff in
+        if lenfield = 0xfff then Hashtbl.replace t.long_lens off len;
+        t.packed.(!j) <- pack ~off ~tag ~lenfield;
+        t.count <- t.count + 1;
+        t.key_bytes <- t.key_bytes + len;
+        fresh := true;
+        scanning := false
+      end
+      else begin
+        let p = p - 1 in
+        let off = p lsr 20 in
+        if
+          (p lsr 12) land 0xff = tag
+          && entry_len t off (p land 0xfff) = len
+          && stored_matches t off key
+        then scanning := false
+        else j := (!j + 1) land mask
+      end
+    done;
+    !fresh
+
+  let mem_bytes t =
+    (8 * Array.length t.packed)
+    + Buffer.length t.tail
+    + (intern_entry_overhead * Hashtbl.length t.long_lens)
+    + Bytes.length t.read_buf
+end
+
+let disk ?(init_slots = 1024) ?(tail_cap = 1 lsl 16) () =
+  let t = Diskset.create ~init_slots ~tail_cap in
+  {
+    add = (fun key -> Diskset.add t key);
+    mem_bytes = (fun () -> Diskset.mem_bytes t);
+    raw_bytes =
+      (fun () -> t.Diskset.key_bytes + (per_state_overhead * t.Diskset.count));
+    count = (fun () -> t.Diskset.count);
+  }
+
+let make ?init_slots ?tail_cap = function
+  | Mem -> exact ?init_slots ()
+  | Collapse split -> collapse ?init_slots ~split ()
+  | Disk -> disk ?init_slots ?tail_cap ()

@@ -1,0 +1,102 @@
+(** Visited-state stores for the exploration engines.
+
+    Explicit-state exploration is bounded by the visited set (the paper's
+    Table 3 "Unfinished" entries are exactly this cliff), so the store is
+    pluggable:
+
+    - {!Mem}: the exact interned hash set — fastest, one full key in RAM
+      per state.
+    - {!Collapse}: SPIN-style collapse compression (Holzmann).  A key is
+      cut into per-component substrings by a [split] function; each
+      distinct component value is interned once per position and the set
+      stores only the tuple of small ids, in a flat byte arena.
+      Component values repeat massively across states, so a 50–200 byte
+      key shrinks to a handful of bytes.  Exact: key ↦ tuple is a
+      bijection (components concatenate back to the key), so counts equal
+      {!Mem}'s.
+    - {!Disk}: out-of-core.  Key bytes live in an unlinked temporary
+      file; RAM holds a one-word-per-slot (offset, hash-tag, length)
+      index.  A tag hit is confirmed by reading the stored key back, so —
+      unlike bitstate hashing — counts stay exact while resident memory
+      drops to ~8 bytes per slot.
+
+    All stores are single-threaded; the parallel engine wraps one store
+    per shard behind its own mutex. *)
+
+type t = {
+  add : string -> bool;
+      (** [add key] is [true] when the key was not seen before (and marks
+          it) — the one hot-path operation *)
+  mem_bytes : unit -> int;
+      (** honest resident memory: key/tuple bytes {e plus} table slots,
+          headers, tail buffers — what a memory cap should meter *)
+  raw_bytes : unit -> int;
+      (** what the plain interned store would hold for the same states
+          (key bytes + a fixed per-state overhead): the stable baseline
+          for compression-ratio and bytes/state comparisons *)
+  count : unit -> int;  (** keys marked *)
+}
+
+type kind = Mem | Collapse of (string -> int array) | Disk
+(** Store selector, as exposed by [ccr check --store].  [Collapse]
+    carries the component splitter: given an encoded key, the offsets
+    just past each component, in order, the last equal to the key length
+    (see e.g. {!Ccr_refine.Async.split_key}). *)
+
+val kind_name : kind -> string
+
+val make : ?init_slots:int -> ?tail_cap:int -> kind -> t
+(** [init_slots] (default 4096 for {!exact}, 1024 otherwise; must be a
+    power of two) sizes the initial index so sharded engines can start
+    small — with honest [mem_bytes], 64 eagerly-huge shards would burn a
+    small memory cap before exploring a single state.  [tail_cap]
+    (default 64 KiB, {!Disk} only) bounds the in-RAM append buffer. *)
+
+val exact : ?init_slots:int -> unit -> t
+val collapse : ?init_slots:int -> split:(string -> int array) -> unit -> t
+val disk : ?init_slots:int -> ?tail_cap:int -> unit -> t
+
+val collapse_shared :
+  ?init_slots:int -> split:(string -> int array) -> int -> t array
+(** [n] collapse stores sharing one mutex-guarded intern layer, for the
+    sharded parallel engine: without sharing, every shard would intern
+    its own copy of every component value, multiplying the table memory
+    by the shard count.  Each store's tuple set stays private (callers
+    serialize per-store access, e.g. with per-shard mutexes); only the
+    first store's [mem_bytes] counts the shared tables. *)
+
+val bitstate : int -> t
+(** Supertrace/bitstate hashing with a [2^bits]-bit table and two
+    independent hash positions, as SPIN's [-DBITSTATE].  Collisions
+    silently prune states: [count] is a lower bound.  Not a [kind]: the
+    engines select it through their [visited] mode, which takes
+    precedence over [--store]. *)
+
+val bitstate_positions : bits:int -> string -> int * int
+(** The two bit-table positions a key occupies under {!bitstate} (seeded
+    hashes 0 and 1, masked to [2^bits]); exposed so tests can pin the
+    independence of the two positions. *)
+
+val per_state_overhead : int
+(** The fixed per-state overhead {!t.raw_bytes} adds to the key bytes. *)
+
+(** {2 Component interning}
+
+    The collapse store's per-position intern tables, exposed for the
+    codec round-trip tests: {!Intern.get} inverts {!Intern.id}. *)
+module Intern : sig
+  type t
+
+  val create : unit -> t
+
+  val id : t -> string -> int
+  (** Intern a component value: a fresh value gets the next id (ids are
+      dense from 0, in first-seen order); a seen value returns its id. *)
+
+  val get : t -> int -> string
+  (** The component value behind an id.
+      @raise Invalid_argument on an id never returned by {!id}. *)
+
+  val count : t -> int
+  val mem_bytes : t -> int
+end

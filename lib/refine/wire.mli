@@ -20,4 +20,9 @@ val encode_perm : Buffer.t -> int array -> t -> unit
 (** [encode_perm buf p m] writes exactly the bytes [encode] would write
     for [m] with every remote id [r] in its payload renamed to [p.(r)]. *)
 
+val skip : string -> int -> int
+(** Position just past the {!encode}d message at [pos] in [s]; used when
+    re-parsing encoded state keys for collapse compression.
+    @raise Invalid_argument if [pos] does not hold a message tag. *)
+
 val pp : t Fmt.t

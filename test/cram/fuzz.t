@@ -14,6 +14,7 @@ carries no timings, so a small campaign is an exact regression.
   symmetry              5      0
   par                   5      0
   faults                5      0
+  store                 5      0
   
   rule coverage (Tables 1-2, transitions enumerated per family):
     rule                 legacy  general
@@ -51,6 +52,7 @@ carries no timings, so a small campaign is an exact regression.
 
 
 
+
 An oracle subset skips the others; without async-explore there is no
 coverage to report, so the matrix section disappears:
 
@@ -68,5 +70,5 @@ coverage to report, so the matrix section disappears:
 Unknown oracle names are rejected up front:
 
   $ ../../bin/ccr.exe fuzz --oracles bogus --count 1
-  unknown oracle "bogus" (known: validate, roundtrip, rv-explore, async-explore, eq1, symmetry, par, faults)
+  unknown oracle "bogus" (known: validate, roundtrip, rv-explore, async-explore, eq1, symmetry, par, faults, store)
   [1]

@@ -23,6 +23,7 @@ key set:
   "msg.req":
   "n":
   "peak_frontier":
+  "raw_bytes":
   "states_per_sec":
   "sum":
 

@@ -1,0 +1,138 @@
+(* Multi-process exploration.
+
+   The contract of [Mpx.run] (DESIGN.md §6e): state and transition
+   counts are byte-identical to the sequential [Explore.run] at every
+   worker and job count — ownership partitions the key space, so
+   freshness is race-free, and the parent assigns global indices by
+   sequential-BFS rank.  Violations and deadlocks surface through the
+   same sequential fallback re-run as the in-process parallel engine. *)
+
+open Test_util
+module Explore = Ccr_modelcheck.Explore
+module Mpx = Ccr_modelcheck.Mpx
+module Vstore = Ccr_modelcheck.Vstore
+module Async = Ccr_refine.Async
+module Registry = Ccr_protocols.Registry
+
+let counter_system ~limit =
+  Explore.
+    {
+      init = 0;
+      succ =
+        (fun s ->
+          if s >= limit then []
+          else [ ("inc", s + 1); ("double", min limit (2 * s + 1)) ]);
+      encode = string_of_int;
+      canon = None;
+    }
+
+let bits_system k =
+  Explore.
+    {
+      init = 0;
+      succ =
+        (fun s -> List.init k (fun i -> (Fmt.str "flip%d" i, s lxor (1 lsl i))));
+      encode = string_of_int;
+      canon = None;
+    }
+
+(* The OCaml 5 runtime refuses [Unix.fork] once any domain has ever been
+   spawned in the process — even one long since joined.  So this suite
+   runs FIRST in the binary (see test_main.ml), every forking case comes
+   before the one case that spawns in-process domains (the workers=1
+   delegation, kept last), and the worker counts here all fork.  The
+   (w=1, j=1) config delegates to the plain sequential engine, which is
+   fork-safe. *)
+let configs = [ (1, 1); (2, 1); (2, 2) ]
+
+let check_equiv ?store name sys =
+  let seq = Explore.run sys in
+  List.iter
+    (fun (workers, jobs) ->
+      let r = Mpx.run ~workers ~jobs ?store sys in
+      checki
+        (Fmt.str "%s: states (w=%d j=%d)" name workers jobs)
+        seq.states r.states;
+      checki
+        (Fmt.str "%s: transitions (w=%d j=%d)" name workers jobs)
+        seq.transitions r.transitions;
+      checkb
+        (Fmt.str "%s: complete (w=%d j=%d)" name workers jobs)
+        true
+        (outcome_complete r.outcome);
+      checki
+        (Fmt.str "%s: max_depth (w=%d j=%d)" name workers jobs)
+        seq.max_depth r.max_depth)
+    configs
+
+let tests =
+  [
+    case "mpx matches seq on synthetic systems" (fun () ->
+        check_equiv "bits-8" (bits_system 8);
+        check_equiv "counter-50" (counter_system ~limit:50));
+    case "every registry protocol: async counts match across worker configs"
+      (fun () ->
+        List.iter
+          (fun (e : Registry.t) ->
+            let prog = e.Registry.instantiate ~reqrep:true ~n:2 in
+            check_equiv (e.Registry.name ^ " async n=2") (async_system prog))
+          Registry.all);
+    case "workers compose with the compressed stores" (fun () ->
+        let prog = compile ~n:3 (Ccr_protocols.Migratory.system ()) in
+        let sys = async_system prog in
+        check_equiv ~store:(Vstore.Collapse (Async.split_key prog))
+          "migratory n=3 collapse" sys;
+        check_equiv ~store:Vstore.Disk "migratory n=3 disk" sys);
+    case "per-worker stores hold disjoint partitions" (fun () ->
+        let seq = Explore.run (bits_system 10) in
+        let r = Mpx.run ~workers:2 (bits_system 10) in
+        (* mem/raw sum the per-worker stores; each worker holds a strict
+           subset, so the totals match the state count, not exceed it *)
+        checki "states" seq.states r.states;
+        checkb "raw accounted" true (r.raw_bytes > 0);
+        checkb "split across workers" true (r.mem_bytes > 0));
+    case "violation is detected with a valid trace" (fun () ->
+        let r =
+          Mpx.run ~workers:2 ~trace:true
+            ~invariants:[ ("below7", fun s -> s < 7) ]
+            (counter_system ~limit:100)
+        in
+        (match r.outcome with
+        | Explore.Violation { invariant; state } ->
+          checks "name" "below7" invariant;
+          checkb "state breaks it" true (state >= 7)
+        | _ -> Alcotest.fail "expected violation");
+        match r.trace with
+        | Some path ->
+          checkb "trace ends at the violation" true
+            (snd (List.nth path (List.length path - 1)) >= 7)
+        | None -> Alcotest.fail "expected a trace");
+    case "deadlock is detected via the sequential fallback" (fun () ->
+        let r =
+          Mpx.run ~workers:2 ~check_deadlock:true ~trace:true
+            (counter_system ~limit:10)
+        in
+        match r.outcome with
+        | Explore.Deadlock s -> checki "deadlock at limit" 10 s
+        | _ -> Alcotest.fail "expected deadlock");
+    case "state cap applies at level granularity" (fun () ->
+        let r = Mpx.run ~workers:2 ~max_states:10 (bits_system 8) in
+        (match r.outcome with
+        | Explore.Limit Explore.L_states -> ()
+        | _ -> Alcotest.fail "expected state cap");
+        checkb "at least the cap" true (r.states >= 10));
+    (* keep last: spawns domains in this process, which forbids any
+       further fork in the binary *)
+    case "workers=1 delegates to the in-process engines" (fun () ->
+        let seq = Explore.run (bits_system 8) in
+        List.iter
+          (fun jobs ->
+            let r = Mpx.run ~workers:1 ~jobs (bits_system 8) in
+            checki (Fmt.str "states (j=%d)" jobs) seq.states r.states;
+            checki
+              (Fmt.str "transitions (j=%d)" jobs)
+              seq.transitions r.transitions)
+          [ 1; 2 ]);
+  ]
+
+let suite = ("mpx", tests)

@@ -1,0 +1,256 @@
+(* The visited-store zoo: collapse compression and the out-of-core disk
+   store must be *exact* — byte-identical state and transition counts to
+   the plain interned store — while resident memory drops.  These tests
+   pin the codec round-trips, the splitter contracts the collapse store
+   builds on, cross-store count agreement on every registry protocol,
+   and the headline regression: migratory async n=5 completes under an
+   8 MB cap that the plain store blows through. *)
+
+open Test_util
+module Explore = Ccr_modelcheck.Explore
+module Vstore = Ccr_modelcheck.Vstore
+module Async = Ccr_refine.Async
+module Sym = Ccr_refine.Symmetry
+module Rendezvous = Ccr_semantics.Rendezvous
+module Fault = Ccr_faults.Fault
+module Injected = Ccr_faults.Injected
+module Registry = Ccr_protocols.Registry
+
+(* ---- generators -------------------------------------------------------- *)
+
+(* Short strings over a 4-letter alphabet: plenty of duplicate keys and
+   duplicate components, which is what the stores must get right. *)
+let keys_gen =
+  QCheck2.Gen.(
+    list_size (int_range 1 200)
+      (string_size ~gen:(char_range 'a' 'd') (int_range 1 24)))
+
+let print_keys = QCheck2.Print.(list string)
+
+(* Cut a key into 4 components at the quarter points (possibly empty for
+   short keys): a fixed-arity splitter for arbitrary strings, as the
+   per-position intern tables require. *)
+let split3 key =
+  let len = String.length key in
+  Array.init 4 (fun i -> (i + 1) * len / 4)
+
+(* Feed the same key sequence to [store] and to an exact reference;
+   every [add] verdict and the final counts must agree. *)
+let agrees_with_exact store keys =
+  let exact = Vstore.exact () in
+  List.for_all
+    (fun k -> store.Vstore.add k = exact.Vstore.add k)
+    keys
+  && store.Vstore.count () = exact.Vstore.count ()
+
+(* ---- splitter contract -------------------------------------------------- *)
+
+(* Collect every distinct key an exploration encodes. *)
+let reachable_keys sys =
+  let seen = Hashtbl.create 256 in
+  let encode st =
+    let k = sys.Explore.encode st in
+    Hashtbl.replace seen k ();
+    k
+  in
+  ignore (Explore.run { sys with Explore.encode });
+  Hashtbl.fold (fun k () acc -> k :: acc) seen []
+
+let check_splitter what split ~arity keys =
+  checkb (what ^ ": some keys collected") true (keys <> []);
+  List.iter
+    (fun key ->
+      let bs = split key in
+      checki (what ^ ": component arity") arity (Array.length bs);
+      let prev = ref 0 in
+      Array.iter
+        (fun b ->
+          checkb (what ^ ": boundaries strictly increase") true (b > !prev);
+          prev := b)
+        bs;
+      checki (what ^ ": boundaries cover the key") (String.length key)
+        bs.(Array.length bs - 1))
+    keys
+
+(* ---- cross-store agreement on real systems ------------------------------ *)
+
+let stores_for prog =
+  [
+    ("collapse", Vstore.Collapse (Async.split_key prog));
+    ("disk", Vstore.Disk);
+  ]
+
+let check_stores_equal name prog sys =
+  let seq = Explore.run sys in
+  assert_complete name seq;
+  List.iter
+    (fun (sname, kind) ->
+      let r = Explore.run ~store:kind sys in
+      checki (Fmt.str "%s: states (%s)" name sname) seq.states r.states;
+      checki
+        (Fmt.str "%s: transitions (%s)" name sname)
+        seq.transitions r.transitions;
+      checkb
+        (Fmt.str "%s: complete (%s)" name sname)
+        true
+        (outcome_complete r.outcome);
+      List.iter
+        (fun jobs ->
+          let p = Explore.par_run ~jobs ~store:kind sys in
+          checki
+            (Fmt.str "%s: states (%s, j=%d)" name sname jobs)
+            seq.states p.states;
+          checki
+            (Fmt.str "%s: transitions (%s, j=%d)" name sname jobs)
+            seq.transitions p.transitions)
+        [ 2; 4 ])
+    (stores_for prog)
+
+(* ---- the tests ---------------------------------------------------------- *)
+
+let tests =
+  [
+    case "intern: ids are dense, get inverts id, unknowns raise" (fun () ->
+        let t = Vstore.Intern.create () in
+        let words = [ "alpha"; "beta"; "alpha"; ""; "gamma"; "beta" ] in
+        let ids = List.map (Vstore.Intern.id t) words in
+        checki "ids" 0 (List.nth ids 0);
+        checki "ids" 1 (List.nth ids 1);
+        checki "re-intern returns the first id" 0 (List.nth ids 2);
+        checki "empty component interns" 2 (List.nth ids 3);
+        checki "count" 4 (Vstore.Intern.count t);
+        List.iter2
+          (fun w id -> checks "get inverts id" w (Vstore.Intern.get t id))
+          words ids;
+        match Vstore.Intern.get t 99 with
+        | exception Invalid_argument _ -> ()
+        | s -> Alcotest.failf "unknown id returned %S" s);
+    qcase ~count:200 ~print:print_keys
+      "collapse add/count agree with the exact store on random keys"
+      keys_gen
+      (fun keys ->
+        agrees_with_exact (Vstore.collapse ~split:split3 ()) keys);
+    qcase ~count:200 ~print:print_keys
+      "disk store with a tiny spill buffer agrees with the exact store"
+      keys_gen
+      (fun keys ->
+        (* tail_cap=16 forces nearly every key through the file and the
+           read-back comparison path *)
+        agrees_with_exact (Vstore.disk ~tail_cap:16 ()) keys);
+    qcase ~count:200 ~print:print_keys
+      "shared-intern collapse shards partition like one exact store"
+      keys_gen
+      (fun keys ->
+        let shards = Vstore.collapse_shared ~split:split3 4 in
+        let exact = Vstore.exact () in
+        List.for_all
+          (fun k ->
+            let s = shards.(Hashtbl.hash k land 3) in
+            s.Vstore.add k = exact.Vstore.add k)
+          keys
+        && Array.fold_left (fun a s -> a + s.Vstore.count ()) 0 shards
+           = exact.Vstore.count ());
+    case "async split_key parses every reachable key" (fun () ->
+        let prog = compile ~n:2 ping_system in
+        let keys = reachable_keys (async_system prog) in
+        check_splitter "ping async" (Async.split_key prog) ~arity:(1 + (3 * 2))
+          keys;
+        let prog = compile ~n:3 (Ccr_protocols.Migratory.system ()) in
+        let keys = reachable_keys (async_system prog) in
+        check_splitter "migratory async"
+          (Async.split_key prog)
+          ~arity:(1 + (3 * 3))
+          keys);
+    case "rendezvous split_key parses every reachable key" (fun () ->
+        let prog = compile ~n:3 ping_system in
+        let keys = reachable_keys (rv_system prog) in
+        check_splitter "ping rv" (Rendezvous.split_key prog) ~arity:(1 + 3)
+          keys);
+    case "faults split_key parses every reachable key" (fun () ->
+        let prog = compile ~n:2 ping_system in
+        let cfg = Async.{ k = 2 } in
+        let budget = { Fault.none with Fault.drop = 1 } in
+        let sys =
+          Explore.
+            {
+              init = Injected.initial budget prog cfg;
+              succ = Injected.successors Injected.Hardened budget prog cfg;
+              encode = Injected.encode;
+              canon = None;
+            }
+        in
+        let keys = reachable_keys sys in
+        check_splitter "ping faults"
+          (Injected.split_key prog)
+          ~arity:(1 + (3 * 2) + 1)
+          keys);
+    case "every registry protocol: stores agree at async n=2" (fun () ->
+        List.iter
+          (fun (e : Registry.t) ->
+            let prog = e.Registry.instantiate ~reqrep:true ~n:2 in
+            check_stores_equal (e.Registry.name ^ " async n=2") prog
+              (async_system prog))
+          Registry.all);
+    case "stores compose with symmetry reduction" (fun () ->
+        (* canonical keys are valid encode layouts, so the splitter
+           parses them and the quotient counts match across stores *)
+        let prog = compile ~n:3 (Ccr_protocols.Migratory.system ()) in
+        let quotient kind =
+          let stats = Sym.make_stats () in
+          Explore.run ~store:kind
+            {
+              (async_system prog) with
+              Explore.canon =
+                Some
+                  Explore.
+                    {
+                      canon_key = Sym.canonical_async_fast ~stats prog;
+                      canon_fresh = None;
+                      canon_fallbacks = (fun () -> Sym.fallbacks stats);
+                    };
+            }
+        in
+        let m = quotient Vstore.Mem in
+        assert_complete "migratory quotient" m;
+        List.iter
+          (fun (sname, kind) ->
+            let r = quotient kind in
+            checki (Fmt.str "quotient states (%s)" sname) m.states r.states;
+            checki
+              (Fmt.str "quotient transitions (%s)" sname)
+              m.transitions r.transitions)
+          (stores_for prog));
+    case "collapse resident memory beats raw on a real run" (fun () ->
+        let prog = compile ~n:3 (Ccr_protocols.Migratory.system ()) in
+        let r =
+          Explore.run
+            ~store:(Vstore.Collapse (Async.split_key prog))
+            (async_system prog)
+        in
+        assert_complete "migratory n=3 collapse" r;
+        checkb "raw accounted" true (r.raw_bytes > 0);
+        checkb "compressed below raw" true (r.mem_bytes < r.raw_bytes));
+    slow_case "memory cliff: migratory n=5 completes at 8 MB with collapse"
+      (fun () ->
+        let prog = compile ~n:5 (Ccr_protocols.Migratory.system ()) in
+        let sys = async_system prog in
+        let cap = 8 * 1024 * 1024 in
+        let mem = Explore.run ~max_mem_bytes:cap sys in
+        (match mem.Explore.outcome with
+        | Explore.Limit Explore.L_memory -> ()
+        | o ->
+          Alcotest.failf "plain store expected to hit the cap, got %a"
+            (Explore.pp_outcome (Async.pp_state prog))
+            o);
+        let col =
+          Explore.run ~max_mem_bytes:cap
+            ~store:(Vstore.Collapse (Async.split_key prog))
+            sys
+        in
+        assert_complete "migratory n=5 collapse @8MB" col;
+        checkb "cliff was real: plain stopped short" true
+          (mem.Explore.states < col.Explore.states);
+        checkb "under the cap" true (col.Explore.mem_bytes <= cap));
+  ]
+
+let suite = ("store", tests)

@@ -1,6 +1,9 @@
 let () =
   Alcotest.run "ccrefine"
     [
+      (* must run first: its forking cases are illegal once any other
+         suite has spawned a domain (see suite_mpx.ml) *)
+      Suite_mpx.suite;
       Suite_value.suite;
       Suite_expr.suite;
       Suite_validate.suite;
@@ -11,6 +14,7 @@ let () =
       Suite_absmap.suite;
       Suite_explore.suite;
       Suite_par_explore.suite;
+      Suite_store.suite;
       Suite_obs.suite;
       Suite_compile.suite;
       Suite_sim.suite;
