@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-fast bench-json par-smoke obs-smoke sym-smoke fault-smoke fuzz-smoke ooc-smoke examples artifacts clean
+.PHONY: all build test bench bench-fast bench-json par-smoke obs-smoke sym-smoke fault-smoke fuzz-smoke ooc-smoke journal-smoke examples artifacts clean
 
 all: build
 
@@ -81,6 +81,22 @@ ooc-smoke:
 	  --symmetry off --mem 8 --max-states 2000000 --store collapse
 	dune exec bin/ccr.exe -- check migratory -n 4 --level async \
 	  --symmetry off --store disk --workers 2 -j 2
+
+# Provenance journal & run reports: unit suites, the journal cram
+# checks, then live — a journalled check, the rule-annotated starvation
+# witness of the fault-model headline, and a report over the artifacts.
+journal-smoke:
+	dune build @all
+	dune exec test/test_main.exe -- test journal
+	dune exec test/test_main.exe -- test obs
+	dune build @test/cram/journal
+	rm -rf /tmp/ccr-journal-smoke && mkdir -p /tmp/ccr-journal-smoke
+	dune exec bin/ccr.exe -- check migratory -n 2 --level async --prov mem \
+	  --journal /tmp/ccr-journal-smoke/check.jsonl
+	dune exec bin/ccr.exe -- explain migratory -n 2 --faults drop=1@ack --violation
+	dune exec bin/ccr.exe -- fuzz --seed 0 --count 30 \
+	  --journal /tmp/ccr-journal-smoke/fuzz.jsonl
+	dune exec bin/ccr.exe -- report /tmp/ccr-journal-smoke
 
 examples:
 	dune exec examples/quickstart.exe

@@ -52,12 +52,12 @@ let outcome_tag = function
 (* Protocol names are normalized to lowercase so the same workload keys
    identically whichever section emitted it (table3 used to say
    "Migratory" where the parallel section said "migratory"). *)
-let record_row ?metrics ?store ?workers ~protocol ~n ~level ~jobs
-    (r : (_, _) Explore.stats) =
+let record_row ?metrics ?store ?workers ?journal_bytes ?provenance_bytes
+    ~protocol ~n ~level ~jobs (r : (_, _) Explore.stats) =
   if bench_json <> None then
     json_rows :=
       Fmt.str
-        {|  {"protocol": %S, "n": %d, "level": %S, "states": %d, "transitions": %d, "time_s": %.6f, "mem_bytes": %d, "outcome": %S, "jobs": %d%s%s%s}|}
+        {|  {"protocol": %S, "n": %d, "level": %S, "states": %d, "transitions": %d, "time_s": %.6f, "mem_bytes": %d, "outcome": %S, "jobs": %d%s%s%s%s%s}|}
         (String.lowercase_ascii protocol)
         n level r.states r.transitions r.time_s r.mem_bytes
         (outcome_tag r.outcome) jobs
@@ -68,6 +68,12 @@ let record_row ?metrics ?store ?workers ~protocol ~n ~level ~jobs
         (match workers with
         | None -> ""
         | Some w -> Fmt.str {|, "workers": %d|} w)
+        (match journal_bytes with
+        | None -> ""
+        | Some b -> Fmt.str {|, "journal_bytes": %d|} b)
+        (match provenance_bytes with
+        | None -> ""
+        | Some b -> Fmt.str {|, "provenance_bytes": %d|} b)
         (match metrics with
         | None -> ""
         | Some j -> Fmt.str {|, "metrics": %s|} j)
@@ -936,6 +942,70 @@ let breadth () =
               prog.pairs)))
     Registry.all
 
+(* ---- journal / provenance overhead ---------------------------------------- *)
+
+(* The observability layer's pitch is that recording provenance (8 bytes
+   per state) and a run journal costs almost nothing next to the
+   exploration itself: target < 3% wall-clock on invalidate async n=4.
+   Best-of-3 on both sides to keep scheduler noise out of the ratio. *)
+let journal_overhead () =
+  section "Journal & provenance overhead (invalidate, async, n=4)";
+  let module Prov = Ccr_modelcheck.Vstore.Prov in
+  let module J = Ccr_obs.Journal in
+  let prog = Link.compile ~n:4 Invalidate.system in
+  let cfg = Async.{ k = 2 } in
+  let sys =
+    Explore.
+      {
+        init = Async.initial prog cfg;
+        succ = Async.successors prog cfg;
+        encode = Async.encode;
+        canon = None;
+      }
+  in
+  let best f =
+    let rec go best n =
+      if n = 0 then best
+      else
+        let r = f () in
+        go (if r.Explore.time_s < best.Explore.time_s then r else best)
+          (n - 1)
+    in
+    go (f ()) 2
+  in
+  let plain = best (fun () -> Explore.run ~max_time_s:time_cap sys) in
+  let jbytes = ref 0 and pbytes = ref 0 in
+  let journaled =
+    best (fun () ->
+        let prov = Prov.create () in
+        let j = J.create () in
+        J.event j "config"
+          [ ("cmd", J.Str "bench"); ("protocol", J.Str "invalidate") ];
+        let on_level ~depth ~states =
+          J.event j "level" [ ("depth", J.Int depth); ("states", J.Int states) ]
+        in
+        let r = Explore.run ~max_time_s:time_cap ~prov ~on_level sys in
+        J.event j "end" [ ("states", J.Int r.Explore.states) ];
+        jbytes := J.bytes j;
+        pbytes := Prov.bytes prov;
+        r)
+  in
+  let overhead =
+    if plain.Explore.time_s > 0. then
+      (journaled.Explore.time_s -. plain.Explore.time_s)
+      /. plain.Explore.time_s *. 100.
+    else 0.
+  in
+  Fmt.pr "  %-28s %10s %10s %10s@." "" "time" "journal" "provenance";
+  Fmt.pr "  %-28s %9.3fs %10s %10s@." "plain exploration"
+    plain.Explore.time_s "-" "-";
+  Fmt.pr "  %-28s %9.3fs %9db %9db@." "journal + provenance"
+    journaled.Explore.time_s !jbytes !pbytes;
+  Fmt.pr "  journal overhead: %+.1f%% wall-clock (target < 3%%)@." overhead;
+  record_row ~protocol:"invalidate" ~n:4 ~level:"async" ~jobs:1 plain;
+  record_row ~protocol:"invalidate" ~n:4 ~level:"async" ~jobs:1
+    ~journal_bytes:!jbytes ~provenance_bytes:!pbytes journaled
+
 (* ---- Bechamel micro-benchmarks ------------------------------------------- *)
 
 let microbench () =
@@ -1032,6 +1102,7 @@ let () =
   progress ();
   symmetry ();
   breadth ();
+  journal_overhead ();
   microbench ();
   write_json ();
   Fmt.pr "@.done.@."

@@ -181,12 +181,35 @@ let instantiate (e : Registry.t) ~generic ~n =
 module Obs = struct
   module M = Ccr_obs.Metrics
   module T = Ccr_obs.Trace
+  module J = Ccr_obs.Journal
 
   let progress_arg =
     Arg.(
       value & flag
       & info [ "progress" ]
           ~doc:"Render a live status line on stderr while the engine runs.")
+
+  let progress_interval_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "progress-interval" ] ~docv:"N"
+          ~doc:
+            "Sample $(b,--progress) every $(docv) state discoveries \
+             (default 8192) in the sequential engine; tiny runs need a \
+             small $(docv) to show any progress at all.  The parallel \
+             engines always sample at BFS level boundaries.")
+
+  let journal_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Append this run's events to $(docv) as schema-versioned \
+             JSONL (one JSON object per line): configuration, level \
+             boundaries, cap hits, fault budgets, violations with their \
+             provenance-derived rule path, rule coverage, final stats.  \
+             Journals are byte-identical across $(b,-j)/$(b,--workers) \
+             settings; read them back with $(b,ccr report).")
 
   let trace_arg =
     Arg.(
@@ -222,10 +245,101 @@ module Obs = struct
   let report_ppf ~metrics_file =
     if metrics_file = Some "-" then Fmt.stderr else Fmt.stdout
 
+  (* One run's journal.  Events buffer in memory; [jflush] appends them
+     (plus the pending [end] event) to the file exactly once, so every
+     exit path — success, violation, starvation — can call it first. *)
+  type journal = {
+    j : J.t;
+    j_file : string;
+    mutable j_end : (string * J.value) list;
+    mutable j_flushed : bool;
+  }
+
+  let journal_of =
+    Option.map (fun f ->
+        { j = J.create (); j_file = f; j_end = []; j_flushed = false })
+
+  let jev jnl ev fields = Option.iter (fun jn -> J.event jn.j ev fields) jnl
+  let jend jnl fields = Option.iter (fun jn -> jn.j_end <- fields) jnl
+
+  let jflush jnl =
+    Option.iter
+      (fun jn ->
+        if not jn.j_flushed then begin
+          J.event jn.j "end" jn.j_end;
+          J.append_to_file jn.j jn.j_file;
+          jn.j_flushed <- true
+        end)
+      jnl
+
+  (* Level boundaries flow into the journal through the engines'
+     [on_level] hook — the engines emit them at equivalent points, so the
+     journal stays parallelism-independent. *)
+  let on_level_of jnl =
+    Option.map
+      (fun jn ~depth ~states ->
+        J.event jn.j "level" [ ("depth", J.Int depth); ("states", J.Int states) ])
+      jnl
+
+  let outcome_tag = function
+    | Explore.Complete -> "complete"
+    | Explore.Limit Explore.L_states -> "limit-states"
+    | Explore.Limit Explore.L_memory -> "limit-memory"
+    | Explore.Limit Explore.L_time -> "limit-time"
+    | Explore.Violation _ -> "violation"
+    | Explore.Deadlock _ -> "deadlock"
+
+  (* The post-exploration journal events shared by every [check] branch:
+     cap hits, canon fallbacks, the violation (or deadlock) with its
+     rule-annotated trace, and the pending [end].  States/transitions are
+     recorded only for complete runs: with provenance on, the parallel
+     engines finish the violating level, so only the trace — not the
+     counts — is parallelism-independent on early exits. *)
+  let journal_outcome jnl ~sym ~lbl (r : (_, _) Explore.stats) =
+    let rules () =
+      match r.Explore.trace with
+      | None -> []
+      | Some path ->
+        [
+          ( "rules",
+            J.List
+              (List.filter_map
+                 (fun (l, _) -> Option.map (fun l -> J.Str (lbl l)) l)
+                 path) );
+        ]
+    in
+    (match r.Explore.outcome with
+    | Explore.Limit _ ->
+      jev jnl "limit" [ ("kind", J.Str (outcome_tag r.Explore.outcome)) ]
+    | Explore.Violation { invariant; _ } ->
+      jev jnl "violation"
+        (("kind", J.Str "invariant") :: ("invariant", J.Str invariant)
+        :: rules ())
+    | Explore.Deadlock _ ->
+      jev jnl "violation" (("kind", J.Str "deadlock") :: rules ())
+    | Explore.Complete -> ());
+    if sym && r.Explore.outcome = Explore.Complete then
+      jev jnl "canon" [ ("fallbacks", J.Int r.Explore.canon_fallbacks) ];
+    jend jnl
+      (("outcome", J.Str (outcome_tag r.Explore.outcome))
+      ::
+      (if r.Explore.outcome = Explore.Complete then
+         [
+           ("states", J.Int r.Explore.states);
+           ("transitions", J.Int r.Explore.transitions);
+           ("max_depth", J.Int r.Explore.max_depth);
+         ]
+       else []))
+
   (* Call after the instrumented work, before anything that may [exit]. *)
   let emit reg ~trace_file ~metrics_file =
     (match trace_file with
-    | Some f -> write_file f (T.stop ())
+    | Some f ->
+      (* Cap truncation must be loud: the trace footer carries the
+         dropped count, and the metrics surface it too. *)
+      let d = T.dropped () in
+      if d > 0 then M.add (M.counter reg "trace.dropped_events") d;
+      write_file f (T.stop ())
     | None -> ());
     match metrics_file with
     | Some "-" ->
@@ -393,19 +507,222 @@ let export_cmd =
 (* ---- explain ------------------------------------------------------------- *)
 
 let explain_cmd =
-  let run (e : Registry.t) n =
-    match e.Registry.system with
-    | None ->
-      Fmt.epr "%s has no rendezvous level to derive from.@." e.name;
-      exit 1
-    | Some sys -> print_string (Ccr_refine.Report.derive ~n sys)
+  let violation_arg =
+    Arg.(
+      value & flag
+      & info [ "violation" ]
+          ~doc:
+            "Explore the refined level with provenance on and explain the \
+             first safety violation, deadlock, or (under $(b,--faults)) \
+             starvation witness: the rule-annotated path (Tables 1-2 row \
+             names), the per-transaction message flow, and the final \
+             state.  Exits 1 when there is nothing to explain.")
+  in
+  let state_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "state" ] ~docv:"ID"
+          ~doc:
+            "Explain visited state $(docv) of the refined level: walk the \
+             provenance chain back to the initial state and print the \
+             rule-annotated path.  Ids are BFS discovery order — the \
+             same at any $(b,-j)/$(b,--workers) setting.")
+  in
+  (* The rule-annotated path: row names from Tables 1-2, one step per
+     line, plus the per-transaction flow as an MSC when the labels carry
+     async messages. *)
+  let pp_path ppf ~lbl ~msc path =
+    Fmt.pf ppf "rule path (%d steps):@." (List.length path - 1);
+    let i = ref 0 in
+    List.iter
+      (fun (l, _) ->
+        match l with
+        | None -> ()
+        | Some l ->
+          incr i;
+          Fmt.pf ppf "  %3d. %s@." !i (lbl l))
+      path;
+    match msc with
+    | Some render ->
+      Fmt.pf ppf "flow (message-sequence chart):@.%s@."
+        (render (List.filter_map fst path))
+    | None -> ()
+  in
+  let run (e : Registry.t) n k generic violation state_id faults harden
+      max_states =
+    match (violation, state_id) with
+    | false, None -> (
+      match e.Registry.system with
+      | None ->
+        Fmt.epr "%s has no rendezvous level to derive from.@." e.name;
+        exit 1
+      | Some sys -> print_string (Ccr_refine.Report.derive ~n sys))
+    | _ -> (
+      let prog = instantiate e ~generic ~n in
+      let cfg = Async.{ k } in
+      let fspec = fault_spec_of faults in
+      let prov = Vstore.Prov.create () in
+      match fspec with
+      | None -> (
+        let sys =
+          Explore.
+            {
+              init = Async.initial prog cfg;
+              succ = Async.successors prog cfg;
+              encode = Async.encode;
+              canon = None;
+            }
+        in
+        let lbl = Fmt.str "%a" Async.pp_label in
+        match state_id with
+        | Some id ->
+          (* BFS ids are dense in discovery order, so capping the
+             exploration at id+1 states is enough to assign id. *)
+          let _ =
+            Explore.run ~prov ~max_states:(max max_states (id + 1))
+              ~trace:false
+              ~invariants:(e.Registry.async_invariants prog)
+              sys
+          in
+          if id < 0 || id >= Vstore.Prov.count prov then begin
+            Fmt.epr "state %d not reached (%d states discovered)@." id
+              (Vstore.Prov.count prov);
+            exit 1
+          end;
+          let path = Explore.replay_path prov sys id in
+          Fmt.pr "%s (async, n=%d, k=%d): state %d@." e.name n k id;
+          pp_path Fmt.stdout ~lbl ~msc:(Some (Ccr_viz.Msc.render prog)) path;
+          (match List.rev path with
+          | (_, st) :: _ ->
+            Fmt.pr "state %d:@.%a@." id (Async.pp_state prog) st
+          | [] -> ())
+        | None -> (
+          let r =
+            Explore.run ~prov ~max_states ~check_deadlock:true ~trace:true
+              ~invariants:(e.Registry.async_invariants prog)
+              sys
+          in
+          match (r.Explore.outcome, r.Explore.trace) with
+          | Explore.Violation { invariant; _ }, Some path ->
+            Fmt.pr "%s (async, n=%d, k=%d): invariant %s violated@." e.name
+              n k invariant;
+            pp_path Fmt.stdout ~lbl ~msc:(Some (Ccr_viz.Msc.render prog))
+              path;
+            (match List.rev path with
+            | (_, st) :: _ ->
+              Fmt.pr "violating state:@.%a@." (Async.pp_state prog) st
+            | [] -> ())
+          | Explore.Deadlock _, Some path ->
+            Fmt.pr "%s (async, n=%d, k=%d): deadlock@." e.name n k;
+            pp_path Fmt.stdout ~lbl ~msc:(Some (Ccr_viz.Msc.render prog))
+              path
+          | _ ->
+            Fmt.pr
+              "%s (async, n=%d, k=%d): nothing to explain (%d states, \
+               invariants hold)@."
+              e.name n k r.Explore.states;
+            exit 1))
+      | Some spec -> (
+        if state_id <> None then begin
+          Fmt.epr "--state applies to the fault-free level only.@.";
+          exit 1
+        end;
+        let mode = if harden then Injected.Hardened else Injected.Vanilla in
+        let sys =
+          Explore.
+            {
+              init = Injected.initial spec prog cfg;
+              succ = Injected.successors mode spec prog cfg;
+              encode = Injected.encode;
+              canon = None;
+            }
+        in
+        let lbl = Fmt.str "%a" Injected.pp_label in
+        let msc render labels =
+          render
+            (List.filter_map
+               (function Injected.Step al -> Some al | Injected.Fault _ -> None)
+               labels)
+        in
+        let invariants =
+          Injected.no_wedge
+          :: List.map Injected.lift_invariant
+               (e.Registry.async_invariants prog)
+        in
+        let r =
+          Explore.run ~prov ~max_states ~check_deadlock:true ~trace:true
+            ~invariants sys
+        in
+        match (r.Explore.outcome, r.Explore.trace) with
+        | Explore.Violation { invariant; _ }, Some path ->
+          Fmt.pr "%s (async, n=%d, k=%d, faults=%a): invariant %s violated@."
+            e.name n k Fault.pp spec invariant;
+          pp_path Fmt.stdout ~lbl
+            ~msc:(Some (msc (Ccr_viz.Msc.render prog)))
+            path
+        | Explore.Deadlock _, Some path ->
+          Fmt.pr "%s (async, n=%d, k=%d, faults=%a): deadlock@." e.name n k
+            Fault.pp spec;
+          pp_path Fmt.stdout ~lbl
+            ~msc:(Some (msc (Ccr_viz.Msc.render prog)))
+            path
+        | Explore.Complete, _ -> (
+          (* Safety held: the remaining explainable artifact is a
+             starvation witness from the liveness analysis — rebuilt by
+             the provenance-backed O(depth) parent-chain walk. *)
+          let g = Graph.build ~max_states sys in
+          if g.Graph.truncated then begin
+            Fmt.epr "graph truncated; raise --max-states@.";
+            exit 1
+          end;
+          let progress_of pred l =
+            match l with
+            | Injected.Step al -> Injected.completes al && pred al
+            | Injected.Fault _ -> false
+          in
+          let starved =
+            List.concat
+              (List.init n (fun i ->
+                   match
+                     Graph.violates_ag_ef g
+                       ~progress:(progress_of (fun al -> al.Async.actor = i))
+                   with
+                   | [] -> []
+                   | bad -> [ (i, bad) ]))
+          in
+          match starved with
+          | [] ->
+            Fmt.pr
+              "%s (async, n=%d, k=%d, faults=%a): nothing to explain \
+               (safety, deadlock-freedom and liveness all hold)@."
+              e.name n k Fault.pp spec;
+            exit 1
+          | (i, bad) :: _ ->
+            let path = Graph.path_to g (List.hd bad) in
+            Fmt.pr
+              "%s (async, n=%d, k=%d, faults=%a): remote %d can starve@."
+              e.name n k Fault.pp spec i;
+            pp_path Fmt.stdout ~lbl
+              ~msc:(Some (msc (Ccr_viz.Msc.render prog)))
+              path;
+            (match List.rev path with
+            | (_, st) :: _ ->
+              Fmt.pr "stuck state:@.%a@." (Injected.pp_fstate prog) st
+            | [] -> ()))
+        | _ ->
+          Fmt.pr "nothing to explain (exploration hit a cap)@.";
+          exit 1))
   in
   Cmd.v
     (Cmd.info "explain"
        ~doc:
-         "Print the derivation report: what the refinement did to each \
-          guard and why.")
-    Term.(const run $ protocol_arg $ n_arg)
+         "Explain a protocol: the refinement derivation report by \
+          default; with $(b,--violation) or $(b,--state), the \
+          provenance-derived rule-annotated path to a violation, \
+          starvation witness, or visited state.")
+    Term.(
+      const run $ protocol_arg $ n_arg $ k_arg $ generic_arg $ violation_arg
+      $ state_arg $ faults_arg $ harden_arg $ max_states_arg)
 
 (* ---- check --------------------------------------------------------------- *)
 
@@ -435,13 +752,53 @@ let check_cmd =
              falls back past 6 remotes).  Counterexample traces are always \
              concrete, replayable runs.")
   in
+  let prov_arg =
+    Arg.(
+      value
+      & opt
+          (some
+             (enum
+                [ ("mem", Vstore.Prov.P_mem); ("disk", Vstore.Prov.P_disk) ]))
+          None
+      & info [ "prov" ] ~docv:"KIND"
+          ~doc:
+            "Record per-state provenance (parent id + fired-rule ordinal, \
+             8 bytes per state) in $(b,mem) or out-of-core in $(b,disk).  \
+             Counterexamples are then rebuilt by an O(depth) parent-chain \
+             walk instead of the sequential re-exploration fallback that \
+             $(b,-j)/$(b,--workers) runs otherwise need.")
+  in
   let run (e : Registry.t) n k generic level symmetry faults harden max_states
-      mem jobs store_sel workers progress trace_file metrics_file =
+      mem jobs store_sel workers prov_sel progress progress_interval
+      trace_file metrics_file journal_file =
     let workers = max 1 workers in
     let fspec = fault_spec_of faults in
     let reg = Obs.setup ~trace_file in
     let ppf = Obs.report_ppf ~metrics_file in
     let meter = Obs.meter reg in
+    let module J = Obs.J in
+    let jnl = Obs.journal_of journal_file in
+    let on_level = Obs.on_level_of jnl in
+    let prov = Option.map (fun kind -> Vstore.Prov.create ~kind ()) prov_sel in
+    let sym_name =
+      match symmetry with `Off -> "off" | `Auto -> "auto" | `Brute -> "brute"
+    in
+    Obs.jev jnl "config"
+      [
+        ("cmd", J.Str "check");
+        ("protocol", J.Str e.Registry.name);
+        ("n", J.Int n);
+        ("k", J.Int k);
+        ("level", J.Str (match level with `Rv -> "rendezvous" | `Async -> "async"));
+        ("generic", J.Bool generic);
+        ("symmetry", J.Str sym_name);
+        ("harden", J.Bool harden);
+        ("max_states", J.Int max_states);
+      ];
+    (match fspec with
+    | Some spec ->
+      Obs.jev jnl "faults" [ ("budget", J.Str (Fmt.str "%a" Fault.pp spec)) ]
+    | None -> ());
     let prog = instantiate e ~generic ~n in
     let module Sym = Ccr_refine.Symmetry in
     let sym_stats = Sym.make_stats () in
@@ -536,17 +893,19 @@ let check_cmd =
           if workers > 1 then
             Mpx.run ~workers ~jobs ~store ~max_states ?max_mem_bytes:mem_bytes
               ?check_deadlock ~trace:true ~invariants ?on_progress ~metrics:reg
-              sys
+              ?prov ?on_level sys
           else if jobs > 1 then
             Explore.par_run ~jobs ~store ~max_states ?max_mem_bytes:mem_bytes
-              ?check_deadlock ~trace:true ~invariants ?on_progress sys
+              ?check_deadlock ~trace:true ~invariants ?on_progress ?prov
+              ?on_level sys
           else
             Explore.run ~store ~max_states ?max_mem_bytes:mem_bytes
-              ?check_deadlock ~trace:true ~invariants ?on_progress sys)
+              ?check_deadlock ~trace:true ~invariants ?on_progress
+              ?progress_every:progress_interval ?prov ?on_level sys)
     in
     (* Emit the trace and metrics artifacts before [report], which exits
        non-zero on any non-Complete outcome. *)
-    let finish (r : (_, _) Explore.stats) =
+    let finish ~sym ~lbl (r : (_, _) Explore.stats) =
       finish_progress ();
       (match r.outcome with
       | Explore.Violation { invariant; _ } ->
@@ -556,10 +915,23 @@ let check_cmd =
       | Explore.Complete -> ());
       Obs.explore_gauges reg r;
       canon_metrics r;
+      Obs.journal_outcome jnl ~sym ~lbl r;
+      Option.iter
+        (fun p ->
+          Obs.M.set
+            (Obs.M.gauge reg "provenance_bytes")
+            (float_of_int (Vstore.Prov.bytes p)))
+        prov;
+      Option.iter
+        (fun jn ->
+          Obs.M.set
+            (Obs.M.gauge reg "journal_bytes")
+            (float_of_int (J.bytes jn.Obs.j)))
+        jnl;
       Obs.emit reg ~trace_file ~metrics_file
     in
-    let report ?msc name (r : (_, _) Explore.stats) pp_state =
-      finish r;
+    let report ?msc ~sym ~lbl name (r : (_, _) Explore.stats) pp_state =
+      finish ~sym ~lbl r;
       Fmt.pf ppf "%s: %d states, %d transitions, %.2fs, ~%.1f MB@." name
         r.states r.transitions r.time_s
         (float_of_int r.mem_bytes /. 1048576.);
@@ -576,6 +948,13 @@ let check_cmd =
            (if r.mem_bytes > 0 then
               float_of_int r.raw_bytes /. float_of_int r.mem_bytes
             else 0.));
+      (match prov with
+      | Some p ->
+        Fmt.pf ppf "provenance: %s, %d entries, ~%.1f KB@."
+          (Vstore.Prov.pkind_name (Option.get prov_sel))
+          (Vstore.Prov.count p)
+          (float_of_int (Vstore.Prov.bytes p) /. 1024.)
+      | None -> ());
       if r.canon_fallbacks > 0 then
         Fmt.pf ppf
           "warning: %d canonicalizations fell back to a non-canonical key \
@@ -592,8 +971,13 @@ let check_cmd =
           Fmt.pf ppf "%s@." (render (List.filter_map fst path))
         | None -> ());
         List.iter (fun (_, st) -> Fmt.pf ppf "%a@." pp_state st) path;
+        Obs.jflush jnl;
         exit 2
-      | _ -> if r.outcome <> Explore.Complete then exit 2
+      | _ ->
+        if r.outcome <> Explore.Complete then begin
+          Obs.jflush jnl;
+          exit 2
+        end
     in
     let jobs_tag =
       String.concat ""
@@ -634,11 +1018,13 @@ let check_cmd =
               canon = None;
             }
       in
-      report
+      report ~sym:false
+        ~lbl:(Fmt.str "%a" Injected.pp_rv_label)
         (Fmt.str "%s (rendezvous, n=%d, faults=%a%s)" e.name n Fault.pp spec
            jobs_tag)
         r
-        (Injected.pp_rv_fstate prog)
+        (Injected.pp_rv_fstate prog);
+      Obs.jflush jnl
     | `Async, Some spec ->
       let cfg = Async.{ k } in
       let mode = if harden then Injected.Hardened else Injected.Vanilla in
@@ -659,7 +1045,8 @@ let check_cmd =
         explore ~check_deadlock:true ~split:(Injected.split_key prog)
           ~invariants sys
       in
-      report
+      report ~sym:false
+        ~lbl:(Fmt.str "%a" Injected.pp_label)
         (Fmt.str "%s (async, n=%d, k=%d%s, faults=%a, %s%s)" e.name n k
            (if generic then ", generic" else "")
            Fault.pp spec
@@ -716,8 +1103,24 @@ let check_cmd =
           | (_, st) :: _ ->
             Fmt.pf ppf "stuck state:@.%a@." (Injected.pp_fstate prog) st
           | [] -> ());
+          Obs.jev jnl "violation"
+            [
+              ("kind", J.Str "starvation");
+              ("remote", J.Int i);
+              ( "rules",
+                J.List
+                  (List.filter_map
+                     (fun (l, _) ->
+                       Option.map
+                         (fun l ->
+                           J.Str (Fmt.str "%a" Injected.pp_label l))
+                         l)
+                     path) );
+            ];
+          Obs.jflush jnl;
           exit 2
-      end
+      end;
+      Obs.jflush jnl
     | `Rv, None ->
       let r =
         explore
@@ -731,10 +1134,12 @@ let check_cmd =
               canon = rv_canon ();
             }
       in
-      report
+      report ~sym:(symmetry <> `Off)
+        ~lbl:(Fmt.str "%a" Ccr_semantics.Rendezvous.pp_label)
         (Fmt.str "%s (rendezvous, n=%d%s%s)" e.name n jobs_tag sym_tag)
         r
-        (Ccr_semantics.Rendezvous.pp_state prog)
+        (Ccr_semantics.Rendezvous.pp_state prog);
+      Obs.jflush jnl
     | `Async, None ->
       let cfg = Async.{ k } in
       let succ_base = Async.successors ~meter prog cfg in
@@ -763,10 +1168,13 @@ let check_cmd =
       in
       report
         ~msc:(Ccr_viz.Msc.render prog)
+        ~sym:(symmetry <> `Off)
+        ~lbl:(Fmt.str "%a" Async.pp_label)
         (Fmt.str "%s (async, n=%d, k=%d%s%s%s)" e.name n k
            (if generic then ", generic" else "")
            jobs_tag sym_tag)
-        r (Async.pp_state prog)
+        r (Async.pp_state prog);
+      Obs.jflush jnl
   in
   Cmd.v
     (Cmd.info "check"
@@ -776,8 +1184,9 @@ let check_cmd =
     Term.(
       const run $ protocol_arg $ n_arg $ k_arg $ generic_arg $ level
       $ symmetry $ faults_arg $ harden_arg $ max_states_arg $ mem $ jobs_arg
-      $ store_arg $ workers_arg $ Obs.progress_arg $ Obs.trace_arg
-      $ Obs.metrics_arg)
+      $ store_arg $ workers_arg $ prov_arg $ Obs.progress_arg
+      $ Obs.progress_interval_arg $ Obs.trace_arg $ Obs.metrics_arg
+      $ Obs.journal_arg)
 
 (* ---- eq1 ----------------------------------------------------------------- *)
 
@@ -832,9 +1241,27 @@ let sim_cmd =
              (adversary that never schedules remote I).")
   in
   let run (e : Registry.t) n k generic steps seed sched faults harden progress
-      trace_file metrics_file =
+      trace_file metrics_file journal_file =
     let reg = Obs.setup ~trace_file in
     let ppf = Obs.report_ppf ~metrics_file in
+    let module J = Obs.J in
+    let jnl = Obs.journal_of journal_file in
+    Obs.jev jnl "config"
+      [
+        ("cmd", J.Str "sim");
+        ("protocol", J.Str e.Registry.name);
+        ("n", J.Int n);
+        ("k", J.Int k);
+        ("generic", J.Bool generic);
+        ("steps", J.Int steps);
+        ("seed", J.Int seed);
+        ("sched", J.Str sched);
+        ("harden", J.Bool harden);
+      ];
+    (match fault_spec_of faults with
+    | Some spec ->
+      Obs.jev jnl "faults" [ ("budget", J.Str (Fmt.str "%a" Fault.pp spec)) ]
+    | None -> ());
     let prog = instantiate e ~generic ~n in
     let fplan =
       Option.map
@@ -874,6 +1301,28 @@ let sim_cmd =
       (Obs.M.gauge reg "steps_per_sec")
       (if el > 0. then float_of_int m.Ccr_simulate.Sim.steps /. el else 0.);
     Obs.emit reg ~trace_file ~metrics_file;
+    Obs.jev jnl "coverage"
+      [
+        ("family", J.Str "sim");
+        ( "rules",
+          J.List
+            (List.filter_map
+               (fun (r, c) ->
+                 if c > 0 then
+                   Some (J.List [ J.Str (Async.rule_name r); J.Int c ])
+                 else None)
+               m.Ccr_simulate.Sim.rule_counts) );
+      ];
+    Obs.jend jnl
+      [
+        ("outcome",
+         J.Str
+           (if m.Ccr_simulate.Sim.blocked = None then "complete"
+            else "blocked"));
+        ("steps", J.Int m.Ccr_simulate.Sim.steps);
+        ("rendezvous", J.Int m.Ccr_simulate.Sim.rendezvous);
+      ];
+    Obs.jflush jnl;
     Fmt.pf ppf "%a@." Ccr_simulate.Sim.pp m;
     Fmt.pf ppf "rule counts:@.";
     List.iter
@@ -896,7 +1345,7 @@ let sim_cmd =
     Term.(
       const run $ protocol_arg $ n_arg $ k_arg $ generic_arg $ steps $ seed
       $ sched $ faults_arg $ harden_arg $ Obs.progress_arg $ Obs.trace_arg
-      $ Obs.metrics_arg)
+      $ Obs.metrics_arg $ Obs.journal_arg)
 
 (* ---- run ------------------------------------------------------------------ *)
 
@@ -925,9 +1374,26 @@ let run_cmd =
              seed alone.")
   in
   let run (e : Registry.t) n k generic budget deadline seed faults harden
-      metrics_file =
+      metrics_file journal_file =
     let reg = Obs.setup ~trace_file:None in
     let ppf = Obs.report_ppf ~metrics_file in
+    let module J = Obs.J in
+    let jnl = Obs.journal_of journal_file in
+    Obs.jev jnl "config"
+      [
+        ("cmd", J.Str "run");
+        ("protocol", J.Str e.Registry.name);
+        ("n", J.Int n);
+        ("k", J.Int k);
+        ("generic", J.Bool generic);
+        ("budget", J.Int budget);
+        ("seed", J.Int seed);
+        ("harden", J.Bool harden);
+      ];
+    (match fault_spec_of faults with
+    | Some spec ->
+      Obs.jev jnl "faults" [ ("budget", J.Str (Fmt.str "%a" Fault.pp spec)) ]
+    | None -> ());
     let prog = instantiate e ~generic ~n in
     let fplan =
       Option.map
@@ -944,6 +1410,22 @@ let run_cmd =
         Async.{ k }
     in
     Obs.emit reg ~trace_file:None ~metrics_file;
+    Obs.jend jnl
+      [
+        ( "outcome",
+          J.Str
+            (if
+               s.Ccr_runtime.Runtime.quiescent
+               && s.Ccr_runtime.Runtime.invariant_failures = []
+               && s.Ccr_runtime.Runtime.protocol_errors = []
+             then "quiescent"
+             else "stuck") );
+        ( "invariant_failures",
+          J.Int (List.length s.Ccr_runtime.Runtime.invariant_failures) );
+        ( "protocol_errors",
+          J.Int (List.length s.Ccr_runtime.Runtime.protocol_errors) );
+      ];
+    Obs.jflush jnl;
     Fmt.pf ppf "%a@." Ccr_runtime.Runtime.pp_stats s;
     if
       (not s.Ccr_runtime.Runtime.quiescent)
@@ -960,7 +1442,8 @@ let run_cmd =
           report the stuck node and exit 2.")
     Term.(
       const run $ protocol_arg $ n_arg $ k_arg $ generic_arg $ budget
-      $ deadline $ seed $ faults_arg $ harden_arg $ Obs.metrics_arg)
+      $ deadline $ seed $ faults_arg $ harden_arg $ Obs.metrics_arg
+      $ Obs.journal_arg)
 
 (* ---- fuzz ---------------------------------------------------------------- *)
 
@@ -1012,8 +1495,8 @@ let fuzz_cmd =
             "Skip the legacy-family baseline pass and its Tables 1-2 \
              rule-coverage matrix.")
   in
-  let run seed count max_states oracles out_dir no_matrix progress
-      metrics_file =
+  let run seed count max_states oracles out_dir no_matrix progress trace_file
+      metrics_file journal_file =
     let only =
       if oracles = "all" then Ccr_fuzz.Oracle.all
       else
@@ -1026,19 +1509,61 @@ let fuzz_cmd =
               exit 1)
           (String.split_on_char ',' oracles)
     in
-    let reg = Obs.setup ~trace_file:None in
+    let reg = Obs.setup ~trace_file in
     let ppf = Obs.report_ppf ~metrics_file in
+    let module J = Obs.J in
+    let jnl = Obs.journal_of journal_file in
+    Obs.jev jnl "config"
+      [
+        ("cmd", J.Str "fuzz");
+        ("seed", J.Int seed);
+        ("count", J.Int count);
+        ("max_states", J.Int max_states);
+        ("oracles", J.Str oracles);
+      ];
     let on_case =
       if progress then
         Some (fun i -> Printf.eprintf "\r  fuzz: %d/%d cases%!" (i + 1) count)
       else None
     in
     let report =
-      Ccr_fuzz.Driver.run ~only ~legacy_matrix:(not no_matrix) ~metrics:reg
-        ?on_case ~seed ~count ~max_states ()
+      Obs.T.with_span "fuzz" (fun () ->
+          Ccr_fuzz.Driver.run ~only ~legacy_matrix:(not no_matrix)
+            ~metrics:reg ?on_case ~seed ~count ~max_states ())
     in
     if progress then Printf.eprintf "\r%s\r%!" (String.make 40 ' ');
-    Obs.emit reg ~trace_file:None ~metrics_file;
+    (* All artifacts — trace, metrics, journal — land before the failure
+       exit below, so a failing campaign still leaves its record. *)
+    Obs.emit reg ~trace_file ~metrics_file;
+    let coverage_pairs arr =
+      List.mapi
+        (fun i rule ->
+          J.List [ J.Str (Async.rule_name rule); J.Int arr.(i) ])
+        Async.all_rules
+    in
+    Obs.jev jnl "coverage"
+      [
+        ("family", J.Str "general");
+        ("rules", J.List (coverage_pairs report.Ccr_fuzz.Driver.coverage));
+      ];
+    (match report.Ccr_fuzz.Driver.legacy_coverage with
+    | Some legacy ->
+      Obs.jev jnl "coverage"
+        [
+          ("family", J.Str "legacy");
+          ("rules", J.List (coverage_pairs legacy));
+        ]
+    | None -> ());
+    Obs.jend jnl
+      [
+        ( "outcome",
+          J.Str
+            (if report.Ccr_fuzz.Driver.failures = [] then "complete"
+             else "failures") );
+        ("cases", J.Int count);
+        ("failures", J.Int (List.length report.Ccr_fuzz.Driver.failures));
+      ];
+    Obs.jflush jnl;
     Fmt.pf ppf "%a"
       (Ccr_fuzz.Driver.pp
          ~matrix:
@@ -1061,7 +1586,51 @@ let fuzz_cmd =
           the Tables 1-2 rule-coverage matrix.")
     Term.(
       const run $ seed $ count $ max_states $ oracles $ out_dir $ no_matrix
-      $ Obs.progress_arg $ Obs.metrics_arg)
+      $ Obs.progress_arg $ Obs.trace_arg $ Obs.metrics_arg $ Obs.journal_arg)
+
+(* ---- report -------------------------------------------------------------- *)
+
+let report_cmd =
+  let dir_arg =
+    Arg.(
+      required
+      & pos 0 (some dir) None
+      & info [] ~docv:"DIR"
+          ~doc:
+            "Artifact directory: run journals ($(b,*.jsonl), written by \
+             $(b,--journal)) and benchmark dumps ($(b,BENCH_*.json), \
+             written by $(b,make bench-json)).")
+  in
+  let html_arg =
+    Arg.(
+      value & flag
+      & info [ "html" ] ~doc:"Emit a self-contained HTML page instead of \
+                              markdown.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the report to $(docv) instead of stdout.")
+  in
+  let run dir html out =
+    let md = Ccr_obs.Run_report.to_markdown ~dir in
+    let s = if html then Ccr_obs.Run_report.html_of_markdown md else md in
+    match out with
+    | None -> print_string s
+    | Some f ->
+      let oc = open_out f in
+      output_string oc s;
+      close_out oc;
+      Fmt.pr "wrote %s@." f
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Aggregate run journals and benchmark JSON from a directory into \
+          one markdown (or HTML) report: run table, violation paths, the \
+          fuzz rule-coverage matrix, state-count tables, histograms.")
+    Term.(const run $ dir_arg $ html_arg $ out_arg)
 
 (* ---- msc ----------------------------------------------------------------- *)
 
@@ -1144,5 +1713,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; show_cmd; pairs_cmd; export_cmd; explain_cmd; check_cmd; eq1_cmd;
-            sim_cmd; run_cmd; fuzz_cmd; msc_cmd; progress_cmd;
+            sim_cmd; run_cmd; fuzz_cmd; report_cmd; msc_cmd; progress_cmd;
           ]))

@@ -49,6 +49,24 @@ type ('s, 'l) stats = {
 
 let bitstate_positions = Vstore.bitstate_positions
 
+(* Reconstruct the path to state [id] from a provenance table: walk the
+   parent chain (O(depth) packed-slot reads), then replay the recorded
+   successor ordinals from the initial state.  Exact — each ordinal pins
+   one concrete transition, so the labels and intermediate states equal
+   what the in-memory trace arrays would have held, including under
+   symmetry reduction (the replayed states are the concrete
+   representatives the engine expanded). *)
+let replay_path prov sys id =
+  let rec go st ords acc =
+    match ords with
+    | [] -> List.rev acc
+    | ord :: rest -> (
+      match List.nth_opt (sys.succ st) ord with
+      | Some (label, st') -> go st' rest ((Some label, st') :: acc)
+      | None -> invalid_arg "Explore.replay_path: stale provenance ordinal")
+  in
+  go sys.init (Vstore.Prov.chain prov id) [ (None, sys.init) ]
+
 (* The visited set: exact in-memory, collapse-compressed or out-of-core
    per the [store] kind, or bitstate when the [visited] mode asks for it
    (bitstate changes the semantics — approximate counts — so it stays a
@@ -60,16 +78,32 @@ let make_store ?init_slots ?tail_cap visited kind =
 
 let run ?(strategy = Bfs) ?(visited = Exact) ?(store = Vstore.Mem) ?max_states
     ?max_mem_bytes ?max_time_s ?(check_deadlock = false) ?(trace = false)
-    ?(invariants = []) ?on_progress ?(progress_every = 8192) sys =
+    ?(invariants = []) ?on_progress ?(progress_every = 8192) ?prov ?on_level
+    sys =
   let t0 = Unix.gettimeofday () in
   let key_of, on_fresh, canon_fallbacks = key_fns sys in
   let store = make_store visited store in
-  (* with [trace]: states.(id) and parents.(id) = (parent id, label) *)
+  (* With a provenance table the trace arrays are redundant: the packed
+     side-table replaces the in-memory parent/state arrays outright. *)
+  let keep_arrays = trace && prov = None in
+  let prov_record ~id ~parent ~ord =
+    match prov with
+    | Some p -> Vstore.Prov.record p ~id ~parent ~ord
+    | None -> ()
+  in
+  (* Level boundaries are only meaningful under BFS, where discovery
+     depth is monotone. *)
+  let emit_level =
+    match (on_level, strategy) with
+    | Some f, Bfs -> fun ~depth ~states -> f ~depth ~states
+    | _ -> fun ~depth:_ ~states:_ -> ()
+  in
+  (* with [keep_arrays]: states.(id) and parents.(id) = (parent, label) *)
   let parents = ref [||] in
   let states = ref [||] in
   let n_states = ref 0 in
   let record st parent label =
-    if trace then begin
+    if keep_arrays then begin
       if !n_states >= Array.length !states then begin
         let cap = max 1024 (2 * Array.length !states) in
         let states' = Array.make cap st
@@ -86,12 +120,15 @@ let run ?(strategy = Bfs) ?(visited = Exact) ?(store = Vstore.Mem) ?max_states
   let rebuild_trace id =
     if not trace then None
     else
-      let rec up id acc =
-        let parent, label = !parents.(id) in
-        let entry = (label, !states.(id)) in
-        if parent = id then entry :: acc else up parent (entry :: acc)
-      in
-      Some (up id [])
+      match prov with
+      | Some p -> Some (replay_path p sys id)
+      | None ->
+        let rec up id acc =
+          let parent, label = !parents.(id) in
+          let entry = (label, !states.(id)) in
+          if parent = id then entry :: acc else up parent (entry :: acc)
+        in
+        Some (up id [])
   in
   let push_frontier, pop_frontier, frontier_empty =
     match strategy with
@@ -143,14 +180,19 @@ let run ?(strategy = Bfs) ?(visited = Exact) ?(store = Vstore.Mem) ?max_states
             }
         end
   in
-  let discover st parent label ~depth =
+  let discover st parent label ~ord ~depth =
     let key = key_of st in
     if store.Vstore.add key then begin
       on_fresh st;
       let id = !n_states in
       record st parent label;
+      prov_record ~id ~parent ~ord;
+      if depth > !max_depth then begin
+        (* first state of a deeper level: the previous level is complete *)
+        emit_level ~depth:(depth - 1) ~states:!n_states;
+        max_depth := depth
+      end;
       incr n_states;
-      if depth > !max_depth then max_depth := depth;
       (match violated st with
       | Some (name, _) ->
         finish ~id (Violation { invariant = name; state = st })
@@ -166,7 +208,7 @@ let run ?(strategy = Bfs) ?(visited = Exact) ?(store = Vstore.Mem) ?max_states
       emit_progress depth
     end
   in
-  discover sys.init 0 None ~depth:0;
+  discover sys.init 0 None ~ord:(-1) ~depth:0;
   while (not (frontier_empty ())) && !finished = None do
     let st, id, depth = pop_frontier () in
     decr frontier_len;
@@ -180,11 +222,11 @@ let run ?(strategy = Bfs) ?(visited = Exact) ?(store = Vstore.Mem) ?max_states
     if !finished = None then begin
       let succs = sys.succ st in
       if check_deadlock && succs = [] then finish ~id (Deadlock st);
-      List.iter
-        (fun (label, st') ->
+      List.iteri
+        (fun ord (label, st') ->
           if !finished = None then begin
             incr n_transitions;
-            discover st' id (Some label) ~depth:(depth + 1)
+            discover st' id (Some label) ~ord ~depth:(depth + 1)
           end)
         succs
     end
@@ -237,7 +279,7 @@ let make_barrier jobs =
 
 let par_run ?jobs ?(visited = Exact) ?(store = Vstore.Mem) ?max_states
     ?max_mem_bytes ?max_time_s ?(check_deadlock = false) ?(trace = false)
-    ?(invariants = []) ?on_progress sys =
+    ?(invariants = []) ?on_progress ?prov ?on_level sys =
   let jobs =
     match jobs with
     | Some j -> max 1 j
@@ -246,6 +288,12 @@ let par_run ?jobs ?(visited = Exact) ?(store = Vstore.Mem) ?max_states
   let t0 = Unix.gettimeofday () in
   let key_of, on_fresh, canon_fallbacks = key_fns sys in
   let store_kind = store in
+  let prov_mode = prov <> None in
+  let prov_record ~id ~parent ~ord =
+    match prov with
+    | Some p -> Vstore.Prov.record p ~id ~parent ~ord
+    | None -> ()
+  in
   (* Sharded visited set: [n_shards] independent stores, each behind its own
      mutex; states route to a shard by a seeded hash of the encoded key, so
      two domains only contend when they discover states that share a shard.
@@ -289,6 +337,10 @@ let par_run ?jobs ?(visited = Exact) ?(store = Vstore.Mem) ?max_states
      order (the deterministic report comes from the sequential fallback). *)
   let event_lock = Mutex.create () in
   let event = ref None in
+  (* With provenance the event is instead selected deterministically by
+     the leader at a level boundary (the sequential-first event), with its
+     bad-state id — no fallback re-run needed. *)
+  let prov_event = ref None in
   let worker_exn = ref None in
   let record_event e =
     Mutex.lock event_lock;
@@ -369,7 +421,16 @@ let par_run ?jobs ?(visited = Exact) ?(store = Vstore.Mem) ?max_states
      boundary: freshness is decided exactly as the sequential engine would,
      so par_run keeps its counts-equal-seq determinism. *)
   let has_canon = sys.canon <> None in
+  (* Provenance needs the same discovery order as the sequential engine
+     (dense ids in seq-BFS order), so it forces the buffered leader-replay
+     path even without a canon hook. *)
+  let ordered = has_canon || prov_mode in
   let pend = Array.init jobs (fun _ -> ref []) in
+  (* In prov mode deadlocks must not stop the level (the level has to
+     complete for deterministic ids); each worker keeps the minimum
+     frontier index it saw deadlock at, and the leader compares that with
+     the first replayed violation at the boundary. *)
+  let dead_idx = Array.init jobs (fun _ -> ref max_int) in
   let expand wid i st =
     (* same cap discipline as the sequential engine: consult the clock
        before every expansion *)
@@ -380,9 +441,13 @@ let par_run ?jobs ?(visited = Exact) ?(store = Vstore.Mem) ?max_states
     | _ -> ());
     if not (Atomic.get stop) then begin
       let succs = sys.succ st in
-      if check_deadlock && succs = [] then record_event (Deadlock st);
+      if check_deadlock && succs = [] then
+        if prov_mode then begin
+          if i < !(dead_idx.(wid)) then dead_idx.(wid) := i
+        end
+        else record_event (Deadlock st);
       trans.(wid) := !(trans.(wid)) + List.length succs;
-      if has_canon then
+      if ordered then
         (* canonicalization (the expensive step) stays in the workers *)
         List.iteri
           (fun ord (_, st') ->
@@ -412,8 +477,10 @@ let par_run ?jobs ?(visited = Exact) ?(store = Vstore.Mem) ?max_states
       barrier ();
       if wid = 0 then begin
         (* merge the per-domain discoveries into the next frontier *)
+        let base_cur = !n_states - Array.length !frontier in
+        let first_viol = ref None in
         let level =
-          if has_canon then begin
+          if ordered then begin
             (* replay the buffered discoveries in (frontier index,
                successor ordinal) order — the order the sequential engine
                discovers them in — so the representative kept per
@@ -432,16 +499,26 @@ let par_run ?jobs ?(visited = Exact) ?(store = Vstore.Mem) ?max_states
                 if i1 <> i2 then compare i1 i2 else compare o1 o2)
               entries;
             let acc = ref [] in
+            let fresh_n = ref 0 in
             Array.iter
-              (fun (_, _, key, st') ->
+              (fun (i, ord, key, st') ->
                 if shard_add key then begin
                   on_fresh st';
+                  prov_record
+                    ~id:(!n_states + !fresh_n)
+                    ~parent:(base_cur + i) ~ord;
+                  incr fresh_n;
                   acc := st' :: !acc;
                   match
                     List.find_opt (fun (_, check) -> not (check st')) invariants
                   with
                   | Some (name, _) ->
-                    record_event (Violation { invariant = name; state = st' })
+                    if prov_mode then begin
+                      if !first_viol = None then
+                        first_viol :=
+                          Some (i, ord, !n_states + !fresh_n - 1, name, st')
+                    end
+                    else record_event (Violation { invariant = name; state = st' })
                   | None -> ()
                 end)
               entries;
@@ -455,6 +532,36 @@ let par_run ?jobs ?(visited = Exact) ?(store = Vstore.Mem) ?max_states
                 l)
               (Array.to_list next)
         in
+        (* Deterministic event selection: the sequential engine would hit
+           a deadlock at frontier index d before any discovery from d, so
+           a deadlock wins against a violation replayed at (i, ord) iff
+           d <= i.  Only the earliest level with an event reports. *)
+        (if prov_mode && !prov_event = None && not (Atomic.get timed_out)
+         then begin
+           let dmin =
+             Array.fold_left
+               (fun m r ->
+                 let v = !r in
+                 r := max_int;
+                 min m v)
+               max_int dead_idx
+           in
+           match (!first_viol, dmin) with
+           | None, d when d = max_int -> ()
+           | Some (i, _ord, id, name, st'), d when d = max_int || d > i ->
+             prov_event :=
+               Some (Violation { invariant = name; state = st' }, id);
+             Atomic.set stop true
+           | _, d ->
+             prov_event := Some (Deadlock (!frontier).(d), base_cur + d);
+             Atomic.set stop true
+         end);
+        (* Level boundary: the frontier's level is fully expanded.  Depth
+           and cumulative state count only — deterministic across engines
+           and parallelism, unlike transition interleavings. *)
+        (match on_level with
+        | Some f when level <> [] -> f ~depth:!cur_depth ~states:!n_states
+        | _ -> ());
         n_states := !n_states + List.length level;
         frontier := Array.of_list level;
         Atomic.set cursor 0;
@@ -483,10 +590,15 @@ let par_run ?jobs ?(visited = Exact) ?(store = Vstore.Mem) ?max_states
      the sequential engine does *)
   ignore (shard_add (key_of sys.init));
   on_fresh sys.init;
+  prov_record ~id:0 ~parent:0 ~ord:(-1);
   n_states := 1;
   (match List.find_opt (fun (_, check) -> not (check sys.init)) invariants with
   | Some (name, _) ->
-    record_event (Violation { invariant = name; state = sys.init })
+    if prov_mode then begin
+      prov_event := Some (Violation { invariant = name; state = sys.init }, 0);
+      Atomic.set stop true
+    end
+    else record_event (Violation { invariant = name; state = sys.init })
   | None -> ());
   (match max_states with
   | Some cap when !n_states >= cap ->
@@ -499,18 +611,40 @@ let par_run ?jobs ?(visited = Exact) ?(store = Vstore.Mem) ?max_states
   (match !worker_exn with
   | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
   | None -> ());
-  match !event with
-  | Some _ ->
-    (* A violation or deadlock was found.  Which one the stats report, and
-       the counterexample trace, must be deterministic: fall back to a
-       sequential BFS re-run, which returns the canonical (shallowest,
-       first-discovered) event with its shortest-path trace. *)
+  match (!prov_event, !event) with
+  | Some (outcome, bad_id), _ ->
+    (* The leader already selected the sequential-first event and its
+       state id; the counterexample is an O(depth) provenance chain walk
+       — no re-exploration. *)
+    let trace_path =
+      match (trace, prov) with
+      | true, Some p -> Some (replay_path p sys bad_id)
+      | _ -> None
+    in
+    {
+      outcome;
+      states = !n_states;
+      transitions = Array.fold_left (fun acc r -> acc + !r) 0 trans;
+      time_s = Unix.gettimeofday () -. t0;
+      mem_bytes = total_bytes ();
+      raw_bytes = total_raw ();
+      peak_frontier = !peak_frontier;
+      max_depth = !cur_depth;
+      canon_fallbacks = canon_fallbacks ();
+      trace = trace_path;
+    }
+  | None, Some _ ->
+    (* A violation or deadlock was found without provenance.  Which one
+       the stats report, and the counterexample trace, must be
+       deterministic: fall back to a sequential BFS re-run, which returns
+       the canonical (shallowest, first-discovered) event with its
+       shortest-path trace. *)
     let r =
       run ~strategy:Bfs ~visited ~store:store_kind ?max_states ?max_mem_bytes
         ?max_time_s ~check_deadlock ~trace ~invariants ?on_progress sys
     in
     { r with time_s = Unix.gettimeofday () -. t0 }
-  | None ->
+  | None, None ->
     {
       outcome = (match !limit_hit with Some o -> o | None -> Complete);
       states = !n_states;

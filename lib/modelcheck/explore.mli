@@ -108,6 +108,8 @@ val run :
   ?invariants:(string * ('s -> bool)) list ->
   ?on_progress:(Ccr_obs.Progress.sample -> unit) ->
   ?progress_every:int ->
+  ?prov:Vstore.Prov.t ->
+  ?on_level:(depth:int -> states:int -> unit) ->
   ('s, 'l) system ->
   ('s, 'l) stats
 (** Search from [init] (default: breadth-first with an exact in-memory
@@ -120,10 +122,15 @@ val run :
     [check_deadlock] (default [false]) reports a state with no
     successors.  [trace] (default [false]) keeps parent pointers so the
     offending state's path can be reconstructed — at the cost of
-    retaining all visited states in memory.  [on_progress] (default:
+    retaining all visited states in memory, unless [prov] is also given,
+    in which case the side-table replaces the in-memory arrays and the
+    counterexample is rebuilt by {!replay_path}.  [on_progress] (default:
     none, zero overhead beyond one closure call per discovery) is invoked
     every [progress_every] (default 8192) discoveries with a live
-    {!Ccr_obs.Progress.sample}. *)
+    {!Ccr_obs.Progress.sample}.  [on_level] (BFS only) fires once per
+    completed BFS level with its depth and the cumulative state count —
+    the same sequence, in the same order, as {!par_run} and {!Mpx.run}
+    emit, so journals built from it are parallelism-independent. *)
 
 val par_run :
   ?jobs:int ->
@@ -136,6 +143,8 @@ val par_run :
   ?trace:bool ->
   ?invariants:(string * ('s -> bool)) list ->
   ?on_progress:(Ccr_obs.Progress.sample -> unit) ->
+  ?prov:Vstore.Prov.t ->
+  ?on_level:(depth:int -> states:int -> unit) ->
   ('s, 'l) system ->
   ('s, 'l) stats
 (** Parallel breadth-first search over [jobs] OCaml 5 domains (default:
@@ -159,13 +168,33 @@ val par_run :
     the engine falls back to a sequential re-run to report the canonical
     first event and — with [~trace:true] — its shortest counterexample,
     so the returned outcome is deterministic too; [time_s] then covers
-    both phases.  Resource caps are applied at BFS-level granularity:
+    both phases.
+
+    [prov] changes that last part: recording provenance forces the
+    ordered leader-replay path (ids dense in sequential BFS order, at any
+    job count), the leader selects the sequential-first event
+    deterministically at the level boundary, and the counterexample is an
+    O(depth) {!replay_path} chain walk — the fallback re-exploration is
+    gone.  The event's level still completes before the engine stops, so
+    on Violation/Deadlock outcomes [states]/[max_depth] may exceed the
+    sequential engine's (the {e trace} is identical).  [on_level] fires
+    in the leader at each completed level, emitting exactly the
+    sequential engine's sequence.  Resource caps are applied at BFS-level granularity:
     a [Limit] outcome may report slightly more than [max_states].
     [on_progress] is invoked by the leader domain at every BFS level
     boundary; its sample's [shard_balance] reports how evenly the visited
     set spreads over the 64 shards.  [peak_frontier] here is the largest
     BFS level (the level-synchronous frontier watermark), and [max_depth]
     equals the sequential engine's on complete runs. *)
+
+val replay_path :
+  Vstore.Prov.t -> ('s, 'l) system -> int -> ('l option * 's) list
+(** [replay_path prov sys id] rebuilds the path from [sys.init] to the
+    state with visited id [id] out of the provenance side-table: an
+    O(depth) parent-chain walk followed by one successor expansion per
+    step (the recorded ordinal pins the concrete transition).  The result
+    has the same shape and contents as {!stats.trace}.  Valid for any
+    [prov] filled by {!run}/{!par_run}/{!Mpx.run} over the same system. *)
 
 val bitstate_positions : bits:int -> string -> int * int
 (** The two bit-table positions a key occupies under {!Bitstate}

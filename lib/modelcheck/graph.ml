@@ -1,12 +1,14 @@
 type ('s, 'l) t = {
   states : 's array;
   edges : ('l * int) list array;
+  parents : (int * 'l option) array;
   truncated : bool;
 }
 
 let build ?(max_states = 1_000_000) (sys : ('s, 'l) Explore.system) =
   let visited : (string, int) Hashtbl.t = Hashtbl.create 4096 in
   let states = ref [] and n = ref 0 in
+  let parents_acc = ref [] in
   let queue = Queue.create () in
   let truncated = ref false in
   (* Quotient graphs come for free: key by the canonical encoding when the
@@ -14,7 +16,10 @@ let build ?(max_states = 1_000_000) (sys : ('s, 'l) Explore.system) =
   let key_of =
     match sys.canon with None -> sys.encode | Some c -> c.Explore.canon_key
   in
-  let discover st =
+  (* BFS provenance recorded at discovery: the first edge reaching a state
+     in BFS order is its tree parent, so witness paths are shortest and
+     identical to what a fresh BFS would find. *)
+  let discover parent label st =
     let key = key_of st in
     match Hashtbl.find_opt visited key with
     | Some id -> id
@@ -23,24 +28,26 @@ let build ?(max_states = 1_000_000) (sys : ('s, 'l) Explore.system) =
       incr n;
       Hashtbl.add visited key id;
       states := st :: !states;
+      parents_acc := (parent, label) :: !parents_acc;
       Queue.push (st, id) queue;
       id
   in
-  ignore (discover sys.init);
+  ignore (discover 0 None sys.init);
   let edges_acc = ref [] in
   while not (Queue.is_empty queue) do
     let st, id = Queue.pop queue in
     if !n > max_states then truncated := true
     else
       let out =
-        List.map (fun (l, st') -> (l, discover st')) (sys.succ st)
+        List.map (fun (l, st') -> (l, discover id (Some l) st')) (sys.succ st)
       in
       edges_acc := (id, out) :: !edges_acc
   done;
   let states = Array.of_list (List.rev !states) in
+  let parents = Array.of_list (List.rev !parents_acc) in
   let edges = Array.make (Array.length states) [] in
   List.iter (fun (id, out) -> edges.(id) <- out) !edges_acc;
-  { states; edges; truncated = !truncated }
+  { states; edges; parents; truncated = !truncated }
 
 let deadlocks g =
   Array.to_list
@@ -84,29 +91,15 @@ let violates_ag_implies_ef g ~from ~progress =
 let violates_ag_ef g ~progress =
   violates_ag_implies_ef g ~from:(fun _ -> true) ~progress
 
+(* O(depth) walk up the BFS provenance recorded at build time — no
+   re-traversal.  Ids are BFS discovery order, so the chain is a shortest
+   path and matches what the old fresh-BFS reconstruction returned. *)
 let path_to g target =
-  let n = Array.length g.states in
-  let parent = Array.make n None in
-  let seen = Array.make n false in
-  seen.(0) <- true;
-  let q = Queue.create () in
-  Queue.push 0 q;
-  let found = ref (target = 0) in
-  while (not !found) && not (Queue.is_empty q) do
-    let v = Queue.pop q in
-    List.iter
-      (fun (l, w) ->
-        if not seen.(w) then begin
-          seen.(w) <- true;
-          parent.(w) <- Some (v, l);
-          if w = target then found := true;
-          Queue.push w q
-        end)
-      g.edges.(v)
-  done;
-  let rec up v acc =
-    match parent.(v) with
-    | None -> (None, g.states.(v)) :: acc
-    | Some (p, l) -> up p ((Some l, g.states.(v)) :: acc)
-  in
-  if !found || target = 0 then up target [] else []
+  if target < 0 || target >= Array.length g.states then []
+  else
+    let rec up v acc =
+      match g.parents.(v) with
+      | _, None -> (None, g.states.(v)) :: acc
+      | p, Some l -> up p ((Some l, g.states.(v)) :: acc)
+    in
+    up target []

@@ -10,6 +10,10 @@
 type ('s, 'l) t = {
   states : 's array;
   edges : ('l * int) list array;  (** edges.(i) = outgoing edges of state i *)
+  parents : (int * 'l option) array;
+      (** BFS provenance recorded at discovery: [parents.(i)] is the tree
+          parent of state [i] and the label that reached it first
+          ([(0, None)] for the root) — what {!path_to} walks *)
   truncated : bool;  (** true if [max_states] stopped the construction *)
 }
 
@@ -35,4 +39,5 @@ val violates_ag_implies_ef :
 
 val path_to : ('s, 'l) t -> int -> ('l option * 's) list
 (** A shortest path (by BFS order) from the initial state to the given
-    state index. *)
+    state index: an O(depth) walk up the [parents] chain recorded at
+    build time, not a re-traversal.  [[]] on an out-of-range index. *)

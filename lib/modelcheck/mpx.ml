@@ -40,7 +40,12 @@ type 's to_worker =
       (** global index for each fresh state, in the order the worker
           reported them; [stop] ends the worker after this message *)
 
-type event = Ev_violation of string | Ev_deadlock
+(* Events carry their discovery tag so the parent can pick the
+   sequential-first one under provenance: a violation is tagged with the
+   (parent gidx, successor ordinal) it was discovered from, a deadlock
+   with the deadlocked state's own gidx.  Without provenance the tags are
+   ignored and the sequential fallback still decides. *)
+type event = Ev_violation of string * int * int | Ev_deadlock of int
 
 type 's to_parent =
   | W_fresh of {
@@ -77,7 +82,9 @@ let expand_frontier ~jobs ~key_of ~succ ~check_deadlock ~deadline frontier =
   let batch = 16 in
   let one_domain () =
     let acc = ref [] and trans = ref 0 in
-    let event = ref None and timed_out = ref false in
+    (* min gidx that deadlocked (max_int = none): the minimum is what the
+       sequential engine would have hit first *)
+    let dead = ref max_int and timed_out = ref false in
     let running = ref true in
     while !running do
       let start = Atomic.fetch_and_add cursor batch in
@@ -92,8 +99,7 @@ let expand_frontier ~jobs ~key_of ~succ ~check_deadlock ~deadline frontier =
           for i = start to min len (start + batch) - 1 do
             let gidx, st = frontier.(i) in
             let succs = succ st in
-            if check_deadlock && succs = [] && !event = None then
-              event := Some Ev_deadlock;
+            if check_deadlock && succs = [] && gidx < !dead then dead := gidx;
             trans := !trans + List.length succs;
             List.iteri
               (fun ord (_, st') -> acc := (gidx, ord, key_of st', st') :: !acc)
@@ -101,7 +107,7 @@ let expand_frontier ~jobs ~key_of ~succ ~check_deadlock ~deadline frontier =
           done
       end
     done;
-    (!acc, !trans, !event, !timed_out)
+    (!acc, !trans, !dead, !timed_out)
   in
   let results =
     if n_dom = 1 then [ one_domain () ]
@@ -111,12 +117,9 @@ let expand_frontier ~jobs ~key_of ~succ ~check_deadlock ~deadline frontier =
       mine :: List.map Domain.join doms
   in
   List.fold_left
-    (fun (acc, trans, event, timed_out) (a, t, e, o) ->
-      ( List.rev_append a acc,
-        trans + t,
-        (if event = None then e else event),
-        timed_out || o ))
-    ([], 0, None, false)
+    (fun (acc, trans, dead, timed_out) (a, t, d, o) ->
+      (List.rev_append a acc, trans + t, min dead d, timed_out || o))
+    ([], 0, max_int, false)
     results
 
 let worker_main ~ic ~oc ~workers ~jobs ~key_of ~on_fresh ~canon_fallbacks
@@ -146,7 +149,10 @@ let worker_main ~ic ~oc ~workers ~jobs ~key_of ~on_fresh ~canon_fallbacks
             match
               List.find_opt (fun (_, check) -> not (check st)) invariants
             with
-            | Some (name, _) -> event := Some (Ev_violation name)
+            | Some (name, _) ->
+              (* the scan is in sorted tag order, so the first fresh
+                 violation is this worker's (g, o)-minimal one *)
+              event := Some (Ev_violation (name, g, o))
             | None -> ()
         end)
       cands;
@@ -172,10 +178,11 @@ let worker_main ~ic ~oc ~workers ~jobs ~key_of ~on_fresh ~canon_fallbacks
         (* tags arrive sorted and global indices are assigned by tag
            rank, so the frontier is already in gidx order *)
         let t0 = Unix.gettimeofday () in
-        let acc, trans, event, timed_out =
+        let acc, trans, dead, timed_out =
           expand_frontier ~jobs ~key_of ~succ ~check_deadlock ~deadline
             frontier
         in
+        let event = if dead < max_int then Some (Ev_deadlock dead) else None in
         expand_s := !expand_s +. (Unix.gettimeofday () -. t0);
         let buckets = Array.make workers [] in
         List.iter
@@ -205,16 +212,17 @@ let merge_stats ~t0 ~outcome ~n_states ~transitions ~mem ~raw ~peak_frontier
 
 let run ?(workers = 2) ?(jobs = 1) ?(store = Vstore.Mem) ?max_states
     ?max_mem_bytes ?max_time_s ?(check_deadlock = false) ?(trace = false)
-    ?(invariants = []) ?on_progress ?metrics (sys : ('s, 'l) Explore.system) =
+    ?(invariants = []) ?on_progress ?metrics ?prov ?on_level
+    (sys : ('s, 'l) Explore.system) =
   let workers = max 1 workers in
   if workers = 1 then
     (* no partitioning to do: run in-process *)
     if jobs > 1 then
       Explore.par_run ~jobs ~store ?max_states ?max_mem_bytes ?max_time_s
-        ~check_deadlock ~trace ~invariants ?on_progress sys
+        ~check_deadlock ~trace ~invariants ?on_progress ?prov ?on_level sys
     else
       Explore.run ~store ?max_states ?max_mem_bytes ?max_time_s
-        ~check_deadlock ~trace ~invariants ?on_progress sys
+        ~check_deadlock ~trace ~invariants ?on_progress ?prov ?on_level sys
   else begin
     let t0 = Unix.gettimeofday () in
     let deadline = Option.map (fun cap -> t0 +. cap) max_time_s in
@@ -274,6 +282,20 @@ let run ?(workers = 2) ?(jobs = 1) ?(store = Vstore.Mem) ?max_states
     let event = ref None in
     let limit = ref None in
     let timed_out = ref false in
+    let prov_mode = prov <> None in
+    let prov_record ~id ~parent ~ord =
+      match prov with
+      | Some p -> Vstore.Prov.record p ~id ~parent ~ord
+      | None -> ()
+    in
+    (* With provenance the parent selects the sequential-first event
+       itself: violations of the level being merged arrive in this
+       iteration's W_fresh, deadlocks of the previous level arrive in the
+       previous iteration's W_expanded — both index the same id range, so
+       they are compared here before stopping.  [`V (name, id)] /
+       [`D id]. *)
+    let prov_event = ref None in
+    let pending_dead = ref max_int in
     let worker_mem = Array.make workers 0 in
     let worker_raw = Array.make workers 0 in
     let worker_count = Array.make workers 0 in
@@ -340,6 +362,7 @@ let run ?(workers = 2) ?(jobs = 1) ?(store = Vstore.Mem) ?max_states
           send_to w (P_candidates (Array.of_list b));
           buckets.(w) <- [])
         buckets;
+      let best_viol = ref None in
       let worker_tags =
         Array.init workers (fun w ->
             match recv_from w with
@@ -351,7 +374,13 @@ let run ?(workers = 2) ?(jobs = 1) ?(store = Vstore.Mem) ?max_states
               worker_fallbacks.(w) <- fallbacks;
               worker_expand_s.(w) <- expand_s;
               (match e with
-              | Some e when !event = None -> event := Some e
+              | Some (Ev_violation (name, g, o)) when prov_mode -> (
+                (* each worker reports its (g, o)-minimal violation; keep
+                   the global minimum *)
+                match !best_viol with
+                | Some (g', o', _) when (g', o') <= (g, o) -> ()
+                | _ -> best_viol := Some (g, o, name))
+              | Some e when !event = None && not prov_mode -> event := Some e
               | _ -> ());
               tags
             | W_expanded _ -> invalid_arg "Mpx: unexpected expanded")
@@ -375,9 +404,37 @@ let run ?(workers = 2) ?(jobs = 1) ?(store = Vstore.Mem) ?max_states
         merged;
       let assignments = Array.map (fun tags -> Array.make (Array.length tags) 0) worker_tags in
       Array.iteri
-        (fun rank (_, _, src) ->
-          assignments.(src lsr 32).(src land 0xffffffff) <- !n_states + rank)
+        (fun rank (g, o, src) ->
+          let id = !n_states + rank in
+          assignments.(src lsr 32).(src land 0xffffffff) <- id;
+          (* rank order is the sequential discovery order, so provenance
+             ids recorded here are dense and engine-independent *)
+          prov_record ~id ~parent:g ~ord:(if id = 0 then -1 else o))
         merged;
+      (* deterministic event selection under provenance: compare this
+         level's first violation with the previous level's first deadlock
+         — the sequential engine hits a deadlock at gidx [d] before any
+         discovery from [d], so the deadlock wins iff [d <= g] *)
+      (if prov_mode && !prov_event = None && not !timed_out then begin
+         let d = !pending_dead in
+         pending_dead := max_int;
+         match !best_viol with
+         | Some (g, o, name) when d = max_int || d > g ->
+           let rank = ref (-1) in
+           Array.iteri
+             (fun r (g', o', _) ->
+               if !rank < 0 && g' = g && o' = o then rank := r)
+             merged;
+           prov_event := Some (`V (name, !n_states + !rank))
+         | _ when d < max_int -> prov_event := Some (`D d)
+         | _ -> ()
+       end);
+      (* level boundary: previous level fully merged (depth and cumulative
+         count only — deterministic across engines and parallelism) *)
+      (match on_level with
+      | Some f when total_fresh > 0 && !n_states > 0 ->
+        f ~depth:!depth ~states:!n_states
+      | _ -> ());
       n_states := !n_states + total_fresh;
       if total_fresh > !peak_frontier then peak_frontier := total_fresh;
       if total_fresh > 0 && !n_states > 1 then begin
@@ -400,6 +457,7 @@ let run ?(workers = 2) ?(jobs = 1) ?(store = Vstore.Mem) ?max_states
       if !timed_out then limit := Some Explore.L_time;
       let stop =
         total_fresh = 0 || !limit <> None || !event <> None
+        || !prov_event <> None
       in
       Array.iteri
         (fun w gidx -> send_to w (P_assign { gidx; stop }))
@@ -413,7 +471,9 @@ let run ?(workers = 2) ?(jobs = 1) ?(store = Vstore.Mem) ?max_states
             | W_expanded { buckets = b; trans; event = e; timed_out = o } ->
               transitions := !transitions + trans;
               (match e with
-              | Some e when !event = None -> event := Some e
+              | Some (Ev_deadlock g) when prov_mode ->
+                if g < !pending_dead then pending_dead := g
+              | Some e when !event = None && not prov_mode -> event := Some e
               | _ -> ());
               if o then timed_out := true;
               Array.iteri
@@ -424,15 +484,42 @@ let run ?(workers = 2) ?(jobs = 1) ?(store = Vstore.Mem) ?max_states
           procs
     done;
     shutdown ();
-    match !event with
-    | Some _ ->
+    match (!prov_event, !event) with
+    | Some pe, _ ->
+      (* the parent holds the provenance table and [sys]: replay the
+         chain to the selected event's id — no re-exploration *)
+      let p = match prov with Some p -> p | None -> assert false in
+      let id = match pe with `V (_, id) | `D id -> id in
+      let path = Explore.replay_path p sys id in
+      let bad_state =
+        match List.rev path with
+        | (_, st) :: _ -> st
+        | [] -> sys.Explore.init
+      in
+      let outcome =
+        match pe with
+        | `V (name, _) ->
+          Explore.Violation { invariant = name; state = bad_state }
+        | `D _ -> Explore.Deadlock bad_state
+      in
+      {
+        (merge_stats ~t0 ~outcome ~n_states:!n_states
+           ~transitions:!transitions
+           ~mem:(Array.fold_left ( + ) 0 worker_mem)
+           ~raw:(Array.fold_left ( + ) 0 worker_raw)
+           ~peak_frontier:!peak_frontier ~max_depth:!max_depth
+           ~fallbacks:(Array.fold_left ( + ) 0 worker_fallbacks))
+        with
+        Explore.trace = (if trace then Some path else None);
+      }
+    | None, Some _ ->
       (* deterministic event + trace: sequential fallback, as par_run *)
       let r =
         Explore.run ~strategy:Explore.Bfs ~store ?max_states ?max_mem_bytes
           ?max_time_s ~check_deadlock ~trace ~invariants ?on_progress sys
       in
       { r with Explore.time_s = Unix.gettimeofday () -. t0 }
-    | None ->
+    | None, None ->
       merge_stats ~t0
         ~outcome:
           (match !limit with Some l -> Explore.Limit l | None -> Explore.Complete)

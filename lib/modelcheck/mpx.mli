@@ -34,6 +34,8 @@ val run :
   ?invariants:(string * ('s -> bool)) list ->
   ?on_progress:(Ccr_obs.Progress.sample -> unit) ->
   ?metrics:Ccr_obs.Metrics.t ->
+  ?prov:Vstore.Prov.t ->
+  ?on_level:(depth:int -> states:int -> unit) ->
   ('s, 'l) Explore.system ->
   ('s, 'l) Explore.stats
 (** Explore with [workers] processes (default 2; [1] delegates to the
@@ -42,8 +44,17 @@ val run :
     [mem_bytes]/[raw_bytes] sum the per-worker stores.  On a violation or
     deadlock the parent falls back to a sequential re-run for the
     canonical first event and (with [~trace:true]) its shortest
-    counterexample.  [metrics] (default: none) publishes per-worker
-    [mpx.w<i>.states_per_s] and [mpx.w<i>.bytes_per_state] gauges through
-    the obs layer.  [on_progress] fires in the parent at every level
-    boundary; its [shard_balance] reports how evenly states spread over
-    the workers. *)
+    counterexample — unless [prov] is given, in which case the parent
+    records provenance at global-index assignment (ids dense in
+    sequential discovery order), selects the sequential-first event
+    deterministically, and rebuilds the counterexample with
+    {!Explore.replay_path}; as in {!Explore.par_run}, the event's level
+    still completes, so [states]/[max_depth] may then exceed the
+    sequential engine's while the trace is identical.  [metrics]
+    (default: none) publishes per-worker [mpx.w<i>.states_per_s] and
+    [mpx.w<i>.bytes_per_state] gauges through the obs layer.
+    [on_progress] fires in the parent at every level boundary; its
+    [shard_balance] reports how evenly states spread over the workers.
+    [on_level] fires in the parent once per completed level, emitting
+    exactly the sequential engine's (depth, cumulative states)
+    sequence. *)

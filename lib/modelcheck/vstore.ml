@@ -586,3 +586,133 @@ let make ?init_slots ?tail_cap = function
   | Mem -> exact ?init_slots ()
   | Collapse split -> collapse ?init_slots ~split ()
   | Disk -> disk ?init_slots ?tail_cap ()
+
+(* ---- provenance side-table ----------------------------------------------
+
+   Optional per-state provenance: for each visited state id (dense, in
+   discovery order) the parent state's id and the ordinal of the fired
+   transition within the parent's successor list.  One packed word per
+   state — [parent lsl 16 lor (ord + 1)], the root stored with
+   pseudo-ordinal -1 — either in a growable int array ([P_mem]) or as
+   8-byte little-endian records appended to an unlinked temporary file
+   through a tail buffer ([P_disk], the Diskset discipline), so the
+   table stays out-of-core alongside [--store disk].  No labels are
+   stored: replaying the i-th recorded ordinal against the current
+   state's successor list recovers the label exactly, which turns
+   counterexample reconstruction into an O(depth) chain walk plus one
+   successor expansion per step instead of a sequential re-exploration. *)
+module Prov = struct
+  type pkind = P_mem | P_disk
+
+  let pkind_name = function P_mem -> "mem" | P_disk -> "disk"
+
+  let ord_bits = 16
+  let ord_mask = (1 lsl ord_bits) - 1
+
+  type disk_state = {
+    fd : Unix.file_descr;
+    mutable file_len : int; (* bytes flushed to [fd] *)
+    tail : Buffer.t; (* records not yet flushed *)
+    tail_cap : int;
+    read_buf : Bytes.t; (* one 8-byte record *)
+  }
+
+  type backend = Arr of int array ref | File of disk_state
+
+  type t = { mutable n : int; backend : backend }
+
+  let create ?(kind = P_mem) ?(tail_cap = 1 lsl 16) () =
+    let backend =
+      match kind with
+      | P_mem -> Arr (ref (Array.make 1024 0))
+      | P_disk ->
+        let path = Filename.temp_file "ccr_prov" ".log" in
+        let fd = Unix.openfile path [ Unix.O_RDWR ] 0o600 in
+        (* unlinked immediately: the file vanishes with the process *)
+        Unix.unlink path;
+        File
+          {
+            fd;
+            file_len = 0;
+            tail = Buffer.create (min tail_cap 65536);
+            tail_cap;
+            read_buf = Bytes.create 8;
+          }
+    in
+    { n = 0; backend }
+
+  let flush d =
+    let s = Buffer.contents d.tail in
+    Buffer.clear d.tail;
+    let len = String.length s in
+    ignore (Unix.lseek d.fd d.file_len Unix.SEEK_SET);
+    let written = ref 0 in
+    while !written < len do
+      written :=
+        !written + Unix.write_substring d.fd s !written (len - !written)
+    done;
+    d.file_len <- d.file_len + len
+
+  let record t ~id ~parent ~ord =
+    if id <> t.n then
+      invalid_arg "Vstore.Prov.record: ids must arrive densely in order";
+    if ord < -1 || ord >= ord_mask then
+      invalid_arg "Vstore.Prov.record: ordinal out of range";
+    if parent < 0 || (parent >= id && ord >= 0) then
+      invalid_arg "Vstore.Prov.record: parent must precede the state";
+    let w = (parent lsl ord_bits) lor (ord + 1) in
+    (match t.backend with
+    | Arr slots ->
+      if t.n >= Array.length !slots then begin
+        let a = Array.make (2 * Array.length !slots) 0 in
+        Array.blit !slots 0 a 0 t.n;
+        slots := a
+      end;
+      !slots.(t.n) <- w
+    | File d ->
+      Bytes.set_int64_le d.read_buf 0 (Int64.of_int w);
+      Buffer.add_bytes d.tail d.read_buf;
+      if Buffer.length d.tail >= d.tail_cap then flush d);
+    t.n <- t.n + 1
+
+  let entry t id =
+    if id < 0 || id >= t.n then invalid_arg "Vstore.Prov.entry: unknown id";
+    let w =
+      match t.backend with
+      | Arr slots -> !slots.(id)
+      | File d ->
+        let off = 8 * id in
+        if off >= d.file_len then
+          Buffer.blit d.tail (off - d.file_len) d.read_buf 0 8
+        else begin
+          ignore (Unix.lseek d.fd off Unix.SEEK_SET);
+          let got = ref 0 in
+          while !got < 8 do
+            let r = Unix.read d.fd d.read_buf !got (8 - !got) in
+            if r = 0 then
+              invalid_arg "Vstore.Prov: truncated provenance file";
+            got := !got + r
+          done
+        end;
+        Int64.to_int (Bytes.get_int64_le d.read_buf 0)
+    in
+    (w lsr ord_bits, (w land ord_mask) - 1)
+
+  (* Ordinals along the chain from the root to [id], root first; the
+     root's own pseudo-ordinal is not included. *)
+  let chain t id =
+    let rec up id acc =
+      let parent, ord = entry t id in
+      if ord < 0 then acc else up parent (ord :: acc)
+    in
+    up id []
+
+  let count t = t.n
+
+  let mem_bytes t =
+    match t.backend with
+    | Arr slots -> 8 * Array.length !slots
+    | File d -> Buffer.length d.tail + Bytes.length d.read_buf + 64
+
+  let bytes t = 8 * t.n
+end

@@ -100,3 +100,47 @@ module Intern : sig
   val count : t -> int
   val mem_bytes : t -> int
 end
+
+(** {2 Provenance side-table}
+
+    Optional per-state provenance for the exploration engines: for each
+    visited state id (dense, in discovery order) the parent id and the
+    ordinal of the fired transition within the parent's successor list.
+    One packed 8-byte slot per state, resident ([P_mem]) or appended to
+    an unlinked temporary file through a tail buffer ([P_disk]) so the
+    table stays out-of-core alongside [--store disk].  Labels are not
+    stored — replaying the recorded ordinals from the initial state
+    recovers them — so counterexample reconstruction is an O(depth)
+    chain walk instead of a sequential re-exploration. *)
+module Prov : sig
+  type t
+
+  type pkind = P_mem | P_disk
+
+  val pkind_name : pkind -> string
+
+  val create : ?kind:pkind -> ?tail_cap:int -> unit -> t
+  (** Defaults: [P_mem]; [tail_cap] (bytes, [P_disk] only) 64 KiB. *)
+
+  val record : t -> id:int -> parent:int -> ord:int -> unit
+  (** Record state [id]'s provenance.  Ids must arrive densely in
+      increasing order ([id] = number of records so far).  The root is
+      recorded as [~parent:0 ~ord:(-1)].
+      @raise Invalid_argument on out-of-order ids, ordinals outside
+      [-1, 2^16-2], or a non-root parent not preceding its child. *)
+
+  val entry : t -> int -> int * int
+  (** [(parent, ord)] of a recorded id; the root yields [(0, -1)]. *)
+
+  val chain : t -> int -> int list
+  (** Successor ordinals along the chain from the root to [id], root
+      first (the root's pseudo-ordinal excluded). *)
+
+  val count : t -> int
+
+  val mem_bytes : t -> int
+  (** Resident bytes (the array, or the tail/read buffers). *)
+
+  val bytes : t -> int
+  (** Total provenance bytes recorded, resident or not: 8 per state. *)
+end

@@ -352,6 +352,71 @@ let to_json snap =
   Buffer.add_string b "\n}";
   Buffer.contents b
 
+(* OpenMetrics text exposition (the Prometheus scrape surface for the
+   roadmap's [ccr serve]): metric names sanitized to [a-zA-Z0-9_:],
+   counters suffixed [_total], histograms as cumulative [_bucket{le=..}]
+   series with [_sum]/[_count], terminated by [# EOF]. *)
+let om_name n =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    n
+
+let om_float f =
+  if not (Float.is_finite f) then
+    if Float.is_nan f then "NaN"
+    else if f > 0.0 then "+Inf"
+    else "-Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.6g" f
+
+let strip_total n =
+  let suffix = "_total" in
+  let nl = String.length n and sl = String.length suffix in
+  if nl > sl && String.sub n (nl - sl) sl = suffix then String.sub n 0 (nl - sl)
+  else n
+
+let to_openmetrics snap =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (n, v) ->
+      let n = strip_total (om_name n) in
+      Buffer.add_string b
+        (Printf.sprintf "# TYPE %s counter\n%s_total %d\n" n n v))
+    snap.counters;
+  List.iter
+    (fun (n, v) ->
+      let n = om_name n in
+      Buffer.add_string b
+        (Printf.sprintf "# TYPE %s gauge\n%s %s\n" n n (om_float v)))
+    snap.gauges;
+  List.iter
+    (fun (n, h) ->
+      let n = om_name n in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n);
+      let cum = ref 0 in
+      Array.iteri
+        (fun i c ->
+          cum := !cum + c;
+          if c > 0 then begin
+            let _, hi = bucket_range i in
+            (* the top bucket folds into +Inf below; cumulative counts
+               stay correct when empty buckets are elided *)
+            if hi <> max_int then
+              Buffer.add_string b
+                (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" n hi !cum)
+          end)
+        h.buckets;
+      Buffer.add_string b
+        (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n"
+           n h.count n (om_float h.sum) n h.count))
+    snap.hists;
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b
+
 let pp_hist ppf h =
   let mean = if h.count = 0 then 0.0 else h.sum /. float_of_int h.count in
   Fmt.pf ppf "count=%d mean=%.2f" h.count mean;

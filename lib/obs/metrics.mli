@@ -65,6 +65,14 @@ val to_json : snapshot -> string
     [{"count": _, "sum": _, "buckets": [{"lo": _, "hi": _, "n": _}, ...]}]
     with empty buckets omitted. *)
 
+val to_openmetrics : snapshot -> string
+(** OpenMetrics text exposition — the scrape surface for a future
+    [ccr serve].  Names are sanitized to [[a-zA-Z0-9_:]] (dots become
+    underscores); counters are suffixed [_total]; histograms render as
+    cumulative [_bucket{le="..."}] series (log-scale upper bounds, empty
+    buckets elided, the top bucket folded into [le="+Inf"]) with [_sum]
+    and [_count]; the document ends with [# EOF]. *)
+
 val pp : snapshot Fmt.t
 (** Human-readable table, one metric per line. *)
 

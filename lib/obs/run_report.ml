@@ -1,0 +1,476 @@
+(* [ccr report]: one markdown/HTML report over a directory of artifacts.
+
+   Inputs are the run journals ([*.jsonl], written by [--journal]) and
+   the benchmark dumps ([BENCH_*.json], written by [make bench-json]);
+   both parse with the in-tree JSON codec in [Journal], so the report
+   layer needs no model-checker types — rule names, outcomes and counts
+   all travel as strings and numbers inside the events.  That keeps the
+   coverage matrix renderable from journals alone, which is the property
+   the acceptance cram test checks.
+
+   Determinism: directory entries are visited in sorted order and
+   nothing derived from the clock is emitted, so the same artifact
+   directory always renders byte-identical. *)
+
+module J = Journal
+
+type run = { r_file : string; r_events : J.value list }
+
+(* ---- scanning ------------------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let files_in dir ~keep =
+  match Sys.readdir dir with
+  | entries ->
+    Array.sort compare entries;
+    Array.to_list entries
+    |> List.filter (fun f -> keep f && not (Sys.is_directory (Filename.concat dir f)))
+  | exception Sys_error _ -> []
+
+let split_lines s =
+  String.split_on_char '\n' s |> List.filter (fun l -> String.trim l <> "")
+
+(* One journal line is admissible when it parses, is an object, and its
+   schema version is one we know; anything else is skipped silently —
+   forward compatibility is part of the schema contract. *)
+let event_of_line line =
+  match J.parse line with
+  | Some (J.Obj _ as v)
+    when (match J.get_int (J.find v "v") with
+         | Some ver -> ver <= J.schema_version
+         | None -> false)
+         && J.get_str (J.find v "ev") <> None ->
+    Some v
+  | _ -> None
+
+let scan_journals dir =
+  files_in dir ~keep:(fun f -> Filename.check_suffix f ".jsonl")
+  |> List.concat_map (fun f ->
+         let events =
+           read_file (Filename.concat dir f)
+           |> split_lines
+           |> List.filter_map event_of_line
+         in
+         (* A run is a [config] event plus everything up to the next
+            [config]: trailing events (e.g. a starvation witness found by
+            the post-exploration liveness pass) stay attached to their
+            run even when they land after [end]. *)
+         let runs = ref [] and cur = ref [] in
+         let flush () =
+           if !cur <> [] then runs := List.rev !cur :: !runs;
+           cur := []
+         in
+         List.iter
+           (fun ev ->
+             if J.get_str (J.find ev "ev") = Some "config" then flush ();
+             if !cur <> [] || J.get_str (J.find ev "ev") = Some "config" then
+               cur := ev :: !cur)
+           events;
+         flush ();
+         List.rev_map (fun evs -> { r_file = f; r_events = evs }) !runs
+         |> List.rev)
+
+let scan_bench dir =
+  files_in dir ~keep:(fun f ->
+      String.length f >= 6
+      && String.sub f 0 6 = "BENCH_"
+      && Filename.check_suffix f ".json")
+  |> List.filter_map (fun f ->
+         match J.parse (read_file (Filename.concat dir f)) with
+         | Some (J.List rows) -> Some (f, rows)
+         | _ -> None)
+
+(* ---- field accessors ------------------------------------------------------- *)
+
+let ev_kind v = Option.value ~default:"" (J.get_str (J.find v "ev"))
+let first_ev run kind = List.find_opt (fun v -> ev_kind v = kind) run.r_events
+let all_ev run kind = List.filter (fun v -> ev_kind v = kind) run.r_events
+
+let str_field v k = J.get_str (J.find v k)
+let int_field v k = J.get_int (J.find v k)
+
+let cell_str = function Some s -> s | None -> "-"
+let cell_int = function Some i -> string_of_int i | None -> "-"
+
+(* ---- markdown helpers ------------------------------------------------------ *)
+
+let md_table b header rows =
+  let line cells =
+    Buffer.add_string b "| ";
+    Buffer.add_string b (String.concat " | " cells);
+    Buffer.add_string b " |\n"
+  in
+  line header;
+  line (List.map (fun _ -> "---") header);
+  List.iter line rows;
+  Buffer.add_char b '\n'
+
+let section b title = Buffer.add_string b (Printf.sprintf "## %s\n\n" title)
+
+(* ---- runs table ------------------------------------------------------------ *)
+
+let render_runs b runs =
+  section b "Runs";
+  if runs = [] then Buffer.add_string b "no journals found\n\n"
+  else begin
+    let row run =
+      let config = List.hd run.r_events in
+      let end_ev = first_ev run "end" in
+      [
+        run.r_file;
+        cell_str (str_field config "cmd");
+        cell_str (str_field config "protocol");
+        cell_str (str_field config "level");
+        cell_int (int_field config "n");
+        cell_str (Option.bind end_ev (fun e -> str_field e "outcome"));
+        cell_int (Option.bind end_ev (fun e -> int_field e "states"));
+        cell_int (Option.bind end_ev (fun e -> int_field e "max_depth"));
+      ]
+    in
+    md_table b
+      [ "journal"; "cmd"; "protocol"; "level"; "n"; "outcome"; "states";
+        "depth" ]
+      (List.map row runs)
+  end
+
+(* ---- violation paths ------------------------------------------------------- *)
+
+let render_violations b runs =
+  let with_viol =
+    List.filter_map
+      (fun run ->
+        match all_ev run "violation" with [] -> None | vs -> Some (run, vs))
+      runs
+  in
+  if with_viol <> [] then begin
+    section b "Violations";
+    List.iter
+      (fun (run, vs) ->
+        let config = List.hd run.r_events in
+        List.iter
+          (fun v ->
+            Buffer.add_string b
+              (Printf.sprintf "### %s — %s (%s)\n\n" run.r_file
+                 (cell_str (str_field config "protocol"))
+                 (cell_str (str_field v "kind")));
+            (match str_field v "invariant" with
+            | Some inv ->
+              Buffer.add_string b (Printf.sprintf "invariant: `%s`\n\n" inv)
+            | None -> ());
+            (match int_field v "remote" with
+            | Some r ->
+              Buffer.add_string b (Printf.sprintf "starved remote: %d\n\n" r)
+            | None -> ());
+            match J.get_list (J.find v "rules") with
+            | Some rules ->
+              Buffer.add_string b "```\n";
+              List.iteri
+                (fun i r ->
+                  Buffer.add_string b
+                    (Printf.sprintf "%3d. %s\n" (i + 1)
+                       (match r with J.Str s -> s | _ -> "?")))
+                rules;
+              Buffer.add_string b "```\n\n"
+            | None -> ())
+          vs)
+      with_viol
+  end
+
+(* ---- fuzz rule-coverage matrix --------------------------------------------- *)
+
+(* [coverage] events carry ordered [["rule", count], ...] pairs so the
+   matrix renders in Tables 1-2 row order without this module knowing
+   the rule enumeration. *)
+let rules_of_coverage v =
+  match J.get_list (J.find v "rules") with
+  | None -> []
+  | Some l ->
+    List.filter_map
+      (function
+        | J.List [ J.Str name; n ] ->
+          Option.map (fun c -> (name, c)) (J.get_int (Some n))
+        | _ -> None)
+      l
+
+let render_coverage b runs =
+  let fuzz_runs =
+    List.filter
+      (fun run ->
+        str_field (List.hd run.r_events) "cmd" = Some "fuzz"
+        && all_ev run "coverage" <> [])
+      runs
+  in
+  match List.rev fuzz_runs with
+  | [] -> ()
+  | run :: _ ->
+    section b "Rule coverage (fuzz, Tables 1-2)";
+    let family f =
+      List.find_opt (fun v -> str_field v "family" = Some f)
+        (all_ev run "coverage")
+    in
+    let general =
+      Option.value ~default:[] (Option.map rules_of_coverage (family "general"))
+    in
+    let legacy = Option.map rules_of_coverage (family "legacy") in
+    Buffer.add_string b
+      (Printf.sprintf "source: `%s` (transitions enumerated per rule)\n\n"
+         run.r_file);
+    (match legacy with
+    | None ->
+      md_table b [ "rule"; "transitions" ]
+        (List.map (fun (r, c) -> [ r; string_of_int c ]) general)
+    | Some legacy ->
+      md_table b
+        [ "rule"; "legacy"; "generalized"; "" ]
+        (List.map
+           (fun (r, c) ->
+             let lc =
+               Option.value ~default:0 (List.assoc_opt r legacy)
+             in
+             [
+               r; string_of_int lc; string_of_int c;
+               (if c > 0 && lc = 0 then "new" else "");
+             ])
+           general))
+
+(* ---- bench tables ---------------------------------------------------------- *)
+
+let render_bench b bench =
+  List.iter
+    (fun (file, rows) ->
+      section b (Printf.sprintf "Benchmarks — %s" file);
+      let explore_rows =
+        List.filter (fun r -> J.find r "states" <> None) rows
+      in
+      let sim_rows =
+        List.filter (fun r -> str_field r "level" = Some "sim") rows
+      in
+      if explore_rows <> [] then
+        md_table b
+          [ "protocol"; "n"; "level"; "states"; "transitions"; "time_s";
+            "outcome" ]
+          (List.map
+             (fun r ->
+               [
+                 cell_str (str_field r "protocol");
+                 cell_int (int_field r "n");
+                 cell_str (str_field r "level");
+                 cell_int (int_field r "states");
+                 cell_int (int_field r "transitions");
+                 (match J.get_float (J.find r "time_s") with
+                 | Some t -> Printf.sprintf "%.3f" t
+                 | None -> "-");
+                 cell_str (str_field r "outcome");
+               ])
+             explore_rows);
+      if sim_rows <> [] then
+        md_table b
+          [ "protocol"; "variant"; "n"; "steps"; "rendezvous"; "msgs/rdv" ]
+          (List.map
+             (fun r ->
+               [
+                 cell_str (str_field r "protocol");
+                 cell_str (str_field r "variant");
+                 cell_int (int_field r "n");
+                 cell_int (int_field r "steps");
+                 cell_int (int_field r "rendezvous");
+                 (match J.get_float (J.find r "msgs_per_rdv") with
+                 | Some t -> Printf.sprintf "%.2f" t
+                 | None -> "-");
+               ])
+             sim_rows))
+    bench
+
+(* ---- histogram renders ----------------------------------------------------- *)
+
+(* A metric value shaped {"count": _, "sum": _, "buckets": [...]} is a
+   histogram (Metrics.to_json's encoding); render each as an ASCII bar
+   chart.  Scanned from the bench rows' "metrics" objects. *)
+let histograms_of_row r =
+  match J.find r "metrics" with
+  | Some (J.Obj fields) ->
+    List.filter_map
+      (fun (name, v) ->
+        match J.get_list (J.find v "buckets") with
+        | Some buckets -> Some (name, buckets)
+        | None -> None)
+      fields
+  | _ -> []
+
+let render_histograms b bench =
+  let items =
+    List.concat_map
+      (fun (_, rows) ->
+        List.concat_map
+          (fun r ->
+            List.map
+              (fun (name, buckets) ->
+                let tag =
+                  Printf.sprintf "%s n=%s %s"
+                    (cell_str (str_field r "protocol"))
+                    (cell_int (int_field r "n"))
+                    name
+                in
+                (tag, buckets))
+              (histograms_of_row r))
+          rows)
+      bench
+  in
+  if items <> [] then begin
+    section b "Histograms";
+    List.iter
+      (fun (tag, buckets) ->
+        let rows =
+          List.filter_map
+            (fun bkt ->
+              match
+                (int_field bkt "lo", int_field bkt "hi", int_field bkt "n")
+              with
+              | Some lo, Some hi, Some n -> Some (lo, hi, n)
+              | _ -> None)
+            buckets
+        in
+        let peak = List.fold_left (fun a (_, _, n) -> max a n) 1 rows in
+        Buffer.add_string b (Printf.sprintf "`%s`\n\n```\n" tag);
+        List.iter
+          (fun (lo, hi, n) ->
+            let bar = String.make (max 1 (n * 40 / peak)) '#' in
+            let range =
+              if lo = hi then string_of_int lo
+              else Printf.sprintf "%d..%d" lo hi
+            in
+            Buffer.add_string b
+              (Printf.sprintf "%8s | %-40s %d\n" range bar n))
+          rows;
+        Buffer.add_string b "```\n\n")
+      items
+  end
+
+(* ---- top level ------------------------------------------------------------- *)
+
+let to_markdown ~dir =
+  let runs = scan_journals dir in
+  let bench = scan_bench dir in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "# ccr run report\n\n";
+  Buffer.add_string b
+    (Printf.sprintf "artifacts: %d journal run%s, %d bench file%s\n\n"
+       (List.length runs)
+       (if List.length runs = 1 then "" else "s")
+       (List.length bench)
+       (if List.length bench = 1 then "" else "s"));
+  render_runs b runs;
+  render_violations b runs;
+  render_coverage b runs;
+  render_bench b bench;
+  render_histograms b bench;
+  Buffer.contents b
+
+(* ---- minimal markdown -> HTML ---------------------------------------------- *)
+
+let html_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string b "&amp;"
+      | '<' -> Buffer.add_string b "&lt;"
+      | '>' -> Buffer.add_string b "&gt;"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Inline pass: `code` spans only — that is all [to_markdown] emits. *)
+let inline s =
+  let b = Buffer.create (String.length s) in
+  let in_code = ref false in
+  String.iter
+    (fun c ->
+      if c = '`' then begin
+        Buffer.add_string b (if !in_code then "</code>" else "<code>");
+        in_code := not !in_code
+      end
+      else Buffer.add_string b (html_escape (String.make 1 c)))
+    s;
+  if !in_code then Buffer.add_string b "</code>";
+  Buffer.contents b
+
+let html_of_markdown md =
+  let lines = String.split_on_char '\n' md in
+  let b = Buffer.create (String.length md * 2) in
+  Buffer.add_string b
+    "<!doctype html>\n<html><head><meta charset=\"utf-8\">\n\
+     <title>ccr run report</title>\n\
+     <style>body{font-family:sans-serif;max-width:60em;margin:2em auto}\n\
+     table{border-collapse:collapse}td,th{border:1px solid #999;\n\
+     padding:2px 8px;text-align:left}pre{background:#f4f4f4;padding:8px}\n\
+     </style></head><body>\n";
+  let rec go2 = function
+    | [] -> ()
+    | l :: _ as lines when String.length l >= 1 && l.[0] = '|' ->
+      let rec split_rows acc = function
+        | l :: rest when String.length l >= 1 && l.[0] = '|' ->
+          split_rows (l :: acc) rest
+        | rest -> (List.rev acc, rest)
+      in
+      let rows, rest = split_rows [] lines in
+      let cells l =
+        String.split_on_char '|' l
+        |> List.map String.trim
+        |> List.filter (fun c -> c <> "")
+      in
+      (match rows with
+      | header :: _sep :: body ->
+        Buffer.add_string b "<table>\n<tr>";
+        List.iter
+          (fun c -> Buffer.add_string b ("<th>" ^ inline c ^ "</th>"))
+          (cells header);
+        Buffer.add_string b "</tr>\n";
+        List.iter
+          (fun row ->
+            Buffer.add_string b "<tr>";
+            List.iter
+              (fun c -> Buffer.add_string b ("<td>" ^ inline c ^ "</td>"))
+              (cells row);
+            Buffer.add_string b "</tr>\n")
+          body;
+        Buffer.add_string b "</table>\n"
+      | _ -> ());
+      go2 rest
+    | l :: rest when String.length l >= 2 && String.sub l 0 2 = "# " ->
+      Buffer.add_string b
+        ("<h1>" ^ inline (String.sub l 2 (String.length l - 2)) ^ "</h1>\n");
+      go2 rest
+    | l :: rest when String.length l >= 3 && String.sub l 0 3 = "## " ->
+      Buffer.add_string b
+        ("<h2>" ^ inline (String.sub l 3 (String.length l - 3)) ^ "</h2>\n");
+      go2 rest
+    | l :: rest when String.length l >= 4 && String.sub l 0 4 = "### " ->
+      Buffer.add_string b
+        ("<h3>" ^ inline (String.sub l 4 (String.length l - 4)) ^ "</h3>\n");
+      go2 rest
+    | l :: rest when String.length l >= 3 && String.sub l 0 3 = "```" ->
+      let rec code acc = function
+        | [] -> (List.rev acc, [])
+        | l :: rest when String.length l >= 3 && String.sub l 0 3 = "```" ->
+          (List.rev acc, rest)
+        | l :: rest -> code (l :: acc) rest
+      in
+      let body, rest = code [] rest in
+      Buffer.add_string b
+        ("<pre>" ^ html_escape (String.concat "\n" body) ^ "</pre>\n");
+      go2 rest
+    | "" :: rest -> go2 rest
+    | l :: rest ->
+      Buffer.add_string b ("<p>" ^ inline l ^ "</p>\n");
+      go2 rest
+  in
+  go2 lines;
+  Buffer.add_string b "</body></html>\n";
+  Buffer.contents b

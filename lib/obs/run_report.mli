@@ -1,0 +1,38 @@
+(** [ccr report]: aggregate run journals and bench rows into one report.
+
+    The scanner walks a directory (non-recursively) for [*.jsonl] run
+    journals (see {!Journal}) and [BENCH_*.json] benchmark dumps, both
+    parsed with the in-tree JSON codec.  The renderer produces plain
+    markdown — a run table, per-run violation paths, the fuzz
+    rule-coverage matrix rebuilt from [coverage] events alone,
+    state-count tables from the bench rows, and ASCII histogram
+    renders — with an optional minimal HTML wrapping.
+
+    Output is deterministic: files are visited in sorted name order and
+    nothing timestamped is emitted, so reports over the same artifacts
+    are byte-identical (the cram tests rely on this). *)
+
+type run = {
+  r_file : string;  (** journal file the run came from (basename) *)
+  r_events : Journal.value list;
+      (** the run's events, oldest first; every element is an [Obj] with
+          at least ["v"] and ["ev"] fields *)
+}
+
+val scan_journals : string -> run list
+(** All runs in [dir]'s [*.jsonl] files, file-name order.  A run is a
+    [config] event and everything up to (but excluding) the next
+    [config]; malformed lines and unknown schema versions are skipped,
+    not errors. *)
+
+val scan_bench : string -> (string * Journal.value list) list
+(** All [BENCH_*.json] files in [dir] (sorted), each as its row list.
+    Files that fail to parse are skipped. *)
+
+val to_markdown : dir:string -> string
+(** The full report over [dir]. *)
+
+val html_of_markdown : string -> string
+(** Minimal markdown-to-HTML conversion covering what {!to_markdown}
+    emits: headings, pipe tables, fenced code blocks, inline code,
+    paragraphs.  Not a general markdown engine. *)

@@ -22,16 +22,17 @@ type collector = {
   mutable events : event list; (* newest first *)
   mutable count : int;
   mutable dropped : int;
+  cap : int;
   t0 : float;
 }
 
-let max_events = 200_000
+let default_cap = 200_000
 let current : collector option ref = ref None
 let is_enabled = ref false
 
 let enabled () = !is_enabled
 
-let start () =
+let start ?(cap = default_cap) () =
   current :=
     Some
       {
@@ -39,6 +40,7 @@ let start () =
         events = [];
         count = 0;
         dropped = 0;
+        cap;
         t0 = Unix.gettimeofday ();
       };
   is_enabled := true
@@ -48,12 +50,21 @@ let push ev =
   | None -> ()
   | Some c ->
     Mutex.lock c.lock;
-    if c.count < max_events then begin
+    if c.count < c.cap then begin
       c.events <- ev :: c.events;
       c.count <- c.count + 1
     end
     else c.dropped <- c.dropped + 1;
     Mutex.unlock c.lock
+
+let dropped () =
+  match !current with
+  | None -> 0
+  | Some c ->
+    Mutex.lock c.lock;
+    let d = c.dropped in
+    Mutex.unlock c.lock;
+    d
 
 let now_us c = (Unix.gettimeofday () -. c.t0) *. 1e6
 

@@ -6,8 +6,10 @@
     Perfetto}).  When no collector is installed every emitter is a single
     mutable-bool check — the hot paths stay allocation-free.
 
-    The collector caps itself at 200k events; further events are counted
-    in the document's ["dropped"] field rather than stored. *)
+    The collector caps itself at 200k events by default ([?cap] on
+    {!start} overrides); further events are counted in the document's
+    ["dropped"] field — and readable live via {!dropped} — rather than
+    stored. *)
 
 type arg = Int of int | Str of string | Float of float
 
@@ -15,8 +17,14 @@ val enabled : unit -> bool
 (** True between {!start} and {!stop}.  Instrumentation that must build
     arguments eagerly should gate on this. *)
 
-val start : unit -> unit
-(** Install a fresh collector; timestamps are relative to this call. *)
+val start : ?cap:int -> unit -> unit
+(** Install a fresh collector; timestamps are relative to this call.
+    [cap] (default 200_000) bounds the stored events. *)
+
+val dropped : unit -> int
+(** Events dropped by the cap so far (0 when no collector is
+    installed) — surfaced so callers can flag truncation in metrics
+    instead of letting it pass silently. *)
 
 val instant : ?args:(string * arg) list -> string -> unit
 (** An instant event (phase ["i"]) — invariant violations, cap hits,

@@ -1,0 +1,107 @@
+The run journal is schema-versioned JSONL and byte-identical at every
+parallelism setting.  A complete check emits config, one level event per
+BFS depth, the canon summary and an end event with the final counts:
+
+  $ ../../bin/ccr.exe check migratory -n 2 --level async --journal j1.jsonl >/dev/null
+  $ ../../bin/ccr.exe check migratory -n 2 --level async -j 4 --journal j4.jsonl >/dev/null
+  $ ../../bin/ccr.exe check migratory -n 2 --level async --workers 2 --journal w2.jsonl >/dev/null
+  $ cmp j1.jsonl j4.jsonl && cmp j1.jsonl w2.jsonl && echo identical
+  identical
+  $ head -2 j1.jsonl
+  {"v":1,"ev":"config","cmd":"check","protocol":"migratory","n":2,"k":2,"level":"async","generic":false,"symmetry":"auto","harden":false,"max_states":1000000}
+  {"v":1,"ev":"level","depth":0,"states":1}
+  $ tail -1 j1.jsonl
+  {"v":1,"ev":"end","outcome":"complete","states":77,"transitions":145,"max_depth":23}
+
+A violating run journals the counterexample's rule labels — and stays
+byte-identical across the sequential, domain-parallel and multi-process
+engines, with either provenance backend:
+
+  $ ../../bin/ccr.exe check lock -n 1 --faults drop=1 --journal v1.jsonl >/dev/null 2>&1
+  [2]
+  $ ../../bin/ccr.exe check lock -n 1 --faults drop=1 -j 4 --prov mem --journal v4.jsonl >/dev/null 2>&1
+  [2]
+  $ ../../bin/ccr.exe check lock -n 1 --faults drop=1 --workers 2 --prov disk --journal vw.jsonl >/dev/null 2>&1
+  [2]
+  $ cmp v1.jsonl v4.jsonl && cmp v1.jsonl vw.jsonl && echo identical
+  identical
+  $ grep '"ev":"violation"' v1.jsonl
+  {"v":1,"ev":"violation","kind":"deadlock","rules":["R-tau[r0,work]","R-C1[r0,acq]","fault: drop head of r0→h"]}
+  $ tail -1 v1.jsonl
+  {"v":1,"ev":"end","outcome":"deadlock"}
+
+The fuzzer journals its rule-coverage totals (legacy and generalized
+schemes, indexed by the Tables 1-2 rule names):
+
+  $ ../../bin/ccr.exe fuzz --seed 7 --count 30 --journal f.jsonl >/dev/null
+  $ head -1 f.jsonl
+  {"v":1,"ev":"config","cmd":"fuzz","seed":7,"count":30,"max_states":10000,"oracles":"all"}
+  $ grep -c '"ev":"coverage"' f.jsonl
+  2
+
+ccr report rebuilds the run table, violation paths and the coverage
+matrix from the journals alone:
+
+  $ ../../bin/ccr.exe report . | sed -n '1,14p'
+  # ccr run report
+  
+  artifacts: 7 journal runs, 0 bench files
+  
+  ## Runs
+  
+  | journal | cmd | protocol | level | n | outcome | states | depth |
+  | --- | --- | --- | --- | --- | --- | --- | --- |
+  | f.jsonl | fuzz | - | - | - | complete | - | - |
+  | j1.jsonl | check | migratory | async | 2 | complete | 77 | 23 |
+  | j4.jsonl | check | migratory | async | 2 | complete | 77 | 23 |
+  | v1.jsonl | check | lock | async | 1 | deadlock | - | - |
+  | v4.jsonl | check | lock | async | 1 | deadlock | - | - |
+  | vw.jsonl | check | lock | async | 1 | deadlock | - | - |
+
+
+
+
+  $ ../../bin/ccr.exe report . | grep -A 5 '### v1'
+  ### v1.jsonl — lock (deadlock)
+  
+  ```
+    1. R-tau[r0,work]
+    2. R-C1[r0,acq]
+    3. fault: drop head of r0→h
+
+
+  $ ../../bin/ccr.exe report . | grep -E 'R-C2|H-T3'
+  | R-C2 | 0 | 186 | new |
+  | H-T3 | 0 | 360 | new |
+
+The report is deterministic — two runs over the same artifacts are
+byte-identical — and the HTML mode wraps the same content:
+
+  $ ../../bin/ccr.exe report . > r1.md && ../../bin/ccr.exe report . > r2.md
+  $ cmp r1.md r2.md && echo identical
+  identical
+  $ ../../bin/ccr.exe report . --html | head -3
+  <!doctype html>
+  <html><head><meta charset="utf-8">
+  <title>ccr run report</title>
+
+ccr explain annotates counterexamples with the rule path and flow chart;
+--state replays any visited id out of the provenance side-table:
+
+  $ ../../bin/ccr.exe explain lock -n 1 --faults drop=1 --violation | sed -n '1,6p'
+  lock (async, n=1, k=2, faults=drop=1): deadlock
+  rule path (3 steps):
+      1. R-tau[r0,work]
+      2. R-C1[r0,acq]
+      3. fault: drop head of r0→h
+  flow (message-sequence chart):
+
+  $ ../../bin/ccr.exe explain migratory -n 2 --state 10 | head -2
+  migratory (async, n=2, k=2): state 10
+  rule path (4 steps):
+
+Nothing to explain on a clean protocol is a distinct, nonzero exit:
+
+  $ ../../bin/ccr.exe explain migratory -n 2 --violation
+  migratory (async, n=2, k=2): nothing to explain (129 states, invariants hold)
+  [1]

@@ -121,6 +121,77 @@ let tests =
         | Explore.Limit Explore.L_states -> ()
         | _ -> Alcotest.fail "expected state cap");
         checkb "at least the cap" true (r.states >= 10));
+    case "prov counterexample matches the legacy fallback (workers=2)"
+      (fun () ->
+        let prog =
+          (Option.get (Registry.find "migratory")).Registry.instantiate
+            ~reqrep:true ~n:2
+        in
+        let sys = async_system prog in
+        let g = Ccr_modelcheck.Graph.build sys in
+        let states = g.Ccr_modelcheck.Graph.states in
+        let target = Async.encode states.(Array.length states - 1) in
+        let invariants =
+          [ ("not-last", fun st -> Async.encode st <> target) ]
+        in
+        let sig_of (r : (_, _) Explore.stats) =
+          match r.Explore.trace with
+          | None -> []
+          | Some path ->
+            List.map
+              (fun (l, st) ->
+                (Option.map (Fmt.str "%a" Async.pp_label) l, Async.encode st))
+              path
+        in
+        let legacy = Mpx.run ~workers:2 ~trace:true ~invariants sys in
+        checkb "legacy violates" true
+          (match legacy.Explore.outcome with
+          | Explore.Violation _ -> true
+          | _ -> false);
+        List.iter
+          (fun kind ->
+            let prov = Vstore.Prov.create ~kind () in
+            let r = Mpx.run ~workers:2 ~prov ~trace:true ~invariants sys in
+            checkb
+              (Vstore.Prov.pkind_name kind ^ ": trace matches fallback")
+              true
+              (sig_of r = sig_of legacy))
+          [ Vstore.Prov.P_mem; Vstore.Prov.P_disk ]);
+    case "journal is byte-identical to the sequential engine (workers=2)"
+      (fun () ->
+        let journal_of run =
+          let j = Ccr_obs.Journal.create () in
+          let on_level ~depth ~states =
+            Ccr_obs.Journal.event j "level"
+              [
+                ("depth", Ccr_obs.Journal.Int depth);
+                ("states", Ccr_obs.Journal.Int states);
+              ]
+          in
+          ignore (run ~on_level);
+          Ccr_obs.Journal.contents j
+        in
+        (* complete run *)
+        let sys = counter_system ~limit:400 in
+        let seq = journal_of (fun ~on_level -> Explore.run ~on_level sys) in
+        checkb "non-empty" true (String.length seq > 0);
+        checks "complete run identical"
+          seq
+          (journal_of (fun ~on_level -> Mpx.run ~workers:2 ~on_level sys));
+        (* violating run, with provenance *)
+        let invariants = [ ("small", fun s -> s < 210) ] in
+        let vseq =
+          journal_of (fun ~on_level ->
+              Explore.run
+                ~prov:(Vstore.Prov.create ())
+                ~on_level ~invariants ~trace:true sys)
+        in
+        checks "violating run identical"
+          vseq
+          (journal_of (fun ~on_level ->
+               Mpx.run ~workers:2
+                 ~prov:(Vstore.Prov.create ())
+                 ~on_level ~invariants ~trace:true sys)));
     (* keep last: spawns domains in this process, which forbids any
        further fork in the binary *)
     case "workers=1 delegates to the in-process engines" (fun () ->

@@ -229,6 +229,75 @@ let tests =
         checkb "off" true (not (T.enabled ()));
         T.instant "ignored";
         checki "thunk still runs" 9 (T.with_span "ignored" (fun () -> 9)));
+    case "trace cap drops events past the ring and flags it" (fun () ->
+        T.start ~cap:3 ();
+        for i = 1 to 5 do
+          T.instant (Fmt.str "ev%d" i)
+        done;
+        checki "dropped counted live" 2 (T.dropped ());
+        let json = T.stop () in
+        List.iter
+          (fun sub -> checkb ("contains " ^ sub) true (contains_sub ~sub json))
+          [ "\"ev1\""; "\"ev2\""; "\"ev3\""; "\"dropped\": 2" ];
+        List.iter
+          (fun sub ->
+            checkb ("capped out " ^ sub) true (not (contains_sub ~sub json)))
+          [ "\"ev4\""; "\"ev5\"" ];
+        checki "dropped resets with the collector" 0 (T.dropped ()));
+    case "OpenMetrics rendering of a snapshot" (fun () ->
+        let reg = M.create () in
+        M.add (M.counter reg "msg.req") 41;
+        M.set (M.gauge reg "states_per_sec") 1234.5;
+        let h = M.histogram reg "lat" in
+        M.observe h 1;
+        M.observe h 6;
+        let om = M.to_openmetrics (M.snapshot reg) in
+        List.iter
+          (fun sub -> checkb ("contains " ^ sub) true (contains_sub ~sub om))
+          [
+            (* dots sanitized, counters get the _total suffix *)
+            "# TYPE msg_req counter";
+            "msg_req_total 41";
+            "# TYPE states_per_sec gauge";
+            "states_per_sec 1234.5";
+            "# TYPE lat histogram";
+            "lat_bucket{le=";
+            (* cumulative: the +Inf bucket equals the count *)
+            "lat_bucket{le=\"+Inf\"} 2";
+            "lat_sum 7";
+            "lat_count 2";
+          ];
+        checkb "ends with EOF marker" true
+          (let tail = "# EOF\n" in
+           String.length om >= String.length tail
+           && String.sub om
+                (String.length om - String.length tail)
+                (String.length tail)
+              = tail);
+        (* buckets are cumulative and non-decreasing *)
+        let lines = String.split_on_char '\n' om in
+        let bucket_counts =
+          List.filter_map
+            (fun l ->
+              if
+                String.length l > 11
+                && String.sub l 0 11 = "lat_bucket{"
+              then
+                match String.rindex_opt l ' ' with
+                | Some i ->
+                  int_of_string_opt
+                    (String.sub l (i + 1) (String.length l - i - 1))
+                | None -> None
+              else None)
+            lines
+        in
+        checkb "at least two buckets rendered" true
+          (List.length bucket_counts >= 2);
+        let rec nondecreasing = function
+          | a :: (b :: _ as rest) -> a <= b && nondecreasing rest
+          | _ -> true
+        in
+        checkb "cumulative buckets" true (nondecreasing bucket_counts));
     case "progress render mentions the load-bearing numbers" (fun () ->
         let s =
           P.

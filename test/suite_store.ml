@@ -230,6 +230,90 @@ let tests =
         assert_complete "migratory n=3 collapse" r;
         checkb "raw accounted" true (r.raw_bytes > 0);
         checkb "compressed below raw" true (r.mem_bytes < r.raw_bytes));
+    case "prov: mem and disk backends record and replay identically"
+      (fun () ->
+        (* tail_cap=32 forces the disk backend through its spill +
+           read-back path on even this small a chain *)
+        let mem = Vstore.Prov.create () in
+        let disk = Vstore.Prov.create ~kind:Vstore.Prov.P_disk ~tail_cap:32 () in
+        let entries =
+          (* (parent, ord) per id; id 0 is the root *)
+          [| (0, -1); (0, 0); (0, 1); (1, 0); (2, 3); (4, 2); (4, 0) |]
+        in
+        Array.iteri
+          (fun id (parent, ord) ->
+            Vstore.Prov.record mem ~id ~parent ~ord;
+            Vstore.Prov.record disk ~id ~parent ~ord)
+          entries;
+        List.iter
+          (fun (name, p) ->
+            checki (name ^ ": count") (Array.length entries)
+              (Vstore.Prov.count p);
+            checki (name ^ ": bytes") (8 * Array.length entries)
+              (Vstore.Prov.bytes p);
+            checkb (name ^ ": mem accounted") true
+              (Vstore.Prov.mem_bytes p > 0);
+            Array.iteri
+              (fun id e ->
+                checkb
+                  (Fmt.str "%s: entry %d" name id)
+                  true
+                  (Vstore.Prov.entry p id = e))
+              entries;
+            (* 0 -ord:1-> 2 -ord:3-> 4 -ord:2-> 5 *)
+            checkb (name ^ ": chain to 5") true
+              (Vstore.Prov.chain p 5 = [ 1; 3; 2 ]);
+            checkb (name ^ ": chain to root") true
+              (Vstore.Prov.chain p 0 = []))
+          [ ("mem", mem); ("disk", disk) ]);
+    case "prov: malformed records are rejected" (fun () ->
+        let expect_invalid what f =
+          match f () with
+          | exception Invalid_argument _ -> ()
+          | () -> Alcotest.failf "%s: accepted" what
+        in
+        let p = Vstore.Prov.create () in
+        Vstore.Prov.record p ~id:0 ~parent:0 ~ord:(-1);
+        expect_invalid "out-of-order id" (fun () ->
+            Vstore.Prov.record p ~id:2 ~parent:0 ~ord:0);
+        expect_invalid "parent not preceding child" (fun () ->
+            Vstore.Prov.record p ~id:1 ~parent:1 ~ord:0);
+        expect_invalid "ordinal too small" (fun () ->
+            Vstore.Prov.record p ~id:1 ~parent:0 ~ord:(-2));
+        expect_invalid "ordinal too large" (fun () ->
+            Vstore.Prov.record p ~id:1 ~parent:0 ~ord:65535);
+        Vstore.Prov.record p ~id:1 ~parent:0 ~ord:65534;
+        checki "good records kept" 2 (Vstore.Prov.count p));
+    case "prov replay equals the legacy trace (both backends)" (fun () ->
+        let prog = compile ~n:2 ping_system in
+        let sys = async_system prog in
+        let g = Ccr_modelcheck.Graph.build sys in
+        let states = g.Ccr_modelcheck.Graph.states in
+        let target = Async.encode states.(Array.length states - 1) in
+        let invariants = [ ("not-last", fun st -> Async.encode st <> target) ] in
+        let legacy = Explore.run ~trace:true ~invariants sys in
+        let sig_of r =
+          match r.Explore.trace with
+          | None -> []
+          | Some path ->
+            List.map
+              (fun (l, st) ->
+                (Option.map (Fmt.str "%a" Async.pp_label) l, Async.encode st))
+              path
+        in
+        checkb "legacy violates" true
+          (match legacy.Explore.outcome with
+          | Explore.Violation _ -> true
+          | _ -> false);
+        List.iter
+          (fun kind ->
+            let prov = Vstore.Prov.create ~kind ~tail_cap:64 () in
+            let r = Explore.run ~prov ~trace:true ~invariants sys in
+            checkb
+              (Vstore.Prov.pkind_name kind ^ ": trace matches legacy")
+              true
+              (sig_of r = sig_of legacy))
+          [ Vstore.Prov.P_mem; Vstore.Prov.P_disk ]);
     slow_case "memory cliff: migratory n=5 completes at 8 MB with collapse"
       (fun () ->
         let prog = compile ~n:5 (Ccr_protocols.Migratory.system ()) in

@@ -4,6 +4,7 @@ let () =
       (* must run first: its forking cases are illegal once any other
          suite has spawned a domain (see suite_mpx.ml) *)
       Suite_mpx.suite;
+      Suite_journal.suite;
       Suite_value.suite;
       Suite_expr.suite;
       Suite_validate.suite;
