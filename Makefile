@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-fast bench-json par-smoke obs-smoke sym-smoke fault-smoke fuzz-smoke ooc-smoke journal-smoke examples artifacts clean
+.PHONY: all build test bench bench-fast bench-json par-smoke obs-smoke sym-smoke fault-smoke fuzz-smoke ooc-smoke journal-smoke engine-smoke examples artifacts clean
 
 all: build
 
@@ -81,6 +81,19 @@ ooc-smoke:
 	  --symmetry off --mem 8 --max-states 2000000 --store collapse
 	dune exec bin/ccr.exe -- check migratory -n 4 --level async \
 	  --symmetry off --store disk --workers 2 -j 2
+
+# Loop engine: unit suite (rings, engine==threads registry coherence,
+# trace replay), the run cram checks, then live — a sharded run, a
+# hardened fault soak at engine rates, and the engine fuzz oracle.
+engine-smoke:
+	dune build @all
+	dune exec test/test_main.exe -- test engine
+	dune build @test/cram/runtest
+	dune exec bin/ccr.exe -- run lock -n 4 --budget 2000 --engine loop -j 2
+	dune exec bin/ccr.exe -- run migratory -n 2 --budget 200 --engine loop \
+	  --faults drop=10,dup=10 --harden --seed 3
+	dune exec bin/ccr.exe -- fuzz --seed 0 --count 40 --oracles engine \
+	  --no-matrix
 
 # Provenance journal & run reports: unit suites, the journal cram
 # checks, then live — a journalled check, the rule-annotated starvation

@@ -1373,8 +1373,45 @@ let run_cmd =
              scheduler; the injected faults are deterministic in the \
              seed alone.")
   in
-  let run (e : Registry.t) n k generic budget deadline seed faults harden
-      metrics_file journal_file =
+  let engine =
+    Arg.(
+      value
+      & opt (enum [ ("threads", `Threads); ("loop", `Loop) ]) `Threads
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Execution engine: $(b,threads) runs one interpreting OS \
+             thread per node (the differential oracle); $(b,loop) runs \
+             the domain-sharded event loop over compiled microcode \
+             tables ($(b,--domains), $(b,--batch)).")
+  in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains"; "j" ] ~docv:"D"
+          ~doc:
+            "Loop engine only: shard the nodes over $(docv) OCaml \
+             domains (clamped to the node count).")
+  in
+  let batch =
+    Arg.(
+      value & opt int 64
+      & info [ "batch" ] ~docv:"B"
+          ~doc:
+            "Loop engine only: drain up to $(docv) messages per mailbox \
+             visit and fire up to $(docv) local transitions per node \
+             sweep.")
+  in
+  let steps =
+    Arg.(
+      value & opt (some int) None
+      & info [ "steps" ] ~docv:"N"
+          ~doc:
+            "Stop after $(docv) node transitions (both engines honour \
+             the same cap; the run then reports a step-cap stop instead \
+             of quiescence).")
+  in
+  let run (e : Registry.t) n k generic budget deadline seed engine domains
+      batch steps faults harden metrics_file journal_file =
     let reg = Obs.setup ~trace_file:None in
     let ppf = Obs.report_ppf ~metrics_file in
     let module J = Obs.J in
@@ -1389,6 +1426,9 @@ let run_cmd =
         ("budget", J.Int budget);
         ("seed", J.Int seed);
         ("harden", J.Bool harden);
+        ( "engine",
+          J.Str (match engine with `Threads -> "threads" | `Loop -> "loop") );
+        ("domains", J.Int domains);
       ];
     (match fault_spec_of faults with
     | Some spec ->
@@ -1403,11 +1443,19 @@ let run_cmd =
         (fault_spec_of faults)
     in
     let s =
-      Ccr_runtime.Runtime.run ~seed ~deadline_s:deadline ~metrics:reg
-        ?faults:fplan ~budget
-        ~invariants:(e.Registry.async_invariants prog)
-        prog
-        Async.{ k }
+      match engine with
+      | `Threads ->
+        Ccr_runtime.Runtime.run ~seed ~deadline_s:deadline ?max_steps:steps
+          ~metrics:reg ?faults:fplan ~budget
+          ~invariants:(e.Registry.async_invariants prog)
+          prog
+          Async.{ k }
+      | `Loop ->
+        Ccr_runtime.Engine.run ~seed ~deadline_s:deadline ?max_steps:steps
+          ~domains ~batch ~metrics:reg ?faults:fplan ~budget
+          ~invariants:(e.Registry.async_invariants prog)
+          prog
+          Async.{ k }
     in
     Obs.emit reg ~trace_file:None ~metrics_file;
     Obs.jend jnl
@@ -1436,14 +1484,15 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run"
        ~doc:
-         "Execute the refined protocol on real threads — optionally \
-          through the fault-injecting transport — and check the coherence \
+         "Execute the refined protocol — on real threads or on the \
+          domain-sharded loop engine ($(b,--engine)), optionally through \
+          the fault-injecting transport — and check the coherence \
           invariants on the final configuration.  Non-quiescent runs \
           report the stuck node and exit 2.")
     Term.(
       const run $ protocol_arg $ n_arg $ k_arg $ generic_arg $ budget
-      $ deadline $ seed $ faults_arg $ harden_arg $ Obs.metrics_arg
-      $ Obs.journal_arg)
+      $ deadline $ seed $ engine $ domains $ batch $ steps $ faults_arg
+      $ harden_arg $ Obs.metrics_arg $ Obs.journal_arg)
 
 (* ---- fuzz ---------------------------------------------------------------- *)
 
@@ -1477,7 +1526,7 @@ let fuzz_cmd =
           ~doc:
             "Comma-separated oracle subset: $(b,validate), $(b,roundtrip), \
              $(b,rv-explore), $(b,async-explore), $(b,eq1), $(b,symmetry), \
-             $(b,par), $(b,faults), $(b,store), or $(b,all).")
+             $(b,par), $(b,faults), $(b,store), $(b,engine), or $(b,all).")
   in
   let out_dir =
     Arg.(

@@ -23,7 +23,16 @@
       store (sequentially even under a state cap — the discovery order
       is shared — and with a tiny spill buffer forcing the disk
       read-back path; in parallel with 2 domains when the baseline
-      completed).
+      completed);
+    - [Engine]: a budgeted traced run of the loop engine
+      ({!Ccr_runtime.Engine}) replays label-for-label through
+      {!Ccr_refine.Async.successors} — every transition the compiled
+      microcode tables execute must be one the interpreter offers from
+      the same configuration (strictly stronger than label-count
+      agreement with the simulator, which draws from that same successor
+      function), the completing-label count must match the reported
+      rendezvous, a reported quiescence must be a real quiescent
+      configuration, and the trace must be deterministic in the seed.
 
     All explorations are capped at [max_states]; hitting the cap passes
     the oracle (the budget bounds work, it is not a verdict). *)
@@ -40,6 +49,7 @@ type name =
   | Par
   | Faults
   | Store
+  | Engine
 
 val all : name list
 val name_to_string : name -> string

@@ -1,0 +1,1110 @@
+open Ccr_core
+
+(* Compiled expressions close over a scratch environment and the node id
+   ([-1] at the home, like [self:None] in {!Prog.eval}). *)
+type ev = Value.t array -> int -> Value.t
+type bv = Value.t array -> int -> bool
+
+type gkind =
+  | G_tau of string
+  | G_send_home of { name : string; args : ev array }
+  | G_send_remote of { dst : ev; name : string; args : ev array }
+  | G_recv of { msg : int; slots : int array; binder : int; from : ev option }
+
+type guard = {
+  g_idx : int;  (* index in the source state's cs_guards, for snapshots *)
+  g_target : int;
+  g_ann : Prog.ann;
+  g_cond : bv;
+  g_ch_slots : int array;
+  g_ch_sets : ev array;
+  g_as_slots : int array;
+  g_as_exprs : ev array;
+  g_kind : gkind;
+}
+
+type stbl = {
+  s_internal : bool;
+  s_taus : guard array;
+  s_recv : guard array array;  (* indexed by message id, guard order kept *)
+  s_sends : guard array;  (* home: cs_sends in rotation order *)
+  s_active : guard option;  (* remote: the active output guard *)
+}
+
+type t = {
+  prog : Prog.t;
+  n : int;
+  n_msgs : int;
+  msg_ids : (string, int) Hashtbl.t;
+  ff : bool array;
+  has_ff : bool;
+  h_tbl : stbl array;
+  r_tbl : stbl array;
+  rids : Value.t array;  (* Vrid i, preallocated *)
+  h_init : int;
+  r_init : int;
+}
+
+let proto_error fmt = Fmt.kstr (fun s -> raise (Async.Protocol_error s)) fmt
+let rt_error fmt = Fmt.kstr (fun s -> raise (Prog.Runtime_error s)) fmt
+
+let as_rid = function
+  | Value.Vrid r -> r
+  | v -> rt_error "expected a remote id, got %a" Value.pp v
+
+let as_int = function
+  | Value.Vint i -> i
+  | v -> rt_error "expected an int, got %a" Value.pp v
+
+(* ---- expression compilation -------------------------------------------- *)
+
+let rec comp_e (rids : Value.t array) (e : Prog.cexpr) : ev =
+  match e with
+  | Prog.C_const v -> fun _ _ -> v
+  | Prog.C_var i -> fun env _ -> env.(i)
+  | Prog.C_self ->
+    fun _ self ->
+      if self >= 0 then rids.(self) else rt_error "self outside a remote process"
+  | Prog.C_set_add (s, r) ->
+    let fs = comp_e rids s and fr = comp_e rids r in
+    fun env self -> Value.set_add (as_rid (fr env self)) (fs env self)
+  | Prog.C_set_remove (s, r) ->
+    let fs = comp_e rids s and fr = comp_e rids r in
+    fun env self -> Value.set_remove (as_rid (fr env self)) (fs env self)
+  | Prog.C_set_singleton r ->
+    let fr = comp_e rids r in
+    fun env self -> Value.set_add (as_rid (fr env self)) Value.set_empty
+  | Prog.C_succ e ->
+    let fe = comp_e rids e in
+    fun env self -> Value.Vint (as_int (fe env self) + 1)
+
+let rec comp_b (rids : Value.t array) (b : Prog.cbool) : bv =
+  match b with
+  | Prog.B_true -> fun _ _ -> true
+  | Prog.B_not b ->
+    let fb = comp_b rids b in
+    fun env self -> not (fb env self)
+  | Prog.B_and (a, b) ->
+    let fa = comp_b rids a and fb = comp_b rids b in
+    fun env self -> fa env self && fb env self
+  | Prog.B_or (a, b) ->
+    let fa = comp_b rids a and fb = comp_b rids b in
+    fun env self -> fa env self || fb env self
+  | Prog.B_eq (a, b) ->
+    let fa = comp_e rids a and fb = comp_e rids b in
+    fun env self -> Value.equal (fa env self) (fb env self)
+  | Prog.B_mem (r, s) ->
+    let fr = comp_e rids r and fs = comp_e rids s in
+    fun env self -> Value.set_mem (as_rid (fr env self)) (fs env self)
+  | Prog.B_empty s ->
+    let fs = comp_e rids s in
+    fun env self -> Value.set_is_empty (fs env self)
+
+(* ---- table construction ------------------------------------------------- *)
+
+let comp_guard rids mid gi (g : Prog.cguard) =
+  let ce = comp_e rids in
+  let ch = Array.of_list g.Prog.cg_choose in
+  let asg = Array.of_list g.Prog.cg_assigns in
+  let kind =
+    match g.Prog.cg_action with
+    | Prog.C_tau l -> G_tau l
+    | Prog.C_send_home (name, args) ->
+      G_send_home { name; args = Array.of_list (List.map ce args) }
+    | Prog.C_send_remote (dst, name, args) ->
+      G_send_remote
+        { dst = ce dst; name; args = Array.of_list (List.map ce args) }
+    | Prog.C_recv_home (name, slots) ->
+      G_recv
+        { msg = mid name; slots = Array.of_list slots; binder = -1; from = None }
+    | Prog.C_recv_any (binder, name, slots) ->
+      G_recv { msg = mid name; slots = Array.of_list slots; binder; from = None }
+    | Prog.C_recv_from (e, name, slots) ->
+      G_recv
+        {
+          msg = mid name;
+          slots = Array.of_list slots;
+          binder = -1;
+          from = Some (ce e);
+        }
+  in
+  {
+    g_idx = gi;
+    g_target = g.Prog.cg_target;
+    g_ann = g.Prog.cg_ann;
+    g_cond = comp_b rids g.Prog.cg_cond;
+    g_ch_slots = Array.map fst ch;
+    g_ch_sets = Array.map (fun (_, e) -> ce e) ch;
+    g_as_slots = Array.map fst asg;
+    g_as_exprs = Array.map (fun (_, e) -> ce e) asg;
+    g_kind = kind;
+  }
+
+let dummy_guard =
+  {
+    g_idx = -1;
+    g_target = 0;
+    g_ann = Prog.Plain;
+    g_cond = (fun _ _ -> false);
+    g_ch_slots = [||];
+    g_ch_sets = [||];
+    g_as_slots = [||];
+    g_as_exprs = [||];
+    g_kind = G_tau "";
+  }
+
+let dummy_msg : Wire.msg = { Wire.m_name = ""; m_payload = [] }
+
+let comp_proc rids mid ~n_msgs (p : Prog.proc) =
+  Array.map
+    (fun (cst : Prog.cstate) ->
+      let guards = Array.mapi (comp_guard rids mid) cst.Prog.cs_guards in
+      let taus =
+        Array.of_list
+          (List.filter
+             (fun g -> match g.g_kind with G_tau _ -> true | _ -> false)
+             (Array.to_list guards))
+      in
+      let by_msg = Array.make n_msgs [] in
+      Array.iter
+        (fun g ->
+          match g.g_kind with
+          | G_recv rc -> by_msg.(rc.msg) <- g :: by_msg.(rc.msg)
+          | _ -> ())
+        guards;
+      {
+        s_internal = cst.Prog.cs_internal;
+        s_taus = taus;
+        s_recv = Array.map (fun l -> Array.of_list (List.rev l)) by_msg;
+        s_sends =
+          Array.of_list (List.map (fun gi -> guards.(gi)) cst.Prog.cs_sends);
+        s_active = Option.map (fun gi -> guards.(gi)) cst.Prog.cs_active;
+      })
+    p.Prog.p_states
+
+let compile (prog : Prog.t) : t =
+  (* pass 1: intern every message name (sends, receives, reply
+     annotations, fire-and-forget declarations) *)
+  let ids = Hashtbl.create 32 in
+  let count = ref 0 in
+  let intern name =
+    if not (Hashtbl.mem ids name) then begin
+      Hashtbl.add ids name !count;
+      incr count
+    end
+  in
+  let scan (p : Prog.proc) =
+    Array.iter
+      (fun (st : Prog.cstate) ->
+        Array.iter
+          (fun (g : Prog.cguard) ->
+            (match g.Prog.cg_action with
+            | Prog.C_send_home (nm, _)
+            | Prog.C_send_remote (_, nm, _)
+            | Prog.C_recv_home (nm, _)
+            | Prog.C_recv_any (_, nm, _)
+            | Prog.C_recv_from (_, nm, _) ->
+              intern nm
+            | Prog.C_tau _ -> ());
+            match g.Prog.cg_ann with
+            | Prog.Rr_request repl | Prog.Rr_await_repl repl -> intern repl
+            | _ -> ())
+          st.Prog.cs_guards)
+      p.Prog.p_states
+  in
+  scan prog.Prog.home;
+  scan prog.Prog.remote;
+  List.iter intern prog.Prog.ff_msgs;
+  let n_msgs = !count in
+  let ff = Array.make (max 1 n_msgs) false in
+  List.iter (fun nm -> ff.(Hashtbl.find ids nm) <- true) prog.Prog.ff_msgs;
+  let rids = Array.init (max 1 prog.Prog.n) (fun i -> Value.Vrid i) in
+  let mid name = Hashtbl.find ids name in
+  {
+    prog;
+    n = prog.Prog.n;
+    n_msgs;
+    msg_ids = ids;
+    ff;
+    has_ff = prog.Prog.ff_msgs <> [];
+    h_tbl = comp_proc rids mid ~n_msgs prog.Prog.home;
+    r_tbl = comp_proc rids mid ~n_msgs prog.Prog.remote;
+    rids;
+    h_init = prog.Prog.home.p_init;
+    r_init = prog.Prog.remote.p_init;
+  }
+
+(* ---- rule codes ---------------------------------------------------------- *)
+
+let all_rules = Array.of_list Async.all_rules
+let n_rules = Array.length all_rules
+let rule_of_code c = all_rules.(c)
+
+let code_of_rule (r : Async.rule_id) =
+  let rec find i = if all_rules.(i) = r then i else find (i + 1) in
+  find 0
+
+let c_R_C1 = code_of_rule Async.R_C1
+let c_R_C2 = code_of_rule Async.R_C2
+let c_R_C3_ack = code_of_rule Async.R_C3_ack
+let c_R_C3_silent = code_of_rule Async.R_C3_silent
+let c_R_C3_nack = code_of_rule Async.R_C3_nack
+let c_R_T1 = code_of_rule Async.R_T1
+let c_R_T2 = code_of_rule Async.R_T2
+let c_R_T3 = code_of_rule Async.R_T3
+let c_R_tau = code_of_rule Async.R_tau
+let c_R_reply_send = code_of_rule Async.R_reply_send
+let c_R_repl_recv = code_of_rule Async.R_repl_recv
+let c_R_deliver = code_of_rule Async.R_deliver
+let c_H_C1 = code_of_rule Async.H_C1
+let c_H_C1_silent = code_of_rule Async.H_C1_silent
+let c_H_C2 = code_of_rule Async.H_C2
+let c_H_T1 = code_of_rule Async.H_T1
+let c_H_T1_repl = code_of_rule Async.H_T1_repl
+let c_H_T2 = code_of_rule Async.H_T2
+let c_H_T3 = code_of_rule Async.H_T3
+let c_H_T4 = code_of_rule Async.H_T4
+let c_H_T5 = code_of_rule Async.H_T5
+let c_H_T6 = code_of_rule Async.H_T6
+let c_H_tau = code_of_rule Async.H_tau
+let c_H_reply_send = code_of_rule Async.H_reply_send
+let c_H_admit = code_of_rule Async.H_admit
+let c_H_admit_progress = code_of_rule Async.H_admit_progress
+let c_H_nack_full = code_of_rule Async.H_nack_full
+
+let completes_tbl =
+  Array.map
+    (fun r ->
+      match r with
+      | Async.H_C1 | Async.H_C1_silent | Async.H_T1_repl | Async.R_C3_ack
+      | Async.R_C3_silent | Async.R_repl_recv ->
+        true
+      | _ -> false)
+    all_rules
+
+let completes c = completes_tbl.(c)
+
+(* ---- node machines -------------------------------------------------------- *)
+
+type home = {
+  hm : t;
+  h_k : int;
+  h_rng : Random.State.t;
+  mutable h_ctl : int;
+  h_env : Value.t array;
+  mutable h_mode : int;  (* 0 = Hcomm, 1 = Htrans `Ack, 2 = Htrans `Repl *)
+  mutable h_guard : guard;
+  mutable h_peer : int;
+  mutable h_repl_name : string;
+  h_scr : Value.t array;  (* transient scratch (choices bound, no assigns) *)
+  mutable h_rot : int;
+  mutable hb_send : int array;  (* buffered requests: parallel arrays *)
+  mutable hb_msg : Wire.msg array;
+  mutable hb_len : int;
+  h_work : Value.t array;  (* per-step instance scratch *)
+  h_env1 : Value.t array;  (* first-stage env of a reply completion *)
+  h_tmp : Value.t array;  (* simultaneous-assignment temporaries *)
+  mutable h_memo_name : string;
+  mutable h_memo_id : int;
+  mutable h_last_actor : int;
+  mutable h_last_subject : string;
+}
+
+type remote = {
+  rm : t;
+  r_self : int;
+  r_rng : Random.State.t;
+  mutable r_ctl : int;
+  r_env : Value.t array;
+  mutable r_mode : int;  (* 0 = Rcomm, 1 = Rtrans, 2 = Rwait *)
+  mutable r_guard : guard;
+  mutable r_repl_name : string;
+  r_scr : Value.t array;
+  mutable r_buf : Wire.msg;  (* meaningful iff r_has_buf *)
+  mutable r_has_buf : bool;
+  r_work : Value.t array;
+  r_env1 : Value.t array;
+  r_tmp : Value.t array;
+  mutable r_memo_name : string;
+  mutable r_memo_id : int;
+  mutable r_last_subject : string;
+}
+
+let max_assigns tbl =
+  Array.fold_left
+    (fun acc st ->
+      let per_state g = Array.length g.g_as_slots in
+      let m = ref acc in
+      Array.iter (fun g -> m := max !m (per_state g)) st.s_taus;
+      Array.iter (Array.iter (fun g -> m := max !m (per_state g))) st.s_recv;
+      Array.iter (fun g -> m := max !m (per_state g)) st.s_sends;
+      (match st.s_active with Some g -> m := max !m (per_state g) | None -> ());
+      !m)
+    0 tbl
+
+let home_make t ~k ~seed =
+  let init = t.prog.Prog.home.p_init_env in
+  {
+    hm = t;
+    h_k = k;
+    h_rng = Random.State.make [| seed; 7919 |];
+    h_ctl = t.h_init;
+    h_env = Array.copy init;
+    h_mode = 0;
+    h_guard = dummy_guard;
+    h_peer = -1;
+    h_repl_name = "";
+    h_scr = Array.copy init;
+    h_rot = 0;
+    hb_send = Array.make 8 0;
+    hb_msg = Array.make 8 dummy_msg;
+    hb_len = 0;
+    h_work = Array.copy init;
+    h_env1 = Array.copy init;
+    h_tmp = Array.make (max 1 (max_assigns t.h_tbl)) Value.Vunit;
+    h_memo_name = "";
+    h_memo_id = -1;
+    h_last_actor = -1;
+    h_last_subject = "";
+  }
+
+let remote_make t ~seed i =
+  let init = t.prog.Prog.remote.p_init_env in
+  {
+    rm = t;
+    r_self = i;
+    r_rng = Random.State.make [| seed; i |];
+    r_ctl = t.r_init;
+    r_env = Array.copy init;
+    r_mode = 0;
+    r_guard = dummy_guard;
+    r_repl_name = "";
+    r_scr = Array.copy init;
+    r_buf = dummy_msg;
+    r_has_buf = false;
+    r_work = Array.copy init;
+    r_env1 = Array.copy init;
+    r_tmp = Array.make (max 1 (max_assigns t.r_tbl)) Value.Vunit;
+    r_memo_name = "";
+    r_memo_id = -1;
+    r_last_subject = "";
+  }
+
+(* ---- shared machinery ----------------------------------------------------- *)
+
+exception Hit
+
+(* Interned id of a received message's name, or [-1] for a name this
+   protocol never dispatches on.  Consecutive messages overwhelmingly
+   repeat the same (physically shared) name constant, hence the memo. *)
+let hmid h name =
+  if name == h.h_memo_name then h.h_memo_id
+  else begin
+    let id = try Hashtbl.find h.hm.msg_ids name with Not_found -> -1 in
+    h.h_memo_name <- name;
+    h.h_memo_id <- id;
+    id
+  end
+
+let rmid r name =
+  if name == r.r_memo_name then r.r_memo_id
+  else begin
+    let id = try Hashtbl.find r.rm.msg_ids name with Not_found -> -1 in
+    r.r_memo_name <- name;
+    r.r_memo_id <- id;
+    id
+  end
+
+(* Call [f] once per choose-expansion of [g] whose condition holds, with
+   the bindings written into [scratch].  Expansion order matches
+   {!Prog.guard_instances}: choose binders in declaration order, set
+   members in ascending id order, condition filtered at the leaves. *)
+let iter_insts t g scratch self (f : unit -> unit) =
+  let nch = Array.length g.g_ch_slots in
+  let rec go d =
+    if d = nch then begin
+      if g.g_cond scratch self then f ()
+    end
+    else begin
+      let mask =
+        match g.g_ch_sets.(d) scratch self with
+        | Value.Vset m -> m
+        | _ -> invalid_arg "Value: expected a set"
+      in
+      let slot = g.g_ch_slots.(d) in
+      let r = ref 0 and m = ref mask in
+      while !m <> 0 do
+        if !m land 1 <> 0 then begin
+          scratch.(slot) <- t.rids.(!r);
+          go (d + 1)
+        end;
+        incr r;
+        m := !m lsr 1
+      done
+    end
+  in
+  go 0
+
+(* Evaluate the simultaneous assignments against [scratch], then install
+   [scratch] + assignments into [env] — {!Prog.complete} without the two
+   array copies. *)
+let apply g scratch self tmp env =
+  let na = Array.length g.g_as_slots in
+  for i = 0 to na - 1 do
+    tmp.(i) <- g.g_as_exprs.(i) scratch self
+  done;
+  Array.blit scratch 0 env 0 (Array.length env);
+  for i = 0 to na - 1 do
+    env.(g.g_as_slots.(i)) <- tmp.(i)
+  done
+
+let eval_args (args : ev array) scratch self =
+  let rec go i =
+    if i = Array.length args then [] else args.(i) scratch self :: go (i + 1)
+  in
+  go 0
+
+let write_payload scratch (slots : int array) (payload : Value.t list) =
+  let i = ref 0 in
+  List.iter
+    (fun v ->
+      scratch.(slots.(!i)) <- v;
+      incr i)
+    payload
+
+let arity_ok (slots : int array) (payload : Value.t list) =
+  List.compare_length_with payload (Array.length slots) = 0
+
+(* Iterate the semantic ways request [(sender, m)] matches a receive
+   guard of [st] under [env]: mirrors {!Async.home_request_instances} /
+   {!Async.remote_request_instances} (guard order, then expansion
+   order).  [leaf g] runs with the instance bound in [work]. *)
+let match_iter t st ~env ~work ~self ~sender ~mid (m : Wire.msg)
+    (leaf : guard -> unit) =
+  if mid >= 0 then begin
+    let gs = st.s_recv.(mid) in
+    for gi = 0 to Array.length gs - 1 do
+      let g = gs.(gi) in
+      match g.g_kind with
+      | G_recv rc when arity_ok rc.slots m.Wire.m_payload ->
+        Array.blit env 0 work 0 (Array.length env);
+        if rc.binder >= 0 then work.(rc.binder) <- t.rids.(sender);
+        write_payload work rc.slots m.Wire.m_payload;
+        let f =
+          match rc.from with
+          | None -> fun () -> leaf g
+          | Some fe -> (
+            fun () ->
+              match fe work self with
+              | Value.Vrid r when r = sender -> leaf g
+              | _ -> ())
+        in
+        iter_insts t g work self f
+      | _ -> ()
+    done
+  end
+
+(* ---- home buffer ----------------------------------------------------------- *)
+
+let hb_push h i m =
+  if h.hb_len = Array.length h.hb_send then begin
+    let cap = 2 * h.hb_len in
+    let s = Array.make cap 0 and ms = Array.make cap dummy_msg in
+    Array.blit h.hb_send 0 s 0 h.hb_len;
+    Array.blit h.hb_msg 0 ms 0 h.hb_len;
+    h.hb_send <- s;
+    h.hb_msg <- ms
+  end;
+  h.hb_send.(h.hb_len) <- i;
+  h.hb_msg.(h.hb_len) <- m;
+  h.hb_len <- h.hb_len + 1
+
+let hb_remove h idx =
+  for j = idx to h.hb_len - 2 do
+    h.hb_send.(j) <- h.hb_send.(j + 1);
+    h.hb_msg.(j) <- h.hb_msg.(j + 1)
+  done;
+  h.hb_len <- h.hb_len - 1;
+  h.hb_msg.(h.hb_len) <- dummy_msg
+
+let is_ff_h h (m : Wire.msg) =
+  h.hm.has_ff
+  &&
+  let id = hmid h m.Wire.m_name in
+  id >= 0 && h.hm.ff.(id)
+
+let regular_occ h =
+  if not h.hm.has_ff then h.hb_len
+  else begin
+    let c = ref 0 in
+    for j = 0 to h.hb_len - 1 do
+      if not (is_ff_h h h.hb_msg.(j)) then incr c
+    done;
+    !c
+  end
+
+let hb_has_sender h j =
+  let rec go b = b < h.hb_len && (h.hb_send.(b) = j || go (b + 1)) in
+  go 0
+
+(* Oldest evictable (non fire-and-forget) buffered request, or [-1] when
+   no eviction is needed. *)
+let evict_idx h =
+  if regular_occ h < h.h_k then -1
+  else begin
+    let rec find j =
+      if j >= h.hb_len then -1 else if is_ff_h h h.hb_msg.(j) then find (j + 1) else j
+    in
+    find 0
+  end
+
+let rotate_next st rot =
+  let nsends = Array.length st.s_sends in
+  if nsends = 0 then 0 else (rot + 1) mod nsends
+
+(* ---- home local step -------------------------------------------------------- *)
+
+let prep_h h = Array.blit h.h_env 0 h.h_work 0 (Array.length h.h_env)
+
+(* Single uniformly-random enabled transition out of taus, C1 over the
+   buffered requests, and (when no C1 instance exists) the first
+   rotation send guard with an instance — the same candidate set
+   {!Async.home_local} enumerates, chosen by single-pass reservoir
+   sampling over candidate ordinals.  Candidates blocked by [room] keep
+   their ordinal but are excluded from the draw, so the selection pass
+   and the execution pass (which re-walks the same deterministic
+   enumeration to the recorded ordinal) always agree: ring space only
+   grows between the two passes, never shrinks. *)
+let home_local (h : home) ~(room : int -> bool) ~(emit : int -> Wire.t -> unit) :
+    int =
+  if h.h_mode <> 0 then -1
+  else begin
+    let t = h.hm in
+    let st = t.h_tbl.(h.h_ctl) in
+    let seen = ref 0 in
+    let ck = ref 0 and cb = ref (-1) and cord = ref (-1) in
+    let ord = ref 0 in
+    let consider kind b ok =
+      if ok then begin
+        incr seen;
+        (* reservoir: the first candidate is kept unconditionally, so the
+           common singleton case never touches the rng *)
+        if !seen = 1 || Random.State.int h.h_rng !seen = 0 then begin
+          ck := kind;
+          cb := b;
+          cord := !ord
+        end
+      end;
+      incr ord
+    in
+    (* taus: one global ordinal sequence over the tau guards *)
+    ord := 0;
+    Array.iter
+      (fun g ->
+        prep_h h;
+        iter_insts t g h.h_work (-1) (fun () -> consider 1 (-1) true))
+      st.s_taus;
+    (* C1: per buffer entry, over the matching receive guards *)
+    let c1_sem = ref 0 in
+    for b = 0 to h.hb_len - 1 do
+      let sender = h.hb_send.(b) and m = h.hb_msg.(b) in
+      ord := 0;
+      match_iter t st ~env:h.h_env ~work:h.h_work ~self:(-1) ~sender
+        ~mid:(hmid h m.Wire.m_name) m (fun g ->
+          incr c1_sem;
+          let silent = g.g_ann = Prog.Rr_silent_consume in
+          consider 2 b (silent || room sender))
+    done;
+    (* C2: only when no buffered request can complete a rendezvous *)
+    let ev = ref (-1) in
+    if !c1_sem = 0 then begin
+      let nsends = Array.length st.s_sends in
+      let goff = ref 0 and found = ref false in
+      while (not !found) && !goff < nsends do
+        let g = st.s_sends.((h.h_rot + !goff) mod nsends) in
+        (match g.g_kind with
+        | G_send_remote sr ->
+          let is_reply = g.g_ann = Prog.Rr_reply_send in
+          if not is_reply then ev := evict_idx h;
+          prep_h h;
+          ord := 0;
+          iter_insts t g h.h_work (-1) (fun () ->
+              match sr.dst h.h_work (-1) with
+              | Value.Vrid j when j >= 0 && j < t.n ->
+                (* condition (c): don't solicit a remote whose own
+                   request is pending *)
+                if is_reply || not (hb_has_sender h j) then begin
+                  found := true;
+                  let ok =
+                    room j
+                    && (is_reply || !ev < 0 || room h.hb_send.(!ev))
+                  in
+                  consider 3 ((h.h_rot + !goff) mod nsends) ok
+                end
+              | Value.Vrid _ -> ()
+              | v ->
+                proto_error "home send target is not a remote id: %a" Value.pp v)
+        | _ -> proto_error "cs_sends points at a non-send guard");
+        incr goff
+      done
+    end;
+    if !seen = 0 then -1
+    else begin
+      (* execution: re-walk the chosen group's enumeration to [cord] *)
+      let res = ref (-1) in
+      let target = !cord in
+      let ord2 = ref 0 in
+      (match !ck with
+      | 1 ->
+        (try
+           Array.iter
+             (fun g ->
+               prep_h h;
+               iter_insts t g h.h_work (-1) (fun () ->
+                   if !ord2 = target then begin
+                     apply g h.h_work (-1) h.h_tmp h.h_env;
+                     h.h_ctl <- g.g_target;
+                     h.h_rot <- 0;
+                     h.h_last_actor <- -1;
+                     (h.h_last_subject <-
+                        (match g.g_kind with G_tau l -> l | _ -> ""));
+                     res := c_H_tau;
+                     raise_notrace Hit
+                   end;
+                   incr ord2))
+             st.s_taus
+         with Hit -> ())
+      | 2 ->
+        let b = !cb in
+        let sender = h.hb_send.(b) and m = h.hb_msg.(b) in
+        (try
+           match_iter t st ~env:h.h_env ~work:h.h_work ~self:(-1) ~sender
+             ~mid:(hmid h m.Wire.m_name) m (fun g ->
+               if !ord2 = target then begin
+                 apply g h.h_work (-1) h.h_tmp h.h_env;
+                 h.h_ctl <- g.g_target;
+                 h.h_rot <- 0;
+                 hb_remove h b;
+                 let silent = g.g_ann = Prog.Rr_silent_consume in
+                 if not silent then emit sender Wire.Ack;
+                 h.h_last_actor <- sender;
+                 h.h_last_subject <- m.Wire.m_name;
+                 res := (if silent then c_H_C1_silent else c_H_C1);
+                 raise_notrace Hit
+               end;
+               incr ord2)
+         with Hit -> ())
+      | 3 ->
+        let g = st.s_sends.(!cb) in
+        let s_dst, s_name, s_args =
+          match g.g_kind with
+          | G_send_remote { dst; name; args } -> (dst, name, args)
+          | _ -> assert false
+        in
+        let is_reply = g.g_ann = Prog.Rr_reply_send in
+        prep_h h;
+        (try
+           iter_insts t g h.h_work (-1) (fun () ->
+               match s_dst h.h_work (-1) with
+               | Value.Vrid j when j >= 0 && j < t.n ->
+                 if is_reply || not (hb_has_sender h j) then begin
+                   if !ord2 = target then begin
+                     let payload = eval_args s_args h.h_work (-1) in
+                     let req =
+                       Wire.Req { Wire.m_name = s_name; m_payload = payload }
+                     in
+                     if is_reply then begin
+                       apply g h.h_work (-1) h.h_tmp h.h_env;
+                       h.h_ctl <- g.g_target;
+                       h.h_rot <- 0;
+                       emit j req;
+                       res := c_H_reply_send
+                     end
+                     else begin
+                       if !ev >= 0 then begin
+                         emit h.hb_send.(!ev) Wire.Nack;
+                         hb_remove h !ev
+                       end;
+                       Array.blit h.h_work 0 h.h_scr 0 (Array.length h.h_scr);
+                       h.h_guard <- g;
+                       h.h_peer <- j;
+                       (match g.g_ann with
+                       | Prog.Rr_await_repl repl ->
+                         h.h_mode <- 2;
+                         h.h_repl_name <- repl
+                       | _ -> h.h_mode <- 1);
+                       emit j req;
+                       res := c_H_C2
+                     end;
+                     h.h_last_actor <- j;
+                     h.h_last_subject <- s_name;
+                     raise_notrace Hit
+                   end;
+                   incr ord2
+                 end
+               | _ -> ())
+         with Hit -> ())
+      | _ -> assert false);
+      !res
+    end
+  end
+
+(* ---- home receive step ------------------------------------------------------- *)
+
+let home_satisfies h st i (m : Wire.msg) =
+  try
+    match_iter h.hm st ~env:h.h_env ~work:h.h_work ~self:(-1) ~sender:i
+      ~mid:(hmid h m.Wire.m_name) m (fun _ -> raise_notrace Hit);
+    false
+  with Hit -> true
+
+let home_recv (h : home) i (w : Wire.t) ~(emit : int -> Wire.t -> unit) : int =
+  let t = h.hm in
+  let st = t.h_tbl.(h.h_ctl) in
+  let free = h.h_k - regular_occ h in
+  match w with
+  | Wire.Ack ->
+    if h.h_mode = 1 && h.h_peer = i then begin
+      let g = h.h_guard in
+      apply g h.h_scr (-1) h.h_tmp h.h_env;
+      h.h_ctl <- g.g_target;
+      h.h_mode <- 0;
+      h.h_rot <- 0;
+      h.h_last_actor <- i;
+      h.h_last_subject <- "";
+      c_H_T1
+    end
+    else proto_error "home received an unexpected ack from r%d" i
+  | Wire.Nack ->
+    if h.h_mode <> 0 && h.h_peer = i then begin
+      h.h_mode <- 0;
+      h.h_rot <- rotate_next st h.h_rot;
+      h.h_last_actor <- i;
+      h.h_last_subject <- "";
+      c_H_T2
+    end
+    else proto_error "home received an unexpected nack from r%d" i
+  | Wire.Req m ->
+    h.h_last_actor <- i;
+    h.h_last_subject <- m.Wire.m_name;
+    if h.h_mode <> 0 && h.h_peer = i then begin
+      if h.h_mode = 2 && String.equal m.Wire.m_name h.h_repl_name then begin
+        (* the reply completes both rendezvous (§3.3) *)
+        let g = h.h_guard in
+        apply g h.h_scr (-1) h.h_tmp h.h_env1;
+        let ctl1 = g.g_target in
+        let st1 = t.h_tbl.(ctl1) in
+        let mid = hmid h m.Wire.m_name in
+        let cnt = ref 0 in
+        match_iter t st1 ~env:h.h_env1 ~work:h.h_work ~self:(-1) ~sender:i ~mid
+          m (fun _ -> incr cnt);
+        if !cnt = 0 then
+          proto_error "home cannot consume reply %s from r%d" m.Wire.m_name i;
+        let pick = if !cnt = 1 then 0 else Random.State.int h.h_rng !cnt in
+        let ord = ref 0 in
+        (try
+           match_iter t st1 ~env:h.h_env1 ~work:h.h_work ~self:(-1) ~sender:i
+             ~mid m (fun g2 ->
+               if !ord = pick then begin
+                 apply g2 h.h_work (-1) h.h_tmp h.h_env;
+                 h.h_ctl <- g2.g_target;
+                 h.h_mode <- 0;
+                 h.h_rot <- 0;
+                 raise_notrace Hit
+               end;
+               incr ord)
+         with Hit -> ());
+        c_H_T1_repl
+      end
+      else begin
+        (* T3: implicit nack plus a request, held by the ack reservation *)
+        if free < 1 then
+          proto_error "ack-buffer reservation violated (free = %d)" free;
+        hb_push h i m;
+        h.h_mode <- 0;
+        h.h_rot <- rotate_next st h.h_rot;
+        c_H_T3
+      end
+    end
+    else if h.h_mode <> 0 then begin
+      (* a foreign request while transient: rows T4/T5/T6 *)
+      if is_ff_h h m || free > 2 then begin
+        hb_push h i m;
+        c_H_T4
+      end
+      else if free = 2 && (not st.s_internal) && home_satisfies h st i m then begin
+        hb_push h i m;
+        c_H_T5
+      end
+      else begin
+        emit i Wire.Nack;
+        c_H_T6
+      end
+    end
+    else if is_ff_h h m || free > 1 then begin
+      hb_push h i m;
+      c_H_admit
+    end
+    else if free = 1 && (not st.s_internal) && home_satisfies h st i m then begin
+      hb_push h i m;
+      c_H_admit_progress
+    end
+    else begin
+      emit i Wire.Nack;
+      c_H_nack_full
+    end
+
+(* ---- remote steps -------------------------------------------------------------- *)
+
+let prep_r r = Array.blit r.r_env 0 r.r_work 0 (Array.length r.r_env)
+
+let remote_local (r : remote) ~(room_h : bool) ~(emit : Wire.t -> unit) : int =
+  if r.r_mode <> 0 then -1
+  else begin
+    let t = r.rm in
+    let st = t.r_tbl.(r.r_ctl) in
+    let self = r.r_self in
+    let seen = ref 0 in
+    (* candidate kinds: 1 tau, 2 active send, 3 C3 match, 4 C3 nack *)
+    let ck = ref 0 and cord = ref (-1) in
+    let ord = ref 0 in
+    let consider kind ok =
+      if ok then begin
+        incr seen;
+        if !seen = 1 || Random.State.int r.r_rng !seen = 0 then begin
+          ck := kind;
+          cord := !ord
+        end
+      end;
+      incr ord
+    in
+    ord := 0;
+    Array.iter
+      (fun g ->
+        prep_r r;
+        iter_insts t g r.r_work self (fun () -> consider 1 true))
+      st.s_taus;
+    (match st.s_active with
+    | Some g -> (
+      match g.g_kind with
+      | G_send_home _ ->
+        prep_r r;
+        ord := 0;
+        iter_insts t g r.r_work self (fun () -> consider 2 room_h)
+      | _ -> proto_error "cs_active points at a non-send guard")
+    | None -> ());
+    if r.r_has_buf && st.s_active = None && not st.s_internal then begin
+      let m = r.r_buf in
+      ord := 0;
+      let sem = ref 0 in
+      match_iter t st ~env:r.r_env ~work:r.r_work ~self ~sender:self
+        ~mid:(rmid r m.Wire.m_name) m (fun g ->
+          incr sem;
+          let silent = g.g_ann = Prog.Rr_silent_consume in
+          consider 3 (silent || room_h));
+      if !sem = 0 then begin
+        ord := 0;
+        consider 4 room_h
+      end
+    end;
+    if !seen = 0 then -1
+    else begin
+      let res = ref (-1) in
+      let target = !cord in
+      let ord2 = ref 0 in
+      (match !ck with
+      | 1 ->
+        (try
+           Array.iter
+             (fun g ->
+               prep_r r;
+               iter_insts t g r.r_work self (fun () ->
+                   if !ord2 = target then begin
+                     apply g r.r_work self r.r_tmp r.r_env;
+                     r.r_ctl <- g.g_target;
+                     (r.r_last_subject <-
+                        (match g.g_kind with G_tau l -> l | _ -> ""));
+                     res := c_R_tau;
+                     raise_notrace Hit
+                   end;
+                   incr ord2))
+             st.s_taus
+         with Hit -> ())
+      | 2 ->
+        let g = Option.get st.s_active in
+        let s_name, s_args =
+          match g.g_kind with
+          | G_send_home { name; args } -> (name, args)
+          | _ -> assert false
+        in
+        prep_r r;
+        (try
+           iter_insts t g r.r_work self (fun () ->
+               if !ord2 = target then begin
+                 let payload = eval_args s_args r.r_work self in
+                 let req =
+                   Wire.Req { Wire.m_name = s_name; m_payload = payload }
+                 in
+                 (* C2: a pending home request is deleted; the home
+                    learns of it through the implicit-nack rule *)
+                 let had_buffered = r.r_has_buf in
+                 r.r_has_buf <- false;
+                 r.r_buf <- dummy_msg;
+                 (match g.g_ann with
+                 | Prog.Rr_reply_send ->
+                   apply g r.r_work self r.r_tmp r.r_env;
+                   r.r_ctl <- g.g_target;
+                   res := c_R_reply_send
+                 | Prog.Rr_request repl ->
+                   Array.blit r.r_work 0 r.r_scr 0 (Array.length r.r_scr);
+                   r.r_guard <- g;
+                   r.r_mode <- 2;
+                   r.r_repl_name <- repl;
+                   res := (if had_buffered then c_R_C2 else c_R_C1)
+                 | _ ->
+                   Array.blit r.r_work 0 r.r_scr 0 (Array.length r.r_scr);
+                   r.r_guard <- g;
+                   r.r_mode <- 1;
+                   res := (if had_buffered then c_R_C2 else c_R_C1));
+                 emit req;
+                 r.r_last_subject <- s_name;
+                 raise_notrace Hit
+               end;
+               incr ord2)
+         with Hit -> ())
+      | 3 ->
+        let m = r.r_buf in
+        (try
+           match_iter t st ~env:r.r_env ~work:r.r_work ~self ~sender:self
+             ~mid:(rmid r m.Wire.m_name) m (fun g ->
+               if !ord2 = target then begin
+                 apply g r.r_work self r.r_tmp r.r_env;
+                 r.r_ctl <- g.g_target;
+                 r.r_has_buf <- false;
+                 r.r_buf <- dummy_msg;
+                 let silent = g.g_ann = Prog.Rr_silent_consume in
+                 if not silent then emit Wire.Ack;
+                 r.r_last_subject <- m.Wire.m_name;
+                 res := (if silent then c_R_C3_silent else c_R_C3_ack);
+                 raise_notrace Hit
+               end;
+               incr ord2)
+         with Hit -> ())
+      | 4 ->
+        let m = r.r_buf in
+        r.r_has_buf <- false;
+        r.r_buf <- dummy_msg;
+        emit Wire.Nack;
+        r.r_last_subject <- m.Wire.m_name;
+        res := c_R_C3_nack
+      | _ -> assert false);
+      !res
+    end
+  end
+
+let remote_recv (r : remote) (w : Wire.t) : int =
+  let t = r.rm in
+  let self = r.r_self in
+  match w with
+  | Wire.Ack ->
+    if r.r_mode = 1 then begin
+      let g = r.r_guard in
+      apply g r.r_scr self r.r_tmp r.r_env;
+      r.r_ctl <- g.g_target;
+      r.r_mode <- 0;
+      r.r_last_subject <- "";
+      c_R_T1
+    end
+    else proto_error "remote %d received an unexpected ack" self
+  | Wire.Nack ->
+    if r.r_mode <> 0 then begin
+      r.r_mode <- 0;
+      r.r_last_subject <- "";
+      c_R_T2
+    end
+    else proto_error "remote %d received an unexpected nack" self
+  | Wire.Req m ->
+    r.r_last_subject <- m.Wire.m_name;
+    if r.r_mode = 1 then c_R_T3
+    else if r.r_mode = 2 then begin
+      if String.equal m.Wire.m_name r.r_repl_name then begin
+        let g = r.r_guard in
+        apply g r.r_scr self r.r_tmp r.r_env1;
+        let ctl1 = g.g_target in
+        let st1 = t.r_tbl.(ctl1) in
+        let mid = rmid r m.Wire.m_name in
+        let cnt = ref 0 in
+        match_iter t st1 ~env:r.r_env1 ~work:r.r_work ~self ~sender:self ~mid
+          m (fun _ -> incr cnt);
+        if !cnt = 0 then
+          proto_error "remote %d cannot consume reply %s" self m.Wire.m_name;
+        let pick = if !cnt = 1 then 0 else Random.State.int r.r_rng !cnt in
+        let ord = ref 0 in
+        (try
+           match_iter t st1 ~env:r.r_env1 ~work:r.r_work ~self ~sender:self
+             ~mid m (fun g2 ->
+               if !ord = pick then begin
+                 apply g2 r.r_work self r.r_tmp r.r_env;
+                 r.r_ctl <- g2.g_target;
+                 r.r_mode <- 0;
+                 raise_notrace Hit
+               end;
+               incr ord)
+         with Hit -> ());
+        c_R_repl_recv
+      end
+      else c_R_T3
+    end
+    else if r.r_has_buf then -2
+    else begin
+      r.r_buf <- m;
+      r.r_has_buf <- true;
+      c_R_deliver
+    end
+
+(* ---- observation ----------------------------------------------------------------- *)
+
+let home_last_actor h = h.h_last_actor
+let home_last_subject h = h.h_last_subject
+let remote_last_subject r = r.r_last_subject
+let home_buf_len h = h.hb_len
+let home_at_comm h = h.h_mode = 0
+let remote_at_comm r = r.r_mode = 0
+let remote_at_start r = r.r_ctl = r.rm.r_init && r.r_mode = 0
+
+let home_snapshot (h : home) : Async.home =
+  {
+    Async.h_ctl = h.h_ctl;
+    h_env = Array.copy h.h_env;
+    h_mode =
+      (if h.h_mode = 0 then Async.Hcomm
+       else
+         Async.Htrans
+           {
+             guard = h.h_guard.g_idx;
+             peer = h.h_peer;
+             scratch = Array.copy h.h_scr;
+             await = (if h.h_mode = 1 then `Ack else `Repl h.h_repl_name);
+           });
+    h_rot = h.h_rot;
+    h_buf = List.init h.hb_len (fun b -> (h.hb_send.(b), h.hb_msg.(b)));
+  }
+
+let remote_snapshot (r : remote) : Async.remote =
+  {
+    Async.r_ctl = r.r_ctl;
+    r_env = Array.copy r.r_env;
+    r_mode =
+      (match r.r_mode with
+      | 0 -> Async.Rcomm
+      | 1 ->
+        Async.Rtrans { guard = r.r_guard.g_idx; scratch = Array.copy r.r_scr }
+      | _ ->
+        Async.Rwait
+          {
+            guard = r.r_guard.g_idx;
+            scratch = Array.copy r.r_scr;
+            repl = r.r_repl_name;
+          });
+    r_buf = (if r.r_has_buf then Some r.r_buf else None);
+  }

@@ -19,8 +19,13 @@ let length t = with_lock t (fun () -> Queue.length t.queue)
 let is_empty t = length t = 0
 
 let close t =
+  (* explicitly a no-op on an already-closed channel: error paths may
+     poison the same transport twice (e.g. a protocol error after a
+     deadline already closed it), and double-close must never raise *)
   with_lock t (fun () ->
-      t.closed <- true;
-      Queue.clear t.queue)
+      if not t.closed then begin
+        t.closed <- true;
+        Queue.clear t.queue
+      end)
 
 let is_closed t = with_lock t (fun () -> t.closed)

@@ -25,6 +25,8 @@ val is_empty : 'a t -> bool
 
 val close : 'a t -> unit
 (** Poison the channel: discard its contents, make every later [send] a
-    no-op and every [peek]/[pop] return [None].  Idempotent. *)
+    no-op and every [peek]/[pop] return [None].  Idempotent: closing an
+    already-closed channel is a no-op, never an error — error paths may
+    poison the same transport twice. *)
 
 val is_closed : 'a t -> bool

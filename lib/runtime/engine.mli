@@ -1,0 +1,63 @@
+(** Domain-sharded event-loop engine over compiled microcode tables.
+
+    Where {!Runtime.run} gives every node an OS thread interpreting
+    {!Async} rules over mutex-guarded {!Channel}s, this engine executes
+    the {!Mcode} dispatch tables directly: nodes are sharded over OCaml 5
+    domains (home on domain 0, remote [i] on domain [i mod domains]) and
+    exchange {!Wire} messages through preallocated SPSC {!Ring}
+    mailboxes, drained in batches of up to [batch] messages per node
+    visit.  Steady-state message passing takes no locks and allocates
+    nothing beyond the payloads themselves (acks and nacks are constant
+    constructors), which is what buys the throughput gap over the
+    threaded runtime — the threaded runtime stays alongside as the
+    differential oracle.
+
+    The workload, stop conditions and result shape are {!Runtime}'s:
+    each remote runs [budget] protocol cycles, the run ends quiescent,
+    at [deadline_s], at [max_steps], or — unlike the threaded runtime,
+    which can only poll until the deadline — with a deterministic
+    [stop_cause = "stall"] when no transition can ever fire again
+    (single-domain fault-free runs detect this after one full
+    no-progress sweep; sharded runs after the step count stays frozen
+    across repeated idle checks).  Quiescence is verified after the
+    domains join, race-free: all modes communicating, transport
+    drained, budgets spent.
+
+    With [faults] the rings are replaced by the {!Faultlink} transport
+    (same plans, same [Vanilla]/[Hardened] split as the threaded
+    runtime), trading peak rate for fault-model soak at engine rates.
+
+    [on_step] observes every executed transition as an {!Async.label}
+    in execution order; tracing forces [domains = 1] and requires a
+    fault-free run ([Invalid_argument] otherwise) so the label sequence
+    is a deterministic legal schedule of the refined semantics — the
+    [engine] fuzz oracle replays it through {!Async.successors}. *)
+
+open Ccr_core
+open Ccr_refine
+open Ccr_faults
+
+val run :
+  ?seed:int ->
+  ?deadline_s:float ->
+  ?max_steps:int ->
+  ?domains:int ->
+  ?batch:int ->
+  ?ring_cap:int ->
+  ?metrics:Ccr_obs.Metrics.t ->
+  ?faults:Injected.mode * Plan.t ->
+  ?on_step:(Async.label -> unit) ->
+  budget:int ->
+  invariants:(string * (Async.state -> bool)) list ->
+  Prog.t ->
+  Async.config ->
+  Runtime.stats
+(** Returns {!Runtime.stats} with [engine = "loop"].  [domains]
+    (default 1) is clamped to [[1, n]]; [batch] (default 64) bounds both
+    the mailbox drain and the local-transition burst per node visit;
+    [ring_cap] (default 1024, rounded up to a power of two) sizes each
+    mailbox — the protocol's in-flight occupancy per channel is O(1), so
+    the default never exerts backpressure.  [metrics] additionally fills
+    [engine.batch_size] and [engine.mailbox_occupancy] histograms
+    (sampled at non-empty mailbox drains) and per-domain
+    [engine.msgs_per_sec.d<i>] gauges. *)

@@ -1,0 +1,57 @@
+type 'a t = {
+  buf : 'a array;
+  mask : int;
+  dummy : 'a;
+  head : int Atomic.t;  (* next slot to pop; advanced by the consumer *)
+  tail : int Atomic.t;  (* next slot to push; advanced by the producer *)
+}
+
+let create ~dummy cap =
+  if cap <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  let cap2 = ref 1 in
+  while !cap2 < cap do
+    cap2 := !cap2 * 2
+  done;
+  {
+    buf = Array.make !cap2 dummy;
+    mask = !cap2 - 1;
+    dummy;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+  }
+
+let capacity t = t.mask + 1
+let length t = Atomic.get t.tail - Atomic.get t.head
+let is_empty t = length t = 0
+let free t = capacity t - length t
+
+let push t x =
+  let tail = Atomic.get t.tail in
+  if tail - Atomic.get t.head > t.mask then false
+  else begin
+    t.buf.(tail land t.mask) <- x;
+    (* publish: the slot write must be visible before the new tail *)
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+let unsafe_peek t = t.buf.(Atomic.get t.head land t.mask)
+
+let pop_drop t =
+  let head = Atomic.get t.head in
+  (* clear before publishing so the producer's next overwrite is the only
+     remaining reference to the element *)
+  t.buf.(head land t.mask) <- t.dummy;
+  Atomic.set t.head (head + 1)
+
+let pop t =
+  if is_empty t then None
+  else begin
+    let x = unsafe_peek t in
+    pop_drop t;
+    Some x
+  end
+
+let to_list t =
+  let head = Atomic.get t.head and tail = Atomic.get t.tail in
+  List.init (tail - head) (fun i -> t.buf.((head + i) land t.mask))

@@ -1,0 +1,48 @@
+(** Single-producer single-consumer ring buffer.
+
+    The engine's mailboxes: one ring per channel direction, preallocated
+    at start-up, so steady-state message passing allocates nothing and
+    takes no locks.  Exactly one domain may push and exactly one domain
+    may pop; the star topology of the refined protocol (every message
+    travels home↔remote [i]) makes each direction naturally SPSC.
+
+    Memory model: [head]/[tail] are {!Atomic.t} monotonic counters
+    (sequentially consistent), masked into a power-of-two slot array.
+    The producer writes the slot {e before} publishing [tail]; the
+    consumer overwrites the slot with [dummy] {e before} advancing
+    [head], so a slot is never observed by the other side outside its
+    published window and consumed elements don't outlive their stay
+    (no ghost references keeping dead messages alive). *)
+
+type 'a t
+
+val create : dummy:'a -> int -> 'a t
+(** [create ~dummy cap] rounds [cap] up to a power of two.  [dummy]
+    fills empty slots; it is never returned by the read operations. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Snapshot; exact from either endpoint's own side. *)
+
+val is_empty : 'a t -> bool
+val free : 'a t -> int
+
+val push : 'a t -> 'a -> bool
+(** Producer side.  [false] when full (backpressure) — the element is
+    not enqueued. *)
+
+val unsafe_peek : 'a t -> 'a
+(** Consumer side; the oldest element.  Undefined (returns [dummy]) on
+    an empty ring — guard with {!is_empty}/{!length}. *)
+
+val pop_drop : 'a t -> unit
+(** Consumer side; drop the oldest element (after {!unsafe_peek}).
+    Must not be called on an empty ring. *)
+
+val pop : 'a t -> 'a option
+(** Consumer side; convenience for drains and tests. *)
+
+val to_list : 'a t -> 'a list
+(** Oldest first, without consuming.  Consumer side (or after the
+    producer has stopped). *)

@@ -18,6 +18,8 @@ type stats = {
   faults : Fault.fcounts;
   watchdog : (string * string) list;
   wall_s : float;
+  engine : string;
+  stop_cause : string;
 }
 
 (* Per-node shared cell: the node's state, guarded by a mutex so the
@@ -40,8 +42,8 @@ let completes (l : Async.label) =
     true
   | _ -> false
 
-let run ?(seed = 42) ?(deadline_s = 30.0) ?metrics ?faults ~budget ~invariants
-    (prog : Prog.t) (cfg : Async.config) =
+let run ?(seed = 42) ?(deadline_s = 30.0) ?max_steps ?metrics ?faults ~budget
+    ~invariants (prog : Prog.t) (cfg : Async.config) =
   let t0 = Unix.gettimeofday () in
   let n = prog.n in
   let mode, plan =
@@ -83,9 +85,11 @@ let run ?(seed = 42) ?(deadline_s = 30.0) ?metrics ?faults ~budget ~invariants
   let rendezvous_by = Array.init n (fun _ -> Atomic.make 0) in
   let errors_mutex = Mutex.create () in
   let errors = ref [] in
+  let stop_cause = ref "deadline" in
   let record_error e =
     Mutex.lock errors_mutex;
     errors := e :: !errors;
+    stop_cause := "error";
     Mutex.unlock errors_mutex;
     Atomic.set stop true;
     (* poison the transport so every other node thread winds down now
@@ -206,9 +210,16 @@ let run ?(seed = 42) ?(deadline_s = 30.0) ?metrics ?faults ~budget ~invariants
   in
   (* ---- monitor: detect quiescence or the deadline ----------------------- *)
   let quiescent = ref false in
+  let step_capped () =
+    match max_steps with None -> false | Some cap -> Atomic.get steps >= cap
+  in
   let rec monitor () =
     if Atomic.get stop then ()
     else if Unix.gettimeofday () -. t0 > deadline_s then Atomic.set stop true
+    else if step_capped () then begin
+      stop_cause := "step-cap";
+      Atomic.set stop true
+    end
     else begin
       let channels_empty = Faultlink.quiet link in
       let spent = Array.for_all (fun b -> b <= 0) budgets in
@@ -230,6 +241,7 @@ let run ?(seed = 42) ?(deadline_s = 30.0) ?metrics ?faults ~budget ~invariants
         in
         if still then begin
           quiescent := true;
+          stop_cause := "quiescent";
           Atomic.set stop true
         end
         else monitor ()
@@ -331,6 +343,8 @@ let run ?(seed = 42) ?(deadline_s = 30.0) ?metrics ?faults ~budget ~invariants
     faults = Fault.freeze fcounts;
     watchdog;
     wall_s = Unix.gettimeofday () -. t0;
+    engine = "threads";
+    stop_cause = !stop_cause;
   }
 
 let pp_stats ppf s =
@@ -341,7 +355,13 @@ let pp_stats ppf s =
     s.rendezvous s.messages s.wall_s s.steps
     (String.concat " "
        (Array.to_list (Array.map string_of_int s.completions)))
-    (if s.quiescent then "terminated quiescent" else "DEADLINE HIT")
+    (if s.quiescent then "terminated quiescent"
+     else
+       match s.stop_cause with
+       | "deadline" -> "DEADLINE HIT"
+       | "step-cap" -> "STEP CAP HIT"
+       | "stall" -> "STALLED"
+       | _ -> "STOPPED")
     (match s.invariant_failures with
     | [] -> "; final state coherent"
     | l -> "; INVARIANTS FAILED: " ^ String.concat ", " l)
@@ -353,6 +373,8 @@ let pp_stats ppf s =
         Fmt.pf ppf "@,faults: %a" Fault.pp_fcounts f)
     s.faults
     (fun ppf wd ->
-      if not s.quiescent then
-        List.iter (fun (who, what) -> Fmt.pf ppf "@,stuck? %s: %s" who what) wd)
+      if not s.quiescent then begin
+        Fmt.pf ppf "@,stopped: %s [%s engine]" s.stop_cause s.engine;
+        List.iter (fun (who, what) -> Fmt.pf ppf "@,stuck? %s: %s" who what) wd
+      end)
     s.watchdog

@@ -45,11 +45,17 @@ type stats = {
           remaining budget, inbox depth — on a deadline hit this names
           the stuck node instead of a bare [quiescent = false] *)
   wall_s : float;
+  engine : string;  (** which engine produced the run: ["threads"] or ["loop"] *)
+  stop_cause : string;
+      (** why the run ended: ["quiescent"], ["deadline"], ["step-cap"],
+          ["stall"] (loop engine only: deterministic no-progress exit
+          before the deadline) or ["error"] *)
 }
 
 val run :
   ?seed:int ->
   ?deadline_s:float ->
+  ?max_steps:int ->
   ?metrics:Ccr_obs.Metrics.t ->
   ?faults:Injected.mode * Plan.t ->
   budget:int ->
@@ -58,6 +64,10 @@ val run :
   Async.config ->
   stats
 (** @param budget protocol cycles per remote (default deadline 30 s).
+    [max_steps] (default: unlimited) stops the run once that many node
+    transitions have executed, with [stop_cause = "step-cap"] — the same
+    cap {!Engine.run} honours, so [--steps] behaves identically on both
+    engines.
     [metrics] (default: none) fills [msg.req]/[msg.ack]/[msg.nack]/
     [msg.data]/[rendezvous] counters and the [home_buffer_occupancy]
     histogram in the given registry once, after the threads join — the

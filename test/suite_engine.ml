@@ -1,0 +1,245 @@
+(* The domain-sharded loop engine and its SPSC ring mailboxes.
+
+   The threaded runtime (suite_runtime) is the differential baseline:
+   everything it guarantees — quiescence, coherence of the final global
+   state, fault-soak survival — must hold when the same workload runs
+   through the compiled microcode tables, sharded or not.  On top of
+   that the engine is deterministic per seed, so its traced schedules
+   can be replayed exactly through the reference interpreter. *)
+
+open Ccr_protocols
+open Ccr_faults
+open Test_util
+module Runtime = Ccr_runtime.Runtime
+module Engine = Ccr_runtime.Engine
+module Ring = Ccr_runtime.Ring
+module Async = Ccr_refine.Async
+
+let k2 = Async.{ k = 2 }
+
+let fspec s =
+  match Fault.parse s with
+  | Ok sp -> sp
+  | Error m -> Alcotest.failf "Fault.parse %S: %s" s m
+
+let assert_clean name (s : Runtime.stats) =
+  if not s.quiescent then
+    Alcotest.failf "%s: did not reach quiescence (%a)" name Runtime.pp_stats s;
+  if s.protocol_errors <> [] then
+    Alcotest.failf "%s: protocol errors: %s" name
+      (String.concat "; " s.protocol_errors);
+  if s.invariant_failures <> [] then
+    Alcotest.failf "%s: final-state invariants failed: %s" name
+      (String.concat ", " s.invariant_failures)
+
+let registry_entry name =
+  match Registry.find name with
+  | Some e -> e
+  | None -> Alcotest.failf "no registry entry %S" name
+
+let traced ?(budget = 3) ?(n = 2) name =
+  let e = registry_entry name in
+  let prog = e.Registry.instantiate ~reqrep:true ~n in
+  let trace = ref [] in
+  let s =
+    Engine.run ~seed:0 ~budget
+      ~invariants:(e.Registry.async_invariants prog)
+      ~on_step:(fun l -> trace := l :: !trace)
+      prog k2
+  in
+  (prog, s, List.rev !trace)
+
+let tests =
+  [
+    case "ring: FIFO across wrap-around" (fun () ->
+        let r = Ring.create ~dummy:(-1) 4 in
+        checki "power-of-two capacity" 4 (Ring.capacity r);
+        (* interleave pushes and pops so the counters lap the slot array
+           several times *)
+        let popped = ref [] in
+        for i = 0 to 19 do
+          checkb "push accepted" true (Ring.push r i);
+          if i mod 2 = 1 then begin
+            (match Ring.pop r with
+            | Some x -> popped := x :: !popped
+            | None -> Alcotest.fail "pop on non-empty ring");
+            match Ring.pop r with
+            | Some x -> popped := x :: !popped
+            | None -> Alcotest.fail "pop on non-empty ring"
+          end
+        done;
+        checkb "drained in order" true
+          (List.rev !popped = List.init 20 (fun i -> i));
+        checkb "empty at the end" true (Ring.is_empty r));
+    case "ring: full mailbox exerts backpressure" (fun () ->
+        let r = Ring.create ~dummy:(-1) 4 in
+        for i = 0 to 3 do
+          checkb "fills" true (Ring.push r i)
+        done;
+        checki "no free slots" 0 (Ring.free r);
+        checkb "push on full is refused" false (Ring.push r 99);
+        checkb "refused element not enqueued" true
+          (Ring.to_list r = [ 0; 1; 2; 3 ]);
+        checkb "pop frees a slot" true (Ring.pop r = Some 0);
+        checkb "then push succeeds" true (Ring.push r 4);
+        checkb "order preserved" true (Ring.to_list r = [ 1; 2; 3; 4 ]));
+    case "ring: cross-domain SPSC visibility" (fun () ->
+        (* one producer domain, consumer on the test thread: every
+           element arrives, in order, through a ring much smaller than
+           the stream so the pair wraps and backpressures constantly *)
+        let r = Ring.create ~dummy:(-1) 8 in
+        let total = 20_000 in
+        let producer =
+          Domain.spawn (fun () ->
+              for i = 0 to total - 1 do
+                while not (Ring.push r i) do
+                  Domain.cpu_relax ()
+                done
+              done)
+        in
+        let next = ref 0 in
+        while !next < total do
+          match Ring.pop r with
+          | Some x ->
+            if x <> !next then Alcotest.failf "got %d, expected %d" x !next;
+            incr next
+          | None -> Domain.cpu_relax ()
+        done;
+        Domain.join producer;
+        checkb "stream fully delivered" true (Ring.is_empty r));
+    case "whole registry: engine matches the threaded runtime's outcome"
+      (fun () ->
+        List.iter
+          (fun (e : Registry.t) ->
+            let prog = e.Registry.instantiate ~reqrep:true ~n:4 in
+            let invariants = e.Registry.async_invariants prog in
+            let thr = Runtime.run ~seed:1 ~budget:20 ~invariants prog k2 in
+            let loop = Engine.run ~seed:1 ~budget:20 ~invariants prog k2 in
+            assert_clean (e.Registry.name ^ " (threads)") thr;
+            assert_clean (e.Registry.name ^ " (loop)") loop;
+            checkb (e.Registry.name ^ ": engine tagged") true
+              (loop.engine = "loop" && thr.engine = "threads");
+            (* budgets are spent on both engines: every remote completes
+               its 20 cycles, each worth at least one rendezvous — the
+               tail above that floor (home-initiated completions still
+               in flight at shutdown) is scheduling-dependent and not
+               comparable exactly *)
+            checkb (e.Registry.name ^ ": both engines spend the budget") true
+              (loop.rendezvous >= 4 * 20 && thr.rendezvous >= 4 * 20))
+          Registry.all);
+    case "sharded runs stay coherent (-j 1/2/4)" (fun () ->
+        let e = registry_entry "lock" in
+        let prog = e.Registry.instantiate ~reqrep:true ~n:4 in
+        let invariants = e.Registry.async_invariants prog in
+        List.iter
+          (fun domains ->
+            let s =
+              Engine.run ~seed:2 ~domains ~budget:100 ~invariants prog k2
+            in
+            assert_clean (Fmt.str "lock -j %d" domains) s;
+            checkb "every remote spent its budget" true
+              (s.rendezvous >= 4 * 100))
+          [ 1; 2; 4 ]);
+    case "tiny mailboxes: backpressure does not wedge the engine" (fun () ->
+        let e = registry_entry "invalidate" in
+        let prog = e.Registry.instantiate ~reqrep:true ~n:4 in
+        let s =
+          Engine.run ~seed:0 ~ring_cap:4 ~budget:50
+            ~invariants:(e.Registry.async_invariants prog)
+            prog k2
+        in
+        assert_clean "ring_cap=4" s);
+    case "traced schedules are deterministic per seed" (fun () ->
+        let _, s1, t1 = traced ~budget:4 "migratory" in
+        let _, s2, t2 = traced ~budget:4 "migratory" in
+        assert_clean "run 1" s1;
+        assert_clean "run 2" s2;
+        checki "same step count" s1.steps s2.steps;
+        checki "same messages" s1.messages s2.messages;
+        checkb "identical label traces" true (t1 = t2);
+        checki "trace covers every step" s1.steps (List.length t1));
+    case "every traced step is a legal interpreter transition" (fun () ->
+        (* frontier replay: after each engine label the set of
+           interpreter states reachable by the labels so far must be
+           non-empty, and a quiescent report must contain a truly
+           quiescent configuration *)
+        let prog, s, trace = traced ~budget:2 "migratory" in
+        assert_clean "traced run" s;
+        let frontier = ref [ Async.initial prog k2 ] in
+        List.iteri
+          (fun i (l : Async.label) ->
+            let next =
+              List.concat_map
+                (fun st ->
+                  List.filter_map
+                    (fun (l', st') -> if l' = l then Some st' else None)
+                    (Async.successors prog k2 st))
+                !frontier
+            in
+            if next = [] then
+              Alcotest.failf "step %d (%a) is not offered by the interpreter"
+                (i + 1) Async.pp_label l;
+            frontier := next)
+          trace;
+        checkb "final frontier contains the quiescent state" true
+          (List.exists
+             (fun (st : Async.state) ->
+               st.Async.h.Async.h_mode = Async.Hcomm
+               && Array.for_all
+                    (fun (r : Async.remote) -> r.Async.r_mode = Async.Rcomm)
+                    st.Async.r
+               && Array.for_all (( = ) []) st.Async.to_h
+               && Array.for_all (( = ) []) st.Async.to_r)
+             !frontier));
+    case "step cap stops the engine like the threaded runtime" (fun () ->
+        let e = registry_entry "lock" in
+        let prog = e.Registry.instantiate ~reqrep:true ~n:4 in
+        let loop =
+          Engine.run ~seed:0 ~max_steps:50 ~budget:10_000 ~invariants:[] prog
+            k2
+        in
+        let thr =
+          Runtime.run ~seed:0 ~max_steps:50 ~budget:10_000 ~invariants:[] prog
+            k2
+        in
+        checkb "loop capped" true (not loop.quiescent);
+        checks "loop cause" "step-cap" loop.stop_cause;
+        checks "threads cause" "step-cap" thr.stop_cause;
+        (* domains drain in batches, so the cap is a stop signal, not an
+           exact count — but it must be the same order of magnitude *)
+        checkb "loop stopped promptly" true (loop.steps < 50 + 1024);
+        checkb "watchdog names the engine" true
+          (List.exists
+             (fun (_, d) -> contains_sub ~sub:"loop engine" d)
+             loop.watchdog
+          || loop.watchdog <> []));
+    case "hardened fault soak at engine rates loses nothing" (fun () ->
+        let e = registry_entry "migratory" in
+        let prog = e.Registry.instantiate ~reqrep:true ~n:2 in
+        let s =
+          Engine.run ~seed:3
+            ~faults:
+              ( Injected.Hardened,
+                Plan.random ~n:2 ~seed:3 (fspec "drop=10,dup=10") )
+            ~budget:100
+            ~invariants:(e.Registry.async_invariants prog)
+            prog k2
+        in
+        assert_clean "hardened soak" s;
+        checkb "faults actually injected" true (Fault.injected s.faults >= 10);
+        checkb "ARQ repaired the drops" true
+          (s.faults.Fault.f_retransmits >= 1));
+    case "tracing a fault-injected run is refused" (fun () ->
+        let e = registry_entry "migratory" in
+        let prog = e.Registry.instantiate ~reqrep:true ~n:2 in
+        match
+          Engine.run ~seed:0
+            ~faults:(Injected.Hardened, Plan.random ~n:2 ~seed:1 (fspec "drop=1"))
+            ~on_step:(fun _ -> ())
+            ~budget:2 ~invariants:[] prog k2
+        with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+  ]
+
+let suite = ("engine", tests)

@@ -164,9 +164,19 @@ let tests =
         checkb "closed" true (Channel.is_closed c);
         checkb "pending messages discarded" true (Channel.pop c = None);
         Channel.send c 2;
-        checkb "send after close is a no-op" true (Channel.peek c = None);
-        (* idempotent *)
-        Channel.close c);
+        checkb "send after close is a no-op" true (Channel.peek c = None));
+    case "double close is a no-op, not an error" (fun () ->
+        (* error paths poison the same transport twice: once from the
+           failing node, once from the shared wind-down *)
+        let c = Channel.create () in
+        Channel.send c 1;
+        Channel.close c;
+        Channel.close c;
+        checkb "still closed" true (Channel.is_closed c);
+        checkb "still empty" true (Channel.pop c = None);
+        Channel.send c 2;
+        Channel.close c;
+        checkb "and still poisoned" true (Channel.peek c = None));
     case "deadline hit: the watchdog names the stuck node" (fun () ->
         (* drop remote 0's acq request: in the vanilla transport it waits
            for an ack that can never come, and the run must end at the

@@ -22,6 +22,7 @@ let () =
       Suite_protocols.suite;
       Suite_faults.suite;
       Suite_runtime.suite;
+      Suite_engine.suite;
       Suite_symmetry.suite;
       Suite_viz.suite;
       Suite_prog.suite;
