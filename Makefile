@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-fast bench-json par-smoke obs-smoke sym-smoke fault-smoke fuzz-smoke ooc-smoke journal-smoke engine-smoke examples artifacts clean
+.PHONY: all build test bench bench-fast bench-json par-smoke obs-smoke sym-smoke fault-smoke fuzz-smoke ooc-smoke journal-smoke engine-smoke resume-smoke examples artifacts clean
 
 all: build
 
@@ -110,6 +110,35 @@ journal-smoke:
 	dune exec bin/ccr.exe -- fuzz --seed 0 --count 30 \
 	  --journal /tmp/ccr-journal-smoke/fuzz.jsonl
 	dune exec bin/ccr.exe -- report /tmp/ccr-journal-smoke
+
+# Crash-safe checkpoint/resume: the unit suites (torn-write refusal,
+# per-store resume pins, supervised respawn), the resume fuzz oracle,
+# then live — runs SIGKILLed mid-exploration by CCR_CRASH_AT, resumed
+# from their checkpoints and required to land on the uninterrupted pin
+# (invalidate async n=3: 9263 states / 27191 transitions) under the
+# sequential, multi-domain and multi-process engines; plus a worker
+# kill that the supervisor must absorb without a resume.
+resume-smoke:
+	dune build @all
+	dune exec test/test_main.exe -- test ckpt
+	dune exec test/test_main.exe -- test ckpt-par
+	dune exec bin/ccr.exe -- fuzz --seed 0 --count 25 --oracles resume \
+	  --no-matrix
+	rm -rf /tmp/ccr-resume-smoke && mkdir -p /tmp/ccr-resume-smoke
+	! CCR_CRASH_AT=level=14 dune exec bin/ccr.exe -- check invalidate -n 3 \
+	  --level async --checkpoint /tmp/ccr-resume-smoke/seq 2>/dev/null
+	dune exec bin/ccr.exe -- check invalidate -n 3 --level async \
+	  --resume /tmp/ccr-resume-smoke/seq \
+	  | grep -q '9263 states, 27191 transitions'
+	! CCR_CRASH_AT=level=14 dune exec bin/ccr.exe -- check invalidate -n 3 \
+	  --level async -j 2 --checkpoint /tmp/ccr-resume-smoke/par 2>/dev/null
+	dune exec bin/ccr.exe -- check invalidate -n 3 --level async -j 2 \
+	  --resume /tmp/ccr-resume-smoke/par \
+	  | grep -q '9263 states, 27191 transitions'
+	CCR_CRASH_AT=worker=1,level=10 dune exec bin/ccr.exe -- check invalidate \
+	  -n 3 --level async --workers 2 \
+	  --checkpoint /tmp/ccr-resume-smoke/mpx \
+	  | grep -q '9263 states, 27191 transitions'
 
 examples:
 	dune exec examples/quickstart.exe

@@ -46,6 +46,7 @@ let outcome_tag = function
   | Explore.Limit Explore.L_states -> "limit-states"
   | Explore.Limit Explore.L_memory -> "limit-memory"
   | Explore.Limit Explore.L_time -> "limit-time"
+  | Explore.Limit Explore.L_interrupt -> "limit-interrupt"
   | Explore.Violation _ -> "violation"
   | Explore.Deadlock _ -> "deadlock"
 
@@ -53,11 +54,12 @@ let outcome_tag = function
    identically whichever section emitted it (table3 used to say
    "Migratory" where the parallel section said "migratory"). *)
 let record_row ?metrics ?store ?workers ?journal_bytes ?provenance_bytes
-    ~protocol ~n ~level ~jobs (r : (_, _) Explore.stats) =
+    ?checkpoint_bytes ?resumes ~protocol ~n ~level ~jobs
+    (r : (_, _) Explore.stats) =
   if bench_json <> None then
     json_rows :=
       Fmt.str
-        {|  {"protocol": %S, "n": %d, "level": %S, "states": %d, "transitions": %d, "time_s": %.6f, "mem_bytes": %d, "outcome": %S, "jobs": %d%s%s%s%s%s}|}
+        {|  {"protocol": %S, "n": %d, "level": %S, "states": %d, "transitions": %d, "time_s": %.6f, "mem_bytes": %d, "outcome": %S, "jobs": %d%s%s%s%s%s%s%s}|}
         (String.lowercase_ascii protocol)
         n level r.states r.transitions r.time_s r.mem_bytes
         (outcome_tag r.outcome) jobs
@@ -74,6 +76,12 @@ let record_row ?metrics ?store ?workers ?journal_bytes ?provenance_bytes
         (match provenance_bytes with
         | None -> ""
         | Some b -> Fmt.str {|, "provenance_bytes": %d|} b)
+        (match checkpoint_bytes with
+        | None -> ""
+        | Some b -> Fmt.str {|, "checkpoint_bytes": %d|} b)
+        (match resumes with
+        | None -> ""
+        | Some c -> Fmt.str {|, "resumes": %d|} c)
         (match metrics with
         | None -> ""
         | Some j -> Fmt.str {|, "metrics": %s|} j)
@@ -1006,6 +1014,202 @@ let journal_overhead () =
   record_row ~protocol:"invalidate" ~n:4 ~level:"async" ~jobs:1
     ~journal_bytes:!jbytes ~provenance_bytes:!pbytes journaled
 
+(* ---- checkpoint overhead (§6h) ------------------------------------------ *)
+
+let checkpoint_overhead () =
+  section "Checkpoint overhead (invalidate, async, n=4)";
+  let module Ckpt = Ccr_modelcheck.Ckpt in
+  let module Sym = Ccr_refine.Symmetry in
+  let module J = Ccr_obs.Journal in
+  let prog = Link.compile ~n:4 Invalidate.system in
+  let cfg = Async.{ k = 2 } in
+  let plain_sys =
+    Explore.
+      {
+        init = Async.initial prog cfg;
+        succ = Async.successors prog cfg;
+        encode = Async.encode;
+        canon = None;
+      }
+  in
+  (* the CLI-shaped system: [ccr check] canonicalizes by default, so the
+     acceptance configuration explores the symmetry quotient *)
+  let sym_sys () =
+    let stats = Sym.make_stats () in
+    {
+      plain_sys with
+      Explore.canon =
+        Some
+          Explore.
+            {
+              canon_key = Sym.canonical_async_fast ~stats prog;
+              canon_fresh = None;
+              canon_fallbacks = (fun () -> Sym.fallbacks stats);
+            };
+    }
+  in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Fmt.str "ccr-bench-ckpt-%d" (Unix.getpid ()))
+  in
+  let cleanup () =
+    (try Sys.remove (Ckpt.file dir) with Sys_error _ -> ());
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  in
+  let manifest = [ ("spec_hash", J.Str "bench") ] in
+  let ck_bytes = ref 0 and writes = ref 0 in
+  let ckpt_every every =
+    ck_bytes := 0;
+    writes := 0;
+    Explore.
+      {
+        ck_resume = None;
+        ck_save =
+          Ckpt.saver ~dir ~manifest ~prov:None ~every:(Ckpt.E_states every)
+            ~on_save:(fun ~bytes ~states:_ ~depth:_ ->
+              ck_bytes := bytes;
+              incr writes)
+            ();
+      }
+  in
+  (* interleave plain/checkpointed samples so clock drift and GC
+     warm-up hit both sides equally, and keep the fastest of each —
+     with the write counters of the kept checkpointed run, not of
+     whichever ran last *)
+  let paired ~samples fp fc =
+    let tp = ref 0. and tc = ref 0. in
+    let bp =
+      ref
+        (let r = fp () in
+         tp := r.Explore.time_s;
+         r)
+    in
+    let bc =
+      ref
+        (let r = fc () in
+         tc := r.Explore.time_s;
+         (r, !ck_bytes, !writes))
+    in
+    let take_p () =
+      let p = fp () in
+      tp := !tp +. p.Explore.time_s;
+      if p.Explore.time_s < !bp.Explore.time_s then bp := p
+    and take_c () =
+      let c = fc () in
+      tc := !tc +. c.Explore.time_s;
+      let b, _, _ = !bc in
+      if c.Explore.time_s < b.Explore.time_s then bc := (c, !ck_bytes, !writes)
+    in
+    for i = 2 to samples do
+      (* alternate which side goes first so monotone drift (GC heap
+         growth, frequency scaling) cannot favour one side *)
+      if i land 1 = 0 then (
+        take_c ();
+        take_p ())
+      else (
+        take_p ();
+        take_c ())
+    done;
+    let c, bytes, ws = !bc in
+    ck_bytes := bytes;
+    writes := ws;
+    (* the table shows the fastest runs; the overhead ratio uses the
+       summed interleaved samples — a paired mean is far less exposed to
+       scheduler noise than a ratio of two single (best) observations *)
+    (!bp, c, (!tc -. !tp) /. !tp *. 100.)
+  in
+  let row name plain ckptd =
+    let overhead =
+      if plain > 0. then (ckptd -. plain) /. plain *. 100. else 0.
+    in
+    Fmt.pr "  %-34s %9.3fs %9.3fs %+6.1f%% %9db %3d@." name plain ckptd
+      overhead !ck_bytes !writes;
+    overhead
+  in
+  Fmt.pr "  %-34s %10s %10s %7s %10s %3s@." "" "plain" "ckpt" "ovh" "bytes"
+    "writes";
+  (* Acceptance configuration: as [ccr check invalidate -n 4 --level
+     async --checkpoint DIR --checkpoint-every 100000] — the quotient
+     stays under the period, so no mid-run write ever falls due and a
+     completed run skips the final one. *)
+  let p_sym, c_sym, sym_ovh =
+    paired ~samples:5
+      (fun () -> Explore.run ~max_time_s:time_cap (sym_sys ()))
+      (fun () ->
+        Explore.run ~max_time_s:time_cap ~ckpt:(ckpt_every 100_000)
+          (sym_sys ()))
+  in
+  ignore
+    (row "symmetry quotient, every=100k" p_sym.Explore.time_s
+       c_sym.Explore.time_s);
+  Fmt.pr "  checkpoint overhead: %+.1f%% wall-clock (target < 3%%)@." sym_ovh;
+  record_row ~protocol:"invalidate" ~n:4 ~level:"async" ~jobs:1
+    ~checkpoint_bytes:!ck_bytes c_sym;
+  (* Forced writes: the full (unquotiented) space crosses the period
+     four times, so this prices the actual serialize+fsync path — the
+     visited set dominates each write. *)
+  let p_full, c_full, _ =
+    paired ~samples:3
+      (fun () -> Explore.run ~max_time_s:time_cap plain_sys)
+      (fun () ->
+        Explore.run ~max_time_s:time_cap ~ckpt:(ckpt_every 100_000)
+          plain_sys)
+  in
+  let full_bytes = !ck_bytes and full_writes = !writes in
+  ignore
+    (row "full space, every=100k (stress)" p_full.Explore.time_s
+       c_full.Explore.time_s);
+  if full_writes > 0 then
+    Fmt.pr "  per write: %.0f ms for %.1f MB of visited set@."
+      ((c_full.Explore.time_s -. p_full.Explore.time_s)
+      /. float_of_int full_writes *. 1000.)
+      (float_of_int full_bytes /. 1048576.);
+  record_row ~protocol:"invalidate" ~n:4 ~level:"async" ~jobs:1
+    ~checkpoint_bytes:full_bytes c_full;
+  (* One interrupted-then-resumed pass, for the resume-count row: cap
+     the first leg halfway, reload, finish, and require the pin. *)
+  let resumed =
+    let cap = max 1 (p_full.Explore.states / 2) in
+    ignore
+      (Explore.run ~max_states:cap
+         ~ckpt:
+           Explore.
+             {
+               ck_resume = None;
+               ck_save = Ckpt.saver ~dir ~manifest ~prov:None ();
+             }
+         plain_sys);
+    match Ckpt.load ~dir with
+    | Error msg -> failwith ("bench checkpoint refused: " ^ msg)
+    | Ok l ->
+      Explore.run ~max_time_s:time_cap
+        ~ckpt:
+          Explore.
+            {
+              ck_resume =
+                Some
+                  {
+                    r_states = l.Ckpt.l_states;
+                    r_transitions = l.Ckpt.l_transitions;
+                    r_frontier = l.Ckpt.l_frontier;
+                    r_keys = l.Ckpt.l_keys;
+                  };
+              ck_save = ignore;
+            }
+        plain_sys
+  in
+  cleanup ();
+  Fmt.pr "  interrupted at half, resumed: %d states, %d transitions %s@."
+    resumed.Explore.states resumed.Explore.transitions
+    (if
+       resumed.Explore.states = p_full.Explore.states
+       && resumed.Explore.transitions = p_full.Explore.transitions
+     then "(= uninterrupted)"
+     else Fmt.str "(MISMATCH: plain %d, %d)" p_full.Explore.states
+         p_full.Explore.transitions);
+  record_row ~protocol:"invalidate" ~n:4 ~level:"async" ~jobs:1 ~resumes:1
+    resumed
+
 (* ---- Engine throughput (§6g) ------------------------------------------- *)
 
 module Runtime = Ccr_runtime.Runtime
@@ -1203,6 +1407,7 @@ let () =
   symmetry ();
   breadth ();
   journal_overhead ();
+  checkpoint_overhead ();
   throughput ();
   microbench ();
   write_json ();

@@ -24,6 +24,7 @@ open Ccr_protocols
 module Explore = Ccr_modelcheck.Explore
 module Vstore = Ccr_modelcheck.Vstore
 module Mpx = Ccr_modelcheck.Mpx
+module Ckpt = Ccr_modelcheck.Ckpt
 module Graph = Ccr_modelcheck.Graph
 module Async = Ccr_refine.Async
 module Fault = Ccr_faults.Fault
@@ -262,6 +263,11 @@ module Obs = struct
   let jev jnl ev fields = Option.iter (fun jn -> J.event jn.j ev fields) jnl
   let jend jnl fields = Option.iter (fun jn -> jn.j_end <- fields) jnl
 
+  (* Append fields to the pending [end] event (after [journal_outcome]
+     has set the base fields): interruption reason, resume command. *)
+  let jend_extend jnl fields =
+    Option.iter (fun jn -> jn.j_end <- jn.j_end @ fields) jnl
+
   let jflush jnl =
     Option.iter
       (fun jn ->
@@ -286,6 +292,7 @@ module Obs = struct
     | Explore.Limit Explore.L_states -> "limit-states"
     | Explore.Limit Explore.L_memory -> "limit-memory"
     | Explore.Limit Explore.L_time -> "limit-time"
+    | Explore.Limit Explore.L_interrupt -> "interrupted"
     | Explore.Violation _ -> "violation"
     | Explore.Deadlock _ -> "deadlock"
 
@@ -768,11 +775,79 @@ let check_cmd =
              walk instead of the sequential re-exploration fallback that \
              $(b,-j)/$(b,--workers) runs otherwise need.")
   in
+  let deadline_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock cap for the exploration; when hit, the run stops \
+             (exit 2) with an $(b,unfinished) outcome — and, with \
+             $(b,--checkpoint), a final checkpoint to resume from.")
+  in
+  let checkpoint_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"DIR"
+          ~doc:
+            "Write crash-safe exploration checkpoints into $(docv) \
+             (created if missing): at BFS level boundaries per \
+             $(b,--checkpoint-every), and always when stopping at a cap, \
+             deadline or SIGINT/SIGTERM.  Writes are atomic \
+             (temp-file + fsync + rename), so a kill at any instant \
+             leaves a resumable file.  Implies $(b,--prov mem) unless \
+             $(b,--prov) is given.")
+  in
+  let checkpoint_every_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "checkpoint-every" ] ~docv:"N|Ns"
+          ~doc:
+            "Checkpoint write policy: a plain integer writes once \
+             $(i,N) new states have accumulated, an $(b,s)-suffixed \
+             number (e.g. $(b,30s)) writes once that many seconds have \
+             passed — both evaluated at BFS level boundaries.  Default: \
+             every boundary.")
+  in
+  let resume_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "resume" ] ~docv:"DIR"
+          ~doc:
+            "Resume the exploration checkpointed in $(docv) and keep \
+             checkpointing there.  The checkpoint's spec hash, instance \
+             parameters and semantics flags must match this command line \
+             (a mismatch is refused with a field-by-field diff); store, \
+             provenance kind, $(b,-j) and $(b,--workers) may change \
+             freely.  Counts, traces and journal tails are byte-identical \
+             to the uninterrupted run.")
+  in
   let run (e : Registry.t) n k generic level symmetry faults harden max_states
-      mem jobs store_sel workers prov_sel progress progress_interval
-      trace_file metrics_file journal_file =
+      mem jobs store_sel workers prov_sel deadline checkpoint_dir
+      checkpoint_every resume_dir progress progress_interval trace_file
+      metrics_file journal_file =
     let workers = max 1 workers in
     let fspec = fault_spec_of faults in
+    (* --resume DIR keeps checkpointing into DIR *)
+    let ckpt_dir =
+      match resume_dir with Some _ -> resume_dir | None -> checkpoint_dir
+    in
+    let ckpt_every =
+      Option.map
+        (fun s ->
+          match Ckpt.parse_every s with
+          | Ok e -> e
+          | Error msg ->
+            Fmt.epr "%s@." msg;
+            exit 1)
+        checkpoint_every
+    in
+    (* Checkpoints persist traces as provenance slots (the in-memory
+       parent arrays of a plain --trace run cannot survive a restart),
+       so checkpointing forces provenance on. *)
+    let prov_sel =
+      if ckpt_dir <> None && prov_sel = None then Some Vstore.Prov.P_mem
+      else prov_sel
+    in
     let reg = Obs.setup ~trace_file in
     let ppf = Obs.report_ppf ~metrics_file in
     let meter = Obs.meter reg in
@@ -783,18 +858,161 @@ let check_cmd =
     let sym_name =
       match symmetry with `Off -> "off" | `Auto -> "auto" | `Brute -> "brute"
     in
-    Obs.jev jnl "config"
+    let level_name =
+      match level with `Rv -> "rendezvous" | `Async -> "async"
+    in
+    let faults_name =
+      match fspec with Some s -> Fmt.str "%a" Fault.pp s | None -> "none"
+    in
+    (* Pins *what* is being explored (Ckpt.guard_keys); the marshalled IR
+       catches two different .ccr files sharing a registry name. *)
+    let spec_hash =
+      let ir =
+        try Marshal.to_string e.Registry.system [] with _ -> e.Registry.name
+      in
+      Digest.to_hex
+        (Digest.string
+           (String.concat "\x00"
+              [
+                ir; string_of_int n; string_of_int k; string_of_bool generic;
+                level_name; sym_name; faults_name; string_of_bool harden;
+              ]))
+    in
+    (* The static checkpoint manifest — loaded back, compared over
+       [Ckpt.guard_keys], and carried across sessions of one run. *)
+    let loaded =
+      match resume_dir with
+      | None -> None
+      | Some dir -> (
+        match (Ckpt.load ~dir : (Obj.t Ckpt.loaded, string) result) with
+        | Error msg ->
+          Fmt.epr "%s@." msg;
+          exit 1
+        | Ok l -> Some l)
+    in
+    let run_id, resumes =
+      match loaded with
+      | Some l -> (
+        ( (match J.get_str (J.find (J.Obj l.Ckpt.l_manifest) "run_id") with
+          | Some id -> id
+          | None -> "unknown"),
+          match J.get_int (J.find (J.Obj l.Ckpt.l_manifest) "resumes") with
+          | Some r -> r + 1
+          | None -> 1 ))
+      | None ->
+        ( String.sub
+            (Digest.to_hex
+               (Digest.string
+                  (Fmt.str "%s %f %d" spec_hash (Unix.gettimeofday ())
+                     (Unix.getpid ()))))
+            0 12,
+          0 )
+    in
+    let ckpt_manifest =
       [
-        ("cmd", J.Str "check");
+        ("spec_hash", J.Str spec_hash);
         ("protocol", J.Str e.Registry.name);
+        ("level", J.Str level_name);
         ("n", J.Int n);
         ("k", J.Int k);
-        ("level", J.Str (match level with `Rv -> "rendezvous" | `Async -> "async"));
         ("generic", J.Bool generic);
         ("symmetry", J.Str sym_name);
+        ("faults", J.Str faults_name);
         ("harden", J.Bool harden);
+        ("run_id", J.Str run_id);
+        ("resumes", J.Int resumes);
+        ( "store",
+          J.Str
+            (match store_sel with
+            | `Mem -> "mem"
+            | `Collapse -> "collapse"
+            | `Disk -> "disk") );
         ("max_states", J.Int max_states);
-      ];
+        ("jobs", J.Int jobs);
+        ("workers", J.Int workers);
+      ]
+    in
+    (match loaded with
+    | Some l -> (
+      match Ckpt.mismatch ~expected:ckpt_manifest ~found:l.Ckpt.l_manifest with
+      | Some diff ->
+        Fmt.epr "cannot resume from %s: %s@."
+          (Option.get resume_dir) diff;
+        exit 1
+      | None ->
+        Fmt.pf ppf "resuming from %s: %d states, %d transitions, depth %d@."
+          (Option.get resume_dir) l.Ckpt.l_states l.Ckpt.l_transitions
+          l.Ckpt.l_depth)
+    | None -> ());
+    (* SIGINT/SIGTERM ask the engines to stop at the next safe point, so
+       the final checkpoint and journal are written before exit *)
+    let interrupted = ref false in
+    let interrupt =
+      match ckpt_dir with
+      | None -> None
+      | Some _ ->
+        List.iter
+          (fun s ->
+            try
+              Sys.set_signal s
+                (Sys.Signal_handle (fun _ -> interrupted := true))
+            with Invalid_argument _ | Sys_error _ -> ())
+          [ Sys.sigint; Sys.sigterm ];
+        Some (fun () -> !interrupted)
+    in
+    (* The exact command that continues this run, for the report and the
+       journal's end event: current argv minus the checkpoint flags, plus
+       --resume DIR. *)
+    let resume_command ?(drop_cap = false) dir =
+      let quote a =
+        if String.exists (fun c -> c = ' ' || c = '"' || c = '\'') a then
+          Filename.quote a
+        else a
+      in
+      (* --max-states is cumulative, so after an L_states stop repeating
+         it would stop the resumed run before it expands anything *)
+      let dropped =
+        [ "--checkpoint"; "--checkpoint-every"; "--resume" ]
+        @ if drop_cap then [ "--max-states" ] else []
+      in
+      let is_dropped a =
+        List.exists
+          (fun f -> a = f || String.starts_with ~prefix:(f ^ "=") a)
+          dropped
+      in
+      let rec strip = function
+        | [] -> []
+        | a :: _ :: rest when List.mem a dropped -> strip rest
+        | a :: rest when is_dropped a -> strip rest
+        | a :: rest -> quote a :: strip rest
+      in
+      String.concat " "
+        (strip (Array.to_list Sys.argv) @ [ "--resume"; quote dir ])
+    in
+    Obs.jev jnl "config"
+      ([
+         ("cmd", J.Str "check");
+         ("protocol", J.Str e.Registry.name);
+         ("n", J.Int n);
+         ("k", J.Int k);
+         ("level", J.Str level_name);
+         ("generic", J.Bool generic);
+         ("symmetry", J.Str sym_name);
+         ("harden", J.Bool harden);
+         ("max_states", J.Int max_states);
+       ]
+      @
+      (* only checkpointed runs carry a run identity: it is derived from
+         the wall clock, and journals of plain runs must stay
+         byte-identical across invocations *)
+      match ckpt_dir with
+      | None -> []
+      | Some _ ->
+        ("run_id", J.Str run_id)
+        ::
+        (if resume_dir <> None then
+           [ ("resumed", J.Bool true); ("resumes", J.Int resumes) ]
+         else []));
     (match fspec with
     | Some spec ->
       Obs.jev jnl "faults" [ ("budget", J.Str (Fmt.str "%a" Fault.pp spec)) ]
@@ -889,19 +1107,71 @@ let check_cmd =
     in
     let explore ?check_deadlock ?split ~invariants sys =
       let store = store_of split in
+      (* Checkpoint control for this run's state type.  The marshalled
+         frontier carries no type information, so the loaded payload is
+         cast here — this is safe exactly because [Ckpt.mismatch]
+         accepted the manifest above (same spec hash, instance and
+         semantics flags imply the same state type). *)
+      let ckpt_ctl =
+        match ckpt_dir with
+        | None -> None
+        | Some dir ->
+          let ck_resume =
+            match loaded with
+            | None -> None
+            | Some l ->
+              let l : _ Ckpt.loaded = Obj.magic l in
+              Option.iter
+                (fun p ->
+                  Array.iteri
+                    (fun id (parent, ord) ->
+                      Vstore.Prov.record p ~id ~parent ~ord)
+                    l.Ckpt.l_prov)
+                prov;
+              Some
+                {
+                  Explore.r_states = l.Ckpt.l_states;
+                  r_transitions = l.Ckpt.l_transitions;
+                  r_frontier = l.Ckpt.l_frontier;
+                  r_keys = l.Ckpt.l_keys;
+                }
+          in
+          let wrote = Obs.M.counter reg "checkpoint.writes" in
+          let wrote_bytes = Obs.M.gauge reg "checkpoint.bytes" in
+          let on_save ~bytes ~states:_ ~depth:_ =
+            Obs.M.incr wrote;
+            Obs.M.set wrote_bytes (float_of_int bytes)
+          in
+          Some
+            {
+              Explore.ck_resume;
+              ck_save =
+                Ckpt.saver ~dir ~manifest:ckpt_manifest ~prov
+                  ?every:ckpt_every ~on_save ();
+            }
+      in
       Obs.T.with_span "explore" (fun () ->
-          if workers > 1 then
-            Mpx.run ~workers ~jobs ~store ~max_states ?max_mem_bytes:mem_bytes
-              ?check_deadlock ~trace:true ~invariants ?on_progress ~metrics:reg
-              ?prov ?on_level sys
-          else if jobs > 1 then
-            Explore.par_run ~jobs ~store ~max_states ?max_mem_bytes:mem_bytes
-              ?check_deadlock ~trace:true ~invariants ?on_progress ?prov
-              ?on_level sys
-          else
-            Explore.run ~store ~max_states ?max_mem_bytes:mem_bytes
-              ?check_deadlock ~trace:true ~invariants ?on_progress
-              ?progress_every:progress_interval ?prov ?on_level sys)
+          try
+            if workers > 1 then
+              Mpx.run ~workers ~jobs ~store ~max_states
+                ?max_mem_bytes:mem_bytes ?max_time_s:deadline ?check_deadlock
+                ~trace:true ~invariants ?on_progress ~metrics:reg ?prov
+                ?on_level ?interrupt ?ckpt:ckpt_ctl sys
+            else if jobs > 1 then
+              Explore.par_run ~jobs ~store ~max_states
+                ?max_mem_bytes:mem_bytes ?max_time_s:deadline ?check_deadlock
+                ~trace:true ~invariants ?on_progress ?prov ?on_level
+                ?interrupt ?ckpt:ckpt_ctl sys
+            else
+              Explore.run ~store ~max_states ?max_mem_bytes:mem_bytes
+                ?max_time_s:deadline ?check_deadlock ~trace:true ~invariants
+                ?on_progress ?progress_every:progress_interval ?prov
+                ?on_level ?interrupt ?ckpt:ckpt_ctl sys
+          with Invalid_argument msg when resume_dir <> None ->
+            (* a mid-level (sequential) checkpoint fed to a parallel
+               engine: the engines refuse with an actionable message *)
+            Fmt.epr "%s@." msg;
+            exit 1)
     in
     (* Emit the trace and metrics artifacts before [report], which exits
        non-zero on any non-Complete outcome. *)
@@ -916,6 +1186,16 @@ let check_cmd =
       Obs.explore_gauges reg r;
       canon_metrics r;
       Obs.journal_outcome jnl ~sym ~lbl r;
+      (match (r.outcome, ckpt_dir) with
+      | Explore.Limit lim, Some dir ->
+        (* every cap/interrupt stop wrote a final checkpoint (or kept the
+           previous one when the boundary was partial): tell the user —
+           and the journal — exactly how to continue *)
+        let cmd = resume_command ~drop_cap:(lim = Explore.L_states) dir in
+        Obs.jend_extend jnl
+          [ ("reason", J.Str "interrupted"); ("resume", J.Str cmd) ];
+        Fmt.epr "checkpoint saved in %s; resume with:@.  %s@." dir cmd
+      | _ -> ());
       Option.iter
         (fun p ->
           Obs.M.set
@@ -1184,7 +1464,8 @@ let check_cmd =
     Term.(
       const run $ protocol_arg $ n_arg $ k_arg $ generic_arg $ level
       $ symmetry $ faults_arg $ harden_arg $ max_states_arg $ mem $ jobs_arg
-      $ store_arg $ workers_arg $ prov_arg $ Obs.progress_arg
+      $ store_arg $ workers_arg $ prov_arg $ deadline_arg $ checkpoint_arg
+      $ checkpoint_every_arg $ resume_arg $ Obs.progress_arg
       $ Obs.progress_interval_arg $ Obs.trace_arg $ Obs.metrics_arg
       $ Obs.journal_arg)
 
@@ -1526,7 +1807,8 @@ let fuzz_cmd =
           ~doc:
             "Comma-separated oracle subset: $(b,validate), $(b,roundtrip), \
              $(b,rv-explore), $(b,async-explore), $(b,eq1), $(b,symmetry), \
-             $(b,par), $(b,faults), $(b,store), $(b,engine), or $(b,all).")
+             $(b,par), $(b,faults), $(b,store), $(b,engine), $(b,resume), \
+             or $(b,all).")
   in
   let out_dir =
     Arg.(

@@ -1,6 +1,7 @@
 open Ccr_core
 module Explore = Ccr_modelcheck.Explore
 module Vstore = Ccr_modelcheck.Vstore
+module Ckpt = Ccr_modelcheck.Ckpt
 module Async = Ccr_refine.Async
 module Absmap = Ccr_refine.Absmap
 module Sym = Ccr_refine.Symmetry
@@ -21,6 +22,7 @@ type name =
   | Faults
   | Store
   | Engine
+  | Resume
 
 let all =
   [
@@ -34,6 +36,7 @@ let all =
     Faults;
     Store;
     Engine;
+    Resume;
   ]
 
 let name_to_string = function
@@ -47,6 +50,7 @@ let name_to_string = function
   | Faults -> "faults"
   | Store -> "store"
   | Engine -> "engine"
+  | Resume -> "resume"
 
 let name_of_string s =
   match List.find_opt (fun o -> name_to_string o = s) all with
@@ -139,6 +143,7 @@ let explored_ok what (r : (_, _) Explore.stats) pp_state =
          (match l with
          | Explore.L_memory -> "memory"
          | Explore.L_time -> "time"
+         | Explore.L_interrupt -> "interrupt"
          | Explore.L_states -> "state"))
   | Explore.Violation { invariant; state } ->
     Fail
@@ -468,6 +473,85 @@ let o_engine ctx =
         end
     end
 
+let o_resume ctx =
+  match (Lazy.force ctx.prog, Lazy.force ctx.async_stats) with
+  | Error e, _ | _, Error e -> Fail (exn_msg e)
+  | Ok prog, Ok seq ->
+    (* Too small to interrupt mid-way: the first leg would complete. *)
+    if seq.Explore.states < 4 then Pass
+    else begin
+      let cfg = Async.{ k = ctx.spec.Gen.k } in
+      let sys = async_sys prog cfg in
+      let dir = Filename.temp_file "ccr-fuzz-ckpt" "" in
+      Sys.remove dir;
+      Fun.protect ~finally:(fun () ->
+          (try Sys.remove (Ckpt.file dir) with Sys_error _ -> ());
+          try Unix.rmdir dir with Unix.Unix_error _ -> ())
+      @@ fun () ->
+      let manifest = [ ("spec_hash", Ccr_obs.Journal.Str "fuzz") ] in
+      let cap = max 1 (seq.Explore.states / 2) in
+      let first =
+        Explore.run ~max_states:cap ~check_deadlock:true
+          ~ckpt:
+            Explore.
+              {
+                ck_resume = None;
+                ck_save = Ckpt.saver ~dir ~manifest ~prov:None ();
+              }
+          sys
+      in
+      match first.Explore.outcome with
+      | Explore.Limit Explore.L_states -> (
+        match Ckpt.load ~dir with
+        | Error msg -> Fail ("checkpoint refused on reload: " ^ msg)
+        | Ok l ->
+          if
+            l.Ckpt.l_states <> first.Explore.states
+            || l.Ckpt.l_transitions <> first.Explore.transitions
+          then
+            Fail
+              (Fmt.str
+                 "checkpoint recorded %d/%d states, %d/%d transitions"
+                 l.Ckpt.l_states first.Explore.states l.Ckpt.l_transitions
+                 first.Explore.transitions)
+          else
+            let resumed =
+              Explore.run ~max_states:ctx.max_states ~check_deadlock:true
+                ~ckpt:
+                  Explore.
+                    {
+                      ck_resume =
+                        Some
+                          {
+                            r_states = l.Ckpt.l_states;
+                            r_transitions = l.Ckpt.l_transitions;
+                            r_frontier = l.Ckpt.l_frontier;
+                            r_keys = l.Ckpt.l_keys;
+                          };
+                      ck_save = ignore;
+                    }
+                sys
+            in
+            if
+              resumed.Explore.states <> seq.Explore.states
+              || resumed.Explore.transitions <> seq.Explore.transitions
+            then
+              Fail
+                (Fmt.str
+                   "resumed run disagrees with uninterrupted: %d/%d \
+                    states, %d/%d transitions"
+                   resumed.Explore.states seq.Explore.states
+                   resumed.Explore.transitions seq.Explore.transitions)
+            else if resumed.Explore.outcome <> seq.Explore.outcome then
+              Fail "resumed run reaches a different outcome"
+            else Pass)
+      | _ ->
+        (* The event (or completion) landed before the cap; both legs
+           are the same deterministic engine, so there is nothing a
+           resume could change. *)
+        Pass
+    end
+
 let run_oracle ctx o =
   let body =
     match o with
@@ -481,6 +565,7 @@ let run_oracle ctx o =
     | Faults -> o_faults
     | Store -> o_store
     | Engine -> o_engine
+    | Resume -> o_resume
   in
   let outcome = try body ctx with e -> Fail (exn_msg e) in
   { oracle = o; outcome }

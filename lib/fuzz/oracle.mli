@@ -32,7 +32,11 @@
       agreement with the simulator, which draws from that same successor
       function), the completing-label count must match the reported
       rendezvous, a reported quiescence must be a real quiescent
-      configuration, and the trace must be deterministic in the seed.
+      configuration, and the trace must be deterministic in the seed;
+    - [Resume]: interrupting the refined-level exploration halfway with
+      a state cap, checkpointing it ({!Ccr_modelcheck.Ckpt}) to a
+      temporary directory, reloading the file, and resuming reproduces
+      the uninterrupted run's states, transitions and outcome exactly.
 
     All explorations are capped at [max_states]; hitting the cap passes
     the oracle (the budget bounds work, it is not a verdict). *)
@@ -50,6 +54,7 @@ type name =
   | Faults
   | Store
   | Engine
+  | Resume
 
 val all : name list
 val name_to_string : name -> string

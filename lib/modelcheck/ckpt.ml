@@ -1,0 +1,426 @@
+(* Crash-safe exploration checkpoints.
+
+   A checkpoint is one file, [DIR/ckpt], holding everything a BFS engine
+   needs to continue from a level boundary: a JSON manifest (spec hash,
+   instance parameters, engine flags, cumulative counts), the serialized
+   visited set, the unexpanded frontier, and the provenance slots.  Fault
+   budgets need no section of their own: they live inside the states of
+   the fault-injected semantics, so they ride in the marshalled frontier.
+
+   Durability discipline: the file is written to [DIR/ckpt.tmp], fsynced,
+   renamed over [DIR/ckpt], and the directory fsynced — a crash at any
+   byte leaves either the previous checkpoint or a complete new one.
+   Every section carries its length and CRC32, so a torn or bit-flipped
+   file is refused on load with a precise message instead of being
+   half-trusted.
+
+   Version policy: [version] is stamped in the header and the manifest.
+   Readers refuse newer versions; a format change that keeps old
+   checkpoints readable keeps the version, anything else bumps it. *)
+
+module J = Ccr_obs.Journal
+
+let version = 1
+
+let header = "CCRCKPT v1"
+
+let file dir = Filename.concat dir "ckpt"
+
+(* ---- CRC32 (IEEE 802.3, table-driven) ------------------------------------ *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xffffffff in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c lxor 0xffffffff
+
+(* ---- varints (visited-section key framing) ------------------------------- *)
+
+let put_varint buf i =
+  let rec go i =
+    if i < 0x80 then Buffer.add_char buf (Char.unsafe_chr i)
+    else begin
+      Buffer.add_char buf (Char.unsafe_chr (0x80 lor (i land 0x7f)));
+      go (i lsr 7)
+    end
+  in
+  if i < 0 then invalid_arg "Ckpt.put_varint: negative";
+  go i
+
+(* returns (value, next position); raises [Exit] on truncation *)
+let get_varint s pos =
+  let rec go pos shift acc =
+    if pos >= String.length s then raise Exit;
+    let c = Char.code (String.unsafe_get s pos) in
+    if c < 0x80 then (acc lor (c lsl shift), pos + 1)
+    else go (pos + 1) (shift + 7) (acc lor ((c land 0x7f) lsl shift))
+  in
+  go pos 0 0
+
+(* ---- section payloads ---------------------------------------------------- *)
+
+let render_visited iter_keys =
+  let buf = Buffer.create 65536 in
+  iter_keys (fun k ->
+      put_varint buf (String.length k);
+      Buffer.add_string buf k);
+  Buffer.contents buf
+
+let iter_visited s f =
+  let pos = ref 0 in
+  (try
+     while !pos < String.length s do
+       let len, data = get_varint s !pos in
+       if data + len > String.length s then raise Exit;
+       f (String.sub s data len);
+       pos := data + len
+     done
+   with Exit -> invalid_arg "Ckpt: truncated visited section")
+
+let render_prov prov ~states =
+  match prov with
+  | None -> ""
+  | Some p ->
+    let n = Vstore.Prov.count p in
+    if n <> states then
+      invalid_arg
+        (Printf.sprintf
+           "Ckpt: provenance table holds %d records for %d states" n states);
+    let b = Bytes.create (8 * n) in
+    for id = 0 to n - 1 do
+      let parent, ord = Vstore.Prov.entry p id in
+      let w = (parent lsl 16) lor (ord + 1) in
+      Bytes.set_int64_le b (8 * id) (Int64.of_int w)
+    done;
+    Bytes.unsafe_to_string b
+
+let decode_prov s =
+  let n = String.length s / 8 in
+  Array.init n (fun id ->
+      let w = Int64.to_int (String.get_int64_le s (8 * id)) in
+      (w lsr 16, (w land 0xffff) - 1))
+
+(* ---- atomic write -------------------------------------------------------- *)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    Unix.close fd
+  | exception Unix.Unix_error _ -> ()
+
+let write_atomically ~dir contents =
+  mkdir_p dir;
+  let tmp = file dir ^ ".tmp" in
+  let fd =
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let len = String.length contents in
+      let written = ref 0 in
+      while !written < len do
+        written :=
+          !written + Unix.write_substring fd contents !written (len - !written)
+      done;
+      (* data must be durable before the rename publishes it *)
+      Unix.fsync fd);
+  Unix.rename tmp (file dir);
+  fsync_dir dir
+
+(* ---- save ---------------------------------------------------------------- *)
+
+let section buf name payload =
+  Buffer.add_string buf
+    (Printf.sprintf "%s %d %08x\n" name (String.length payload)
+       (crc32 payload));
+  Buffer.add_string buf payload;
+  Buffer.add_char buf '\n'
+
+let save ~dir ~manifest ~prov (v : 's Explore.ckpt_view) =
+  let frontier = v.Explore.v_frontier () in
+  let manifest =
+    manifest
+    @ [
+        ("ckpt_version", J.Int version);
+        ("states", J.Int v.Explore.v_states);
+        ("transitions", J.Int v.Explore.v_transitions);
+        ("depth", J.Int v.Explore.v_depth);
+        ("frontier_len", J.Int (Array.length frontier));
+        ("prov_records", J.Int (match prov with
+          | Some p -> Vstore.Prov.count p
+          | None -> 0));
+      ]
+  in
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  section buf "manifest" (J.to_string (J.Obj manifest));
+  section buf "frontier" (Marshal.to_string frontier []);
+  section buf "visited" (render_visited v.Explore.v_iter_keys);
+  section buf "prov" (render_prov prov ~states:v.Explore.v_states);
+  Buffer.add_string buf "end\n";
+  let contents = Buffer.contents buf in
+  write_atomically ~dir contents;
+  String.length contents
+
+(* ---- load ---------------------------------------------------------------- *)
+
+type 's loaded = {
+  l_manifest : (string * J.value) list;
+  l_states : int;
+  l_transitions : int;
+  l_depth : int;
+  l_frontier : (int * int * int * 's) array;
+  l_keys : (string -> unit) -> unit;
+  l_prov : (int * int) array;
+  l_bytes : int;
+}
+
+exception Damaged of string
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* One "name len crc\n" + payload + "\n" block; returns (payload, next). *)
+let read_section s pos name =
+  let nl =
+    match String.index_from_opt s pos '\n' with
+    | Some i -> i
+    | None -> raise (Damaged (Printf.sprintf "missing %s header" name))
+  in
+  let hdr = String.sub s pos (nl - pos) in
+  let len, crc =
+    try Scanf.sscanf hdr "%s %d %x" (fun n l c ->
+        if n <> name then
+          raise (Damaged (Printf.sprintf "expected section %s, found %s" name n));
+        (l, c))
+    with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+      raise (Damaged (Printf.sprintf "malformed %s header" name))
+  in
+  let data = nl + 1 in
+  if data + len + 1 > String.length s then
+    raise
+      (Damaged
+         (Printf.sprintf "section %s truncated (%d of %d payload bytes)" name
+            (String.length s - data) len));
+  let payload = String.sub s data len in
+  let found = crc32 payload in
+  if found <> crc then
+    raise
+      (Damaged
+         (Printf.sprintf "section %s fails its CRC (stored %08x, computed %08x)"
+            name crc found));
+  if s.[data + len] <> '\n' then
+    raise (Damaged (Printf.sprintf "section %s missing terminator" name));
+  (payload, data + len + 1)
+
+let manifest_int m key =
+  match J.get_int (J.find (J.Obj m) key) with
+  | Some i -> i
+  | None -> raise (Damaged (Printf.sprintf "manifest lacks %S" key))
+
+let load ~dir =
+  let path = file dir in
+  try
+    if not (Sys.file_exists path) then
+      Error (Printf.sprintf "no checkpoint at %s" path)
+    else begin
+      let s = read_file path in
+      let hl = String.length header in
+      if String.length s < hl + 1 || String.sub s 0 hl <> header then
+        raise (Damaged "bad magic (not a ccr checkpoint, or a newer version)");
+      if s.[hl] <> '\n' then raise (Damaged "bad magic terminator");
+      let mstr, pos = read_section s (hl + 1) "manifest" in
+      let manifest =
+        match J.parse mstr with
+        | Some (J.Obj fields) -> fields
+        | Some _ | None -> raise (Damaged "manifest is not a JSON object")
+      in
+      let v = manifest_int manifest "ckpt_version" in
+      if v > version then
+        raise
+          (Damaged
+             (Printf.sprintf "written by a newer version (%d > %d)" v version));
+      let fstr, pos = read_section s pos "frontier" in
+      let vstr, pos = read_section s pos "visited" in
+      let pstr, pos = read_section s pos "prov" in
+      if
+        pos + 4 > String.length s
+        || String.sub s pos (String.length s - pos) <> "end\n"
+      then raise (Damaged "missing end marker");
+      let states = manifest_int manifest "states" in
+      let frontier : (int * int * int * 's) array =
+        try Marshal.from_string fstr 0
+        with Failure _ -> raise (Damaged "frontier does not unmarshal")
+      in
+      if Array.length frontier <> manifest_int manifest "frontier_len" then
+        raise (Damaged "frontier length disagrees with the manifest");
+      let prov = decode_prov pstr in
+      if Array.length prov > 0 && Array.length prov <> states then
+        raise (Damaged "provenance record count disagrees with the manifest");
+      Ok
+        {
+          l_manifest = manifest;
+          l_states = states;
+          l_transitions = manifest_int manifest "transitions";
+          l_depth = manifest_int manifest "depth";
+          l_frontier = frontier;
+          l_keys = iter_visited vstr;
+          l_prov = prov;
+          l_bytes = String.length s;
+        }
+    end
+  with
+  | Damaged msg -> Error (Printf.sprintf "checkpoint %s refused: %s" path msg)
+  | Sys_error msg -> Error (Printf.sprintf "checkpoint %s unreadable: %s" path msg)
+  | Invalid_argument msg ->
+    Error (Printf.sprintf "checkpoint %s refused: %s" path msg)
+
+(* ---- compatibility guard -------------------------------------------------- *)
+
+(* Fields that pin what is being explored: resuming under a different
+   value would silently produce garbage counts, so any difference refuses
+   with a field-by-field diff.  Store/prov kinds, job/worker counts and
+   caps are deliberately absent — they affect how, not what, and may
+   change across sessions. *)
+let guard_keys =
+  [ "spec_hash"; "protocol"; "level"; "n"; "k"; "generic"; "symmetry";
+    "faults"; "harden" ]
+
+let pp_value = function
+  | J.Null -> "null"
+  | v -> J.to_string v
+
+let mismatch ~expected ~found =
+  let diffs =
+    List.filter_map
+      (fun key ->
+        match (List.assoc_opt key expected, List.assoc_opt key found) with
+        | Some e, Some f when e = f -> None
+        | Some e, Some f ->
+          Some
+            (Printf.sprintf "  %s: checkpoint has %s, this run has %s" key
+               (pp_value f) (pp_value e))
+        | Some e, None ->
+          Some
+            (Printf.sprintf "  %s: absent from checkpoint, this run has %s" key
+               (pp_value e))
+        | None, _ -> None)
+      guard_keys
+  in
+  match diffs with
+  | [] -> None
+  | ds ->
+    Some
+      ("the checkpoint records a different exploration:\n"
+      ^ String.concat "\n" ds)
+
+(* ---- write policy --------------------------------------------------------- *)
+
+type every = E_states of int | E_secs of float
+
+let parse_every s =
+  let num body conv err =
+    match conv body with
+    | Some v -> Ok v
+    | None -> Error err
+  in
+  if s = "" then Error "empty --checkpoint-every"
+  else if s.[String.length s - 1] = 's' then
+    num
+      (String.sub s 0 (String.length s - 1))
+      (fun b -> Option.map (fun f -> E_secs f) (float_of_string_opt b))
+      (Printf.sprintf "bad --checkpoint-every %S (expected e.g. 30s)" s)
+  else
+    num s
+      (fun b -> Option.map (fun i -> E_states i) (int_of_string_opt b))
+      (Printf.sprintf "bad --checkpoint-every %S (expected a state count or Ns)" s)
+
+(* ---- deterministic crash injection ---------------------------------------- *)
+
+type crash_at = { ca_worker : int option; ca_level : int }
+
+(* CCR_CRASH_AT=level=L kills this process at BFS level L (checkpoint
+   writers); CCR_CRASH_AT=worker=W,level=L kills Mpx worker W as it is
+   about to expand level L.  Test-only: exercised by the resume smoke and
+   the supervision suite. *)
+let crash_at () =
+  match Sys.getenv_opt "CCR_CRASH_AT" with
+  | None | Some "" -> None
+  | Some s ->
+    let fields = String.split_on_char ',' s in
+    let lookup k =
+      List.find_map
+        (fun f ->
+          match String.index_opt f '=' with
+          | Some i when String.sub f 0 i = k ->
+            int_of_string_opt
+              (String.sub f (i + 1) (String.length f - i - 1))
+          | _ -> None)
+        fields
+    in
+    (match lookup "level" with
+    | Some l -> Some { ca_worker = lookup "worker"; ca_level = l }
+    | None -> None)
+
+let crash_here () = Unix.kill (Unix.getpid ()) Sys.sigkill
+
+(* ---- the engine-facing save callback -------------------------------------- *)
+
+let saver ~dir ~manifest ~prov ?every ?on_save () =
+  let last_states = ref 0 in
+  let last_time = ref (Unix.gettimeofday ()) in
+  let crash =
+    match crash_at () with
+    | Some { ca_worker = None; ca_level } -> Some ca_level
+    | _ -> None
+  in
+  fun (v : 's Explore.ckpt_view) ->
+    let due =
+      if v.Explore.v_final then
+        (* a final view with an empty frontier is a finished exploration
+           — complete, or stopped on an event; there is nothing a resume
+           could continue, so skip the (large) write *)
+        Array.length (v.Explore.v_frontier ()) > 0
+      else
+        match every with
+        | None -> true
+        | Some (E_states n) -> v.Explore.v_states - !last_states >= n
+        | Some (E_secs secs) -> Unix.gettimeofday () -. !last_time >= secs
+    in
+    if due then begin
+      let bytes = save ~dir ~manifest ~prov v in
+      last_states := v.Explore.v_states;
+      last_time := Unix.gettimeofday ();
+      match on_save with
+      | Some f ->
+        f ~bytes ~states:v.Explore.v_states ~depth:v.Explore.v_depth
+      | None -> ()
+    end;
+    (* fires after the write, so the smoke's kill point always has a
+       fresh checkpoint to resume from *)
+    match crash with
+    | Some l when v.Explore.v_depth = l -> crash_here ()
+    | _ -> ()

@@ -1,0 +1,123 @@
+(** Crash-safe exploration checkpoints.
+
+    One file, [DIR/ckpt], holds everything a BFS engine needs to continue
+    from a level boundary: a JSON manifest (spec hash, instance
+    parameters, engine flags, cumulative counts), the serialized visited
+    set, the unexpanded frontier, and the provenance slots.  Fault
+    budgets have no section of their own — they live inside the states of
+    the fault-injected semantics and ride in the marshalled frontier.
+
+    Writes are atomic (temp file, fsync, rename, directory fsync): a
+    crash at any byte leaves either the previous checkpoint or a complete
+    new one.  Every section carries its length and CRC32, so torn or
+    corrupted files are refused on load with a precise message.  The
+    engine side of the contract ({!Explore.ckpt}) is deliberately
+    format-blind; everything about bytes on disk lives here. *)
+
+val version : int
+(** Format version stamped in the header and manifest.  Readers refuse
+    checkpoints written by a newer version; compatible format changes
+    keep the number, incompatible ones bump it. *)
+
+val file : string -> string
+(** [file dir] is the checkpoint path inside [dir] ([dir ^ "/ckpt"]). *)
+
+val crc32 : string -> int
+(** IEEE CRC32 (the one in zlib/PNG), exposed for tests. *)
+
+val save :
+  dir:string ->
+  manifest:(string * Ccr_obs.Journal.value) list ->
+  prov:Vstore.Prov.t option ->
+  's Explore.ckpt_view ->
+  int
+(** Write a checkpoint for the boundary [view] into [dir] (created if
+    missing), returning the file's size in bytes.  [manifest] is the
+    caller's static description of the run (see {!guard_keys}); the
+    dynamic fields ([ckpt_version], [states], [transitions], [depth],
+    [frontier_len], [prov_records]) are appended here.  When [prov] is
+    given it must hold exactly [v_states] records. *)
+
+type 's loaded = {
+  l_manifest : (string * Ccr_obs.Journal.value) list;
+  l_states : int;
+  l_transitions : int;
+  l_depth : int;  (** BFS depth of the checkpointed frontier *)
+  l_frontier : (int * int * int * 's) array;
+      (** [(id, depth, resume_ord, state)], as {!Explore.ckpt_resume} *)
+  l_keys : (string -> unit) -> unit;
+      (** re-iterate the visited-set keys, insertion order preserved *)
+  l_prov : (int * int) array;
+      (** [(parent, ord)] per dense id, empty when saved without
+          provenance; replay through {!Vstore.Prov.record} before
+          resuming *)
+  l_bytes : int;  (** checkpoint file size *)
+}
+
+val load : dir:string -> ('s loaded, string) result
+(** Read and verify [dir]'s checkpoint.  Any damage — missing file, bad
+    magic, truncation at whatever byte, CRC mismatch, manifest/section
+    disagreement, newer version — yields [Error] with a one-line
+    diagnosis; this function never raises on malformed input.
+
+    The ['s] is trusted, not checked: marshalled states carry no type
+    information, which is why {!mismatch} must pass before the frontier
+    is used. *)
+
+val guard_keys : string list
+(** Manifest fields that pin {e what} is being explored ([spec_hash],
+    [protocol], [level], [n], [k], [generic], [symmetry], [faults],
+    [harden]).  Store kind, provenance kind, job/worker counts and
+    resource caps are deliberately absent: they affect how, not what,
+    and may change between sessions of one run. *)
+
+val mismatch :
+  expected:(string * Ccr_obs.Journal.value) list ->
+  found:(string * Ccr_obs.Journal.value) list ->
+  string option
+(** Compare the current run's manifest ([expected]) against a loaded
+    one over {!guard_keys}.  [None] means resuming is safe; [Some diff]
+    is a multi-line, field-by-field refusal message. *)
+
+type every = E_states of int | E_secs of float
+
+val parse_every : string -> (every, string) result
+(** Parse a [--checkpoint-every] argument: a plain integer is a state
+    count, a [30s]/[0.5s] suffix form is a wall-clock period. *)
+
+val saver :
+  dir:string ->
+  manifest:(string * Ccr_obs.Journal.value) list ->
+  prov:Vstore.Prov.t option ->
+  ?every:every ->
+  ?on_save:(bytes:int -> states:int -> depth:int -> unit) ->
+  unit ->
+  's Explore.ckpt_view ->
+  unit
+(** The standard write policy, packaged as an {!Explore.ckpt} [ck_save]
+    callback.  Writes at every level boundary by default, or when
+    [every] states/seconds have accumulated since the last write.  A
+    [v_final] view writes regardless of [every] — but only when its
+    frontier is non-empty: a finished exploration has nothing a resume
+    could continue, so the (large) final write is skipped.  [on_save]
+    observes each completed
+    write (for journaling and byte metering).  Honors the [level=L] form
+    of [CCR_CRASH_AT] (see {!crash_at}) by killing the process {e after}
+    the boundary's write. *)
+
+(** {2 Deterministic crash injection}
+
+    [CCR_CRASH_AT=level=L] kills the checkpoint-writing process at BFS
+    level [L]; [CCR_CRASH_AT=worker=W,level=L] kills multi-process
+    worker [W] as it is about to expand level [L].  Test-only: this is
+    how the resume smoke and the supervision suite make crashes
+    reproducible. *)
+
+type crash_at = { ca_worker : int option; ca_level : int }
+
+val crash_at : unit -> crash_at option
+(** The parsed [CCR_CRASH_AT] directive, if any. *)
+
+val crash_here : unit -> unit
+(** [SIGKILL] the current process — no atexit, no flush, the closest
+    portable stand-in for power loss. *)

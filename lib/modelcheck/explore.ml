@@ -22,7 +22,7 @@ let key_fns sys =
       (match c.canon_fresh with None -> fun _ -> () | Some f -> f),
       c.canon_fallbacks )
 
-type limit = L_states | L_memory | L_time
+type limit = L_states | L_memory | L_time | L_interrupt
 
 type strategy = Bfs | Dfs
 
@@ -45,6 +45,40 @@ type ('s, 'l) stats = {
   max_depth : int;
   canon_fallbacks : int;
   trace : ('l option * 's) list option;
+}
+
+(* ---- checkpoint control ---------------------------------------------------
+
+   The engines know nothing about checkpoint files; they expose resumable
+   points through this control record.  A frontier entry is
+   [(id, depth, resume_ord, state)]: the state's visited id, its BFS
+   depth, and the successor ordinal expansion should resume from (0
+   everywhere except the sequential engine's in-flight state at a
+   mid-level cap).  [ck_save] fires at every BFS level boundary — the
+   moment every state of the frontier's depth is discovered and none is
+   expanded — and once more with [v_final = true] when the engine stops
+   at a resource cap or an interrupt; the callback (the [Ckpt] layer)
+   decides whether to actually write. *)
+
+type 's ckpt_view = {
+  v_states : int;
+  v_transitions : int;
+  v_depth : int;
+  v_final : bool;
+  v_frontier : unit -> (int * int * int * 's) array;
+  v_iter_keys : (string -> unit) -> unit;
+}
+
+type 's ckpt_resume = {
+  r_states : int;
+  r_transitions : int;
+  r_frontier : (int * int * int * 's) array;
+  r_keys : (string -> unit) -> unit;
+}
+
+type 's ckpt = {
+  ck_resume : 's ckpt_resume option;
+  ck_save : 's ckpt_view -> unit;
 }
 
 let bitstate_positions = Vstore.bitstate_positions
@@ -79,7 +113,7 @@ let make_store ?init_slots ?tail_cap visited kind =
 let run ?(strategy = Bfs) ?(visited = Exact) ?(store = Vstore.Mem) ?max_states
     ?max_mem_bytes ?max_time_s ?(check_deadlock = false) ?(trace = false)
     ?(invariants = []) ?on_progress ?(progress_every = 8192) ?prov ?on_level
-    sys =
+    ?interrupt ?ckpt sys =
   let t0 = Unix.gettimeofday () in
   let key_of, on_fresh, canon_fallbacks = key_fns sys in
   let store = make_store visited store in
@@ -130,18 +164,20 @@ let run ?(strategy = Bfs) ?(visited = Exact) ?(store = Vstore.Mem) ?max_states
         in
         Some (up id [])
   in
-  let push_frontier, pop_frontier, frontier_empty =
+  let push_frontier, pop_frontier, frontier_empty, frontier_entries =
     match strategy with
     | Bfs ->
       let q = Queue.create () in
       ( (fun x -> Queue.push x q),
         (fun () -> Queue.pop q),
-        fun () -> Queue.is_empty q )
+        (fun () -> Queue.is_empty q),
+        fun () -> List.of_seq (Queue.to_seq q) )
     | Dfs ->
       let s = Stack.create () in
       ( (fun x -> Stack.push x s),
         (fun () -> Stack.pop s),
-        fun () -> Stack.is_empty s )
+        (fun () -> Stack.is_empty s),
+        fun () -> List.of_seq (Stack.to_seq s) )
   in
   let n_transitions = ref 0 in
   let frontier_len = ref 0 in
@@ -208,10 +244,71 @@ let run ?(strategy = Bfs) ?(visited = Exact) ?(store = Vstore.Mem) ?max_states
       emit_progress depth
     end
   in
-  discover sys.init 0 None ~ord:(-1) ~depth:0;
+  (* Checkpoint control is BFS-only: level boundaries are not meaningful
+     under DFS. *)
+  let ck = match ckpt with Some c when strategy = Bfs -> Some c | _ -> None in
+  let ck_save ~final ~head () =
+    match ck with
+    | None -> ()
+    | Some c ->
+      c.ck_save
+        {
+          v_states = !n_states;
+          v_transitions = !n_transitions;
+          v_depth = !max_depth;
+          v_final = final;
+          v_frontier =
+            (fun () ->
+              let rest =
+                List.map
+                  (fun (st, id, d) -> (id, d, 0, st))
+                  (frontier_entries ())
+              in
+              Array.of_list
+                (match head with
+                | Some (st, id, d, o) -> (id, d, o, st) :: rest
+                | None -> rest));
+          v_iter_keys = store.Vstore.iter_keys;
+        }
+  in
+  (* With an [ord] skip marker a resumed in-flight state re-expands only
+     the successors the interrupted run never traversed, so transition
+     counts continue exactly where the checkpoint left them. *)
+  let pending_skip = ref None in
+  (match ck with
+  | Some { ck_resume = Some r; _ } ->
+    r.r_keys (fun k -> ignore (store.Vstore.add k));
+    n_states := r.r_states;
+    n_transitions := r.r_transitions;
+    Array.iter
+      (fun (id, d, o, st) ->
+        if d > !max_depth then max_depth := d;
+        if o > 0 then pending_skip := Some (id, o);
+        push_frontier (st, id, d);
+        incr frontier_len)
+      r.r_frontier;
+    peak_frontier := !frontier_len
+  | _ -> discover sys.init 0 None ~ord:(-1) ~depth:0);
+  let last_depth = ref 0 in
+  let inflight = ref None in
   while (not (frontier_empty ())) && !finished = None do
     let st, id, depth = pop_frontier () in
     decr frontier_len;
+    let start_ord =
+      match !pending_skip with
+      | Some (sid, o) when sid = id ->
+        pending_skip := None;
+        o
+      | _ -> 0
+    in
+    if ck <> None then begin
+      (* first pop of a deeper level: every state of that level is
+         discovered and none expanded — the resumable boundary *)
+      if depth > !last_depth then
+        ck_save ~final:false ~head:(Some (st, id, depth, start_ord)) ();
+      inflight := Some (st, id, depth, start_ord)
+    end;
+    last_depth := depth;
     (* Consult the time cap before every expansion: a throttled check (the
        old every-256-pops scheme) lets a batch of slow [succ] calls
        overshoot the cap by seconds on the asynchronous protocols. *)
@@ -219,19 +316,31 @@ let run ?(strategy = Bfs) ?(visited = Exact) ?(store = Vstore.Mem) ?max_states
     | Some cap when Unix.gettimeofday () -. t0 > cap ->
       finish (Limit L_time)
     | _ -> ());
+    (match interrupt with
+    | Some f when f () -> finish (Limit L_interrupt)
+    | _ -> ());
     if !finished = None then begin
       let succs = sys.succ st in
       if check_deadlock && succs = [] then finish ~id (Deadlock st);
       List.iteri
         (fun ord (label, st') ->
-          if !finished = None then begin
+          if ord >= start_ord && !finished = None then begin
             incr n_transitions;
-            discover st' id (Some label) ~ord ~depth:(depth + 1)
+            discover st' id (Some label) ~ord ~depth:(depth + 1);
+            if ck <> None && !finished <> None then
+              inflight := Some (st, id, depth, ord + 1)
           end)
         succs
     end
   done;
   let outcome = match !finished with Some o -> o | None -> Complete in
+  (match outcome with
+  | Limit _ ->
+    (* the last chance to persist work before reporting a cap or an
+       interrupt: the in-flight state (with its resume ordinal) plus the
+       unexpanded queue is exactly the run's remaining obligation *)
+    ck_save ~final:true ~head:!inflight ()
+  | Complete | Violation _ | Deadlock _ -> ());
   let trace_path =
     match outcome with
     | Violation _ | Deadlock _ -> rebuild_trace !bad_id
@@ -279,7 +388,7 @@ let make_barrier jobs =
 
 let par_run ?jobs ?(visited = Exact) ?(store = Vstore.Mem) ?max_states
     ?max_mem_bytes ?max_time_s ?(check_deadlock = false) ?(trace = false)
-    ?(invariants = []) ?on_progress ?prov ?on_level sys =
+    ?(invariants = []) ?on_progress ?prov ?on_level ?interrupt ?ckpt sys =
   let jobs =
     match jobs with
     | Some j -> max 1 j
@@ -333,6 +442,7 @@ let par_run ?jobs ?(visited = Exact) ?(store = Vstore.Mem) ?max_states
   (* Cooperative stop flag, polled by every domain between expansions. *)
   let stop = Atomic.make false in
   let timed_out = Atomic.make false in
+  let intr = Atomic.make false in
   (* First violation/deadlock/exception seen by any domain, in arrival
      order (the deterministic report comes from the sequential fallback). *)
   let event_lock = Mutex.create () in
@@ -437,6 +547,11 @@ let par_run ?jobs ?(visited = Exact) ?(store = Vstore.Mem) ?max_states
     (match max_time_s with
     | Some cap when Unix.gettimeofday () -. t0 > cap ->
       Atomic.set timed_out true;
+      Atomic.set stop true
+    | _ -> ());
+    (match interrupt with
+    | Some f when f () ->
+      Atomic.set intr true;
       Atomic.set stop true
     | _ -> ());
     if not (Atomic.get stop) then begin
@@ -579,27 +694,76 @@ let par_run ?jobs ?(visited = Exact) ?(store = Vstore.Mem) ?max_states
           limit_hit := Some (Limit L_memory);
           Atomic.set stop true
         | _ -> ());
+        if Atomic.get intr then limit_hit := Some (Limit L_interrupt);
         if Atomic.get timed_out then limit_hit := Some (Limit L_time);
-        keep_going := (not (Atomic.get stop)) && Array.length !frontier > 0
+        keep_going := (not (Atomic.get stop)) && Array.length !frontier > 0;
+        (* Checkpoint at the level boundary — but not after a mid-level
+           stop (time cap or interrupt caught workers part-way through a
+           level, so the merged frontier is partial and not resumable;
+           the previously written checkpoint stands). *)
+        (match ckpt with
+        | Some c
+          when Array.length !frontier > 0
+               && (not (Atomic.get timed_out))
+               && (not (Atomic.get intr))
+               && !event = None && !prov_event = None ->
+          let len = Array.length !frontier in
+          let base = !n_states - len in
+          let d = !cur_depth in
+          c.ck_save
+            {
+              v_states = !n_states;
+              v_transitions = Array.fold_left (fun a r -> a + !r) 0 trans;
+              v_depth = d;
+              v_final = not !keep_going;
+              v_frontier =
+                (fun () -> Array.mapi (fun i st -> (base + i, d, 0, st)) !frontier);
+              v_iter_keys =
+                (fun f -> Array.iter (fun (_, s) -> s.Vstore.iter_keys f) shards);
+            }
+        | _ -> ())
       end;
       barrier ();
       running := !keep_going
     done
   in
   (* discover the initial state (and its possible violation) up front, as
-     the sequential engine does *)
-  ignore (shard_add (key_of sys.init));
-  on_fresh sys.init;
-  prov_record ~id:0 ~parent:0 ~ord:(-1);
-  n_states := 1;
-  (match List.find_opt (fun (_, check) -> not (check sys.init)) invariants with
-  | Some (name, _) ->
-    if prov_mode then begin
-      prov_event := Some (Violation { invariant = name; state = sys.init }, 0);
-      Atomic.set stop true
-    end
-    else record_event (Violation { invariant = name; state = sys.init })
-  | None -> ());
+     the sequential engine does — or, on resume, rebuild the level
+     boundary the checkpoint recorded *)
+  (match ckpt with
+  | Some { ck_resume = Some r; _ } ->
+    let len = Array.length r.r_frontier in
+    if len = 0 then invalid_arg "Explore.par_run: empty resume frontier";
+    let _, d0, _, _ = r.r_frontier.(0) in
+    Array.iteri
+      (fun i (id, d, o, _) ->
+        if d <> d0 || o <> 0 || id <> r.r_states - len + i then
+          invalid_arg
+            "Explore.par_run: mid-level checkpoint (saved by the \
+             sequential engine); resume it with -j 1")
+      r.r_frontier;
+    r.r_keys (fun k -> ignore (shard_add k));
+    n_states := r.r_states;
+    trans.(0) := r.r_transitions;
+    frontier := Array.map (fun (_, _, _, st) -> st) r.r_frontier;
+    cur_depth := d0;
+    peak_frontier := len
+  | _ ->
+    ignore (shard_add (key_of sys.init));
+    on_fresh sys.init;
+    prov_record ~id:0 ~parent:0 ~ord:(-1);
+    n_states := 1;
+    (match
+       List.find_opt (fun (_, check) -> not (check sys.init)) invariants
+     with
+    | Some (name, _) ->
+      if prov_mode then begin
+        prov_event :=
+          Some (Violation { invariant = name; state = sys.init }, 0);
+        Atomic.set stop true
+      end
+      else record_event (Violation { invariant = name; state = sys.init })
+    | None -> ()));
   (match max_states with
   | Some cap when !n_states >= cap ->
     limit_hit := Some (Limit L_states);
@@ -641,7 +805,8 @@ let par_run ?jobs ?(visited = Exact) ?(store = Vstore.Mem) ?max_states
        shortest-path trace. *)
     let r =
       run ~strategy:Bfs ~visited ~store:store_kind ?max_states ?max_mem_bytes
-        ?max_time_s ~check_deadlock ~trace ~invariants ?on_progress sys
+        ?max_time_s ~check_deadlock ~trace ~invariants ?on_progress ?interrupt
+        sys
     in
     { r with time_s = Unix.gettimeofday () -. t0 }
   | None, None ->
@@ -663,6 +828,7 @@ let pp_outcome pp_state ppf = function
   | Limit L_states -> Fmt.string ppf "unfinished (state cap)"
   | Limit L_memory -> Fmt.string ppf "unfinished (memory cap)"
   | Limit L_time -> Fmt.string ppf "unfinished (time cap)"
+  | Limit L_interrupt -> Fmt.string ppf "unfinished (interrupted)"
   | Violation { invariant; state } ->
     Fmt.pf ppf "invariant %s violated at@,%a" invariant pp_state state
   | Deadlock state -> Fmt.pf ppf "deadlock at@,%a" pp_state state

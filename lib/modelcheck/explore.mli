@@ -46,7 +46,14 @@ val key_fns :
     counter of a system ([encode] and no-ops without a [canon] hook).
     Shared with the multi-process engine ({!Mpx}). *)
 
-type limit = L_states | L_memory | L_time
+type limit =
+  | L_states
+  | L_memory
+  | L_time
+  | L_interrupt
+      (** the [interrupt] callback asked the engine to stop (e.g. a
+          SIGINT/SIGTERM handler); work done so far is reported — and,
+          with a checkpoint control attached, persisted *)
 
 type strategy = Bfs | Dfs
 (** Search order.  Both enumerate the same reachable set; BFS yields
@@ -96,6 +103,54 @@ type ('s, 'l) stats = {
           carrying the label that led to it *)
 }
 
+(** {2 Checkpoint control}
+
+    The engines expose resumable points through this record; the file
+    format, write policy and refusal logic live in {!Ckpt}.  A frontier
+    entry is [(id, depth, resume_ord, state)]: the state's visited id,
+    its BFS depth, and the successor ordinal expansion should resume
+    from — 0 everywhere except the sequential engine's in-flight state
+    at a mid-level cap, whose already-traversed successors must not be
+    re-counted. *)
+
+type 's ckpt_view = {
+  v_states : int;
+  v_transitions : int;
+  v_depth : int;  (** BFS depth of the (deepest) frontier state *)
+  v_final : bool;
+      (** the engine is stopping at a cap or interrupt: last chance to
+          persist *)
+  v_frontier : unit -> (int * int * int * 's) array;
+      (** materialize the unexpanded frontier (thunked: costs nothing
+          when the policy declines the boundary) *)
+  v_iter_keys : (string -> unit) -> unit;
+      (** visit every visited-set key {e at this boundary} *)
+}
+
+type 's ckpt_resume = {
+  r_states : int;
+  r_transitions : int;
+  r_frontier : (int * int * int * 's) array;
+  r_keys : (string -> unit) -> unit;
+}
+
+type 's ckpt = {
+  ck_resume : 's ckpt_resume option;
+      (** continue from this payload instead of [sys.init].  The visited
+          store is re-populated from [r_keys], counts continue from
+          [r_states]/[r_transitions], and the frontier is re-queued.  A
+          provenance table passed alongside must already hold
+          [r_states] records (see {!Ckpt.load}).  {!par_run} and
+          {!Mpx.run} require a level-boundary payload (uniform depth,
+          zero resume ordinals, contiguous trailing ids) and raise
+          [Invalid_argument] on a sequential mid-level checkpoint. *)
+  ck_save : 's ckpt_view -> unit;
+      (** called at every BFS level boundary, and once more with
+          [v_final = true] when stopping at a cap/interrupt (except
+          after a mid-level stop in the parallel engines, where the
+          frontier is partial and the previous checkpoint stands) *)
+}
+
 val run :
   ?strategy:strategy ->
   ?visited:visited_mode ->
@@ -110,10 +165,14 @@ val run :
   ?progress_every:int ->
   ?prov:Vstore.Prov.t ->
   ?on_level:(depth:int -> states:int -> unit) ->
+  ?interrupt:(unit -> bool) ->
+  ?ckpt:'s ckpt ->
   ('s, 'l) system ->
   ('s, 'l) stats
 (** Search from [init] (default: breadth-first with an exact in-memory
-    visited set).  [store] (default {!Vstore.Mem}) selects the
+    visited set).  [interrupt] (polled before every expansion) asks the
+    engine to stop with [Limit L_interrupt]; [ckpt] (BFS only) attaches
+    the checkpoint control described above.  [store] (default {!Vstore.Mem}) selects the
     visited-set representation — collapse-compressed or out-of-core, see
     {!Vstore}; all kinds produce identical state and transition counts,
     only memory use differs.  A [Bitstate] visited mode takes precedence
@@ -145,6 +204,8 @@ val par_run :
   ?on_progress:(Ccr_obs.Progress.sample -> unit) ->
   ?prov:Vstore.Prov.t ->
   ?on_level:(depth:int -> states:int -> unit) ->
+  ?interrupt:(unit -> bool) ->
+  ?ckpt:'s ckpt ->
   ('s, 'l) system ->
   ('s, 'l) stats
 (** Parallel breadth-first search over [jobs] OCaml 5 domains (default:

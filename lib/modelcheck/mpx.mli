@@ -17,6 +17,17 @@
     further.  For pure CPU parallelism inside one address space,
     {!Explore.par_run} has lower constant costs.
 
+    The parent also supervises.  It retains, per worker, an append-only
+    log of the keys merged into that worker's shard, so a worker that
+    dies (crash, OOM kill, [CCR_CRASH_AT] injection) is respawned with
+    exponential backoff, its store rebuilt from the log, and the
+    interrupted protocol step replayed — counts are unaffected.  When
+    the respawn budget ([2 * workers], reset on degradation) is
+    exhausted, the key space is re-partitioned over one fewer worker and
+    the round restarts; only the loss of the last worker fails the run.
+    The same logs serve as the checkpoint serialization source, so
+    attaching [ckpt] adds no protocol messages.
+
     Requirements: states and labels must contain no closures (frontier
     batches cross process boundaries via [Marshal]), and [run] must be
     called before any domain is spawned in the calling process (it
@@ -36,11 +47,16 @@ val run :
   ?metrics:Ccr_obs.Metrics.t ->
   ?prov:Vstore.Prov.t ->
   ?on_level:(depth:int -> states:int -> unit) ->
+  ?interrupt:(unit -> bool) ->
+  ?ckpt:'s Explore.ckpt ->
+  ?on_respawn:(worker:int -> unit) ->
+  ?on_degrade:(workers:int -> unit) ->
   ('s, 'l) Explore.system ->
   ('s, 'l) Explore.stats
 (** Explore with [workers] processes (default 2; [1] delegates to the
-    in-process engines) of [jobs] domains each (default 1).  Resource
-    caps are applied at BFS-level granularity, as in {!Explore.par_run};
+    in-process engines, forwarding every option including [interrupt]
+    and [ckpt]) of [jobs] domains each (default 1).  Resource caps are
+    applied at BFS-level granularity, as in {!Explore.par_run};
     [mem_bytes]/[raw_bytes] sum the per-worker stores.  On a violation or
     deadlock the parent falls back to a sequential re-run for the
     canonical first event and (with [~trace:true]) its shortest
@@ -57,4 +73,15 @@ val run :
     [shard_balance] reports how evenly states spread over the workers.
     [on_level] fires in the parent once per completed level, emitting
     exactly the sequential engine's (depth, cumulative states)
-    sequence. *)
+    sequence.
+
+    [interrupt] is polled in the parent at each level boundary;
+    [ckpt.ck_save] fires there too (the boundary is complete: all of the
+    level's states are merged and identified), except after a mid-level
+    deadline stop, where the frontier would be partial and the previous
+    checkpoint stands.  [ckpt.ck_resume] must be a level-boundary
+    payload (uniform depth, zero ordinals, contiguous trailing ids) —
+    the sequential engine's mid-level checkpoints are refused with
+    [Invalid_argument].  [on_respawn]/[on_degrade] observe supervision:
+    a worker replaced after a crash, and the worker count dropping after
+    a respawn-budget exhaustion. *)

@@ -7,6 +7,7 @@ type t = {
   mem_bytes : unit -> int;
   raw_bytes : unit -> int;
   count : unit -> int;
+  iter_keys : (string -> unit) -> unit;
 }
 
 type kind = Mem | Collapse of (string -> int array) | Disk
@@ -114,6 +115,9 @@ let exact ?(init_slots = 4096) () =
     raw_bytes =
       (fun () -> t.Strset.key_bytes + (per_state_overhead * t.Strset.count));
     count = (fun () -> t.Strset.count);
+    iter_keys =
+      (fun f ->
+        Array.iter (fun k -> if k != Strset.absent then f k) t.Strset.keys);
   }
 
 (* ---- bitstate (supertrace) hashing -------------------------------------- *)
@@ -152,6 +156,11 @@ let bitstate bits =
     mem_bytes = (fun () -> nbits / 8);
     raw_bytes = (fun () -> nbits / 8);
     count = (fun () -> !marked);
+    iter_keys =
+      (fun _ ->
+        (* bitstate drops the keys by construction; checkpointing refuses
+           the mode before ever asking *)
+        invalid_arg "Vstore.bitstate: keys are not recoverable");
   }
 
 (* ---- component interning (shared with the collapse store) --------------- *)
@@ -404,6 +413,28 @@ let collapse_over ~init_slots ~split ~interns ~lock ~count_interns () =
         + Bytes.length !scratch);
     raw_bytes = (fun () -> !raw);
     count = (fun () -> tuples.Tupleset.count);
+    iter_keys =
+      (fun f ->
+        (* The arena is a dense sequence of varint-length-prefixed tuples
+           in insertion order; components concatenate back to the exact
+           key (split covers the key), so this inverts [add]. *)
+        let arena = tuples.Tupleset.arena in
+        let buf = Buffer.create 256 in
+        let off = ref 0 in
+        while !off < tuples.Tupleset.arena_len do
+          let len, data = get_varint arena !off in
+          locked (fun () ->
+              Buffer.clear buf;
+              let pos = ref data and c = ref 0 in
+              while !pos < data + len do
+                let id, next = get_varint arena !pos in
+                Buffer.add_string buf (Intern.get !interns.(!c) id);
+                pos := next;
+                incr c
+              done);
+          f (Buffer.contents buf);
+          off := data + len
+        done);
   }
 
 let collapse ?(init_slots = 1024) ~split () =
@@ -445,11 +476,20 @@ module Diskset = struct
     mutable read_buf : Bytes.t;
   }
 
-  let create ~init_slots ~tail_cap =
-    let path = Filename.temp_file "ccr_vstore" ".keys" in
-    let fd = Unix.openfile path [ Unix.O_RDWR ] 0o600 in
-    (* unlinked immediately: the file vanishes with the process *)
-    Unix.unlink path;
+  let create ?path ~init_slots ~tail_cap () =
+    let fd =
+      match path with
+      | None ->
+        (* anonymous: unlinked immediately, vanishes with the process *)
+        let p = Filename.temp_file "ccr_vstore" ".keys" in
+        let fd = Unix.openfile p [ Unix.O_RDWR ] 0o600 in
+        Unix.unlink p;
+        fd
+      | Some p ->
+        (* named: persists on disk so an external checkpoint/reopen flow
+           can point at a stable file instead of a vanishing temp *)
+        Unix.openfile p [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+    in
     {
       fd;
       file_len = 0;
@@ -572,14 +612,34 @@ module Diskset = struct
     + Bytes.length t.read_buf
 end
 
-let disk ?(init_slots = 1024) ?(tail_cap = 1 lsl 16) () =
-  let t = Diskset.create ~init_slots ~tail_cap in
+let disk ?path ?(init_slots = 1024) ?(tail_cap = 1 lsl 16) () =
+  let t = Diskset.create ?path ~init_slots ~tail_cap () in
   {
     add = (fun key -> Diskset.add t key);
     mem_bytes = (fun () -> Diskset.mem_bytes t);
     raw_bytes =
       (fun () -> t.Diskset.key_bytes + (per_state_overhead * t.Diskset.count));
     count = (fun () -> t.Diskset.count);
+    iter_keys =
+      (fun f ->
+        (* The index knows (offset, length); visiting offsets in
+           ascending order replays insertion order, so serialized
+           checkpoints are deterministic for a given exploration. *)
+        let entries = ref [] in
+        Array.iter
+          (fun p ->
+            if p <> 0 then begin
+              let off = (p - 1) lsr 20 in
+              entries := (off, Diskset.entry_len t off ((p - 1) land 0xfff))
+                         :: !entries
+            end)
+          t.Diskset.packed;
+        let entries = List.sort compare !entries in
+        List.iter
+          (fun (off, len) ->
+            Diskset.read_stored t off len;
+            f (Bytes.sub_string t.Diskset.read_buf 0 len))
+          entries);
   }
 
 let make ?init_slots ?tail_cap = function

@@ -35,6 +35,12 @@ type t = {
           (key bytes + a fixed per-state overhead): the stable baseline
           for compression-ratio and bytes/state comparisons *)
   count : unit -> int;  (** keys marked *)
+  iter_keys : (string -> unit) -> unit;
+      (** visit every stored key — in insertion order for the collapse
+          and disk stores, in (deterministic) table order for the exact
+          store — so serialization of a given run is reproducible.
+          @raise Invalid_argument for {!bitstate}, which drops the keys
+          by construction. *)
 }
 
 type kind = Mem | Collapse of (string -> int array) | Disk
@@ -54,7 +60,10 @@ val make : ?init_slots:int -> ?tail_cap:int -> kind -> t
 
 val exact : ?init_slots:int -> unit -> t
 val collapse : ?init_slots:int -> split:(string -> int array) -> unit -> t
-val disk : ?init_slots:int -> ?tail_cap:int -> unit -> t
+val disk : ?path:string -> ?init_slots:int -> ?tail_cap:int -> unit -> t
+(** [?path] names the backing file (created/truncated, left on disk) so a
+    checkpointed run can reopen a stable store file; without it the store
+    lives in an unlinked temp file that vanishes with the process. *)
 
 val collapse_shared :
   ?init_slots:int -> split:(string -> int array) -> int -> t array

@@ -112,6 +112,10 @@ let append_to_file t path =
     open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path
   in
   output_string oc (contents t);
+  flush oc;
+  (* the journal is the record of what a crashed run achieved — make the
+     append durable before reporting it written *)
+  (try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ());
   close_out oc
 
 (* ---- parsing (minimal recursive-descent JSON) ----------------------------- *)

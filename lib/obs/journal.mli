@@ -52,7 +52,8 @@ val contents : t -> string
 
 val append_to_file : t -> string -> unit
 (** Append {!contents} to a file (created 0644 if missing) — one
-    line-block per invocation. *)
+    line-block per invocation, [fsync]ed before returning so a crash
+    immediately after cannot lose it. *)
 
 (** {2 Parsing} *)
 

@@ -49,6 +49,42 @@ let event_of_line line =
     Some v
   | _ -> None
 
+(* A checkpointed run carries a [run_id] in its config event; a resumed
+   session repeats that id with [resumed: true].  Concatenating such
+   segments (in scan order) rebuilds the one logical run: counts are
+   cumulative across segments, so levels and the final [end] read as if
+   the run had never been interrupted. *)
+let config_of run = match run.r_events with c :: _ -> Some c | [] -> None
+
+let run_id_of run =
+  Option.bind (config_of run) (fun c -> J.get_str (J.find c "run_id"))
+
+let is_resumed run =
+  match Option.map (fun c -> J.find c "resumed") (config_of run) with
+  | Some (Some (J.Bool true)) -> true
+  | _ -> false
+
+let merge_resumed runs =
+  let out = ref [] in
+  (* run_id -> the merged run accumulated so far, newest segment last *)
+  let by_id = Hashtbl.create 8 in
+  List.iter
+    (fun run ->
+      match run_id_of run with
+      | Some id when is_resumed run && Hashtbl.mem by_id id ->
+        let prior = Hashtbl.find by_id id in
+        let merged =
+          { prior with r_events = prior.r_events @ run.r_events }
+        in
+        Hashtbl.replace by_id id merged;
+        out :=
+          List.map (fun r -> if r == prior then merged else r) !out
+      | id ->
+        Option.iter (fun id -> Hashtbl.replace by_id id run) id;
+        out := run :: !out)
+    runs;
+  List.rev !out
+
 let scan_journals dir =
   files_in dir ~keep:(fun f -> Filename.check_suffix f ".jsonl")
   |> List.concat_map (fun f ->
@@ -73,8 +109,9 @@ let scan_journals dir =
                cur := ev :: !cur)
            events;
          flush ();
-         List.rev_map (fun evs -> { r_file = f; r_events = evs }) !runs
-         |> List.rev)
+         (* !runs is newest-first; rev_map restores journal order *)
+         List.rev_map (fun evs -> { r_file = f; r_events = evs }) !runs)
+  |> merge_resumed
 
 let scan_bench dir =
   files_in dir ~keep:(fun f ->
@@ -89,8 +126,14 @@ let scan_bench dir =
 (* ---- field accessors ------------------------------------------------------- *)
 
 let ev_kind v = Option.value ~default:"" (J.get_str (J.find v "ev"))
-let first_ev run kind = List.find_opt (fun v -> ev_kind v = kind) run.r_events
 let all_ev run kind = List.filter (fun v -> ev_kind v = kind) run.r_events
+
+(* A merged resumed run holds one [end] per segment; the last one is the
+   run's true outcome (earlier ones all say "interrupted"). *)
+let last_ev run kind =
+  List.fold_left
+    (fun acc v -> if ev_kind v = kind then Some v else acc)
+    None run.r_events
 
 let str_field v k = J.get_str (J.find v k)
 let int_field v k = J.get_int (J.find v k)
@@ -121,7 +164,7 @@ let render_runs b runs =
   else begin
     let row run =
       let config = List.hd run.r_events in
-      let end_ev = first_ev run "end" in
+      let end_ev = last_ev run "end" in
       [
         run.r_file;
         cell_str (str_field config "cmd");
@@ -136,7 +179,31 @@ let render_runs b runs =
     md_table b
       [ "journal"; "cmd"; "protocol"; "level"; "n"; "outcome"; "states";
         "depth" ]
-      (List.map row runs)
+      (List.map row runs);
+    let resumed =
+      List.filter_map
+        (fun run ->
+          match all_ev run "config" with
+          | _ :: _ :: _ as configs ->
+            Some
+              (Printf.sprintf "`%s` run `%s`: %d segments (interrupted %d×, then %s)"
+                 run.r_file
+                 (Option.value ~default:"?" (run_id_of run))
+                 (List.length configs)
+                 (List.length configs - 1)
+                 (cell_str
+                    (Option.bind (last_ev run "end") (fun e ->
+                         str_field e "outcome"))))
+          | _ -> None)
+        runs
+    in
+    if resumed <> [] then begin
+      Buffer.add_string b "resumed runs, segments concatenated by run id:\n\n";
+      List.iter
+        (fun l -> Buffer.add_string b (Printf.sprintf "- %s\n" l))
+        resumed;
+      Buffer.add_char b '\n'
+    end
   end
 
 (* ---- violation paths ------------------------------------------------------- *)

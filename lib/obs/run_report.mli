@@ -23,7 +23,11 @@ val scan_journals : string -> run list
 (** All runs in [dir]'s [*.jsonl] files, file-name order.  A run is a
     [config] event and everything up to (but excluding) the next
     [config]; malformed lines and unknown schema versions are skipped,
-    not errors. *)
+    not errors.  Segments of one checkpointed run — a [config] carrying
+    [run_id], then later configs repeating the id with [resumed: true] —
+    are concatenated (even across files) into a single [run] whose
+    events span every session; the last [end] event is the run's true
+    outcome. *)
 
 val scan_bench : string -> (string * Journal.value list) list
 (** All [BENCH_*.json] files in [dir] (sorted), each as its row list.

@@ -16,6 +16,7 @@ carries no timings, so a small campaign is an exact regression.
   faults                5      0
   store                 5      0
   engine                5      0
+  resume                5      0
   
   rule coverage (Tables 1-2, transitions enumerated per family):
     rule                 legacy  general
@@ -71,5 +72,5 @@ coverage to report, so the matrix section disappears:
 Unknown oracle names are rejected up front:
 
   $ ../../bin/ccr.exe fuzz --oracles bogus --count 1
-  unknown oracle "bogus" (known: validate, roundtrip, rv-explore, async-explore, eq1, symmetry, par, faults, store, engine)
+  unknown oracle "bogus" (known: validate, roundtrip, rv-explore, async-explore, eq1, symmetry, par, faults, store, engine, resume)
   [1]

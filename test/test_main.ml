@@ -1,8 +1,10 @@
 let () =
   Alcotest.run "ccrefine"
     [
-      (* must run first: its forking cases are illegal once any other
-         suite has spawned a domain (see suite_mpx.ml) *)
+      (* must run first: their forking cases are illegal once any other
+         suite has spawned a domain (see suite_mpx.ml); suite_ckpt's
+         domain-spawning cases are split off into [par_suite] below *)
+      Suite_ckpt.suite;
       Suite_mpx.suite;
       Suite_journal.suite;
       Suite_value.suite;
@@ -29,4 +31,5 @@ let () =
       Suite_parse.suite;
       Suite_random.suite;
       Suite_fuzz.suite;
+      Suite_ckpt.par_suite;
     ]
