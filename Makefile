@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-fast bench-json par-smoke obs-smoke sym-smoke fault-smoke fuzz-smoke ooc-smoke journal-smoke engine-smoke resume-smoke examples artifacts clean
+.PHONY: all build test bench bench-fast bench-json par-smoke obs-smoke sym-smoke fault-smoke fuzz-smoke ooc-smoke journal-smoke engine-smoke resume-smoke serve-smoke examples artifacts clean
 
 all: build
 
@@ -139,6 +139,30 @@ resume-smoke:
 	  -n 3 --level async --workers 2 \
 	  --checkpoint /tmp/ccr-resume-smoke/mpx \
 	  | grep -q '9263 states, 27191 transitions'
+
+# Checking service: the black-box conformance suite (forked daemons over
+# loopback), the serve fuzz oracle (daemon verdicts must byte-match the
+# in-process checker, warm hits must come from the cache), the client
+# cram session, then live — a daemon on an ephemeral port answering a
+# cold submission by exploration and the resubmission from its cache.
+serve-smoke:
+	dune build @all
+	dune exec test/test_main.exe -- test serve
+	dune build @test/cram/serve
+	dune exec bin/ccr.exe -- fuzz --seed 0 --count 30 --oracles serve \
+	  --no-matrix
+	rm -rf /tmp/ccr-serve-smoke && mkdir -p /tmp/ccr-serve-smoke
+	./_build/default/bin/ccr.exe serve --port 0 \
+	  --port-file /tmp/ccr-serve-smoke/port \
+	  --cache-dir /tmp/ccr-serve-smoke/cache & \
+	pid=$$!; \
+	for i in $$(seq 1 150); do \
+	  test -s /tmp/ccr-serve-smoke/port && break; sleep 0.1; done; \
+	./_build/default/bin/ccr.exe client submit invalidate -n 2 --wait \
+	  --port $$(cat /tmp/ccr-serve-smoke/port) | grep -q '"cached":false' && \
+	./_build/default/bin/ccr.exe client submit invalidate -n 2 --wait \
+	  --port $$(cat /tmp/ccr-serve-smoke/port) | grep -q '"cached":true'; \
+	status=$$?; kill -TERM $$pid; wait $$pid; exit $$status
 
 examples:
 	dune exec examples/quickstart.exe

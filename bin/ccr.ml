@@ -30,6 +30,7 @@ module Async = Ccr_refine.Async
 module Fault = Ccr_faults.Fault
 module Injected = Ccr_faults.Injected
 module Plan = Ccr_faults.Plan
+module Api = Ccr_serve.Api
 
 (* A protocol argument is a registry name or a path to a [.ccr] file.
    File-based protocols get no built-in invariants; everything else
@@ -278,6 +279,13 @@ module Obs = struct
         end)
       jnl
 
+  (* Argument-error exits still end the journal: without this, a bad
+     --faults spec or checkpoint mismatch left the journal file silently
+     unwritten. *)
+  let jfail jnl ~reason =
+    jend jnl [ ("outcome", J.Str "error"); ("reason", J.Str reason) ];
+    jflush jnl
+
   (* Level boundaries flow into the journal through the engines'
      [on_level] hook — the engines emit them at equivalent points, so the
      journal stays parallelism-independent. *)
@@ -286,57 +294,6 @@ module Obs = struct
       (fun jn ~depth ~states ->
         J.event jn.j "level" [ ("depth", J.Int depth); ("states", J.Int states) ])
       jnl
-
-  let outcome_tag = function
-    | Explore.Complete -> "complete"
-    | Explore.Limit Explore.L_states -> "limit-states"
-    | Explore.Limit Explore.L_memory -> "limit-memory"
-    | Explore.Limit Explore.L_time -> "limit-time"
-    | Explore.Limit Explore.L_interrupt -> "interrupted"
-    | Explore.Violation _ -> "violation"
-    | Explore.Deadlock _ -> "deadlock"
-
-  (* The post-exploration journal events shared by every [check] branch:
-     cap hits, canon fallbacks, the violation (or deadlock) with its
-     rule-annotated trace, and the pending [end].  States/transitions are
-     recorded only for complete runs: with provenance on, the parallel
-     engines finish the violating level, so only the trace — not the
-     counts — is parallelism-independent on early exits. *)
-  let journal_outcome jnl ~sym ~lbl (r : (_, _) Explore.stats) =
-    let rules () =
-      match r.Explore.trace with
-      | None -> []
-      | Some path ->
-        [
-          ( "rules",
-            J.List
-              (List.filter_map
-                 (fun (l, _) -> Option.map (fun l -> J.Str (lbl l)) l)
-                 path) );
-        ]
-    in
-    (match r.Explore.outcome with
-    | Explore.Limit _ ->
-      jev jnl "limit" [ ("kind", J.Str (outcome_tag r.Explore.outcome)) ]
-    | Explore.Violation { invariant; _ } ->
-      jev jnl "violation"
-        (("kind", J.Str "invariant") :: ("invariant", J.Str invariant)
-        :: rules ())
-    | Explore.Deadlock _ ->
-      jev jnl "violation" (("kind", J.Str "deadlock") :: rules ())
-    | Explore.Complete -> ());
-    if sym && r.Explore.outcome = Explore.Complete then
-      jev jnl "canon" [ ("fallbacks", J.Int r.Explore.canon_fallbacks) ];
-    jend jnl
-      (("outcome", J.Str (outcome_tag r.Explore.outcome))
-      ::
-      (if r.Explore.outcome = Explore.Complete then
-         [
-           ("states", J.Int r.Explore.states);
-           ("transitions", J.Int r.Explore.transitions);
-           ("max_depth", J.Int r.Explore.max_depth);
-         ]
-       else []))
 
   (* Call after the instrumented work, before anything that may [exit]. *)
   let emit reg ~trace_file ~metrics_file =
@@ -379,18 +336,6 @@ module Obs = struct
               if T.enabled () then T.instant "nack");
         m_buf = (fun o -> observe occ o);
       }
-
-  (* Post-run gauges shared by check and sim. *)
-  let explore_gauges reg (r : (_, _) Explore.stats) =
-    let open M in
-    set (gauge reg "states_per_sec")
-      (if r.Explore.time_s > 0. then
-         float_of_int r.Explore.states /. r.Explore.time_s
-       else 0.);
-    set (gauge reg "peak_frontier") (float_of_int r.Explore.peak_frontier);
-    set (gauge reg "max_depth") (float_of_int r.Explore.max_depth);
-    set (gauge reg "mem_bytes") (float_of_int r.Explore.mem_bytes);
-    set (gauge reg "raw_bytes") (float_of_int r.Explore.raw_bytes)
 end
 
 (* ---- list ---------------------------------------------------------------- *)
@@ -826,20 +771,26 @@ let check_cmd =
       checkpoint_every resume_dir progress progress_interval trace_file
       metrics_file journal_file =
     let workers = max 1 workers in
-    let fspec = fault_spec_of faults in
+    let cfg =
+      {
+        Api.spec = Api.Named e.Registry.name;
+        level;
+        n;
+        k;
+        generic;
+        symmetry;
+        faults;
+        harden;
+        max_states;
+        max_mem_mb = mem;
+        deadline_s = deadline;
+        store = store_sel;
+        jobs;
+      }
+    in
     (* --resume DIR keeps checkpointing into DIR *)
     let ckpt_dir =
       match resume_dir with Some _ -> resume_dir | None -> checkpoint_dir
-    in
-    let ckpt_every =
-      Option.map
-        (fun s ->
-          match Ckpt.parse_every s with
-          | Ok e -> e
-          | Error msg ->
-            Fmt.epr "%s@." msg;
-            exit 1)
-        checkpoint_every
     in
     (* Checkpoints persist traces as provenance slots (the in-memory
        parent arrays of a plain --trace run cannot survive a restart),
@@ -854,30 +805,32 @@ let check_cmd =
     let module J = Obs.J in
     let jnl = Obs.journal_of journal_file in
     let on_level = Obs.on_level_of jnl in
+    (* Argument errors below this point still end the journal: the file
+       gets an [end] event with outcome "error" instead of silently never
+       appearing. *)
+    let fail_usage msg =
+      Obs.jfail jnl ~reason:msg;
+      Fmt.epr "%s@." msg;
+      exit 1
+    in
+    let fspec =
+      match Api.fault_spec cfg with Ok s -> s | Error msg -> fail_usage msg
+    in
+    let ckpt_every =
+      Option.map
+        (fun s ->
+          match Ckpt.parse_every s with
+          | Ok e -> e
+          | Error msg -> fail_usage msg)
+        checkpoint_every
+    in
     let prov = Option.map (fun kind -> Vstore.Prov.create ~kind ()) prov_sel in
-    let sym_name =
-      match symmetry with `Off -> "off" | `Auto -> "auto" | `Brute -> "brute"
-    in
-    let level_name =
-      match level with `Rv -> "rendezvous" | `Async -> "async"
-    in
-    let faults_name =
-      match fspec with Some s -> Fmt.str "%a" Fault.pp s | None -> "none"
-    in
+    let sym_name = Api.symmetry_name cfg in
+    let level_name = Api.level_name cfg in
+    let faults_name = Api.faults_name cfg in
     (* Pins *what* is being explored (Ckpt.guard_keys); the marshalled IR
        catches two different .ccr files sharing a registry name. *)
-    let spec_hash =
-      let ir =
-        try Marshal.to_string e.Registry.system [] with _ -> e.Registry.name
-      in
-      Digest.to_hex
-        (Digest.string
-           (String.concat "\x00"
-              [
-                ir; string_of_int n; string_of_int k; string_of_bool generic;
-                level_name; sym_name; faults_name; string_of_bool harden;
-              ]))
-    in
+    let spec_hash = Api.spec_hash e cfg in
     (* The static checkpoint manifest — loaded back, compared over
        [Ckpt.guard_keys], and carried across sessions of one run. *)
     let loaded =
@@ -885,9 +838,7 @@ let check_cmd =
       | None -> None
       | Some dir -> (
         match (Ckpt.load ~dir : (Obj.t Ckpt.loaded, string) result) with
-        | Error msg ->
-          Fmt.epr "%s@." msg;
-          exit 1
+        | Error msg -> fail_usage msg
         | Ok l -> Some l)
     in
     let run_id, resumes =
@@ -921,12 +872,7 @@ let check_cmd =
         ("harden", J.Bool harden);
         ("run_id", J.Str run_id);
         ("resumes", J.Int resumes);
-        ( "store",
-          J.Str
-            (match store_sel with
-            | `Mem -> "mem"
-            | `Collapse -> "collapse"
-            | `Disk -> "disk") );
+        ("store", J.Str (Api.store_name cfg));
         ("max_states", J.Int max_states);
         ("jobs", J.Int jobs);
         ("workers", J.Int workers);
@@ -936,9 +882,8 @@ let check_cmd =
     | Some l -> (
       match Ckpt.mismatch ~expected:ckpt_manifest ~found:l.Ckpt.l_manifest with
       | Some diff ->
-        Fmt.epr "cannot resume from %s: %s@."
-          (Option.get resume_dir) diff;
-        exit 1
+        fail_usage
+          (Fmt.str "cannot resume from %s: %s" (Option.get resume_dir) diff)
       | None ->
         Fmt.pf ppf "resuming from %s: %d states, %d transitions, depth %d@."
           (Option.get resume_dir) l.Ckpt.l_states l.Ckpt.l_transitions
@@ -990,17 +935,7 @@ let check_cmd =
         (strip (Array.to_list Sys.argv) @ [ "--resume"; quote dir ])
     in
     Obs.jev jnl "config"
-      ([
-         ("cmd", J.Str "check");
-         ("protocol", J.Str e.Registry.name);
-         ("n", J.Int n);
-         ("k", J.Int k);
-         ("level", J.Str level_name);
-         ("generic", J.Bool generic);
-         ("symmetry", J.Str sym_name);
-         ("harden", J.Bool harden);
-         ("max_states", J.Int max_states);
-       ]
+      (Api.journal_config ~protocol:e.Registry.name cfg
       @
       (* only checkpointed runs carry a run identity: it is derived from
          the wall clock, and journals of plain runs must stay
@@ -1017,72 +952,17 @@ let check_cmd =
     | Some spec ->
       Obs.jev jnl "faults" [ ("budget", J.Str (Fmt.str "%a" Fault.pp spec)) ]
     | None -> ());
-    let prog = instantiate e ~generic ~n in
     let module Sym = Ccr_refine.Symmetry in
     let sym_stats = Sym.make_stats () in
-    (* Symmetry hooks for the explorer: dedup by canonical key, keep
-       concrete states.  [auto] also harvests the orbit size computed as a
-       by-product of each fresh state's canonicalization — only at -j 1,
-       because the parallel engine decides freshness in the leader domain
-       while the orbit size sits in the canonicalizing domain's local
-       storage. *)
-    let canon_of ~orbits key =
-      Some
-        Explore.
-          {
-            canon_key = key;
-            canon_fresh =
-              (* orbit sizes are harvested from the canonicalizing domain's
-                 local storage, readable only when freshness is decided
-                 right there: sequential, single-process runs *)
-              (if orbits && jobs <= 1 && workers <= 1 then begin
-                 let h = Obs.M.histogram reg "canon.orbit_states" in
-                 Some
-                   (fun _ ->
-                     let o = Sym.last_orbit () in
-                     if o > 0 then Obs.M.observe h o)
-               end
-               else None);
-            canon_fallbacks = (fun () -> Sym.fallbacks sym_stats);
-          }
-    in
-    let rv_canon () =
-      match symmetry with
-      | `Off -> None
-      | `Auto ->
-        canon_of ~orbits:true (Sym.canonical_rv_fast ~stats:sym_stats prog)
-      | `Brute ->
-        canon_of ~orbits:false (Sym.canonical_rv ~stats:sym_stats prog)
-    in
-    let async_canon () =
-      match symmetry with
-      | `Off -> None
-      | `Auto ->
-        canon_of ~orbits:true (Sym.canonical_async_fast ~stats:sym_stats prog)
-      | `Brute ->
-        canon_of ~orbits:false (Sym.canonical_async ~stats:sym_stats prog)
-    in
-    let sym_tag =
-      match symmetry with
-      | `Off -> ""
-      | `Auto -> ", sym=auto"
-      | `Brute -> ", sym=brute"
-    in
-    let canon_metrics (r : (_, _) Explore.stats) =
-      if symmetry <> `Off then begin
-        let open Obs.M in
-        add (counter reg "canon.calls") (Sym.calls sym_stats);
-        add (counter reg "canon.fallbacks") (Sym.fallbacks sym_stats);
-        add (counter reg "canon.perms") (Sym.perms_tried sym_stats);
-        let tg = histogram reg "canon.tie_group_size" in
-        Sym.iter_tie_groups sym_stats (fun ~size ~count ->
-            observe_n tg size count);
-        (* summed across domains, so the share may exceed 1 with -j *)
-        set (gauge reg "canon.time_share")
-          (if r.Explore.time_s > 0. then
-             Sym.canon_seconds sym_stats /. r.Explore.time_s
-           else 0.)
+    (* Orbit sizes are harvested from the canonicalizing domain's local
+       storage, readable only when freshness is decided right there:
+       sequential, single-process, fault-free auto runs. *)
+    let on_orbit =
+      if symmetry = `Auto && fspec = None && jobs <= 1 && workers <= 1 then begin
+        let h = Obs.M.histogram reg "canon.orbit_states" in
+        Some (fun o -> Obs.M.observe h o)
       end
+      else None
     in
     let mem_bytes = Option.map (fun mb -> mb * 1024 * 1024) mem in
     let on_progress, finish_progress =
@@ -1105,96 +985,160 @@ let check_cmd =
           | Some s -> s
           | None -> fun key -> [| String.length key |])
     in
-    let explore ?check_deadlock ?split ~invariants sys =
-      let store = store_of split in
-      (* Checkpoint control for this run's state type.  The marshalled
-         frontier carries no type information, so the loaded payload is
-         cast here — this is safe exactly because [Ckpt.mismatch]
-         accepted the manifest above (same spec hash, instance and
-         semantics flags imply the same state type). *)
-      let ckpt_ctl =
-        match ckpt_dir with
-        | None -> None
-        | Some dir ->
-          let ck_resume =
-            match loaded with
-            | None -> None
-            | Some l ->
-              let l : _ Ckpt.loaded = Obj.magic l in
-              Option.iter
-                (fun p ->
-                  Array.iteri
-                    (fun id (parent, ord) ->
-                      Vstore.Prov.record p ~id ~parent ~ord)
-                    l.Ckpt.l_prov)
-                prov;
-              Some
-                {
-                  Explore.r_states = l.Ckpt.l_states;
-                  r_transitions = l.Ckpt.l_transitions;
-                  r_frontier = l.Ckpt.l_frontier;
-                  r_keys = l.Ckpt.l_keys;
-                }
-          in
-          let wrote = Obs.M.counter reg "checkpoint.writes" in
-          let wrote_bytes = Obs.M.gauge reg "checkpoint.bytes" in
-          let on_save ~bytes ~states:_ ~depth:_ =
-            Obs.M.incr wrote;
-            Obs.M.set wrote_bytes (float_of_int bytes)
-          in
-          Some
-            {
-              Explore.ck_resume;
-              ck_save =
-                Ckpt.saver ~dir ~manifest:ckpt_manifest ~prov
-                  ?every:ckpt_every ~on_save ();
-            }
-      in
-      Obs.T.with_span "explore" (fun () ->
-          try
-            if workers > 1 then
-              Mpx.run ~workers ~jobs ~store ~max_states
-                ?max_mem_bytes:mem_bytes ?max_time_s:deadline ?check_deadlock
-                ~trace:true ~invariants ?on_progress ~metrics:reg ?prov
-                ?on_level ?interrupt ?ckpt:ckpt_ctl sys
-            else if jobs > 1 then
-              Explore.par_run ~jobs ~store ~max_states
-                ?max_mem_bytes:mem_bytes ?max_time_s:deadline ?check_deadlock
-                ~trace:true ~invariants ?on_progress ?prov ?on_level
-                ?interrupt ?ckpt:ckpt_ctl sys
-            else
-              Explore.run ~store ~max_states ?max_mem_bytes:mem_bytes
-                ?max_time_s:deadline ?check_deadlock ~trace:true ~invariants
-                ?on_progress ?progress_every:progress_interval ?prov
-                ?on_level ?interrupt ?ckpt:ckpt_ctl sys
-          with Invalid_argument msg when resume_dir <> None ->
-            (* a mid-level (sequential) checkpoint fed to a parallel
-               engine: the engines refuse with an actionable message *)
-            Fmt.epr "%s@." msg;
-            exit 1)
+    (* The CLI's full-featured engine behind [Api.check_entry]:
+       checkpointing, the multi-process Mpx engine, provenance and the
+       progress UI — none of which the serve daemon needs. *)
+    let explorer =
+      {
+        Api.explore =
+          (fun ~check_deadlock ~split ~invariants sys ->
+            let store = store_of split in
+            (* Checkpoint control for this run's state type.  The
+               marshalled frontier carries no type information, so the
+               loaded payload is cast here — this is safe exactly because
+               [Ckpt.mismatch] accepted the manifest above (same spec
+               hash, instance and semantics flags imply the same state
+               type). *)
+            let ckpt_ctl =
+              match ckpt_dir with
+              | None -> None
+              | Some dir ->
+                let ck_resume =
+                  match loaded with
+                  | None -> None
+                  | Some l ->
+                    let l : _ Ckpt.loaded = Obj.magic l in
+                    Option.iter
+                      (fun p ->
+                        Array.iteri
+                          (fun id (parent, ord) ->
+                            Vstore.Prov.record p ~id ~parent ~ord)
+                          l.Ckpt.l_prov)
+                      prov;
+                    Some
+                      {
+                        Explore.r_states = l.Ckpt.l_states;
+                        r_transitions = l.Ckpt.l_transitions;
+                        r_frontier = l.Ckpt.l_frontier;
+                        r_keys = l.Ckpt.l_keys;
+                      }
+                in
+                let wrote = Obs.M.counter reg "checkpoint.writes" in
+                let wrote_bytes = Obs.M.gauge reg "checkpoint.bytes" in
+                let on_save ~bytes ~states:_ ~depth:_ =
+                  Obs.M.incr wrote;
+                  Obs.M.set wrote_bytes (float_of_int bytes)
+                in
+                Some
+                  {
+                    Explore.ck_resume;
+                    ck_save =
+                      Ckpt.saver ~dir ~manifest:ckpt_manifest ~prov
+                        ?every:ckpt_every ~on_save ();
+                  }
+            in
+            Obs.T.with_span "explore" (fun () ->
+                try
+                  if workers > 1 then
+                    Mpx.run ~workers ~jobs ~store ~max_states
+                      ?max_mem_bytes:mem_bytes ?max_time_s:deadline
+                      ~check_deadlock ~trace:true ~invariants ?on_progress
+                      ~metrics:reg ?prov ?on_level ?interrupt ?ckpt:ckpt_ctl
+                      sys
+                  else if jobs > 1 then
+                    Explore.par_run ~jobs ~store ~max_states
+                      ?max_mem_bytes:mem_bytes ?max_time_s:deadline
+                      ~check_deadlock ~trace:true ~invariants ?on_progress
+                      ?prov ?on_level ?interrupt ?ckpt:ckpt_ctl sys
+                  else
+                    Explore.run ~store ~max_states ?max_mem_bytes:mem_bytes
+                      ?max_time_s:deadline ~check_deadlock ~trace:true
+                      ~invariants ?on_progress
+                      ?progress_every:progress_interval ?prov ?on_level
+                      ?interrupt ?ckpt:ckpt_ctl sys
+                with Invalid_argument msg when resume_dir <> None ->
+                  (* a mid-level (sequential) checkpoint fed to a parallel
+                     engine: the engines refuse with an actionable message *)
+                  fail_usage msg));
+      }
     in
-    (* Emit the trace and metrics artifacts before [report], which exits
-       non-zero on any non-Complete outcome. *)
-    let finish ~sym ~lbl (r : (_, _) Explore.stats) =
+    (* The implicit-nack tracer hook: rules H_T3/R_T3 are the refined
+       protocol answering a request it cannot serve yet. *)
+    let observe_label =
+      if trace_file = None then None
+      else
+        Some
+          (fun (l : Async.label) ->
+            match l.Async.rule with
+            | Async.H_T3 | Async.R_T3 -> Obs.T.instant "implicit-nack"
+            | _ -> ())
+    in
+    match
+      Api.check_entry ~explorer ~meter ?observe_label ~sym_stats ?on_orbit e
+        cfg
+    with
+    | Error msg -> fail_usage msg
+    | Ok (v, m) ->
+      (* Emit the trace and metrics artifacts before the report below,
+         which exits non-zero on any non-Complete outcome. *)
       finish_progress ();
-      (match r.outcome with
-      | Explore.Violation { invariant; _ } ->
-        Obs.T.instant ~args:[ ("invariant", Obs.T.Str invariant) ] "violation"
-      | Explore.Limit _ -> Obs.T.instant "cap-hit"
-      | Explore.Deadlock _ -> Obs.T.instant "deadlock"
-      | Explore.Complete -> ());
-      Obs.explore_gauges reg r;
-      canon_metrics r;
-      Obs.journal_outcome jnl ~sym ~lbl r;
-      (match (r.outcome, ckpt_dir) with
-      | Explore.Limit lim, Some dir ->
-        (* every cap/interrupt stop wrote a final checkpoint (or kept the
-           previous one when the boundary was partial): tell the user —
-           and the journal — exactly how to continue *)
-        let cmd = resume_command ~drop_cap:(lim = Explore.L_states) dir in
-        Obs.jend_extend jnl
-          [ ("reason", J.Str "interrupted"); ("resume", J.Str cmd) ];
-        Fmt.epr "checkpoint saved in %s; resume with:@.  %s@." dir cmd
+      (match v.Api.v_explored with
+      | "violation" ->
+        Obs.T.instant
+          ~args:
+            [
+              ( "invariant",
+                Obs.T.Str (Option.value ~default:"" v.Api.v_invariant) );
+            ]
+          "violation"
+      | "deadlock" -> Obs.T.instant "deadlock"
+      | "complete" -> ()
+      | _ -> Obs.T.instant "cap-hit");
+      Obs.M.set
+        (Obs.M.gauge reg "states_per_sec")
+        (if m.Api.m_time_s > 0. then
+           float_of_int v.Api.v_states /. m.Api.m_time_s
+         else 0.);
+      Obs.M.set
+        (Obs.M.gauge reg "peak_frontier")
+        (float_of_int m.Api.m_peak_frontier);
+      Obs.M.set (Obs.M.gauge reg "max_depth") (float_of_int v.Api.v_max_depth);
+      Obs.M.set (Obs.M.gauge reg "mem_bytes") (float_of_int m.Api.m_mem_bytes);
+      Obs.M.set (Obs.M.gauge reg "raw_bytes") (float_of_int m.Api.m_raw_bytes);
+      if symmetry <> `Off then begin
+        Obs.M.add (Obs.M.counter reg "canon.calls") (Sym.calls sym_stats);
+        Obs.M.add
+          (Obs.M.counter reg "canon.fallbacks")
+          (Sym.fallbacks sym_stats);
+        Obs.M.add (Obs.M.counter reg "canon.perms") (Sym.perms_tried sym_stats);
+        let tg = Obs.M.histogram reg "canon.tie_group_size" in
+        Sym.iter_tie_groups sym_stats (fun ~size ~count ->
+            Obs.M.observe_n tg size count);
+        (* summed across domains, so the share may exceed 1 with -j *)
+        Obs.M.set
+          (Obs.M.gauge reg "canon.time_share")
+          (if m.Api.m_time_s > 0. then
+             Sym.canon_seconds sym_stats /. m.Api.m_time_s
+           else 0.)
+      end;
+      List.iter
+        (fun (ev, fields) -> Obs.jev jnl ev fields)
+        (Api.journal_events v);
+      Obs.jend jnl (Api.journal_end v);
+      (match v.Api.v_explored with
+      | "limit-states" | "limit-memory" | "limit-time" | "interrupted" -> (
+        match ckpt_dir with
+        | Some dir ->
+          (* every cap/interrupt stop wrote a final checkpoint (or kept
+             the previous one when the boundary was partial): tell the
+             user — and the journal — exactly how to continue *)
+          let cmd =
+            resume_command ~drop_cap:(v.Api.v_explored = "limit-states") dir
+          in
+          Obs.jend_extend jnl
+            [ ("reason", J.Str "interrupted"); ("resume", J.Str cmd) ];
+          Fmt.epr "checkpoint saved in %s; resume with:@.  %s@." dir cmd
+        | None -> ())
       | _ -> ());
       Option.iter
         (fun p ->
@@ -1208,25 +1152,60 @@ let check_cmd =
             (Obs.M.gauge reg "journal_bytes")
             (float_of_int (J.bytes jn.Obs.j)))
         jnl;
-      Obs.emit reg ~trace_file ~metrics_file
-    in
-    let report ?msc ~sym ~lbl name (r : (_, _) Explore.stats) pp_state =
-      finish ~sym ~lbl r;
+      Obs.emit reg ~trace_file ~metrics_file;
+      let jobs_tag =
+        String.concat ""
+          [
+            (if jobs > 1 then Fmt.str ", j=%d" jobs else "");
+            (if workers > 1 then Fmt.str ", w=%d" workers else "");
+            (match store_sel with
+            | `Mem -> ""
+            | `Collapse -> ", store=collapse"
+            | `Disk -> ", store=disk");
+          ]
+      in
+      let sym_tag =
+        match symmetry with
+        | `Off -> ""
+        | `Auto -> ", sym=auto"
+        | `Brute -> ", sym=brute"
+      in
+      let name =
+        match (level, fspec) with
+        | `Rv, Some spec ->
+          Fmt.str "%s (rendezvous, n=%d, faults=%a%s)" e.Registry.name n
+            Fault.pp spec jobs_tag
+        | `Async, Some spec ->
+          Fmt.str "%s (async, n=%d, k=%d%s, faults=%a, %s%s)" e.Registry.name
+            n k
+            (if generic then ", generic" else "")
+            Fault.pp spec
+            (if harden then "hardened" else "vanilla")
+            jobs_tag
+        | `Rv, None ->
+          Fmt.str "%s (rendezvous, n=%d%s%s)" e.Registry.name n jobs_tag
+            sym_tag
+        | `Async, None ->
+          Fmt.str "%s (async, n=%d, k=%d%s%s%s)" e.Registry.name n k
+            (if generic then ", generic" else "")
+            jobs_tag sym_tag
+      in
       Fmt.pf ppf "%s: %d states, %d transitions, %.2fs, ~%.1f MB@." name
-        r.states r.transitions r.time_s
-        (float_of_int r.mem_bytes /. 1048576.);
+        v.Api.v_states v.Api.v_transitions m.Api.m_time_s
+        (float_of_int m.Api.m_mem_bytes /. 1048576.);
       (if store_sel <> `Mem then
-         let kind = match store_sel with
+         let kind =
+           match store_sel with
            | `Collapse -> "collapse"
            | `Disk -> "disk"
            | `Mem -> "mem"
          in
          Fmt.pf ppf "storage: %s, ~%.1f MB resident vs ~%.1f MB raw (%.1fx)@."
            kind
-           (float_of_int r.mem_bytes /. 1048576.)
-           (float_of_int r.raw_bytes /. 1048576.)
-           (if r.mem_bytes > 0 then
-              float_of_int r.raw_bytes /. float_of_int r.mem_bytes
+           (float_of_int m.Api.m_mem_bytes /. 1048576.)
+           (float_of_int m.Api.m_raw_bytes /. 1048576.)
+           (if m.Api.m_mem_bytes > 0 then
+              float_of_int m.Api.m_raw_bytes /. float_of_int m.Api.m_mem_bytes
             else 0.));
       (match prov with
       | Some p ->
@@ -1235,225 +1214,34 @@ let check_cmd =
           (Vstore.Prov.count p)
           (float_of_int (Vstore.Prov.bytes p) /. 1024.)
       | None -> ());
-      if r.canon_fallbacks > 0 then
+      if v.Api.v_canon_fallbacks > 0 then
         Fmt.pf ppf
           "warning: %d canonicalizations fell back to a non-canonical key \
            (symmetry reduction partial; counts are a sound upper bound)@."
-          r.canon_fallbacks;
-      (match r.outcome with
-      | Explore.Complete -> Fmt.pf ppf "outcome: complete, invariants hold@."
-      | o -> Fmt.pf ppf "outcome: %a@." (Explore.pp_outcome pp_state) o);
-      match r.trace with
-      | Some path when List.length path > 1 ->
-        Fmt.pf ppf "counterexample (%d steps):@." (List.length path - 1);
-        (match msc with
-        | Some render ->
-          Fmt.pf ppf "%s@." (render (List.filter_map fst path))
+          v.Api.v_canon_fallbacks;
+      Fmt.pf ppf "outcome: %s@." v.Api.v_outcome_line;
+      (match v.Api.v_trace with
+      | _ :: _ ->
+        Fmt.pf ppf "counterexample (%d steps):@."
+          (List.length v.Api.v_trace - 1);
+        (match v.Api.v_msc with
+        | Some msc -> Fmt.pf ppf "%s@." msc
         | None -> ());
-        List.iter (fun (_, st) -> Fmt.pf ppf "%a@." pp_state st) path;
+        List.iter (fun st -> Fmt.pf ppf "%s@." st) v.Api.v_trace;
         Obs.jflush jnl;
         exit 2
-      | _ ->
-        if r.outcome <> Explore.Complete then begin
+      | [] ->
+        if v.Api.v_explored <> "complete" then begin
           Obs.jflush jnl;
           exit 2
-        end
-    in
-    let jobs_tag =
-      String.concat ""
-        [
-          (if jobs > 1 then Fmt.str ", j=%d" jobs else "");
-          (if workers > 1 then Fmt.str ", w=%d" workers else "");
-          (match store_sel with
-          | `Mem -> ""
-          | `Collapse -> ", store=collapse"
-          | `Disk -> ", store=disk");
-        ]
-    in
-    (* Fault budgets break the interchangeability of remote identities (a
-       budgeted drop on remote 0's channel is not a drop on remote 1's),
-       so symmetry reduction is forced off under --faults. *)
-    match (level, fspec) with
-    | `Rv, Some spec ->
-      if Fault.total spec > spec.Fault.pause then begin
-        Fmt.epr
-          "the rendezvous level has no channels: only pause=K applies \
-           (got %a)@."
-          Fault.pp spec;
-        exit 1
+        end);
+      (match v.Api.v_liveness with
+      | Some block -> Fmt.pf ppf "%s@." block
+      | None -> ());
+      if not v.Api.v_ok then begin
+        Obs.jflush jnl;
+        exit 2
       end;
-      let invariants =
-        List.map
-          (fun (nm, f) ->
-            (nm, fun (fs : Injected.rv_fstate) -> f fs.Injected.rv_base))
-          (e.Registry.rv_invariants prog)
-      in
-      let r =
-        explore ~invariants
-          Explore.
-            {
-              init = Injected.rv_initial spec prog;
-              succ = Injected.rv_successors prog;
-              encode = Injected.rv_encode;
-              canon = None;
-            }
-      in
-      report ~sym:false
-        ~lbl:(Fmt.str "%a" Injected.pp_rv_label)
-        (Fmt.str "%s (rendezvous, n=%d, faults=%a%s)" e.name n Fault.pp spec
-           jobs_tag)
-        r
-        (Injected.pp_rv_fstate prog);
-      Obs.jflush jnl
-    | `Async, Some spec ->
-      let cfg = Async.{ k } in
-      let mode = if harden then Injected.Hardened else Injected.Vanilla in
-      let invariants =
-        Injected.no_wedge
-        :: List.map Injected.lift_invariant (e.Registry.async_invariants prog)
-      in
-      let sys =
-        Explore.
-          {
-            init = Injected.initial spec prog cfg;
-            succ = Injected.successors mode spec prog cfg;
-            encode = Injected.encode;
-            canon = None;
-          }
-      in
-      let r =
-        explore ~check_deadlock:true ~split:(Injected.split_key prog)
-          ~invariants sys
-      in
-      report ~sym:false
-        ~lbl:(Fmt.str "%a" Injected.pp_label)
-        (Fmt.str "%s (async, n=%d, k=%d%s, faults=%a, %s%s)" e.name n k
-           (if generic then ", generic" else "")
-           Fault.pp spec
-           (if harden then "hardened" else "vanilla")
-           jobs_tag)
-        r
-        (Injected.pp_fstate prog);
-      (* [report] returned: safety held and no deadlock.  The remaining
-         question is liveness — a dropped message can leave a remote
-         stuck in its transient state forever while the rest of the
-         system keeps running (starvation, not deadlock), so ask the
-         reachability graph: can every remote always still complete? *)
-      let g = Graph.build ~max_states sys in
-      if g.Graph.truncated then
-        Fmt.pf ppf
-          "liveness: not assessed (graph truncated; raise --max-states)@."
-      else begin
-        let progress_of pred l =
-          match l with
-          | Injected.Step al -> Injected.completes al && pred al
-          | Injected.Fault _ -> false
-        in
-        let starved =
-          List.concat
-            (List.init n (fun i ->
-                 match
-                   Graph.violates_ag_ef g
-                     ~progress:(progress_of (fun al -> al.Async.actor = i))
-                 with
-                 | [] -> []
-                 | bad -> [ (i, bad) ]))
-        in
-        match starved with
-        | [] ->
-          Fmt.pf ppf
-            "liveness: every remote can always still complete a rendezvous \
-             (quiescence preserved under the fault budget)@."
-        | (i, bad) :: _ ->
-          Fmt.pf ppf
-            "liveness violation: remote %d can be starved forever (%d \
-             reachable states lose its completion)@."
-            i (List.length bad);
-          let witness = List.hd bad in
-          let path = Graph.path_to g witness in
-          Fmt.pf ppf "starvation witness (%d steps):@."
-            (List.length path - 1);
-          List.iter
-            (fun (l, _) ->
-              match l with
-              | Some l -> Fmt.pf ppf "  %a@." Injected.pp_label l
-              | None -> ())
-            path;
-          (match List.rev path with
-          | (_, st) :: _ ->
-            Fmt.pf ppf "stuck state:@.%a@." (Injected.pp_fstate prog) st
-          | [] -> ());
-          Obs.jev jnl "violation"
-            [
-              ("kind", J.Str "starvation");
-              ("remote", J.Int i);
-              ( "rules",
-                J.List
-                  (List.filter_map
-                     (fun (l, _) ->
-                       Option.map
-                         (fun l ->
-                           J.Str (Fmt.str "%a" Injected.pp_label l))
-                         l)
-                     path) );
-            ];
-          Obs.jflush jnl;
-          exit 2
-      end;
-      Obs.jflush jnl
-    | `Rv, None ->
-      let r =
-        explore
-          ~split:(Ccr_semantics.Rendezvous.split_key prog)
-          ~invariants:(e.Registry.rv_invariants prog)
-          Explore.
-            {
-              init = Ccr_semantics.Rendezvous.initial prog;
-              succ = Ccr_semantics.Rendezvous.successors prog;
-              encode = Ccr_semantics.Rendezvous.encode;
-              canon = rv_canon ();
-            }
-      in
-      report ~sym:(symmetry <> `Off)
-        ~lbl:(Fmt.str "%a" Ccr_semantics.Rendezvous.pp_label)
-        (Fmt.str "%s (rendezvous, n=%d%s%s)" e.name n jobs_tag sym_tag)
-        r
-        (Ccr_semantics.Rendezvous.pp_state prog);
-      Obs.jflush jnl
-    | `Async, None ->
-      let cfg = Async.{ k } in
-      let succ_base = Async.successors ~meter prog cfg in
-      let succ =
-        if trace_file = None then succ_base
-        else fun st ->
-          let outs = succ_base st in
-          List.iter
-            (fun ((l : Async.label), _) ->
-              match l.rule with
-              | Async.H_T3 | Async.R_T3 -> Obs.T.instant "implicit-nack"
-              | _ -> ())
-            outs;
-          outs
-      in
-      let r =
-        explore ~check_deadlock:true ~split:(Async.split_key prog)
-          ~invariants:(e.Registry.async_invariants prog)
-          Explore.
-            {
-              init = Async.initial prog cfg;
-              succ;
-              encode = Async.encode;
-              canon = async_canon ();
-            }
-      in
-      report
-        ~msc:(Ccr_viz.Msc.render prog)
-        ~sym:(symmetry <> `Off)
-        ~lbl:(Fmt.str "%a" Async.pp_label)
-        (Fmt.str "%s (async, n=%d, k=%d%s%s%s)" e.name n k
-           (if generic then ", generic" else "")
-           jobs_tag sym_tag)
-        r (Async.pp_state prog);
       Obs.jflush jnl
   in
   Cmd.v
@@ -1808,7 +1596,7 @@ let fuzz_cmd =
             "Comma-separated oracle subset: $(b,validate), $(b,roundtrip), \
              $(b,rv-explore), $(b,async-explore), $(b,eq1), $(b,symmetry), \
              $(b,par), $(b,faults), $(b,store), $(b,engine), $(b,resume), \
-             or $(b,all).")
+             $(b,serve), or $(b,all).")
   in
   let out_dir =
     Arg.(
@@ -2031,6 +1819,281 @@ let progress_cmd =
     Term.(
       const run $ protocol_arg $ n_arg $ k_arg $ generic_arg $ max_states_arg)
 
+(* ---- serve --------------------------------------------------------------- *)
+
+let serve_cmd =
+  let port_arg =
+    Arg.(
+      value & opt int 8377
+      & info [ "port" ] ~docv:"P"
+          ~doc:
+            "TCP port to listen on (loopback only).  $(b,0) picks an \
+             ephemeral port — read it back with $(b,--port-file).")
+  in
+  let port_file_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "port-file" ] ~docv:"FILE"
+          ~doc:"Write the bound port number to $(docv) once listening.")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"W"
+          ~doc:
+            "Worker threads draining the job queue.  Explorations are \
+             serialized on one engine lock (the canonicalizers keep \
+             domain-local scratch); extra workers pipeline queueing, \
+             caching and I/O.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Pending-job queue capacity; a full queue answers 429.")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Content-addressed result cache: one JSON file per (spec \
+             hash, level, n, k, symmetry, faults, harden, max-states, \
+             store) key.  Hits return the recorded verdict and journal \
+             with zero states explored.")
+  in
+  let cap_arg =
+    Arg.(
+      value & opt int 10_000_000
+      & info [ "max-states" ] ~docv:"S"
+          ~doc:"Clamp submitted per-job state caps to $(docv).")
+  in
+  let run port port_file workers queue cache_dir cap journal_file =
+    let module J = Obs.J in
+    let t =
+      Ccr_serve.Daemon.start ~port ~workers ~queue_cap:queue ?cache_dir
+        ~max_states_cap:cap ()
+    in
+    let bound = Ccr_serve.Daemon.port t in
+    let jnl = Obs.journal_of journal_file in
+    Obs.jev jnl "config"
+      [
+        ("cmd", J.Str "serve");
+        ("port", J.Int bound);
+        ("workers", J.Int workers);
+        ("queue", J.Int queue);
+        ("cache", J.Bool (cache_dir <> None));
+      ];
+    Option.iter (fun f -> Obs.write_file f (string_of_int bound)) port_file;
+    Fmt.pr "ccr serve: listening on 127.0.0.1:%d@." bound;
+    let stop = ref false in
+    List.iter
+      (fun s ->
+        try Sys.set_signal s (Sys.Signal_handle (fun _ -> stop := true))
+        with Invalid_argument _ | Sys_error _ -> ())
+      [ Sys.sigint; Sys.sigterm ];
+    while not !stop do
+      try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done;
+    Ccr_serve.Daemon.stop t;
+    Obs.jend jnl
+      [
+        ("outcome", J.Str "shutdown");
+        ("jobs_done", J.Int (Ccr_serve.Daemon.jobs_done t));
+      ];
+    Obs.jflush jnl
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the checking-as-a-service daemon: a loopback HTTP/1.1 JSON \
+          API ($(b,POST /jobs), $(b,GET /jobs/ID), $(b,GET \
+          /jobs/ID/events), $(b,GET /metrics)) over a bounded job queue \
+          and an optional content-addressed result cache.")
+    Term.(
+      const run $ port_arg $ port_file_arg $ workers_arg $ queue_arg
+      $ cache_dir_arg $ cap_arg $ Obs.journal_arg)
+
+(* ---- client -------------------------------------------------------------- *)
+
+let client_cmd =
+  let port_arg =
+    Arg.(
+      value & opt int 8377
+      & info [ "port" ] ~docv:"P" ~doc:"Daemon port on 127.0.0.1.")
+  in
+  let fail_request = function
+    | Ok r -> r
+    | Error msg ->
+      Fmt.epr "ccr client: %s@." msg;
+      exit 1
+  in
+  let sleep_poll () =
+    try Unix.sleepf 0.05 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  in
+  let submit_cmd =
+    let spec_arg =
+      Arg.(
+        required
+        & pos 0 (some string) None
+        & info [] ~docv:"PROTOCOL"
+            ~doc:"Registry protocol name, or a .ccr file (sent inline).")
+    in
+    let level_arg =
+      Arg.(
+        value
+        & opt (enum [ ("rendezvous", `Rv); ("async", `Async) ]) `Async
+        & info [ "level" ] ~docv:"LEVEL"
+            ~doc:"Check the $(b,rendezvous) or the refined $(b,async) system.")
+    in
+    let symmetry_arg =
+      Arg.(
+        value
+        & opt (enum [ ("auto", `Auto); ("off", `Off); ("brute", `Brute) ]) `Auto
+        & info [ "symmetry" ] ~docv:"MODE"
+            ~doc:"Symmetry reduction: $(b,auto), $(b,off) or $(b,brute).")
+    in
+    let wait_arg =
+      Arg.(
+        value & flag
+        & info [ "wait" ]
+            ~doc:"Poll until the job finishes and print the final job object.")
+    in
+    let run port spec_str n k generic level symmetry faults harden max_states
+        store_sel wait =
+      let module J = Obs.J in
+      let spec =
+        if Filename.check_suffix spec_str ".ccr" then begin
+          match
+            let ic = open_in_bin spec_str in
+            let s = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            s
+          with
+          | s -> Api.Inline s
+          | exception Sys_error msg ->
+            Fmt.epr "ccr client: %s@." msg;
+            exit 1
+        end
+        else Api.Named spec_str
+      in
+      let cfg =
+        {
+          Api.default with
+          Api.spec;
+          level;
+          n;
+          k;
+          generic;
+          symmetry;
+          faults;
+          harden;
+          max_states;
+          store = store_sel;
+        }
+      in
+      let body = J.to_string (Api.config_to_json cfg) in
+      let status, resp =
+        fail_request
+          (Ccr_serve.Http.request ~port ~meth:"POST" ~path:"/jobs" ~body ())
+      in
+      if status >= 400 then begin
+        print_endline resp;
+        exit 1
+      end;
+      if not wait then print_endline resp
+      else begin
+        let id =
+          match
+            Option.bind (J.parse resp) (fun j -> J.get_str (J.find j "id"))
+          with
+          | Some id -> id
+          | None ->
+            print_endline resp;
+            exit 1
+        in
+        let rec poll () =
+          let _, body =
+            fail_request
+              (Ccr_serve.Http.request ~port ~meth:"GET"
+                 ~path:("/jobs/" ^ id) ())
+          in
+          match
+            Option.bind (J.parse body) (fun j -> J.get_str (J.find j "status"))
+          with
+          | Some "done" -> print_endline body
+          | Some "failed" ->
+            print_endline body;
+            exit 1
+          | _ ->
+            sleep_poll ();
+            poll ()
+        in
+        poll ()
+      end
+    in
+    Cmd.v
+      (Cmd.info "submit" ~doc:"Submit a check job ($(b,POST /jobs)).")
+      Term.(
+        const run $ port_arg $ spec_arg $ n_arg $ k_arg $ generic_arg
+        $ level_arg $ symmetry_arg $ faults_arg $ harden_arg $ max_states_arg
+        $ store_arg $ wait_arg)
+  in
+  let id_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"JOB" ~doc:"Job id (from $(b,submit)).")
+  in
+  let status_cmd =
+    let run port id =
+      let status, body =
+        fail_request
+          (Ccr_serve.Http.request ~port ~meth:"GET" ~path:("/jobs/" ^ id) ())
+      in
+      print_endline body;
+      if status >= 400 then exit 1
+    in
+    Cmd.v
+      (Cmd.info "status" ~doc:"Fetch a job ($(b,GET /jobs/ID)).")
+      Term.(const run $ port_arg $ id_arg)
+  in
+  let events_cmd =
+    let run port id =
+      let status, body =
+        fail_request
+          (Ccr_serve.Http.request ~port ~meth:"GET"
+             ~path:("/jobs/" ^ id ^ "/events") ())
+      in
+      print_string body;
+      if status >= 400 then exit 1
+    in
+    Cmd.v
+      (Cmd.info "events"
+         ~doc:
+           "Stream a job's schema-v1 journal events \
+            ($(b,GET /jobs/ID/events)).")
+      Term.(const run $ port_arg $ id_arg)
+  in
+  let metrics_cmd =
+    let run port =
+      let status, body =
+        fail_request
+          (Ccr_serve.Http.request ~port ~meth:"GET" ~path:"/metrics" ())
+      in
+      print_string body;
+      if status >= 400 then exit 1
+    in
+    Cmd.v
+      (Cmd.info "metrics"
+         ~doc:"Fetch the service metrics in OpenMetrics text format.")
+      Term.(const run $ port_arg)
+  in
+  Cmd.group
+    (Cmd.info "client"
+       ~doc:"Talk to a running $(b,ccr serve) daemon over its JSON API.")
+    [ submit_cmd; status_cmd; events_cmd; metrics_cmd ]
+
 let () =
   let info =
     Cmd.info "ccr" ~version:"1.0.0"
@@ -2045,4 +2108,5 @@ let () =
           [
             list_cmd; show_cmd; pairs_cmd; export_cmd; explain_cmd; check_cmd; eq1_cmd;
             sim_cmd; run_cmd; fuzz_cmd; report_cmd; msc_cmd; progress_cmd;
+            serve_cmd; client_cmd;
           ]))

@@ -10,6 +10,10 @@ module Fault = Ccr_faults.Fault
 module Injected = Ccr_faults.Injected
 module Engine = Ccr_runtime.Engine
 module Runtime = Ccr_runtime.Runtime
+module J = Ccr_obs.Journal
+module Sapi = Ccr_serve.Api
+module Sdaemon = Ccr_serve.Daemon
+module Shttp = Ccr_serve.Http
 
 type name =
   | Validate
@@ -23,6 +27,7 @@ type name =
   | Store
   | Engine
   | Resume
+  | Serve
 
 let all =
   [
@@ -37,6 +42,7 @@ let all =
     Store;
     Engine;
     Resume;
+    Serve;
   ]
 
 let name_to_string = function
@@ -51,6 +57,7 @@ let name_to_string = function
   | Store -> "store"
   | Engine -> "engine"
   | Resume -> "resume"
+  | Serve -> "serve"
 
 let name_of_string s =
   match List.find_opt (fun o -> name_to_string o = s) all with
@@ -552,6 +559,102 @@ let o_resume ctx =
         Pass
     end
 
+(* One shared in-process daemon for the whole battery.  Thread-based —
+   [Daemon.start] spawns no domains and no processes — so it is legal
+   whatever the [Par] oracle has done to the runtime, and cheap enough
+   to keep alive across every spec of a run.  The cache directory is
+   per-process: the warm round below must hit this run's own entry. *)
+let serve_daemon =
+  lazy
+    (let dir =
+       Filename.concat
+         (Filename.get_temp_dir_name ())
+         (Fmt.str "ccr-fuzz-serve-%d" (Unix.getpid ()))
+     in
+     (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+     let t = Sdaemon.start ~port:0 ~cache_dir:dir () in
+     at_exit (fun () -> Sdaemon.stop t);
+     t)
+
+let serve_http ~port ~meth ~path ?body () =
+  match Shttp.request ~port ~meth ~path ?body () with
+  | Ok (status, body) -> (status, body)
+  | Error msg -> failwith (Fmt.str "%s %s: %s" meth path msg)
+
+(* Submit one config and poll to the verdict; returns (verdict JSON text,
+   answered-from-cache). *)
+let serve_round ~port cfg =
+  let status, body =
+    serve_http ~port ~meth:"POST" ~path:"/jobs"
+      ~body:(J.to_string (Sapi.config_to_json cfg))
+      ()
+  in
+  if status <> 200 && status <> 202 then
+    failwith (Fmt.str "POST /jobs answered %d: %s" status body);
+  let parse body =
+    match J.parse body with
+    | Some v -> v
+    | None -> failwith ("daemon answered unparsable JSON: " ^ body)
+  in
+  let jstr v field =
+    match J.get_str (J.find v field) with
+    | Some s -> s
+    | None ->
+      failwith (Fmt.str "daemon answer lacks %S: %s" field (J.to_string v))
+  in
+  let id = jstr (parse body) "id" in
+  let rec wait n =
+    let _, body = serve_http ~port ~meth:"GET" ~path:("/jobs/" ^ id) () in
+    let v = parse body in
+    match jstr v "status" with
+    | "done" -> (
+      let cached = J.find v "cached" = Some (J.Bool true) in
+      match J.find v "verdict" with
+      | Some verdict -> (J.to_string verdict, cached)
+      | None -> failwith ("done job carries no verdict: " ^ body))
+    | "failed" -> failwith ("daemon job failed: " ^ body)
+    | _ ->
+      if n = 0 then failwith "daemon job did not finish"
+      else begin
+        Unix.sleepf 0.02;
+        wait (n - 1)
+      end
+  in
+  wait 1500
+
+let o_serve ctx =
+  let src = Parse.to_string (Gen.build ctx.spec) in
+  let cfg =
+    {
+      Sapi.default with
+      Sapi.spec = Sapi.Inline src;
+      level = `Async;
+      n = ctx.spec.Gen.n;
+      k = ctx.spec.Gen.k;
+      generic = not ctx.spec.Gen.reqrep;
+      max_states = ctx.max_states;
+    }
+  in
+  match Sapi.check cfg with
+  | Error msg -> Fail ("in-process check refused the spec: " ^ msg)
+  | Ok (direct, _) ->
+    let expected = J.to_string (Sapi.verdict_to_json direct) in
+    let port = Sdaemon.port (Lazy.force serve_daemon) in
+    let cold, _ = serve_round ~port cfg in
+    if cold <> expected then
+      Fail
+        (Fmt.str "daemon verdict differs from in-process:@ %s@ vs@ %s" cold
+           expected)
+    else
+      let warm, warm_cached = serve_round ~port cfg in
+      if warm <> expected then
+        Fail
+          (Fmt.str "warm daemon verdict differs from in-process:@ %s@ vs@ %s"
+             warm expected)
+      else if Sapi.cacheable direct && not warm_cached then
+        Fail "cacheable verdict was not served from the cache on resubmission"
+      else Pass
+
 let run_oracle ctx o =
   let body =
     match o with
@@ -566,6 +669,7 @@ let run_oracle ctx o =
     | Store -> o_store
     | Engine -> o_engine
     | Resume -> o_resume
+    | Serve -> o_serve
   in
   let outcome = try body ctx with e -> Fail (exn_msg e) in
   { oracle = o; outcome }

@@ -36,7 +36,12 @@
     - [Resume]: interrupting the refined-level exploration halfway with
       a state cap, checkpointing it ({!Ccr_modelcheck.Ckpt}) to a
       temporary directory, reloading the file, and resuming reproduces
-      the uninterrupted run's states, transitions and outcome exactly.
+      the uninterrupted run's states, transitions and outcome exactly;
+    - [Serve]: round-tripping the spec through a live in-process
+      [ccr serve] daemon ({!Ccr_serve.Daemon}) as an inline [.ccr] body
+      yields a verdict byte-identical to the in-process
+      {!Ccr_serve.Api.check} — cold, and again warm, where a cacheable
+      verdict must additionally be answered from the result cache.
 
     All explorations are capped at [max_states]; hitting the cap passes
     the oracle (the budget bounds work, it is not a verdict). *)
@@ -55,6 +60,7 @@ type name =
   | Store
   | Engine
   | Resume
+  | Serve
 
 val all : name list
 val name_to_string : name -> string

@@ -490,17 +490,24 @@ module Diskset = struct
            can point at a stable file instead of a vanishing temp *)
         Unix.openfile p [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
     in
-    {
-      fd;
-      file_len = 0;
-      tail = Buffer.create (min tail_cap 65536);
-      tail_cap;
-      packed = Array.make init_slots 0;
-      count = 0;
-      key_bytes = 0;
-      long_lens = Hashtbl.create 16;
-      read_buf = Bytes.create 256;
-    }
+    let t =
+      {
+        fd;
+        file_len = 0;
+        tail = Buffer.create (min tail_cap 65536);
+        tail_cap;
+        packed = Array.make init_slots 0;
+        count = 0;
+        key_bytes = 0;
+        long_lens = Hashtbl.create 16;
+        read_buf = Bytes.create 256;
+      }
+    in
+    (* the store owns the descriptor and nothing else can reach it; a
+       dropped store must give the fd back or a long-lived process (the
+       serve daemon, a fuzz campaign) exhausts the fd table *)
+    Gc.finalise (fun s -> try Unix.close s.fd with Unix.Unix_error _ -> ()) t;
+    t
 
   let tag_of h = (h lsr 22) land 0xff
 
@@ -690,7 +697,7 @@ module Prov = struct
         let fd = Unix.openfile path [ Unix.O_RDWR ] 0o600 in
         (* unlinked immediately: the file vanishes with the process *)
         Unix.unlink path;
-        File
+        let ds =
           {
             fd;
             file_len = 0;
@@ -698,6 +705,12 @@ module Prov = struct
             tail_cap;
             read_buf = Bytes.create 8;
           }
+        in
+        (* same ownership story as Diskset: reclaim the fd with the table *)
+        Gc.finalise
+          (fun s -> try Unix.close s.fd with Unix.Unix_error _ -> ())
+          ds;
+        File ds
     in
     { n = 0; backend }
 

@@ -1,0 +1,24 @@
+(** Content-addressed result cache: one JSON file per {!Api.cache_key},
+    holding the config, the deterministic verdict and the job's journal
+    lines.  Writes are atomic (temp file + rename) so a concurrent reader
+    never sees a torn entry; eviction removes the oldest entries (mtime)
+    past [max_entries]. *)
+
+type t
+
+type entry = {
+  e_key : string;
+  e_config : Ccr_obs.Journal.value;
+  e_verdict : Api.verdict;
+  e_journal : string list;  (** the job's journal, one JSON line each *)
+}
+
+val create : dir:string -> ?max_entries:int -> unit -> t
+val dir : t -> string
+
+val find : t -> string -> entry option
+
+val store : t -> entry -> unit
+
+(** Number of entries currently on disk. *)
+val count : t -> int

@@ -1,0 +1,44 @@
+(** The checking-as-a-service daemon: a loopback HTTP/1.1 JSON API over a
+    bounded FIFO job queue and a content-addressed result cache.
+
+    Endpoints:
+    - [POST /jobs] — body is an {!Api.config} JSON object; returns the
+      job id.  Cache hits return an already-done job (status 200); fresh
+      jobs are queued (202); a full queue answers 429 and a malformed or
+      unresolvable spec 400.
+    - [GET /jobs/ID] — job status plus verdict once done (404 unknown).
+    - [GET /jobs/ID/events] — chunked NDJSON stream of the job's
+      schema-v1 journal events, as produced.
+    - [GET /metrics] — the service metrics in OpenMetrics text format
+      (terminated by [# EOF]).
+
+    Jobs always explore sequentially (jobs=1): worker threads pipeline
+    queue draining and I/O, while the exploration itself is serialized on
+    one engine lock — OCaml threads share a single runtime anyway, and
+    the canonicalizers keep domain-local scratch that must not be shared
+    mid-flight. *)
+
+type t
+
+val start :
+  ?port:int ->
+  ?workers:int ->
+  ?queue_cap:int ->
+  ?cache_dir:string ->
+  ?max_states_cap:int ->
+  unit ->
+  t
+(** Bind [127.0.0.1:port] (default an ephemeral port: pass [0], read
+    {!port}) and start accepting.  [workers] worker threads (default 1)
+    drain a queue of at most [queue_cap] (default 64) pending jobs.
+    Without [cache_dir] results are not cached.  Submitted [max_states]
+    are clamped to [max_states_cap] (default 10_000_000). *)
+
+val port : t -> int
+val metrics : t -> Ccr_obs.Metrics.t
+val jobs_done : t -> int
+
+val stop : t -> unit
+(** Graceful shutdown: stop accepting, interrupt the running exploration
+    at its next safe point, wake every event stream, join all threads.
+    Idempotent. *)

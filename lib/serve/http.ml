@@ -1,0 +1,279 @@
+(* Minimal HTTP/1.1 over Unix file descriptors.  The daemon serves one
+   request per connection; keeping the framing this small (no pipelining,
+   no keep-alive, no compression) is what lets the whole server stay
+   dependency-free and auditable. *)
+
+type request = {
+  meth : string;
+  target : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+let max_head_bytes = 64 * 1024
+let max_body_bytes = 4 * 1024 * 1024
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      let w = Unix.write_substring fd s off (n - off) in
+      go (off + w)
+  in
+  go 0
+
+(* ---- reading ------------------------------------------------------------- *)
+
+let find_sub buf sub from =
+  let n = Buffer.length buf and m = String.length sub in
+  let rec at i j =
+    if j = m then true
+    else if Buffer.nth buf (i + j) = sub.[j] then at i (j + 1)
+    else false
+  in
+  let rec go i = if i + m > n then None else if at i 0 then Some i else go (i + 1) in
+  go (max 0 from)
+
+let read_request fd =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 4096 in
+  (* accumulate until the blank line ending the head *)
+  let rec head_end () =
+    match find_sub buf "\r\n\r\n" (Buffer.length buf - String.length "\r\n\r\n" - 4096) with
+    | Some i -> Ok i
+    | None ->
+      if Buffer.length buf > max_head_bytes then Error (`Bad "head too large")
+      else begin
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> if Buffer.length buf = 0 then Error `Eof else Error (`Bad "truncated head")
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          head_end ()
+        | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> Error `Eof
+      end
+  in
+  match head_end () with
+  | Error _ as e -> e
+  | Ok head_len -> (
+    let head = Buffer.sub buf 0 head_len in
+    let rest_off = head_len + 4 in
+    match String.split_on_char '\n' head with
+    | [] -> Error (`Bad "empty head")
+    | req_line :: header_lines -> (
+      let req_line = String.trim req_line in
+      match String.split_on_char ' ' req_line with
+      | meth :: target :: _ -> (
+        let headers =
+          List.filter_map
+            (fun line ->
+              let line = String.trim line in
+              match String.index_opt line ':' with
+              | None -> None
+              | Some i ->
+                Some
+                  ( String.lowercase_ascii (String.sub line 0 i),
+                    String.trim
+                      (String.sub line (i + 1) (String.length line - i - 1))
+                  ))
+            header_lines
+        in
+        let content_length =
+          match List.assoc_opt "content-length" headers with
+          | None -> 0
+          | Some s -> ( try int_of_string (String.trim s) with _ -> -1)
+        in
+        if content_length < 0 || content_length > max_body_bytes then
+          Error (`Bad "bad content-length")
+        else begin
+          let body = Buffer.create content_length in
+          Buffer.add_string body
+            (Buffer.sub buf rest_off (Buffer.length buf - rest_off));
+          let rec fill () =
+            if Buffer.length body < content_length then begin
+              match Unix.read fd chunk 0 (Bytes.length chunk) with
+              | 0 -> Error (`Bad "truncated body")
+              | n ->
+                Buffer.add_subbytes body chunk 0 n;
+                fill ()
+              | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+                Error (`Bad "connection reset")
+            end
+            else Ok ()
+          in
+          match fill () with
+          | Error _ as e -> e
+          | Ok () ->
+            Ok { meth; target; headers; body = Buffer.sub body 0 content_length }
+        end)
+      | _ -> Error (`Bad "malformed request line")))
+
+let header req name = List.assoc_opt (String.lowercase_ascii name) req.headers
+
+(* ---- writing ------------------------------------------------------------- *)
+
+let reason_of = function
+  | 200 -> "OK"
+  | 201 -> "Created"
+  | 202 -> "Accepted"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 413 -> "Payload Too Large"
+  | 429 -> "Too Many Requests"
+  | 500 -> "Internal Server Error"
+  | _ -> "Unknown"
+
+let respond ?(content_type = "application/json") ?(headers = []) ~status ~body
+    fd =
+  let b = Buffer.create (String.length body + 256) in
+  Buffer.add_string b
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (reason_of status));
+  Buffer.add_string b (Printf.sprintf "Content-Type: %s\r\n" content_type);
+  Buffer.add_string b
+    (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v))
+    headers;
+  Buffer.add_string b "Connection: close\r\n\r\n";
+  Buffer.add_string b body;
+  try write_all fd (Buffer.contents b)
+  with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
+
+let start_chunked ?(content_type = "application/x-ndjson") ~status fd =
+  write_all fd
+    (Printf.sprintf
+       "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nTransfer-Encoding: \
+        chunked\r\nConnection: close\r\n\r\n"
+       status (reason_of status) content_type)
+
+let write_chunk fd s =
+  if s <> "" then
+    write_all fd (Printf.sprintf "%x\r\n%s\r\n" (String.length s) s)
+
+let end_chunked fd = write_all fd "0\r\n\r\n"
+
+(* ---- client -------------------------------------------------------------- *)
+
+let contains_sub hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec at i j =
+    if j = m then true
+    else if hay.[i + j] = needle.[j] then at i (j + 1)
+    else false
+  in
+  let rec go i = i + m <= n && (at i 0 || go (i + 1)) in
+  m = 0 || go 0
+
+let read_until_eof fd =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> Buffer.contents buf
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      go ()
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> Buffer.contents buf
+  in
+  go ()
+
+let decode_chunked s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec line_end i = if i + 1 < n && s.[i] = '\r' && s.[i + 1] = '\n' then i else if i + 1 < n then line_end (i + 1) else i in
+  let rec go i =
+    if i >= n then Buffer.contents b
+    else begin
+      let le = line_end i in
+      let size_str = String.sub s i (le - i) in
+      let size =
+        try int_of_string ("0x" ^ String.trim size_str) with _ -> 0
+      in
+      if size = 0 then Buffer.contents b
+      else begin
+        let data_off = le + 2 in
+        let avail = min size (n - data_off) in
+        Buffer.add_string b (String.sub s data_off avail);
+        go (data_off + size + 2)
+      end
+    end
+  in
+  go 0
+
+let request ~port ~meth ~path ?(body = "") () =
+  match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "socket: %s" (Unix.error_message e))
+  | sock -> (
+    let finish r =
+      (try Unix.close sock with _ -> ());
+      r
+    in
+    (* a wedged or dead server must surface as an [Error], not a hang *)
+    (try
+       Unix.setsockopt_float sock Unix.SO_RCVTIMEO 60.0;
+       Unix.setsockopt_float sock Unix.SO_SNDTIMEO 60.0
+     with _ -> ());
+    match
+      Unix.connect sock
+        (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+    with
+    | exception Unix.Unix_error (e, _, _) ->
+      finish (Error (Printf.sprintf "connect 127.0.0.1:%d: %s" port (Unix.error_message e)))
+    | () -> (
+      let req =
+        Printf.sprintf
+          "%s %s HTTP/1.1\r\nHost: 127.0.0.1:%d\r\nContent-Length: \
+           %d\r\nConnection: close\r\n\r\n%s"
+          meth path port (String.length body) body
+      in
+      match write_all sock req with
+      | exception Unix.Unix_error (e, _, _) ->
+        finish (Error (Printf.sprintf "write: %s" (Unix.error_message e)))
+      | () -> (
+        match read_until_eof sock with
+        | exception Unix.Unix_error (e, _, _) ->
+          finish
+            (Error (Printf.sprintf "read: %s" (Unix.error_message e)))
+        | raw -> (
+        match String.index_opt raw '\n' with
+        | None -> finish (Error "empty response")
+        | Some _ -> (
+          match String.split_on_char ' ' raw with
+          | _http :: code :: _ -> (
+            match int_of_string_opt (String.trim code) with
+            | None -> finish (Error "malformed status line")
+            | Some status -> (
+              match
+                let i = ref 0 in
+                let n = String.length raw in
+                let rec find () =
+                  if !i + 3 < n then
+                    if
+                      raw.[!i] = '\r' && raw.[!i + 1] = '\n'
+                      && raw.[!i + 2] = '\r' && raw.[!i + 3] = '\n'
+                    then Some (!i + 4)
+                    else begin
+                      incr i;
+                      find ()
+                    end
+                  else None
+                in
+                find ()
+              with
+              | None -> finish (Ok (status, ""))
+              | Some body_off ->
+                let head = String.lowercase_ascii (String.sub raw 0 body_off) in
+                let body =
+                  String.sub raw body_off (String.length raw - body_off)
+                in
+                let body =
+                  if
+                    (* crude but sufficient: our own servers only ever set
+                       chunked via this exact header *)
+                    contains_sub head "transfer-encoding: chunked"
+                  then decode_chunked body
+                  else body
+                in
+                finish (Ok (status, body))))
+          | _ -> finish (Error "malformed status line"))))))

@@ -1,0 +1,44 @@
+(** Minimal HTTP/1.1 over [Unix] file descriptors — hand-rolled like the
+    journal's JSON codec, so the daemon needs no new dependencies.  One
+    request per connection ([Connection: close]); bodies are either
+    [Content-Length]-framed or chunked (responses only). *)
+
+type request = {
+  meth : string;  (** "GET", "POST", ... *)
+  target : string;  (** request target, e.g. "/jobs/j1" *)
+  headers : (string * string) list;  (** header names lowercased *)
+  body : string;
+}
+
+(** Read one request.  [`Bad] covers malformed request lines/headers and
+    oversized heads (64 KB) or bodies (4 MB). *)
+val read_request : Unix.file_descr -> (request, [ `Eof | `Bad of string ]) result
+
+val header : request -> string -> string option
+
+(** Write a complete response with [Content-Length] framing. *)
+val respond :
+  ?content_type:string ->
+  ?headers:(string * string) list ->
+  status:int ->
+  body:string ->
+  Unix.file_descr ->
+  unit
+
+(** Chunked-transfer responses, for event streams. *)
+val start_chunked : ?content_type:string -> status:int -> Unix.file_descr -> unit
+
+val write_chunk : Unix.file_descr -> string -> unit
+val end_chunked : Unix.file_descr -> unit
+
+(** {2 Loopback client} (tests, [ccr client], the fuzz oracle) *)
+
+(** One request against [127.0.0.1:port]; returns (status, body) with
+    chunked bodies already decoded. *)
+val request :
+  port:int ->
+  meth:string ->
+  path:string ->
+  ?body:string ->
+  unit ->
+  (int * string, string) result

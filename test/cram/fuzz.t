@@ -17,6 +17,7 @@ carries no timings, so a small campaign is an exact regression.
   store                 5      0
   engine                5      0
   resume                5      0
+  serve                 5      0
   
   rule coverage (Tables 1-2, transitions enumerated per family):
     rule                 legacy  general
@@ -72,5 +73,5 @@ coverage to report, so the matrix section disappears:
 Unknown oracle names are rejected up front:
 
   $ ../../bin/ccr.exe fuzz --oracles bogus --count 1
-  unknown oracle "bogus" (known: validate, roundtrip, rv-explore, async-explore, eq1, symmetry, par, faults, store, engine, resume)
+  unknown oracle "bogus" (known: validate, roundtrip, rv-explore, async-explore, eq1, symmetry, par, faults, store, engine, resume, serve)
   [1]

@@ -1,0 +1,42 @@
+The checking service (DESIGN.md §6i): [ccr serve] is a loopback HTTP
+daemon over a bounded job queue and a content-addressed result cache,
+and [ccr client] is its command-line face.  Start one on an ephemeral
+port and wait for the port file:
+
+  $ ../../bin/ccr.exe serve --port 0 --port-file port --cache-dir cache --journal serve.jsonl >serve.log 2>&1 &
+  $ SERVE_PID=$!
+  $ for i in $(seq 1 150); do test -s port && break; sleep 0.1; done
+
+A cold submission is explored; resubmitting the same configuration is
+answered from the cache with the byte-identical verdict (job ids are
+submission-order, elided here):
+
+  $ ../../bin/ccr.exe client submit invalidate -n 2 --wait --port $(cat port) | sed -e 's/"id":"j[0-9]*"/"id":"*"/'
+  {"id":"*","status":"done","cached":false,"verdict":{"protocol":"invalidate","level":"async","outcome":"complete","explored":"complete","ok":true,"states":604,"transitions":1201,"max_depth":32,"canon_fallbacks":0,"sym":true,"invariant":null,"starved":null,"rules":null,"outcome_line":"complete, invariants hold","trace":[],"msc":null,"liveness":null}}
+  $ ../../bin/ccr.exe client submit invalidate -n 2 --wait --port $(cat port) | sed -e 's/"id":"j[0-9]*"/"id":"*"/'
+  {"id":"*","status":"done","cached":true,"verdict":{"protocol":"invalidate","level":"async","outcome":"complete","explored":"complete","ok":true,"states":604,"transitions":1201,"max_depth":32,"canon_fallbacks":0,"sym":true,"invariant":null,"starved":null,"rules":null,"outcome_line":"complete, invariants hold","trace":[],"msc":null,"liveness":null}}
+
+The metrics endpoint is OpenMetrics text, terminated by the # EOF frame:
+
+  $ ../../bin/ccr.exe client metrics --port $(cat port) | tail -1
+  # EOF
+
+SIGTERM is a clean shutdown: the daemon stops accepting, drains, and its
+journal ends with the outcome (the one cache hit did not re-explore, so
+only one job was done):
+
+  $ kill -TERM $SERVE_PID
+  $ wait $SERVE_PID
+  $ sed -e 's/127\.0\.0\.1:[0-9]*/127.0.0.1:PORT/' serve.log
+  ccr serve: listening on 127.0.0.1:PORT
+  $ tail -1 serve.jsonl
+  {"v":1,"ev":"end","outcome":"shutdown","jobs_done":1}
+
+Argument errors report through the journal too — the end event carries
+the reason instead of the file being left unwritten:
+
+  $ ../../bin/ccr.exe check migratory -n 2 --level rendezvous --faults drop=1 --journal bad.jsonl
+  the rendezvous level has no channels: only pause=K applies (got drop=1)
+  [1]
+  $ tail -1 bad.jsonl
+  {"v":1,"ev":"end","outcome":"error","reason":"the rendezvous level has no channels: only pause=K applies (got drop=1)"}

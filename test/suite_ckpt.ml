@@ -20,43 +20,11 @@ module Vstore = Ccr_modelcheck.Vstore
 module Ckpt = Ccr_modelcheck.Ckpt
 module J = Ccr_obs.Journal
 
-let counter_system ~limit =
-  Explore.
-    {
-      init = 0;
-      succ =
-        (fun s ->
-          if s >= limit then []
-          else [ ("inc", s + 1); ("double", min limit (2 * s + 1)) ]);
-      encode = string_of_int;
-      canon = None;
-    }
+(* counter_system / bits_system come from Test_util. *)
 
-let bits_system k =
-  Explore.
-    {
-      init = 0;
-      succ =
-        (fun s -> List.init k (fun i -> (Fmt.str "flip%d" i, s lxor (1 lsl i))));
-      encode = string_of_int;
-      canon = None;
-    }
-
-let fresh_dir =
-  let n = ref 0 in
-  fun () ->
-    incr n;
-    let d =
-      Filename.concat
-        (Filename.get_temp_dir_name ())
-        (Fmt.str "ccr-test-ckpt-%d-%d" (Unix.getpid ()) !n)
-    in
-    (try Sys.remove (Ckpt.file d) with Sys_error _ -> ());
-    d
-
-let rm_dir d =
-  (try Sys.remove (Ckpt.file d) with Sys_error _ -> ());
-  try Unix.rmdir d with Unix.Unix_error _ -> ()
+(* Scratch checkpoint directories are scoped: removed when the case
+   body returns, pass or fail. *)
+let in_dir f = with_temp_dir "ccr-test-ckpt" f
 
 let manifest = [ ("spec_hash", J.Str "test") ]
 
@@ -96,7 +64,7 @@ let check_resume name ?store run sys =
   List.iter
     (fun cap ->
       let cap = max 1 cap in
-      let dir = fresh_dir () in
+      in_dir @@ fun dir ->
       let first = run ~max_states:cap ~ckpt:(ckpt_to dir) in
       checkb
         (Fmt.str "%s cap=%d: first leg capped" name cap)
@@ -117,8 +85,7 @@ let check_resume name ?store run sys =
       checkb
         (Fmt.str "%s cap=%d: complete" name cap)
         true
-        (r.Explore.outcome = Explore.Complete);
-      rm_dir dir)
+        (r.Explore.outcome = Explore.Complete))
     caps
 
 let tests =
@@ -127,7 +94,7 @@ let tests =
     case "mpx: boundary checkpoint resumes to the sequential pin" (fun () ->
         let sys = bits_system 10 in
         let seq = Explore.run sys in
-        let dir = fresh_dir () in
+        in_dir @@ fun dir ->
         let first =
           Mpx.run ~workers:2 ~max_states:(seq.Explore.states / 2)
             ~ckpt:(ckpt_to dir) sys
@@ -144,21 +111,19 @@ let tests =
         (* a worker-count change between sessions is fine: ids are
            assigned by rank, not by worker *)
         let r3 = Mpx.run ~workers:3 ~ckpt:(resume_of (load_ok dir)) sys in
-        checki "states (w=3)" seq.Explore.states r3.Explore.states;
-        rm_dir dir);
+        checki "states (w=3)" seq.Explore.states r3.Explore.states);
     case "mpx: a sequential mid-level checkpoint is refused" (fun () ->
         let sys = counter_system ~limit:100 in
-        let dir = fresh_dir () in
+        in_dir @@ fun dir ->
         (* cap 5 lands mid-level in the sequential engine: some frontier
            entries carry a non-zero resume ordinal *)
         ignore (Explore.run ~max_states:5 ~ckpt:(ckpt_to dir) sys);
         let l = load_ok dir in
         checkb "really mid-level" true
           (Array.exists (fun (_, _, o, _) -> o > 0) l.Ckpt.l_frontier);
-        (match Mpx.run ~workers:2 ~ckpt:(resume_of l) sys with
+        match Mpx.run ~workers:2 ~ckpt:(resume_of l) sys with
         | _ -> Alcotest.fail "expected Invalid_argument"
         | exception Invalid_argument _ -> ());
-        rm_dir dir);
     case "mpx: a crashed worker is respawned and the pin holds" (fun () ->
         let sys = bits_system 12 in
         let seq = Explore.run sys in
@@ -204,7 +169,7 @@ let tests =
           Ccr_protocols.Registry.all);
     case "seq: provenance rides the checkpoint" (fun () ->
         let sys = counter_system ~limit:100 in
-        let dir = fresh_dir () in
+        in_dir @@ fun dir ->
         let prov = Vstore.Prov.create () in
         ignore
           (Explore.run ~max_states:20 ~prov
@@ -231,22 +196,21 @@ let tests =
         (match r.Explore.outcome with
         | Explore.Violation { state; _ } -> checkb "violates" true (state >= 90)
         | _ -> Alcotest.fail "expected violation");
-        (match r.Explore.trace with
+        match r.Explore.trace with
         | Some path ->
           checkb "trace ends at the violation" true
             (snd (List.nth path (List.length path - 1)) >= 90)
         | None -> Alcotest.fail "expected a trace");
-        rm_dir dir);
     case "save is atomic and refuses every truncation" (fun () ->
         let sys = counter_system ~limit:60 in
-        let dir = fresh_dir () in
+        in_dir @@ fun dir ->
         ignore (Explore.run ~max_states:15 ~ckpt:(ckpt_to dir) sys);
         let ic = open_in_bin (Ckpt.file dir) in
         let n = in_channel_length ic in
         let bytes = really_input_string ic n in
         close_in ic;
         checkb "small enough to truncate exhaustively" true (n < 200_000);
-        let dir2 = fresh_dir () in
+        in_dir @@ fun dir2 ->
         ignore (Explore.run ~max_states:15 ~ckpt:(ckpt_to dir2) sys);
         let torn = ref 0 in
         for len = 0 to n - 1 do
@@ -265,11 +229,9 @@ let tests =
         let oc = open_out_bin (Ckpt.file dir2) in
         output_bytes oc b;
         close_out oc;
-        (match Ckpt.load ~dir:dir2 with
+        match Ckpt.load ~dir:dir2 with
         | Error _ -> ()
         | Ok _ -> Alcotest.fail "corrupted checkpoint loaded successfully");
-        rm_dir dir;
-        rm_dir dir2);
     case "manifest mismatch is refused field by field" (fun () ->
         let found =
           [
@@ -317,7 +279,7 @@ let par_tests =
     case "par (j=4): boundary checkpoint resumes to the pin" (fun () ->
         let sys = bits_system 12 in
         let seq = Explore.run sys in
-        let dir = fresh_dir () in
+        in_dir @@ fun dir ->
         let first =
           Explore.par_run ~jobs:4 ~max_states:(seq.Explore.states / 2)
             ~ckpt:(ckpt_to dir) sys
@@ -331,8 +293,7 @@ let par_tests =
         checki "max_depth" seq.Explore.max_depth r.Explore.max_depth;
         (* cross-engine: a boundary checkpoint resumes sequentially too *)
         let rs = Explore.run ~ckpt:(resume_of (load_ok dir)) sys in
-        checki "states (seq resume)" seq.Explore.states rs.Explore.states;
-        rm_dir dir);
+        checki "states (seq resume)" seq.Explore.states rs.Explore.states);
   ]
 
 let suite = ("ckpt", tests)

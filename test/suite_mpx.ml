@@ -14,27 +14,7 @@ module Vstore = Ccr_modelcheck.Vstore
 module Async = Ccr_refine.Async
 module Registry = Ccr_protocols.Registry
 
-let counter_system ~limit =
-  Explore.
-    {
-      init = 0;
-      succ =
-        (fun s ->
-          if s >= limit then []
-          else [ ("inc", s + 1); ("double", min limit (2 * s + 1)) ]);
-      encode = string_of_int;
-      canon = None;
-    }
-
-let bits_system k =
-  Explore.
-    {
-      init = 0;
-      succ =
-        (fun s -> List.init k (fun i -> (Fmt.str "flip%d" i, s lxor (1 lsl i))));
-      encode = string_of_int;
-      canon = None;
-    }
+(* counter_system / bits_system come from Test_util. *)
 
 (* The OCaml 5 runtime refuses [Unix.fork] once any domain has ever been
    spawned in the process — even one long since joined.  So this suite

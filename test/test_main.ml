@@ -5,6 +5,7 @@ let () =
          suite has spawned a domain (see suite_mpx.ml); suite_ckpt's
          domain-spawning cases are split off into [par_suite] below *)
       Suite_ckpt.suite;
+      Suite_serve.suite;
       Suite_mpx.suite;
       Suite_journal.suite;
       Suite_value.suite;

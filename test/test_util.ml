@@ -119,6 +119,105 @@ let by_rule ?actor ?subject rule (l : Ccr_refine.Async.label) =
   && (match actor with None -> true | Some a -> l.actor = a)
   && match subject with None -> true | Some s -> l.subject = s
 
+(* ---- synthetic systems shared by the engine suites --------------------- *)
+
+(* A little DAG: distinct states 0..limit, two successors each. *)
+let counter_system ~limit =
+  Ccr_modelcheck.Explore.
+    {
+      init = 0;
+      succ =
+        (fun s ->
+          if s >= limit then []
+          else [ ("inc", s + 1); ("double", min limit (2 * s + 1)) ]);
+      encode = string_of_int;
+      canon = None;
+    }
+
+(* The k-bit hypercube: 2^k states, k successors each. *)
+let bits_system k =
+  Ccr_modelcheck.Explore.
+    {
+      init = 0;
+      succ =
+        (fun s -> List.init k (fun i -> (Fmt.str "flip%d" i, s lxor (1 lsl i))));
+      encode = string_of_int;
+      canon = None;
+    }
+
+(* ---- processes and scratch space --------------------------------------- *)
+
+(* A fresh scratch directory, removed (recursively) when [f] returns. *)
+let temp_dir_seq = ref 0
+
+let with_temp_dir prefix f =
+  incr temp_dir_seq;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Fmt.str "%s-%d-%d" prefix (Unix.getpid ()) !temp_dir_seq)
+    in
+    let rec rm p =
+      match Unix.lstat p with
+      | { Unix.st_kind = Unix.S_DIR; _ } ->
+        Array.iter (fun entry -> rm (Filename.concat p entry)) (Sys.readdir p);
+        (try Unix.rmdir p with Unix.Unix_error _ -> ())
+      | _ -> ( try Sys.remove p with Sys_error _ -> ())
+      | exception Unix.Unix_error _ -> ()
+    in
+    rm dir;
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    Fun.protect ~finally:(fun () -> rm dir) (fun () -> f dir)
+
+(* Fork-first discipline (see suite_mpx.ml): the OCaml 5 runtime refuses
+   [Unix.fork] once any domain has ever been spawned in the process, so
+   every suite using this helper must be registered before the first
+   domain-spawning case.  The child runs a real [ccr serve] daemon on an
+   ephemeral loopback port and reports the port over a pipe; [f ~port]
+   runs in the parent, and the daemon is SIGTERMed (clean shutdown:
+   running explorations are interrupted at their next safe point) when it
+   returns. *)
+let with_forked_daemon ?(workers = 1) ?(queue_cap = 64) ?cache_dir
+    ?(max_states_cap = 10_000_000) f =
+  let r, w = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+    (* the daemon process: [_exit], never [exit] — no inherited alcotest
+       at_exit machinery, no doubly-flushed buffers *)
+    Unix.close r;
+    (try
+       let t =
+         Ccr_serve.Daemon.start ~port:0 ~workers ~queue_cap ?cache_dir
+           ~max_states_cap ()
+       in
+       let oc = Unix.out_channel_of_descr w in
+       output_string oc (string_of_int (Ccr_serve.Daemon.port t) ^ "\n");
+       flush oc;
+       let stop = ref false in
+       Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true));
+       while not !stop do
+         try Unix.sleepf 0.05 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+       done;
+       Ccr_serve.Daemon.stop t
+     with _ -> ());
+    Unix._exit 0
+  | pid ->
+    Unix.close w;
+    let ic = Unix.in_channel_of_descr r in
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+        ignore (Unix.waitpid [] pid);
+        close_in_noerr ic)
+      (fun () ->
+        let port =
+          match int_of_string_opt (String.trim (input_line ic)) with
+          | Some p -> p
+          | None | (exception End_of_file) ->
+            Alcotest.fail "daemon child did not report a port"
+        in
+        f ~port)
+
 let outcome_complete = function
   | Ccr_modelcheck.Explore.Complete -> true
   | _ -> false
